@@ -1,0 +1,400 @@
+//! The TNPU ACTIV submodule's activation functions.
+//!
+//! NetPU-M supports five runtime-selectable activations (§III.B.1):
+//! ReLU, Sigmoid, Tanh, Sign, and Multi-Threshold. Sigmoid uses the
+//! piecewise-linear approximation of Eq. 4 (Amin et al.), Tanh is derived
+//! from it via `tanh(x) = 2·sigmoid(2x) − 1`, Sign compares against a
+//! trained 32-bit threshold (Eq. 3, BN folded in), and Multi-Threshold is
+//! the HWGQ scheme counting `2^M − 1` trained thresholds so that the
+//! output is already re-quantized (§II.C).
+
+use crate::fixed::Fix;
+use crate::precision::Precision;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The 3-bit activation selector of the ACTIV submodule.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ActivationKind {
+    /// Rectified linear unit; full-precision output, needs QUAN.
+    Relu,
+    /// Piecewise-linear sigmoid (Eq. 4); full-precision output, needs QUAN.
+    Sigmoid,
+    /// Tanh via the shared sigmoid block; full-precision output, needs QUAN.
+    Tanh,
+    /// BNN sign with folded-BN threshold (Eq. 3); 1-bit output, bypasses QUAN.
+    Sign,
+    /// HWGQ multi-threshold; n-bit quantized output, bypasses QUAN.
+    MultiThreshold,
+}
+
+impl ActivationKind {
+    /// All five supported activations.
+    pub const ALL: [ActivationKind; 5] = [
+        ActivationKind::Relu,
+        ActivationKind::Sigmoid,
+        ActivationKind::Tanh,
+        ActivationKind::Sign,
+        ActivationKind::MultiThreshold,
+    ];
+
+    /// The 3-bit hardware encoding carried in the layer-setting stream.
+    pub fn encode(self) -> u8 {
+        match self {
+            ActivationKind::Relu => 0b000,
+            ActivationKind::Sigmoid => 0b001,
+            ActivationKind::Tanh => 0b010,
+            ActivationKind::Sign => 0b011,
+            ActivationKind::MultiThreshold => 0b100,
+        }
+    }
+
+    /// Decodes the 3-bit hardware field.
+    pub fn decode(field: u8) -> Option<ActivationKind> {
+        match field & 0b111 {
+            0b000 => Some(ActivationKind::Relu),
+            0b001 => Some(ActivationKind::Sigmoid),
+            0b010 => Some(ActivationKind::Tanh),
+            0b011 => Some(ActivationKind::Sign),
+            0b100 => Some(ActivationKind::MultiThreshold),
+            _ => None,
+        }
+    }
+
+    /// `true` when the activation's output is already quantized and the
+    /// crossbar must bypass the QUAN submodule (§III.B.1 Crossbar).
+    pub fn bypasses_quan(self) -> bool {
+        matches!(self, ActivationKind::Sign | ActivationKind::MultiThreshold)
+    }
+
+    /// `true` when the activation needs trained threshold parameters
+    /// loaded during Neuron Initialization.
+    pub fn needs_thresholds(self) -> bool {
+        self.bypasses_quan()
+    }
+}
+
+impl fmt::Display for ActivationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ActivationKind::Relu => "ReLU",
+            ActivationKind::Sigmoid => "Sigmoid",
+            ActivationKind::Tanh => "Tanh",
+            ActivationKind::Sign => "Sign",
+            ActivationKind::MultiThreshold => "Multi-Threshold",
+        };
+        f.write_str(s)
+    }
+}
+
+/// ReLU on the fixed-point datapath: `max(0, x)`.
+#[inline]
+pub fn relu(x: Fix) -> Fix {
+    x.max(Fix::ZERO)
+}
+
+/// The positive-half piecewise-linear function `f` of Eq. 4, applied to
+/// `|x|`. Constants 0.84375, 0.625, and 0.5 are exactly representable in
+/// the 5-fraction-bit format (27/32, 20/32, 16/32), which is why the
+/// paper's approximation avoids DSP slices entirely.
+fn pwl_f(abs_x: Fix) -> Fix {
+    let c5 = Fix::from_f64(5.0);
+    let c2375 = Fix::from_f64(2.375);
+    let c1 = Fix::ONE;
+    if abs_x >= c5 {
+        Fix::ONE
+    } else if abs_x >= c2375 {
+        abs_x.asr(5) + Fix::from_f64(0.84375)
+    } else if abs_x >= c1 {
+        abs_x.asr(3) + Fix::from_f64(0.625)
+    } else {
+        abs_x.asr(2) + Fix::from_f64(0.5)
+    }
+}
+
+/// Piecewise-linear sigmoid (Eq. 4): `f(|x|)` for `x ≥ 0`, `1 − f(|x|)`
+/// for `x < 0`. Output lies in `[0, 1]`.
+///
+/// ```
+/// use netpu_arith::{activation::sigmoid, Fix};
+/// assert_eq!(sigmoid(Fix::ZERO).to_f64(), 0.5);
+/// assert_eq!(sigmoid(Fix::from_f64(10.0)).to_f64(), 1.0);
+/// assert_eq!(sigmoid(Fix::from_f64(-10.0)).to_f64(), 0.0);
+/// ```
+pub fn sigmoid(x: Fix) -> Fix {
+    let f = pwl_f(x.abs());
+    if x.is_negative() {
+        Fix::ONE - f
+    } else {
+        f
+    }
+}
+
+/// Tanh via the shared sigmoid block: `2·sigmoid(2x) − 1` (§III.B.1).
+/// Output lies in `[−1, 1]`.
+pub fn tanh(x: Fix) -> Fix {
+    sigmoid(x.shl(1)).shl(1) - Fix::ONE
+}
+
+/// Reference (float) sigmoid, used by the trainer so that training sees
+/// the same nonlinearity shape the hardware applies.
+pub fn sigmoid_f64(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Reference (float) piecewise-linear sigmoid matching [`sigmoid`] in the
+/// real domain (without fixed-point rounding).
+pub fn pwl_sigmoid_f64(x: f64) -> f64 {
+    let a = x.abs();
+    let f = if a >= 5.0 {
+        1.0
+    } else if a >= 2.375 {
+        a / 32.0 + 0.84375
+    } else if a >= 1.0 {
+        a / 8.0 + 0.625
+    } else {
+        a / 4.0 + 0.5
+    };
+    if x < 0.0 {
+        1.0 - f
+    } else {
+        f
+    }
+}
+
+/// The BNN Sign activation with its folded-BN threshold (Eq. 3).
+///
+/// Output is the hardware bit: `1` (= +1) when `x ≥ threshold`, `0`
+/// (= −1) otherwise.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SignActivation {
+    /// The trained threshold `x̄ − β√(σ²+ε)/γ`, a 32-bit parameter word.
+    pub threshold: Fix,
+}
+
+impl SignActivation {
+    /// Creates a sign activation from a threshold.
+    pub fn new(threshold: Fix) -> SignActivation {
+        SignActivation { threshold }
+    }
+
+    /// Applies the activation, returning the output bit.
+    #[inline]
+    pub fn apply(&self, x: Fix) -> u8 {
+        u8::from(x >= self.threshold)
+    }
+
+    /// Applies the activation, returning the bipolar value ±1.
+    #[inline]
+    pub fn apply_bipolar(&self, x: Fix) -> i32 {
+        crate::binary::decode_bipolar(self.apply(x))
+    }
+}
+
+/// The HWGQ Multi-Threshold activation: `2^n − 1` sorted thresholds whose
+/// exceed-count is the n-bit quantized output (§II.C).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MultiThreshold {
+    thresholds: Vec<Fix>,
+    out: Precision,
+}
+
+/// Error constructing a [`MultiThreshold`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MultiThresholdError {
+    /// The threshold count does not equal `2^bits − 1` for the precision.
+    WrongCount {
+        /// Required threshold count.
+        expected: usize,
+        /// Provided threshold count.
+        got: usize,
+    },
+    /// Thresholds are not sorted in non-decreasing order.
+    Unsorted,
+}
+
+impl fmt::Display for MultiThresholdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiThresholdError::WrongCount { expected, got } => {
+                write!(f, "expected {expected} thresholds, got {got}")
+            }
+            MultiThresholdError::Unsorted => f.write_str("thresholds must be non-decreasing"),
+        }
+    }
+}
+
+impl std::error::Error for MultiThresholdError {}
+
+impl MultiThreshold {
+    /// Creates a multi-threshold activation for an `out`-bit output.
+    /// Thresholds must be sorted non-decreasing and count `2^bits − 1`.
+    pub fn new(
+        thresholds: Vec<Fix>,
+        out: Precision,
+    ) -> Result<MultiThreshold, MultiThresholdError> {
+        let expected = out.multi_threshold_count();
+        if thresholds.len() != expected {
+            return Err(MultiThresholdError::WrongCount {
+                expected,
+                got: thresholds.len(),
+            });
+        }
+        if thresholds.windows(2).any(|w| w[0] > w[1]) {
+            return Err(MultiThresholdError::Unsorted);
+        }
+        Ok(MultiThreshold { thresholds, out })
+    }
+
+    /// The sorted threshold parameter words.
+    pub fn thresholds(&self) -> &[Fix] {
+        &self.thresholds
+    }
+
+    /// The output precision.
+    pub fn out_precision(&self) -> Precision {
+        self.out
+    }
+
+    /// Applies the activation: the count of thresholds `≤ x`, an
+    /// unsigned `out`-bit value. Because the output is already at the next
+    /// layer's precision, re-quantization is folded into the activation.
+    #[inline]
+    pub fn apply(&self, x: Fix) -> i32 {
+        // Thresholds are sorted: binary search for the partition point.
+        self.thresholds.partition_point(|&t| t <= x) as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_all_kinds() {
+        for k in ActivationKind::ALL {
+            assert_eq!(ActivationKind::decode(k.encode()), Some(k));
+        }
+        assert_eq!(ActivationKind::decode(0b111), None);
+    }
+
+    #[test]
+    fn quan_bypass_matches_crossbar_rules() {
+        assert!(ActivationKind::Sign.bypasses_quan());
+        assert!(ActivationKind::MultiThreshold.bypasses_quan());
+        assert!(!ActivationKind::Relu.bypasses_quan());
+        assert!(!ActivationKind::Sigmoid.bypasses_quan());
+        assert!(!ActivationKind::Tanh.bypasses_quan());
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(relu(Fix::from_f64(-3.0)), Fix::ZERO);
+        assert_eq!(relu(Fix::from_f64(3.0)).to_f64(), 3.0);
+        assert_eq!(relu(Fix::MIN), Fix::ZERO);
+    }
+
+    #[test]
+    fn sigmoid_hits_eq4_anchor_points() {
+        // Segment boundaries evaluated per Eq. 4.
+        assert_eq!(sigmoid(Fix::ZERO).to_f64(), 0.5);
+        assert_eq!(sigmoid(Fix::ONE).to_f64(), 0.75); // 1/8 + 0.625
+        assert_eq!(sigmoid(Fix::from_f64(5.0)).to_f64(), 1.0);
+        assert_eq!(sigmoid(Fix::from_f64(-5.0)).to_f64(), 0.0);
+        // 2.375 / 32 = 0.0742; fixed-point: 2.375*32=76 raw; 76>>5=2 raw = 0.0625.
+        let y = sigmoid(Fix::from_f64(2.375)).to_f64();
+        assert_eq!(y, 0.0625 + 0.84375);
+    }
+
+    #[test]
+    fn sigmoid_is_monotone_and_bounded() {
+        let mut prev = Fix::MIN;
+        let mut last = sigmoid(Fix::from_f64(-8.0));
+        let mut x = -8.0;
+        while x <= 8.0 {
+            let fx = Fix::from_f64(x);
+            let y = sigmoid(fx);
+            assert!(y >= Fix::ZERO && y <= Fix::ONE, "sigmoid({x}) out of [0,1]");
+            if fx > prev {
+                assert!(y >= last, "sigmoid not monotone at {x}");
+            }
+            prev = fx;
+            last = y;
+            x += 0.03125;
+        }
+    }
+
+    #[test]
+    fn sigmoid_tracks_true_sigmoid_closely() {
+        // The PWL approximation (Amin et al.) has max error ~0.019 in the
+        // real domain; 5-fraction-bit truncation adds up to 1/32 more.
+        let mut x = -8.0;
+        while x <= 8.0 {
+            let approx = sigmoid(Fix::from_f64(x)).to_f64();
+            let exact = sigmoid_f64(x);
+            assert!(
+                (approx - exact).abs() < 0.019 + 2.0 / 32.0,
+                "at {x}: approx {approx} vs exact {exact}"
+            );
+            x += 0.25;
+        }
+    }
+
+    #[test]
+    fn tanh_is_odd_shaped_and_bounded() {
+        assert_eq!(tanh(Fix::ZERO).to_f64(), 0.0);
+        assert_eq!(tanh(Fix::from_f64(4.0)).to_f64(), 1.0);
+        assert_eq!(tanh(Fix::from_f64(-4.0)).to_f64(), -1.0);
+        // tanh(x) = 2*sigmoid(2x) - 1 by construction.
+        for x in [-3.0, -0.5, 0.25, 1.5] {
+            let fx = Fix::from_f64(x);
+            let expect = sigmoid(fx.shl(1)).shl(1) - Fix::ONE;
+            assert_eq!(tanh(fx), expect);
+        }
+    }
+
+    #[test]
+    fn sign_threshold_comparison_is_ge() {
+        let s = SignActivation::new(Fix::from_f64(1.5));
+        assert_eq!(s.apply(Fix::from_f64(1.5)), 1);
+        assert_eq!(s.apply(Fix::from_f64(1.46875)), 0);
+        assert_eq!(s.apply_bipolar(Fix::from_f64(2.0)), 1);
+        assert_eq!(s.apply_bipolar(Fix::from_f64(-2.0)), -1);
+    }
+
+    #[test]
+    fn multi_threshold_counts_exceedances() {
+        let t: Vec<Fix> = [0.0, 1.0, 2.0].iter().map(|&v| Fix::from_f64(v)).collect();
+        let mt = MultiThreshold::new(t, Precision::W2).unwrap();
+        assert_eq!(mt.apply(Fix::from_f64(-0.5)), 0);
+        assert_eq!(mt.apply(Fix::from_f64(0.0)), 1); // inclusive
+        assert_eq!(mt.apply(Fix::from_f64(1.5)), 2);
+        assert_eq!(mt.apply(Fix::from_f64(99.0)), 3);
+    }
+
+    #[test]
+    fn multi_threshold_validates_count_and_order() {
+        let t2 = vec![Fix::ZERO, Fix::ONE];
+        assert!(matches!(
+            MultiThreshold::new(t2, Precision::W2),
+            Err(MultiThresholdError::WrongCount {
+                expected: 3,
+                got: 2
+            })
+        ));
+        let unsorted = vec![Fix::ONE, Fix::ZERO, Fix::ONE];
+        assert!(matches!(
+            MultiThreshold::new(unsorted, Precision::W2),
+            Err(MultiThresholdError::Unsorted)
+        ));
+    }
+
+    #[test]
+    fn multi_threshold_output_fits_precision() {
+        let p = Precision::W4;
+        let t: Vec<Fix> = (0..15).map(Fix::from_i32).collect();
+        let mt = MultiThreshold::new(t, p).unwrap();
+        assert_eq!(mt.apply(Fix::from_f64(1e6)), p.unsigned_max());
+        assert_eq!(mt.apply(Fix::MIN), 0);
+    }
+}

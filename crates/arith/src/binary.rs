@@ -1,0 +1,144 @@
+//! The XNOR + popcount binarized multiplier (Table I, §II.B).
+//!
+//! In a binarized network a stored `1` bit represents the value +1 and a
+//! `0` bit represents −1. The product of two bipolar values is +1 exactly
+//! when the bits agree, i.e. `XNOR`. One 8-bit XNOR gate therefore
+//! multiplies eight channel pairs at once, and a popcount over the XNOR
+//! output recovers the *sum* of the eight products:
+//!
+//! `sum = (#ones) − (#zeros) = 2·popcount(xnor) − width`.
+
+/// Encodes a bipolar value (+1 / −1) as a bit (1 / 0).
+///
+/// Any strictly positive value maps to `1`; zero and negatives map to `0`,
+/// matching the Sign activation's output convention (Eq. 3 maps `≥ 0` to
+/// +1 at the *activation*; at encode time a bipolar value is already ±1).
+#[inline]
+pub fn encode_bipolar(v: i32) -> u8 {
+    u8::from(v > 0)
+}
+
+/// Decodes a bit (1 / 0) to a bipolar value (+1 / −1).
+#[inline]
+pub fn decode_bipolar(bit: u8) -> i32 {
+    if bit & 1 == 1 {
+        1
+    } else {
+        -1
+    }
+}
+
+/// The XNOR of two 8-bit lanes: the binarized multiplier for eight
+/// channels at once (Table I).
+#[inline]
+pub fn xnor8(a: u8, b: u8) -> u8 {
+    !(a ^ b)
+}
+
+/// Sum of `width` bipolar products given the XNOR output: the popcount
+/// scheme of §II.B. Only the low `width` bits of `x` participate.
+///
+/// ```
+/// use netpu_arith::binary::{xnor8, popcount_sum};
+/// // a = +1,+1,-1,-1 (bits 1100), b = +1,-1,+1,-1 (bits 1010):
+/// // products: +1,-1,-1,+1 → sum 0.
+/// assert_eq!(popcount_sum(xnor8(0b1100, 0b1010), 4), 0);
+/// ```
+#[inline]
+pub fn popcount_sum(x: u8, width: u32) -> i32 {
+    debug_assert!(width <= 8);
+    let mask = if width == 8 { 0xFF } else { (1u8 << width) - 1 };
+    let ones = (x & mask).count_ones() as i32;
+    2 * ones - width as i32
+}
+
+/// Full binarized dot product of `width` channels packed into two 8-bit
+/// lanes: XNOR then popcount. Equivalent to `Σ decode(aᵢ)·decode(bᵢ)`.
+#[inline]
+pub fn binary_dot8(a: u8, b: u8, width: u32) -> i32 {
+    popcount_sum(xnor8(a, b), width)
+}
+
+/// Packs up to 64 bipolar bits (1 = +1, 0 = −1) little-endian into a
+/// 64-bit stream word, the unit the Layer Input / Layer Weight buffers
+/// deliver per cycle (Table III: 64-bit output width).
+pub fn pack_bits_u64(bits: &[u8]) -> u64 {
+    assert!(bits.len() <= 64, "at most 64 bits per stream word");
+    let mut word = 0u64;
+    for (i, &b) in bits.iter().enumerate() {
+        word |= u64::from(b & 1) << i;
+    }
+    word
+}
+
+/// Unpacks `n` little-endian bits from a 64-bit stream word.
+pub fn unpack_bits_u64(word: u64, n: usize) -> Vec<u8> {
+    assert!(n <= 64);
+    (0..n).map(|i| ((word >> i) & 1) as u8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table I, signed column: XNOR output as bipolar product.
+    #[test]
+    fn xnor_truth_table_matches_table1() {
+        // (a, b, product) in bipolar domain.
+        let cases = [(1, 1, 1), (1, -1, -1), (-1, 1, -1), (-1, -1, 1)];
+        for (a, b, prod) in cases {
+            let bit = xnor8(encode_bipolar(a), encode_bipolar(b)) & 1;
+            assert_eq!(decode_bipolar(bit), prod, "a={a} b={b}");
+        }
+    }
+
+    /// Table I, unsigned column: the raw bit-level XNOR behaviour.
+    #[test]
+    fn xnor_truth_table_unsigned() {
+        let cases = [(1u8, 1u8, 1u8), (1, 0, 0), (0, 1, 0), (0, 0, 1)];
+        for (a, b, out) in cases {
+            assert_eq!(xnor8(a, b) & 1, out);
+        }
+    }
+
+    #[test]
+    fn popcount_sum_recovers_signed_sum() {
+        // All agree → +width.
+        assert_eq!(popcount_sum(0xFF, 8), 8);
+        // All disagree → -width.
+        assert_eq!(popcount_sum(0x00, 8), -8);
+        // Mixed.
+        assert_eq!(popcount_sum(0b0000_1111, 8), 0);
+        assert_eq!(popcount_sum(0b0000_0111, 3), 3);
+    }
+
+    #[test]
+    fn binary_dot_matches_integer_dot_exhaustively() {
+        // For every pair of 8-bit lane patterns, XNOR+popcount must equal
+        // the integer dot product of the decoded ±1 vectors.
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                let expect: i32 = (0..8)
+                    .map(|i| decode_bipolar(a >> i) * decode_bipolar(b >> i))
+                    .sum();
+                assert_eq!(binary_dot8(a, b, 8), expect, "a={a:#b} b={b:#b}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let bits: Vec<u8> = (0..64).map(|i| (i % 3 == 0) as u8).collect();
+        let word = pack_bits_u64(&bits);
+        assert_eq!(unpack_bits_u64(word, 64), bits);
+        // Partial word.
+        let short = [1u8, 0, 0, 1, 1];
+        assert_eq!(unpack_bits_u64(pack_bits_u64(&short), 5), short);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 bits")]
+    fn pack_rejects_oversize() {
+        pack_bits_u64(&[0; 65]);
+    }
+}

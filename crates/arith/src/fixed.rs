@@ -1,0 +1,488 @@
+//! The paper's 37-bit fixed-point number format.
+//!
+//! The BN submodule of a TNPU outputs a *37-bit fixed-point value, which
+//! has 32 integer bits value and five fraction bits* (§III.B.1). The
+//! activation and quantization submodules operate on the same format. We
+//! model it as [`Fix`]: an `i64`-backed value whose raw integer is the real
+//! value scaled by `2^5`, saturated to the signed 37-bit range on every
+//! operation — exactly what a saturating 37-bit hardware datapath does.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Number of fraction bits in the hardware fixed-point format.
+pub const FRAC_BITS: u32 = 5;
+/// Total width of the hardware fixed-point format in bits.
+pub const TOTAL_BITS: u32 = 37;
+/// Scale factor between the real value and the raw integer (`2^FRAC_BITS`).
+pub const SCALE: i64 = 1 << FRAC_BITS;
+/// Largest representable raw value (`2^36 - 1`).
+pub const RAW_MAX: i64 = (1 << (TOTAL_BITS - 1)) - 1;
+/// Smallest representable raw value (`-2^36`).
+pub const RAW_MIN: i64 = -(1 << (TOTAL_BITS - 1));
+
+/// A saturating 37-bit fixed-point value with 5 fraction bits (Q32.5).
+///
+/// This is the datapath type between the BN, ACTIV, and QUAN submodules of
+/// a TNPU. All arithmetic saturates to the 37-bit range instead of
+/// wrapping, matching the hardware's saturating adders.
+///
+/// ```
+/// use netpu_arith::Fix;
+/// let half = Fix::from_f64(0.5);
+/// assert_eq!((half + half).to_f64(), 1.0);
+/// assert_eq!(Fix::from_i32(3).to_f64(), 3.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Fix {
+    raw: i64,
+}
+
+impl Fix {
+    /// The value zero.
+    pub const ZERO: Fix = Fix { raw: 0 };
+    /// The value one.
+    pub const ONE: Fix = Fix { raw: SCALE };
+    /// The largest representable value (`2^31 - 2^-5`).
+    pub const MAX: Fix = Fix { raw: RAW_MAX };
+    /// The smallest representable value (`-2^31`).
+    pub const MIN: Fix = Fix { raw: RAW_MIN };
+    /// The smallest positive value (`2^-5 = 0.03125`).
+    pub const EPSILON: Fix = Fix { raw: 1 };
+
+    /// Builds a value from a raw scaled integer, saturating to 37 bits.
+    #[inline]
+    pub fn from_raw(raw: i64) -> Fix {
+        Fix {
+            raw: raw.clamp(RAW_MIN, RAW_MAX),
+        }
+    }
+
+    /// Returns the raw scaled integer (`value * 32`).
+    #[inline]
+    pub fn raw(self) -> i64 {
+        self.raw
+    }
+
+    /// Converts an `i32` integer value (e.g. a 32-bit accumulator output)
+    /// into fixed point. Always exact: the accumulator range fits in the
+    /// 32 integer bits of the format.
+    #[inline]
+    pub fn from_i32(v: i32) -> Fix {
+        Fix {
+            raw: (v as i64) << FRAC_BITS,
+        }
+    }
+
+    /// Converts from `f64`, rounding to nearest and saturating.
+    pub fn from_f64(v: f64) -> Fix {
+        if v.is_nan() {
+            return Fix::ZERO;
+        }
+        let scaled = (v * SCALE as f64).round();
+        if scaled >= RAW_MAX as f64 {
+            Fix::MAX
+        } else if scaled <= RAW_MIN as f64 {
+            Fix::MIN
+        } else {
+            Fix { raw: scaled as i64 }
+        }
+    }
+
+    /// Converts to `f64` (always exact: 37 bits fit in an `f64` mantissa).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.raw as f64 / SCALE as f64
+    }
+
+    /// Truncates toward negative infinity to an integer (drops the
+    /// fraction bits), as the hardware quantizer does.
+    #[inline]
+    pub fn floor_i64(self) -> i64 {
+        self.raw >> FRAC_BITS
+    }
+
+    /// Rounds to the nearest integer, ties away from zero.
+    #[inline]
+    pub fn round_i64(self) -> i64 {
+        let half = SCALE / 2;
+        if self.raw >= 0 {
+            (self.raw + half) >> FRAC_BITS
+        } else {
+            -((-self.raw + half) >> FRAC_BITS)
+        }
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn sat_add(self, rhs: Fix) -> Fix {
+        Fix::from_raw(self.raw + rhs.raw)
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn sat_sub(self, rhs: Fix) -> Fix {
+        Fix::from_raw(self.raw - rhs.raw)
+    }
+
+    /// Saturating multiplication. The hardware multiplies the two raw
+    /// 37-bit values into a 74-bit product and truncates the 5 extra
+    /// fraction bits toward negative infinity before saturating.
+    #[inline]
+    pub fn sat_mul(self, rhs: Fix) -> Fix {
+        let wide = (self.raw as i128) * (rhs.raw as i128);
+        let shifted = wide >> FRAC_BITS;
+        if shifted > RAW_MAX as i128 {
+            Fix::MAX
+        } else if shifted < RAW_MIN as i128 {
+            Fix::MIN
+        } else {
+            Fix {
+                raw: shifted as i64,
+            }
+        }
+    }
+
+    /// Arithmetic right shift of the value (used by the piecewise-linear
+    /// sigmoid: `x >> k` in Eq. 4 of the paper).
+    #[inline]
+    pub fn asr(self, k: u32) -> Fix {
+        Fix { raw: self.raw >> k }
+    }
+
+    /// Left shift, saturating.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // saturating, unlike ops::Shl
+    pub fn shl(self, k: u32) -> Fix {
+        let wide = (self.raw as i128) << k;
+        if wide > RAW_MAX as i128 {
+            Fix::MAX
+        } else if wide < RAW_MIN as i128 {
+            Fix::MIN
+        } else {
+            Fix { raw: wide as i64 }
+        }
+    }
+
+    /// Absolute value, saturating (`|MIN|` saturates to `MAX`).
+    #[inline]
+    pub fn abs(self) -> Fix {
+        if self.raw < 0 {
+            Fix::from_raw(self.raw.saturating_neg())
+        } else {
+            self
+        }
+    }
+
+    /// `true` when the value is negative.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.raw < 0
+    }
+
+    /// Returns the larger of two values.
+    #[inline]
+    pub fn max(self, other: Fix) -> Fix {
+        if self.raw >= other.raw {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two values.
+    #[inline]
+    pub fn min(self, other: Fix) -> Fix {
+        if self.raw <= other.raw {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Multiplies by a Q16.16 scale word: the BN submodule's multiplier
+    /// format. The BN *scale* needs far more fraction precision than the
+    /// Q32.5 datapath (typical folded scales are ~10⁻³), so its 32-bit
+    /// parameter word is interpreted as 16 integer + 16 fraction bits and
+    /// the 37-bit product is truncated back to 5 fraction bits —
+    /// `y = (raw · scale) >> 16`, saturating.
+    #[inline]
+    pub fn mul_q16(self, scale_q16: i32) -> Fix {
+        let wide = (self.raw as i128) * (scale_q16 as i128);
+        let shifted = wide >> 16;
+        if shifted > RAW_MAX as i128 {
+            Fix::MAX
+        } else if shifted < RAW_MIN as i128 {
+            Fix::MIN
+        } else {
+            Fix {
+                raw: shifted as i64,
+            }
+        }
+    }
+
+    /// Encodes a host-side real scale factor as a Q16.16 parameter word,
+    /// rounding to nearest and saturating.
+    pub fn q16_scale_from_f64(scale: f64) -> i32 {
+        let scaled = (scale * 65536.0).round();
+        scaled.clamp(i32::MIN as f64, i32::MAX as f64) as i32
+    }
+
+    /// Interprets a 32-bit two's-complement word from the parameter stream
+    /// as a fixed-point value. BN scale/offset, Sign thresholds, and QUAN
+    /// scale/offset are transmitted as *32-bit fixed-point values*
+    /// (§III.B.1); they use the same 5-fraction-bit alignment as the
+    /// internal format.
+    #[inline]
+    pub fn from_stream_word(word: u32) -> Fix {
+        Fix {
+            raw: word as i32 as i64,
+        }
+    }
+
+    /// Encodes the value as a 32-bit two's-complement parameter word,
+    /// saturating to the 32-bit range.
+    #[inline]
+    pub fn to_stream_word(self) -> u32 {
+        self.raw.clamp(i32::MIN as i64, i32::MAX as i64) as i32 as u32
+    }
+}
+
+impl Add for Fix {
+    type Output = Fix;
+    #[inline]
+    fn add(self, rhs: Fix) -> Fix {
+        self.sat_add(rhs)
+    }
+}
+
+impl Sub for Fix {
+    type Output = Fix;
+    #[inline]
+    fn sub(self, rhs: Fix) -> Fix {
+        self.sat_sub(rhs)
+    }
+}
+
+impl Mul for Fix {
+    type Output = Fix;
+    #[inline]
+    fn mul(self, rhs: Fix) -> Fix {
+        self.sat_mul(rhs)
+    }
+}
+
+impl Div for Fix {
+    type Output = Fix;
+    /// Fixed-point division, truncating toward negative infinity.
+    /// Division by zero saturates to `MAX`/`MIN` by sign (hardware would
+    /// never divide; this exists for host-side threshold derivation).
+    fn div(self, rhs: Fix) -> Fix {
+        if rhs.raw == 0 {
+            return if self.raw >= 0 { Fix::MAX } else { Fix::MIN };
+        }
+        let wide = ((self.raw as i128) << FRAC_BITS) / rhs.raw as i128;
+        if wide > RAW_MAX as i128 {
+            Fix::MAX
+        } else if wide < RAW_MIN as i128 {
+            Fix::MIN
+        } else {
+            Fix { raw: wide as i64 }
+        }
+    }
+}
+
+impl Neg for Fix {
+    type Output = Fix;
+    #[inline]
+    fn neg(self) -> Fix {
+        Fix::from_raw(self.raw.saturating_neg())
+    }
+}
+
+impl fmt::Debug for Fix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fix({})", self.to_f64())
+    }
+}
+
+impl fmt::Display for Fix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+impl From<i32> for Fix {
+    fn from(v: i32) -> Fix {
+        Fix::from_i32(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_have_expected_values() {
+        assert_eq!(Fix::ZERO.to_f64(), 0.0);
+        assert_eq!(Fix::ONE.to_f64(), 1.0);
+        assert_eq!(Fix::EPSILON.to_f64(), 0.03125);
+        assert_eq!(Fix::MAX.raw(), (1 << 36) - 1);
+        assert_eq!(Fix::MIN.raw(), -(1 << 36));
+    }
+
+    #[test]
+    fn f64_roundtrip_is_exact_for_representable_values() {
+        for raw in [
+            -(1i64 << 36),
+            -12345,
+            -1,
+            0,
+            1,
+            31,
+            32,
+            12345,
+            (1 << 36) - 1,
+        ] {
+            let v = Fix::from_raw(raw);
+            assert_eq!(Fix::from_f64(v.to_f64()), v);
+        }
+    }
+
+    #[test]
+    fn from_f64_rounds_to_nearest() {
+        // 0.015625 = 1/64 is exactly half an epsilon; rounds away from zero.
+        assert_eq!(Fix::from_f64(0.015625).raw(), 1);
+        assert_eq!(Fix::from_f64(0.01).raw(), 0);
+        assert_eq!(Fix::from_f64(-0.01).raw(), 0);
+        assert_eq!(Fix::from_f64(-0.03).raw(), -1);
+    }
+
+    #[test]
+    fn from_f64_saturates() {
+        assert_eq!(Fix::from_f64(1e20), Fix::MAX);
+        assert_eq!(Fix::from_f64(-1e20), Fix::MIN);
+        assert_eq!(Fix::from_f64(f64::NAN), Fix::ZERO);
+    }
+
+    #[test]
+    fn add_saturates_at_both_ends() {
+        assert_eq!(Fix::MAX + Fix::ONE, Fix::MAX);
+        assert_eq!(Fix::MIN + (-Fix::ONE), Fix::MIN);
+        assert_eq!(Fix::MAX + Fix::MIN, Fix::from_raw(RAW_MAX + RAW_MIN));
+    }
+
+    #[test]
+    fn mul_matches_f64_for_small_values() {
+        let a = Fix::from_f64(1.5);
+        let b = Fix::from_f64(-2.25);
+        assert_eq!((a * b).to_f64(), -3.375);
+    }
+
+    #[test]
+    fn mul_truncates_toward_negative_infinity() {
+        // 0.03125 * 0.5 = 0.015625, not representable; truncates to 0.
+        let e = Fix::EPSILON;
+        let half = Fix::from_f64(0.5);
+        assert_eq!((e * half).raw(), 0);
+        // -0.03125 * 0.5 truncates to -0.03125 (toward -inf).
+        assert_eq!(((-e) * half).raw(), -1);
+    }
+
+    #[test]
+    fn mul_saturates() {
+        let big = Fix::from_f64(1e9);
+        assert_eq!(big * big, Fix::MAX);
+        assert_eq!(big * (-big), Fix::MIN);
+    }
+
+    #[test]
+    fn div_inverts_mul_for_exact_cases() {
+        let a = Fix::from_f64(12.5);
+        let b = Fix::from_f64(2.0);
+        assert_eq!((a / b).to_f64(), 6.25);
+        assert_eq!(Fix::ONE / Fix::ZERO, Fix::MAX);
+        assert_eq!((-Fix::ONE) / Fix::ZERO, Fix::MIN);
+    }
+
+    #[test]
+    fn asr_matches_eq4_shift_semantics() {
+        let x = Fix::from_f64(3.0);
+        assert_eq!(x.asr(2).to_f64(), 0.75);
+        let neg = Fix::from_f64(-1.0);
+        // Arithmetic shift keeps the sign.
+        assert!(neg.asr(3).is_negative());
+    }
+
+    #[test]
+    fn floor_and_round_behave_on_negatives() {
+        let v = Fix::from_f64(-1.25);
+        assert_eq!(v.floor_i64(), -2);
+        assert_eq!(v.round_i64(), -1);
+        let w = Fix::from_f64(-1.5);
+        assert_eq!(w.round_i64(), -2); // ties away from zero
+        assert_eq!(Fix::from_f64(1.5).round_i64(), 2);
+    }
+
+    #[test]
+    fn stream_word_roundtrip() {
+        for v in [-4.5f64, 0.0, 0.84375, 1.0, 123456.0, -99999.96875] {
+            let fx = Fix::from_f64(v);
+            assert_eq!(Fix::from_stream_word(fx.to_stream_word()), fx);
+        }
+    }
+
+    #[test]
+    fn stream_word_saturates_wide_values() {
+        let big = Fix::from_f64(1e8); // raw exceeds i32
+        assert_eq!(big.to_stream_word(), i32::MAX as u32);
+    }
+
+    #[test]
+    fn q16_mul_handles_small_scales() {
+        // A scale of 1/1024 is far below the Q32.5 epsilon but exact in
+        // Q16.16.
+        let s = Fix::q16_scale_from_f64(1.0 / 1024.0);
+        let x = Fix::from_i32(4096);
+        assert_eq!(x.mul_q16(s).to_f64(), 4.0);
+    }
+
+    #[test]
+    fn q16_mul_matches_f64_within_rounding() {
+        for (v, sc) in [(1000.0, 0.00731), (-250.0, 0.5), (7.25, -1.25)] {
+            let got = Fix::from_f64(v)
+                .mul_q16(Fix::q16_scale_from_f64(sc))
+                .to_f64();
+            assert!((got - v * sc).abs() < 0.04, "{v}*{sc}: got {got}");
+        }
+    }
+
+    #[test]
+    fn q16_mul_saturates() {
+        let s = Fix::q16_scale_from_f64(30000.0);
+        assert_eq!(Fix::from_f64(1e9).mul_q16(s), Fix::MAX);
+        assert_eq!(Fix::from_f64(-1e9).mul_q16(s), Fix::MIN);
+    }
+
+    #[test]
+    fn q16_scale_encoding_saturates() {
+        assert_eq!(Fix::q16_scale_from_f64(1e9), i32::MAX);
+        assert_eq!(Fix::q16_scale_from_f64(-1e9), i32::MIN);
+        assert_eq!(Fix::q16_scale_from_f64(1.0), 65536);
+    }
+
+    #[test]
+    fn neg_of_min_saturates() {
+        assert_eq!(-Fix::MIN, Fix::MAX);
+        assert_eq!(Fix::MIN.abs(), Fix::MAX);
+    }
+
+    #[test]
+    fn ordering_follows_value() {
+        assert!(Fix::from_f64(-2.0) < Fix::from_f64(-1.0));
+        assert!(Fix::from_f64(1.0) < Fix::from_f64(1.03125));
+        assert_eq!(Fix::from_f64(2.0).max(Fix::from_f64(3.0)).to_f64(), 3.0);
+        assert_eq!(Fix::from_f64(2.0).min(Fix::from_f64(3.0)).to_f64(), 2.0);
+    }
+}

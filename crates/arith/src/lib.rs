@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Fixed-point, quantized, and binarized arithmetic primitives for the
+//! NetPU-M accelerator reproduction.
+//!
+//! This crate implements the numeric substrate shared by the reference
+//! model (`netpu-nn`), the model compiler (`netpu-compiler`), and the
+//! cycle-level accelerator model (`netpu-core`):
+//!
+//! * [`Fix`] — the paper's 37-bit fixed-point format (32 integer bits,
+//!   5 fraction bits) used on the BN → activation → quantization datapath.
+//! * [`Precision`] — 1–8-bit quantization precisions with their 3-bit
+//!   hardware encodings.
+//! * [`binary`] — the XNOR + popcount binarized multiplier of Table I.
+//! * [`activation`] — ReLU, piecewise-linear Sigmoid/Tanh (Eq. 4), Sign
+//!   (Eq. 3), and Multi-Threshold (HWGQ) activations.
+//! * [`quant`] — integer quantization, saturation, and stream-lane packing
+//!   (8-bit lanes with placeholder bits; 8-channel packing for 1-bit data).
+//! * [`softmax`] — fixed-point exp/SoftMax (the paper's stated future
+//!   work for the output layer).
+//!
+//! All operations are deterministic and bit-exact between the software
+//! reference path and the hardware model path; the test suites of the
+//! downstream crates rely on that property.
+
+pub mod activation;
+pub mod binary;
+pub mod fixed;
+pub mod precision;
+pub mod quant;
+pub mod softmax;
+
+pub use activation::{ActivationKind, MultiThreshold, SignActivation};
+pub use fixed::Fix;
+pub use precision::Precision;
+pub use quant::{clamp_signed, clamp_unsigned, QuantParams};

@@ -1,0 +1,175 @@
+//! Quantization precisions and their 3-bit hardware encodings.
+//!
+//! The MUL submodule of a TNPU carries a 3-bit *Input Precision Setting*
+//! and a 3-bit *Weight Precision Setting* (§III.B.1) selecting 1–8-bit
+//! operation. Precision 1 selects the XNOR (binary) datapath; 2–8 select
+//! the integer datapath, where each operand occupies one 8-bit stream lane
+//! and the unused high bits are ignored placeholders.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A quantization precision between 1 and 8 bits.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Precision(u8);
+
+/// Error returned when constructing a [`Precision`] outside 1..=8.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PrecisionError(pub u8);
+
+impl fmt::Display for PrecisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "precision {} out of supported range 1..=8 bits", self.0)
+    }
+}
+
+impl std::error::Error for PrecisionError {}
+
+impl Precision {
+    /// 1-bit (binary / XNOR datapath).
+    pub const W1: Precision = Precision(1);
+    /// 2-bit.
+    pub const W2: Precision = Precision(2);
+    /// 4-bit.
+    pub const W4: Precision = Precision(4);
+    /// 8-bit (maximum supported by the architecture).
+    pub const W8: Precision = Precision(8);
+
+    /// Creates a precision, validating the 1..=8 range.
+    pub fn new(bits: u8) -> Result<Precision, PrecisionError> {
+        if (1..=8).contains(&bits) {
+            Ok(Precision(bits))
+        } else {
+            Err(PrecisionError(bits))
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// `true` when this precision uses the XNOR (binary) multiplier path.
+    #[inline]
+    pub fn is_binary(self) -> bool {
+        self.0 == 1
+    }
+
+    /// The 3-bit hardware encoding: `bits - 1`, so 1-bit → `0b000` and
+    /// 8-bit → `0b111`.
+    #[inline]
+    pub fn encode(self) -> u8 {
+        self.0 - 1
+    }
+
+    /// Decodes the 3-bit hardware field.
+    #[inline]
+    pub fn decode(field: u8) -> Result<Precision, PrecisionError> {
+        Precision::new((field & 0b111) + 1)
+    }
+
+    /// Number of distinct unsigned levels (`2^bits`).
+    #[inline]
+    pub fn levels(self) -> u32 {
+        1u32 << self.0
+    }
+
+    /// Largest unsigned value representable at this precision.
+    #[inline]
+    pub fn unsigned_max(self) -> i32 {
+        (1i32 << self.0) - 1
+    }
+
+    /// Largest signed value representable at this precision.
+    #[inline]
+    pub fn signed_max(self) -> i32 {
+        (1i32 << (self.0 - 1)) - 1
+    }
+
+    /// Smallest signed value representable at this precision. For 1-bit
+    /// (bipolar ±1) this is −1, matching the XNOR multiplier semantics.
+    #[inline]
+    pub fn signed_min(self) -> i32 {
+        if self.0 == 1 {
+            -1
+        } else {
+            -(1i32 << (self.0 - 1))
+        }
+    }
+
+    /// Number of thresholds a Multi-Threshold activation needs at this
+    /// output precision (`2^bits − 1`, §II.C).
+    #[inline]
+    pub fn multi_threshold_count(self) -> usize {
+        (1usize << self.0) - 1
+    }
+
+    /// Iterates over all supported precisions, 1 through 8 bits.
+    pub fn all() -> impl Iterator<Item = Precision> {
+        (1..=8).map(Precision)
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}b", self.0)
+    }
+}
+
+impl TryFrom<u8> for Precision {
+    type Error = PrecisionError;
+    fn try_from(bits: u8) -> Result<Precision, PrecisionError> {
+        Precision::new(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_range() {
+        assert!(Precision::new(0).is_err());
+        assert!(Precision::new(9).is_err());
+        for b in 1..=8 {
+            assert_eq!(Precision::new(b).unwrap().bits(), b);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for p in Precision::all() {
+            assert_eq!(Precision::decode(p.encode()).unwrap(), p);
+        }
+        assert_eq!(Precision::W1.encode(), 0b000);
+        assert_eq!(Precision::W8.encode(), 0b111);
+    }
+
+    #[test]
+    fn only_one_bit_is_binary() {
+        assert!(Precision::W1.is_binary());
+        for p in Precision::all().filter(|p| p.bits() > 1) {
+            assert!(!p.is_binary());
+        }
+    }
+
+    #[test]
+    fn ranges_match_twos_complement() {
+        assert_eq!(Precision::W8.unsigned_max(), 255);
+        assert_eq!(Precision::W8.signed_max(), 127);
+        assert_eq!(Precision::W8.signed_min(), -128);
+        assert_eq!(Precision::W2.signed_min(), -2);
+        assert_eq!(Precision::W2.signed_max(), 1);
+        // 1-bit is bipolar {-1, +1}.
+        assert_eq!(Precision::W1.signed_min(), -1);
+    }
+
+    #[test]
+    fn multi_threshold_counts_match_paper() {
+        // §IV: 4-bit needs 15 thresholds, 8-bit needs 255.
+        assert_eq!(Precision::W4.multi_threshold_count(), 15);
+        assert_eq!(Precision::W8.multi_threshold_count(), 255);
+        assert_eq!(Precision::W1.multi_threshold_count(), 1);
+    }
+}

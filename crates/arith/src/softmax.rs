@@ -1,0 +1,179 @@
+//! Fixed-point SoftMax support (the paper's §III.B.1 future work:
+//! "We will continue to complete this architecture to support the
+//! SoftMax").
+//!
+//! The hardware-friendly construction: shift each score by the running
+//! maximum (so exponents are ≤ 0 and cannot overflow), evaluate
+//! `exp(x) = 2^(x·log₂e)` with an integer shift for the exponent's
+//! integer part and a quadratic polynomial for `2^frac` — multipliers
+//! and shifts only, no transcendental unit — and normalise on the host
+//! (the single division does not belong on the accelerator's hot path).
+//!
+//! Like the BN multiplier, the SoftMax unit works at Q16.16 internal
+//! width: the Q32.5 datapath's 1/32 resolution is too coarse for
+//! probabilities. [`exp_q16`] therefore returns a Q16.16 word.
+
+use crate::fixed::Fix;
+
+/// `log₂(e)` as a Q16.16 multiplier word.
+const LOG2E_Q16: i64 = 94_548; // round(1.4426950408889634 · 65536)
+/// One in Q16.16.
+const ONE_Q16: i64 = 1 << 16;
+/// `0.65242` in Q16.16 (quadratic 2^f fit, linear term).
+const C1_Q16: i64 = 42_760;
+/// `0.34758` in Q16.16 (quadratic 2^f fit, square term).
+const C2_Q16: i64 = 22_779;
+
+/// Fixed-point `exp(x)` for `x ≤ 0` as a Q16.16 word, flushing to zero
+/// once the result underflows the 16 fraction bits.
+///
+/// Uses `exp(x) = 2^(x·log₂e)` with the exponent's integer part as an
+/// arithmetic shift and `2^f ≈ 1 + 0.65242·f + 0.34758·f²` for the
+/// fraction (exact at both endpoints; max error ≈ 0.21%).
+///
+/// ```
+/// use netpu_arith::{softmax::exp_q16, Fix};
+/// assert_eq!(exp_q16(Fix::ZERO), 1 << 16);
+/// let e = exp_q16(Fix::from_f64(-1.0)) as f64 / 65536.0;
+/// assert!((e - (-1.0f64).exp()).abs() < 0.005);
+/// ```
+pub fn exp_q16(x: Fix) -> i64 {
+    debug_assert!(x <= Fix::ZERO, "exp_q16 takes max-shifted (≤0) scores");
+    // y = x·log2(e) in Q16.16: raw is Q.5, so shift down by 5.
+    let y_q16 = ((x.raw() as i128 * LOG2E_Q16 as i128) >> 5) as i64;
+    let int_part = y_q16 >> 16; // floor, ≤ 0
+    let frac = y_q16 - (int_part << 16); // ∈ [0, 65536)
+    let poly = ONE_Q16 + ((C1_Q16 * frac) >> 16) + ((C2_Q16 * ((frac * frac) >> 16)) >> 16);
+    let shift = -int_part;
+    if shift >= 40 {
+        0
+    } else {
+        poly >> shift
+    }
+}
+
+/// SoftMax over raw output-layer scores: max-shift, fixed-point exp,
+/// host-side normalisation. Returns probabilities in `[0, 1]` summing
+/// to 1 (or a uniform distribution if every exponent flushed to zero).
+pub fn softmax(scores: &[Fix]) -> Vec<f64> {
+    if scores.is_empty() {
+        return Vec::new();
+    }
+    let max = scores.iter().copied().fold(Fix::MIN, Fix::max);
+    let exps: Vec<i64> = scores.iter().map(|&s| exp_q16(s.sat_sub(max))).collect();
+    let sum: i64 = exps.iter().sum();
+    if sum == 0 {
+        return vec![1.0 / scores.len() as f64; scores.len()];
+    }
+    exps.into_iter().map(|e| e as f64 / sum as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp_f(x: f64) -> f64 {
+        exp_q16(Fix::from_f64(x)) as f64 / ONE_Q16 as f64
+    }
+
+    #[test]
+    fn exp_matches_reference_within_tolerance() {
+        let mut x = 0.0f64;
+        while x >= -20.0 {
+            let got = exp_f(x);
+            let want = x.exp();
+            // Polynomial error (~0.21% relative) + the Q32.5 input grid
+            // (±1/64 on x → ±1.6% relative on exp).
+            assert!(
+                (got - want).abs() < 0.003 + 0.02 * want,
+                "exp({x}): got {got}, want {want}"
+            );
+            x -= 0.125;
+        }
+    }
+
+    #[test]
+    fn exp_is_monotone() {
+        let mut prev = Fix::ZERO;
+        let mut last = exp_q16(Fix::ZERO);
+        let mut x = 0.0f64;
+        while x >= -10.0 {
+            let fx = Fix::from_f64(x);
+            let e = exp_q16(fx);
+            if fx < prev {
+                assert!(e <= last, "exp not monotone at {x}");
+            }
+            prev = fx;
+            last = e;
+            x -= 0.03125;
+        }
+    }
+
+    #[test]
+    fn exp_anchors() {
+        assert_eq!(exp_q16(Fix::ZERO), ONE_Q16);
+        // exp(-ln2) = 0.5 — x = -0.6875 is the closest grid point.
+        let half = exp_f(-0.6931471805599453);
+        assert!((half - 0.5).abs() < 0.01, "{half}");
+    }
+
+    #[test]
+    fn exp_flushes_to_zero_far_below() {
+        assert_eq!(exp_q16(Fix::from_f64(-30.0)), 0);
+        assert_eq!(exp_q16(Fix::from_f64(-1e6)), 0);
+    }
+
+    #[test]
+    fn softmax_normalises_and_orders() {
+        let scores: Vec<Fix> = [3.0, 1.0, 4.0, -2.0]
+            .iter()
+            .map(|&v| Fix::from_f64(v))
+            .collect();
+        let p = softmax(&scores);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[0] && p[0] > p[1] && p[1] > p[3]);
+        let argmax = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(argmax, 2);
+    }
+
+    #[test]
+    fn softmax_matches_float_reference() {
+        let raw = [-1.5f64, 0.25, 2.0, 1.0, -4.0];
+        let scores: Vec<Fix> = raw.iter().map(|&v| Fix::from_f64(v)).collect();
+        let got = softmax(&scores);
+        let max = raw.iter().cloned().fold(f64::MIN, f64::max);
+        let exps: Vec<f64> = raw.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        for (g, e) in got.iter().zip(exps.iter().map(|e| e / sum)) {
+            assert!((g - e).abs() < 0.02, "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn softmax_edge_cases() {
+        assert!(softmax(&[]).is_empty());
+        let one = softmax(&[Fix::from_f64(5.0)]);
+        assert_eq!(one, vec![1.0]);
+        let tie = softmax(&[Fix::ONE, Fix::ONE]);
+        assert!((tie[0] - 0.5).abs() < 1e-12);
+        let spread = softmax(&[Fix::from_f64(-1000.0), Fix::from_f64(1000.0)]);
+        assert_eq!(spread[1], 1.0);
+    }
+
+    #[test]
+    fn integer_scores_are_on_grid_and_accurate() {
+        // Folded-domain scores are integers: exp should be within the
+        // polynomial error alone there.
+        for k in 0..15i32 {
+            let got = exp_f(-f64::from(k));
+            let want = (-f64::from(k)).exp();
+            assert!((got - want).abs() < 0.003 * (1.0 + want), "k={k}");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests for the arithmetic substrate.
+
+use netpu_arith::activation::{sigmoid, tanh, MultiThreshold, SignActivation};
+use netpu_arith::binary::{
+    binary_dot8, decode_bipolar, encode_bipolar, pack_bits_u64, unpack_bits_u64,
+};
+use netpu_arith::quant::{
+    extract_binary_channel, extract_signed_lane, extract_unsigned_lane, pack_binary_channels,
+    pack_signed_lanes, pack_unsigned_lanes, words_for, QuantParams, LANES_PER_WORD,
+};
+use netpu_arith::{Fix, Precision};
+use proptest::prelude::*;
+
+/// Strategy over raw values in the 37-bit range.
+fn fix_raw() -> impl Strategy<Value = i64> {
+    -(1i64 << 36)..(1i64 << 36)
+}
+
+fn precision() -> impl Strategy<Value = Precision> {
+    (1u8..=8).prop_map(|b| Precision::new(b).unwrap())
+}
+
+fn nonbinary_precision() -> impl Strategy<Value = Precision> {
+    (2u8..=8).prop_map(|b| Precision::new(b).unwrap())
+}
+
+proptest! {
+    /// Fixed-point addition agrees with clamped integer addition on raws.
+    #[test]
+    fn fix_add_matches_wide_integer(a in fix_raw(), b in fix_raw()) {
+        let sum = Fix::from_raw(a) + Fix::from_raw(b);
+        let wide = (a + b).clamp(-(1i64 << 36), (1i64 << 36) - 1);
+        prop_assert_eq!(sum.raw(), wide);
+    }
+
+    /// Multiplication is commutative and never escapes the 37-bit range.
+    #[test]
+    fn fix_mul_commutes_and_saturates(a in fix_raw(), b in fix_raw()) {
+        let x = Fix::from_raw(a);
+        let y = Fix::from_raw(b);
+        prop_assert_eq!(x * y, y * x);
+        let r = (x * y).raw();
+        prop_assert!((-(1i64 << 36)..(1i64 << 36)).contains(&r));
+    }
+
+    /// `from_f64 ∘ to_f64` is the identity on representable values.
+    #[test]
+    fn fix_f64_roundtrip(a in fix_raw()) {
+        let v = Fix::from_raw(a);
+        prop_assert_eq!(Fix::from_f64(v.to_f64()), v);
+    }
+
+    /// Negation is an involution except at the saturating minimum.
+    #[test]
+    fn fix_neg_involution(a in fix_raw()) {
+        let v = Fix::from_raw(a);
+        if v != Fix::MIN {
+            prop_assert_eq!(-(-v), v);
+        }
+    }
+
+    /// XNOR+popcount equals the integer dot product of decoded ±1 lanes
+    /// at every width.
+    #[test]
+    fn binary_dot_equals_integer_dot(a: u8, b: u8, width in 1u32..=8) {
+        let expect: i32 = (0..width)
+            .map(|i| decode_bipolar(a >> i) * decode_bipolar(b >> i))
+            .sum();
+        prop_assert_eq!(binary_dot8(a, b, width), expect);
+    }
+
+    /// Bipolar encode/decode are inverses.
+    #[test]
+    fn bipolar_roundtrip(bit in 0u8..=1) {
+        prop_assert_eq!(encode_bipolar(decode_bipolar(bit)), bit);
+    }
+
+    /// Bit packing round-trips through a stream word.
+    #[test]
+    fn bit_pack_roundtrip(bits in proptest::collection::vec(0u8..=1, 0..=64)) {
+        let w = pack_bits_u64(&bits);
+        prop_assert_eq!(unpack_bits_u64(w, bits.len()), bits);
+    }
+
+    /// Signed lane packing round-trips for every non-binary precision.
+    #[test]
+    fn signed_lane_roundtrip(p in nonbinary_precision(), seed in proptest::collection::vec(any::<i64>(), 1..40)) {
+        let vals: Vec<i32> = seed
+            .iter()
+            .map(|&s| {
+                let span = (p.signed_max() - p.signed_min() + 1) as i64;
+                (p.signed_min() as i64 + s.rem_euclid(span)) as i32
+            })
+            .collect();
+        let words = pack_signed_lanes(&vals, p);
+        prop_assert_eq!(words.len(), vals.len().div_ceil(LANES_PER_WORD));
+        for (i, &v) in vals.iter().enumerate() {
+            prop_assert_eq!(extract_signed_lane(words[i / 8], i % 8, p), v);
+        }
+    }
+
+    /// Unsigned lane packing round-trips for every non-binary precision.
+    #[test]
+    fn unsigned_lane_roundtrip(p in nonbinary_precision(), seed in proptest::collection::vec(any::<u32>(), 1..40)) {
+        let vals: Vec<i32> = seed
+            .iter()
+            .map(|&s| (s % (p.unsigned_max() as u32 + 1)) as i32)
+            .collect();
+        let words = pack_unsigned_lanes(&vals, p);
+        for (i, &v) in vals.iter().enumerate() {
+            prop_assert_eq!(extract_unsigned_lane(words[i / 8], i % 8, p), v);
+        }
+    }
+
+    /// Binary channel packing round-trips and is 8x denser than lanes.
+    #[test]
+    fn binary_channel_roundtrip(seed in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let vals: Vec<i32> = seed.iter().map(|&b| if b { 1 } else { -1 }).collect();
+        let words = pack_binary_channels(&vals);
+        prop_assert_eq!(words.len(), words_for(vals.len(), Precision::W1));
+        for (i, &v) in vals.iter().enumerate() {
+            prop_assert_eq!(extract_binary_channel(words[i / 64], i % 64), v);
+        }
+    }
+
+    /// The quantizer output always fits the target precision.
+    #[test]
+    fn quant_output_in_range(raw in fix_raw(), s in -4.0f64..4.0, o in -16.0f64..16.0, p in precision()) {
+        let q = QuantParams::from_f64(s, o);
+        let out = q.apply(Fix::from_raw(raw), p);
+        prop_assert!((0..=p.unsigned_max()).contains(&out));
+    }
+
+    /// Quantization is monotone when the scale is non-negative.
+    #[test]
+    fn quant_monotone_for_positive_scale(a in fix_raw(), b in fix_raw(), s in 0.0f64..4.0, o in -16.0f64..16.0, p in precision()) {
+        let q = QuantParams::from_f64(s, o);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.apply(Fix::from_raw(lo), p) <= q.apply(Fix::from_raw(hi), p));
+    }
+
+    /// Sigmoid is bounded, monotone, and symmetric: σ(−x) = 1 − σ(x)
+    /// (exact in the PWL construction).
+    #[test]
+    fn sigmoid_properties(a in -(1i64 << 20)..(1i64 << 20), b in -(1i64 << 20)..(1i64 << 20)) {
+        let x = Fix::from_raw(a);
+        let y = Fix::from_raw(b);
+        let sx = sigmoid(x);
+        prop_assert!(sx >= Fix::ZERO && sx <= Fix::ONE);
+        prop_assert_eq!(sigmoid(-x), Fix::ONE - sx);
+        if x <= y {
+            prop_assert!(sx <= sigmoid(y));
+        }
+    }
+
+    /// Tanh is bounded in [−1, 1] and monotone.
+    #[test]
+    fn tanh_properties(a in -(1i64 << 20)..(1i64 << 20), b in -(1i64 << 20)..(1i64 << 20)) {
+        let x = Fix::from_raw(a);
+        let y = Fix::from_raw(b);
+        let tx = tanh(x);
+        prop_assert!(tx >= -Fix::ONE && tx <= Fix::ONE);
+        if x <= y {
+            prop_assert!(tx <= tanh(y));
+        }
+    }
+
+    /// Sign activation agrees with a 1-level multi-threshold.
+    #[test]
+    fn sign_is_one_level_multithreshold(raw in fix_raw(), traw in -(1i64 << 31)..(1i64 << 31)) {
+        let thr = Fix::from_raw(traw);
+        let sign = SignActivation::new(thr);
+        let mt = MultiThreshold::new(vec![thr], Precision::W1).unwrap();
+        let x = Fix::from_raw(raw);
+        prop_assert_eq!(i32::from(sign.apply(x)), mt.apply(x));
+    }
+
+    /// Multi-threshold output is monotone in its input and saturates at
+    /// the precision's max level.
+    #[test]
+    fn multithreshold_monotone(
+        mut traws in proptest::collection::vec(-(1i64 << 20)..(1i64 << 20), 3),
+        a in fix_raw(),
+        b in fix_raw(),
+    ) {
+        traws.sort_unstable();
+        let t: Vec<Fix> = traws.into_iter().map(Fix::from_raw).collect();
+        let mt = MultiThreshold::new(t, Precision::W2).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let ylo = mt.apply(Fix::from_raw(lo));
+        let yhi = mt.apply(Fix::from_raw(hi));
+        prop_assert!(ylo <= yhi);
+        prop_assert!((0..=3).contains(&ylo));
+        prop_assert!((0..=3).contains(&yhi));
+    }
+}

@@ -1,0 +1,159 @@
+//! Criterion microbenchmarks over the reproduction stack.
+//!
+//! The `table*` binaries regenerate the paper's tables; these benches
+//! measure the *host cost* of each regeneration workload plus the hot
+//! component paths (XNOR MAC, reference inference, stream compilation,
+//! cycle simulation, FINN pipeline).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netpu_arith::binary::binary_dot8;
+use netpu_core::netpu::run_inference;
+use netpu_core::resources::{netpu_utilization, tnpu_utilization};
+use netpu_core::HwConfig;
+use netpu_finn::{instance_utilization, run_pipeline, FinnInstance};
+use netpu_nn::export::BnMode;
+use netpu_nn::zoo::ZooModel;
+use netpu_nn::{reference, QuantMlp};
+
+fn tfc(bn: BnMode) -> QuantMlp {
+    ZooModel::TfcW1A1.build_untrained(1, bn).unwrap()
+}
+
+fn bench_arith(c: &mut Criterion) {
+    c.bench_function("arith/xnor_popcount_dot", |b| {
+        b.iter(|| {
+            let mut acc = 0i32;
+            for i in 0..=255u8 {
+                acc += binary_dot8(black_box(i), black_box(i.wrapping_mul(31)), 8);
+            }
+            acc
+        })
+    });
+    c.bench_function("arith/pwl_sigmoid", |b| {
+        b.iter(|| {
+            let mut acc = netpu_arith::Fix::ZERO;
+            for i in -100..100i32 {
+                acc = acc
+                    + netpu_arith::activation::sigmoid(netpu_arith::Fix::from_f64(
+                        black_box(i as f64) / 10.0,
+                    ));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_reference(c: &mut Criterion) {
+    let model = tfc(BnMode::Folded);
+    let px = vec![128u8; 784];
+    c.bench_function("reference/tfc_w1a1_inference", |b| {
+        b.iter(|| reference::infer(black_box(&model), black_box(&px)))
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let model = tfc(BnMode::Folded);
+    let px = vec![128u8; 784];
+    c.bench_function("compiler/tfc_w1a1_loadable", |b| {
+        b.iter(|| netpu_compiler::compile(black_box(&model), black_box(&px)).unwrap())
+    });
+}
+
+/// The Table IV/V workload: composing the resource model.
+fn bench_table4_table5_resources(c: &mut Criterion) {
+    let cfg = HwConfig::paper_instance();
+    c.bench_function("table4/tnpu_resource_model", |b| {
+        b.iter(|| tnpu_utilization(black_box(&cfg)))
+    });
+    c.bench_function("table5/netpu_resource_model", |b| {
+        b.iter(|| netpu_utilization(black_box(&cfg)))
+    });
+}
+
+/// The Table V workload: one full cycle-accurate TFC inference.
+fn bench_table5_simulation(c: &mut Criterion) {
+    let cfg = HwConfig::paper_instance();
+    let model = tfc(BnMode::Folded);
+    let px = vec![128u8; 784];
+    let words = netpu_compiler::compile(&model, &px).unwrap().words;
+    c.bench_function("table5/tfc_w1a1_cycle_simulation", |b| {
+        b.iter(|| run_inference(black_box(&cfg), black_box(words.clone())).unwrap())
+    });
+}
+
+/// The Table VI workload: FINN pipeline simulation + resource model.
+fn bench_table6_comparison(c: &mut Criterion) {
+    let inst = FinnInstance::sfc_max();
+    c.bench_function("table6/finn_sfc_max_pipeline", |b| {
+        b.iter(|| run_pipeline(black_box(&inst.layers), 16))
+    });
+    c.bench_function("table6/finn_resource_model", |b| {
+        b.iter(|| instance_utilization(black_box(&inst)))
+    });
+}
+
+/// The §V packing extension: dense vs lane-packed simulation cost.
+fn bench_packing_modes(c: &mut Criterion) {
+    let model = ZooModel::TfcW2A2
+        .build_untrained(2, BnMode::Folded)
+        .unwrap();
+    let px = vec![128u8; 784];
+    let cfg = HwConfig {
+        dense_weight_packing: true,
+        ..HwConfig::paper_instance()
+    };
+    let lanes = netpu_compiler::compile_packed(&model, &px, netpu_compiler::PackingMode::Lanes8)
+        .unwrap()
+        .words;
+    let dense = netpu_compiler::compile_packed(&model, &px, netpu_compiler::PackingMode::Dense)
+        .unwrap()
+        .words;
+    c.bench_function("packing/lanes8_simulation", |b| {
+        b.iter(|| run_inference(black_box(&cfg), black_box(lanes.clone())).unwrap())
+    });
+    c.bench_function("packing/dense_simulation", |b| {
+        b.iter(|| run_inference(black_box(&cfg), black_box(dense.clone())).unwrap())
+    });
+}
+
+/// One QAT training epoch on a TFC-sized model.
+fn bench_training_epoch(c: &mut Criterion) {
+    use netpu_nn::train::{train, TrainConfig};
+    let (ds, _) = netpu_nn::dataset::standard_splits(256, 0, 7);
+    c.bench_function("training/tfc_w1a1_epoch_256ex", |b| {
+        b.iter(|| {
+            let mut fm = netpu_nn::FloatMlp::init(ZooModel::TfcW1A1.spec(), 3);
+            train(
+                &mut fm,
+                &ds,
+                &TrainConfig {
+                    epochs: 1,
+                    ..TrainConfig::default()
+                },
+            )
+        })
+    });
+}
+
+/// The SoftMax unit's fixed-point exponential.
+fn bench_softmax(c: &mut Criterion) {
+    use netpu_arith::Fix;
+    let scores: Vec<Fix> = (0..10).map(|i| Fix::from_f64(i as f64 - 5.0)).collect();
+    c.bench_function("softmax/ten_class", |b| {
+        b.iter(|| netpu_arith::softmax::softmax(black_box(&scores)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_arith,
+    bench_reference,
+    bench_compile,
+    bench_table4_table5_resources,
+    bench_table5_simulation,
+    bench_table6_comparison,
+    bench_packing_modes,
+    bench_training_epoch,
+    bench_softmax,
+);
+criterion_main!(benches);

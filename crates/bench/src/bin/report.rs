@@ -1,0 +1,167 @@
+//! Consolidated reproduction report: collects every JSON experiment
+//! record under `target/experiments/` and renders one markdown document
+//! with paper-vs-reproduced deltas — the machine-checked companion to
+//! the hand-written `EXPERIMENTS.md`.
+//!
+//! Run the `table*`/`accuracy`/`ablations`/`efficiency`/`bottleneck`
+//! binaries first, then:
+//!
+//! ```sh
+//! cargo run --release -p netpu-bench --bin report > reproduction_report.md
+//! ```
+
+use netpu_bench::{delta, ExperimentRecord};
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+fn load_records() -> BTreeMap<String, Value> {
+    let dir = ExperimentRecord::default_dir();
+    let mut records = BTreeMap::new();
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return records;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().map(|e| e == "json") != Some(true) {
+            continue;
+        }
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(v) = serde_json::from_str::<Value>(&text) {
+                if let Some(id) = v["id"].as_str() {
+                    records.insert(id.to_string(), v);
+                }
+            }
+        }
+    }
+    records
+}
+
+fn f(v: &Value) -> Option<f64> {
+    v.as_f64()
+}
+
+fn table5_section(rec: &Value) -> String {
+    let mut out = String::from("## Table V — simulated latency\n\n| Configuration | Model | Paper µs | Repro µs | Δ |\n|---|---|---|---|---|\n");
+    for row in rec["rows"].as_array().into_iter().flatten() {
+        let Some(config) = row["config"].as_str() else {
+            continue;
+        };
+        for model in ["tfc", "sfc", "lfc"] {
+            let (Some(p), Some(m)) = (f(&row["paper_us"][model]), f(&row["model_us"][model]))
+            else {
+                continue;
+            };
+            out += &format!(
+                "| {config} | {} | {p:.3} | {m:.3} | {} |\n",
+                model.to_uppercase(),
+                delta(p, m)
+            );
+        }
+    }
+    out
+}
+
+fn table6_section(rec: &Value) -> String {
+    let mut out = String::from("## Table VI — measured latency and power\n\n| Work | Instance/Model | Paper µs | Repro µs | Δ | Paper W | Repro W |\n|---|---|---|---|---|---|---|\n");
+    for row in rec["rows"].as_array().into_iter().flatten() {
+        match row["work"].as_str() {
+            Some("NetPU-M") => {
+                let name = format!(
+                    "{} {}",
+                    row["precision"].as_str().unwrap_or("?"),
+                    row["model"].as_str().unwrap_or("?")
+                );
+                let m = f(&row["model_us"]).unwrap_or(f64::NAN);
+                let (p_str, d_str) = match f(&row["paper_us"]) {
+                    Some(p) => (format!("{p:.2}"), delta(p, m)),
+                    None => ("—".into(), "—".into()),
+                };
+                out += &format!(
+                    "| NetPU-M | {name} | {p_str} | {m:.2} | {d_str} | {:.2} | {:.2} |\n",
+                    f(&row["paper_w"]).unwrap_or(f64::NAN),
+                    f(&row["model_w"]).unwrap_or(f64::NAN),
+                );
+            }
+            Some("FINN") => {
+                let p = f(&row["paper"]["us"]).unwrap_or(f64::NAN);
+                let m = f(&row["model"]["us"]).unwrap_or(f64::NAN);
+                out += &format!(
+                    "| FINN | {} | {p:.2} | {m:.2} | {} | {:.1} | {:.1} |\n",
+                    row["instance"].as_str().unwrap_or("?"),
+                    delta(p, m),
+                    f(&row["paper"]["w"]).unwrap_or(f64::NAN),
+                    f(&row["model"]["w"]).unwrap_or(f64::NAN),
+                );
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn table4_section(rec: &Value) -> String {
+    let mut out = String::from("## Table IV — single-TNPU resources\n\n| Max MT bits | BN mul | LUTs paper | LUTs repro | Δ |\n|---|---|---|---|---|\n");
+    for row in rec["rows"].as_array().into_iter().flatten() {
+        let p = f(&row["paper"]["luts"]).unwrap_or(f64::NAN);
+        let m = f(&row["model"]["luts"]).unwrap_or(f64::NAN);
+        out += &format!(
+            "| {} | {} | {p:.0} | {m:.0} | {} |\n",
+            row["max_mt_bits"],
+            row["bn_mode"].as_str().unwrap_or("?"),
+            delta(p, m)
+        );
+    }
+    out
+}
+
+fn accuracy_section(rec: &Value) -> String {
+    let mut out = String::from("## Six-model functional experiment\n\n| Model | Test accuracy | Accelerator ≡ reference | Measured µs |\n|---|---|---|---|\n");
+    for row in rec["rows"].as_array().into_iter().flatten() {
+        out += &format!(
+            "| {} | {:.1}% | {} | {:.2} |\n",
+            row["model"].as_str().unwrap_or("?"),
+            f(&row["test_accuracy"]).unwrap_or(f64::NAN) * 100.0,
+            row["accelerator_agreement"].as_str().unwrap_or("?"),
+            f(&row["measured_latency_us"]).unwrap_or(f64::NAN),
+        );
+    }
+    out
+}
+
+fn main() {
+    let records = load_records();
+    println!("# NetPU-M reproduction report (generated)\n");
+    if records.is_empty() {
+        println!(
+            "No experiment records found in `{}`.\nRun the table binaries first (see EXPERIMENTS.md).",
+            ExperimentRecord::default_dir().display()
+        );
+        return;
+    }
+    println!(
+        "Generated from {} experiment record(s): {}.\n",
+        records.len(),
+        records.keys().cloned().collect::<Vec<_>>().join(", ")
+    );
+    if let Some(rec) = records.get("table4") {
+        println!("{}", table4_section(rec));
+    }
+    if let Some(rec) = records.get("table5") {
+        println!("{}", table5_section(rec));
+    }
+    if let Some(rec) = records.get("table6") {
+        println!("{}", table6_section(rec));
+    }
+    if let Some(rec) = records.get("accuracy") {
+        println!("{}", accuracy_section(rec));
+    }
+    for extra in ["ablations", "efficiency", "bottleneck", "table3"] {
+        if let Some(rec) = records.get(extra) {
+            println!(
+                "## {} — {} row(s) recorded\n\nSee `target/experiments/{extra}.json` for the data.\n",
+                rec["title"].as_str().unwrap_or(extra),
+                rec["rows"].as_array().map_or(0, Vec::len),
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Regenerates Table IV: resource utilization of the four single-TNPU
+//! instances on the Ultra96-V2 (max Multi-Threshold precision 8 vs 4
+//! bits × DSP vs LUT BN-multiplier mode).
+
+use netpu_bench::{delta, paper, ExperimentRecord, TableWriter};
+use netpu_core::resources::{tnpu_utilization, ULTRA96_V2};
+use netpu_core::{HwConfig, MulImpl};
+
+fn main() {
+    println!("Table IV — Resource Utilization of Single TNPU on Ultra96-V2\n");
+    let mut table = TableWriter::new(&[
+        "Max MT bits",
+        "BN Mul Mode",
+        "LUTs (paper)",
+        "LUTs (model)",
+        "Δ",
+        "LUT rate",
+        "DSPs (paper)",
+        "DSPs (model)",
+        "FFs (paper)",
+        "FFs (model)",
+    ]);
+    let mut record = ExperimentRecord::new("table4", "Single-TNPU resource utilization");
+    for row in &paper::TABLE4 {
+        let cfg = HwConfig {
+            max_multithreshold_bits: row.max_mt_bits,
+            bn_mul: if row.bn_mode == "DSP" {
+                MulImpl::Dsp
+            } else {
+                MulImpl::Lut
+            },
+            ..HwConfig::paper_instance()
+        };
+        let u = tnpu_utilization(&cfg);
+        let rates = u.rates(&ULTRA96_V2);
+        table.row(&[
+            row.max_mt_bits.to_string(),
+            row.bn_mode.to_string(),
+            row.luts.to_string(),
+            u.luts.to_string(),
+            delta(row.luts as f64, u.luts as f64),
+            format!("{:.2}%", rates.luts * 100.0),
+            row.dsps.to_string(),
+            u.dsps.to_string(),
+            row.ffs.to_string(),
+            u.ffs.to_string(),
+        ]);
+        record.push(serde_json::json!({
+            "max_mt_bits": row.max_mt_bits,
+            "bn_mode": row.bn_mode,
+            "paper": { "luts": row.luts, "dsps": row.dsps, "ffs": row.ffs },
+            "model": { "luts": u.luts, "dsps": u.dsps, "ffs": u.ffs },
+        }));
+    }
+    table.print();
+    println!(
+        "\nTotal resources on Ultra96-V2: {} LUTs, {} DSPs, {} FFs.",
+        ULTRA96_V2.luts, ULTRA96_V2.dsps, ULTRA96_V2.ffs
+    );
+    println!(
+        "Shape check: 8-bit Multi-Threshold support costs ~27-29% of the platform's LUTs\n\
+         per TNPU; capping at 4 bits drops that to ~4-5% — the paper's reason for the\n\
+         4-bit limit in the evaluated instance."
+    );
+    let path = record.write().expect("write experiment record");
+    println!("\nrecord: {}", path.display());
+}

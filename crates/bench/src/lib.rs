@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! Benchmark-harness support: the paper's published values, table
+//! rendering, and machine-readable experiment records.
+//!
+//! Each `table*` binary in this crate regenerates one table of the
+//! paper's evaluation section, printing the published row next to the
+//! reproduced row and emitting a JSON record under
+//! `target/experiments/` that `EXPERIMENTS.md` is written from.
+
+pub mod paper;
+pub mod record;
+pub mod table;
+
+pub use record::ExperimentRecord;
+pub use table::TableWriter;
+
+/// Formats a reproduced-vs-published delta as a signed percentage.
+pub fn delta(published: f64, reproduced: f64) -> String {
+    if published == 0.0 {
+        return "—".into();
+    }
+    let pct = (reproduced / published - 1.0) * 100.0;
+    format!("{pct:+.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_formats_signed_percentages() {
+        assert_eq!(delta(100.0, 105.0), "+5.0%");
+        assert_eq!(delta(100.0, 95.0), "-5.0%");
+        assert_eq!(delta(0.0, 95.0), "—");
+    }
+}

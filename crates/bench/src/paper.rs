@@ -1,0 +1,236 @@
+//! The paper's published evaluation numbers, transcribed from Tables
+//! IV, V, and VI for side-by-side comparison.
+
+/// One Table IV row: a single-TNPU instance.
+#[derive(Clone, Copy, Debug)]
+pub struct Table4Row {
+    /// Maximum Multi-Threshold precision supported (bits).
+    pub max_mt_bits: u8,
+    /// BN multiplier mode ("DSP" or "LUT").
+    pub bn_mode: &'static str,
+    /// Published LUT count.
+    pub luts: u64,
+    /// Published DSP count.
+    pub dsps: u64,
+    /// Published FF count.
+    pub ffs: u64,
+}
+
+/// Table IV: resource utilization of a single TNPU on the Ultra96-V2.
+pub const TABLE4: [Table4Row; 4] = [
+    Table4Row {
+        max_mt_bits: 8,
+        bn_mode: "DSP",
+        luts: 19_049,
+        dsps: 16,
+        ffs: 32,
+    },
+    Table4Row {
+        max_mt_bits: 8,
+        bn_mode: "LUT",
+        luts: 20_138,
+        dsps: 12,
+        ffs: 32,
+    },
+    Table4Row {
+        max_mt_bits: 4,
+        bn_mode: "DSP",
+        luts: 2_705,
+        dsps: 16,
+        ffs: 32,
+    },
+    Table4Row {
+        max_mt_bits: 4,
+        bn_mode: "LUT",
+        luts: 3_794,
+        dsps: 12,
+        ffs: 32,
+    },
+];
+
+/// Table V: published resources of the 2-LPU × 8-TNPU NetPU-M instance.
+pub struct Table5Resources {
+    /// Published LUTs.
+    pub luts: u64,
+    /// Published DSPs.
+    pub dsps: u64,
+    /// Published FFs.
+    pub ffs: u64,
+    /// Published BRAM36 blocks.
+    pub bram36: f64,
+}
+
+/// Table V resource row.
+pub const TABLE5_RESOURCES: Table5Resources = Table5Resources {
+    luts: 59_755,
+    dsps: 256,
+    ffs: 14_601,
+    bram36: 129.5,
+};
+
+/// One Table V latency configuration row.
+#[derive(Clone, Copy, Debug)]
+pub struct Table5Latency {
+    /// Configuration label.
+    pub config: &'static str,
+    /// TFC / SFC / LFC simulated latency (µs at 100 MHz).
+    pub tfc_us: f64,
+    /// SFC latency (µs).
+    pub sfc_us: f64,
+    /// LFC latency (µs).
+    pub lfc_us: f64,
+}
+
+/// Table V: simulated inference latency per activation/BN configuration.
+pub const TABLE5_LATENCY: [Table5Latency; 3] = [
+    Table5Latency {
+        config: "Multi-Thres, BN folded",
+        tfc_us: 172.165,
+        sfc_us: 882.085,
+        lfc_us: 7_408.225,
+    },
+    Table5Latency {
+        config: "Multi-Thres, BN in hardware",
+        tfc_us: 175.805,
+        sfc_us: 895.805,
+        lfc_us: 7_462.205,
+    },
+    Table5Latency {
+        config: "Sign (BNN)",
+        tfc_us: 38.745,
+        sfc_us: 133.785,
+        lfc_us: 974.745,
+    },
+];
+
+/// One Table VI NetPU-M measured row.
+#[derive(Clone, Copy, Debug)]
+pub struct Table6NetPu {
+    /// Model precision label (`W1A1`, `W2A2`, `W1A2`).
+    pub precision: &'static str,
+    /// Measured TFC latency, µs (None where the paper has no entry).
+    pub tfc_us: Option<f64>,
+    /// Measured SFC latency, µs.
+    pub sfc_us: Option<f64>,
+    /// Measured LFC latency, µs.
+    pub lfc_us: Option<f64>,
+    /// Wall power, W (per-model measurements averaged in the paper).
+    pub power_w: f64,
+}
+
+/// Table VI: NetPU-M (CGM-64, Ultra96-V2, 100 MHz) measured rows.
+pub const TABLE6_NETPU: [Table6NetPu; 3] = [
+    Table6NetPu {
+        precision: "W1A1",
+        tfc_us: Some(44.64),
+        sfc_us: Some(139.75),
+        lfc_us: Some(980.63),
+        power_w: 6.93,
+    },
+    Table6NetPu {
+        precision: "W2A2",
+        tfc_us: Some(178.18),
+        sfc_us: Some(888.0),
+        lfc_us: None,
+        power_w: 6.98,
+    },
+    Table6NetPu {
+        precision: "W1A2",
+        tfc_us: None,
+        sfc_us: None,
+        lfc_us: Some(7_414.13),
+        power_w: 6.88,
+    },
+];
+
+/// Published NetPU-M instance resources in Table VI (LUT/BRAM/DSP).
+pub struct Table6NetPuResources {
+    /// LUTs.
+    pub luts: u64,
+    /// BRAM36 blocks.
+    pub bram36: f64,
+    /// DSP slices.
+    pub dsps: u64,
+}
+
+/// Table VI NetPU-M resource row.
+pub const TABLE6_NETPU_RESOURCES: Table6NetPuResources = Table6NetPuResources {
+    luts: 66_494,
+    bram36: 126.5,
+    dsps: 256,
+};
+
+/// One Table VI FINN row.
+#[derive(Clone, Copy, Debug)]
+pub struct Table6Finn {
+    /// Instance name.
+    pub name: &'static str,
+    /// Published LUTs.
+    pub luts: u64,
+    /// Published BRAM36.
+    pub bram36: f64,
+    /// Published latency, µs.
+    pub latency_us: f64,
+    /// Published wall power, W.
+    pub power_w: f64,
+}
+
+/// Table VI: the four FINN instances (Zynq-7000, 200 MHz, W1A1).
+pub const TABLE6_FINN: [Table6Finn; 4] = [
+    Table6Finn {
+        name: "SFC-max",
+        luts: 91_131,
+        bram36: 4.5,
+        latency_us: 0.31,
+        power_w: 21.2,
+    },
+    Table6Finn {
+        name: "LFC-max",
+        luts: 82_988,
+        bram36: 396.0,
+        latency_us: 2.44,
+        power_w: 22.6,
+    },
+    Table6Finn {
+        name: "SFC-fix",
+        luts: 5_155,
+        bram36: 16.0,
+        latency_us: 240.0,
+        power_w: 8.1,
+    },
+    Table6Finn {
+        name: "LFC-fix",
+        luts: 5_636,
+        bram36: 114.5,
+        latency_us: 282.0,
+        power_w: 7.9,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transcriptions_are_internally_consistent() {
+        // Sign is the fastest Table V configuration everywhere.
+        let sign = TABLE5_LATENCY[2];
+        for cfg in &TABLE5_LATENCY[..2] {
+            assert!(sign.tfc_us < cfg.tfc_us);
+            assert!(sign.sfc_us < cfg.sfc_us);
+            assert!(sign.lfc_us < cfg.lfc_us);
+        }
+        // FINN max instances are faster but hungrier than fix ones.
+        assert!(TABLE6_FINN[0].latency_us < TABLE6_FINN[2].latency_us);
+        assert!(TABLE6_FINN[0].luts > TABLE6_FINN[2].luts);
+        assert!(TABLE6_FINN[0].power_w > TABLE6_FINN[2].power_w);
+    }
+
+    #[test]
+    fn measured_exceeds_simulated() {
+        // Table VI measured ≥ Table V simulated for every shared cell.
+        assert!(TABLE6_NETPU[0].tfc_us.unwrap() > TABLE5_LATENCY[2].tfc_us);
+        assert!(TABLE6_NETPU[1].tfc_us.unwrap() > TABLE5_LATENCY[0].tfc_us);
+        assert!(TABLE6_NETPU[2].lfc_us.unwrap() > TABLE5_LATENCY[0].lfc_us);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! The NetPU-M model compiler.
+//!
+//! PEM-style accelerators need a model compiler that converts a trained
+//! network into an executable data stream — the paper cites the *NVDLA
+//! Loadable* as the archetype. NetPU-M's equivalent is simpler because
+//! §III.B.3 fixes the load order completely; this crate implements:
+//!
+//! * [`settings`] — the per-layer 64-bit configuration words.
+//! * [`stream`] — the [`stream::compile`] encoder producing a
+//!   [`stream::Loadable`] (model + one inference input) and the
+//!   [`stream::decode`] validator that reconstructs the model from the
+//!   wire format.
+//!
+//! The word-count functions ([`stream::param_words`],
+//! [`stream::weight_words`], [`stream::neuron_weight_words`]) are shared
+//! with the accelerator model in `netpu-core`, which consumes the stream
+//! word-by-word exactly as the hardware would.
+
+pub mod file;
+pub mod settings;
+pub mod stream;
+
+pub use file::FileError;
+pub use settings::{LayerSetting, LayerType, SettingError};
+pub use stream::{
+    batch_stream, compile, compile_packed, decode, Decoded, Loadable, PackingMode, SectionKind,
+    StreamError, StreamLayout,
+};

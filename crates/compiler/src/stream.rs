@@ -1,0 +1,825 @@
+//! The NetPU-M loadable: a pre-packaged 64-bit word stream.
+//!
+//! §III.B.3 fixes the data loading order so that runtime control reduces
+//! to pure data streaming:
+//!
+//! 1. layer count, 2. all layer settings, 3. dataset inputs,
+//!    4. parameters of layer 0, 5. parameters of layer 1, 6. weights of
+//!    layer 0, 7. parameters of layer 2, 8. weights of layer 1, …,
+//!    parameters of layer N−1, weights of layer N−2, weights of layer N−1.
+//!
+//! The interleave (parameters of layer k+1 before weights of layer k)
+//! lets the next LPU initialise while the current one is still
+//! processing. This module encodes a [`QuantMlp`] plus one inference
+//! input into that stream and decodes it back for validation.
+
+use crate::settings::{LayerSetting, LayerType, SettingError};
+use netpu_arith::quant::{self, LANES_PER_WORD};
+use netpu_arith::{ActivationKind, Fix, Precision, QuantParams};
+use netpu_nn::qmodel::{BnParams, HiddenLayer, InputLayer, LayerActivation, OutputLayer, QuantMlp};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Stream magic in the header word ("NP").
+pub const MAGIC: u16 = 0x4E50;
+/// Loadable format version.
+pub const VERSION: u8 = 1;
+
+/// What a stream section carries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SectionKind {
+    /// Per-layer parameters (bias/BN/threshold/QUAN words).
+    Params,
+    /// Per-layer weights.
+    Weights,
+}
+
+/// Section map of an encoded loadable (word offsets into the stream).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamLayout {
+    /// The header word.
+    pub header: Range<usize>,
+    /// Layer-setting words.
+    pub settings: Range<usize>,
+    /// Dataset-input words.
+    pub input: Range<usize>,
+    /// `(kind, layer index, word range)` in emitted order.
+    pub sections: Vec<(SectionKind, usize, Range<usize>)>,
+}
+
+/// An encoded loadable: the word stream plus its section map.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Loadable {
+    /// The 64-bit stream words, in transmission order.
+    pub words: Vec<u64>,
+    /// Section map (host-side metadata; not transmitted).
+    pub layout: StreamLayout,
+}
+
+/// Compile / decode errors.
+#[derive(Clone, PartialEq, Debug)]
+pub enum StreamError {
+    /// The model failed validation.
+    InvalidModel(netpu_nn::qmodel::ModelError),
+    /// The inference input length does not match the model.
+    InputLength {
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// The stream is shorter than its sections require.
+    Truncated {
+        /// Word offset at which data ran out.
+        at: usize,
+    },
+    /// Bad header magic or version.
+    BadHeader(u64),
+    /// A malformed layer-setting word.
+    BadSetting(SettingError),
+    /// The decoded layer sequence is not Input, Hidden*, Output.
+    BadLayerSequence,
+    /// Per-neuron QUAN parameters disagree within one layer.
+    InconsistentQuanParams {
+        /// Offending layer index.
+        layer: usize,
+    },
+    /// The stream uses a weight packing mode this accelerator instance
+    /// was not generated with.
+    PackingUnsupported,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::InvalidModel(e) => write!(f, "invalid model: {e}"),
+            StreamError::InputLength { expected, got } => {
+                write!(f, "input length {got}, model expects {expected}")
+            }
+            StreamError::Truncated { at } => write!(f, "stream truncated at word {at}"),
+            StreamError::BadHeader(w) => write!(f, "bad header word {w:#018x}"),
+            StreamError::BadSetting(e) => write!(f, "bad layer setting: {e}"),
+            StreamError::BadLayerSequence => {
+                f.write_str("layer sequence must be Input, Hidden*, Output")
+            }
+            StreamError::InconsistentQuanParams { layer } => {
+                write!(f, "layer {layer}: inconsistent per-neuron QUAN parameters")
+            }
+            StreamError::PackingUnsupported => {
+                f.write_str("stream packing mode unsupported by this instance")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Packs 32-bit parameter words two per stream word (low half first),
+/// padding the final word with zeros.
+pub fn pack_u32_pairs(vals: &[u32]) -> Vec<u64> {
+    vals.chunks(2)
+        .map(|c| u64::from(c[0]) | (c.get(1).map_or(0, |&v| u64::from(v)) << 32))
+        .collect()
+}
+
+/// Unpacks `n` 32-bit parameter words from pair-packed stream words.
+pub fn unpack_u32_pairs(words: &[u64], n: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let w = words[i / 2];
+        out.push(if i % 2 == 0 {
+            w as u32
+        } else {
+            (w >> 32) as u32
+        });
+    }
+    out
+}
+
+/// How multi-bit weights occupy the 64-bit stream words.
+///
+/// The paper streams every 2–8-bit weight in a full 8-bit lane, wasting
+/// the upper bits as placeholders (§V calls this out as a known
+/// inefficiency). [`PackingMode::Dense`] implements the §V future work:
+/// pack weights at their native width when it divides the lane (1, 2,
+/// 4, or 8 bits), shrinking the weight stream up to 8×. Both endpoints
+/// — the compiler and the accelerator instance — must agree on the
+/// mode; the loadable header carries it so a mismatch is detected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum PackingMode {
+    /// One 8-bit lane per weight (the paper's implementation).
+    #[default]
+    Lanes8,
+    /// Native-width packing for 1/2/4/8-bit weights (§V future work);
+    /// other precisions fall back to 8-bit lanes.
+    Dense,
+}
+
+/// `true` when a layer runs on the XNOR datapath (both operands 1-bit).
+pub fn uses_xnor_path(setting: &LayerSetting) -> bool {
+    setting.in_precision.is_binary() && setting.weight_precision.is_binary()
+}
+
+/// Weight field width in bits under a packing mode (the XNOR path is
+/// always 1-bit-dense and is handled separately).
+pub fn weight_field_bits(setting: &LayerSetting, mode: PackingMode) -> u32 {
+    let bits = setting.weight_precision.bits() as u32;
+    match mode {
+        PackingMode::Lanes8 => 8,
+        PackingMode::Dense if 8 % bits == 0 => bits,
+        PackingMode::Dense => 8,
+    }
+}
+
+/// Weights carried per 64-bit stream word on the integer path.
+pub fn weights_per_word(setting: &LayerSetting, mode: PackingMode) -> usize {
+    64 / weight_field_bits(setting, mode) as usize
+}
+
+/// Stream words carrying one neuron's weights under a packing mode
+/// (each neuron is padded to a word boundary so the LPU's per-neuron
+/// dispatch stays aligned).
+pub fn neuron_weight_words_mode(setting: &LayerSetting, mode: PackingMode) -> usize {
+    let n = setting.input_len as usize;
+    if uses_xnor_path(setting) {
+        n.div_ceil(64)
+    } else {
+        n.div_ceil(weights_per_word(setting, mode))
+    }
+}
+
+/// Stream words carrying one neuron's weights under the paper's 8-bit
+/// lane packing.
+pub fn neuron_weight_words(setting: &LayerSetting) -> usize {
+    neuron_weight_words_mode(setting, PackingMode::Lanes8)
+}
+
+/// Total weight-section words of a layer under a packing mode (zero for
+/// the Input layer).
+pub fn weight_words_mode(setting: &LayerSetting, mode: PackingMode) -> usize {
+    if setting.layer_type == LayerType::Input {
+        0
+    } else {
+        setting.neurons as usize * neuron_weight_words_mode(setting, mode)
+    }
+}
+
+/// Total weight-section words under the paper's 8-bit lane packing.
+pub fn weight_words(setting: &LayerSetting) -> usize {
+    weight_words_mode(setting, PackingMode::Lanes8)
+}
+
+/// Extracts integer-path weight `idx` from a stream word under a
+/// packing mode: mask the field, then sign-extend (1-bit fields decode
+/// bipolar ±1).
+pub fn extract_weight(word: u64, idx: usize, setting: &LayerSetting, mode: PackingMode) -> i32 {
+    let bits = weight_field_bits(setting, mode);
+    debug_assert!(idx < 64 / bits as usize);
+    let field = ((word >> (bits as usize * idx)) & ((1u64 << bits) - 1)) as u32;
+    if setting.weight_precision.is_binary() {
+        if bits == 8 {
+            // Promoted ±1 weights travel sign-extended in full lanes.
+            (field as u8 as i8) as i32
+        } else {
+            netpu_arith::binary::decode_bipolar(field as u8)
+        }
+    } else {
+        let wbits = setting.weight_precision.bits() as u32;
+        let masked = field & ((1 << wbits) - 1);
+        let shift = 32 - wbits;
+        ((masked << shift) as i32) >> shift
+    }
+}
+
+/// 32-bit activation-parameter words per neuron (thresholds or QUAN
+/// scale+offset), before pair packing.
+fn act_param_u32s(setting: &LayerSetting) -> usize {
+    match setting.activation {
+        ActivationKind::Sign => 1,
+        ActivationKind::MultiThreshold => setting.out_precision.multi_threshold_count(),
+        ActivationKind::Relu | ActivationKind::Sigmoid | ActivationKind::Tanh => 2,
+    }
+}
+
+/// Total parameter-section words of a layer.
+pub fn param_words(setting: &LayerSetting) -> usize {
+    let neurons = setting.neurons as usize;
+    let mut words = 0usize;
+    // Bias / BN block (FC layers only).
+    if setting.layer_type != LayerType::Input {
+        words += if setting.bn_folded {
+            neurons.div_ceil(LANES_PER_WORD) // 8-bit biases, 8 per word
+        } else {
+            neurons // one (scale, offset) pair-word per neuron
+        };
+    }
+    // Activation parameter block (Input and Hidden layers).
+    if setting.layer_type != LayerType::Output {
+        words += (neurons * act_param_u32s(setting)).div_ceil(2);
+    }
+    words
+}
+
+/// Words carrying the dataset input (8-bit pixel lanes).
+pub fn input_words(input_len: usize) -> usize {
+    input_len.div_ceil(LANES_PER_WORD)
+}
+
+/// Builds the layer-setting list for a model.
+pub fn model_settings(mlp: &QuantMlp) -> Vec<LayerSetting> {
+    let mut settings = Vec::with_capacity(mlp.layer_count());
+    settings.push(LayerSetting {
+        layer_type: LayerType::Input,
+        activation: mlp.input.activation.kind(),
+        bn_folded: true,
+        in_precision: Precision::W8,
+        weight_precision: Precision::W1,
+        out_precision: mlp.input.out_precision,
+        neurons: mlp.input.len as u32,
+        input_len: 1,
+    });
+    for h in &mlp.hidden {
+        settings.push(LayerSetting {
+            layer_type: LayerType::Hidden,
+            activation: h.activation.kind(),
+            bn_folded: h.bias.is_some(),
+            in_precision: h.in_precision,
+            weight_precision: h.weight_precision,
+            out_precision: h.out_precision,
+            neurons: h.neurons as u32,
+            input_len: h.in_len as u32,
+        });
+    }
+    settings.push(LayerSetting {
+        layer_type: LayerType::Output,
+        // Activation selector is unused on the pink path; encode ReLU.
+        activation: ActivationKind::Relu,
+        bn_folded: mlp.output.bias.is_some(),
+        in_precision: mlp.output.in_precision,
+        weight_precision: mlp.output.weight_precision,
+        // Output precision is unused; scores leave at full width.
+        out_precision: Precision::W8,
+        neurons: mlp.output.neurons as u32,
+        input_len: mlp.output.in_len as u32,
+    });
+    settings
+}
+
+fn activation_param_u32s_of(act: &LayerActivation, neurons: usize) -> Vec<u32> {
+    match act {
+        LayerActivation::Sign { thresholds } => {
+            thresholds.iter().map(|t| t.to_stream_word()).collect()
+        }
+        LayerActivation::MultiThreshold { thresholds } => thresholds
+            .iter()
+            .flat_map(|row| row.iter().map(|t| t.to_stream_word()))
+            .collect(),
+        LayerActivation::Relu { quant }
+        | LayerActivation::Sigmoid { quant }
+        | LayerActivation::Tanh { quant } => (0..neurons)
+            .flat_map(|_| [quant.scale.to_stream_word(), quant.offset.to_stream_word()])
+            .collect(),
+    }
+}
+
+fn bias_words(bias: &[i32]) -> Vec<u64> {
+    bias.chunks(LANES_PER_WORD)
+        .map(|chunk| {
+            let mut w = 0u64;
+            for (i, &b) in chunk.iter().enumerate() {
+                w |= u64::from(b as i8 as u8) << (8 * i);
+            }
+            w
+        })
+        .collect()
+}
+
+fn bn_words(bn: &[BnParams]) -> Vec<u64> {
+    bn.iter()
+        .map(|p| u64::from(p.scale_q16 as u32) | (u64::from(p.offset.to_stream_word()) << 32))
+        .collect()
+}
+
+fn fc_param_section(
+    bias: &Option<Vec<i32>>,
+    bn: &Option<Vec<BnParams>>,
+    act: Option<(&LayerActivation, usize)>,
+) -> Vec<u64> {
+    let mut words = match (bias, bn) {
+        (Some(b), None) => bias_words(b),
+        (None, Some(p)) => bn_words(p),
+        _ => unreachable!("validated models carry exactly one of bias/bn"),
+    };
+    if let Some((a, neurons)) = act {
+        words.extend(pack_u32_pairs(&activation_param_u32s_of(a, neurons)));
+    }
+    words
+}
+
+fn weight_section(
+    weights: &[i32],
+    neurons: usize,
+    in_len: usize,
+    setting: &LayerSetting,
+    mode: PackingMode,
+) -> Vec<u64> {
+    let mut words = Vec::with_capacity(weight_words_mode(setting, mode));
+    let bits = weight_field_bits(setting, mode) as usize;
+    let per_word = 64 / bits;
+    for n in 0..neurons {
+        let row = &weights[n * in_len..(n + 1) * in_len];
+        if uses_xnor_path(setting) {
+            words.extend(quant::pack_binary_channels(row));
+        } else {
+            // Under Lanes8, 1-bit weights on the integer path occupy
+            // full 8-bit lanes (the §V "placeholder bits" inefficiency);
+            // Dense packs every field at its native width.
+            words.extend(row.chunks(per_word).map(|chunk| {
+                let mut w = 0u64;
+                for (i, &v) in chunk.iter().enumerate() {
+                    let field = if setting.weight_precision.is_binary() && bits < 8 {
+                        u64::from(netpu_arith::binary::encode_bipolar(v))
+                    } else {
+                        (v as i8 as u8) as u64 & ((1u64 << bits) - 1)
+                    };
+                    w |= field << (bits * i);
+                }
+                w
+            }));
+        }
+    }
+    words
+}
+
+/// Encodes `mlp` plus one inference input into the transmission stream
+/// with the paper's 8-bit lane weight packing.
+///
+/// ```
+/// use netpu_nn::{export::BnMode, zoo::ZooModel};
+/// let model = ZooModel::TfcW1A1.build_untrained(1, BnMode::Folded).unwrap();
+/// let loadable = netpu_compiler::compile(&model, &vec![0u8; 784]).unwrap();
+/// // The stream decodes back to the identical model.
+/// let decoded = netpu_compiler::decode(&loadable.words).unwrap();
+/// assert_eq!(decoded.model.weight_count(), model.weight_count());
+/// ```
+pub fn compile(mlp: &QuantMlp, pixels: &[u8]) -> Result<Loadable, StreamError> {
+    compile_packed(mlp, pixels, PackingMode::Lanes8)
+}
+
+/// Encodes `mlp` plus one inference input under an explicit weight
+/// [`PackingMode`]. The mode is recorded in the stream header (bit 40)
+/// so an instance without dense-unpacking hardware rejects the stream.
+pub fn compile_packed(
+    mlp: &QuantMlp,
+    pixels: &[u8],
+    mode: PackingMode,
+) -> Result<Loadable, StreamError> {
+    mlp.validate().map_err(StreamError::InvalidModel)?;
+    if pixels.len() != mlp.input.len {
+        return Err(StreamError::InputLength {
+            expected: mlp.input.len,
+            got: pixels.len(),
+        });
+    }
+    let settings = model_settings(mlp);
+    let n = settings.len();
+    let mut words = Vec::new();
+    let mut layout = StreamLayout::default();
+
+    // (1) Header: magic | version | layer count | packing flag (bit 40).
+    let packing_flag = u64::from(mode == PackingMode::Dense) << 40;
+    words.push(u64::from(MAGIC) | (u64::from(VERSION) << 16) | ((n as u64) << 24) | packing_flag);
+    layout.header = 0..1;
+
+    // (2) All layer settings.
+    let start = words.len();
+    words.extend(settings.iter().map(LayerSetting::encode));
+    layout.settings = start..words.len();
+
+    // (3) Dataset inputs as 8-bit lanes.
+    let start = words.len();
+    words.extend(pixels.chunks(LANES_PER_WORD).map(|chunk| {
+        let mut w = 0u64;
+        for (i, &p) in chunk.iter().enumerate() {
+            w |= u64::from(p) << (8 * i);
+        }
+        w
+    }));
+    layout.input = start..words.len();
+
+    // Per-layer parameter and weight payloads, indexed by layer.
+    let mut params: Vec<Vec<u64>> = Vec::with_capacity(n);
+    let mut weights: Vec<Vec<u64>> = Vec::with_capacity(n);
+    params.push(pack_u32_pairs(&activation_param_u32s_of(
+        &mlp.input.activation,
+        mlp.input.len,
+    )));
+    weights.push(Vec::new());
+    for (h, setting) in mlp.hidden.iter().zip(&settings[1..]) {
+        params.push(fc_param_section(
+            &h.bias,
+            &h.bn,
+            Some((&h.activation, h.neurons)),
+        ));
+        weights.push(weight_section(
+            &h.weights, h.neurons, h.in_len, setting, mode,
+        ));
+    }
+    params.push(fc_param_section(&mlp.output.bias, &mlp.output.bn, None));
+    weights.push(weight_section(
+        &mlp.output.weights,
+        mlp.output.neurons,
+        mlp.output.in_len,
+        &settings[n - 1],
+        mode,
+    ));
+
+    // (4…) The §III.B.3 interleave: P0, then Pk+1 before Wk, then W(N−1).
+    let emit = |kind: SectionKind,
+                layer: usize,
+                payload: Vec<u64>,
+                words: &mut Vec<u64>,
+                layout: &mut StreamLayout| {
+        let start = words.len();
+        words.extend(payload);
+        layout.sections.push((kind, layer, start..words.len()));
+    };
+    emit(
+        SectionKind::Params,
+        0,
+        std::mem::take(&mut params[0]),
+        &mut words,
+        &mut layout,
+    );
+    for k in 1..n {
+        emit(
+            SectionKind::Params,
+            k,
+            std::mem::take(&mut params[k]),
+            &mut words,
+            &mut layout,
+        );
+        emit(
+            SectionKind::Weights,
+            k - 1,
+            std::mem::take(&mut weights[k - 1]),
+            &mut words,
+            &mut layout,
+        );
+    }
+    emit(
+        SectionKind::Weights,
+        n - 1,
+        std::mem::take(&mut weights[n - 1]),
+        &mut words,
+        &mut layout,
+    );
+
+    // Cross-check section sizes against the analytic word counts the
+    // hardware model derives from the settings alone.
+    for (kind, layer, range) in &layout.sections {
+        let expect = match kind {
+            SectionKind::Params => param_words(&settings[*layer]),
+            SectionKind::Weights => weight_words_mode(&settings[*layer], mode),
+        };
+        debug_assert_eq!(range.len(), expect, "{kind:?} section of layer {layer}");
+    }
+
+    Ok(Loadable { words, layout })
+}
+
+impl Loadable {
+    /// Total stream length in 64-bit words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` when the stream is empty (never for a valid loadable).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Replaces the dataset-input section in place for a new inference
+    /// without re-encoding the model sections.
+    pub fn replace_input(&mut self, pixels: &[u8]) -> Result<(), StreamError> {
+        let range = self.layout.input.clone();
+        let expected = range.len() * LANES_PER_WORD;
+        // The final word may be partially used; recover the true length
+        // from the first layer setting.
+        let setting = LayerSetting::decode(self.words[self.layout.settings.start])
+            .map_err(StreamError::BadSetting)?;
+        let len = setting.neurons as usize;
+        if pixels.len() != len {
+            return Err(StreamError::InputLength {
+                expected: len,
+                got: pixels.len(),
+            });
+        }
+        debug_assert!(len <= expected);
+        for (w, chunk) in self.words[range]
+            .iter_mut()
+            .zip(pixels.chunks(LANES_PER_WORD))
+        {
+            let mut word = 0u64;
+            for (i, &p) in chunk.iter().enumerate() {
+                word |= u64::from(p) << (8 * i);
+            }
+            *w = word;
+        }
+        Ok(())
+    }
+}
+
+/// Builds a multi-inference stream: `inputs.len()` complete loadables
+/// back to back, as a host would pre-package a burst of requests
+/// (§III.B.3). The accelerator runs them consecutively, re-initialising
+/// itself from each header.
+pub fn batch_stream(
+    mlp: &QuantMlp,
+    inputs: &[Vec<u8>],
+    mode: PackingMode,
+) -> Result<Vec<u64>, StreamError> {
+    let first = match inputs.first() {
+        Some(f) => f,
+        None => return Ok(Vec::new()),
+    };
+    let mut loadable = compile_packed(mlp, first, mode)?;
+    let mut words = Vec::with_capacity(loadable.len() * inputs.len());
+    words.extend_from_slice(&loadable.words);
+    for pixels in &inputs[1..] {
+        loadable.replace_input(pixels)?;
+        words.extend_from_slice(&loadable.words);
+    }
+    Ok(words)
+}
+
+/// A decoded loadable: the reconstructed model and inference input.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Decoded {
+    /// The reconstructed hardware model (name is not transmitted and is
+    /// left empty).
+    pub model: QuantMlp,
+    /// The inference input pixels.
+    pub pixels: Vec<u8>,
+    /// The decoded layer settings.
+    pub settings: Vec<LayerSetting>,
+    /// The weight packing mode the stream was encoded with.
+    pub packing: PackingMode,
+}
+
+struct Reader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u64], StreamError> {
+        if self.pos + n > self.words.len() {
+            return Err(StreamError::Truncated {
+                at: self.words.len(),
+            });
+        }
+        let s = &self.words[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+fn decode_activation(
+    setting: &LayerSetting,
+    words: &[u64],
+    layer: usize,
+) -> Result<LayerActivation, StreamError> {
+    let neurons = setting.neurons as usize;
+    match setting.activation {
+        ActivationKind::Sign => {
+            let vals = unpack_u32_pairs(words, neurons);
+            Ok(LayerActivation::Sign {
+                thresholds: vals.into_iter().map(Fix::from_stream_word).collect(),
+            })
+        }
+        ActivationKind::MultiThreshold => {
+            let per = setting.out_precision.multi_threshold_count();
+            let vals = unpack_u32_pairs(words, neurons * per);
+            Ok(LayerActivation::MultiThreshold {
+                thresholds: vals
+                    .chunks(per)
+                    .map(|row| row.iter().map(|&v| Fix::from_stream_word(v)).collect())
+                    .collect(),
+            })
+        }
+        kind => {
+            let vals = unpack_u32_pairs(words, neurons * 2);
+            let first = QuantParams {
+                scale: Fix::from_stream_word(vals[0]),
+                offset: Fix::from_stream_word(vals[1]),
+            };
+            for pair in vals.chunks(2) {
+                if pair[0] != vals[0] || pair[1] != vals[1] {
+                    return Err(StreamError::InconsistentQuanParams { layer });
+                }
+            }
+            Ok(match kind {
+                ActivationKind::Relu => LayerActivation::Relu { quant: first },
+                ActivationKind::Sigmoid => LayerActivation::Sigmoid { quant: first },
+                ActivationKind::Tanh => LayerActivation::Tanh { quant: first },
+                _ => unreachable!(),
+            })
+        }
+    }
+}
+
+/// Decoded bias-or-BN block of one FC layer.
+type BiasOrBn = (Option<Vec<i32>>, Option<Vec<BnParams>>);
+
+fn decode_bias_bn(
+    setting: &LayerSetting,
+    reader: &mut Reader<'_>,
+) -> Result<BiasOrBn, StreamError> {
+    let neurons = setting.neurons as usize;
+    if setting.bn_folded {
+        let words = reader.take(neurons.div_ceil(LANES_PER_WORD))?;
+        let mut bias = Vec::with_capacity(neurons);
+        for i in 0..neurons {
+            let b = (words[i / LANES_PER_WORD] >> (8 * (i % LANES_PER_WORD))) as u8 as i8;
+            bias.push(b as i32);
+        }
+        Ok((Some(bias), None))
+    } else {
+        let words = reader.take(neurons)?;
+        let bn = words
+            .iter()
+            .map(|&w| BnParams {
+                scale_q16: w as u32 as i32,
+                offset: Fix::from_stream_word((w >> 32) as u32),
+            })
+            .collect();
+        Ok((None, Some(bn)))
+    }
+}
+
+fn decode_weights(setting: &LayerSetting, words: &[u64], mode: PackingMode) -> Vec<i32> {
+    let neurons = setting.neurons as usize;
+    let in_len = setting.input_len as usize;
+    let per = neuron_weight_words_mode(setting, mode);
+    let wpw = weights_per_word(setting, mode);
+    let mut out = Vec::with_capacity(neurons * in_len);
+    for n in 0..neurons {
+        let row = &words[n * per..(n + 1) * per];
+        if uses_xnor_path(setting) {
+            for i in 0..in_len {
+                out.push(quant::extract_binary_channel(row[i / 64], i % 64));
+            }
+        } else {
+            for i in 0..in_len {
+                out.push(extract_weight(row[i / wpw], i % wpw, setting, mode));
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a transmission stream back into a model + input. The inverse
+/// of [`compile`] up to the untransmitted model name.
+pub fn decode(words: &[u64]) -> Result<Decoded, StreamError> {
+    let mut r = Reader { words, pos: 0 };
+    let header = r.take(1)?[0];
+    if header as u16 != MAGIC || (header >> 16) as u8 != VERSION {
+        return Err(StreamError::BadHeader(header));
+    }
+    let mode = if header >> 40 & 1 == 1 {
+        PackingMode::Dense
+    } else {
+        PackingMode::Lanes8
+    };
+    let n = (header >> 24) as usize & 0xFFFF;
+    if n < 2 {
+        return Err(StreamError::BadLayerSequence);
+    }
+    let mut settings = Vec::with_capacity(n);
+    for &w in r.take(n)? {
+        settings.push(LayerSetting::decode(w).map_err(StreamError::BadSetting)?);
+    }
+    if settings[0].layer_type != LayerType::Input
+        || settings[n - 1].layer_type != LayerType::Output
+        || settings[1..n - 1]
+            .iter()
+            .any(|s| s.layer_type != LayerType::Hidden)
+    {
+        return Err(StreamError::BadLayerSequence);
+    }
+
+    let input_len = settings[0].neurons as usize;
+    let in_words = r.take(input_words(input_len))?;
+    let mut pixels = Vec::with_capacity(input_len);
+    for i in 0..input_len {
+        pixels.push((in_words[i / LANES_PER_WORD] >> (8 * (i % LANES_PER_WORD))) as u8);
+    }
+
+    // Replay the interleave, collecting per-layer payload slices.
+    let mut params: Vec<Option<&[u64]>> = vec![None; n];
+    let mut weight_payloads: Vec<Option<&[u64]>> = vec![None; n];
+    params[0] = Some(r.take(param_words(&settings[0]))?);
+    for k in 1..n {
+        params[k] = Some(r.take(param_words(&settings[k]))?);
+        weight_payloads[k - 1] = Some(r.take(weight_words_mode(&settings[k - 1], mode))?);
+    }
+    weight_payloads[n - 1] = Some(r.take(weight_words_mode(&settings[n - 1], mode))?);
+
+    // Reconstruct the model.
+    let input = InputLayer {
+        len: input_len,
+        out_precision: settings[0].out_precision,
+        activation: decode_activation(&settings[0], params[0].unwrap(), 0)?,
+    };
+    let mut hidden = Vec::with_capacity(n - 2);
+    for k in 1..n - 1 {
+        let s = &settings[k];
+        let mut reader = Reader {
+            words: params[k].unwrap(),
+            pos: 0,
+        };
+        let (bias, bn) = decode_bias_bn(s, &mut reader)?;
+        let act_words = reader.take(params[k].unwrap().len() - reader.pos)?;
+        hidden.push(HiddenLayer {
+            in_len: s.input_len as usize,
+            neurons: s.neurons as usize,
+            weight_precision: s.weight_precision,
+            in_precision: s.in_precision,
+            out_precision: s.out_precision,
+            weights: decode_weights(s, weight_payloads[k].unwrap(), mode),
+            bias,
+            bn,
+            activation: decode_activation(s, act_words, k)?,
+        });
+    }
+    let s = &settings[n - 1];
+    let mut reader = Reader {
+        words: params[n - 1].unwrap(),
+        pos: 0,
+    };
+    let (bias, bn) = decode_bias_bn(s, &mut reader)?;
+    let output = OutputLayer {
+        in_len: s.input_len as usize,
+        neurons: s.neurons as usize,
+        weight_precision: s.weight_precision,
+        in_precision: s.in_precision,
+        weights: decode_weights(s, weight_payloads[n - 1].unwrap(), mode),
+        bias,
+        bn,
+    };
+
+    let model = QuantMlp {
+        name: String::new(),
+        input,
+        hidden,
+        output,
+    };
+    model.validate().map_err(StreamError::InvalidModel)?;
+    Ok(Decoded {
+        model,
+        pixels,
+        settings,
+        packing: mode,
+    })
+}

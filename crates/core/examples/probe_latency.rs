@@ -1,0 +1,26 @@
+use netpu_core::{netpu::run_inference, HwConfig};
+use netpu_nn::{export::BnMode, zoo::ZooModel};
+
+fn main() {
+    let cfg = HwConfig::paper_instance();
+    let px = vec![128u8; 784];
+    println!("paper Table V (us): MT+fold 172.165/882.085/7408.225; MT nofold 175.8/895.8/7462.2; Sign 38.7/133.8/974.7");
+    for (m, mode, label) in [
+        (ZooModel::TfcW2A2, BnMode::Folded, "TFC w2a2 MT fold"),
+        (ZooModel::SfcW2A2, BnMode::Folded, "SFC w2a2 MT fold"),
+        (ZooModel::LfcW1A2, BnMode::Folded, "LFC w1a2 MT fold"),
+        (ZooModel::TfcW2A2, BnMode::Hardware, "TFC w2a2 MT nofold"),
+        (ZooModel::SfcW2A2, BnMode::Hardware, "SFC w2a2 MT nofold"),
+        (ZooModel::LfcW1A2, BnMode::Hardware, "LFC w1a2 MT nofold"),
+        (ZooModel::TfcW1A1, BnMode::Folded, "TFC w1a1 Sign"),
+        (ZooModel::SfcW1A1, BnMode::Folded, "SFC w1a1 Sign"),
+        (ZooModel::LfcW1A1, BnMode::Folded, "LFC w1a1 Sign"),
+    ] {
+        let model = m.build_untrained(1, mode).unwrap();
+        let run = run_inference(&cfg, netpu_compiler::compile(&model, &px).unwrap().words).unwrap();
+        println!(
+            "{label:22} {:10.3} us ({} cycles)",
+            run.latency_us, run.cycles
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Hardware-generation configuration.
+//!
+//! The paper generates Verilog through macro definitions emitted by a
+//! C++ configuration program, so one codebase instantiates differently
+//! sized accelerators per FPGA platform (§III.A). [`HwConfig`] is that
+//! configuration surface: structural parameters fixed at "synthesis"
+//! time, as opposed to the per-model settings that arrive over the data
+//! stream at runtime.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a wide multiplier is mapped to DSP slices or LUT fabric
+/// (the Table IV "BN Mul Mode" axis).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum MulImpl {
+    /// DSP-slice multiplier.
+    Dsp,
+    /// LUT-fabric multiplier.
+    Lut,
+}
+
+/// Structural (synthesis-time) parameters of a NetPU-M instance.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct HwConfig {
+    /// LPUs in the recycling ring (the paper's instance uses 2; the
+    /// §III.B.3 stream interleave requires at least 2 — parameters of
+    /// layer k+1 precede weights of layer k, so with a single LPU the
+    /// stream would deadlock waiting for the LPU to free up).
+    pub lpus: usize,
+    /// TNPUs per LPU (the paper's instance uses 8).
+    pub tnpus_per_lpu: usize,
+    /// Parallel multiplier lanes per TNPU (8 in the paper: eight 8-bit
+    /// integer multipliers plus eight 8-bit XNOR multipliers).
+    pub mul_lanes: usize,
+    /// Maximum Multi-Threshold output precision supported (the paper
+    /// caps its instance at 4 bits; 8 bits costs ~27% of the Ultra96's
+    /// LUTs per TNPU, Table IV).
+    pub max_multithreshold_bits: u8,
+    /// BN multiplier mapping.
+    pub bn_mul: MulImpl,
+    /// Integer activation/weight multiplier mapping.
+    pub int_mul: MulImpl,
+    /// Weight-buffer double buffering: `false` models the paper's
+    /// single-port Layer Weight buffer (one stream word consumed per two
+    /// cycles: ingest, then dispatch); `true` is the §V "optimize the
+    /// data loading schemes" future work (one word per cycle).
+    pub double_buffered_weights: bool,
+    /// Whether the instance's weight-unpack logic supports the §V
+    /// multi-channel dense packing mode (`PackingMode::Dense` streams).
+    /// The paper's instance does not; streams flagged dense are rejected
+    /// when this is `false`.
+    pub dense_weight_packing: bool,
+    /// Whether the output stage carries the SoftMax unit (the paper's
+    /// §III.B.1 future work): per-class fixed-point exponentials are
+    /// streamed out alongside the MaxOut class. Off in the paper's
+    /// instance.
+    pub softmax_output: bool,
+    /// Clock frequency the latency results are reported at (MHz).
+    pub clock_mhz: f64,
+}
+
+impl HwConfig {
+    /// The instance evaluated in Tables V/VI: 2 LPUs × 8 TNPUs, 4-bit
+    /// Multi-Threshold cap, pure-DSP multipliers, 100 MHz.
+    pub fn paper_instance() -> HwConfig {
+        HwConfig {
+            lpus: 2,
+            tnpus_per_lpu: 8,
+            mul_lanes: 8,
+            max_multithreshold_bits: 4,
+            bn_mul: MulImpl::Dsp,
+            int_mul: MulImpl::Dsp,
+            double_buffered_weights: false,
+            dense_weight_packing: false,
+            softmax_output: false,
+            clock_mhz: 100.0,
+        }
+    }
+
+    /// Total TNPUs in the instance.
+    pub fn total_tnpus(&self) -> usize {
+        self.lpus * self.tnpus_per_lpu
+    }
+
+    /// Validates the structural parameters.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.lpus < 2 {
+            return Err(ConfigError::TooFewLpus(self.lpus));
+        }
+        if self.tnpus_per_lpu == 0 {
+            return Err(ConfigError::NoTnpus);
+        }
+        if self.mul_lanes == 0 || self.mul_lanes > 8 {
+            return Err(ConfigError::BadLanes(self.mul_lanes));
+        }
+        if !(1..=8).contains(&self.max_multithreshold_bits) {
+            return Err(ConfigError::BadMaxMtBits(self.max_multithreshold_bits));
+        }
+        if self.clock_mhz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(ConfigError::BadClock);
+        }
+        Ok(())
+    }
+}
+
+impl Default for HwConfig {
+    fn default() -> HwConfig {
+        HwConfig::paper_instance()
+    }
+}
+
+/// Structural-parameter validation failures.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ConfigError {
+    /// Fewer than two LPUs cannot consume the interleaved stream order.
+    TooFewLpus(usize),
+    /// At least one TNPU per LPU is required.
+    NoTnpus,
+    /// Multiplier lanes must be 1–8 (the 64-bit stream word width).
+    BadLanes(usize),
+    /// Multi-threshold cap must be 1–8 bits.
+    BadMaxMtBits(u8),
+    /// Clock must be positive.
+    BadClock,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::TooFewLpus(n) => write!(
+                f,
+                "{n} LPU(s): the §III.B.3 stream interleave needs at least 2"
+            ),
+            ConfigError::NoTnpus => f.write_str("at least one TNPU per LPU required"),
+            ConfigError::BadLanes(n) => write!(f, "mul_lanes {n} outside 1..=8"),
+            ConfigError::BadMaxMtBits(b) => write!(f, "max multi-threshold bits {b} outside 1..=8"),
+            ConfigError::BadClock => f.write_str("clock frequency must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_instance_is_valid() {
+        let c = HwConfig::paper_instance();
+        c.validate().unwrap();
+        assert_eq!(c.total_tnpus(), 16);
+        assert_eq!(c.clock_mhz, 100.0);
+    }
+
+    #[test]
+    fn single_lpu_rejected() {
+        let c = HwConfig {
+            lpus: 1,
+            ..HwConfig::paper_instance()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::TooFewLpus(1)));
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let base = HwConfig::paper_instance();
+        assert!(HwConfig {
+            tnpus_per_lpu: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(HwConfig {
+            mul_lanes: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(HwConfig {
+            mul_lanes: 9,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(HwConfig {
+            max_multithreshold_bits: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(HwConfig {
+            max_multithreshold_bits: 9,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(HwConfig {
+            clock_mhz: 0.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+    }
+}

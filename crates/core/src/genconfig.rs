@@ -1,0 +1,187 @@
+//! Hardware-configuration file generation.
+//!
+//! §III.A: *"we created a C++ program to generate the Verilog macro
+//! definitions as a hardware configuration file. Based on the
+//! generation block we widely applied in our Verilog codes, the NetPU-M
+//! project can easily build a suitable project for different FPGA
+//! platforms."* This module is that program's equivalent: it renders an
+//! [`HwConfig`] as the `` `define `` header the generation blocks would
+//! consume, and parses one back — so instance configurations can be
+//! exchanged with a hypothetical RTL flow.
+
+use crate::config::{ConfigError, HwConfig, MulImpl};
+use std::collections::HashMap;
+
+/// Renders the configuration as a Verilog `` `define `` header.
+pub fn to_verilog_macros(cfg: &HwConfig) -> String {
+    let on_off = |b: bool| u8::from(b);
+    format!(
+        "// NetPU-M hardware configuration (generated)\n\
+         `define NETPU_LPU_NUM {}\n\
+         `define NETPU_TNPU_PER_LPU {}\n\
+         `define NETPU_MUL_LANES {}\n\
+         `define NETPU_MAX_MT_BITS {}\n\
+         `define NETPU_BN_MUL_{}\n\
+         `define NETPU_INT_MUL_{}\n\
+         `define NETPU_WEIGHT_DOUBLE_BUFFER {}\n\
+         `define NETPU_DENSE_WEIGHT_PACKING {}\n\
+         `define NETPU_SOFTMAX_OUTPUT {}\n\
+         `define NETPU_CLOCK_KHZ {}\n",
+        cfg.lpus,
+        cfg.tnpus_per_lpu,
+        cfg.mul_lanes,
+        cfg.max_multithreshold_bits,
+        match cfg.bn_mul {
+            MulImpl::Dsp => "DSP",
+            MulImpl::Lut => "LUT",
+        },
+        match cfg.int_mul {
+            MulImpl::Dsp => "DSP",
+            MulImpl::Lut => "LUT",
+        },
+        on_off(cfg.double_buffered_weights),
+        on_off(cfg.dense_weight_packing),
+        on_off(cfg.softmax_output),
+        (cfg.clock_mhz * 1000.0).round() as u64,
+    )
+}
+
+/// Errors parsing a macro header.
+#[derive(Clone, PartialEq, Debug)]
+pub enum MacroError {
+    /// A required `` `define `` is missing.
+    Missing(&'static str),
+    /// A value failed to parse.
+    BadValue(String),
+    /// The resulting configuration failed validation.
+    Invalid(ConfigError),
+}
+
+impl std::fmt::Display for MacroError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MacroError::Missing(k) => write!(f, "missing `define {k}"),
+            MacroError::BadValue(l) => write!(f, "unparseable define: {l}"),
+            MacroError::Invalid(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MacroError {}
+
+/// Parses a macro header back into an [`HwConfig`] (inverse of
+/// [`to_verilog_macros`]; unknown defines are ignored, comments skipped).
+pub fn from_verilog_macros(text: &str) -> Result<HwConfig, MacroError> {
+    let mut values: HashMap<&str, u64> = HashMap::new();
+    let mut flags: Vec<&str> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("`define ") else {
+            continue;
+        };
+        match rest.split_once(' ') {
+            Some((key, value)) => {
+                let v = value
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| MacroError::BadValue(line.to_string()))?;
+                values.insert(key, v);
+            }
+            None => flags.push(rest.trim()),
+        }
+    }
+    let get = |k: &'static str| values.get(k).copied().ok_or(MacroError::Missing(k));
+    let mul = |dsp: &str, lut: &str, name: &'static str| -> Result<MulImpl, MacroError> {
+        if flags.contains(&dsp) {
+            Ok(MulImpl::Dsp)
+        } else if flags.contains(&lut) {
+            Ok(MulImpl::Lut)
+        } else {
+            Err(MacroError::Missing(name))
+        }
+    };
+    let cfg = HwConfig {
+        lpus: get("NETPU_LPU_NUM")? as usize,
+        tnpus_per_lpu: get("NETPU_TNPU_PER_LPU")? as usize,
+        mul_lanes: get("NETPU_MUL_LANES")? as usize,
+        max_multithreshold_bits: get("NETPU_MAX_MT_BITS")? as u8,
+        bn_mul: mul("NETPU_BN_MUL_DSP", "NETPU_BN_MUL_LUT", "NETPU_BN_MUL_*")?,
+        int_mul: mul("NETPU_INT_MUL_DSP", "NETPU_INT_MUL_LUT", "NETPU_INT_MUL_*")?,
+        double_buffered_weights: get("NETPU_WEIGHT_DOUBLE_BUFFER")? != 0,
+        dense_weight_packing: get("NETPU_DENSE_WEIGHT_PACKING")? != 0,
+        softmax_output: get("NETPU_SOFTMAX_OUTPUT")? != 0,
+        clock_mhz: get("NETPU_CLOCK_KHZ")? as f64 / 1000.0,
+    };
+    cfg.validate().map_err(MacroError::Invalid)?;
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_instance_renders_expected_defines() {
+        let text = to_verilog_macros(&HwConfig::paper_instance());
+        assert!(text.contains("`define NETPU_LPU_NUM 2"));
+        assert!(text.contains("`define NETPU_TNPU_PER_LPU 8"));
+        assert!(text.contains("`define NETPU_MAX_MT_BITS 4"));
+        assert!(text.contains("`define NETPU_BN_MUL_DSP"));
+        assert!(text.contains("`define NETPU_CLOCK_KHZ 100000"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let configs = [
+            HwConfig::paper_instance(),
+            HwConfig {
+                lpus: 4,
+                tnpus_per_lpu: 4,
+                mul_lanes: 4,
+                max_multithreshold_bits: 8,
+                bn_mul: MulImpl::Lut,
+                int_mul: MulImpl::Lut,
+                double_buffered_weights: true,
+                dense_weight_packing: true,
+                softmax_output: true,
+                clock_mhz: 150.0,
+            },
+        ];
+        for cfg in configs {
+            let parsed = from_verilog_macros(&to_verilog_macros(&cfg)).unwrap();
+            assert_eq!(parsed, cfg);
+        }
+    }
+
+    #[test]
+    fn parser_tolerates_comments_and_unknown_defines() {
+        let text = format!(
+            "// banner\n`define SOMETHING_ELSE 7\n{}",
+            to_verilog_macros(&HwConfig::paper_instance())
+        );
+        assert_eq!(
+            from_verilog_macros(&text).unwrap(),
+            HwConfig::paper_instance()
+        );
+    }
+
+    #[test]
+    fn parser_rejects_incomplete_or_invalid_headers() {
+        assert!(matches!(
+            from_verilog_macros(""),
+            Err(MacroError::Missing(_))
+        ));
+        let bad = to_verilog_macros(&HwConfig::paper_instance())
+            .replace("`define NETPU_LPU_NUM 2", "`define NETPU_LPU_NUM 1");
+        assert!(matches!(
+            from_verilog_macros(&bad),
+            Err(MacroError::Invalid(ConfigError::TooFewLpus(1)))
+        ));
+        let garbled = to_verilog_macros(&HwConfig::paper_instance())
+            .replace("NETPU_MUL_LANES 8", "NETPU_MUL_LANES eight");
+        assert!(matches!(
+            from_verilog_macros(&garbled),
+            Err(MacroError::BadValue(_))
+        ));
+    }
+}

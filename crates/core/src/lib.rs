@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! The NetPU-M accelerator core: a cycle-level behavioral model of the
+//! paper's three-stage architecture.
+//!
+//! * [`config`] — synthesis-time structural parameters.
+//! * [`genconfig`] — the paper's Verilog-macro configuration generator
+//!   (renders/parses the `` `define `` header the generation blocks use).
+//! * [`tnpu`] — the Transformable Neuron Processing Unit datapath and
+//!   its crossbar (Fig. 3).
+//! * [`lpu`] — the Layer Processing Unit: buffer cluster (Table III)
+//!   and the Layer/Neuron Initialization + Neuron Processing workflow
+//!   (Fig. 4).
+//! * [`netpu`] — the top Network Processing Unit: recycling LPU ring,
+//!   stream-driven control (§III.B.3), MaxOut output.
+//! * [`resources`] — the compositional FPGA resource model calibrated
+//!   against Tables IV and V.
+//!
+//! The model is *bit-exact* against `netpu_nn::reference` (tested in the
+//! workspace integration suite) and *cycle-accounted* per the latency
+//! model documented in `DESIGN.md` §4.
+
+pub mod config;
+pub mod genconfig;
+pub mod lpu;
+pub mod netpu;
+pub mod resources;
+pub mod tnpu;
+
+pub use config::{ConfigError, HwConfig, MulImpl};
+pub use netpu::{run_inference, InferenceRun, NetPu, NetPuError};

@@ -1,0 +1,803 @@
+//! The Layer Processing Unit (§III.B.2, Fig. 4).
+//!
+//! An LPU owns a cluster of TNPUs, the data-buffer cluster of Table III,
+//! and the layer control FSM. Its workflow has three steps:
+//!
+//! 1. *Layer Initialization* — latch the layer setting.
+//! 2. *Neuron Initialization* — load per-neuron parameters from the
+//!    buffer cluster into the TNPUs (one batch of `tnpus_per_lpu`
+//!    neurons at a time, since the physical neuron count is smaller than
+//!    the model's).
+//! 3. *Neuron Processing* — stream weights through the Layer Weight
+//!    buffer into the TNPUs until the batch's neurons finish; repeat
+//!    from step 2 until every neuron of the layer has been inferred.
+//!
+//! Timing model (calibration notes in `DESIGN.md` §4): the Layer Weight
+//! buffer is single-ported, so sustained weight consumption is one
+//! 64-bit word per **two** cycles (ingest, then dispatch) — the §V data
+//! loading bottleneck. `HwConfig::double_buffered_weights` removes the
+//! ingest cycle (the paper's stated future-work optimization).
+
+use crate::config::HwConfig;
+use crate::tnpu::{LayerCfg, MaxOut, NeuronActivation, NeuronParams, Tnpu, TnpuOut};
+use netpu_arith::{ActivationKind, Fix, QuantParams};
+use netpu_compiler::stream::{
+    extract_weight, neuron_weight_words_mode, unpack_u32_pairs, uses_xnor_path, weights_per_word,
+};
+use netpu_compiler::{LayerSetting, LayerType, PackingMode};
+use netpu_sim::engine::Tick;
+use netpu_sim::{Cycle, Fifo, StreamSource, Tracer};
+use serde::{Deserialize, Serialize};
+
+/// The Table III data-buffer cluster geometry: `(name, width, depth)`.
+pub const BUFFER_CLUSTER: [(&str, u32, usize); 10] = [
+    ("Layer Input", 64, 1024),
+    ("Input Reload", 64, 1024),
+    ("Layer Weight", 64, 1024),
+    ("Bias", 64, 1024),
+    ("BN Scale", 128, 2048),
+    ("BN Offset", 128, 2048),
+    ("Sign Threshold", 128, 2048),
+    ("Multi-Thresholds", 128, 2048),
+    ("QUAN Scale", 128, 2048),
+    ("QUAN Offset", 128, 2048),
+];
+
+/// Pipeline fill/drain cycles per neuron batch (ACCU latch → BN → ACTIV
+/// → QUAN).
+pub const PIPELINE_DEPTH: u64 = 4;
+
+/// Width of the parameter-buffer read port in 32-bit words (the 128-bit
+/// buffers of Table III deliver four parameter words per cycle).
+pub const PARAM_READ_WIDTH: usize = 4;
+
+/// Per-layer cycle breakdown.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LpuStats {
+    /// Cycles spent in Neuron Initialization.
+    pub init_cycles: u64,
+    /// Cycles spent ingesting/dispatching weight words.
+    pub weight_cycles: u64,
+    /// Cycles stalled waiting on the weight stream.
+    pub stall_cycles: u64,
+    /// Pipeline drain cycles.
+    pub drain_cycles: u64,
+    /// Output write / MaxOut cycles.
+    pub output_cycles: u64,
+    /// Input-layer processing cycles.
+    pub input_cycles: u64,
+    /// Weight words consumed.
+    pub weight_words: u64,
+}
+
+impl LpuStats {
+    /// Total busy cycles.
+    pub fn total(&self) -> u64 {
+        self.init_cycles
+            + self.weight_cycles
+            + self.stall_cycles
+            + self.drain_cycles
+            + self.output_cycles
+            + self.input_cycles
+    }
+}
+
+/// The result a finished layer hands back to the NetPU.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LayerOutput {
+    /// Hidden/input layer: activation levels (Sign levels as 0/1 bits).
+    Levels(Vec<i32>),
+    /// Output layer: MaxOut winner plus the raw per-class scores (the
+    /// SoftMax unit consumes the latter when enabled).
+    Class {
+        /// Winning class index.
+        class: usize,
+        /// Winning score.
+        score: Fix,
+        /// All per-class scores in class order.
+        scores: Vec<Fix>,
+    },
+}
+
+/// 32-bit activation-parameter words per neuron for a setting.
+fn act_u32s(setting: &LayerSetting) -> usize {
+    match setting.activation {
+        ActivationKind::Sign => 1,
+        ActivationKind::MultiThreshold => setting.out_precision.multi_threshold_count(),
+        _ => 2,
+    }
+}
+
+/// Decodes a layer's raw parameter-section words into per-neuron
+/// parameters — the hardware's view of the buffer cluster contents.
+/// Inverse of the compiler's parameter encoding.
+pub fn decode_neuron_params(setting: &LayerSetting, words: &[u64]) -> Vec<NeuronParams> {
+    let neurons = setting.neurons as usize;
+    let mut pos = 0usize;
+    let (biases, bns) = if setting.layer_type == LayerType::Input {
+        (None, None)
+    } else if setting.bn_folded {
+        let n_words = neurons.div_ceil(8);
+        let block = &words[..n_words];
+        pos = n_words;
+        let biases: Vec<i32> = (0..neurons)
+            .map(|i| (block[i / 8] >> (8 * (i % 8))) as u8 as i8 as i32)
+            .collect();
+        (Some(biases), None)
+    } else {
+        let block = &words[..neurons];
+        pos = neurons;
+        let bns: Vec<netpu_nn::BnParams> = block
+            .iter()
+            .map(|&w| netpu_nn::BnParams {
+                scale_q16: w as u32 as i32,
+                offset: Fix::from_stream_word((w >> 32) as u32),
+            })
+            .collect();
+        (None, Some(bns))
+    };
+
+    let acts: Vec<NeuronActivation> = if setting.layer_type == LayerType::Output {
+        vec![NeuronActivation::None; neurons]
+    } else {
+        let per = act_u32s(setting);
+        let vals = unpack_u32_pairs(&words[pos..], neurons * per);
+        vals.chunks(per)
+            .map(|row| match setting.activation {
+                ActivationKind::Sign => NeuronActivation::Sign(Fix::from_stream_word(row[0])),
+                ActivationKind::MultiThreshold => NeuronActivation::MultiThreshold(
+                    row.iter().map(|&v| Fix::from_stream_word(v)).collect(),
+                ),
+                kind => {
+                    let q = QuantParams {
+                        scale: Fix::from_stream_word(row[0]),
+                        offset: Fix::from_stream_word(row[1]),
+                    };
+                    match kind {
+                        ActivationKind::Relu => NeuronActivation::Relu(q),
+                        ActivationKind::Sigmoid => NeuronActivation::Sigmoid(q),
+                        ActivationKind::Tanh => NeuronActivation::Tanh(q),
+                        _ => unreachable!(),
+                    }
+                }
+            })
+            .collect()
+    };
+
+    acts.into_iter()
+        .enumerate()
+        .map(|(i, activation)| NeuronParams {
+            bias: biases.as_ref().map(|b| b[i]),
+            bn: bns.as_ref().map(|b| b[i]),
+            activation,
+        })
+        .collect()
+}
+
+/// Neuron Initialization cycles for one neuron: one buffer read for the
+/// bias/BN word plus 128-bit-wide reads for the activation parameters.
+fn init_cycles_per_neuron(setting: &LayerSetting) -> u64 {
+    let act_reads = if setting.layer_type == LayerType::Output {
+        0
+    } else {
+        act_u32s(setting).div_ceil(PARAM_READ_WIDTH)
+    };
+    let bias_reads = usize::from(setting.layer_type != LayerType::Input);
+    (act_reads + bias_reads) as u64
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum State {
+    Idle,
+    AwaitParams {
+        remaining: usize,
+    },
+    Ready,
+    InputLayer {
+        word: usize,
+        subcycle: u64,
+    },
+    BatchInit {
+        batch_start: usize,
+        left: u64,
+    },
+    /// Weight streaming: `subcycle` 0 ingests the word; subcycles
+    /// 1..=groups dispatch it through the multiplier lanes (dense-packed
+    /// words carry more weights than lanes and need several groups).
+    Weights {
+        batch_start: usize,
+        t: usize,
+        chunk: usize,
+        subcycle: u32,
+    },
+    Drain {
+        batch_start: usize,
+        left: u64,
+    },
+    WriteOut {
+        batch_start: usize,
+        left: u64,
+    },
+    Done,
+}
+
+/// One Layer Processing Unit.
+#[derive(Clone, Debug)]
+pub struct Lpu {
+    /// Instance index within the NetPU ring.
+    pub id: usize,
+    tnpus: Vec<Tnpu>,
+    double_buffered: bool,
+    softmax_output: bool,
+    setting: Option<LayerSetting>,
+    layer_cfg: Option<LayerCfg>,
+    param_words: Vec<u64>,
+    params: Vec<NeuronParams>,
+    weight_fifo: Fifo<u64>,
+    pending_word: u64,
+    packing: PackingMode,
+    inputs: Vec<i32>,
+    have_inputs: bool,
+    outputs: Vec<i32>,
+    scores: Vec<Fix>,
+    maxout: MaxOut,
+    state: State,
+    /// Cycle breakdown for the current layer.
+    pub stats: LpuStats,
+}
+
+impl Lpu {
+    /// Builds an LPU per the hardware configuration.
+    pub fn new(id: usize, cfg: &HwConfig) -> Lpu {
+        Lpu {
+            id,
+            tnpus: (0..cfg.tnpus_per_lpu)
+                .map(|_| Tnpu::new(cfg.mul_lanes))
+                .collect(),
+            double_buffered: cfg.double_buffered_weights,
+            softmax_output: cfg.softmax_output,
+            setting: None,
+            layer_cfg: None,
+            param_words: Vec::new(),
+            params: Vec::new(),
+            weight_fifo: Fifo::new("Layer Weight", 64, 1024),
+            pending_word: 0,
+            packing: PackingMode::Lanes8,
+            inputs: Vec::new(),
+            have_inputs: false,
+            outputs: Vec::new(),
+            scores: Vec::new(),
+            maxout: MaxOut::default(),
+            state: State::Idle,
+            stats: LpuStats::default(),
+        }
+    }
+
+    /// Number of TNPUs in the cluster.
+    pub fn tnpu_count(&self) -> usize {
+        self.tnpus.len()
+    }
+
+    /// `true` when the LPU holds no layer (free for LPU Resetting).
+    pub fn is_idle(&self) -> bool {
+        self.state == State::Idle
+    }
+
+    /// `true` when parameters are loaded and processing can start.
+    pub fn is_ready(&self) -> bool {
+        self.state == State::Ready
+    }
+
+    /// `true` when the layer finished and outputs are available.
+    pub fn is_done(&self) -> bool {
+        self.state == State::Done
+    }
+
+    /// Step 1 — Layer Initialization.
+    pub fn begin_layer(
+        &mut self,
+        setting: LayerSetting,
+        expected_param_words: usize,
+        packing: PackingMode,
+    ) {
+        assert!(self.is_idle(), "LPU {} must be reset first", self.id);
+        let cfg = LayerCfg {
+            layer_type: setting.layer_type,
+            in_precision: setting.in_precision,
+            weight_precision: setting.weight_precision,
+            out_precision: setting.out_precision,
+        };
+        for t in &mut self.tnpus {
+            t.configure_layer(cfg);
+        }
+        self.layer_cfg = Some(cfg);
+        self.setting = Some(setting);
+        self.packing = packing;
+        self.param_words.clear();
+        self.params.clear();
+        self.outputs.clear();
+        self.scores.clear();
+        self.maxout.reset();
+        self.have_inputs = false;
+        self.stats = LpuStats::default();
+        self.state = if expected_param_words == 0 {
+            State::Ready
+        } else {
+            State::AwaitParams {
+                remaining: expected_param_words,
+            }
+        };
+    }
+
+    /// Feeds one parameter-section word; returns `true` when the section
+    /// is complete (the buffer cluster is filled and decoded).
+    pub fn ingest_param_word(&mut self, word: u64) -> bool {
+        let State::AwaitParams { remaining } = self.state else {
+            panic!("LPU {} not awaiting parameters", self.id);
+        };
+        self.param_words.push(word);
+        if remaining == 1 {
+            let setting = self.setting.expect("layer begun");
+            self.params = decode_neuron_params(&setting, &self.param_words);
+            self.state = State::Ready;
+            true
+        } else {
+            self.state = State::AwaitParams {
+                remaining: remaining - 1,
+            };
+            false
+        }
+    }
+
+    /// Loads the previous layer's outputs (MAC-domain values) into the
+    /// Layer Input / Input Reload buffers.
+    pub fn set_inputs(&mut self, values: Vec<i32>) {
+        let setting = self.setting.expect("layer begun");
+        let expect = if setting.layer_type == LayerType::Input {
+            setting.neurons as usize
+        } else {
+            setting.input_len as usize
+        };
+        assert_eq!(values.len(), expect, "LPU {} input length", self.id);
+        self.inputs = values;
+        self.have_inputs = true;
+    }
+
+    /// Input levels consumed per weight word for the current layer.
+    fn levels_per_word(&self) -> usize {
+        let setting = self.setting.expect("layer begun");
+        if uses_xnor_path(&setting) {
+            64
+        } else {
+            weights_per_word(&setting, self.packing)
+        }
+    }
+
+    /// Input levels a single dispatch subcycle can push through the
+    /// multiplier lanes: `lanes` integer products, or `lanes × 8` XNOR
+    /// channels.
+    fn levels_per_group(&self) -> usize {
+        let setting = self.setting.expect("layer begun");
+        let lanes = self.tnpus[0].lanes();
+        if uses_xnor_path(&setting) {
+            lanes * 8
+        } else {
+            lanes
+        }
+    }
+
+    /// Dispatch subcycles needed for input chunk `chunk` of the current
+    /// layer (1 for the paper's lane packing; >1 when a dense word
+    /// carries more weights than multiplier lanes).
+    fn dispatch_groups(&self, chunk: usize) -> u32 {
+        let span = self.chunk_span(chunk);
+        span.div_ceil(self.levels_per_group()) as u32
+    }
+
+    /// Number of input levels covered by chunk `chunk`.
+    fn chunk_span(&self, chunk: usize) -> usize {
+        let lpw = self.levels_per_word();
+        let lo = chunk * lpw;
+        let hi = ((chunk + 1) * lpw).min(self.inputs.len());
+        hi.saturating_sub(lo)
+    }
+
+    /// Advances one clock cycle of steps 2–3. `stream` is the Network
+    /// Input FIFO the weight section arrives on; the NetPU only calls
+    /// this for the LPU whose weight section is current.
+    pub fn tick(&mut self, stream: &mut StreamSource, cycle: Cycle, tracer: &mut Tracer) -> Tick {
+        let setting = match self.setting {
+            Some(s) => s,
+            None => return Tick::Stall,
+        };
+        match self.state {
+            State::Idle | State::AwaitParams { .. } | State::Done => Tick::Stall,
+            State::Ready => {
+                if !self.have_inputs {
+                    return Tick::Stall;
+                }
+                if setting.layer_type == LayerType::Input {
+                    self.state = State::InputLayer {
+                        word: 0,
+                        subcycle: 0,
+                    };
+                } else {
+                    self.state = State::BatchInit {
+                        batch_start: 0,
+                        left: self.batch_init_cost(0),
+                    };
+                    tracer.record(cycle, "lpu", || {
+                        format!("lpu{} starts layer ({} neurons)", self.id, setting.neurons)
+                    });
+                }
+                Tick::Progress
+            }
+            State::InputLayer { word, subcycle } => {
+                // Each 64-bit input word: one read cycle, threshold-read
+                // cycles for its eight pixels, one write cycle.
+                let per_word_cost = 2 + (8 * act_u32s(&setting)).div_ceil(PARAM_READ_WIDTH) as u64;
+                self.stats.input_cycles += 1;
+                if subcycle + 1 < per_word_cost {
+                    self.state = State::InputLayer {
+                        word,
+                        subcycle: subcycle + 1,
+                    };
+                    return Tick::Progress;
+                }
+                // Word complete: quantize its pixels through the TNPU
+                // yellow path.
+                let n = setting.neurons as usize;
+                let lo = word * 8;
+                let hi = ((word + 1) * 8).min(n);
+                for i in lo..hi {
+                    self.tnpus[0].load_neuron(self.params[i].clone());
+                    let level = self.tnpus[0].process_input(self.inputs[i]);
+                    self.outputs.push(level);
+                }
+                if hi == n {
+                    self.state = State::Done;
+                    tracer.record(cycle, "lpu", || {
+                        format!("lpu{} input layer done ({n} levels)", self.id)
+                    });
+                } else {
+                    self.state = State::InputLayer {
+                        word: word + 1,
+                        subcycle: 0,
+                    };
+                }
+                Tick::Progress
+            }
+            State::BatchInit { batch_start, left } => {
+                self.stats.init_cycles += 1;
+                if left > 1 {
+                    self.state = State::BatchInit {
+                        batch_start,
+                        left: left - 1,
+                    };
+                    return Tick::Progress;
+                }
+                // Latch the batch's parameters into the TNPUs.
+                let n = setting.neurons as usize;
+                let end = (batch_start + self.tnpus.len()).min(n);
+                for (t, neuron) in (batch_start..end).enumerate() {
+                    self.tnpus[t].load_neuron(self.params[neuron].clone());
+                }
+                self.state = State::Weights {
+                    batch_start,
+                    t: 0,
+                    chunk: 0,
+                    subcycle: 0,
+                };
+                Tick::Progress
+            }
+            State::Weights {
+                batch_start,
+                t,
+                chunk,
+                subcycle,
+            } => {
+                // Single-port Layer Weight buffer: ingest on one cycle,
+                // then one dispatch subcycle per multiplier-lane group
+                // (double buffering hides the ingest cycle behind the
+                // first dispatch group).
+                if subcycle == 0 {
+                    match stream.take() {
+                        Some(w) => {
+                            let pushed = self.weight_fifo.push(w);
+                            debug_assert!(pushed, "weight FIFO overflow");
+                            self.pending_word = self.weight_fifo.pop().expect("just pushed");
+                            self.stats.weight_words += 1;
+                            self.stats.weight_cycles += 1;
+                            if self.double_buffered {
+                                self.dispatch_group(t, chunk, 0);
+                                self.after_group(batch_start, t, chunk, 1, cycle, tracer);
+                            } else {
+                                self.state = State::Weights {
+                                    batch_start,
+                                    t,
+                                    chunk,
+                                    subcycle: 1,
+                                };
+                            }
+                            Tick::Progress
+                        }
+                        None => {
+                            self.stats.stall_cycles += 1;
+                            Tick::Stall
+                        }
+                    }
+                } else {
+                    self.stats.weight_cycles += 1;
+                    self.dispatch_group(t, chunk, subcycle - 1);
+                    self.after_group(batch_start, t, chunk, subcycle, cycle, tracer);
+                    Tick::Progress
+                }
+            }
+            State::Drain { batch_start, left } => {
+                self.stats.drain_cycles += 1;
+                if left > 1 {
+                    self.state = State::Drain {
+                        batch_start,
+                        left: left - 1,
+                    };
+                } else {
+                    let n = setting.neurons as usize;
+                    let end = (batch_start + self.tnpus.len()).min(n);
+                    let write_cost = if setting.layer_type == LayerType::Output {
+                        // MaxOut compares scores one per cycle; the
+                        // SoftMax unit adds one exp evaluation each.
+                        (end - batch_start) as u64 * (1 + u64::from(self.softmax_output))
+                    } else {
+                        // Levels pack eight per output-buffer word.
+                        ((end - batch_start).div_ceil(8)) as u64
+                    };
+                    self.state = State::WriteOut {
+                        batch_start,
+                        left: write_cost.max(1),
+                    };
+                }
+                Tick::Progress
+            }
+            State::WriteOut { batch_start, left } => {
+                self.stats.output_cycles += 1;
+                if left > 1 {
+                    self.state = State::WriteOut {
+                        batch_start,
+                        left: left - 1,
+                    };
+                    return Tick::Progress;
+                }
+                // Finalize the batch through the TNPU post-MAC stages.
+                let n = setting.neurons as usize;
+                let end = (batch_start + self.tnpus.len()).min(n);
+                for (t, neuron) in (batch_start..end).enumerate() {
+                    match self.tnpus[t].finalize() {
+                        TnpuOut::Level(l) => self.outputs.push(l),
+                        TnpuOut::Score(s) => {
+                            self.scores.push(s);
+                            self.maxout.push(neuron, s);
+                        }
+                    }
+                }
+                if end == n {
+                    self.state = State::Done;
+                    tracer.record(cycle, "lpu", || {
+                        format!(
+                            "lpu{} layer done after {} weight words",
+                            self.id, self.stats.weight_words
+                        )
+                    });
+                } else {
+                    self.state = State::BatchInit {
+                        batch_start: end,
+                        left: self.batch_init_cost(end),
+                    };
+                }
+                Tick::Progress
+            }
+        }
+    }
+
+    /// Neuron Initialization cost for the batch starting at `start`.
+    fn batch_init_cost(&self, start: usize) -> u64 {
+        let setting = self.setting.expect("layer begun");
+        let n = setting.neurons as usize;
+        let batch = (start + self.tnpus.len()).min(n) - start;
+        (init_cycles_per_neuron(&setting) * batch as u64).max(1)
+    }
+
+    /// Runs one dispatch group of the pending weight word through the
+    /// MUL/ACCU stages of TNPU `t`: up to `mul_lanes` integer products
+    /// (or `mul_lanes × 8` XNOR channels) against the matching slice of
+    /// the Input Reload buffer.
+    fn dispatch_group(&mut self, t: usize, chunk: usize, group: u32) {
+        let setting = self.setting.expect("layer begun");
+        let lpw = self.levels_per_word();
+        let lpg = self.levels_per_group();
+        let word_lo = chunk * lpw;
+        let lo = word_lo + group as usize * lpg;
+        let hi = (lo + lpg).min(word_lo + lpw).min(self.inputs.len());
+        if lo >= hi {
+            return; // tail padding
+        }
+        let slice: Vec<i32> = self.inputs[lo..hi].to_vec();
+        if uses_xnor_path(&setting) {
+            // Shift the relevant channel window down to bit 0.
+            let word = self.pending_word >> (group as usize * lpg);
+            self.tnpus[t].mac_word(&slice, word);
+        } else {
+            let base = group as usize * lpg;
+            let weights: Vec<i32> = (0..slice.len())
+                .map(|i| extract_weight(self.pending_word, base + i, &setting, self.packing))
+                .collect();
+            self.tnpus[t].mac_values(&slice, &weights);
+        }
+    }
+
+    /// Advances the dispatch iteration after a completed subcycle:
+    /// next group of the same word, next word of the same neuron
+    /// (neuron-major order), next neuron, or pipeline drain.
+    fn after_group(
+        &mut self,
+        batch_start: usize,
+        t: usize,
+        chunk: usize,
+        completed_subcycle: u32,
+        _cycle: Cycle,
+        _tracer: &mut Tracer,
+    ) {
+        if completed_subcycle < self.dispatch_groups(chunk) {
+            self.state = State::Weights {
+                batch_start,
+                t,
+                chunk,
+                subcycle: completed_subcycle + 1,
+            };
+            return;
+        }
+        let setting = self.setting.expect("layer begun");
+        let chunks = neuron_weight_words_mode(&setting, self.packing);
+        let n = setting.neurons as usize;
+        let end = (batch_start + self.tnpus.len()).min(n);
+        let batch = end - batch_start;
+        let (next_t, next_chunk) = if chunk + 1 < chunks {
+            (t, chunk + 1)
+        } else {
+            (t + 1, 0)
+        };
+        if next_t < batch {
+            self.state = State::Weights {
+                batch_start,
+                t: next_t,
+                chunk: next_chunk,
+                subcycle: 0,
+            };
+        } else {
+            self.state = State::Drain {
+                batch_start,
+                left: PIPELINE_DEPTH,
+            };
+        }
+    }
+
+    /// Collects the finished layer's result.
+    pub fn take_output(&mut self) -> LayerOutput {
+        assert!(self.is_done(), "LPU {} not done", self.id);
+        let setting = self.setting.expect("layer begun");
+        if setting.layer_type == LayerType::Output {
+            let class = self.maxout.result().expect("output layer scored");
+            let score = self.maxout.best_score().expect("score present");
+            LayerOutput::Class {
+                class,
+                score,
+                scores: std::mem::take(&mut self.scores),
+            }
+        } else {
+            LayerOutput::Levels(std::mem::take(&mut self.outputs))
+        }
+    }
+
+    /// Step of the NetPU workflow: LPU Resetting — frees the LPU for its
+    /// next assigned layer.
+    pub fn reset(&mut self) {
+        self.setting = None;
+        self.layer_cfg = None;
+        self.param_words.clear();
+        self.params.clear();
+        self.inputs.clear();
+        self.have_inputs = false;
+        self.outputs.clear();
+        self.scores.clear();
+        self.weight_fifo.clear();
+        self.state = State::Idle;
+    }
+
+    /// Block-RAM cost of the Table III buffer cluster (for the resource
+    /// model).
+    pub fn buffer_bram36() -> f64 {
+        BUFFER_CLUSTER
+            .iter()
+            .map(|&(_, w, d)| netpu_sim::fifo::bram36_for(w, d))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpu_arith::Precision;
+
+    #[test]
+    fn buffer_cluster_matches_table3() {
+        assert_eq!(BUFFER_CLUSTER.len(), 10);
+        // 4 × 64-wide×1024 buffers at 2 BRAM36 each, 6 × 128-wide×2048 at
+        // 8 BRAM36 each → 56 per LPU.
+        assert_eq!(Lpu::buffer_bram36(), 56.0);
+    }
+
+    #[test]
+    fn init_cost_depends_on_activation() {
+        let base = LayerSetting {
+            layer_type: LayerType::Hidden,
+            activation: ActivationKind::Sign,
+            bn_folded: true,
+            in_precision: Precision::W1,
+            weight_precision: Precision::W1,
+            out_precision: Precision::W1,
+            neurons: 8,
+            input_len: 64,
+        };
+        // Sign: 1 bias read + 1 threshold read.
+        assert_eq!(init_cycles_per_neuron(&base), 2);
+        // 4-bit multi-threshold: 15 params → 4 reads + bias.
+        let mt = LayerSetting {
+            activation: ActivationKind::MultiThreshold,
+            out_precision: Precision::W4,
+            ..base
+        };
+        assert_eq!(init_cycles_per_neuron(&mt), 5);
+        // Output layer: bias read only.
+        let out = LayerSetting {
+            layer_type: LayerType::Output,
+            ..base
+        };
+        assert_eq!(init_cycles_per_neuron(&out), 1);
+    }
+
+    #[test]
+    fn decode_neuron_params_roundtrips_with_compiler() {
+        use netpu_nn::export::BnMode;
+        use netpu_nn::ZooModel;
+        for mode in [BnMode::Folded, BnMode::Hardware] {
+            let model = ZooModel::TfcW2A2.build_untrained(5, mode).unwrap();
+            let pixels = vec![0u8; model.input.len];
+            let loadable = netpu_compiler::compile(&model, &pixels).unwrap();
+            let settings = netpu_compiler::stream::model_settings(&model);
+            // Hidden layer 1's parameter section.
+            let (_, layer, range) = loadable.layout.sections[1].clone();
+            assert_eq!(layer, 1);
+            let params = decode_neuron_params(&settings[1], &loadable.words[range]);
+            assert_eq!(params.len(), 64);
+            let h = &model.hidden[0];
+            for (n, p) in params.iter().enumerate() {
+                match mode {
+                    BnMode::Folded => {
+                        assert_eq!(p.bias, Some(h.bias.as_ref().unwrap()[n]));
+                        assert!(p.bn.is_none());
+                    }
+                    BnMode::Hardware => {
+                        assert!(p.bias.is_none());
+                        assert_eq!(p.bn.as_ref().unwrap(), &h.bn.as_ref().unwrap()[n]);
+                    }
+                }
+                match (&p.activation, &h.activation) {
+                    (
+                        NeuronActivation::MultiThreshold(got),
+                        netpu_nn::LayerActivation::MultiThreshold { thresholds },
+                    ) => assert_eq!(got, &thresholds[n]),
+                    other => panic!("unexpected activation decode: {other:?}"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! The top-level Network Processing Unit (§III.B.3, Fig. 2).
+//!
+//! The NetPU owns the LPU ring (the *Recycling Layer Structure*), the
+//! NetPU FIFO cluster, and the in/output control. Its workflow:
+//!
+//! 1. *NetPU Initialization* — read the layer count and all layer
+//!    settings from the Network Input FIFO into the Layer Setting FIFO.
+//! 2. *LPU Initialization* — load the dataset input into the first LPU
+//!    and distribute layer settings + parameters.
+//! 3. *LPU Processing* — LPUs consume their weight sections and infer;
+//!    outputs of each LPU feed the next LPU in the ring.
+//! 4. *LPU Resetting* — a finished LPU is re-initialised with the next
+//!    unprocessed layer (layer k runs on LPU `k mod L`).
+//!
+//! Because the host pre-packages the stream in the §III.B.3 order, the
+//! runtime control here is *only* data streaming: every cycle the top
+//! FSM either routes one stream word or advances the active LPU.
+
+use crate::config::{ConfigError, HwConfig};
+use crate::lpu::{LayerOutput, Lpu, LpuStats};
+use netpu_arith::Fix;
+use netpu_compiler::stream::{input_words, param_words, StreamError};
+use netpu_compiler::{LayerSetting, LayerType, PackingMode};
+use netpu_nn::reference::to_mac_domain;
+use netpu_sim::engine::Tick;
+use netpu_sim::{Clocked, Cycle, SimError, Simulator, StreamSink, StreamSource, Tracer};
+use serde::{Deserialize, Serialize};
+
+/// Cycles to reset a finished LPU for its next layer.
+pub const RESET_CYCLES: u64 = 2;
+
+/// Top-level cycle accounting.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetPuStats {
+    /// Header + layer-setting ingestion cycles.
+    pub settings_cycles: u64,
+    /// Dataset-input ingestion cycles.
+    pub input_ingest_cycles: u64,
+    /// Parameter-section ingestion cycles (all layers).
+    pub param_cycles: u64,
+    /// LPU processing cycles (all layers).
+    pub process_cycles: u64,
+    /// LPU reset cycles.
+    pub reset_cycles: u64,
+    /// Per-layer LPU breakdowns, in layer order.
+    pub layers: Vec<LpuStats>,
+}
+
+impl NetPuStats {
+    /// Total accounted cycles.
+    pub fn total(&self) -> u64 {
+        self.settings_cycles
+            + self.input_ingest_cycles
+            + self.param_cycles
+            + self.process_cycles
+            + self.reset_cycles
+    }
+}
+
+/// Errors raised while driving the accelerator.
+#[derive(Clone, PartialEq, Debug)]
+pub enum NetPuError {
+    /// Structural configuration rejected.
+    Config(ConfigError),
+    /// The stream was malformed.
+    Stream(StreamError),
+    /// The simulation harness gave up.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for NetPuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetPuError::Config(e) => write!(f, "configuration: {e}"),
+            NetPuError::Stream(e) => write!(f, "stream: {e}"),
+            NetPuError::Sim(e) => write!(f, "simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetPuError {}
+
+/// One step of the §III.B.3 section walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Section {
+    /// Ingest the parameter section of layer `k` into LPU `k mod L`.
+    Params(usize),
+    /// Consume layer `k`'s weight section while LPU `k mod L` processes.
+    Process(usize),
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum TopState {
+    Header,
+    Settings { idx: usize },
+    InputIngest { idx: usize },
+    Sections { idx: usize, entered: bool },
+    Resetting { idx: usize, left: u64 },
+    Done,
+    Failed,
+}
+
+/// The NetPU accelerator instance.
+#[derive(Clone, Debug)]
+pub struct NetPu {
+    cfg: HwConfig,
+    lpus: Vec<Lpu>,
+    stream: StreamSource,
+    sink: StreamSink,
+    tracer: Tracer,
+    state: TopState,
+    settings: Vec<LayerSetting>,
+    sections: Vec<Section>,
+    packing: PackingMode,
+    pixels: Vec<i32>,
+    result: Option<(usize, Fix)>,
+    results: Vec<(usize, Fix, Cycle)>,
+    scores: Vec<Fix>,
+    error: Option<StreamError>,
+    /// Cycle accounting.
+    pub stats: NetPuStats,
+}
+
+impl NetPu {
+    /// Builds an instance fed by `stream` (the DMA-filled Network Input
+    /// FIFO).
+    pub fn new(cfg: HwConfig, stream: StreamSource) -> Result<NetPu, NetPuError> {
+        cfg.validate().map_err(NetPuError::Config)?;
+        Ok(NetPu {
+            lpus: (0..cfg.lpus).map(|i| Lpu::new(i, &cfg)).collect(),
+            cfg,
+            stream,
+            sink: StreamSink::new(),
+            tracer: Tracer::disabled(),
+            state: TopState::Header,
+            settings: Vec::new(),
+            sections: Vec::new(),
+            packing: PackingMode::Lanes8,
+            pixels: Vec::new(),
+            result: None,
+            results: Vec::new(),
+            scores: Vec::new(),
+            error: None,
+            stats: NetPuStats::default(),
+        })
+    }
+
+    /// Enables bounded event tracing.
+    pub fn with_tracer(mut self, tracer: Tracer) -> NetPu {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The classification result once inference finished.
+    pub fn result(&self) -> Option<(usize, Fix)> {
+        self.result
+    }
+
+    /// Every completed inference in a multi-inference stream:
+    /// `(class, score, completion cycle)`.
+    pub fn results(&self) -> &[(usize, Fix, Cycle)] {
+        &self.results
+    }
+
+    /// The raw per-class output scores once inference finished.
+    pub fn scores(&self) -> &[Fix] {
+        &self.scores
+    }
+
+    /// Class probabilities from the SoftMax unit; `None` unless the
+    /// instance was configured with `softmax_output`.
+    pub fn probabilities(&self) -> Option<Vec<f64>> {
+        if self.cfg.softmax_output && !self.scores.is_empty() {
+            Some(netpu_arith::softmax::softmax(&self.scores))
+        } else {
+            None
+        }
+    }
+
+    /// The stream error that aborted inference, if any.
+    pub fn error(&self) -> Option<&StreamError> {
+        self.error.as_ref()
+    }
+
+    /// The Network Output FIFO.
+    pub fn sink(&self) -> &StreamSink {
+        &self.sink
+    }
+
+    /// The event trace.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    fn fail(&mut self, e: StreamError) -> Tick {
+        self.error = Some(e);
+        self.state = TopState::Failed;
+        Tick::Done
+    }
+
+    fn lpu_of(&self, layer: usize) -> usize {
+        layer % self.cfg.lpus
+    }
+
+    /// Builds the §III.B.3 section order for `n` layers:
+    /// P0, (P1, W0), (P2, W1), …, (P(n−1), W(n−2)), W(n−1).
+    fn build_sections(n: usize) -> Vec<Section> {
+        let mut v = Vec::with_capacity(2 * n);
+        v.push(Section::Params(0));
+        for k in 1..n {
+            v.push(Section::Params(k));
+            v.push(Section::Process(k - 1));
+        }
+        v.push(Section::Process(n - 1));
+        v
+    }
+
+    /// Routes a finished layer's output to the next LPU or the Network
+    /// Output FIFO.
+    fn route_layer_output(&mut self, layer: usize, cycle: Cycle) {
+        let id = self.lpu_of(layer);
+        let out = self.lpus[id].take_output();
+        match out {
+            LayerOutput::Levels(levels) => {
+                let next = self.lpu_of(layer + 1);
+                // The Output Multiplexer connects this LPU's output port
+                // to the next LPU's Layer Input buffer.
+                let mac = to_mac_domain(&levels, self.settings[layer].out_precision);
+                self.lpus[next].set_inputs(mac);
+            }
+            LayerOutput::Class {
+                class,
+                score,
+                scores,
+            } => {
+                let word = class as u64 | (u64::from(score.to_stream_word()) << 32);
+                self.sink.push(cycle, word);
+                if self.cfg.softmax_output {
+                    // The SoftMax unit streams one Q16.16 exponential
+                    // per class behind the MaxOut word.
+                    let max = scores.iter().copied().fold(Fix::MIN, Fix::max);
+                    for (i, &s) in scores.iter().enumerate() {
+                        let e = netpu_arith::softmax::exp_q16(s.sat_sub(max)) as u64;
+                        self.sink.push(cycle, i as u64 | (e << 32));
+                    }
+                }
+                self.result = Some((class, score));
+                self.results.push((class, score, cycle));
+                self.scores = scores;
+                self.tracer.record(cycle, "netpu", || {
+                    format!("inference done: class {class} score {score}")
+                });
+            }
+        }
+        self.stats.layers.push(self.lpus[id].stats);
+    }
+}
+
+impl Clocked for NetPu {
+    fn tick(&mut self, cycle: Cycle) -> Tick {
+        let tick = match std::mem::replace(&mut self.state, TopState::Failed) {
+            TopState::Header => {
+                self.state = TopState::Header;
+                match self.stream.take() {
+                    Some(w) => {
+                        self.stats.settings_cycles += 1;
+                        if w as u16 != netpu_compiler::stream::MAGIC
+                            || (w >> 16) as u8 != netpu_compiler::stream::VERSION
+                        {
+                            return self.fail(StreamError::BadHeader(w));
+                        }
+                        let n = (w >> 24) as usize & 0xFFFF;
+                        if n < 2 {
+                            return self.fail(StreamError::BadLayerSequence);
+                        }
+                        // Packing flag (bit 40): dense streams need an
+                        // instance generated with dense unpack logic.
+                        self.packing = if w >> 40 & 1 == 1 {
+                            PackingMode::Dense
+                        } else {
+                            PackingMode::Lanes8
+                        };
+                        if self.packing == PackingMode::Dense && !self.cfg.dense_weight_packing {
+                            return self.fail(StreamError::PackingUnsupported);
+                        }
+                        self.settings.reserve(n);
+                        self.sections = NetPu::build_sections(n);
+                        self.state = TopState::Settings { idx: 0 };
+                        Tick::Progress
+                    }
+                    None => Tick::Stall,
+                }
+            }
+            TopState::Settings { idx } => {
+                self.state = TopState::Settings { idx };
+                match self.stream.take() {
+                    Some(w) => {
+                        self.stats.settings_cycles += 1;
+                        let s = match LayerSetting::decode(w) {
+                            Ok(s) => s,
+                            Err(e) => return self.fail(StreamError::BadSetting(e)),
+                        };
+                        self.settings.push(s);
+                        let n = self.sections.len() / 2;
+                        if idx + 1 == n {
+                            // Validate the layer sequence before relying
+                            // on it structurally.
+                            let ok = self.settings[0].layer_type == LayerType::Input
+                                && self.settings[n - 1].layer_type == LayerType::Output
+                                && self.settings[1..n - 1]
+                                    .iter()
+                                    .all(|s| s.layer_type == LayerType::Hidden);
+                            if !ok {
+                                return self.fail(StreamError::BadLayerSequence);
+                            }
+                            self.state = TopState::InputIngest { idx: 0 };
+                        } else {
+                            self.state = TopState::Settings { idx: idx + 1 };
+                        }
+                        Tick::Progress
+                    }
+                    None => Tick::Stall,
+                }
+            }
+            TopState::InputIngest { idx } => {
+                self.state = TopState::InputIngest { idx };
+                match self.stream.take() {
+                    Some(w) => {
+                        self.stats.input_ingest_cycles += 1;
+                        let len = self.settings[0].neurons as usize;
+                        for i in 0..8 {
+                            let p = 8 * idx + i;
+                            if p < len {
+                                self.pixels.push(((w >> (8 * i)) as u8) as i32);
+                            }
+                        }
+                        if idx + 1 == input_words(len) {
+                            self.state = TopState::Sections {
+                                idx: 0,
+                                entered: false,
+                            };
+                        } else {
+                            self.state = TopState::InputIngest { idx: idx + 1 };
+                        }
+                        Tick::Progress
+                    }
+                    None => Tick::Stall,
+                }
+            }
+            TopState::Sections { idx, entered } => {
+                match self.sections[idx] {
+                    Section::Params(layer) => {
+                        let id = self.lpu_of(layer);
+                        if !entered {
+                            if !self.lpus[id].is_idle() {
+                                // The stream interleave guarantees the
+                                // target LPU is free for L ≥ 2.
+                                self.state = TopState::Sections { idx, entered };
+                                return Tick::Stall;
+                            }
+                            let setting = self.settings[layer];
+                            let expect = param_words(&setting);
+                            self.lpus[id].begin_layer(setting, expect, self.packing);
+                            self.tracer.record(cycle, "netpu", || {
+                                format!("layer {layer} settings → lpu{id} ({expect} param words)")
+                            });
+                            if layer == 0 {
+                                self.lpus[id].set_inputs(self.pixels.clone());
+                            }
+                            if expect == 0 {
+                                self.state = TopState::Sections {
+                                    idx: idx + 1,
+                                    entered: false,
+                                };
+                                return Tick::Progress;
+                            }
+                        }
+                        match self.stream.take() {
+                            Some(w) => {
+                                self.stats.param_cycles += 1;
+                                let complete = self.lpus[id].ingest_param_word(w);
+                                self.state = if complete {
+                                    TopState::Sections {
+                                        idx: idx + 1,
+                                        entered: false,
+                                    }
+                                } else {
+                                    TopState::Sections { idx, entered: true }
+                                };
+                                Tick::Progress
+                            }
+                            None => {
+                                self.state = TopState::Sections { idx, entered: true };
+                                Tick::Stall
+                            }
+                        }
+                    }
+                    Section::Process(layer) => {
+                        let id = self.lpu_of(layer);
+                        let t = self.lpus[id].tick(&mut self.stream, cycle, &mut self.tracer);
+                        self.stats.process_cycles += 1;
+                        if self.lpus[id].is_done() {
+                            self.route_layer_output(layer, cycle);
+                            if layer + 1 == self.settings.len() {
+                                // Last layer of this inference. A
+                                // pre-packaged burst may carry further
+                                // complete loadables: re-initialise from
+                                // the next header instead of halting.
+                                if self.stream.exhausted() {
+                                    self.state = TopState::Done;
+                                    return Tick::Done;
+                                }
+                                self.lpus[id].reset();
+                                self.settings.clear();
+                                self.sections.clear();
+                                self.pixels.clear();
+                                self.state = TopState::Resetting {
+                                    idx: usize::MAX, // sentinel: restart at Header
+                                    left: RESET_CYCLES,
+                                };
+                                return Tick::Progress;
+                            }
+                            self.state = TopState::Resetting {
+                                idx: idx + 1,
+                                left: RESET_CYCLES,
+                            };
+                            // The lpu id is reset during Resetting.
+                            self.lpus[id].reset();
+                            return Tick::Progress;
+                        }
+                        self.state = TopState::Sections { idx, entered: true };
+                        t
+                    }
+                }
+            }
+            TopState::Resetting { idx, left } => {
+                self.stats.reset_cycles += 1;
+                self.state = if left > 1 {
+                    TopState::Resetting {
+                        idx,
+                        left: left - 1,
+                    }
+                } else if idx == usize::MAX {
+                    TopState::Header
+                } else {
+                    TopState::Sections {
+                        idx,
+                        entered: false,
+                    }
+                };
+                Tick::Progress
+            }
+            TopState::Done => {
+                self.state = TopState::Done;
+                Tick::Done
+            }
+            TopState::Failed => Tick::Done,
+        };
+        tick
+    }
+}
+
+/// A completed inference with its timing breakdown.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InferenceRun {
+    /// Predicted class.
+    pub class: usize,
+    /// Winning MaxOut score.
+    pub score: Fix,
+    /// Total clock cycles from first stream word to result.
+    pub cycles: Cycle,
+    /// Latency in microseconds at the configured clock.
+    pub latency_us: f64,
+    /// SoftMax probabilities (instances with `softmax_output` only).
+    pub probabilities: Option<Vec<f64>>,
+    /// Cycle breakdown.
+    pub stats: NetPuStats,
+}
+
+/// Convenience driver: streams a compiled loadable through a fresh
+/// NetPU instance at full bandwidth (one word per cycle) and runs it to
+/// completion.
+///
+/// ```
+/// use netpu_core::{netpu::run_inference, HwConfig};
+/// use netpu_nn::{export::BnMode, reference, zoo::ZooModel};
+/// let model = ZooModel::TfcW1A1.build_untrained(1, BnMode::Folded).unwrap();
+/// let pixels = vec![100u8; 784];
+/// let loadable = netpu_compiler::compile(&model, &pixels).unwrap();
+/// let run = run_inference(&HwConfig::paper_instance(), loadable.words).unwrap();
+/// // The cycle model is bit-exact against the software reference.
+/// assert_eq!(run.class, reference::infer(&model, &pixels));
+/// assert!(run.latency_us > 0.0);
+/// ```
+pub fn run_inference(cfg: &HwConfig, words: Vec<u64>) -> Result<InferenceRun, NetPuError> {
+    let stream = StreamSource::new(words, 1);
+    let mut netpu = NetPu::new(*cfg, stream)?;
+    let cycles = run_to_completion(&mut netpu)?;
+    let (class, score) = netpu.result().expect("inference completed");
+    Ok(InferenceRun {
+        class,
+        score,
+        cycles,
+        latency_us: netpu_sim::cycles_to_us(cycles, cfg.clock_mhz),
+        probabilities: netpu.probabilities(),
+        stats: netpu.stats.clone(),
+    })
+}
+
+/// Runs a prepared NetPU to completion, surfacing stream errors.
+pub fn run_to_completion(netpu: &mut NetPu) -> Result<Cycle, NetPuError> {
+    // Advance stream bandwidth bookkeeping alongside the clock.
+    struct WithStream<'a>(&'a mut NetPu);
+    impl Clocked for WithStream<'_> {
+        fn tick(&mut self, cycle: Cycle) -> Tick {
+            let t = self.0.tick(cycle);
+            self.0.stream.next_cycle();
+            t
+        }
+    }
+    let cycles = Simulator::new()
+        .run(&mut WithStream(netpu))
+        .map_err(NetPuError::Sim)?;
+    if let Some(e) = netpu.error.clone() {
+        return Err(NetPuError::Stream(e));
+    }
+    Ok(cycles)
+}

@@ -1,0 +1,90 @@
+//! Multi-inference burst streaming: the host pre-packages several
+//! complete loadables back to back; the NetPU re-initialises from each
+//! header and classifies every frame.
+
+use netpu_compiler::{batch_stream, PackingMode};
+use netpu_core::netpu::run_to_completion;
+use netpu_core::{HwConfig, NetPu};
+use netpu_nn::export::BnMode;
+use netpu_nn::zoo::ZooModel;
+use netpu_nn::{dataset, reference};
+use netpu_sim::StreamSource;
+
+#[test]
+fn burst_classifies_every_frame() {
+    let model = ZooModel::TfcW1A1
+        .build_untrained(1, BnMode::Folded)
+        .unwrap();
+    let ds = dataset::generate(5, 9, &dataset::GeneratorConfig::default());
+    let inputs: Vec<Vec<u8>> = ds.examples.iter().map(|e| e.pixels.clone()).collect();
+    let words = batch_stream(&model, &inputs, PackingMode::Lanes8).unwrap();
+    let mut netpu = NetPu::new(HwConfig::paper_instance(), StreamSource::new(words, 1)).unwrap();
+    run_to_completion(&mut netpu).unwrap();
+    let results = netpu.results();
+    assert_eq!(results.len(), 5);
+    for ((class, _, _), e) in results.iter().zip(&ds.examples) {
+        assert_eq!(*class, reference::infer(&model, &e.pixels));
+    }
+    // Completion cycles are strictly increasing.
+    assert!(results.windows(2).all(|w| w[0].2 < w[1].2));
+    // One result word per frame in the Network Output FIFO.
+    assert_eq!(netpu.sink().len(), 5);
+}
+
+#[test]
+fn sustained_rate_matches_single_frame_latency() {
+    // NetPU-M re-streams everything per inference, so a burst's
+    // steady-state spacing equals single-frame latency plus the small
+    // re-initialisation overhead — there is no cross-frame pipelining
+    // to exploit (unlike FINN's streaming pipeline).
+    let model = ZooModel::TfcW2A2
+        .build_untrained(2, BnMode::Folded)
+        .unwrap();
+    let px = vec![90u8; 784];
+    let single = netpu_core::netpu::run_inference(
+        &HwConfig::paper_instance(),
+        netpu_compiler::compile(&model, &px).unwrap().words,
+    )
+    .unwrap()
+    .cycles;
+    let n = 4u64;
+    let words = batch_stream(&model, &vec![px; n as usize], PackingMode::Lanes8).unwrap();
+    let mut netpu = NetPu::new(HwConfig::paper_instance(), StreamSource::new(words, 1)).unwrap();
+    let total = run_to_completion(&mut netpu).unwrap();
+    assert_eq!(netpu.results().len() as u64, n);
+    let per_frame = total as f64 / n as f64;
+    let ratio = per_frame / single as f64;
+    assert!(
+        (0.99..1.02).contains(&ratio),
+        "burst per-frame {per_frame} vs single {single}"
+    );
+}
+
+#[test]
+fn empty_batch_is_empty_stream() {
+    let model = ZooModel::TfcW1A1
+        .build_untrained(3, BnMode::Folded)
+        .unwrap();
+    assert!(batch_stream(&model, &[], PackingMode::Lanes8)
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn dense_bursts_work_too() {
+    let cfg = HwConfig {
+        dense_weight_packing: true,
+        ..HwConfig::paper_instance()
+    };
+    let model = ZooModel::TfcW2A2
+        .build_untrained(4, BnMode::Folded)
+        .unwrap();
+    let ds = dataset::generate(3, 2, &dataset::GeneratorConfig::default());
+    let inputs: Vec<Vec<u8>> = ds.examples.iter().map(|e| e.pixels.clone()).collect();
+    let words = batch_stream(&model, &inputs, PackingMode::Dense).unwrap();
+    let mut netpu = NetPu::new(cfg, StreamSource::new(words, 1)).unwrap();
+    run_to_completion(&mut netpu).unwrap();
+    for ((class, _, _), e) in netpu.results().iter().zip(&ds.examples) {
+        assert_eq!(*class, reference::infer(&model, &e.pixels));
+    }
+}

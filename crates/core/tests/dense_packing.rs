@@ -1,0 +1,201 @@
+//! Tests of the §V multi-channel dense weight packing extension:
+//! correctness (bit-exact against the reference through the dense wire
+//! format), the latency interaction with the weight-stream bottleneck,
+//! and rejection on instances without dense unpack logic.
+
+use netpu_compiler::{compile_packed, decode, PackingMode, StreamError};
+use netpu_core::netpu::run_inference;
+use netpu_core::{HwConfig, NetPuError};
+use netpu_nn::export::BnMode;
+use netpu_nn::reference;
+use netpu_nn::zoo::ZooModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dense_cfg() -> HwConfig {
+    HwConfig {
+        dense_weight_packing: true,
+        ..HwConfig::paper_instance()
+    }
+}
+
+fn pixels(seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..784).map(|_| rng.gen()).collect()
+}
+
+#[test]
+fn dense_roundtrip_preserves_the_model() {
+    for zm in [ZooModel::TfcW2A2, ZooModel::LfcW1A2] {
+        let mut model = zm.build_untrained(3, BnMode::Folded).unwrap();
+        let px = pixels(1);
+        let loadable = compile_packed(&model, &px, PackingMode::Dense).unwrap();
+        let decoded = decode(&loadable.words).unwrap();
+        assert_eq!(decoded.packing, PackingMode::Dense);
+        model.name = String::new();
+        assert_eq!(decoded.model, model);
+        assert_eq!(decoded.pixels, px);
+    }
+}
+
+#[test]
+fn dense_stream_is_smaller_for_low_precision() {
+    let model = ZooModel::TfcW2A2
+        .build_untrained(3, BnMode::Folded)
+        .unwrap();
+    let px = pixels(2);
+    let lanes = compile_packed(&model, &px, PackingMode::Lanes8).unwrap();
+    let dense = compile_packed(&model, &px, PackingMode::Dense).unwrap();
+    // 2-bit weights: weight sections shrink ~4x; the whole stream is
+    // weight-dominated so it shrinks close to that.
+    assert!(
+        (lanes.len() as f64 / dense.len() as f64) > 2.5,
+        "{} vs {}",
+        lanes.len(),
+        dense.len()
+    );
+}
+
+#[test]
+fn dense_inference_is_bit_exact() {
+    let cfg = dense_cfg();
+    for zm in [ZooModel::TfcW2A2, ZooModel::LfcW1A2] {
+        let model = zm.build_untrained(4, BnMode::Folded).unwrap();
+        for seed in 0..3u64 {
+            let px = pixels(seed);
+            let words = compile_packed(&model, &px, PackingMode::Dense)
+                .unwrap()
+                .words;
+            let run = run_inference(&cfg, words).unwrap();
+            let trace = reference::infer_traced(&model, &px);
+            assert_eq!(run.class, trace.class, "{zm} seed {seed}");
+            assert_eq!(run.score, trace.scores[trace.class]);
+        }
+    }
+}
+
+#[test]
+fn binary_weight_models_gain_most_from_dense_packing() {
+    // LFC-w1a2's 1-bit weights pack 64/word instead of 8/word.
+    let cfg = dense_cfg();
+    let model = ZooModel::TfcW2A2
+        .build_untrained(5, BnMode::Folded)
+        .unwrap();
+    let px = pixels(3);
+    let lanes_run = run_inference(
+        &cfg,
+        compile_packed(&model, &px, PackingMode::Lanes8)
+            .unwrap()
+            .words,
+    )
+    .unwrap();
+    let dense_run = run_inference(
+        &cfg,
+        compile_packed(&model, &px, PackingMode::Dense)
+            .unwrap()
+            .words,
+    )
+    .unwrap();
+    assert_eq!(lanes_run.class, dense_run.class);
+    let speedup = lanes_run.cycles as f64 / dense_run.cycles as f64;
+    // 2-bit dense carries 32 weights/word but only 8 multiplier lanes:
+    // per word 1 ingest + 4 dispatch groups = 5 cycles for 32 weights
+    // vs 2 cycles for 8 — a ~1.6x win, NOT the naive 4x. The stream
+    // shrinks 4x; compute becomes the new bottleneck.
+    assert!(
+        (1.3..2.2).contains(&speedup),
+        "dense speedup {speedup} ({} vs {} cycles)",
+        lanes_run.cycles,
+        dense_run.cycles
+    );
+}
+
+#[test]
+fn dense_plus_double_buffering_is_compute_bound() {
+    // With double buffering, lane packing already reaches one word (8
+    // weights) per cycle = the multiplier limit; dense packing cannot
+    // beat the multiplier array, so the two configurations converge.
+    let model = ZooModel::TfcW2A2
+        .build_untrained(6, BnMode::Folded)
+        .unwrap();
+    let px = pixels(4);
+    let db = HwConfig {
+        double_buffered_weights: true,
+        dense_weight_packing: true,
+        ..HwConfig::paper_instance()
+    };
+    let lanes = run_inference(
+        &db,
+        compile_packed(&model, &px, PackingMode::Lanes8)
+            .unwrap()
+            .words,
+    )
+    .unwrap()
+    .cycles;
+    let dense = run_inference(
+        &db,
+        compile_packed(&model, &px, PackingMode::Dense)
+            .unwrap()
+            .words,
+    )
+    .unwrap()
+    .cycles;
+    let ratio = lanes as f64 / dense as f64;
+    assert!(
+        (0.9..1.15).contains(&ratio),
+        "expected convergence, got {lanes} vs {dense}"
+    );
+}
+
+#[test]
+fn instances_without_dense_logic_reject_dense_streams() {
+    let model = ZooModel::TfcW2A2
+        .build_untrained(7, BnMode::Folded)
+        .unwrap();
+    let px = pixels(5);
+    let words = compile_packed(&model, &px, PackingMode::Dense)
+        .unwrap()
+        .words;
+    match run_inference(&HwConfig::paper_instance(), words) {
+        Err(NetPuError::Stream(StreamError::PackingUnsupported)) => {}
+        other => panic!("expected PackingUnsupported, got {other:?}"),
+    }
+}
+
+#[test]
+fn dense_instances_still_accept_lane_streams() {
+    let model = ZooModel::TfcW2A2
+        .build_untrained(8, BnMode::Folded)
+        .unwrap();
+    let px = pixels(6);
+    let words = compile_packed(&model, &px, PackingMode::Lanes8)
+        .unwrap()
+        .words;
+    let run = run_inference(&dense_cfg(), words).unwrap();
+    assert_eq!(run.class, reference::infer(&model, &px));
+}
+
+#[test]
+fn odd_precisions_fall_back_to_lanes() {
+    use netpu_arith::{ActivationKind, Precision};
+    use netpu_compiler::stream::{weight_field_bits, weights_per_word};
+    use netpu_compiler::{LayerSetting, LayerType};
+    let mk = |bits: u8| LayerSetting {
+        layer_type: LayerType::Hidden,
+        activation: ActivationKind::MultiThreshold,
+        bn_folded: true,
+        in_precision: Precision::W4,
+        weight_precision: Precision::new(bits).unwrap(),
+        out_precision: Precision::W4,
+        neurons: 4,
+        input_len: 16,
+    };
+    // 3-bit doesn't divide 8: falls back to 8-bit lanes even in Dense.
+    assert_eq!(weight_field_bits(&mk(3), PackingMode::Dense), 8);
+    assert_eq!(weights_per_word(&mk(3), PackingMode::Dense), 8);
+    // 1/2/4/8 pack natively.
+    assert_eq!(weights_per_word(&mk(1), PackingMode::Dense), 64);
+    assert_eq!(weights_per_word(&mk(2), PackingMode::Dense), 32);
+    assert_eq!(weights_per_word(&mk(4), PackingMode::Dense), 16);
+    assert_eq!(weights_per_word(&mk(8), PackingMode::Dense), 8);
+}

@@ -1,0 +1,115 @@
+//! Negative-path tests: API misuse must fail loudly and invalid
+//! configurations must be rejected before any simulation starts.
+
+use netpu_arith::Precision;
+use netpu_compiler::{LayerSetting, LayerType, PackingMode};
+use netpu_core::lpu::Lpu;
+use netpu_core::tnpu::{LayerCfg, NeuronActivation, NeuronParams, Tnpu};
+use netpu_core::{ConfigError, HwConfig, NetPu, NetPuError};
+use netpu_sim::StreamSource;
+
+fn hidden_setting() -> LayerSetting {
+    LayerSetting {
+        layer_type: LayerType::Hidden,
+        activation: netpu_arith::ActivationKind::Sign,
+        bn_folded: true,
+        in_precision: Precision::W1,
+        weight_precision: Precision::W1,
+        out_precision: Precision::W1,
+        neurons: 4,
+        input_len: 8,
+    }
+}
+
+#[test]
+fn netpu_rejects_invalid_configs_up_front() {
+    let bad = HwConfig {
+        lpus: 1,
+        ..HwConfig::paper_instance()
+    };
+    match NetPu::new(bad, StreamSource::new(vec![], 1)) {
+        Err(NetPuError::Config(ConfigError::TooFewLpus(1))) => {}
+        other => panic!("expected config rejection, got {other:?}"),
+    }
+}
+
+#[test]
+#[should_panic(expected = "must be reset first")]
+fn lpu_rejects_double_layer_initialization() {
+    let cfg = HwConfig::paper_instance();
+    let mut lpu = Lpu::new(0, &cfg);
+    lpu.begin_layer(hidden_setting(), 4, PackingMode::Lanes8);
+    lpu.begin_layer(hidden_setting(), 4, PackingMode::Lanes8);
+}
+
+#[test]
+#[should_panic(expected = "not awaiting parameters")]
+fn lpu_rejects_unexpected_param_words() {
+    let cfg = HwConfig::paper_instance();
+    let mut lpu = Lpu::new(0, &cfg);
+    lpu.ingest_param_word(0);
+}
+
+#[test]
+#[should_panic(expected = "input length")]
+fn lpu_rejects_wrong_input_length() {
+    let cfg = HwConfig::paper_instance();
+    let mut lpu = Lpu::new(0, &cfg);
+    lpu.begin_layer(hidden_setting(), 4, PackingMode::Lanes8);
+    lpu.set_inputs(vec![1; 3]); // fan-in is 8
+}
+
+#[test]
+#[should_panic(expected = "not done")]
+fn lpu_rejects_early_output_collection() {
+    let cfg = HwConfig::paper_instance();
+    let mut lpu = Lpu::new(0, &cfg);
+    lpu.begin_layer(hidden_setting(), 4, PackingMode::Lanes8);
+    let _ = lpu.take_output();
+}
+
+#[test]
+#[should_panic(expected = "configure_layer first")]
+fn tnpu_rejects_neuron_load_before_layer() {
+    let mut t = Tnpu::new(8);
+    t.load_neuron(NeuronParams {
+        bias: Some(0),
+        bn: None,
+        activation: NeuronActivation::Sign(netpu_arith::Fix::ZERO),
+    });
+}
+
+#[test]
+#[should_panic(expected = "multiplier lanes")]
+fn tnpu_rejects_invalid_lane_count() {
+    let _ = Tnpu::new(0);
+}
+
+#[test]
+fn lpu_reset_returns_to_idle() {
+    let cfg = HwConfig::paper_instance();
+    let mut lpu = Lpu::new(0, &cfg);
+    lpu.begin_layer(hidden_setting(), 4, PackingMode::Lanes8);
+    assert!(!lpu.is_idle());
+    lpu.reset();
+    assert!(lpu.is_idle());
+    // A reset LPU accepts a fresh layer.
+    lpu.begin_layer(hidden_setting(), 4, PackingMode::Lanes8);
+    assert!(!lpu.is_idle());
+}
+
+#[test]
+fn tnpu_layer_cfg_reports_xnor_pairing() {
+    let xnor = LayerCfg {
+        layer_type: LayerType::Hidden,
+        in_precision: Precision::W1,
+        weight_precision: Precision::W1,
+        out_precision: Precision::W1,
+    };
+    assert!(xnor.uses_xnor());
+    let promoted = LayerCfg {
+        in_precision: Precision::W2,
+        ..xnor
+    };
+    assert!(!promoted.uses_xnor());
+}

@@ -1,0 +1,102 @@
+//! Tests of the SoftMax output extension (§III.B.1 future work).
+
+use netpu_core::netpu::run_inference;
+use netpu_core::HwConfig;
+use netpu_nn::export::BnMode;
+use netpu_nn::reference;
+use netpu_nn::zoo::ZooModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn softmax_cfg() -> HwConfig {
+    HwConfig {
+        softmax_output: true,
+        ..HwConfig::paper_instance()
+    }
+}
+
+fn pixels(seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..784).map(|_| rng.gen()).collect()
+}
+
+#[test]
+fn probabilities_are_a_distribution_and_agree_with_maxout() {
+    let model = ZooModel::TfcW2A2
+        .build_untrained(3, BnMode::Folded)
+        .unwrap();
+    for seed in 0..4u64 {
+        let px = pixels(seed);
+        let words = netpu_compiler::compile(&model, &px).unwrap().words;
+        let run = run_inference(&softmax_cfg(), words).unwrap();
+        let probs = run.probabilities.as_ref().expect("softmax enabled");
+        assert_eq!(probs.len(), 10);
+        let sum: f64 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        // The MaxOut winner carries maximal probability (exp is
+        // monotone; ties share the maximum, so compare ≥ rather than
+        // demanding a unique argmax).
+        assert!(
+            probs.iter().all(|&p| p <= probs[run.class] + 1e-12),
+            "class {} prob {} not maximal in {probs:?}",
+            run.class,
+            probs[run.class]
+        );
+        assert_eq!(run.class, reference::infer(&model, &px));
+    }
+}
+
+#[test]
+fn default_instance_reports_no_probabilities() {
+    let model = ZooModel::TfcW1A1
+        .build_untrained(4, BnMode::Folded)
+        .unwrap();
+    let words = netpu_compiler::compile(&model, &pixels(0)).unwrap().words;
+    let run = run_inference(&HwConfig::paper_instance(), words).unwrap();
+    assert!(run.probabilities.is_none());
+}
+
+#[test]
+fn softmax_unit_streams_one_word_per_class() {
+    let model = ZooModel::TfcW1A1
+        .build_untrained(5, BnMode::Folded)
+        .unwrap();
+    let px = pixels(1);
+    let words = netpu_compiler::compile(&model, &px).unwrap().words;
+    let stream = netpu_sim::StreamSource::new(words, 1);
+    let mut netpu = netpu_core::NetPu::new(softmax_cfg(), stream).unwrap();
+    netpu_core::netpu::run_to_completion(&mut netpu).unwrap();
+    // 1 MaxOut word + 10 per-class exponential words.
+    assert_eq!(netpu.sink().len(), 11);
+    assert_eq!(netpu.scores().len(), 10);
+    // The exponential words decode to the probabilities (after host
+    // normalisation).
+    let words: Vec<u64> = netpu.sink().words().collect();
+    let exps: Vec<u64> = words[1..].iter().map(|w| w >> 32).collect();
+    let sum: u64 = exps.iter().sum();
+    assert!(sum > 0);
+    let probs = netpu.probabilities().unwrap();
+    for (e, p) in exps.iter().zip(&probs) {
+        assert!((*e as f64 / sum as f64 - p).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn softmax_costs_extra_output_cycles() {
+    let model = ZooModel::TfcW1A1
+        .build_untrained(6, BnMode::Folded)
+        .unwrap();
+    let px = pixels(2);
+    let words = netpu_compiler::compile(&model, &px).unwrap().words;
+    let plain = run_inference(&HwConfig::paper_instance(), words.clone()).unwrap();
+    let soft = run_inference(&softmax_cfg(), words).unwrap();
+    // Ten extra exp cycles on the output layer, nothing else.
+    assert!(soft.cycles > plain.cycles);
+    assert!(
+        soft.cycles - plain.cycles <= 16,
+        "{} vs {}",
+        soft.cycles,
+        plain.cycles
+    );
+    assert_eq!(soft.class, plain.class);
+}

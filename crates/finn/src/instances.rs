@@ -1,0 +1,198 @@
+//! The four FINN instances of Table VI.
+//!
+//! The paper compares against FINN's published SFC/LFC instances on a
+//! Zynq-7000 at 200 MHz: `max` instances unfold aggressively for
+//! throughput, `fix` instances fold heavily to save resources. FINN's
+//! exact folding parameters are not given in the NetPU-M paper, so each
+//! instance here carries a folding configuration chosen to land near the
+//! published latency (Table VI: SFC-max 0.31 µs, LFC-max 2.44 µs,
+//! SFC-fix 240 µs, LFC-fix 282 µs); the *architecture* — latency as the
+//! sum of per-layer folds, throughput as the bottleneck fold — is the
+//! real model under test.
+
+use crate::mvtu::MvtuConfig;
+use crate::pipeline::run_pipeline;
+use netpu_nn::zoo::{ZooModel, ZOO_CLASSES, ZOO_INPUT_LEN};
+use netpu_sim::fpga::{Platform, ZYNQ7000_ZC706};
+use serde::{Deserialize, Serialize};
+
+/// One FINN accelerator instance: a per-model streaming pipeline.
+///
+/// ```
+/// use netpu_finn::FinnInstance;
+/// let inst = FinnInstance::sfc_max();
+/// // Table VI: SFC-max ≈ 0.31 µs per frame at 200 MHz.
+/// assert!((0.2..0.45).contains(&inst.latency_us()));
+/// // Pipelining: throughput beats 1/latency.
+/// assert!(inst.throughput_fps() > 1e6 / inst.latency_us());
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FinnInstance {
+    /// Instance name as Table VI lists it.
+    pub name: &'static str,
+    /// The model this HSD design was generated for.
+    pub model: ZooModel,
+    /// Per-layer MVTU configurations (input → output order).
+    pub layers: Vec<MvtuConfig>,
+    /// Clock frequency (MHz).
+    pub clock_mhz: f64,
+    /// Target platform.
+    pub platform: Platform,
+}
+
+fn layers_for(model: ZooModel, pe_simd: &[(usize, usize); 4]) -> Vec<MvtuConfig> {
+    let h = model.hidden_width();
+    let dims = [(h, ZOO_INPUT_LEN), (h, h), (h, h), (ZOO_CLASSES, h)];
+    dims.iter()
+        .zip(pe_simd)
+        .map(|(&(neurons, synapses), &(pe, simd))| MvtuConfig {
+            neurons,
+            synapses,
+            pe,
+            simd,
+            act_bits: model.act_bits(),
+            weight_bits: model.weight_bits(),
+        })
+        .collect()
+}
+
+impl FinnInstance {
+    /// SFC-max: throughput-optimised SFC-w1a1 (~16-cycle folds).
+    pub fn sfc_max() -> FinnInstance {
+        FinnInstance {
+            name: "SFC-max",
+            model: ZooModel::SfcW1A1,
+            layers: layers_for(
+                ZooModel::SfcW1A1,
+                &[(64, 196), (64, 64), (64, 64), (10, 64)],
+            ),
+            clock_mhz: 200.0,
+            platform: ZYNQ7000_ZC706,
+        }
+    }
+
+    /// LFC-max: throughput-optimised LFC-w1a1.
+    pub fn lfc_max() -> FinnInstance {
+        FinnInstance {
+            name: "LFC-max",
+            model: ZooModel::LfcW1A1,
+            layers: layers_for(
+                ZooModel::LfcW1A1,
+                &[(128, 49), (128, 64), (128, 64), (10, 128)],
+            ),
+            clock_mhz: 200.0,
+            platform: ZYNQ7000_ZC706,
+        }
+    }
+
+    /// SFC-fix: resource-minimised SFC-w1a1.
+    pub fn sfc_fix() -> FinnInstance {
+        FinnInstance {
+            name: "SFC-fix",
+            model: ZooModel::SfcW1A1,
+            layers: layers_for(ZooModel::SfcW1A1, &[(2, 4), (2, 4), (2, 4), (2, 4)]),
+            clock_mhz: 200.0,
+            platform: ZYNQ7000_ZC706,
+        }
+    }
+
+    /// LFC-fix: resource-minimised LFC-w1a1.
+    pub fn lfc_fix() -> FinnInstance {
+        FinnInstance {
+            name: "LFC-fix",
+            model: ZooModel::LfcW1A1,
+            layers: layers_for(ZooModel::LfcW1A1, &[(8, 7), (8, 8), (8, 8), (8, 8)]),
+            clock_mhz: 200.0,
+            platform: ZYNQ7000_ZC706,
+        }
+    }
+
+    /// The four Table VI instances.
+    pub fn table6() -> Vec<FinnInstance> {
+        vec![
+            FinnInstance::sfc_max(),
+            FinnInstance::lfc_max(),
+            FinnInstance::sfc_fix(),
+            FinnInstance::lfc_fix(),
+        ]
+    }
+
+    /// Validates every layer's folding configuration.
+    pub fn validate(&self) -> Result<(), crate::mvtu::MvtuError> {
+        for l in &self.layers {
+            l.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Single-frame latency in cycles (simulated).
+    pub fn latency_cycles(&self) -> u64 {
+        run_pipeline(&self.layers, 1).0
+    }
+
+    /// Single-frame latency in microseconds.
+    pub fn latency_us(&self) -> f64 {
+        netpu_sim::cycles_to_us(self.latency_cycles(), self.clock_mhz)
+    }
+
+    /// Steady-state throughput in frames per second (simulated over a
+    /// window of frames).
+    pub fn throughput_fps(&self) -> f64 {
+        let frames = 64;
+        let (_, total) = run_pipeline(&self.layers, frames);
+        frames as f64 / (total as f64 / (self.clock_mhz * 1e6))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_instances_validate() {
+        for inst in FinnInstance::table6() {
+            inst.validate().unwrap();
+            assert_eq!(inst.layers.len(), 4);
+        }
+    }
+
+    /// Published Table VI latencies: SFC-max 0.31 µs, LFC-max 2.44 µs,
+    /// SFC-fix 240 µs, LFC-fix 282 µs. Our folding reconstruction lands
+    /// within ~35%.
+    #[test]
+    fn latencies_near_published_values() {
+        let targets = [
+            ("SFC-max", 0.31),
+            ("LFC-max", 2.44),
+            ("SFC-fix", 240.0),
+            ("LFC-fix", 282.0),
+        ];
+        for (inst, (name, target)) in FinnInstance::table6().iter().zip(targets) {
+            assert_eq!(inst.name, name);
+            let got = inst.latency_us();
+            let ratio = got / target;
+            assert!(
+                (0.65..=1.4).contains(&ratio),
+                "{name}: {got:.2} µs vs published {target} µs"
+            );
+        }
+    }
+
+    /// The max/fix split spans ~2-3 orders of magnitude in latency.
+    #[test]
+    fn max_vs_fix_latency_gap() {
+        let sfc_gap = FinnInstance::sfc_fix().latency_us() / FinnInstance::sfc_max().latency_us();
+        assert!(sfc_gap > 300.0, "SFC max→fix gap only {sfc_gap}");
+        let lfc_gap = FinnInstance::lfc_fix().latency_us() / FinnInstance::lfc_max().latency_us();
+        assert!(lfc_gap > 50.0, "LFC max→fix gap only {lfc_gap}");
+    }
+
+    /// Throughput beats 1/latency thanks to pipelining.
+    #[test]
+    fn pipelining_raises_throughput_above_inverse_latency() {
+        let inst = FinnInstance::sfc_max();
+        let fps = inst.throughput_fps();
+        let inverse = 1e6 / inst.latency_us();
+        assert!(fps > 1.5 * inverse, "fps {fps} vs 1/latency {inverse}");
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! FINN-style Heterogeneous Streaming Dataflow (HSD) baseline.
+//!
+//! Table VI compares NetPU-M against four FINN instances (Umuroglu et
+//! al., FPGA'17). This crate reproduces that baseline architecture:
+//!
+//! * [`mvtu`] — the Matrix-Vector-Threshold Unit and its PE/SIMD
+//!   folding formula.
+//! * [`pipeline`] — a cycle-level simulation of the per-layer streaming
+//!   pipeline (single-frame latency = Σ folds; throughput = bottleneck
+//!   fold).
+//! * [`instances`] — the SFC/LFC `max`/`fix` instances of Table VI.
+//! * [`resources`] — the LUT/BRAM model capturing the distributed-RAM
+//!   vs block-RAM storage regimes.
+//!
+//! An HSD pipeline computes the same function as the reference model
+//! (`netpu_nn::reference`); this crate models the *timing and resource*
+//! side of the comparison.
+
+pub mod instances;
+pub mod mvtu;
+pub mod pipeline;
+pub mod resources;
+
+pub use instances::FinnInstance;
+pub use mvtu::{MvtuConfig, MvtuError};
+pub use pipeline::{run_pipeline, Pipeline};
+pub use resources::{instance_utilization, mvtu_utilization};

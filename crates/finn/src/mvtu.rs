@@ -1,0 +1,144 @@
+//! The Matrix-Vector-Threshold Unit (MVTU): FINN's layer engine.
+//!
+//! FINN (Umuroglu et al., FPGA'17) implements each FC layer as a
+//! dedicated MVTU with `pe` processing elements × `simd` synapse lanes.
+//! The layer's *folding factor* — cycles per frame — is
+//! `ceil(neurons/pe) · ceil(synapses/simd)`; the instance's folding
+//! choices trade resources against throughput (the `max` vs `fix`
+//! instances of Table VI).
+
+use serde::{Deserialize, Serialize};
+
+/// One MVTU layer configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MvtuConfig {
+    /// Layer output neurons.
+    pub neurons: usize,
+    /// Layer fan-in (synapses per neuron).
+    pub synapses: usize,
+    /// Processing elements (neuron parallelism).
+    pub pe: usize,
+    /// SIMD lanes per PE (synapse parallelism).
+    pub simd: usize,
+    /// Activation precision consumed (bits).
+    pub act_bits: u8,
+    /// Weight precision (bits).
+    pub weight_bits: u8,
+}
+
+/// MVTU configuration errors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MvtuError {
+    /// PE count exceeds the neuron count (wasted hardware).
+    TooManyPe,
+    /// SIMD width exceeds the fan-in.
+    TooManySimd,
+    /// Zero-sized dimension.
+    Zero,
+}
+
+impl std::fmt::Display for MvtuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MvtuError::TooManyPe => f.write_str("pe exceeds neuron count"),
+            MvtuError::TooManySimd => f.write_str("simd exceeds synapse count"),
+            MvtuError::Zero => f.write_str("zero-sized MVTU dimension"),
+        }
+    }
+}
+
+impl std::error::Error for MvtuError {}
+
+impl MvtuConfig {
+    /// Validates the folding configuration.
+    pub fn validate(&self) -> Result<(), MvtuError> {
+        if self.neurons == 0 || self.synapses == 0 || self.pe == 0 || self.simd == 0 {
+            return Err(MvtuError::Zero);
+        }
+        if self.pe > self.neurons {
+            return Err(MvtuError::TooManyPe);
+        }
+        if self.simd > self.synapses {
+            return Err(MvtuError::TooManySimd);
+        }
+        Ok(())
+    }
+
+    /// Neuron fold (`ceil(neurons/pe)`).
+    pub fn neuron_fold(&self) -> u64 {
+        self.neurons.div_ceil(self.pe) as u64
+    }
+
+    /// Synapse fold (`ceil(synapses/simd)`).
+    pub fn synapse_fold(&self) -> u64 {
+        self.synapses.div_ceil(self.simd) as u64
+    }
+
+    /// Total folding factor: cycles this MVTU needs per frame.
+    pub fn fold(&self) -> u64 {
+        self.neuron_fold() * self.synapse_fold()
+    }
+
+    /// Weight memory size in bits.
+    pub fn weight_bits_total(&self) -> u64 {
+        (self.neurons * self.synapses) as u64 * u64::from(self.weight_bits)
+    }
+
+    /// Weight memory read width per cycle in bits.
+    pub fn weight_port_bits(&self) -> u64 {
+        (self.pe * self.simd) as u64 * u64::from(self.weight_bits)
+    }
+
+    /// Weight memory depth (words of `weight_port_bits`).
+    pub fn weight_depth(&self) -> u64 {
+        self.fold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mvtu(neurons: usize, synapses: usize, pe: usize, simd: usize) -> MvtuConfig {
+        MvtuConfig {
+            neurons,
+            synapses,
+            pe,
+            simd,
+            act_bits: 1,
+            weight_bits: 1,
+        }
+    }
+
+    #[test]
+    fn fold_matches_finn_formula() {
+        // SFC hidden layer at PE=64, SIMD=64: (256/64)·(256/64) = 16.
+        assert_eq!(mvtu(256, 256, 64, 64).fold(), 16);
+        // Fully folded: one MAC at a time.
+        assert_eq!(mvtu(256, 784, 1, 1).fold(), 256 * 784);
+        // Fully unrolled: one cycle per frame.
+        assert_eq!(mvtu(256, 784, 256, 784).fold(), 1);
+    }
+
+    #[test]
+    fn fold_uses_ceiling_division() {
+        // 10 neurons on 4 PEs → 3 folds; 7 synapses on 2 lanes → 4.
+        assert_eq!(mvtu(10, 7, 4, 2).fold(), 12);
+    }
+
+    #[test]
+    fn weight_memory_geometry() {
+        let m = mvtu(256, 784, 64, 49);
+        assert_eq!(m.weight_bits_total(), 256 * 784);
+        assert_eq!(m.weight_port_bits(), 64 * 49);
+        assert_eq!(m.weight_depth(), 4 * 16);
+    }
+
+    #[test]
+    fn validation_catches_bad_folds() {
+        assert_eq!(mvtu(4, 4, 8, 1).validate(), Err(MvtuError::TooManyPe));
+        assert_eq!(mvtu(4, 4, 1, 8).validate(), Err(MvtuError::TooManySimd));
+        assert_eq!(mvtu(0, 4, 1, 1).validate(), Err(MvtuError::Zero));
+        mvtu(256, 784, 64, 49).validate().unwrap();
+    }
+}

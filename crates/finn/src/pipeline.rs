@@ -1,0 +1,195 @@
+//! Cycle-level simulation of FINN's heterogeneous streaming pipeline.
+//!
+//! HSD architectures instantiate every layer as its own engine and
+//! stream frames through the chain: while layer 2 processes frame i,
+//! layer 1 already works on frame i+1. Single-frame latency is the sum
+//! of the layer folds (plus handoff registers); steady-state throughput
+//! is set by the slowest layer alone. Both behaviours fall out of this
+//! token-level simulation.
+
+use crate::mvtu::MvtuConfig;
+use netpu_sim::engine::Tick;
+use netpu_sim::{Clocked, Cycle, Fifo, Simulator};
+
+/// Handoff FIFO depth between stages.
+const STAGE_FIFO_DEPTH: usize = 2;
+
+struct Stage {
+    fold: u64,
+    busy: u64,
+    frame: Option<u64>,
+    pending: Option<u64>,
+}
+
+/// A streaming pipeline of MVTU stages processing `frames` frames.
+pub struct Pipeline {
+    stages: Vec<Stage>,
+    fifos: Vec<Fifo<u64>>,
+    next_frame: u64,
+    frames: u64,
+    completed: Vec<(u64, Cycle)>,
+}
+
+impl Pipeline {
+    /// Builds a pipeline from layer configurations.
+    pub fn new(layers: &[MvtuConfig], frames: u64) -> Pipeline {
+        assert!(!layers.is_empty() && frames > 0);
+        Pipeline {
+            stages: layers
+                .iter()
+                .map(|l| Stage {
+                    fold: l.fold(),
+                    busy: 0,
+                    frame: None,
+                    pending: None,
+                })
+                .collect(),
+            fifos: (0..layers.len())
+                .map(|_| Fifo::new("stage", 64, STAGE_FIFO_DEPTH))
+                .collect(),
+            next_frame: 0,
+            frames,
+            completed: Vec::new(),
+        }
+    }
+
+    /// `(frame, completion cycle)` pairs in completion order.
+    pub fn completed(&self) -> &[(u64, Cycle)] {
+        &self.completed
+    }
+
+    /// Cycle at which the first frame completed, if any.
+    pub fn first_frame_latency(&self) -> Option<Cycle> {
+        self.completed.first().map(|&(_, c)| c + 1)
+    }
+}
+
+impl Clocked for Pipeline {
+    fn tick(&mut self, cycle: Cycle) -> Tick {
+        if self.completed.len() as u64 == self.frames {
+            return Tick::Done;
+        }
+        let mut progress = false;
+        // Drain stages back-to-front so a frame can advance one stage
+        // per cycle without same-cycle ripple-through.
+        for i in (0..self.stages.len()).rev() {
+            // Deliver a pending output.
+            if let Some(f) = self.stages[i].pending {
+                if i + 1 == self.stages.len() {
+                    self.completed.push((f, cycle));
+                    self.stages[i].pending = None;
+                    progress = true;
+                } else if self.fifos[i + 1].push(f) {
+                    self.stages[i].pending = None;
+                    progress = true;
+                }
+            }
+            // Advance computation.
+            if self.stages[i].busy > 0 {
+                self.stages[i].busy -= 1;
+                progress = true;
+                if self.stages[i].busy == 0 {
+                    self.stages[i].pending = self.stages[i].frame.take();
+                }
+            }
+            // Accept a new frame.
+            if self.stages[i].busy == 0
+                && self.stages[i].frame.is_none()
+                && self.stages[i].pending.is_none()
+            {
+                let next = if i == 0 {
+                    if self.next_frame < self.frames {
+                        let f = self.next_frame;
+                        self.next_frame += 1;
+                        Some(f)
+                    } else {
+                        None
+                    }
+                } else {
+                    self.fifos[i].pop()
+                };
+                if let Some(f) = next {
+                    self.stages[i].frame = Some(f);
+                    self.stages[i].busy = self.stages[i].fold;
+                    progress = true;
+                }
+            }
+        }
+        if progress {
+            Tick::Progress
+        } else {
+            Tick::Stall
+        }
+    }
+}
+
+/// Runs `frames` frames through `layers`, returning
+/// `(first-frame latency, total cycles)`.
+pub fn run_pipeline(layers: &[MvtuConfig], frames: u64) -> (Cycle, Cycle) {
+    let mut p = Pipeline::new(layers, frames);
+    let total = Simulator::new()
+        .run(&mut p)
+        .expect("pipeline cannot deadlock");
+    (p.first_frame_latency().expect("≥1 frame"), total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(fold_neurons: usize) -> MvtuConfig {
+        // fold = fold_neurons with one synapse fold.
+        MvtuConfig {
+            neurons: fold_neurons,
+            synapses: 1,
+            pe: 1,
+            simd: 1,
+            act_bits: 1,
+            weight_bits: 1,
+        }
+    }
+
+    #[test]
+    fn single_frame_latency_is_sum_of_folds_plus_handoffs() {
+        let layers = [layer(5), layer(7), layer(3)];
+        let (first, total) = run_pipeline(&layers, 1);
+        // Σfold compute cycles plus three handoff cycles per stage
+        // boundary (pending → FIFO → accept).
+        assert_eq!(first, 5 + 7 + 3 + 3 * 2);
+        // The simulator's final Done edge adds one cycle.
+        assert_eq!(total, first + 1);
+    }
+
+    #[test]
+    fn throughput_is_set_by_the_slowest_stage() {
+        let layers = [layer(2), layer(10), layer(3)];
+        let frames = 50u64;
+        let (_, total) = run_pipeline(&layers, frames);
+        // Steady state: one frame per bottleneck-fold+1 cycles.
+        let lower = 11 * (frames - 1);
+        let upper = 11 * frames + 25;
+        assert!(
+            (lower..=upper).contains(&total),
+            "total {total} outside [{lower}, {upper}]"
+        );
+    }
+
+    #[test]
+    fn balanced_pipeline_overlaps_perfectly() {
+        let layers = [layer(4), layer(4), layer(4)];
+        let (first, total) = run_pipeline(&layers, 10);
+        assert_eq!(first, 4 * 3 + 3 * 2);
+        // 9 more frames drain at one per fold+1 cycles behind the first,
+        // plus the final Done edge.
+        assert_eq!(total, first + 9 * 5 + 1);
+    }
+
+    #[test]
+    fn frames_complete_in_order() {
+        let layers = [layer(3), layer(5)];
+        let mut p = Pipeline::new(&layers, 5);
+        Simulator::new().run(&mut p).unwrap();
+        let order: Vec<u64> = p.completed().iter().map(|&(f, _)| f).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+}

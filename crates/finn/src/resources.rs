@@ -1,0 +1,115 @@
+//! Resource model for FINN instances, calibrated to Table VI.
+//!
+//! Anchors (Zynq-7000): SFC-max 91,131 LUT / 4.5 BRAM; LFC-max 82,988
+//! LUT / 396 BRAM; SFC-fix 5,155 LUT / 16 BRAM; LFC-fix 5,636 LUT /
+//! 114.5 BRAM. The model captures the two storage regimes that explain
+//! these numbers: shallow weight memories (fold ≤ 64) synthesize into
+//! LUT-based distributed RAM (SFC-max: huge LUTs, almost no BRAM), deep
+//! ones into block RAM whose count is width-bound at high parallelism
+//! (LFC-max: 396 BRAM from the 8,192-bit read ports).
+
+use crate::instances::FinnInstance;
+use crate::mvtu::MvtuConfig;
+use netpu_sim::fpga::Utilization;
+
+/// LUTs per XNOR-popcount MAC bit (PE×SIMD product).
+const LUT_PER_MAC: f64 = 3.6;
+/// LUT-based distributed RAM packs 64 bits per LUT.
+const LUTRAM_BITS_PER_LUT: f64 = 64.0;
+/// Maximum weight-memory depth synthesized as distributed RAM.
+const DISTRIBUTED_DEPTH_LIMIT: u64 = 64;
+/// Base control/threshold LUTs per MVTU stage.
+const LUT_STAGE_BASE: u64 = 1_100;
+/// FFs per PE (accumulator + threshold registers).
+const FF_PER_PE: u64 = 40;
+/// Stream FIFO BRAM between stages (RAMB18 each).
+const BRAM_STAGE_FIFO: f64 = 0.5;
+/// RAMB36 capacity in bits.
+const BRAM36_BITS: f64 = 36.0 * 1024.0;
+/// RAMB36 maximum simple-dual-port width in bits.
+const BRAM36_WIDTH: f64 = 72.0;
+
+/// Resource cost of one MVTU stage.
+pub fn mvtu_utilization(m: &MvtuConfig) -> Utilization {
+    let macs = (m.pe * m.simd) as f64;
+    let mut luts = LUT_STAGE_BASE + (macs * LUT_PER_MAC) as u64;
+    let mut bram = BRAM_STAGE_FIFO;
+    if m.weight_depth() <= DISTRIBUTED_DEPTH_LIMIT {
+        // Shallow weight memory: distributed (LUT) RAM.
+        luts += (m.weight_bits_total() as f64 / LUTRAM_BITS_PER_LUT).ceil() as u64;
+    } else {
+        // Deep weight memory: block RAM, the larger of the capacity
+        // bound and the read-port width bound.
+        let capacity = (m.weight_bits_total() as f64 / BRAM36_BITS).ceil();
+        let width = (m.weight_port_bits() as f64 / BRAM36_WIDTH).ceil();
+        bram += capacity.max(width);
+    }
+    Utilization {
+        luts,
+        dsps: 0, // binarized MACs never use DSP slices (Table VI: none)
+        ffs: FF_PER_PE * m.pe as u64,
+        bram36: bram,
+    }
+}
+
+/// Resource cost of a whole FINN instance.
+pub fn instance_utilization(inst: &FinnInstance) -> Utilization {
+    inst.layers
+        .iter()
+        .map(mvtu_utilization)
+        .fold(Utilization::default(), |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published Table VI resources, reproduced within ~30%.
+    #[test]
+    fn resources_near_published_values() {
+        let targets = [
+            ("SFC-max", 91_131.0, 4.5),
+            ("LFC-max", 82_988.0, 396.0),
+            ("SFC-fix", 5_155.0, 16.0),
+            ("LFC-fix", 5_636.0, 114.5),
+        ];
+        for (inst, (name, lut_t, bram_t)) in FinnInstance::table6().iter().zip(targets) {
+            let u = instance_utilization(inst);
+            let lut_ratio = u.luts as f64 / lut_t;
+            assert!(
+                (0.6..=1.45).contains(&lut_ratio),
+                "{name}: {} LUTs vs published {lut_t}",
+                u.luts
+            );
+            let bram_ratio = (u.bram36 + 1.0) / (bram_t + 1.0);
+            assert!(
+                (0.5..=1.6).contains(&bram_ratio),
+                "{name}: {} BRAM vs published {bram_t}",
+                u.bram36
+            );
+            assert_eq!(u.dsps, 0, "{name}: BNN MVTUs use no DSPs");
+        }
+    }
+
+    /// The storage-regime story: max instances trade BRAM for LUTs on
+    /// shallow memories (SFC) and explode BRAM on wide ports (LFC).
+    #[test]
+    fn storage_regimes() {
+        let sfc_max = instance_utilization(&FinnInstance::sfc_max());
+        let sfc_fix = instance_utilization(&FinnInstance::sfc_fix());
+        assert!(sfc_max.luts > 10 * sfc_fix.luts);
+        assert!(sfc_max.bram36 < sfc_fix.bram36);
+        let lfc_max = instance_utilization(&FinnInstance::lfc_max());
+        let lfc_fix = instance_utilization(&FinnInstance::lfc_fix());
+        assert!(lfc_max.bram36 > 2.0 * lfc_fix.bram36);
+    }
+
+    /// Every instance fits its platform.
+    #[test]
+    fn instances_fit_zc706() {
+        for inst in FinnInstance::table6() {
+            let u = instance_utilization(&inst);
+            assert!(u.fits(&inst.platform), "{} does not fit", inst.name);
+        }
+    }
+}

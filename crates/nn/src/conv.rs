@@ -1,0 +1,475 @@
+//! CNN support by lowering onto the MLP substrate (§V future work:
+//! "extend the network support range of NetPU-M architecture to meet
+//! the acceleration of CNN").
+//!
+//! NetPU-M executes fully connected layers. For a *fixed* input shape,
+//! a convolution (and average pooling — any linear, shift-invariant
+//! stage) is itself a linear map, so it lowers exactly onto an FC
+//! weight matrix: row `o` of the matrix holds the kernel taps of output
+//! element `o` scattered to their input positions (the Toeplitz/im2col
+//! construction). Max pooling is *not* linear and is not supported.
+//!
+//! The lowered matrix trades weight-sharing for NetPU-M's generic FC
+//! engine: the weight stream re-sends each kernel tap once per output
+//! position — acceptable for the paper's streaming design, where
+//! weights are re-streamed every inference anyway.
+
+use crate::float::{ActSpec, FloatMlp, LayerSpec, MlpSpec};
+use crate::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A 2-D convolution over a fixed input shape (row-major CHW layout).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_height: usize,
+    /// Input width.
+    pub in_width: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl Conv2d {
+    /// Output height.
+    pub fn out_height(&self) -> usize {
+        (self.in_height + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_width(&self) -> usize {
+        (self.in_width + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Flattened input length (`C·H·W`).
+    pub fn input_len(&self) -> usize {
+        self.in_channels * self.in_height * self.in_width
+    }
+
+    /// Flattened output length.
+    pub fn output_len(&self) -> usize {
+        self.out_channels * self.out_height() * self.out_width()
+    }
+
+    /// Kernel tensor length (`out_c · in_c · k · k`).
+    pub fn kernel_len(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Lowers the convolution with the given kernels (row-major
+    /// `[out_c][in_c][ky][kx]`) into the equivalent FC weight matrix of
+    /// shape `output_len × input_len`.
+    pub fn lower(&self, kernels: &[f32]) -> Matrix {
+        assert_eq!(kernels.len(), self.kernel_len(), "kernel tensor shape");
+        let (oh, ow) = (self.out_height(), self.out_width());
+        let mut w = Matrix::zeros(self.output_len(), self.input_len());
+        for oc in 0..self.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = (oc * oh + oy) * ow + ox;
+                    for ic in 0..self.in_channels {
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
+                                if iy < 0
+                                    || ix < 0
+                                    || iy >= self.in_height as isize
+                                    || ix >= self.in_width as isize
+                                {
+                                    continue; // zero padding
+                                }
+                                let col = (ic * self.in_height + iy as usize) * self.in_width
+                                    + ix as usize;
+                                let tap = kernels[((oc * self.in_channels + ic) * self.kernel
+                                    + ky)
+                                    * self.kernel
+                                    + kx];
+                                w.set(row, col, tap);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        w
+    }
+
+    /// Direct (nested-loop) convolution reference for equivalence tests.
+    pub fn direct(&self, input: &[f32], kernels: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.input_len());
+        assert_eq!(kernels.len(), self.kernel_len());
+        let (oh, ow) = (self.out_height(), self.out_width());
+        let mut out = vec![0.0f32; self.output_len()];
+        for oc in 0..self.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ic in 0..self.in_channels {
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
+                                if iy < 0
+                                    || ix < 0
+                                    || iy >= self.in_height as isize
+                                    || ix >= self.in_width as isize
+                                {
+                                    continue;
+                                }
+                                acc += input[(ic * self.in_height + iy as usize) * self.in_width
+                                    + ix as usize]
+                                    * kernels[((oc * self.in_channels + ic) * self.kernel + ky)
+                                        * self.kernel
+                                        + kx];
+                            }
+                        }
+                    }
+                    out[(oc * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Average pooling over a fixed input shape (linear, hence lowerable;
+/// max pooling is not).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AvgPool2d {
+    /// Channels (unchanged by pooling).
+    pub channels: usize,
+    /// Input height.
+    pub in_height: usize,
+    /// Input width.
+    pub in_width: usize,
+    /// Square pooling window (also the stride).
+    pub window: usize,
+}
+
+impl AvgPool2d {
+    /// Output height (truncating partial windows, like most frameworks).
+    pub fn out_height(&self) -> usize {
+        self.in_height / self.window
+    }
+
+    /// Output width.
+    pub fn out_width(&self) -> usize {
+        self.in_width / self.window
+    }
+
+    /// Flattened input length.
+    pub fn input_len(&self) -> usize {
+        self.channels * self.in_height * self.in_width
+    }
+
+    /// Flattened output length.
+    pub fn output_len(&self) -> usize {
+        self.channels * self.out_height() * self.out_width()
+    }
+
+    /// Lowers the pooling stage into its FC weight matrix (`1/w²` taps).
+    pub fn lower(&self) -> Matrix {
+        let (oh, ow) = (self.out_height(), self.out_width());
+        let tap = 1.0 / (self.window * self.window) as f32;
+        let mut m = Matrix::zeros(self.output_len(), self.input_len());
+        for c in 0..self.channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = (c * oh + oy) * ow + ox;
+                    for wy in 0..self.window {
+                        for wx in 0..self.window {
+                            let iy = oy * self.window + wy;
+                            let ix = ox * self.window + wx;
+                            let col = (c * self.in_height + iy) * self.in_width + ix;
+                            m.set(row, col, tap);
+                        }
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Direct pooling reference.
+    pub fn direct(&self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.input_len());
+        let (oh, ow) = (self.out_height(), self.out_width());
+        let mut out = vec![0.0f32; self.output_len()];
+        for c in 0..self.channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for wy in 0..self.window {
+                        for wx in 0..self.window {
+                            acc += input[(c * self.in_height + oy * self.window + wy)
+                                * self.in_width
+                                + ox * self.window
+                                + wx];
+                        }
+                    }
+                    out[(c * oh + oy) * ow + ox] = acc / (self.window * self.window) as f32;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One stage of a small ConvNet destined for the MLP substrate.
+#[derive(Clone, Debug)]
+pub enum ConvStage {
+    /// A convolution followed by the given quantized activation.
+    Conv(Conv2d, ActSpec, u8),
+    /// Average pooling followed by the given quantized activation
+    /// (pooling lowers onto the same FC engine).
+    Pool(AvgPool2d, ActSpec, u8),
+    /// A dense classifier head (neurons, activation, weight bits).
+    Dense(usize, ActSpec, u8),
+}
+
+/// Builds a trainable [`FloatMlp`] from ConvNet stages: conv/pool
+/// stages become FC layers initialised with their lowered matrices
+/// (structural zeros included; weight sharing is traded away — see the
+/// module docs), dense stages are ordinary FC layers.
+pub fn convnet_to_mlp(
+    name: &str,
+    input_len: usize,
+    input_act: ActSpec,
+    stages: &[ConvStage],
+    seed: u64,
+) -> FloatMlp {
+    let mut prev = input_len;
+    let mut specs = Vec::new();
+    for stage in stages {
+        let (neurons, act, wbits) = match stage {
+            ConvStage::Conv(c, act, wbits) => {
+                assert_eq!(c.input_len(), prev, "conv input shape chain");
+                (c.output_len(), *act, *wbits)
+            }
+            ConvStage::Pool(p, act, wbits) => {
+                assert_eq!(p.input_len(), prev, "pool input shape chain");
+                (p.output_len(), *act, *wbits)
+            }
+            ConvStage::Dense(n, act, wbits) => (*n, *act, *wbits),
+        };
+        specs.push(LayerSpec {
+            neurons,
+            weight_bits: wbits,
+            act,
+            batch_norm: true,
+        });
+        prev = neurons;
+    }
+    let spec = MlpSpec {
+        name: name.to_string(),
+        input_len,
+        input_act,
+        layers: specs,
+    };
+    let mut mlp = FloatMlp::init(spec, seed);
+    // Overwrite conv/pool layers with their lowered structure (random
+    // kernels for conv — training refines them; exact taps for pool).
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0_4E7);
+    for (layer, stage) in mlp.layers.iter_mut().zip(stages) {
+        match stage {
+            ConvStage::Conv(c, _, _) => {
+                let fan_in = (c.in_channels * c.kernel * c.kernel) as f32;
+                let std = (2.0 / fan_in).sqrt();
+                let kernels: Vec<f32> = (0..c.kernel_len())
+                    .map(|_| {
+                        let u1: f32 = rng.gen_range(1e-6..1.0);
+                        let u2: f32 = rng.gen_range(0.0..1.0);
+                        std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+                    })
+                    .collect();
+                layer.w = c.lower(&kernels);
+            }
+            ConvStage::Pool(p, _, _) => {
+                layer.w = p.lower();
+            }
+            ConvStage::Dense(..) => {}
+        }
+    }
+    mlp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn conv_output_shapes() {
+        let c = Conv2d {
+            in_channels: 1,
+            in_height: 28,
+            in_width: 28,
+            out_channels: 4,
+            kernel: 3,
+            stride: 2,
+            padding: 0,
+        };
+        assert_eq!(c.out_height(), 13);
+        assert_eq!(c.out_width(), 13);
+        assert_eq!(c.output_len(), 4 * 13 * 13);
+        let padded = Conv2d { padding: 1, ..c };
+        assert_eq!(padded.out_height(), 14);
+    }
+
+    #[test]
+    fn lowered_conv_equals_direct_conv() {
+        let c = Conv2d {
+            in_channels: 2,
+            in_height: 7,
+            in_width: 6,
+            out_channels: 3,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let kernels = rand_vec(c.kernel_len(), 1);
+        let input = rand_vec(c.input_len(), 2);
+        let direct = c.direct(&input, &kernels);
+        let w = c.lower(&kernels);
+        let x = Matrix::from_vec(1, input.len(), input);
+        let lowered = x.matmul_t(&w);
+        for (a, b) in lowered.row(0).iter().zip(&direct) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn lowered_pool_equals_direct_pool() {
+        let p = AvgPool2d {
+            channels: 3,
+            in_height: 8,
+            in_width: 6,
+            window: 2,
+        };
+        let input = rand_vec(p.input_len(), 3);
+        let direct = p.direct(&input);
+        let w = p.lower();
+        let x = Matrix::from_vec(1, input.len(), input);
+        let lowered = x.matmul_t(&w);
+        for (a, b) in lowered.row(0).iter().zip(&direct) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Lowering ≡ direct convolution over random small shapes.
+        #[test]
+        fn conv_lowering_property(
+            in_c in 1usize..3,
+            out_c in 1usize..4,
+            h in 3usize..9,
+            w in 3usize..9,
+            k in 1usize..4,
+            stride in 1usize..3,
+            padding in 0usize..2,
+            seed in 0u64..100,
+        ) {
+            prop_assume!(h + 2 * padding >= k && w + 2 * padding >= k);
+            let c = Conv2d {
+                in_channels: in_c,
+                in_height: h,
+                in_width: w,
+                out_channels: out_c,
+                kernel: k,
+                stride,
+                padding,
+            };
+            let kernels = rand_vec(c.kernel_len(), seed);
+            let input = rand_vec(c.input_len(), seed + 1);
+            let direct = c.direct(&input, &kernels);
+            let x = Matrix::from_vec(1, input.len(), input);
+            let lowered = x.matmul_t(&c.lower(&kernels));
+            for (a, b) in lowered.row(0).iter().zip(&direct) {
+                prop_assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn convnet_builder_chains_shapes() {
+        let conv = Conv2d {
+            in_channels: 1,
+            in_height: 28,
+            in_width: 28,
+            out_channels: 4,
+            kernel: 3,
+            stride: 2,
+            padding: 0,
+        };
+        let pool = AvgPool2d {
+            channels: 4,
+            in_height: 13,
+            in_width: 13,
+            window: 2,
+        };
+        let mlp = convnet_to_mlp(
+            "cnn",
+            784,
+            ActSpec::Hwgq { bits: 2 },
+            &[
+                ConvStage::Conv(conv, ActSpec::Hwgq { bits: 2 }, 2),
+                ConvStage::Pool(pool, ActSpec::Hwgq { bits: 2 }, 2),
+                ConvStage::Dense(10, ActSpec::None, 2),
+            ],
+            5,
+        );
+        assert_eq!(mlp.layers.len(), 3);
+        assert_eq!(mlp.layers[0].w.rows(), 4 * 13 * 13);
+        assert_eq!(mlp.layers[0].w.cols(), 784);
+        assert_eq!(mlp.layers[1].w.rows(), 4 * 6 * 6);
+        assert_eq!(mlp.layers[2].w.rows(), 10);
+        // Pool taps are exactly 1/4 at their structural positions.
+        let pw = &mlp.layers[1].w;
+        let nonzero = pw.data().iter().filter(|&&v| v != 0.0).count();
+        assert_eq!(nonzero, 4 * 6 * 6 * 4);
+        assert!(pw
+            .data()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "conv input shape chain")]
+    fn builder_rejects_shape_mismatch() {
+        let conv = Conv2d {
+            in_channels: 1,
+            in_height: 10,
+            in_width: 10,
+            out_channels: 2,
+            kernel: 3,
+            stride: 1,
+            padding: 0,
+        };
+        convnet_to_mlp(
+            "bad",
+            784, // != conv.input_len()
+            ActSpec::Hwgq { bits: 2 },
+            &[ConvStage::Conv(conv, ActSpec::Hwgq { bits: 2 }, 2)],
+            0,
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! Synthetic 28×28 digit-image dataset.
+//!
+//! The paper evaluates on MNIST (LeCun et al.). This environment has no
+//! network access, so we substitute a deterministic generator that renders
+//! the ten digit glyphs from a 5×7 stroke font onto a 28×28 canvas with
+//! random translation, scaling, stroke intensity, and pixel noise. The
+//! task has the same shape as MNIST — 784 8-bit inputs, 10 classes — and
+//! is learnable by the quantized TFC/SFC/LFC topologies, which is all the
+//! paper's accuracy-bearing claims require (latency is data-independent).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Image side length (matches MNIST).
+pub const IMAGE_SIDE: usize = 28;
+/// Flattened pixel count per image.
+pub const IMAGE_PIXELS: usize = IMAGE_SIDE * IMAGE_SIDE;
+/// Number of classes.
+pub const NUM_CLASSES: usize = 10;
+
+/// 5×7 bitmap font for the digits 0–9, one row per scanline, 5 LSBs used.
+const DIGIT_FONT: [[u8; 7]; 10] = [
+    [
+        0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110,
+    ], // 0
+    [
+        0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110,
+    ], // 1
+    [
+        0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111,
+    ], // 2
+    [
+        0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110,
+    ], // 3
+    [
+        0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010,
+    ], // 4
+    [
+        0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110,
+    ], // 5
+    [
+        0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110,
+    ], // 6
+    [
+        0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000,
+    ], // 7
+    [
+        0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110,
+    ], // 8
+    [
+        0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100,
+    ], // 9
+];
+
+/// One labelled example: 784 8-bit pixels and a class in `0..10`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Example {
+    /// Row-major 28×28 grayscale pixels.
+    pub pixels: Vec<u8>,
+    /// Ground-truth digit.
+    pub label: u8,
+}
+
+/// A labelled dataset split.
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    /// The examples in iteration order.
+    pub examples: Vec<Example>,
+}
+
+impl Dataset {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// `true` when the split holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+}
+
+/// Deterministic generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GeneratorConfig {
+    /// Horizontal/vertical jitter range in pixels (± this value).
+    pub max_shift: i32,
+    /// Glyph scale range (integer upscaling of the 5×7 font).
+    pub scale_range: (u32, u32),
+    /// Additive uniform pixel noise amplitude (0–255 scale).
+    pub noise_amplitude: u8,
+    /// Minimum stroke intensity (0–255); actual intensity is sampled in
+    /// `[min_intensity, 255]`.
+    pub min_intensity: u8,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> GeneratorConfig {
+        GeneratorConfig {
+            max_shift: 3,
+            scale_range: (2, 3),
+            noise_amplitude: 24,
+            min_intensity: 160,
+        }
+    }
+}
+
+/// Renders one digit image.
+fn render_digit(rng: &mut StdRng, digit: u8, cfg: &GeneratorConfig) -> Vec<u8> {
+    let mut img = vec![0u8; IMAGE_PIXELS];
+    let scale = rng.gen_range(cfg.scale_range.0..=cfg.scale_range.1) as i32;
+    let glyph_w = 5 * scale;
+    let glyph_h = 7 * scale;
+    let base_x = (IMAGE_SIDE as i32 - glyph_w) / 2 + rng.gen_range(-cfg.max_shift..=cfg.max_shift);
+    let base_y = (IMAGE_SIDE as i32 - glyph_h) / 2 + rng.gen_range(-cfg.max_shift..=cfg.max_shift);
+    let intensity = rng.gen_range(cfg.min_intensity..=255u8);
+    let font = &DIGIT_FONT[digit as usize];
+    for (row, &bits) in font.iter().enumerate() {
+        for col in 0..5i32 {
+            if bits >> (4 - col) & 1 == 0 {
+                continue;
+            }
+            for dy in 0..scale {
+                for dx in 0..scale {
+                    let x = base_x + col * scale + dx;
+                    let y = base_y + row as i32 * scale + dy;
+                    if (0..IMAGE_SIDE as i32).contains(&x) && (0..IMAGE_SIDE as i32).contains(&y) {
+                        img[y as usize * IMAGE_SIDE + x as usize] = intensity;
+                    }
+                }
+            }
+        }
+    }
+    if cfg.noise_amplitude > 0 {
+        for px in img.iter_mut() {
+            let noise = i32::from(rng.gen_range(0..=cfg.noise_amplitude));
+            *px = (*px as i32 + noise).min(255) as u8;
+        }
+    }
+    img
+}
+
+/// Generates a dataset of `n` examples with balanced labels, deterministic
+/// in `seed`.
+pub fn generate(n: usize, seed: u64, cfg: &GeneratorConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let examples = (0..n)
+        .map(|i| {
+            let label = (i % NUM_CLASSES) as u8;
+            Example {
+                pixels: render_digit(&mut rng, label, cfg),
+                label,
+            }
+        })
+        .collect();
+    Dataset { examples }
+}
+
+/// A low-noise, low-jitter configuration for fast-converging learning
+/// smoke tests (unit tests that only assert "training learns").
+pub fn easy_config() -> GeneratorConfig {
+    GeneratorConfig {
+        max_shift: 1,
+        scale_range: (3, 3),
+        noise_amplitude: 8,
+        min_intensity: 220,
+    }
+}
+
+/// Generates train/test splits with the easy configuration.
+pub fn easy_splits(train_n: usize, test_n: usize, seed: u64) -> (Dataset, Dataset) {
+    let cfg = easy_config();
+    (
+        generate(train_n, seed, &cfg),
+        generate(test_n, seed.wrapping_add(0x9E37_79B9_7F4A_7C15), &cfg),
+    )
+}
+
+/// Generates the standard train/test pair used across the repository:
+/// disjoint seeds, default configuration.
+pub fn standard_splits(train_n: usize, test_n: usize, seed: u64) -> (Dataset, Dataset) {
+    let cfg = GeneratorConfig::default();
+    (
+        generate(train_n, seed, &cfg),
+        generate(test_n, seed.wrapping_add(0x9E37_79B9_7F4A_7C15), &cfg),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let cfg = GeneratorConfig::default();
+        let a = generate(20, 7, &cfg);
+        let b = generate(20, 7, &cfg);
+        assert_eq!(a.examples, b.examples);
+        let c = generate(20, 8, &cfg);
+        assert_ne!(a.examples, c.examples);
+    }
+
+    #[test]
+    fn labels_are_balanced() {
+        let ds = generate(100, 1, &GeneratorConfig::default());
+        let mut counts = [0usize; NUM_CLASSES];
+        for e in &ds.examples {
+            counts[e.label as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn images_have_visible_strokes() {
+        let ds = generate(30, 2, &GeneratorConfig::default());
+        for e in &ds.examples {
+            assert_eq!(e.pixels.len(), IMAGE_PIXELS);
+            let bright = e.pixels.iter().filter(|&&p| p >= 160).count();
+            // A rendered glyph at scale ≥2 covers at least ~40 pixels.
+            assert!(bright >= 40, "digit {} too faint: {bright}", e.label);
+        }
+    }
+
+    #[test]
+    fn noise_free_images_are_clean() {
+        let cfg = GeneratorConfig {
+            noise_amplitude: 0,
+            ..GeneratorConfig::default()
+        };
+        let ds = generate(10, 3, &cfg);
+        for e in &ds.examples {
+            assert!(e.pixels.iter().all(|&p| p == 0 || p >= 160));
+        }
+    }
+
+    #[test]
+    fn different_digits_render_differently() {
+        let cfg = GeneratorConfig {
+            max_shift: 0,
+            scale_range: (3, 3),
+            noise_amplitude: 0,
+            min_intensity: 255,
+        };
+        let ds = generate(10, 5, &cfg);
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                assert_ne!(
+                    ds.examples[i].pixels, ds.examples[j].pixels,
+                    "digits {i} and {j} rendered identically"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn standard_splits_are_disjoint_streams() {
+        let (train, test) = standard_splits(50, 50, 11);
+        assert_eq!(train.len(), 50);
+        assert_eq!(test.len(), 50);
+        assert_ne!(train.examples[0].pixels, test.examples[0].pixels);
+    }
+}

@@ -1,0 +1,125 @@
+//! Model persistence: trained float checkpoints and hardware-ready
+//! quantized models as JSON documents.
+//!
+//! JSON (rather than a bespoke binary format) because models are
+//! edited, diffed, and inspected during development; the *deployment*
+//! artifact is the compiled `.npu` loadable (`netpu-compiler::file`),
+//! not the model file.
+
+use crate::float::FloatMlp;
+use crate::qmodel::QuantMlp;
+use std::path::Path;
+
+/// Persistence errors.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed JSON or schema mismatch.
+    Format(serde_json::Error),
+    /// The decoded model failed validation.
+    Invalid(crate::qmodel::ModelError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io: {e}"),
+            IoError::Format(e) => write!(f, "format: {e}"),
+            IoError::Invalid(e) => write!(f, "invalid model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> IoError {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> IoError {
+        IoError::Format(e)
+    }
+}
+
+/// Saves a hardware-ready model as JSON.
+pub fn save_quant(model: &QuantMlp, path: impl AsRef<Path>) -> Result<(), IoError> {
+    std::fs::write(path, serde_json::to_vec_pretty(model)?)?;
+    Ok(())
+}
+
+/// Loads and validates a hardware-ready model.
+pub fn load_quant(path: impl AsRef<Path>) -> Result<QuantMlp, IoError> {
+    let model: QuantMlp = serde_json::from_slice(&std::fs::read(path)?)?;
+    model.validate().map_err(IoError::Invalid)?;
+    Ok(model)
+}
+
+/// Saves a float training checkpoint as JSON.
+pub fn save_float(model: &FloatMlp, path: impl AsRef<Path>) -> Result<(), IoError> {
+    std::fs::write(path, serde_json::to_vec(model)?)?;
+    Ok(())
+}
+
+/// Loads a float training checkpoint.
+pub fn load_float(path: impl AsRef<Path>) -> Result<FloatMlp, IoError> {
+    Ok(serde_json::from_slice(&std::fs::read(path)?)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::BnMode;
+    use crate::zoo::ZooModel;
+
+    #[test]
+    fn quant_model_roundtrips() {
+        let model = ZooModel::TfcW2A2
+            .build_untrained(1, BnMode::Hardware)
+            .unwrap();
+        let path = std::env::temp_dir().join("netpu-io-test-quant.json");
+        save_quant(&model, &path).unwrap();
+        let restored = load_quant(&path).unwrap();
+        assert_eq!(restored, model);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn float_checkpoint_roundtrips() {
+        let fm = crate::float::FloatMlp::init(ZooModel::TfcW1A1.spec(), 2);
+        let path = std::env::temp_dir().join("netpu-io-test-float.json");
+        save_float(&fm, &path).unwrap();
+        let restored = load_float(&path).unwrap();
+        assert_eq!(restored.spec, fm.spec);
+        assert_eq!(restored.layers[0].w, fm.layers[0].w);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn invalid_models_are_rejected_on_load() {
+        let mut model = ZooModel::TfcW1A1
+            .build_untrained(3, BnMode::Folded)
+            .unwrap();
+        // Corrupt: wrong weight count.
+        model.hidden[0].weights.pop();
+        let path = std::env::temp_dir().join("netpu-io-test-bad.json");
+        std::fs::write(&path, serde_json::to_vec(&model).unwrap()).unwrap();
+        assert!(matches!(load_quant(&path), Err(IoError::Invalid(_))));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn garbage_files_are_rejected() {
+        let path = std::env::temp_dir().join("netpu-io-test-garbage.json");
+        std::fs::write(&path, b"{not json").unwrap();
+        assert!(matches!(load_quant(&path), Err(IoError::Format(_))));
+        assert!(matches!(
+            load_quant("/nonexistent/x.json"),
+            Err(IoError::Io(_))
+        ));
+        let _ = std::fs::remove_file(path);
+    }
+}

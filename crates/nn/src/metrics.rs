@@ -1,0 +1,113 @@
+//! Classification metrics over the bit-exact reference model.
+
+use crate::dataset::{Dataset, NUM_CLASSES};
+use crate::qmodel::QuantMlp;
+use rayon::prelude::*;
+
+/// Accuracy of a hardware model over a dataset (parallel over examples).
+pub fn accuracy(mlp: &QuantMlp, data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let correct: usize = data
+        .examples
+        .par_iter()
+        .map(|e| usize::from(crate::reference::infer(mlp, &e.pixels) == e.label as usize))
+        .sum();
+    correct as f64 / data.len() as f64
+}
+
+/// A `NUM_CLASSES × NUM_CLASSES` confusion matrix; rows are true labels,
+/// columns predictions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<u32>,
+}
+
+impl ConfusionMatrix {
+    /// Evaluates the model over the dataset.
+    pub fn evaluate(mlp: &QuantMlp, data: &Dataset) -> ConfusionMatrix {
+        let rows: Vec<(usize, usize)> = data
+            .examples
+            .par_iter()
+            .map(|e| (e.label as usize, crate::reference::infer(mlp, &e.pixels)))
+            .collect();
+        let mut counts = vec![0u32; NUM_CLASSES * NUM_CLASSES];
+        for (t, p) in rows {
+            counts[t * NUM_CLASSES + p] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Count of examples with true label `t` predicted as `p`.
+    pub fn get(&self, t: usize, p: usize) -> u32 {
+        self.counts[t * NUM_CLASSES + p]
+    }
+
+    /// Total examples counted.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// Accuracy derived from the diagonal.
+    pub fn accuracy(&self) -> f64 {
+        let diag: u32 = (0..NUM_CLASSES).map(|i| self.get(i, i)).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            diag as f64 / total as f64
+        }
+    }
+
+    /// Per-class recall (`None` when the class has no examples).
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: u32 = (0..NUM_CLASSES).map(|p| self.get(class, p)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.get(class, class) as f64 / row as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset;
+    use crate::export::BnMode;
+    use crate::zoo::ZooModel;
+
+    #[test]
+    fn empty_dataset_scores_zero() {
+        let qm = ZooModel::TfcW1A1
+            .build_untrained(1, BnMode::Folded)
+            .unwrap();
+        assert_eq!(accuracy(&qm, &Dataset::default()), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_totals_match_dataset() {
+        let qm = ZooModel::TfcW1A1
+            .build_untrained(1, BnMode::Folded)
+            .unwrap();
+        let ds = dataset::generate(40, 5, &dataset::GeneratorConfig::default());
+        let cm = ConfusionMatrix::evaluate(&qm, &ds);
+        assert_eq!(cm.total(), 40);
+        assert!((cm.accuracy() - accuracy(&qm, &ds)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_is_none_for_absent_classes() {
+        let qm = ZooModel::TfcW1A1
+            .build_untrained(1, BnMode::Folded)
+            .unwrap();
+        // Only digits 0 and 1 present (first two of the cycling labels).
+        let ds = Dataset {
+            examples: dataset::generate(2, 5, &dataset::GeneratorConfig::default()).examples,
+        };
+        let cm = ConfusionMatrix::evaluate(&qm, &ds);
+        assert!(cm.recall(0).is_some());
+        assert!(cm.recall(9).is_none());
+    }
+}

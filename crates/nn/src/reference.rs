@@ -1,0 +1,318 @@
+//! Bit-exact software reference inference for a [`QuantMlp`].
+//!
+//! This walks the exact arithmetic the TNPU datapath performs — integer
+//! MAC into a saturating 32-bit accumulator, optional fixed-point BN,
+//! fixed-point activation, quantization — without modelling any timing.
+//! `netpu-core`'s cycle-level model is tested for *bit-exact agreement*
+//! with this module on every layer output, which is what ties the
+//! latency model to a functionally correct datapath.
+
+use crate::qmodel::{HiddenLayer, LayerActivation, OutputLayer, QuantMlp};
+use netpu_arith::Fix;
+
+/// Saturating 32-bit accumulation, as the ACCU submodule's 32-bit output
+/// register behaves (§III.B.1: 32-bit output supports ≥ 2^16 inputs).
+#[inline]
+fn accumulate(acc: i32, term: i64) -> i32 {
+    (acc as i64 + term).clamp(i32::MIN as i64, i32::MAX as i64) as i32
+}
+
+/// Computes one FC neuron's accumulator value: `Σ wᵢ·aᵢ (+ bias)`.
+///
+/// Activation inputs are unsigned levels for multi-bit precision and
+/// bipolar ±1 for binary; weights are signed integers (bipolar ±1 for
+/// binary). The XNOR path and the integer path produce identical sums by
+/// construction (Table I), so one MAC loop serves both.
+#[inline]
+pub fn neuron_accumulate(weights: &[i32], inputs: &[i32], bias: Option<i32>) -> i32 {
+    debug_assert_eq!(weights.len(), inputs.len());
+    let mut acc: i32 = 0;
+    for (&w, &a) in weights.iter().zip(inputs) {
+        acc = accumulate(acc, w as i64 * a as i64);
+    }
+    if let Some(b) = bias {
+        acc = accumulate(acc, b as i64);
+    }
+    acc
+}
+
+/// Applies the post-accumulator stages of one neuron: optional hardware
+/// BN, then activation (+ quantization). Returns the next-layer level —
+/// unsigned for multi-bit outputs, 0/1 for Sign (decode with
+/// [`netpu_arith::binary::decode_bipolar`] before feeding a binary MAC).
+pub fn neuron_post(
+    layer_act: &LayerActivation,
+    bn: Option<crate::qmodel::BnParams>,
+    neuron: usize,
+    acc: i32,
+    out: netpu_arith::Precision,
+) -> i32 {
+    let mut x = Fix::from_i32(acc);
+    if let Some(p) = bn {
+        x = p.apply(x);
+    }
+    layer_act.apply(neuron, x, out)
+}
+
+/// Converts a layer's output levels into the value domain the next MAC
+/// consumes: bipolar ±1 when the producing precision is binary, the
+/// unsigned level otherwise.
+pub fn to_mac_domain(levels: &[i32], precision: netpu_arith::Precision) -> Vec<i32> {
+    if precision.is_binary() {
+        levels
+            .iter()
+            .map(|&b| netpu_arith::binary::decode_bipolar(b as u8))
+            .collect()
+    } else {
+        levels.to_vec()
+    }
+}
+
+/// Runs the input layer over the raw 8-bit dataset inputs, producing
+/// quantized levels at the first hidden precision.
+pub fn run_input_layer(mlp: &QuantMlp, pixels: &[u8]) -> Vec<i32> {
+    assert_eq!(pixels.len(), mlp.input.len, "input length mismatch");
+    pixels
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let x = Fix::from_i32(p as i32);
+            mlp.input.activation.apply(i, x, mlp.input.out_precision)
+        })
+        .collect()
+}
+
+/// Runs one hidden layer over the previous layer's output levels.
+pub fn run_hidden_layer(layer: &HiddenLayer, prev_levels: &[i32]) -> Vec<i32> {
+    let inputs = to_mac_domain(prev_levels, layer.in_precision);
+    (0..layer.neurons)
+        .map(|n| {
+            let w = &layer.weights[n * layer.in_len..(n + 1) * layer.in_len];
+            let bias = layer.bias.as_ref().map(|b| b[n]);
+            let acc = neuron_accumulate(w, &inputs, bias);
+            let bn = layer.bn.as_ref().map(|p| p[n]);
+            neuron_post(&layer.activation, bn, n, acc, layer.out_precision)
+        })
+        .collect()
+}
+
+/// Runs the output layer, producing the raw per-class scores the MaxOut
+/// stage compares. Scores are in the fixed-point domain when hardware BN
+/// is configured; we return the raw fixed-point words so MaxOut
+/// comparisons are exact.
+pub fn run_output_layer(layer: &OutputLayer, prev_levels: &[i32]) -> Vec<Fix> {
+    let inputs = to_mac_domain(prev_levels, layer.in_precision);
+    (0..layer.neurons)
+        .map(|n| {
+            let w = &layer.weights[n * layer.in_len..(n + 1) * layer.in_len];
+            let bias = layer.bias.as_ref().map(|b| b[n]);
+            let acc = neuron_accumulate(w, &inputs, bias);
+            let mut x = Fix::from_i32(acc);
+            if let Some(p) = layer.bn.as_ref() {
+                x = p[n].apply(x);
+            }
+            x
+        })
+        .collect()
+}
+
+/// The MaxOut classifier: index of the maximum score, lowest index on
+/// ties (the hardware scans output neurons in order and only replaces the
+/// running maximum on a strictly greater score).
+pub fn maxout(scores: &[Fix]) -> usize {
+    let mut best = 0;
+    for (i, &s) in scores.iter().enumerate().skip(1) {
+        if s > scores[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Full inference result with per-layer observability for cross-checks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InferenceTrace {
+    /// Quantized input-layer output levels.
+    pub input_levels: Vec<i32>,
+    /// Each hidden layer's output levels.
+    pub hidden_levels: Vec<Vec<i32>>,
+    /// Output-layer scores.
+    pub scores: Vec<Fix>,
+    /// Predicted class.
+    pub class: usize,
+}
+
+/// Runs the full model on one example, keeping every intermediate.
+pub fn infer_traced(mlp: &QuantMlp, pixels: &[u8]) -> InferenceTrace {
+    let input_levels = run_input_layer(mlp, pixels);
+    let mut hidden_levels = Vec::with_capacity(mlp.hidden.len());
+    let mut cur = input_levels.clone();
+    for layer in &mlp.hidden {
+        cur = run_hidden_layer(layer, &cur);
+        hidden_levels.push(cur.clone());
+    }
+    let scores = run_output_layer(&mlp.output, &cur);
+    let class = maxout(&scores);
+    InferenceTrace {
+        input_levels,
+        hidden_levels,
+        scores,
+        class,
+    }
+}
+
+/// Runs the full model on one example, returning only the predicted class.
+pub fn infer(mlp: &QuantMlp, pixels: &[u8]) -> usize {
+    infer_traced(mlp, pixels).class
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qmodel::{BnParams, InputLayer, QuantMlp};
+    use netpu_arith::{Precision, QuantParams};
+
+    fn tiny() -> QuantMlp {
+        crate::qmodel::tests::tiny_model()
+    }
+
+    #[test]
+    fn accumulate_saturates_at_i32() {
+        assert_eq!(accumulate(i32::MAX, 10), i32::MAX);
+        assert_eq!(accumulate(i32::MIN, -10), i32::MIN);
+        assert_eq!(accumulate(5, -3), 2);
+    }
+
+    #[test]
+    fn neuron_accumulate_dot_product() {
+        assert_eq!(neuron_accumulate(&[1, -2, 3], &[4, 5, 6], None), 12);
+        assert_eq!(neuron_accumulate(&[1, -2, 3], &[4, 5, 6], Some(-12)), 0);
+    }
+
+    #[test]
+    fn binary_mac_matches_xnor_popcount() {
+        // Weights/inputs ±1: the plain MAC must equal XNOR+popcount.
+        let w = [1, -1, 1, 1, -1, -1, 1, -1];
+        let a = [-1, -1, 1, -1, 1, -1, 1, 1];
+        let wa_bits: u8 = w
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| netpu_arith::binary::encode_bipolar(v) << i)
+            .sum();
+        let aa_bits: u8 = a
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| netpu_arith::binary::encode_bipolar(v) << i)
+            .sum();
+        assert_eq!(
+            neuron_accumulate(&w, &a, None),
+            netpu_arith::binary::binary_dot8(wa_bits, aa_bits, 8)
+        );
+    }
+
+    #[test]
+    fn to_mac_domain_decodes_binary() {
+        assert_eq!(to_mac_domain(&[1, 0, 1], Precision::W1), vec![1, -1, 1]);
+        assert_eq!(to_mac_domain(&[1, 0, 3], Precision::W2), vec![1, 0, 3]);
+    }
+
+    #[test]
+    fn maxout_prefers_first_on_tie() {
+        let s = vec![Fix::from_i32(3), Fix::from_i32(5), Fix::from_i32(5)];
+        assert_eq!(maxout(&s), 1);
+        assert_eq!(maxout(&[Fix::ZERO]), 0);
+    }
+
+    #[test]
+    fn tiny_model_end_to_end_is_deterministic() {
+        let m = tiny();
+        let trace = infer_traced(&m, &[10, 200, 30, 250]);
+        assert_eq!(trace.input_levels.len(), 4);
+        assert_eq!(trace.hidden_levels[0].len(), 3);
+        assert_eq!(trace.scores.len(), 2);
+        assert_eq!(infer(&m, &[10, 200, 30, 250]), trace.class);
+        // Levels respect the layer's 2-bit output precision.
+        assert!(trace.input_levels.iter().all(|&v| (0..=3).contains(&v)));
+        assert!(trace.hidden_levels[0].iter().all(|&v| (0..=3).contains(&v)));
+    }
+
+    #[test]
+    fn input_layer_thresholds_quantize_pixels() {
+        let m = tiny();
+        // Thresholds at 32/96/160 integer units → pixel 10 → level 0,
+        // pixel 100 → level 2, pixel 250 → level 3.
+        let levels = run_input_layer(&m, &[10, 100, 250, 0]);
+        assert_eq!(levels, vec![0, 2, 3, 0]);
+    }
+
+    #[test]
+    fn hardware_bn_changes_scores() {
+        let mut m = tiny();
+        m.output.bias = None;
+        m.output.bn = Some(vec![
+            BnParams {
+                scale_q16: Fix::q16_scale_from_f64(1.0),
+                offset: Fix::from_f64(100.0),
+            },
+            BnParams::IDENTITY,
+        ]);
+        m.validate().unwrap();
+        let t = infer_traced(&m, &[0, 0, 0, 0]);
+        // Class 0 got +100 offset: must win.
+        assert_eq!(t.class, 0);
+    }
+
+    #[test]
+    fn relu_quan_path_produces_unsigned_levels() {
+        let mut m = tiny();
+        m.hidden[0].activation = LayerActivation::Relu {
+            quant: QuantParams::from_f64(0.5, 0.0),
+        };
+        m.validate().unwrap();
+        let t = infer_traced(&m, &[255, 255, 255, 255]);
+        assert!(t.hidden_levels[0].iter().all(|&v| (0..=3).contains(&v)));
+    }
+
+    #[test]
+    fn fully_binary_model_runs() {
+        // Build a 4-input, 2-hidden-neuron, 2-class BNN.
+        let m = QuantMlp {
+            name: "bnn".into(),
+            input: InputLayer {
+                len: 4,
+                out_precision: Precision::W1,
+                activation: LayerActivation::Sign {
+                    thresholds: vec![Fix::from_i32(128); 4],
+                },
+            },
+            hidden: vec![crate::qmodel::HiddenLayer {
+                in_len: 4,
+                neurons: 2,
+                weight_precision: Precision::W1,
+                in_precision: Precision::W1,
+                out_precision: Precision::W1,
+                weights: vec![1, -1, 1, -1, -1, 1, -1, 1],
+                bias: Some(vec![0, 0]),
+                bn: None,
+                activation: LayerActivation::Sign {
+                    thresholds: vec![Fix::ZERO; 2],
+                },
+            }],
+            output: OutputLayer {
+                in_len: 2,
+                neurons: 2,
+                weight_precision: Precision::W1,
+                in_precision: Precision::W1,
+                weights: vec![1, -1, -1, 1],
+                bias: Some(vec![0, 0]),
+                bn: None,
+            },
+        };
+        m.validate().unwrap();
+        assert!(m.is_fully_binary());
+        // Pixels ≥128 → +1; pattern (+1,−1,+1,−1) matches neuron 0 → class 0.
+        assert_eq!(infer(&m, &[200, 10, 200, 10]), 0);
+        // Inverted pattern → class 1.
+        assert_eq!(infer(&m, &[10, 200, 10, 200]), 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! A minimal dense-matrix type for MLP training.
+//!
+//! The trainer only needs row-major `f32` matrices with matrix
+//! multiplication, transposition, and elementwise helpers. Matmuls
+//! parallelise over output rows with rayon, which is what makes training
+//! the LFC (1024-wide) models practical.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A row-major `f32` matrix.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Matrix {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the row-major backing storage.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major backing storage.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row slice accessor.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row slice accessor.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self × rhs`, parallelised over rows of `self`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let cols = rhs.cols;
+        out.data
+            .par_chunks_mut(cols)
+            .zip(self.data.par_chunks(self.cols))
+            .for_each(|(orow, arow)| {
+                for (k, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &rhs.data[k * cols..(k + 1) * cols];
+                    for (o, &b) in orow.iter_mut().zip(brow) {
+                        *o += a * b;
+                    }
+                }
+            });
+        out
+    }
+
+    /// `selfᵀ × rhs` without materialising the transpose.
+    pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "outer dimensions must agree");
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        let cols = rhs.cols;
+        // Accumulate per output row in parallel: out[i][j] = Σ_k a[k][i]·b[k][j].
+        out.data
+            .par_chunks_mut(cols)
+            .enumerate()
+            .for_each(|(i, orow)| {
+                for k in 0..self.rows {
+                    let a = self.data[k * self.cols + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &rhs.data[k * cols..(k + 1) * cols];
+                    for (o, &b) in orow.iter_mut().zip(brow) {
+                        *o += a * b;
+                    }
+                }
+            });
+        out
+    }
+
+    /// `self × rhsᵀ` without materialising the transpose.
+    pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        let rcols = rhs.rows;
+        out.data
+            .par_chunks_mut(rcols)
+            .zip(self.data.par_chunks(self.cols))
+            .for_each(|(orow, arow)| {
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let brow = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                    *o = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
+                }
+            });
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        self.data.par_iter_mut().for_each(|v| *v = f(*v));
+    }
+
+    /// Elementwise product in place.
+    pub fn hadamard_inplace(&mut self, rhs: &Matrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        self.data
+            .par_iter_mut()
+            .zip(rhs.data.par_iter())
+            .for_each(|(a, &b)| *a *= b);
+    }
+
+    /// `self += alpha · rhs`.
+    pub fn axpy_inplace(&mut self, alpha: f32, rhs: &Matrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        self.data
+            .par_iter_mut()
+            .zip(rhs.data.par_iter())
+            .for_each(|(a, &b)| *a += alpha * b);
+    }
+
+    /// Sum of each column (a length-`cols` vector).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (s, &v) in sums.iter_mut().zip(self.row(r)) {
+                *s += v;
+            }
+        }
+        sums
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known_result() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32);
+        let b = Matrix::from_fn(4, 2, |r, c| (r + c) as f32 * 0.5);
+        assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32 * 0.25);
+        let b = Matrix::from_fn(4, 5, |r, c| (r + 2 * c) as f32);
+        assert_eq!(a.matmul_t(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 7, |r, c| (r * 31 + c * 7) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn col_sums_sum_rows() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.col_sums(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn elementwise_helpers() {
+        let mut a = Matrix::from_vec(1, 3, vec![1.0, -2.0, 3.0]);
+        a.map_inplace(|v| v.max(0.0));
+        assert_eq!(a.data(), &[1.0, 0.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![2.0, 2.0, 2.0]);
+        a.hadamard_inplace(&b);
+        assert_eq!(a.data(), &[2.0, 0.0, 6.0]);
+        a.axpy_inplace(0.5, &b);
+        assert_eq!(a.data(), &[3.0, 1.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_rejects_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,240 @@
+//! The model zoo: the six pre-trained networks of the paper's evaluation.
+//!
+//! §IV evaluates six quantized MLPs from FINN/Brevitas on MNIST-shaped
+//! data: TFC-w1a1, TFC-w2a2, SFC-w1a1, SFC-w2a2, LFC-w1a1, LFC-w1a2.
+//! All share the topology 784 → H → H → H → 10 with H = 64 (TFC),
+//! 256 (SFC), 1024 (LFC); `wNaM` quantizes weights to N bits and
+//! activations to M bits.
+
+use crate::export::{export, BnMode, ExportConfig, ExportError};
+use crate::float::{ActSpec, FloatMlp, LayerSpec, MlpSpec};
+use crate::qmodel::QuantMlp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Input dimensionality of every zoo model (28×28 images).
+pub const ZOO_INPUT_LEN: usize = crate::dataset::IMAGE_PIXELS;
+/// Class count of every zoo model.
+pub const ZOO_CLASSES: usize = crate::dataset::NUM_CLASSES;
+/// Hidden-layer count of every zoo model.
+pub const ZOO_HIDDEN_LAYERS: usize = 3;
+
+/// The six evaluation models.
+///
+/// ```
+/// use netpu_nn::{export::BnMode, reference, zoo::ZooModel};
+/// let model = ZooModel::TfcW2A2.build_untrained(7, BnMode::Folded).unwrap();
+/// assert_eq!(model.layer_count(), 5); // input + 3 hidden + output
+/// let class = reference::infer(&model, &vec![128u8; 784]);
+/// assert!(class < 10);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ZooModel {
+    /// TFC (64-wide), 1-bit weights, 1-bit activations.
+    TfcW1A1,
+    /// TFC (64-wide), 2-bit weights, 2-bit activations.
+    TfcW2A2,
+    /// SFC (256-wide), 1-bit weights, 1-bit activations.
+    SfcW1A1,
+    /// SFC (256-wide), 2-bit weights, 2-bit activations.
+    SfcW2A2,
+    /// LFC (1024-wide), 1-bit weights, 1-bit activations.
+    LfcW1A1,
+    /// LFC (1024-wide), 1-bit weights, 2-bit activations.
+    LfcW1A2,
+}
+
+impl ZooModel {
+    /// All six models in the paper's order.
+    pub const ALL: [ZooModel; 6] = [
+        ZooModel::TfcW1A1,
+        ZooModel::TfcW2A2,
+        ZooModel::SfcW1A1,
+        ZooModel::SfcW2A2,
+        ZooModel::LfcW1A1,
+        ZooModel::LfcW1A2,
+    ];
+
+    /// The paper's model name, e.g. `"SFC-w1a1"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ZooModel::TfcW1A1 => "TFC-w1a1",
+            ZooModel::TfcW2A2 => "TFC-w2a2",
+            ZooModel::SfcW1A1 => "SFC-w1a1",
+            ZooModel::SfcW2A2 => "SFC-w2a2",
+            ZooModel::LfcW1A1 => "LFC-w1a1",
+            ZooModel::LfcW1A2 => "LFC-w1a2",
+        }
+    }
+
+    /// Hidden-layer width (64 / 256 / 1024).
+    pub fn hidden_width(self) -> usize {
+        match self {
+            ZooModel::TfcW1A1 | ZooModel::TfcW2A2 => 64,
+            ZooModel::SfcW1A1 | ZooModel::SfcW2A2 => 256,
+            ZooModel::LfcW1A1 | ZooModel::LfcW1A2 => 1024,
+        }
+    }
+
+    /// Weight precision in bits.
+    pub fn weight_bits(self) -> u8 {
+        match self {
+            ZooModel::TfcW2A2 | ZooModel::SfcW2A2 => 2,
+            _ => 1,
+        }
+    }
+
+    /// Activation precision in bits.
+    pub fn act_bits(self) -> u8 {
+        match self {
+            ZooModel::TfcW1A1 | ZooModel::SfcW1A1 | ZooModel::LfcW1A1 => 1,
+            _ => 2,
+        }
+    }
+
+    /// `true` for the fully binarized (Sign-activation) models.
+    pub fn is_binary(self) -> bool {
+        self.act_bits() == 1
+    }
+
+    /// The activation family used by the hidden layers (and input layer).
+    pub fn activation(self) -> ActSpec {
+        if self.is_binary() {
+            ActSpec::Sign
+        } else {
+            ActSpec::Hwgq {
+                bits: self.act_bits(),
+            }
+        }
+    }
+
+    /// The float-training specification for this model.
+    pub fn spec(self) -> MlpSpec {
+        let act = self.activation();
+        let mut layers: Vec<LayerSpec> = (0..ZOO_HIDDEN_LAYERS)
+            .map(|_| LayerSpec {
+                neurons: self.hidden_width(),
+                weight_bits: self.weight_bits(),
+                act,
+                batch_norm: true,
+            })
+            .collect();
+        layers.push(LayerSpec {
+            neurons: ZOO_CLASSES,
+            weight_bits: self.weight_bits(),
+            act: ActSpec::None,
+            batch_norm: true,
+        });
+        MlpSpec {
+            name: self.name().to_string(),
+            input_len: ZOO_INPUT_LEN,
+            input_act: act,
+            layers,
+        }
+    }
+
+    /// Total FC weight count (the quantity that dominates stream length
+    /// and therefore latency).
+    pub fn weight_count(self) -> usize {
+        let h = self.hidden_width();
+        ZOO_INPUT_LEN * h + (ZOO_HIDDEN_LAYERS - 1) * h * h + h * ZOO_CLASSES
+    }
+
+    /// Builds an untrained (randomly initialised, identity-BN) hardware
+    /// model, deterministic in `seed`. Latency is data- and
+    /// weight-value-independent, so benchmarks use this; accuracy
+    /// experiments use [`ZooModel::train`].
+    pub fn build_untrained(self, seed: u64, bn_mode: BnMode) -> Result<QuantMlp, ExportError> {
+        let fm = FloatMlp::init(self.spec(), seed);
+        export(&fm, &ExportConfig { bn_mode })
+    }
+
+    /// Trains the model on `data` and exports it under `bn_mode`.
+    pub fn train(
+        self,
+        data: &crate::dataset::Dataset,
+        cfg: &crate::train::TrainConfig,
+        bn_mode: BnMode,
+    ) -> Result<(FloatMlp, QuantMlp), ExportError> {
+        let mut fm = FloatMlp::init(self.spec(), cfg.seed ^ 0xA5A5);
+        crate::train::train(&mut fm, data, cfg);
+        let qm = export(&fm, &ExportConfig { bn_mode })?;
+        Ok((fm, qm))
+    }
+}
+
+impl fmt::Display for ZooModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_matches_paper_topologies() {
+        assert_eq!(ZooModel::TfcW1A1.hidden_width(), 64);
+        assert_eq!(ZooModel::SfcW2A2.hidden_width(), 256);
+        assert_eq!(ZooModel::LfcW1A2.hidden_width(), 1024);
+        assert_eq!(ZooModel::LfcW1A2.weight_bits(), 1);
+        assert_eq!(ZooModel::LfcW1A2.act_bits(), 2);
+        assert!(ZooModel::LfcW1A1.is_binary());
+        assert!(!ZooModel::TfcW2A2.is_binary());
+    }
+
+    #[test]
+    fn weight_counts_match_hand_computation() {
+        // TFC: 784·64 + 2·64² + 64·10 = 59,008.
+        assert_eq!(ZooModel::TfcW1A1.weight_count(), 59_008);
+        // SFC: 784·256 + 2·256² + 256·10 = 334,336.
+        assert_eq!(ZooModel::SfcW1A1.weight_count(), 334_336);
+        // LFC: 784·1024 + 2·1024² + 1024·10 = 2,910,208.
+        assert_eq!(ZooModel::LfcW1A1.weight_count(), 2_910_208);
+    }
+
+    #[test]
+    fn untrained_models_validate_and_infer() {
+        for m in [ZooModel::TfcW1A1, ZooModel::TfcW2A2] {
+            let qm = m.build_untrained(1, BnMode::Folded).unwrap();
+            qm.validate().unwrap();
+            assert_eq!(qm.layer_count(), 5);
+            let pixels = vec![100u8; ZOO_INPUT_LEN];
+            let class = crate::reference::infer(&qm, &pixels);
+            assert!(class < ZOO_CLASSES);
+        }
+    }
+
+    #[test]
+    fn untrained_build_is_deterministic() {
+        let a = ZooModel::TfcW1A1
+            .build_untrained(9, BnMode::Folded)
+            .unwrap();
+        let b = ZooModel::TfcW1A1
+            .build_untrained(9, BnMode::Folded)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn binary_models_use_sign_path() {
+        let qm = ZooModel::TfcW1A1
+            .build_untrained(2, BnMode::Folded)
+            .unwrap();
+        assert!(qm.is_fully_binary());
+        let qm2 = ZooModel::TfcW2A2
+            .build_untrained(2, BnMode::Folded)
+            .unwrap();
+        assert!(!qm2.is_fully_binary());
+    }
+
+    #[test]
+    fn w1a2_mixes_binary_weights_with_two_bit_activations() {
+        let qm = ZooModel::LfcW1A2
+            .build_untrained(3, BnMode::Folded)
+            .unwrap();
+        assert!(qm.hidden[0].weight_precision.is_binary());
+        assert_eq!(qm.hidden[0].out_precision.bits(), 2);
+    }
+}

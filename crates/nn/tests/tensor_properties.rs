@@ -1,0 +1,83 @@
+//! Property tests for the dense-matrix substrate the trainer rests on.
+
+use netpu_nn::tensor::Matrix;
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        let h = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((r * 31 + c * 7) as u64);
+        ((h % 2000) as f32 - 1000.0) / 500.0
+    })
+}
+
+fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// (AB)C = A(BC) within float tolerance.
+    #[test]
+    fn matmul_is_associative(m in 1usize..8, k in 1usize..8, n in 1usize..8, p in 1usize..8, seed in 0u64..100) {
+        let a = matrix(m, k, seed);
+        let b = matrix(k, n, seed + 1);
+        let c = matrix(n, p, seed + 2);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(approx_eq(&left, &right, 1e-4));
+    }
+
+    /// The fused transposed products agree with explicit transposition.
+    #[test]
+    fn fused_transpose_products_agree(m in 1usize..10, k in 1usize..10, n in 1usize..10, seed in 0u64..100) {
+        let a = matrix(k, m, seed);
+        let b = matrix(k, n, seed + 3);
+        prop_assert!(approx_eq(&a.t_matmul(&b), &a.transpose().matmul(&b), 1e-5));
+        let c = matrix(m, k, seed + 4);
+        let d = matrix(n, k, seed + 5);
+        prop_assert!(approx_eq(&c.matmul_t(&d), &c.matmul(&d.transpose()), 1e-5));
+    }
+
+    /// Transposition is an involution and swaps dimensions.
+    #[test]
+    fn transpose_involution(m in 1usize..12, n in 1usize..12, seed in 0u64..100) {
+        let a = matrix(m, n, seed);
+        let t = a.transpose();
+        prop_assert_eq!(t.rows(), n);
+        prop_assert_eq!(t.cols(), m);
+        prop_assert_eq!(t.transpose(), a);
+    }
+
+    /// Distributivity: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes_over_addition(m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..100) {
+        let a = matrix(m, k, seed);
+        let b = matrix(k, n, seed + 6);
+        let c = matrix(k, n, seed + 7);
+        let mut sum = b.clone();
+        sum.axpy_inplace(1.0, &c);
+        let left = a.matmul(&sum);
+        let mut right = a.matmul(&b);
+        right.axpy_inplace(1.0, &a.matmul(&c));
+        prop_assert!(approx_eq(&left, &right, 1e-4));
+    }
+
+    /// Column sums equal multiplication by a ones row-vector.
+    #[test]
+    fn col_sums_equal_ones_product(m in 1usize..10, n in 1usize..10, seed in 0u64..100) {
+        let a = matrix(m, n, seed);
+        let ones = Matrix::from_fn(1, m, |_, _| 1.0);
+        let product = ones.matmul(&a);
+        for (s, p) in a.col_sums().iter().zip(product.row(0)) {
+            prop_assert!((s - p).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Multi-FPGA deployment (§I.B application scenario: "Multiple FPGAs
+//! pipelined NN inference acceleration").
+//!
+//! A host fans inference requests out to several NetPU-M boards. Each
+//! board computes independently, but the host's DMA engine is shared:
+//! only one loadable can stream at a time. Steady-state throughput is
+//! therefore the *minimum* of the compute bound (`boards / latency`)
+//! and the transfer bound (`1 / stream_time`) — adding boards stops
+//! helping once the shared stream link saturates, which for NetPU-M
+//! happens quickly because the architecture re-streams weights every
+//! inference (the §V loading bottleneck at system scale).
+
+use crate::driver::{Driver, DriverError};
+use netpu_compiler::compile;
+use netpu_nn::QuantMlp;
+use serde::{Deserialize, Serialize};
+
+/// Throughput analysis of a multi-board deployment.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterThroughput {
+    /// Number of boards.
+    pub boards: usize,
+    /// Single-inference latency on one board (µs, incl. DMA setup).
+    pub latency_us: f64,
+    /// Time the shared host DMA is occupied per inference (µs).
+    pub transfer_us: f64,
+    /// Compute-bound throughput (frames/s).
+    pub compute_bound_fps: f64,
+    /// Transfer-bound throughput (frames/s).
+    pub transfer_bound_fps: f64,
+    /// Achievable steady-state throughput (frames/s).
+    pub fps: f64,
+}
+
+/// A cluster of identical NetPU-M boards behind one host DMA engine.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    /// Per-board driver (accelerator + DMA + power models).
+    pub driver: Driver,
+    /// Board count.
+    pub boards: usize,
+}
+
+impl Cluster {
+    /// Builds a cluster of `boards` boards with the paper's setup each.
+    pub fn new(boards: usize, driver: Driver) -> Cluster {
+        assert!(boards > 0, "at least one board");
+        Cluster { driver, boards }
+    }
+
+    /// Steady-state throughput for one model served by all boards.
+    pub fn throughput(&self, model: &QuantMlp) -> Result<ClusterThroughput, DriverError> {
+        let pixels = vec![0u8; model.input.len];
+        let loadable = compile(model, &pixels).map_err(DriverError::Compile)?;
+        let run = self.driver.run_loadable(&loadable)?;
+        // DMA occupancy per inference: setup + the stream itself.
+        let words_per_us = self.driver.dma.words_per_cycle * self.driver.hw.clock_mhz;
+        let transfer_us = self.driver.dma.setup_us
+            + if words_per_us.is_finite() {
+                loadable.len() as f64 / words_per_us
+            } else {
+                0.0
+            };
+        let compute_bound = self.boards as f64 * 1e6 / run.measured_latency_us;
+        let transfer_bound = if transfer_us > 0.0 {
+            1e6 / transfer_us
+        } else {
+            f64::INFINITY
+        };
+        Ok(ClusterThroughput {
+            boards: self.boards,
+            latency_us: run.measured_latency_us,
+            transfer_us,
+            compute_bound_fps: compute_bound,
+            transfer_bound_fps: transfer_bound,
+            fps: compute_bound.min(transfer_bound),
+        })
+    }
+
+    /// Boards beyond this count no longer raise throughput (the shared
+    /// DMA link is saturated).
+    pub fn useful_boards(&self, model: &QuantMlp) -> Result<usize, DriverError> {
+        let one = Cluster::new(1, self.driver.clone()).throughput(model)?;
+        Ok((one.transfer_bound_fps * one.latency_us / 1e6)
+            .ceil()
+            .max(1.0) as usize)
+    }
+
+    /// Total cluster wall power.
+    pub fn power_w(&self) -> f64 {
+        let util = netpu_core::resources::netpu_utilization(&self.driver.hw);
+        self.boards as f64
+            * self
+                .driver
+                .power
+                .wall_power_w(&util, self.driver.hw.clock_mhz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpu_nn::export::BnMode;
+    use netpu_nn::zoo::ZooModel;
+
+    fn model() -> QuantMlp {
+        ZooModel::SfcW1A1
+            .build_untrained(1, BnMode::Folded)
+            .unwrap()
+    }
+
+    #[test]
+    fn one_board_is_latency_bound() {
+        let c = Cluster::new(1, Driver::paper_setup());
+        let t = c.throughput(&model()).unwrap();
+        assert_eq!(t.boards, 1);
+        assert!((t.fps - 1e6 / t.latency_us).abs() < 1e-6);
+        assert!(t.fps < t.transfer_bound_fps);
+    }
+
+    #[test]
+    fn scaling_saturates_at_the_shared_dma() {
+        let driver = Driver::paper_setup();
+        let mut last_fps = 0.0;
+        let mut saturated = false;
+        for boards in 1..=8 {
+            let t = Cluster::new(boards, driver.clone())
+                .throughput(&model())
+                .unwrap();
+            assert!(t.fps + 1e-9 >= last_fps, "throughput regressed");
+            if (t.fps - t.transfer_bound_fps).abs() < 1e-9 {
+                saturated = true;
+            }
+            last_fps = t.fps;
+        }
+        assert!(saturated, "8 boards never hit the DMA bound");
+        // And the useful-board estimate reflects that.
+        let useful = Cluster::new(1, driver).useful_boards(&model()).unwrap();
+        assert!((2..=8).contains(&useful), "useful boards {useful}");
+    }
+
+    #[test]
+    fn larger_models_are_more_transfer_bound() {
+        // LFC streams ~8x the words of SFC: its DMA occupancy fraction
+        // is higher, so fewer boards are useful.
+        let driver = Driver::paper_setup();
+        let sfc = Cluster::new(1, driver.clone())
+            .useful_boards(&model())
+            .unwrap();
+        let lfc_model = ZooModel::LfcW1A1
+            .build_untrained(1, BnMode::Folded)
+            .unwrap();
+        let lfc = Cluster::new(1, driver).useful_boards(&lfc_model).unwrap();
+        assert!(lfc <= sfc, "LFC useful boards {lfc} > SFC {sfc}");
+    }
+
+    #[test]
+    fn power_scales_linearly_with_boards() {
+        let c1 = Cluster::new(1, Driver::paper_setup());
+        let c4 = Cluster::new(4, Driver::paper_setup());
+        assert!((c4.power_w() / c1.power_w() - 4.0).abs() < 1e-9);
+    }
+}

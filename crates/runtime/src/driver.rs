@@ -1,0 +1,263 @@
+//! The host-side driver.
+//!
+//! NetPU-M's selling point is that the "runtime environment" collapses
+//! to data streaming: the host compiles a model + input into a loadable
+//! once, pushes it through DMA, and reads one result word back. This
+//! driver wraps that flow and attaches the DMA and power models so
+//! callers get Table VI-style *measured* numbers.
+
+use crate::dma::DmaModel;
+use crate::power::PowerParams;
+use netpu_compiler::{compile, Loadable, StreamError};
+use netpu_core::netpu::{run_inference, InferenceRun, NetPuError};
+use netpu_core::resources::netpu_utilization;
+use netpu_core::HwConfig;
+use netpu_nn::QuantMlp;
+use serde::{Deserialize, Serialize};
+
+/// One measured inference.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredRun {
+    /// Predicted class.
+    pub class: usize,
+    /// Simulated accelerator latency (Table V style), µs.
+    pub sim_latency_us: f64,
+    /// Measured end-to-end latency incl. DMA/PS overhead (Table VI
+    /// style), µs.
+    pub measured_latency_us: f64,
+    /// Modeled wall power, W.
+    pub power_w: f64,
+    /// Energy per inference, µJ.
+    pub energy_uj: f64,
+    /// Stream length in 64-bit words.
+    pub stream_words: usize,
+    /// Accelerator cycles.
+    pub cycles: u64,
+    /// SoftMax class probabilities (instances configured with
+    /// `softmax_output` only).
+    pub probabilities: Option<Vec<f64>>,
+}
+
+/// Driver errors.
+#[derive(Clone, PartialEq, Debug)]
+pub enum DriverError {
+    /// Compilation of the model/input failed.
+    Compile(StreamError),
+    /// The accelerator rejected or failed on the stream.
+    Accelerator(NetPuError),
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::Compile(e) => write!(f, "compile: {e}"),
+            DriverError::Accelerator(e) => write!(f, "accelerator: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// Host driver bundling the accelerator, DMA, and power models.
+///
+/// ```
+/// use netpu_runtime::Driver;
+/// use netpu_nn::{export::BnMode, zoo::ZooModel};
+/// let driver = Driver::paper_setup();
+/// let model = ZooModel::TfcW1A1.build_untrained(1, BnMode::Folded).unwrap();
+/// let run = driver.infer(&model, &vec![0u8; 784]).unwrap();
+/// // Measured latency = simulated latency + the ~5.9 µs DMA/PS setup.
+/// assert!(run.measured_latency_us > run.sim_latency_us);
+/// assert!((6.0..8.0).contains(&run.power_w));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Driver {
+    /// Accelerator instance configuration.
+    pub hw: HwConfig,
+    /// DMA channel model.
+    pub dma: DmaModel,
+    /// Power coefficients of the hosting board.
+    pub power: PowerParams,
+}
+
+impl Driver {
+    /// The paper's measurement setup: the Table V instance on an
+    /// Ultra96-V2 behind the Zynq UltraScale+ PS DMA.
+    pub fn paper_setup() -> Driver {
+        Driver {
+            hw: HwConfig::paper_instance(),
+            dma: DmaModel::zynq_uls(),
+            power: PowerParams::ultra96(),
+        }
+    }
+
+    /// Compiles and runs one inference.
+    pub fn infer(&self, model: &QuantMlp, pixels: &[u8]) -> Result<MeasuredRun, DriverError> {
+        let loadable = compile(model, pixels).map_err(DriverError::Compile)?;
+        self.run_loadable(&loadable)
+    }
+
+    /// Runs a pre-compiled loadable.
+    pub fn run_loadable(&self, loadable: &Loadable) -> Result<MeasuredRun, DriverError> {
+        let run: InferenceRun =
+            run_inference(&self.hw, loadable.words.clone()).map_err(DriverError::Accelerator)?;
+        let measured =
+            self.dma
+                .measured_latency_us(run.latency_us, loadable.len(), self.hw.clock_mhz);
+        let util = netpu_utilization(&self.hw);
+        let power = self.power.wall_power_w(&util, self.hw.clock_mhz);
+        Ok(MeasuredRun {
+            class: run.class,
+            sim_latency_us: run.latency_us,
+            measured_latency_us: measured,
+            power_w: power,
+            energy_uj: power * measured,
+            stream_words: loadable.len(),
+            cycles: run.cycles,
+            probabilities: run.probabilities,
+        })
+    }
+
+    /// Streams a pre-packaged burst of inferences through one DMA
+    /// transfer (one setup cost for the whole burst), returning the
+    /// classes and the sustained rate in frames per second.
+    pub fn infer_burst(
+        &self,
+        model: &QuantMlp,
+        inputs: &[Vec<u8>],
+    ) -> Result<(Vec<usize>, f64), DriverError> {
+        if inputs.is_empty() {
+            return Ok((Vec::new(), 0.0));
+        }
+        let words =
+            netpu_compiler::batch_stream(model, inputs, netpu_compiler::PackingMode::Lanes8)
+                .map_err(DriverError::Compile)?;
+        let stream = netpu_sim::StreamSource::new(words, 1);
+        let mut netpu =
+            netpu_core::NetPu::new(self.hw, stream).map_err(DriverError::Accelerator)?;
+        let cycles =
+            netpu_core::netpu::run_to_completion(&mut netpu).map_err(DriverError::Accelerator)?;
+        let classes = netpu.results().iter().map(|&(c, _, _)| c).collect();
+        let total_us = self.dma.setup_us + netpu_sim::cycles_to_us(cycles, self.hw.clock_mhz);
+        Ok((classes, inputs.len() as f64 * 1e6 / total_us))
+    }
+
+    /// Runs a batch of inputs against one model, reusing the compiled
+    /// model sections (only the input section is re-packed per frame).
+    pub fn infer_batch(
+        &self,
+        model: &QuantMlp,
+        inputs: &[Vec<u8>],
+    ) -> Result<Vec<MeasuredRun>, DriverError> {
+        let mut runs = Vec::with_capacity(inputs.len());
+        let first = match inputs.first() {
+            Some(f) => f,
+            None => return Ok(runs),
+        };
+        let mut loadable = compile(model, first).map_err(DriverError::Compile)?;
+        runs.push(self.run_loadable(&loadable)?);
+        for pixels in &inputs[1..] {
+            loadable
+                .replace_input(pixels)
+                .map_err(DriverError::Compile)?;
+            runs.push(self.run_loadable(&loadable)?);
+        }
+        Ok(runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpu_nn::export::BnMode;
+    use netpu_nn::zoo::ZooModel;
+    use netpu_nn::{dataset, reference};
+
+    #[test]
+    fn measured_run_is_consistent() {
+        let driver = Driver::paper_setup();
+        let model = ZooModel::TfcW1A1
+            .build_untrained(1, BnMode::Folded)
+            .unwrap();
+        let px = vec![100u8; 784];
+        let run = driver.infer(&model, &px).unwrap();
+        assert_eq!(run.class, reference::infer(&model, &px));
+        assert!(run.measured_latency_us > run.sim_latency_us);
+        assert!((run.measured_latency_us - run.sim_latency_us - 5.9).abs() < 1e-6);
+        assert!((6.0..8.0).contains(&run.power_w));
+        assert!(run.energy_uj > 0.0);
+    }
+
+    #[test]
+    fn batch_reuses_compiled_model() {
+        let driver = Driver::paper_setup();
+        let model = ZooModel::TfcW1A1
+            .build_untrained(2, BnMode::Folded)
+            .unwrap();
+        let ds = dataset::generate(4, 3, &dataset::GeneratorConfig::default());
+        let inputs: Vec<Vec<u8>> = ds.examples.iter().map(|e| e.pixels.clone()).collect();
+        let runs = driver.infer_batch(&model, &inputs).unwrap();
+        assert_eq!(runs.len(), 4);
+        for (run, e) in runs.iter().zip(&ds.examples) {
+            assert_eq!(run.class, reference::infer(&model, &e.pixels));
+        }
+        // Latency is input-independent for a fixed model.
+        assert!(runs.windows(2).all(|w| w[0].cycles == w[1].cycles));
+        assert!(driver.infer_batch(&model, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn burst_amortises_dma_setup() {
+        let driver = Driver::paper_setup();
+        let model = ZooModel::TfcW1A1
+            .build_untrained(4, BnMode::Folded)
+            .unwrap();
+        let ds = dataset::generate(6, 8, &dataset::GeneratorConfig::default());
+        let inputs: Vec<Vec<u8>> = ds.examples.iter().map(|e| e.pixels.clone()).collect();
+        let (classes, fps) = driver.infer_burst(&model, &inputs).unwrap();
+        assert_eq!(classes.len(), 6);
+        for (c, e) in classes.iter().zip(&ds.examples) {
+            assert_eq!(*c, reference::infer(&model, &e.pixels));
+        }
+        // One DMA setup for six frames beats six setups.
+        let single = driver.infer(&model, &inputs[0]).unwrap();
+        let per_frame_fps = 1e6 / single.measured_latency_us;
+        assert!(fps > per_frame_fps, "burst {fps} !> single {per_frame_fps}");
+        assert_eq!(driver.infer_burst(&model, &[]).unwrap().0.len(), 0);
+    }
+
+    #[test]
+    fn softmax_instances_report_probabilities() {
+        let driver = Driver {
+            hw: netpu_core::HwConfig {
+                softmax_output: true,
+                ..netpu_core::HwConfig::paper_instance()
+            },
+            ..Driver::paper_setup()
+        };
+        let model = ZooModel::TfcW1A1
+            .build_untrained(9, BnMode::Folded)
+            .unwrap();
+        let run = driver.infer(&model, &vec![50u8; 784]).unwrap();
+        let probs = run.probabilities.expect("probabilities present");
+        assert_eq!(probs.len(), 10);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The paper setup reports none.
+        let plain = Driver::paper_setup()
+            .infer(&model, &vec![50u8; 784])
+            .unwrap();
+        assert!(plain.probabilities.is_none());
+    }
+
+    #[test]
+    fn compile_errors_surface() {
+        let driver = Driver::paper_setup();
+        let model = ZooModel::TfcW1A1
+            .build_untrained(3, BnMode::Folded)
+            .unwrap();
+        assert!(matches!(
+            driver.infer(&model, &[0u8; 7]),
+            Err(DriverError::Compile(StreamError::InputLength { .. }))
+        ));
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! Host runtime for the NetPU-M accelerator.
+//!
+//! Models everything outside the programmable logic that the paper's
+//! measurements include:
+//!
+//! * [`dma`] — the DMA / Processing System transfer path (the constant
+//!   ≈6 µs gap between Table V simulation and Table VI measurement).
+//! * [`power`] — the wall-power model behind Table VI's `P_wall`.
+//! * [`driver`] — the host driver: compile → stream → result, with
+//!   batch-inference input-section reuse.
+//! * [`cluster`] — multi-FPGA deployment throughput (the §I.B
+//!   multi-board application scenario).
+
+pub mod cluster;
+pub mod dma;
+pub mod driver;
+pub mod power;
+
+pub use cluster::{Cluster, ClusterThroughput};
+pub use dma::DmaModel;
+pub use driver::{Driver, DriverError, MeasuredRun};
+pub use power::PowerParams;

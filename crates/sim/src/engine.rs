@@ -1,0 +1,211 @@
+//! The simulation run harness.
+//!
+//! A hardware model implements [`Clocked`]; [`Simulator`] steps it one
+//! cycle at a time until it reports completion, a cycle budget is
+//! exhausted, or a deadlock is detected (no observable progress for a
+//! configurable window — a stuck handshake in the model).
+
+use crate::Cycle;
+use std::fmt;
+
+/// Outcome of one clock edge.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Tick {
+    /// The component did observable work this cycle.
+    Progress,
+    /// The component was stalled (waiting on data or space).
+    Stall,
+    /// The component has finished its task.
+    Done,
+}
+
+/// A synchronous hardware component stepped once per clock cycle.
+pub trait Clocked {
+    /// Advances the component by one cycle.
+    fn tick(&mut self, cycle: Cycle) -> Tick;
+}
+
+/// Errors from [`Simulator::run`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// The cycle budget elapsed before the model finished.
+    CycleLimit {
+        /// The configured budget.
+        limit: Cycle,
+    },
+    /// No progress was observed for the deadlock window.
+    Deadlock {
+        /// Cycle at which the deadlock was declared.
+        at: Cycle,
+        /// Length of the progress-free window.
+        window: Cycle,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CycleLimit { limit } => {
+                write!(f, "simulation exceeded the {limit}-cycle budget")
+            }
+            SimError::Deadlock { at, window } => {
+                write!(f, "deadlock at cycle {at}: no progress for {window} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Cycle-stepping harness with a budget and deadlock watchdog.
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    cycle_limit: Cycle,
+    deadlock_window: Cycle,
+}
+
+impl Default for Simulator {
+    fn default() -> Simulator {
+        Simulator {
+            cycle_limit: 500_000_000,
+            deadlock_window: 100_000,
+        }
+    }
+}
+
+impl Simulator {
+    /// Creates a harness with the default budget (5·10⁸ cycles ≈ 5 s of
+    /// 100 MHz time) and watchdog window (10⁵ cycles).
+    pub fn new() -> Simulator {
+        Simulator::default()
+    }
+
+    /// Sets the cycle budget.
+    pub fn with_cycle_limit(mut self, limit: Cycle) -> Simulator {
+        self.cycle_limit = limit;
+        self
+    }
+
+    /// Sets the deadlock watchdog window.
+    pub fn with_deadlock_window(mut self, window: Cycle) -> Simulator {
+        self.deadlock_window = window;
+        self
+    }
+
+    /// Runs `component` to completion, returning the number of cycles
+    /// consumed (the cycle count *including* the final `Done` edge).
+    pub fn run<C: Clocked>(&self, component: &mut C) -> Result<Cycle, SimError> {
+        let mut last_progress: Cycle = 0;
+        for cycle in 0..self.cycle_limit {
+            match component.tick(cycle) {
+                Tick::Done => return Ok(cycle + 1),
+                Tick::Progress => last_progress = cycle,
+                Tick::Stall => {
+                    if cycle - last_progress >= self.deadlock_window {
+                        return Err(SimError::Deadlock {
+                            at: cycle,
+                            window: self.deadlock_window,
+                        });
+                    }
+                }
+            }
+        }
+        Err(SimError::CycleLimit {
+            limit: self.cycle_limit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts down and then reports done.
+    struct Countdown(u64);
+
+    impl Clocked for Countdown {
+        fn tick(&mut self, _cycle: Cycle) -> Tick {
+            if self.0 == 0 {
+                Tick::Done
+            } else {
+                self.0 -= 1;
+                Tick::Progress
+            }
+        }
+    }
+
+    /// Stalls forever.
+    struct Stuck;
+
+    impl Clocked for Stuck {
+        fn tick(&mut self, _cycle: Cycle) -> Tick {
+            Tick::Stall
+        }
+    }
+
+    #[test]
+    fn run_counts_cycles_to_done() {
+        let mut c = Countdown(9);
+        let cycles = Simulator::new().run(&mut c).unwrap();
+        assert_eq!(cycles, 10); // 9 progress edges + the done edge
+    }
+
+    #[test]
+    fn zero_work_completes_in_one_cycle() {
+        let mut c = Countdown(0);
+        assert_eq!(Simulator::new().run(&mut c).unwrap(), 1);
+    }
+
+    #[test]
+    fn watchdog_detects_deadlock() {
+        let mut s = Stuck;
+        let err = Simulator::new()
+            .with_deadlock_window(50)
+            .run(&mut s)
+            .unwrap_err();
+        assert_eq!(err, SimError::Deadlock { at: 50, window: 50 });
+    }
+
+    #[test]
+    fn cycle_limit_enforced() {
+        let mut c = Countdown(u64::MAX);
+        let err = Simulator::new()
+            .with_cycle_limit(100)
+            .run(&mut c)
+            .unwrap_err();
+        assert_eq!(err, SimError::CycleLimit { limit: 100 });
+    }
+
+    #[test]
+    fn intermittent_stalls_do_not_trip_watchdog() {
+        /// Alternates stall/progress; finishes after n progresses.
+        struct Chopper {
+            n: u64,
+            phase: bool,
+        }
+        impl Clocked for Chopper {
+            fn tick(&mut self, _c: Cycle) -> Tick {
+                self.phase = !self.phase;
+                if self.n == 0 {
+                    Tick::Done
+                } else if self.phase {
+                    self.n -= 1;
+                    Tick::Progress
+                } else {
+                    Tick::Stall
+                }
+            }
+        }
+        let mut c = Chopper {
+            n: 100,
+            phase: false,
+        };
+        let cycles = Simulator::new()
+            .with_deadlock_window(3)
+            .run(&mut c)
+            .unwrap();
+        // 100 progress edges on even cycles, 99 interleaved stalls, and
+        // the done edge at cycle 199.
+        assert_eq!(cycles, 200);
+    }
+}

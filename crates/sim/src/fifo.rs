@@ -1,0 +1,264 @@
+//! Hardware FIFO model with geometry, statistics, and BRAM mapping.
+//!
+//! The LPU Data Buffer Cluster (Table III) is a set of FIFOs with fixed
+//! output widths and depths backed by on-chip block RAM. [`Fifo`] models
+//! one such buffer: bounded capacity, single-cycle push/pop semantics
+//! (the caller enforces one access per port per cycle), and counters the
+//! latency analysis and resource model read out afterwards.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Runtime statistics accumulated by a [`Fifo`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FifoStats {
+    /// Successful pushes.
+    pub pushes: u64,
+    /// Successful pops.
+    pub pops: u64,
+    /// Pushes refused because the FIFO was full (write-side stalls).
+    pub push_stalls: u64,
+    /// Pops refused because the FIFO was empty (read-side stalls).
+    pub pop_stalls: u64,
+    /// High-water mark of occupancy.
+    pub max_occupancy: usize,
+}
+
+/// A bounded hardware FIFO of `T` words.
+///
+/// `width_bits` is the width of one entry on the read port; together with
+/// `depth` it determines the block-RAM cost via [`bram36_for`].
+#[derive(Clone, Debug)]
+pub struct Fifo<T> {
+    name: &'static str,
+    width_bits: u32,
+    depth: usize,
+    items: VecDeque<T>,
+    stats: FifoStats,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO with the given geometry.
+    pub fn new(name: &'static str, width_bits: u32, depth: usize) -> Fifo<T> {
+        assert!(depth > 0, "FIFO depth must be positive");
+        Fifo {
+            name,
+            width_bits,
+            depth,
+            items: VecDeque::with_capacity(depth),
+            stats: FifoStats::default(),
+        }
+    }
+
+    /// The buffer's name (matches the Table III row it models).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Entry width in bits.
+    pub fn width_bits(&self) -> u32 {
+        self.width_bits
+    }
+
+    /// Capacity in entries.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Current occupancy in entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when no entries are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `true` when a push would stall.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.depth
+    }
+
+    /// Free entries remaining.
+    pub fn free(&self) -> usize {
+        self.depth - self.items.len()
+    }
+
+    /// Attempts to push one entry; returns `false` (and counts a
+    /// write-side stall) when full.
+    pub fn push(&mut self, item: T) -> bool {
+        if self.is_full() {
+            self.stats.push_stalls += 1;
+            return false;
+        }
+        self.items.push_back(item);
+        self.stats.pushes += 1;
+        self.stats.max_occupancy = self.stats.max_occupancy.max(self.items.len());
+        true
+    }
+
+    /// Attempts to pop one entry; returns `None` (and counts a read-side
+    /// stall) when empty.
+    pub fn pop(&mut self) -> Option<T> {
+        match self.items.pop_front() {
+            Some(v) => {
+                self.stats.pops += 1;
+                Some(v)
+            }
+            None => {
+                self.stats.pop_stalls += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks at the head entry without consuming it.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Drops all buffered entries (an LPU reset), keeping statistics.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> FifoStats {
+        self.stats
+    }
+
+    /// Block-RAM cost of this buffer in BRAM36 units.
+    pub fn bram36(&self) -> f64 {
+        bram36_for(self.width_bits, self.depth)
+    }
+}
+
+/// Maps a FIFO geometry onto Xilinx block RAM, in units of RAMB36.
+///
+/// A RAMB36 offers 36 Kbit configurable as 32K×1 … 1K×36, or 512×72 in
+/// simple-dual-port mode; it splits into two independent RAMB18s (hence
+/// half-unit results like Table V's 129.5). The mapping picks the aspect
+/// ratio that minimises block count for the requested geometry.
+pub fn bram36_for(width_bits: u32, depth: usize) -> f64 {
+    if width_bits == 0 || depth == 0 {
+        return 0.0;
+    }
+    // Widest data-port configuration available at a given depth.
+    fn max_width_at_depth(depth: usize, kbit: u32) -> u32 {
+        // kbit = 36 for RAMB36, 18 for RAMB18. Depth steps double as
+        // width halves: 512×72/36, 1K×36/18, 2K×18/9, 4K×9/4, ...
+        let (mut d, mut w) = if kbit == 36 { (512, 72) } else { (256, 72) };
+        while d < depth {
+            d *= 2;
+            w /= 2;
+            if w == 0 {
+                return 0;
+            }
+        }
+        w
+    }
+    // Try a single RAMB18 first (half a RAMB36).
+    let w18 = max_width_at_depth(depth, 18);
+    if w18 >= width_bits {
+        return 0.5;
+    }
+    let w36 = max_width_at_depth(depth, 36);
+    if w36 == 0 {
+        // Deeper than a single column supports: stack by depth.
+        let per_block_depth = 32 * 1024; // 32K×1
+        let cols = width_bits as usize;
+        let rows = depth.div_ceil(per_block_depth);
+        return (cols * rows) as f64;
+    }
+    (width_bits as f64 / w36 as f64).ceil()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo_order() {
+        let mut f: Fifo<u64> = Fifo::new("t", 64, 4);
+        assert!(f.push(1) && f.push(2) && f.push(3));
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), Some(2));
+        assert!(f.push(4));
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), Some(4));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn full_fifo_stalls_writes() {
+        let mut f: Fifo<u8> = Fifo::new("t", 8, 2);
+        assert!(f.push(1) && f.push(2));
+        assert!(f.is_full());
+        assert!(!f.push(3));
+        assert_eq!(f.stats().push_stalls, 1);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn empty_fifo_stalls_reads() {
+        let mut f: Fifo<u8> = Fifo::new("t", 8, 2);
+        assert_eq!(f.pop(), None);
+        assert_eq!(f.stats().pop_stalls, 1);
+    }
+
+    #[test]
+    fn stats_track_occupancy_highwater() {
+        let mut f: Fifo<u8> = Fifo::new("t", 8, 8);
+        for i in 0..5 {
+            f.push(i);
+        }
+        f.pop();
+        f.pop();
+        assert_eq!(f.stats().max_occupancy, 5);
+        assert_eq!(f.stats().pushes, 5);
+        assert_eq!(f.stats().pops, 2);
+    }
+
+    #[test]
+    fn clear_resets_contents_not_stats() {
+        let mut f: Fifo<u8> = Fifo::new("t", 8, 8);
+        f.push(1);
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.stats().pushes, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_rejected() {
+        let _f: Fifo<u8> = Fifo::new("t", 8, 0);
+    }
+
+    #[test]
+    fn bram_mapping_matches_table3_buffers() {
+        // Layer Input: 64 bits × 1024 → two RAMB36 in 1K×36 mode.
+        assert_eq!(bram36_for(64, 1024), 2.0);
+        // BN Scale: 128 bits × 2048 → eight RAMB36 in 2K×18 mode.
+        assert_eq!(bram36_for(128, 2048), 8.0);
+        // A small control FIFO fits in half a block.
+        assert_eq!(bram36_for(32, 512), 0.5);
+        assert_eq!(bram36_for(64, 256), 0.5);
+    }
+
+    #[test]
+    fn bram_mapping_edge_cases() {
+        assert_eq!(bram36_for(0, 1024), 0.0);
+        assert_eq!(bram36_for(64, 0), 0.0);
+        // 72-wide shallow buffer: one RAMB36 in SDP mode.
+        assert_eq!(bram36_for(72, 512), 1.0);
+        // Very deep single-bit FIFO: stacked 32K×1 blocks.
+        assert_eq!(bram36_for(1, 65536), 2.0);
+    }
+
+    #[test]
+    fn fifo_reports_own_bram() {
+        let f: Fifo<u64> = Fifo::new("layer_input", 64, 1024);
+        assert_eq!(f.bram36(), 2.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! FPGA resource-accounting types shared by hardware models.
+//!
+//! [`Utilization`] bundles LUT/DSP/FF/BRAM costs, [`Platform`] is a
+//! device envelope. Cost *models* live with the architectures that own
+//! them (`netpu-core::resources`, `netpu-finn::resources`); only the
+//! accounting vocabulary lives here.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Add;
+
+/// A resource bundle (LUTs, DSP slices, flip-flops, BRAM36 blocks).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Utilization {
+    /// Look-up tables.
+    pub luts: u64,
+    /// DSP slices.
+    pub dsps: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// Block RAM in RAMB36 units (halves are RAMB18s).
+    pub bram36: f64,
+}
+
+impl Add for Utilization {
+    type Output = Utilization;
+    fn add(self, rhs: Utilization) -> Utilization {
+        Utilization {
+            luts: self.luts + rhs.luts,
+            dsps: self.dsps + rhs.dsps,
+            ffs: self.ffs + rhs.ffs,
+            bram36: self.bram36 + rhs.bram36,
+        }
+    }
+}
+
+impl Utilization {
+    /// Scales the bundle by an instance count.
+    pub fn times(self, n: u64) -> Utilization {
+        Utilization {
+            luts: self.luts * n,
+            dsps: self.dsps * n,
+            ffs: self.ffs * n,
+            bram36: self.bram36 * n as f64,
+        }
+    }
+
+    /// Utilization rates against a platform envelope, as fractions.
+    pub fn rates(&self, platform: &Platform) -> UtilizationRates {
+        UtilizationRates {
+            luts: self.luts as f64 / platform.luts as f64,
+            dsps: self.dsps as f64 / platform.dsps as f64,
+            ffs: self.ffs as f64 / platform.ffs as f64,
+            bram36: self.bram36 / platform.bram36,
+        }
+    }
+
+    /// `true` when the design fits the platform.
+    pub fn fits(&self, platform: &Platform) -> bool {
+        self.luts <= platform.luts
+            && self.dsps <= platform.dsps
+            && self.ffs <= platform.ffs
+            && self.bram36 <= platform.bram36
+    }
+}
+
+/// Utilization as fractions of a platform envelope.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationRates {
+    /// LUT fraction.
+    pub luts: f64,
+    /// DSP fraction.
+    pub dsps: f64,
+    /// FF fraction.
+    pub ffs: f64,
+    /// BRAM fraction.
+    pub bram36: f64,
+}
+
+/// An FPGA platform's resource envelope.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Platform name.
+    pub name: &'static str,
+    /// Available LUTs.
+    pub luts: u64,
+    /// Available DSP slices.
+    pub dsps: u64,
+    /// Available flip-flops.
+    pub ffs: u64,
+    /// Available BRAM36 blocks.
+    pub bram36: f64,
+}
+
+/// The Ultra96-V2 (Zynq UltraScale+ ZU3EG) envelope used in Tables IV/V.
+pub const ULTRA96_V2: Platform = Platform {
+    name: "Ultra96-V2",
+    luts: 70_560,
+    dsps: 360,
+    ffs: 141_120,
+    bram36: 216.0,
+};
+
+/// The Zynq-7000 (ZC706, XC7Z045) envelope of the FINN instances in
+/// Table VI.
+pub const ZYNQ7000_ZC706: Platform = Platform {
+    name: "Zynq-7000 ZC706",
+    luts: 218_600,
+    dsps: 900,
+    ffs: 437_200,
+    bram36: 545.0,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_add_and_times() {
+        let a = Utilization {
+            luts: 10,
+            dsps: 2,
+            ffs: 5,
+            bram36: 1.5,
+        };
+        let b = a.times(3);
+        assert_eq!(b.luts, 30);
+        assert_eq!((a + b).dsps, 8);
+        assert_eq!((a + b).bram36, 6.0);
+    }
+
+    #[test]
+    fn rates_and_fits() {
+        let u = Utilization {
+            luts: 70_560,
+            dsps: 180,
+            ffs: 0,
+            bram36: 108.0,
+        };
+        let r = u.rates(&ULTRA96_V2);
+        assert_eq!(r.luts, 1.0);
+        assert_eq!(r.dsps, 0.5);
+        assert_eq!(r.bram36, 0.5);
+        assert!(u.fits(&ULTRA96_V2));
+        let over = Utilization { luts: 70_561, ..u };
+        assert!(!over.fits(&ULTRA96_V2));
+    }
+
+    #[test]
+    fn platform_envelopes() {
+        assert_eq!(ULTRA96_V2.luts, 70_560);
+        assert_eq!(ULTRA96_V2.dsps, 360);
+        assert_eq!(ZYNQ7000_ZC706.luts, 218_600);
+    }
+}

@@ -1,0 +1,202 @@
+//! Rate-limited stream endpoints.
+//!
+//! The NetPU-M runtime control is "only the data streaming" (§III.B.3):
+//! the host pre-packages the whole network and pushes it through a DMA
+//! channel into the Network Input FIFO. [`StreamSource`] models that
+//! channel: a word sequence delivered at a fixed number of 64-bit words
+//! per cycle (1 for the paper's configuration). [`StreamSink`] models the
+//! Network Output FIFO drain.
+
+/// A 64-bit word source with per-cycle bandwidth gating.
+#[derive(Clone, Debug)]
+pub struct StreamSource {
+    words: Vec<u64>,
+    pos: usize,
+    words_per_cycle: u32,
+    issued_this_cycle: u32,
+    /// Cycles during which the source had data but no word was taken.
+    idle_cycles: u64,
+}
+
+impl StreamSource {
+    /// Creates a source over `words` delivering at most `words_per_cycle`
+    /// per clock cycle.
+    pub fn new(words: Vec<u64>, words_per_cycle: u32) -> StreamSource {
+        assert!(words_per_cycle > 0, "bandwidth must be positive");
+        StreamSource {
+            words,
+            pos: 0,
+            words_per_cycle,
+            issued_this_cycle: 0,
+            idle_cycles: 0,
+        }
+    }
+
+    /// Words remaining to be delivered.
+    pub fn remaining(&self) -> usize {
+        self.words.len() - self.pos
+    }
+
+    /// `true` once every word has been taken.
+    pub fn exhausted(&self) -> bool {
+        self.pos == self.words.len()
+    }
+
+    /// Total words in the stream.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` when the stream holds no words at all.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// `true` when a `take` would succeed this cycle.
+    pub fn ready(&self) -> bool {
+        !self.exhausted() && self.issued_this_cycle < self.words_per_cycle
+    }
+
+    /// Takes the next word if bandwidth and data allow.
+    pub fn take(&mut self) -> Option<u64> {
+        if !self.ready() {
+            return None;
+        }
+        let w = self.words[self.pos];
+        self.pos += 1;
+        self.issued_this_cycle += 1;
+        Some(w)
+    }
+
+    /// Peeks at the next word without consuming bandwidth.
+    pub fn peek(&self) -> Option<u64> {
+        self.words.get(self.pos).copied()
+    }
+
+    /// Advances to the next cycle, resetting the bandwidth budget and
+    /// recording whether the cycle left deliverable data on the table.
+    pub fn next_cycle(&mut self) {
+        if !self.exhausted() && self.issued_this_cycle == 0 {
+            self.idle_cycles += 1;
+        }
+        self.issued_this_cycle = 0;
+    }
+
+    /// Cycles in which the source had data but the consumer took nothing —
+    /// the "parameter loading is not the bottleneck here" signal.
+    pub fn idle_cycles(&self) -> u64 {
+        self.idle_cycles
+    }
+}
+
+/// A word sink with unbounded capacity, recording arrival cycles.
+#[derive(Clone, Debug, Default)]
+pub struct StreamSink {
+    words: Vec<(u64, u64)>,
+}
+
+impl StreamSink {
+    /// Creates an empty sink.
+    pub fn new() -> StreamSink {
+        StreamSink::default()
+    }
+
+    /// Records `word` arriving at `cycle`.
+    pub fn push(&mut self, cycle: u64, word: u64) {
+        self.words.push((cycle, word));
+    }
+
+    /// All received words in arrival order.
+    pub fn words(&self) -> impl Iterator<Item = u64> + '_ {
+        self.words.iter().map(|&(_, w)| w)
+    }
+
+    /// `(cycle, word)` pairs in arrival order.
+    pub fn timed_words(&self) -> &[(u64, u64)] {
+        &self.words
+    }
+
+    /// Number of received words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` when nothing has been received.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Cycle at which the last word arrived, if any.
+    pub fn last_cycle(&self) -> Option<u64> {
+        self.words.last().map(|&(c, _)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_delivers_in_order_with_bandwidth_one() {
+        let mut s = StreamSource::new(vec![10, 20, 30], 1);
+        assert_eq!(s.take(), Some(10));
+        // Second take in the same cycle is refused.
+        assert_eq!(s.take(), None);
+        s.next_cycle();
+        assert_eq!(s.take(), Some(20));
+        s.next_cycle();
+        assert_eq!(s.take(), Some(30));
+        assert!(s.exhausted());
+        s.next_cycle();
+        assert_eq!(s.take(), None);
+    }
+
+    #[test]
+    fn source_honours_wider_bandwidth() {
+        let mut s = StreamSource::new(vec![1, 2, 3, 4, 5], 2);
+        assert_eq!(s.take(), Some(1));
+        assert_eq!(s.take(), Some(2));
+        assert_eq!(s.take(), None);
+        s.next_cycle();
+        assert_eq!(s.remaining(), 3);
+    }
+
+    #[test]
+    fn source_counts_idle_cycles() {
+        let mut s = StreamSource::new(vec![1, 2], 1);
+        s.next_cycle(); // nothing taken, data present → idle
+        assert_eq!(s.idle_cycles(), 1);
+        s.take();
+        s.next_cycle(); // word taken → not idle
+        assert_eq!(s.idle_cycles(), 1);
+        s.take();
+        s.next_cycle(); // exhausted → not idle
+        assert_eq!(s.idle_cycles(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut s = StreamSource::new(vec![7], 1);
+        assert_eq!(s.peek(), Some(7));
+        assert_eq!(s.peek(), Some(7));
+        assert_eq!(s.take(), Some(7));
+        assert_eq!(s.peek(), None);
+    }
+
+    #[test]
+    fn sink_records_arrival_cycles() {
+        let mut k = StreamSink::new();
+        k.push(5, 100);
+        k.push(9, 200);
+        assert_eq!(k.len(), 2);
+        assert_eq!(k.words().collect::<Vec<_>>(), vec![100, 200]);
+        assert_eq!(k.last_cycle(), Some(9));
+        assert_eq!(k.timed_words()[0], (5, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        StreamSource::new(vec![], 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Bounded event tracing for datapath debugging.
+//!
+//! A [`Tracer`] is threaded through the accelerator model; when enabled
+//! it records `(cycle, scope, message)` events into a bounded ring so a
+//! runaway simulation cannot exhaust memory. Tracing is off by default
+//! and costs one branch per call site when disabled.
+
+use crate::Cycle;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One trace record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Clock cycle at which the event occurred.
+    pub cycle: Cycle,
+    /// Component scope, e.g. `"lpu0.weight_buf"`.
+    pub scope: &'static str,
+    /// Human-readable event description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>10}] {:<24} {}",
+            self.cycle, self.scope, self.message
+        )
+    }
+}
+
+/// A bounded event trace.
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    enabled: bool,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer: every `record` call is a no-op.
+    pub fn disabled() -> Tracer {
+        Tracer {
+            enabled: false,
+            capacity: 0,
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// An enabled tracer keeping the most recent `capacity` events.
+    pub fn bounded(capacity: usize) -> Tracer {
+        Tracer {
+            enabled: true,
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// `true` when events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event. The message closure is only evaluated when
+    /// tracing is enabled, keeping disabled tracing free of formatting.
+    pub fn record(&mut self, cycle: Cycle, scope: &'static str, message: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            cycle,
+            scope,
+            message: message(),
+        });
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of events evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Writes the retained events as text, one per line, to `w`.
+    pub fn write_to(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        if self.dropped > 0 {
+            writeln!(
+                w,
+                "# {} earlier events dropped by the ring bound",
+                self.dropped
+            )?;
+        }
+        for e in &self.events {
+            writeln!(w, "{e}")?;
+        }
+        Ok(())
+    }
+
+    /// Writes the retained events to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.record(1, "x", || "never".into());
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn disabled_tracer_skips_message_evaluation() {
+        let mut t = Tracer::disabled();
+        t.record(1, "x", || panic!("must not be evaluated"));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn bounded_tracer_keeps_most_recent() {
+        let mut t = Tracer::bounded(3);
+        for i in 0..5u64 {
+            t.record(i, "s", || format!("e{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let msgs: Vec<_> = t.events().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn write_to_emits_one_line_per_event() {
+        let mut t = Tracer::bounded(2);
+        for i in 0..3u64 {
+            t.record(i, "s", || format!("e{i}"));
+        }
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3); // dropped-note + 2 events
+        assert!(lines[0].contains("1 earlier events dropped"));
+        assert!(lines[2].contains("e2"));
+    }
+
+    #[test]
+    fn display_formats_cycle_and_scope() {
+        let e = TraceEvent {
+            cycle: 42,
+            scope: "lpu0",
+            message: "layer init".into(),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("42"));
+        assert!(s.contains("lpu0"));
+        assert!(s.contains("layer init"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the simulation kernel.
+
+use netpu_sim::fifo::{bram36_for, Fifo};
+use netpu_sim::{StreamSink, StreamSource};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+proptest! {
+    /// A Fifo behaves exactly like a bounded VecDeque under any
+    /// push/pop interleaving.
+    #[test]
+    fn fifo_matches_model(
+        depth in 1usize..16,
+        ops in proptest::collection::vec((any::<bool>(), any::<u8>()), 0..200),
+    ) {
+        let mut fifo: Fifo<u8> = Fifo::new("model", 8, depth);
+        let mut model: VecDeque<u8> = VecDeque::new();
+        for (is_push, v) in ops {
+            if is_push {
+                let accepted = fifo.push(v);
+                prop_assert_eq!(accepted, model.len() < depth);
+                if accepted {
+                    model.push_back(v);
+                }
+            } else {
+                prop_assert_eq!(fifo.pop(), model.pop_front());
+            }
+            prop_assert_eq!(fifo.len(), model.len());
+            prop_assert_eq!(fifo.is_empty(), model.is_empty());
+            prop_assert_eq!(fifo.is_full(), model.len() == depth);
+            prop_assert_eq!(fifo.peek().copied(), model.front().copied());
+        }
+        prop_assert_eq!(fifo.stats().pushes as usize + fifo.stats().push_stalls as usize,
+            0usize.max(fifo.stats().pushes as usize + fifo.stats().push_stalls as usize));
+    }
+
+    /// BRAM cost is monotone in both width and depth, and zero only for
+    /// empty geometry.
+    #[test]
+    fn bram_cost_is_monotone(w in 1u32..256, d in 1usize..16384) {
+        let base = bram36_for(w, d);
+        prop_assert!(base > 0.0);
+        prop_assert!(bram36_for(w + 1, d) >= base);
+        prop_assert!(bram36_for(w, d + 1) >= base);
+        prop_assert!(bram36_for(w, 2 * d) >= base);
+    }
+
+    /// A bandwidth-1 source delivers exactly its words, one per cycle,
+    /// in order.
+    #[test]
+    fn stream_source_delivers_everything(words in proptest::collection::vec(any::<u64>(), 0..100)) {
+        let mut src = StreamSource::new(words.clone(), 1);
+        let mut sink = StreamSink::new();
+        let mut cycle = 0u64;
+        while !src.exhausted() {
+            if let Some(w) = src.take() {
+                sink.push(cycle, w);
+            }
+            src.next_cycle();
+            cycle += 1;
+        }
+        prop_assert_eq!(sink.words().collect::<Vec<_>>(), words);
+        prop_assert_eq!(sink.len() as u64, cycle);
+        prop_assert_eq!(src.idle_cycles(), 0);
+    }
+
+    /// Bandwidth gating: at width B, a source of N words needs exactly
+    /// ceil(N/B) cycles.
+    #[test]
+    fn stream_bandwidth_gating(n in 0usize..200, b in 1u32..8) {
+        let mut src = StreamSource::new(vec![7; n], b);
+        let mut cycles = 0usize;
+        while !src.exhausted() {
+            while src.take().is_some() {}
+            src.next_cycle();
+            cycles += 1;
+        }
+        prop_assert_eq!(cycles, n.div_ceil(b as usize));
+    }
+}

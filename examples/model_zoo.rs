@@ -1,0 +1,56 @@
+//! Runs the paper's six evaluation models (TFC/SFC/LFC × precision)
+//! through one NetPU-M instance and prints a Table V/VI-style summary,
+//! alongside the FINN baseline instances for scale.
+//!
+//! ```sh
+//! cargo run --release --example model_zoo
+//! ```
+
+use netpu::finn::{instance_utilization, FinnInstance};
+use netpu::nn::export::BnMode;
+use netpu::nn::zoo::ZooModel;
+use netpu::runtime::{Driver, PowerParams};
+
+fn main() {
+    let driver = Driver::paper_setup();
+    println!("NetPU-M (one instance, runtime-reconfigured per model):\n");
+    println!(
+        "{:<10} {:>10} {:>14} {:>14} {:>9}",
+        "model", "weights", "sim us", "measured us", "power W"
+    );
+    for zm in ZooModel::ALL {
+        let qm = zm.build_untrained(1, BnMode::Folded).expect("build");
+        let pixels = vec![128u8; qm.input.len];
+        let run = driver.infer(&qm, &pixels).expect("infer");
+        println!(
+            "{:<10} {:>10} {:>14.2} {:>14.2} {:>9.2}",
+            zm.name(),
+            zm.weight_count(),
+            run.sim_latency_us,
+            run.measured_latency_us,
+            run.power_w
+        );
+    }
+
+    println!("\nFINN HSD baselines (one dedicated bitstream per model):\n");
+    println!(
+        "{:<10} {:>10} {:>12} {:>10} {:>9}",
+        "instance", "LUTs", "BRAM36", "us", "power W"
+    );
+    let zc = PowerParams::zc706();
+    for inst in FinnInstance::table6() {
+        let u = instance_utilization(&inst);
+        println!(
+            "{:<10} {:>10} {:>12.1} {:>10.2} {:>9.1}",
+            inst.name,
+            u.luts,
+            u.bram36,
+            inst.latency_us(),
+            zc.wall_power_w(&u, inst.clock_mhz)
+        );
+    }
+    println!(
+        "\ntrade-off: FINN-max wins latency by orders of magnitude on its one model;\n\
+         NetPU-M serves all six models from a single bitstream at the lowest power."
+    );
+}

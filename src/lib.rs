@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+//! NetPU-M: umbrella crate re-exporting the full reproduction stack.
+//!
+//! See the per-crate docs for details:
+//! - [`arith`] — fixed-point / quantized / binarized arithmetic
+//! - [`sim`] — cycle-level hardware simulation kernel
+//! - [`nn`] — QAT MLP toolkit, datasets, model zoo
+//! - [`compiler`] — model → NetPU-M data-stream loadable
+//! - [`core`] — the NetPU/LPU/TNPU accelerator model + resource model
+//! - [`finn`] — FINN-style HSD baseline
+//! - [`runtime`] — DMA/driver/platform/power models
+
+pub use netpu_arith as arith;
+pub use netpu_compiler as compiler;
+pub use netpu_core as core;
+pub use netpu_finn as finn;
+pub use netpu_nn as nn;
+pub use netpu_runtime as runtime;
+pub use netpu_sim as sim;

@@ -1,0 +1,102 @@
+//! CNN-on-NetPU-M integration: a small convolutional network lowered
+//! onto the FC substrate, trained with QAT, and run bit-exactly through
+//! the cycle-level accelerator (§V future work, implemented).
+
+use netpu::compiler;
+use netpu::core::{netpu::run_inference, HwConfig};
+use netpu::nn::conv::{convnet_to_mlp, AvgPool2d, Conv2d, ConvStage};
+use netpu::nn::dataset;
+use netpu::nn::export::{export, BnMode, ExportConfig};
+use netpu::nn::float::ActSpec;
+use netpu::nn::train::{train, TrainConfig};
+use netpu::nn::{metrics, reference};
+
+fn small_cnn(seed: u64) -> netpu::nn::FloatMlp {
+    let conv = Conv2d {
+        in_channels: 1,
+        in_height: 28,
+        in_width: 28,
+        out_channels: 4,
+        kernel: 3,
+        stride: 2,
+        padding: 0,
+    };
+    let pool = AvgPool2d {
+        channels: 4,
+        in_height: 13,
+        in_width: 13,
+        window: 2,
+    };
+    convnet_to_mlp(
+        "cnn-w2a2",
+        dataset::IMAGE_PIXELS,
+        ActSpec::Hwgq { bits: 2 },
+        &[
+            ConvStage::Conv(conv, ActSpec::Hwgq { bits: 2 }, 2),
+            ConvStage::Pool(pool, ActSpec::Hwgq { bits: 2 }, 2),
+            ConvStage::Dense(10, ActSpec::None, 2),
+        ],
+        seed,
+    )
+}
+
+#[test]
+fn lowered_cnn_trains_and_runs_on_the_accelerator() {
+    let (train_ds, test_ds) = dataset::easy_splits(800, 60, 33);
+    let mut cnn = small_cnn(3);
+    train(
+        &mut cnn,
+        &train_ds,
+        &TrainConfig {
+            epochs: 6,
+            ..TrainConfig::default()
+        },
+    );
+    let qm = export(
+        &cnn,
+        &ExportConfig {
+            bn_mode: BnMode::Folded,
+        },
+    )
+    .unwrap();
+    qm.validate().unwrap();
+    // The lowered conv layer fits the architecture's width ceiling.
+    assert_eq!(qm.hidden[0].neurons, 4 * 13 * 13);
+    assert!(qm.hidden[0].neurons <= netpu::nn::qmodel::MAX_LAYER_WIDTH);
+
+    let acc = metrics::accuracy(&qm, &test_ds);
+    assert!(acc > 0.6, "lowered CNN accuracy {acc}");
+
+    // Bit-exact on the accelerator.
+    let cfg = HwConfig::paper_instance();
+    for e in test_ds.examples.iter().take(8) {
+        let loadable = compiler::compile(&qm, &e.pixels).unwrap();
+        let run = run_inference(&cfg, loadable.words).unwrap();
+        assert_eq!(run.class, reference::infer(&qm, &e.pixels));
+    }
+}
+
+#[test]
+fn lowered_cnn_latency_reflects_unrolled_weight_volume() {
+    // Weight sharing is traded away: the conv layer streams
+    // out_len × in_len weights. The latency model must charge for that.
+    let cnn = small_cnn(4);
+    let qm = export(
+        &cnn,
+        &ExportConfig {
+            bn_mode: BnMode::Folded,
+        },
+    )
+    .unwrap();
+    let cfg = HwConfig::paper_instance();
+    let px = vec![128u8; dataset::IMAGE_PIXELS];
+    let run = run_inference(&cfg, compiler::compile(&qm, &px).unwrap().words).unwrap();
+    let settings = netpu_compiler::stream::model_settings(&qm);
+    let weight_words: usize = settings
+        .iter()
+        .map(netpu_compiler::stream::weight_words)
+        .sum();
+    // Two cycles per weight word dominate the cycle count.
+    assert!(run.cycles as f64 > 1.8 * weight_words as f64);
+    assert!((run.cycles as f64) < 2.6 * weight_words as f64 + 20_000.0);
+}

@@ -1,0 +1,145 @@
+//! The paper's equations, verified as executable claims.
+//!
+//! * Eq. 1 — BatchNorm normalise + scale/shift.
+//! * Eq. 2 — BN folding into weight and bias (Krishnamoorthi).
+//! * Eq. 3 — BN folding into the Sign threshold (FINN).
+//! * Eq. 4 — the piecewise-linear Sigmoid approximation (Amin et al.).
+//! * Table I — XNOR as the binarized multiplier (also property-tested
+//!   in `netpu-arith`).
+
+use netpu::arith::activation::{sigmoid, SignActivation};
+use netpu::arith::{binary, Fix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Eq. 1/2: `BN(Wx) = (γW/√(σ²+ε))·x + (β − γx̄/√(σ²+ε))` — folding BN
+/// into scaled weights and a bias reproduces the unfolded computation.
+#[test]
+fn eq2_bn_folds_into_weight_and_bias() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..200 {
+        let w: Vec<f64> = (0..16).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let x: Vec<f64> = (0..16).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let gamma: f64 = rng.gen_range(0.1..2.0);
+        let beta: f64 = rng.gen_range(-1.0..1.0);
+        let mean: f64 = rng.gen_range(-2.0..2.0);
+        let var: f64 = rng.gen_range(0.01..4.0);
+        let eps = 1e-5;
+
+        let wx: f64 = w.iter().zip(&x).map(|(a, b)| a * b).sum();
+        // Unfolded: BN applied to the pre-activation (Eq. 1).
+        let unfolded = gamma * (wx - mean) / (var + eps).sqrt() + beta;
+        // Folded (Eq. 2): scaled weights + new bias.
+        let s = gamma / (var + eps).sqrt();
+        let folded_wx: f64 = w.iter().zip(&x).map(|(a, b)| s * a * b).sum();
+        let folded = folded_wx + (beta - gamma * mean / (var + eps).sqrt());
+        assert!((unfolded - folded).abs() < 1e-9);
+    }
+}
+
+/// Eq. 3: `Sign(BN(x)) = [x ≥ x̄ − β√(σ²+ε)/γ]` — the folded threshold
+/// decides identically to sign-of-BN for positive γ.
+#[test]
+fn eq3_bn_folds_into_sign_threshold() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..500 {
+        let gamma: f64 = rng.gen_range(0.05..3.0);
+        let beta: f64 = rng.gen_range(-2.0..2.0);
+        let mean: f64 = rng.gen_range(-5.0..5.0);
+        let var: f64 = rng.gen_range(0.01..9.0);
+        let eps = 1e-5;
+        let threshold = mean - beta * (var + eps).sqrt() / gamma;
+        let sign = SignActivation::new(Fix::from_f64(threshold));
+        for _ in 0..20 {
+            let x: f64 = rng.gen_range(-10.0..10.0);
+            let bn = gamma * (x - mean) / (var + eps).sqrt() + beta;
+            // Compare away from the threshold (the Fix grid rounds the
+            // threshold to 1/32; exactly-at-boundary cases may differ).
+            if (x - threshold).abs() < 0.1 {
+                continue;
+            }
+            let expected = u8::from(bn >= 0.0);
+            assert_eq!(
+                sign.apply(Fix::from_f64(x)),
+                expected,
+                "x={x} thr={threshold} bn={bn}"
+            );
+        }
+    }
+}
+
+/// Eq. 4: the PWL sigmoid's four segments evaluated at their defining
+/// anchor points, in the exact fixed-point arithmetic (the constants
+/// 0.84375, 0.625, 0.5 are exactly representable in Q32.5).
+#[test]
+fn eq4_pwl_segments_are_exact_in_fixed_point() {
+    // Segment 4: |x| ≥ 5 → 1.
+    assert_eq!(sigmoid(Fix::from_f64(5.0)), Fix::ONE);
+    assert_eq!(sigmoid(Fix::from_f64(7.25)), Fix::ONE);
+    // Segment 3: 2.375 ≤ |x| < 5 → x>>5 + 0.84375.
+    let x = Fix::from_f64(3.0);
+    assert_eq!(sigmoid(x), x.asr(5) + Fix::from_f64(0.84375));
+    // Segment 2: 1 ≤ |x| < 2.375 → x>>3 + 0.625.
+    let x = Fix::from_f64(2.0);
+    assert_eq!(sigmoid(x), x.asr(3) + Fix::from_f64(0.625));
+    // Segment 1: 0 ≤ |x| < 1 → x>>2 + 0.5.
+    let x = Fix::from_f64(0.5);
+    assert_eq!(sigmoid(x), x.asr(2) + Fix::from_f64(0.5));
+    // Negative half: Sigmoid_L(x) = 1 − f(|x|).
+    for v in [-0.5, -2.0, -3.0, -7.0] {
+        let x = Fix::from_f64(v);
+        assert_eq!(sigmoid(x), Fix::ONE - sigmoid(-x));
+    }
+}
+
+/// Table I: one XNOR over packed lanes equals N bipolar multiplications,
+/// and popcount recovers their sum — spot-checked here with the exact
+/// scheme the paper describes (sum = #ones − #zeros).
+#[test]
+fn table1_xnor_popcount_scheme() {
+    let a_bits = 0b1011_0010u8; // +1,-1,+1,+1,-1,-1,+1,-1 (LSB first)
+    let w_bits = 0b1101_0110u8;
+    let xnor = binary::xnor8(a_bits, w_bits);
+    let ones = xnor.count_ones() as i32;
+    let zeros = 8 - ones;
+    let sum_via_popcount = ones - zeros;
+    let sum_direct: i32 = (0..8)
+        .map(|i| binary::decode_bipolar(a_bits >> i) * binary::decode_bipolar(w_bits >> i))
+        .sum();
+    assert_eq!(sum_via_popcount, sum_direct);
+    assert_eq!(binary::binary_dot8(a_bits, w_bits, 8), sum_direct);
+}
+
+/// §II.C: the HWGQ/Multi-Threshold construction folds re-quantization
+/// into the activation — counting `2^N − 1` thresholds yields exactly
+/// the `round + clamp` quantizer output for monotone thresholds.
+#[test]
+fn multithreshold_equals_round_clamp_quantizer() {
+    use netpu::arith::activation::MultiThreshold;
+    use netpu::arith::Precision;
+    let alpha = 2.0 / 3.0; // the 2-bit HWGQ step used by the trainer
+    let thresholds: Vec<Fix> = (1..4)
+        .map(|k| Fix::from_f64((k as f64 - 0.5) * alpha))
+        .collect();
+    let mt = MultiThreshold::new(thresholds.clone(), Precision::W2).unwrap();
+    let mut x = -2.0;
+    while x <= 4.0 {
+        let fx = Fix::from_f64(x);
+        let level = mt.apply(fx);
+        // The equivalent round+clamp quantizer, with its level
+        // boundaries on the same Q32.5 grid the hardware thresholds use.
+        let expected = thresholds.iter().filter(|&&t| t <= fx).count() as i32;
+        let ideal = (fx.to_f64() / alpha + 0.5).floor().clamp(0.0, 3.0) as i32;
+        assert_eq!(level, expected, "x={x}");
+        // And the grid rounding moves each boundary by at most one
+        // epsilon, so the ideal quantizer agrees except within 1/32 of
+        // a boundary.
+        if thresholds
+            .iter()
+            .all(|t| (t.to_f64() - fx.to_f64()).abs() > 1.0 / 32.0)
+        {
+            assert_eq!(level, ideal, "x={x} (away from boundaries)");
+        }
+        x += 0.03125;
+    }
+}
