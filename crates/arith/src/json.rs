@@ -1,0 +1,81 @@
+//! JSON codecs for the arithmetic primitives.
+//!
+//! The vendored `serde_json` stand-in serialises through explicit
+//! [`ToJson`] / [`FromJson`] impls instead of derived serde traits, so
+//! the three arithmetic types that appear in persisted models encode
+//! themselves here: [`Fix`] as its raw scaled integer, [`Precision`] as
+//! its bit width, and [`QuantParams`] as a two-field object.
+
+use crate::{Fix, Precision, QuantParams};
+use serde_json::{Error, FromJson, Map, ToJson, Value};
+
+impl ToJson for Fix {
+    fn to_json(&self) -> Value {
+        Value::from(self.raw())
+    }
+}
+
+impl FromJson for Fix {
+    fn from_json(v: &Value) -> Result<Fix, Error> {
+        v.as_i64()
+            .map(Fix::from_raw)
+            .ok_or_else(|| Error::msg("Fix: expected raw integer"))
+    }
+}
+
+impl ToJson for Precision {
+    fn to_json(&self) -> Value {
+        Value::from(self.bits())
+    }
+}
+
+impl FromJson for Precision {
+    fn from_json(v: &Value) -> Result<Precision, Error> {
+        let bits = v
+            .as_u64()
+            .ok_or_else(|| Error::msg("Precision: expected bit count"))?;
+        Precision::new(bits as u8).map_err(|e| Error::msg(e.to_string()))
+    }
+}
+
+impl ToJson for QuantParams {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("scale".into(), self.scale.to_json());
+        m.insert("offset".into(), self.offset.to_json());
+        Value::Object(m)
+    }
+}
+
+impl FromJson for QuantParams {
+    fn from_json(v: &Value) -> Result<QuantParams, Error> {
+        Ok(QuantParams {
+            scale: Fix::from_json(&v["scale"])?,
+            offset: Fix::from_json(&v["offset"])?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fix_and_precision_roundtrip() {
+        for raw in [-(1i64 << 36), -33, 0, 1, 1 << 20] {
+            let f = Fix::from_raw(raw);
+            assert_eq!(Fix::from_json(&f.to_json()).unwrap(), f);
+        }
+        for bits in 1..=8u8 {
+            let p = Precision::new(bits).unwrap();
+            assert_eq!(Precision::from_json(&p.to_json()).unwrap(), p);
+        }
+        assert!(Precision::from_json(&Value::from(12)).is_err());
+    }
+
+    #[test]
+    fn quant_params_roundtrip() {
+        let q = QuantParams::from_f64(0.125, -3.5);
+        assert_eq!(QuantParams::from_json(&q.to_json()).unwrap(), q);
+    }
+}

@@ -25,6 +25,7 @@
 pub mod activation;
 pub mod binary;
 pub mod fixed;
+mod json;
 pub mod precision;
 pub mod quant;
 pub mod softmax;

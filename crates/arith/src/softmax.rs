@@ -113,7 +113,7 @@ mod tests {
     fn exp_anchors() {
         assert_eq!(exp_q16(Fix::ZERO), ONE_Q16);
         // exp(-ln2) = 0.5 — x = -0.6875 is the closest grid point.
-        let half = exp_f(-0.6931471805599453);
+        let half = exp_f(-std::f64::consts::LN_2);
         assert!((half - 0.5).abs() < 0.01, "{half}");
     }
 

@@ -62,7 +62,7 @@ proptest! {
     /// XNOR+popcount equals the integer dot product of decoded ±1 lanes
     /// at every width.
     #[test]
-    fn binary_dot_equals_integer_dot(a: u8, b: u8, width in 1u32..=8) {
+    fn binary_dot_equals_integer_dot(a in any::<u8>(), b in any::<u8>(), width in 1u32..=8) {
         let expect: i32 = (0..width)
             .map(|i| decode_bipolar(a >> i) * decode_bipolar(b >> i))
             .sum();

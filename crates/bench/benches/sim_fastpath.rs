@@ -1,0 +1,129 @@
+//! Fast-path simulation throughput: tick-level vs phase-skipping
+//! single-inference simulation, and sequential vs memoized+parallel
+//! `Driver::infer_batch`.
+//!
+//! Besides the criterion console output, the run writes a
+//! `BENCH_sim.json` trajectory record (under `target/experiments/`, or
+//! `NETPU_EXPERIMENT_DIR`) with the measured wall-clock times and
+//! speedups so the perf history survives in machine-readable form.
+
+use criterion::{black_box, Criterion};
+use netpu_bench::ExperimentRecord;
+use netpu_core::netpu::{run_inference, run_inference_fast};
+use netpu_core::HwConfig;
+use netpu_nn::export::BnMode;
+use netpu_nn::zoo::ZooModel;
+use netpu_runtime::Driver;
+use std::time::{Duration, Instant};
+
+/// Mean seconds per iteration: one warm-up call, then at least three
+/// iterations or 300 ms of measurement, whichever is longer.
+fn measure<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    let start = Instant::now();
+    let mut iters = 0u32;
+    loop {
+        f();
+        iters += 1;
+        if (iters >= 3 && start.elapsed() >= Duration::from_millis(300)) || iters >= 200 {
+            break;
+        }
+    }
+    start.elapsed().as_secs_f64() / f64::from(iters)
+}
+
+fn main() {
+    let cfg = HwConfig::paper_instance();
+    let model = ZooModel::LfcW1A1
+        .build_untrained(1, BnMode::Folded)
+        .unwrap();
+    let pixels: Vec<u8> = (0..784).map(|i| (i % 251) as u8).collect();
+    let words = netpu_compiler::compile(&model, &pixels).unwrap().words;
+
+    let mut record = ExperimentRecord::new(
+        "BENCH_sim",
+        "Fast-path simulation wall-clock trajectory (LfcW1A1)",
+    );
+
+    // Single-inference simulation: reference tick loop vs fast path.
+    let run = run_inference(&cfg, words.clone()).unwrap();
+    let fast = run_inference_fast(&cfg, words.clone()).unwrap();
+    assert_eq!(run, fast, "fast path diverged from the tick path");
+    let tick_s = measure(|| {
+        black_box(run_inference(&cfg, black_box(words.clone())).unwrap());
+    });
+    let fast_s = measure(|| {
+        black_box(run_inference_fast(&cfg, black_box(words.clone())).unwrap());
+    });
+    println!(
+        "sim/lfc_w1a1 tick {:.3} ms  fast {:.3} ms  speedup {:.1}x  ({} cycles)",
+        tick_s * 1e3,
+        fast_s * 1e3,
+        tick_s / fast_s,
+        run.cycles
+    );
+    record.push(serde_json::json!({
+        "name": "lfc_w1a1_single_inference",
+        "cycles": run.cycles,
+        "tick_s": tick_s,
+        "fast_s": fast_s,
+        "speedup": tick_s / fast_s,
+    }));
+
+    // Batched inference: per-frame full simulation (sequential) vs the
+    // memoized, rayon-parallel `infer_batch`.
+    let driver = Driver::paper_setup();
+    let frames: Vec<Vec<u8>> = (0..16u8)
+        .map(|f| {
+            (0..784)
+                .map(|i| (i as u16 * (f as u16 + 3) % 251) as u8)
+                .collect()
+        })
+        .collect();
+    let sequential_s = measure(|| {
+        let mut loadable = netpu_compiler::compile(&model, &frames[0]).unwrap();
+        let mut runs = vec![driver.run_loadable(&loadable).unwrap()];
+        for pixels in &frames[1..] {
+            loadable.replace_input(pixels).unwrap();
+            runs.push(driver.run_loadable(&loadable).unwrap());
+        }
+        black_box(runs);
+    });
+    let parallel_s = measure(|| {
+        black_box(driver.infer_batch(&model, black_box(&frames)).unwrap());
+    });
+    let n = frames.len() as f64;
+    println!(
+        "batch/lfc_w1a1 x{} sequential {:.3} ms ({:.0} fps)  parallel {:.3} ms ({:.0} fps)  speedup {:.1}x",
+        frames.len(),
+        sequential_s * 1e3,
+        n / sequential_s,
+        parallel_s * 1e3,
+        n / parallel_s,
+        sequential_s / parallel_s
+    );
+    record.push(serde_json::json!({
+        "name": "infer_batch_16_frames",
+        "frames": frames.len(),
+        "sequential_s": sequential_s,
+        "parallel_s": parallel_s,
+        "frames_per_s_before": n / sequential_s,
+        "frames_per_s_after": n / parallel_s,
+        "speedup": sequential_s / parallel_s,
+    }));
+
+    let path = record.write().expect("write BENCH_sim.json");
+    println!("trajectory record: {}", path.display());
+
+    // Criterion views of the same workloads, for the bench console.
+    let mut c = Criterion::default().measurement_time(Duration::from_millis(300));
+    c.bench_function("sim/lfc_w1a1_tick", |b| {
+        b.iter(|| run_inference(&cfg, black_box(words.clone())).unwrap())
+    });
+    c.bench_function("sim/lfc_w1a1_fast", |b| {
+        b.iter(|| run_inference_fast(&cfg, black_box(words.clone())).unwrap())
+    });
+    c.bench_function("batch/infer_batch_16_frames", |b| {
+        b.iter(|| driver.infer_batch(&model, black_box(&frames)).unwrap())
+    });
+}

@@ -19,6 +19,16 @@ pub struct ExperimentRecord {
     pub rows: Vec<serde_json::Value>,
 }
 
+impl serde_json::ToJson for ExperimentRecord {
+    fn to_json(&self) -> serde_json::Value {
+        let mut m = serde_json::Map::new();
+        m.insert("id".into(), self.id.clone().into());
+        m.insert("title".into(), self.title.clone().into());
+        m.insert("rows".into(), serde_json::Value::Array(self.rows.clone()));
+        serde_json::Value::Object(m)
+    }
+}
+
 impl ExperimentRecord {
     /// Creates an empty record.
     pub fn new(id: &str, title: &str) -> ExperimentRecord {

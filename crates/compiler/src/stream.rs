@@ -369,7 +369,16 @@ fn weight_section(
     for n in 0..neurons {
         let row = &weights[n * in_len..(n + 1) * in_len];
         if uses_xnor_path(setting) {
-            words.extend(quant::pack_binary_channels(row));
+            // Inline [`quant::pack_binary_channels`] to extend `words`
+            // directly — one allocation for the whole section instead of
+            // one per neuron row.
+            words.extend(row.chunks(64).map(|chunk| {
+                let mut w = 0u64;
+                for (i, &v) in chunk.iter().enumerate() {
+                    w |= u64::from(netpu_arith::binary::encode_bipolar(v)) << i;
+                }
+                w
+            }));
         } else {
             // Under Lanes8, 1-bit weights on the integer path occupy
             // full 8-bit lanes (the §V "placeholder bits" inefficiency);

@@ -258,7 +258,7 @@ proptest! {
     /// Layer-setting decode terminates with Ok or a typed error on any
     /// 64-bit word — never a panic.
     #[test]
-    fn setting_decode_never_panics(word: u64) {
+    fn setting_decode_never_panics(word in any::<u64>()) {
         let _ = netpu_compiler::LayerSetting::decode(word);
     }
 

@@ -27,4 +27,4 @@ pub mod resources;
 pub mod tnpu;
 
 pub use config::{ConfigError, HwConfig, MulImpl};
-pub use netpu::{run_inference, InferenceRun, NetPu, NetPuError};
+pub use netpu::{run_inference, run_inference_fast, InferenceRun, NetPu, NetPuError};

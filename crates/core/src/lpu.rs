@@ -99,6 +99,23 @@ pub enum LayerOutput {
     },
 }
 
+/// Result of one [`Lpu::bulk_tick`] span — everything the NetPU needs
+/// to keep its own cycle and stream accounting exact without having
+/// observed the individual edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LpuBulk {
+    /// Clock edges simulated (`1 ≤ advanced ≤ budget`).
+    pub advanced: u64,
+    /// Stream words consumed during the span.
+    pub words: u64,
+    /// Trailing edges since the last word take (equals `advanced` when
+    /// nothing was taken). The caller uses this to decide which
+    /// non-consuming edges saw an exhausted stream.
+    pub tail: u64,
+    /// Outcome of the final edge.
+    pub tick: Tick,
+}
+
 /// 32-bit activation-parameter words per neuron for a setting.
 fn act_u32s(setting: &LayerSetting) -> usize {
     match setting.activation {
@@ -235,6 +252,15 @@ pub struct Lpu {
     params: Vec<NeuronParams>,
     weight_fifo: Fifo<u64>,
     pending_word: u64,
+    /// Scratch for fast-path weight extraction (avoids the per-group
+    /// allocations of the reference tick path).
+    weight_scratch: Vec<i32>,
+    /// Fast-path XNOR cache: the Input Reload buffer's levels packed as
+    /// bipolar bits, 64 per word, aligned to weight-word chunks. Rebuilt
+    /// lazily after `set_inputs`; lets every weight-word MAC collapse to
+    /// one XOR+popcount instead of a per-lane loop.
+    packed_inputs: Vec<u64>,
+    packed_inputs_stale: bool,
     packing: PackingMode,
     inputs: Vec<i32>,
     have_inputs: bool,
@@ -262,6 +288,9 @@ impl Lpu {
             params: Vec::new(),
             weight_fifo: Fifo::new("Layer Weight", 64, 1024),
             pending_word: 0,
+            weight_scratch: Vec::new(),
+            packed_inputs: Vec::new(),
+            packed_inputs_stale: true,
             packing: PackingMode::Lanes8,
             inputs: Vec::new(),
             have_inputs: false,
@@ -361,6 +390,7 @@ impl Lpu {
         assert_eq!(values.len(), expect, "LPU {} input length", self.id);
         self.inputs = values;
         self.have_inputs = true;
+        self.packed_inputs_stale = true;
     }
 
     /// Input levels consumed per weight word for the current layer.
@@ -598,6 +628,371 @@ impl Lpu {
         }
     }
 
+    /// Parameter words still expected by `ingest_param_word` (0 unless
+    /// the LPU is in the AwaitParams step).
+    pub fn param_words_remaining(&self) -> usize {
+        match self.state {
+            State::AwaitParams { remaining } => remaining,
+            _ => 0,
+        }
+    }
+
+    /// Fast-path counterpart of [`Lpu::tick`]: advances up to `budget`
+    /// clock cycles in one call, skipping through phases whose length is
+    /// known in closed form (neuron init, pipeline drain, write-out) and
+    /// streaming whole weight words per loop iteration.
+    ///
+    /// Cycle-exact with the tick path: the same state transitions happen
+    /// on the same edges, every [`LpuStats`] field advances identically,
+    /// and stream words are consumed on the same cycles (via
+    /// [`StreamSource::take_unmetered`]; the caller settles idle-cycle
+    /// accounting from the returned [`LpuBulk`]). A stall — empty stream
+    /// mid-weights, or a state the LPU cannot advance — is reported
+    /// after at most one edge so deadlock detection keeps its timing.
+    pub fn bulk_tick(
+        &mut self,
+        stream: &mut StreamSource,
+        cycle: Cycle,
+        budget: u64,
+        tracer: &mut Tracer,
+    ) -> LpuBulk {
+        debug_assert!(budget >= 1, "bulk_tick needs a positive budget");
+        let mut advanced: u64 = 0;
+        let mut words: u64 = 0;
+        let mut tail: u64 = 0;
+        let progress = |advanced, words, tail| LpuBulk {
+            advanced,
+            words,
+            tail,
+            tick: Tick::Progress,
+        };
+        const STALL: LpuBulk = LpuBulk {
+            advanced: 1,
+            words: 0,
+            tail: 1,
+            tick: Tick::Stall,
+        };
+        let setting = match self.setting {
+            Some(s) => s,
+            None => return STALL,
+        };
+        loop {
+            let left = budget - advanced;
+            if left == 0 {
+                return progress(advanced, words, tail);
+            }
+            match self.state {
+                State::Idle | State::AwaitParams { .. } | State::Done => {
+                    return if advanced > 0 {
+                        progress(advanced, words, tail)
+                    } else {
+                        STALL
+                    };
+                }
+                State::Ready => {
+                    if !self.have_inputs {
+                        return if advanced > 0 {
+                            progress(advanced, words, tail)
+                        } else {
+                            STALL
+                        };
+                    }
+                    if setting.layer_type == LayerType::Input {
+                        self.state = State::InputLayer {
+                            word: 0,
+                            subcycle: 0,
+                        };
+                    } else {
+                        self.state = State::BatchInit {
+                            batch_start: 0,
+                            left: self.batch_init_cost(0),
+                        };
+                        let now = cycle + advanced;
+                        tracer.record(now, "lpu", || {
+                            format!("lpu{} starts layer ({} neurons)", self.id, setting.neurons)
+                        });
+                    }
+                    advanced += 1;
+                    tail += 1;
+                }
+                State::InputLayer { word, subcycle } => {
+                    let per = 2 + (8 * act_u32s(&setting)).div_ceil(PARAM_READ_WIDTH) as u64;
+                    let n = setting.neurons as usize;
+                    let n_words = n.div_ceil(8) as u64;
+                    let pos = word as u64 * per + subcycle;
+                    let k = (n_words * per - pos).min(left);
+                    self.stats.input_cycles += k;
+                    advanced += k;
+                    tail += k;
+                    let pos = pos + k;
+                    // Quantize the pixels of every word completed in
+                    // this span through the TNPU yellow path.
+                    for w in word..(pos / per).min(n_words) as usize {
+                        let lo = w * 8;
+                        let hi = ((w + 1) * 8).min(n);
+                        for i in lo..hi {
+                            self.tnpus[0].load_neuron(self.params[i].clone());
+                            let level = self.tnpus[0].process_input(self.inputs[i]);
+                            self.outputs.push(level);
+                        }
+                    }
+                    if pos == n_words * per {
+                        self.state = State::Done;
+                        tracer.record(cycle + advanced - 1, "lpu", || {
+                            format!("lpu{} input layer done ({n} levels)", self.id)
+                        });
+                        return progress(advanced, words, tail);
+                    }
+                    self.state = State::InputLayer {
+                        word: (pos / per) as usize,
+                        subcycle: pos % per,
+                    };
+                }
+                State::BatchInit {
+                    batch_start,
+                    left: need,
+                } => {
+                    let k = need.min(left);
+                    self.stats.init_cycles += k;
+                    advanced += k;
+                    tail += k;
+                    if k < need {
+                        self.state = State::BatchInit {
+                            batch_start,
+                            left: need - k,
+                        };
+                    } else {
+                        let n = setting.neurons as usize;
+                        let end = (batch_start + self.tnpus.len()).min(n);
+                        for (t, neuron) in (batch_start..end).enumerate() {
+                            self.tnpus[t].load_neuron(self.params[neuron].clone());
+                        }
+                        self.state = State::Weights {
+                            batch_start,
+                            t: 0,
+                            chunk: 0,
+                            subcycle: 0,
+                        };
+                    }
+                }
+                State::Weights {
+                    batch_start,
+                    t,
+                    chunk,
+                    subcycle,
+                } => {
+                    // Effective group count: a zero-span tail word still
+                    // costs one (empty) dispatch subcycle on the tick
+                    // path.
+                    let groups = self.dispatch_groups(chunk).max(1);
+                    // Steady-state burst: when every chunk dispatches in a
+                    // single group (the paper instance: 64 XNOR channels =
+                    // one 64-bit word), whole words cost a fixed
+                    // `cost` cycles each and the remaining words of the
+                    // batch can be consumed in one tight loop — per-word
+                    // stats identical, FIFO counters settled in bulk.
+                    if subcycle == 0 && self.levels_per_group() >= self.levels_per_word() {
+                        let cost = if self.double_buffered { 1u64 } else { 2u64 };
+                        let chunks = neuron_weight_words_mode(&setting, self.packing);
+                        let n = setting.neurons as usize;
+                        let end = (batch_start + self.tnpus.len()).min(n);
+                        let batch = end - batch_start;
+                        let in_batch = (batch - t) as u64 * chunks as u64 - chunk as u64;
+                        let m = (left / cost).min(stream.remaining() as u64).min(in_batch);
+                        if m >= 1 {
+                            let xnor = uses_xnor_path(&setting);
+                            if xnor && self.packed_inputs_stale {
+                                self.packed_inputs =
+                                    netpu_arith::quant::pack_binary_channels(&self.inputs);
+                                self.packed_inputs_stale = false;
+                            }
+                            let lpw = self.levels_per_word();
+                            let (mut ct, mut cc) = (t, chunk);
+                            let taken = stream.take_words(m as usize);
+                            for &w in taken {
+                                let lo = cc * lpw;
+                                let span = self.inputs.len().saturating_sub(lo).min(lpw);
+                                if span > 0 {
+                                    if xnor {
+                                        self.tnpus[ct].mac_word_prepacked(
+                                            self.packed_inputs[cc],
+                                            span as u32,
+                                            w,
+                                        );
+                                    } else {
+                                        self.weight_scratch.clear();
+                                        self.weight_scratch.extend(
+                                            (0..span).map(|i| {
+                                                extract_weight(w, i, &setting, self.packing)
+                                            }),
+                                        );
+                                        self.tnpus[ct].mac_values(
+                                            &self.inputs[lo..lo + span],
+                                            &self.weight_scratch,
+                                        );
+                                    }
+                                }
+                                cc += 1;
+                                if cc == chunks {
+                                    cc = 0;
+                                    ct += 1;
+                                }
+                            }
+                            self.pending_word = *taken.last().expect("m >= 1");
+                            self.weight_fifo.settle_push_pops(m);
+                            self.stats.weight_words += m;
+                            self.stats.weight_cycles += m * cost;
+                            advanced += m * cost;
+                            words += m;
+                            tail = cost - 1;
+                            if ct == batch {
+                                self.state = State::Drain {
+                                    batch_start,
+                                    left: PIPELINE_DEPTH,
+                                };
+                            } else {
+                                self.state = State::Weights {
+                                    batch_start,
+                                    t: ct,
+                                    chunk: cc,
+                                    subcycle: 0,
+                                };
+                            }
+                            continue;
+                        }
+                    }
+                    if subcycle == 0 {
+                        let Some(w) = stream.take_unmetered() else {
+                            return if advanced > 0 {
+                                progress(advanced, words, tail)
+                            } else {
+                                self.stats.stall_cycles += 1;
+                                STALL
+                            };
+                        };
+                        self.pending_word = self.weight_fifo.push_pop(w).expect("just pushed");
+                        self.stats.weight_words += 1;
+                        words += 1;
+                        let cost = if self.double_buffered {
+                            u64::from(groups)
+                        } else {
+                            1 + u64::from(groups)
+                        };
+                        let k = cost.min(left);
+                        self.stats.weight_cycles += k;
+                        advanced += k;
+                        tail = k - 1;
+                        // The ingest edge dispatches group 0 only when
+                        // double-buffered; each further edge one group.
+                        let dispatched = (if self.double_buffered { k } else { k - 1 }) as u32;
+                        for group in 0..dispatched {
+                            self.dispatch_group_fast(t, chunk, group);
+                        }
+                        if k == cost {
+                            self.after_group(batch_start, t, chunk, groups, cycle, tracer);
+                        } else {
+                            self.state = State::Weights {
+                                batch_start,
+                                t,
+                                chunk,
+                                subcycle: dispatched + 1,
+                            };
+                        }
+                    } else {
+                        // Resuming mid-word (a previous span ran out of
+                        // budget): groups subcycle−1 … groups−1 remain.
+                        let remaining = u64::from(groups - (subcycle - 1));
+                        let k = remaining.min(left);
+                        self.stats.weight_cycles += k;
+                        advanced += k;
+                        tail += k;
+                        for group in (subcycle - 1)..(subcycle - 1 + k as u32) {
+                            self.dispatch_group_fast(t, chunk, group);
+                        }
+                        if k == remaining {
+                            self.after_group(batch_start, t, chunk, groups, cycle, tracer);
+                        } else {
+                            self.state = State::Weights {
+                                batch_start,
+                                t,
+                                chunk,
+                                subcycle: subcycle + k as u32,
+                            };
+                        }
+                    }
+                }
+                State::Drain {
+                    batch_start,
+                    left: need,
+                } => {
+                    let k = need.min(left);
+                    self.stats.drain_cycles += k;
+                    advanced += k;
+                    tail += k;
+                    if k < need {
+                        self.state = State::Drain {
+                            batch_start,
+                            left: need - k,
+                        };
+                    } else {
+                        let n = setting.neurons as usize;
+                        let end = (batch_start + self.tnpus.len()).min(n);
+                        let write_cost = if setting.layer_type == LayerType::Output {
+                            (end - batch_start) as u64 * (1 + u64::from(self.softmax_output))
+                        } else {
+                            ((end - batch_start).div_ceil(8)) as u64
+                        };
+                        self.state = State::WriteOut {
+                            batch_start,
+                            left: write_cost.max(1),
+                        };
+                    }
+                }
+                State::WriteOut {
+                    batch_start,
+                    left: need,
+                } => {
+                    let k = need.min(left);
+                    self.stats.output_cycles += k;
+                    advanced += k;
+                    tail += k;
+                    if k < need {
+                        self.state = State::WriteOut {
+                            batch_start,
+                            left: need - k,
+                        };
+                        continue;
+                    }
+                    let n = setting.neurons as usize;
+                    let end = (batch_start + self.tnpus.len()).min(n);
+                    for (t, neuron) in (batch_start..end).enumerate() {
+                        match self.tnpus[t].finalize() {
+                            TnpuOut::Level(l) => self.outputs.push(l),
+                            TnpuOut::Score(s) => {
+                                self.scores.push(s);
+                                self.maxout.push(neuron, s);
+                            }
+                        }
+                    }
+                    if end == n {
+                        self.state = State::Done;
+                        tracer.record(cycle + advanced - 1, "lpu", || {
+                            format!(
+                                "lpu{} layer done after {} weight words",
+                                self.id, self.stats.weight_words
+                            )
+                        });
+                        return progress(advanced, words, tail);
+                    }
+                    self.state = State::BatchInit {
+                        batch_start: end,
+                        left: self.batch_init_cost(end),
+                    };
+                }
+            }
+        }
+    }
+
     /// Neuron Initialization cost for the batch starting at `start`.
     fn batch_init_cost(&self, start: usize) -> u64 {
         let setting = self.setting.expect("layer begun");
@@ -631,6 +1026,41 @@ impl Lpu {
                 .map(|i| extract_weight(self.pending_word, base + i, &setting, self.packing))
                 .collect();
             self.tnpus[t].mac_values(&slice, &weights);
+        }
+    }
+
+    /// [`Lpu::dispatch_group`] without the per-group allocations or the
+    /// per-lane XNOR loop: input levels are pre-packed into bipolar bit
+    /// words (64 at a time, chunk-aligned), so an XNOR-path group is one
+    /// XOR+popcount; integer-path weights land in a reused scratch
+    /// buffer. Numerically identical to the tick path.
+    fn dispatch_group_fast(&mut self, t: usize, chunk: usize, group: u32) {
+        let setting = self.setting.expect("layer begun");
+        let lpw = self.levels_per_word();
+        let lpg = self.levels_per_group();
+        let word_lo = chunk * lpw;
+        let lo = word_lo + group as usize * lpg;
+        let hi = (lo + lpg).min(word_lo + lpw).min(self.inputs.len());
+        if lo >= hi {
+            return; // tail padding
+        }
+        if uses_xnor_path(&setting) {
+            if self.packed_inputs_stale {
+                self.packed_inputs = netpu_arith::quant::pack_binary_channels(&self.inputs);
+                self.packed_inputs_stale = false;
+            }
+            let shift = group as usize * lpg;
+            let bits = self.packed_inputs[chunk] >> shift;
+            let word = self.pending_word >> shift;
+            self.tnpus[t].mac_word_prepacked(bits, (hi - lo) as u32, word);
+        } else {
+            let base = group as usize * lpg;
+            let word = self.pending_word;
+            self.weight_scratch.clear();
+            self.weight_scratch.extend(
+                (0..hi - lo).map(|i| extract_weight(word, base + i, &setting, self.packing)),
+            );
+            self.tnpus[t].mac_values(&self.inputs[lo..hi], &self.weight_scratch);
         }
     }
 
@@ -706,6 +1136,7 @@ impl Lpu {
         self.params.clear();
         self.inputs.clear();
         self.have_inputs = false;
+        self.packed_inputs_stale = true;
         self.outputs.clear();
         self.scores.clear();
         self.weight_fifo.clear();

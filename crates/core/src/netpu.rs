@@ -23,7 +23,9 @@ use netpu_compiler::stream::{input_words, param_words, StreamError};
 use netpu_compiler::{LayerSetting, LayerType, PackingMode};
 use netpu_nn::reference::to_mac_domain;
 use netpu_sim::engine::Tick;
-use netpu_sim::{Clocked, Cycle, SimError, Simulator, StreamSink, StreamSource, Tracer};
+use netpu_sim::{
+    BulkClocked, Clocked, Cycle, SimError, Simulator, StreamSink, StreamSource, Tracer,
+};
 use serde::{Deserialize, Serialize};
 
 /// Cycles to reset a finished LPU for its next layer.
@@ -254,6 +256,105 @@ impl NetPu {
         }
         self.stats.layers.push(self.lpus[id].stats);
     }
+
+    /// Stream idle cycles accumulated so far (cycles in which the
+    /// Network Input FIFO held data nobody consumed) — exposed so the
+    /// fast path's closed-form idle accounting can be checked against
+    /// the tick path.
+    pub fn stream_idle_cycles(&self) -> u64 {
+        self.stream.idle_cycles()
+    }
+
+    /// One tick-path edge plus the stream bookkeeping
+    /// [`run_to_completion`] performs per cycle — the fast path's
+    /// fallback for control states that route at most one word.
+    fn single_step(&mut self, cycle: Cycle) -> (Cycle, Tick) {
+        let t = self.tick(cycle);
+        self.stream.next_cycle();
+        (1, t)
+    }
+
+    /// Fast-path step: advances up to `budget` cycles. Header, setting,
+    /// input-ingest and reset states fall back to single edges (they are
+    /// a vanishing fraction of an inference); parameter sections ingest
+    /// in bulk straight from the stream; processing sections delegate to
+    /// [`Lpu::bulk_tick`]. Cycle counts, every [`NetPuStats`] /
+    /// [`LpuStats`] field, sink timestamps and stream idle accounting
+    /// match the tick path exactly.
+    fn bulk_step(&mut self, cycle: Cycle, budget: Cycle) -> (Cycle, Tick) {
+        let TopState::Sections { idx, entered } = self.state else {
+            return self.single_step(cycle);
+        };
+        match self.sections[idx] {
+            Section::Params(layer) => {
+                if !entered {
+                    // The first parameter edge also performs layer
+                    // initialization; keep it on the reference path.
+                    return self.single_step(cycle);
+                }
+                let id = self.lpu_of(layer);
+                let k = self.lpus[id]
+                    .param_words_remaining()
+                    .min(self.stream.remaining())
+                    .min(usize::try_from(budget).unwrap_or(usize::MAX));
+                if k == 0 {
+                    return self.single_step(cycle); // stalled on the DMA
+                }
+                // One word per cycle, every cycle consuming: no idle.
+                let mut complete = false;
+                for &w in self.stream.take_words(k) {
+                    complete = self.lpus[id].ingest_param_word(w);
+                }
+                self.stats.param_cycles += k as u64;
+                self.state = if complete {
+                    TopState::Sections {
+                        idx: idx + 1,
+                        entered: false,
+                    }
+                } else {
+                    TopState::Sections { idx, entered: true }
+                };
+                (k as u64, Tick::Progress)
+            }
+            Section::Process(layer) => {
+                let id = self.lpu_of(layer);
+                let r = self.lpus[id].bulk_tick(&mut self.stream, cycle, budget, &mut self.tracer);
+                self.stats.process_cycles += r.advanced;
+                // Idle settlement: edges strictly between takes always
+                // saw pending data; trailing edges only count when the
+                // stream still holds words now.
+                let between = r.advanced - r.words - r.tail;
+                let trailing = if self.stream.exhausted() { 0 } else { r.tail };
+                self.stream.add_idle_cycles(between + trailing);
+                if self.lpus[id].is_done() {
+                    self.route_layer_output(layer, cycle + r.advanced - 1);
+                    if layer + 1 == self.settings.len() {
+                        if self.stream.exhausted() {
+                            self.state = TopState::Done;
+                            return (r.advanced, Tick::Done);
+                        }
+                        self.lpus[id].reset();
+                        self.settings.clear();
+                        self.sections.clear();
+                        self.pixels.clear();
+                        self.state = TopState::Resetting {
+                            idx: usize::MAX,
+                            left: RESET_CYCLES,
+                        };
+                        return (r.advanced, Tick::Progress);
+                    }
+                    self.state = TopState::Resetting {
+                        idx: idx + 1,
+                        left: RESET_CYCLES,
+                    };
+                    self.lpus[id].reset();
+                    return (r.advanced, Tick::Progress);
+                }
+                self.state = TopState::Sections { idx, entered: true };
+                (r.advanced, r.tick)
+            }
+        }
+    }
 }
 
 impl Clocked for NetPu {
@@ -365,7 +466,11 @@ impl Clocked for NetPu {
                                 format!("layer {layer} settings → lpu{id} ({expect} param words)")
                             });
                             if layer == 0 {
-                                self.lpus[id].set_inputs(self.pixels.clone());
+                                // The ingested pixels are consumed only
+                                // by the first layer; hand them over
+                                // instead of cloning (they are re-filled
+                                // by the next inference's InputIngest).
+                                self.lpus[id].set_inputs(std::mem::take(&mut self.pixels));
                             }
                             if expect == 0 {
                                 self.state = TopState::Sections {
@@ -496,15 +601,30 @@ pub fn run_inference(cfg: &HwConfig, words: Vec<u64>) -> Result<InferenceRun, Ne
     let stream = StreamSource::new(words, 1);
     let mut netpu = NetPu::new(*cfg, stream)?;
     let cycles = run_to_completion(&mut netpu)?;
+    Ok(finish_run(&netpu, cycles, cfg))
+}
+
+/// [`run_inference`] on the phase-skipping fast path: identical results
+/// (class, score, cycle count and the full [`NetPuStats`] breakdown) at
+/// a fraction of the wall-clock cost. The equivalence is enforced by the
+/// `fast_path` differential test suite.
+pub fn run_inference_fast(cfg: &HwConfig, words: Vec<u64>) -> Result<InferenceRun, NetPuError> {
+    let stream = StreamSource::new(words, 1);
+    let mut netpu = NetPu::new(*cfg, stream)?;
+    let cycles = run_to_completion_fast(&mut netpu)?;
+    Ok(finish_run(&netpu, cycles, cfg))
+}
+
+fn finish_run(netpu: &NetPu, cycles: Cycle, cfg: &HwConfig) -> InferenceRun {
     let (class, score) = netpu.result().expect("inference completed");
-    Ok(InferenceRun {
+    InferenceRun {
         class,
         score,
         cycles,
         latency_us: netpu_sim::cycles_to_us(cycles, cfg.clock_mhz),
         probabilities: netpu.probabilities(),
         stats: netpu.stats.clone(),
-    })
+    }
 }
 
 /// Runs a prepared NetPU to completion, surfacing stream errors.
@@ -520,6 +640,33 @@ pub fn run_to_completion(netpu: &mut NetPu) -> Result<Cycle, NetPuError> {
     }
     let cycles = Simulator::new()
         .run(&mut WithStream(netpu))
+        .map_err(NetPuError::Sim)?;
+    if let Some(e) = netpu.error.clone() {
+        return Err(NetPuError::Stream(e));
+    }
+    Ok(cycles)
+}
+
+/// [`run_to_completion`] on the phase-skipping fast path
+/// ([`netpu_sim::engine::BulkClocked`]); cycle-exact with the tick path
+/// including deadlock timing and stream idle accounting.
+pub fn run_to_completion_fast(netpu: &mut NetPu) -> Result<Cycle, NetPuError> {
+    // Stream bookkeeping is folded into `bulk_step` itself (metered on
+    // the single-step fallback, closed-form on the bulk paths).
+    struct Fast<'a>(&'a mut NetPu);
+    impl Clocked for Fast<'_> {
+        fn tick(&mut self, cycle: Cycle) -> Tick {
+            let (_, t) = self.0.single_step(cycle);
+            t
+        }
+    }
+    impl BulkClocked for Fast<'_> {
+        fn bulk_tick(&mut self, cycle: Cycle, budget: Cycle) -> (Cycle, Tick) {
+            self.0.bulk_step(cycle, budget)
+        }
+    }
+    let cycles = Simulator::new()
+        .run_fast(&mut Fast(netpu))
         .map_err(NetPuError::Sim)?;
     if let Some(e) = netpu.error.clone() {
         return Err(NetPuError::Stream(e));

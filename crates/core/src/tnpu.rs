@@ -238,6 +238,23 @@ impl Tnpu {
         self.mac_ops += inputs.len() as u64;
     }
 
+    /// [`Tnpu::mac_word`] for the XNOR path with the input bits already
+    /// packed (bit `i` = `encode_bipolar(inputs[i])`). The LPU fast path
+    /// packs a layer's input levels once and then feeds every weight
+    /// word of every neuron through this single XOR+popcount, which is
+    /// arithmetically identical to the per-lane loop above: both reduce
+    /// to `2·popcount(XNOR(bits, weights) & mask) − n`.
+    pub fn mac_word_prepacked(&mut self, input_bits: u64, n: u32, weight_word: u64) {
+        debug_assert!(self.layer.expect("layer configured").uses_xnor());
+        debug_assert!(n as usize <= self.levels_per_word(&self.layer.unwrap()));
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let ones = (!(input_bits ^ weight_word) & mask).count_ones() as i64;
+        let sum = 2 * ones - i64::from(n);
+        self.acc =
+            (i64::from(self.acc) + sum).clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32;
+        self.mac_ops += u64::from(n);
+    }
+
     /// The MUL+ACCU stages for pre-extracted integer-path operands (the
     /// LPU extracts weight fields word-by-word; dense packing can carry
     /// more weights per word than lanes, so extraction lives upstream).

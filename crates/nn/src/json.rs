@@ -1,0 +1,394 @@
+//! JSON codecs for the persisted model types.
+//!
+//! The vendored `serde_json` stand-in serialises through explicit
+//! [`ToJson`] / [`FromJson`] impls instead of derived serde traits.
+//! This module is the schema for the two on-disk artifacts `io`
+//! produces: hardware-ready [`QuantMlp`] models and [`FloatMlp`]
+//! training checkpoints. Enums carry a `"kind"` tag; everything else
+//! is a plain field-per-field object.
+
+use crate::float::{ActSpec, BatchNorm, FloatLayer, FloatMlp, LayerSpec, MlpSpec};
+use crate::qmodel::{BnParams, HiddenLayer, InputLayer, LayerActivation, OutputLayer, QuantMlp};
+use crate::tensor::Matrix;
+use netpu_arith::Fix;
+use serde_json::{Error, FromJson, Map, ToJson, Value};
+
+fn obj(fields: Vec<(&'static str, Value)>) -> Value {
+    let mut m = Map::new();
+    for (k, v) in fields {
+        m.insert(k.to_string(), v);
+    }
+    Value::Object(m)
+}
+
+fn kind_of(v: &Value) -> Result<&str, Error> {
+    v["kind"]
+        .as_str()
+        .ok_or_else(|| Error::msg("expected tagged object with \"kind\""))
+}
+
+impl ToJson for BnParams {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("scale_q16", self.scale_q16.to_json()),
+            ("offset", self.offset.to_json()),
+        ])
+    }
+}
+
+impl FromJson for BnParams {
+    fn from_json(v: &Value) -> Result<BnParams, Error> {
+        Ok(BnParams {
+            scale_q16: i32::from_json(&v["scale_q16"])?,
+            offset: Fix::from_json(&v["offset"])?,
+        })
+    }
+}
+
+impl ToJson for LayerActivation {
+    fn to_json(&self) -> Value {
+        match self {
+            LayerActivation::Relu { quant } => {
+                obj(vec![("kind", "relu".into()), ("quant", quant.to_json())])
+            }
+            LayerActivation::Sigmoid { quant } => {
+                obj(vec![("kind", "sigmoid".into()), ("quant", quant.to_json())])
+            }
+            LayerActivation::Tanh { quant } => {
+                obj(vec![("kind", "tanh".into()), ("quant", quant.to_json())])
+            }
+            LayerActivation::Sign { thresholds } => obj(vec![
+                ("kind", "sign".into()),
+                ("thresholds", thresholds.to_json()),
+            ]),
+            LayerActivation::MultiThreshold { thresholds } => obj(vec![
+                ("kind", "multi_threshold".into()),
+                ("thresholds", thresholds.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for LayerActivation {
+    fn from_json(v: &Value) -> Result<LayerActivation, Error> {
+        Ok(match kind_of(v)? {
+            "relu" => LayerActivation::Relu {
+                quant: FromJson::from_json(&v["quant"])?,
+            },
+            "sigmoid" => LayerActivation::Sigmoid {
+                quant: FromJson::from_json(&v["quant"])?,
+            },
+            "tanh" => LayerActivation::Tanh {
+                quant: FromJson::from_json(&v["quant"])?,
+            },
+            "sign" => LayerActivation::Sign {
+                thresholds: FromJson::from_json(&v["thresholds"])?,
+            },
+            "multi_threshold" => LayerActivation::MultiThreshold {
+                thresholds: FromJson::from_json(&v["thresholds"])?,
+            },
+            other => return Err(Error::msg(format!("unknown activation kind {other:?}"))),
+        })
+    }
+}
+
+impl ToJson for InputLayer {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("len", self.len.to_json()),
+            ("out_precision", self.out_precision.to_json()),
+            ("activation", self.activation.to_json()),
+        ])
+    }
+}
+
+impl FromJson for InputLayer {
+    fn from_json(v: &Value) -> Result<InputLayer, Error> {
+        Ok(InputLayer {
+            len: usize::from_json(&v["len"])?,
+            out_precision: FromJson::from_json(&v["out_precision"])?,
+            activation: FromJson::from_json(&v["activation"])?,
+        })
+    }
+}
+
+impl ToJson for HiddenLayer {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("in_len", self.in_len.to_json()),
+            ("neurons", self.neurons.to_json()),
+            ("weight_precision", self.weight_precision.to_json()),
+            ("in_precision", self.in_precision.to_json()),
+            ("out_precision", self.out_precision.to_json()),
+            ("weights", self.weights.to_json()),
+            ("bias", self.bias.to_json()),
+            ("bn", self.bn.to_json()),
+            ("activation", self.activation.to_json()),
+        ])
+    }
+}
+
+impl FromJson for HiddenLayer {
+    fn from_json(v: &Value) -> Result<HiddenLayer, Error> {
+        Ok(HiddenLayer {
+            in_len: usize::from_json(&v["in_len"])?,
+            neurons: usize::from_json(&v["neurons"])?,
+            weight_precision: FromJson::from_json(&v["weight_precision"])?,
+            in_precision: FromJson::from_json(&v["in_precision"])?,
+            out_precision: FromJson::from_json(&v["out_precision"])?,
+            weights: FromJson::from_json(&v["weights"])?,
+            bias: FromJson::from_json(&v["bias"])?,
+            bn: FromJson::from_json(&v["bn"])?,
+            activation: FromJson::from_json(&v["activation"])?,
+        })
+    }
+}
+
+impl ToJson for OutputLayer {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("in_len", self.in_len.to_json()),
+            ("neurons", self.neurons.to_json()),
+            ("weight_precision", self.weight_precision.to_json()),
+            ("in_precision", self.in_precision.to_json()),
+            ("weights", self.weights.to_json()),
+            ("bias", self.bias.to_json()),
+            ("bn", self.bn.to_json()),
+        ])
+    }
+}
+
+impl FromJson for OutputLayer {
+    fn from_json(v: &Value) -> Result<OutputLayer, Error> {
+        Ok(OutputLayer {
+            in_len: usize::from_json(&v["in_len"])?,
+            neurons: usize::from_json(&v["neurons"])?,
+            weight_precision: FromJson::from_json(&v["weight_precision"])?,
+            in_precision: FromJson::from_json(&v["in_precision"])?,
+            weights: FromJson::from_json(&v["weights"])?,
+            bias: FromJson::from_json(&v["bias"])?,
+            bn: FromJson::from_json(&v["bn"])?,
+        })
+    }
+}
+
+impl ToJson for QuantMlp {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("name", self.name.to_json()),
+            ("input", self.input.to_json()),
+            ("hidden", self.hidden.to_json()),
+            ("output", self.output.to_json()),
+        ])
+    }
+}
+
+impl FromJson for QuantMlp {
+    fn from_json(v: &Value) -> Result<QuantMlp, Error> {
+        Ok(QuantMlp {
+            name: String::from_json(&v["name"])?,
+            input: FromJson::from_json(&v["input"])?,
+            hidden: FromJson::from_json(&v["hidden"])?,
+            output: FromJson::from_json(&v["output"])?,
+        })
+    }
+}
+
+impl ToJson for ActSpec {
+    fn to_json(&self) -> Value {
+        match *self {
+            ActSpec::Sign => obj(vec![("kind", "sign".into())]),
+            ActSpec::Hwgq { bits } => obj(vec![("kind", "hwgq".into()), ("bits", bits.to_json())]),
+            ActSpec::ReluQuant { bits } => obj(vec![
+                ("kind", "relu_quant".into()),
+                ("bits", bits.to_json()),
+            ]),
+            ActSpec::SigmoidQuant { bits } => obj(vec![
+                ("kind", "sigmoid_quant".into()),
+                ("bits", bits.to_json()),
+            ]),
+            ActSpec::None => obj(vec![("kind", "none".into())]),
+        }
+    }
+}
+
+impl FromJson for ActSpec {
+    fn from_json(v: &Value) -> Result<ActSpec, Error> {
+        Ok(match kind_of(v)? {
+            "sign" => ActSpec::Sign,
+            "hwgq" => ActSpec::Hwgq {
+                bits: u8::from_json(&v["bits"])?,
+            },
+            "relu_quant" => ActSpec::ReluQuant {
+                bits: u8::from_json(&v["bits"])?,
+            },
+            "sigmoid_quant" => ActSpec::SigmoidQuant {
+                bits: u8::from_json(&v["bits"])?,
+            },
+            "none" => ActSpec::None,
+            other => return Err(Error::msg(format!("unknown act spec kind {other:?}"))),
+        })
+    }
+}
+
+impl ToJson for LayerSpec {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("neurons", self.neurons.to_json()),
+            ("weight_bits", self.weight_bits.to_json()),
+            ("act", self.act.to_json()),
+            ("batch_norm", self.batch_norm.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LayerSpec {
+    fn from_json(v: &Value) -> Result<LayerSpec, Error> {
+        Ok(LayerSpec {
+            neurons: usize::from_json(&v["neurons"])?,
+            weight_bits: u8::from_json(&v["weight_bits"])?,
+            act: FromJson::from_json(&v["act"])?,
+            batch_norm: bool::from_json(&v["batch_norm"])?,
+        })
+    }
+}
+
+impl ToJson for MlpSpec {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("name", self.name.to_json()),
+            ("input_len", self.input_len.to_json()),
+            ("input_act", self.input_act.to_json()),
+            ("layers", self.layers.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MlpSpec {
+    fn from_json(v: &Value) -> Result<MlpSpec, Error> {
+        Ok(MlpSpec {
+            name: String::from_json(&v["name"])?,
+            input_len: usize::from_json(&v["input_len"])?,
+            input_act: FromJson::from_json(&v["input_act"])?,
+            layers: FromJson::from_json(&v["layers"])?,
+        })
+    }
+}
+
+impl ToJson for BatchNorm {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("gamma", self.gamma.to_json()),
+            ("beta", self.beta.to_json()),
+            ("running_mean", self.running_mean.to_json()),
+            ("running_var", self.running_var.to_json()),
+            ("eps", self.eps.to_json()),
+            ("momentum", self.momentum.to_json()),
+        ])
+    }
+}
+
+impl FromJson for BatchNorm {
+    fn from_json(v: &Value) -> Result<BatchNorm, Error> {
+        Ok(BatchNorm {
+            gamma: FromJson::from_json(&v["gamma"])?,
+            beta: FromJson::from_json(&v["beta"])?,
+            running_mean: FromJson::from_json(&v["running_mean"])?,
+            running_var: FromJson::from_json(&v["running_var"])?,
+            eps: f32::from_json(&v["eps"])?,
+            momentum: f32::from_json(&v["momentum"])?,
+        })
+    }
+}
+
+impl ToJson for Matrix {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("rows", self.rows().to_json()),
+            ("cols", self.cols().to_json()),
+            ("data", self.data().to_vec().to_json()),
+        ])
+    }
+}
+
+impl FromJson for Matrix {
+    fn from_json(v: &Value) -> Result<Matrix, Error> {
+        let rows = usize::from_json(&v["rows"])?;
+        let cols = usize::from_json(&v["cols"])?;
+        let data: Vec<f32> = FromJson::from_json(&v["data"])?;
+        if data.len() != rows * cols {
+            return Err(Error::msg("Matrix: data length does not match shape"));
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+}
+
+impl ToJson for FloatLayer {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("w", self.w.to_json()),
+            ("b", self.b.to_json()),
+            ("bn", self.bn.to_json()),
+            ("spec", self.spec.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FloatLayer {
+    fn from_json(v: &Value) -> Result<FloatLayer, Error> {
+        Ok(FloatLayer {
+            w: FromJson::from_json(&v["w"])?,
+            b: FromJson::from_json(&v["b"])?,
+            bn: FromJson::from_json(&v["bn"])?,
+            spec: FromJson::from_json(&v["spec"])?,
+        })
+    }
+}
+
+impl ToJson for FloatMlp {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("spec", self.spec.to_json()),
+            ("layers", self.layers.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FloatMlp {
+    fn from_json(v: &Value) -> Result<FloatMlp, Error> {
+        Ok(FloatMlp {
+            spec: FromJson::from_json(&v["spec"])?,
+            layers: FromJson::from_json(&v["layers"])?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qmodel::tests::tiny_model;
+
+    #[test]
+    fn quant_mlp_value_roundtrips() {
+        let m = tiny_model();
+        let v = m.to_json();
+        assert_eq!(QuantMlp::from_json(&v).unwrap(), m);
+    }
+
+    #[test]
+    fn activation_kind_tag_rejects_unknown() {
+        let v = obj(vec![("kind", "warp_drive".into())]);
+        assert!(LayerActivation::from_json(&v).is_err());
+        assert!(ActSpec::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn matrix_shape_is_checked() {
+        let v = obj(vec![
+            ("rows", 2.to_json()),
+            ("cols", 3.to_json()),
+            ("data", vec![0.0f32; 5].to_json()),
+        ]);
+        assert!(Matrix::from_json(&v).is_err());
+    }
+}

@@ -25,6 +25,7 @@ pub mod dataset;
 pub mod export;
 pub mod float;
 pub mod io;
+mod json;
 pub mod metrics;
 pub mod qmodel;
 pub mod reference;

@@ -374,15 +374,22 @@ fn check_fc(
     if weights.len() != neurons * in_len {
         return Err(ModelError::WeightShape { layer });
     }
-    for &w in weights {
-        let ok = if wp.is_binary() {
+    // Branchless validity fold so the scan vectorises (models carry
+    // millions of weights); the offending value is recovered in a second
+    // pass only on the failure path.
+    let in_range = |w: i32| {
+        if wp.is_binary() {
             w == 1 || w == -1
         } else {
             (wp.signed_min()..=wp.signed_max()).contains(&w)
-        };
-        if !ok {
-            return Err(ModelError::WeightRange { layer, value: w });
         }
+    };
+    if !weights.iter().fold(true, |ok, &w| ok & in_range(w)) {
+        let value = *weights
+            .iter()
+            .find(|&&w| !in_range(w))
+            .expect("fold failed");
+        return Err(ModelError::WeightRange { layer, value });
     }
     // XNOR pairing: binary activations require binary weights (a binary
     // activation lane carries 8 channels the integer path cannot read).

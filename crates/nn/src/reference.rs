@@ -166,6 +166,176 @@ pub fn infer(mlp: &QuantMlp, pixels: &[u8]) -> usize {
     infer_traced(mlp, pixels).class
 }
 
+/// One layer's ±1 weight matrix packed as bipolar bit rows, 64 weights
+/// per word, plus the tail masks the XNOR+popcount dot product needs.
+struct PackedRows {
+    words_per_row: usize,
+    in_len: usize,
+    /// `neurons × words_per_row` weight words, row-major.
+    bits: Vec<u64>,
+    /// Valid-lane mask per word of a row (all-ones except the tail).
+    masks: Vec<u64>,
+}
+
+impl PackedRows {
+    /// Packs a row-major ±1 weight matrix; `None` when any weight is not
+    /// strictly bipolar (the popcount identity only holds for ±1).
+    fn pack(weights: &[i32], neurons: usize, in_len: usize) -> Option<PackedRows> {
+        if in_len == 0 {
+            return None;
+        }
+        let words_per_row = in_len.div_ceil(64);
+        let mut bits = Vec::with_capacity(neurons * words_per_row);
+        let mut bipolar = true;
+        for n in 0..neurons {
+            for chunk in weights[n * in_len..(n + 1) * in_len].chunks(64) {
+                let mut word = 0u64;
+                for (i, &v) in chunk.iter().enumerate() {
+                    bipolar &= v == 1 || v == -1;
+                    word |= u64::from(v > 0) << i;
+                }
+                bits.push(word);
+            }
+        }
+        if !bipolar {
+            return None;
+        }
+        let masks = (0..words_per_row)
+            .map(|j| {
+                let lanes = (in_len - j * 64).min(64);
+                if lanes == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << lanes) - 1
+                }
+            })
+            .collect();
+        Some(PackedRows {
+            words_per_row,
+            in_len,
+            bits,
+            masks,
+        })
+    }
+
+    /// `Σ wᵢ·aᵢ` for neuron `n` against the packed input bits, via the
+    /// XNOR+popcount identity `2·popcount(XNOR) − n`. Exactly equal to
+    /// [`neuron_accumulate`] without bias: every prefix of a ±1 dot
+    /// product is bounded by `in_len`, so the saturating accumulator
+    /// never clamps and plain summation is bit-exact.
+    fn dot(&self, n: usize, input_bits: &[u64]) -> i32 {
+        let row = &self.bits[n * self.words_per_row..(n + 1) * self.words_per_row];
+        let mut ones: i64 = 0;
+        for (j, &w) in row.iter().enumerate() {
+            ones += i64::from((!(w ^ input_bits[j]) & self.masks[j]).count_ones());
+        }
+        (2 * ones - self.in_len as i64) as i32
+    }
+}
+
+/// `true` when a layer's MAC is fully binary: bipolar inputs × bipolar
+/// weights, the combination the XNOR path accelerates.
+fn binary_mac(
+    weight_precision: netpu_arith::Precision,
+    in_precision: netpu_arith::Precision,
+) -> bool {
+    weight_precision.is_binary() && in_precision.is_binary()
+}
+
+/// A [`QuantMlp`] prepared for repeated inference: fully binary layers
+/// carry their weights pre-packed for XNOR+popcount dot products, so the
+/// per-frame cost of e.g. the W1A1 zoo models drops by over an order of
+/// magnitude. Layers that are not fully binary (multi-bit weights or
+/// activations) fall back to the general reference path unchanged.
+///
+/// Results are **bit-identical** to [`infer_traced`] — this is the same
+/// arithmetic, not an approximation — which the module tests pin down
+/// against the unpacked walk for both packed and fallback layers.
+pub struct PackedMlp<'a> {
+    mlp: &'a QuantMlp,
+    hidden: Vec<Option<PackedRows>>,
+    output: Option<PackedRows>,
+}
+
+impl<'a> PackedMlp<'a> {
+    /// Packs every fully binary layer of `mlp` once.
+    pub fn new(mlp: &'a QuantMlp) -> PackedMlp<'a> {
+        let hidden = mlp
+            .hidden
+            .iter()
+            .map(|l| {
+                binary_mac(l.weight_precision, l.in_precision)
+                    .then(|| PackedRows::pack(&l.weights, l.neurons, l.in_len))
+                    .flatten()
+            })
+            .collect();
+        let o = &mlp.output;
+        let output = binary_mac(o.weight_precision, o.in_precision)
+            .then(|| PackedRows::pack(&o.weights, o.neurons, o.in_len))
+            .flatten();
+        PackedMlp {
+            mlp,
+            hidden,
+            output,
+        }
+    }
+
+    /// [`infer_traced`] on the prepared model.
+    pub fn infer_traced(&self, pixels: &[u8]) -> InferenceTrace {
+        let input_levels = run_input_layer(self.mlp, pixels);
+        let mut hidden_levels = Vec::with_capacity(self.mlp.hidden.len());
+        let mut cur = input_levels.clone();
+        for (layer, packed) in self.mlp.hidden.iter().zip(&self.hidden) {
+            cur = match packed {
+                Some(rows) => {
+                    let inputs = to_mac_domain(&cur, layer.in_precision);
+                    let x = netpu_arith::quant::pack_binary_channels(&inputs);
+                    (0..layer.neurons)
+                        .map(|n| {
+                            let mut acc = rows.dot(n, &x);
+                            if let Some(b) = layer.bias.as_ref() {
+                                acc = accumulate(acc, b[n] as i64);
+                            }
+                            let bn = layer.bn.as_ref().map(|p| p[n]);
+                            neuron_post(&layer.activation, bn, n, acc, layer.out_precision)
+                        })
+                        .collect()
+                }
+                None => run_hidden_layer(layer, &cur),
+            };
+            hidden_levels.push(cur.clone());
+        }
+        let o = &self.mlp.output;
+        let scores = match &self.output {
+            Some(rows) => {
+                let inputs = to_mac_domain(&cur, o.in_precision);
+                let x = netpu_arith::quant::pack_binary_channels(&inputs);
+                (0..o.neurons)
+                    .map(|n| {
+                        let mut acc = rows.dot(n, &x);
+                        if let Some(b) = o.bias.as_ref() {
+                            acc = accumulate(acc, b[n] as i64);
+                        }
+                        let mut v = Fix::from_i32(acc);
+                        if let Some(p) = o.bn.as_ref() {
+                            v = p[n].apply(v);
+                        }
+                        v
+                    })
+                    .collect()
+            }
+            None => run_output_layer(o, &cur),
+        };
+        let class = maxout(&scores);
+        InferenceTrace {
+            input_levels,
+            hidden_levels,
+            scores,
+            class,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +441,64 @@ mod tests {
         m.validate().unwrap();
         let t = infer_traced(&m, &[255, 255, 255, 255]);
         assert!(t.hidden_levels[0].iter().all(|&v| (0..=3).contains(&v)));
+    }
+
+    #[test]
+    fn packed_mlp_is_bit_exact_on_binary_models() {
+        // Every fully binary zoo model: the packed XNOR+popcount walk
+        // must reproduce the unpacked reference trace exactly.
+        for kind in [crate::zoo::ZooModel::SfcW1A1, crate::zoo::ZooModel::TfcW1A1] {
+            let m = kind
+                .build_untrained(17, crate::export::BnMode::Folded)
+                .unwrap();
+            let packed = PackedMlp::new(&m);
+            for seed in 0u8..4 {
+                let pixels: Vec<u8> = (0..m.input.len)
+                    .map(|i| ((i as u32 * 31 + seed as u32 * 7) % 256) as u8)
+                    .collect();
+                assert_eq!(packed.infer_traced(&pixels), infer_traced(&m, &pixels));
+            }
+        }
+    }
+
+    #[test]
+    fn packed_mlp_falls_back_on_multibit_layers() {
+        // TfcW2A2 is not binary: no layer packs, results still agree.
+        let m = crate::zoo::ZooModel::TfcW2A2
+            .build_untrained(9, crate::export::BnMode::Hardware)
+            .unwrap();
+        let packed = PackedMlp::new(&m);
+        assert!(packed.hidden.iter().all(Option::is_none));
+        assert!(packed.output.is_none());
+        let pixels: Vec<u8> = (0..784).map(|i| (i % 253) as u8).collect();
+        assert_eq!(packed.infer_traced(&pixels), infer_traced(&m, &pixels));
+    }
+
+    #[test]
+    fn packed_rows_reject_non_bipolar_weights() {
+        assert!(PackedRows::pack(&[1, -1, 0, 1], 1, 4).is_none());
+        assert!(PackedRows::pack(&[1, -1, 1, -1], 2, 2).is_some());
+    }
+
+    #[test]
+    fn packed_dot_matches_neuron_accumulate_across_tail_widths() {
+        // Row lengths straddling the 64-lane word boundary exercise the
+        // tail masks.
+        for in_len in [1usize, 63, 64, 65, 128, 130] {
+            let weights: Vec<i32> = (0..in_len)
+                .map(|i| if i % 3 == 0 { 1 } else { -1 })
+                .collect();
+            let inputs: Vec<i32> = (0..in_len)
+                .map(|i| if i % 5 < 2 { 1 } else { -1 })
+                .collect();
+            let rows = PackedRows::pack(&weights, 1, in_len).unwrap();
+            let x = netpu_arith::quant::pack_binary_channels(&inputs);
+            assert_eq!(
+                rows.dot(0, &x),
+                neuron_accumulate(&weights, &inputs, None),
+                "in_len={in_len}"
+            );
+        }
     }
 
     #[test]

@@ -196,7 +196,7 @@ mod tests {
             &mut m,
             &train_ds,
             &TrainConfig {
-                epochs: 10,
+                epochs: 25,
                 ..TrainConfig::default()
             },
         );

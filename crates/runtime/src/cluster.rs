@@ -77,6 +77,22 @@ impl Cluster {
         })
     }
 
+    /// Design-space sweep: throughput of every board count
+    /// `1..=max_boards` for one model, evaluated in parallel (each
+    /// entry runs its own accelerator simulation, so the sweep fans out
+    /// across worker threads with rayon).
+    pub fn scaling_sweep(
+        driver: &Driver,
+        model: &QuantMlp,
+        max_boards: usize,
+    ) -> Result<Vec<ClusterThroughput>, DriverError> {
+        use rayon::prelude::*;
+        (1..max_boards + 1)
+            .into_par_iter()
+            .map(|boards| Cluster::new(boards, driver.clone()).throughput(model))
+            .collect()
+    }
+
     /// Boards beyond this count no longer raise throughput (the shared
     /// DMA link is saturated).
     pub fn useful_boards(&self, model: &QuantMlp) -> Result<usize, DriverError> {
@@ -152,6 +168,21 @@ mod tests {
             .unwrap();
         let lfc = Cluster::new(1, driver).useful_boards(&lfc_model).unwrap();
         assert!(lfc <= sfc, "LFC useful boards {lfc} > SFC {sfc}");
+    }
+
+    #[test]
+    fn scaling_sweep_matches_individual_throughputs() {
+        let driver = Driver::paper_setup();
+        let sweep = Cluster::scaling_sweep(&driver, &model(), 6).unwrap();
+        assert_eq!(sweep.len(), 6);
+        for (i, t) in sweep.iter().enumerate() {
+            let single = Cluster::new(i + 1, driver.clone())
+                .throughput(&model())
+                .unwrap();
+            assert_eq!(*t, single);
+        }
+        // Throughput never regresses as boards are added.
+        assert!(sweep.windows(2).all(|w| w[1].fps + 1e-9 >= w[0].fps));
     }
 
     #[test]

@@ -9,10 +9,11 @@
 use crate::dma::DmaModel;
 use crate::power::PowerParams;
 use netpu_compiler::{compile, Loadable, StreamError};
-use netpu_core::netpu::{run_inference, InferenceRun, NetPuError};
+use netpu_core::netpu::{run_inference_fast, InferenceRun, NetPuError};
 use netpu_core::resources::netpu_utilization;
 use netpu_core::HwConfig;
-use netpu_nn::QuantMlp;
+use netpu_nn::{reference, QuantMlp};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One measured inference.
@@ -97,10 +98,11 @@ impl Driver {
         self.run_loadable(&loadable)
     }
 
-    /// Runs a pre-compiled loadable.
+    /// Runs a pre-compiled loadable (on the cycle-exact fast path; the
+    /// `fast_path` differential suite pins it to the tick path).
     pub fn run_loadable(&self, loadable: &Loadable) -> Result<MeasuredRun, DriverError> {
-        let run: InferenceRun =
-            run_inference(&self.hw, loadable.words.clone()).map_err(DriverError::Accelerator)?;
+        let run: InferenceRun = run_inference_fast(&self.hw, loadable.words.clone())
+            .map_err(DriverError::Accelerator)?;
         let measured =
             self.dma
                 .measured_latency_us(run.latency_us, loadable.len(), self.hw.clock_mhz);
@@ -135,33 +137,59 @@ impl Driver {
         let stream = netpu_sim::StreamSource::new(words, 1);
         let mut netpu =
             netpu_core::NetPu::new(self.hw, stream).map_err(DriverError::Accelerator)?;
-        let cycles =
-            netpu_core::netpu::run_to_completion(&mut netpu).map_err(DriverError::Accelerator)?;
+        let cycles = netpu_core::netpu::run_to_completion_fast(&mut netpu)
+            .map_err(DriverError::Accelerator)?;
         let classes = netpu.results().iter().map(|&(c, _, _)| c).collect();
         let total_us = self.dma.setup_us + netpu_sim::cycles_to_us(cycles, self.hw.clock_mhz);
         Ok((classes, inputs.len() as f64 * 1e6 / total_us))
     }
 
-    /// Runs a batch of inputs against one model, reusing the compiled
-    /// model sections (only the input section is re-packed per frame).
+    /// Runs a batch of inputs against one model.
+    ///
+    /// The accelerator's latency is input-independent for a fixed model
+    /// (a property the workspace test suite enforces), so the cycle
+    /// model runs **once** — on the first frame — and its timing, power
+    /// and stream figures are memoized for the rest. Each remaining
+    /// frame recomputes only the numeric datapath (class, scores) via
+    /// the bit-exact software reference — with binary layers pre-packed
+    /// once for the whole batch ([`reference::PackedMlp`]) — and the
+    /// frames fan out across worker threads with rayon.
     pub fn infer_batch(
         &self,
         model: &QuantMlp,
         inputs: &[Vec<u8>],
     ) -> Result<Vec<MeasuredRun>, DriverError> {
-        let mut runs = Vec::with_capacity(inputs.len());
         let first = match inputs.first() {
             Some(f) => f,
-            None => return Ok(runs),
+            None => return Ok(Vec::new()),
         };
-        let mut loadable = compile(model, first).map_err(DriverError::Compile)?;
-        runs.push(self.run_loadable(&loadable)?);
-        for pixels in &inputs[1..] {
-            loadable
-                .replace_input(pixels)
-                .map_err(DriverError::Compile)?;
-            runs.push(self.run_loadable(&loadable)?);
-        }
+        let loadable = compile(model, first).map_err(DriverError::Compile)?;
+        let template = self.run_loadable(&loadable)?;
+        let expected = model.input.len;
+        let softmax = self.hw.softmax_output;
+        let packed = reference::PackedMlp::new(model);
+        let rest: Result<Vec<MeasuredRun>, DriverError> = inputs[1..]
+            .par_iter()
+            .map(|pixels| {
+                // Same validation `Loadable::replace_input` performs on
+                // the sequential path.
+                if pixels.len() != expected {
+                    return Err(DriverError::Compile(StreamError::InputLength {
+                        expected,
+                        got: pixels.len(),
+                    }));
+                }
+                let trace = packed.infer_traced(pixels);
+                Ok(MeasuredRun {
+                    class: trace.class,
+                    probabilities: softmax.then(|| netpu_arith::softmax::softmax(&trace.scores)),
+                    ..template.clone()
+                })
+            })
+            .collect();
+        let mut runs = Vec::with_capacity(inputs.len());
+        runs.push(template);
+        runs.extend(rest?);
         Ok(runs)
     }
 }
@@ -204,6 +232,62 @@ mod tests {
         // Latency is input-independent for a fixed model.
         assert!(runs.windows(2).all(|w| w[0].cycles == w[1].cycles));
         assert!(driver.infer_batch(&model, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batch_matches_per_frame_inference() {
+        // The memoized parallel batch must agree with running each
+        // frame through the full driver individually.
+        let driver = Driver::paper_setup();
+        let model = ZooModel::TfcW2A2
+            .build_untrained(7, BnMode::Hardware)
+            .unwrap();
+        let ds = dataset::generate(6, 11, &dataset::GeneratorConfig::default());
+        let inputs: Vec<Vec<u8>> = ds.examples.iter().map(|e| e.pixels.clone()).collect();
+        let batch = driver.infer_batch(&model, &inputs).unwrap();
+        for (run, pixels) in batch.iter().zip(&inputs) {
+            let single = driver.infer(&model, pixels).unwrap();
+            assert_eq!(run, &single);
+        }
+    }
+
+    #[test]
+    fn batch_validates_every_frame_length() {
+        let driver = Driver::paper_setup();
+        let model = ZooModel::TfcW1A1
+            .build_untrained(5, BnMode::Folded)
+            .unwrap();
+        let inputs = vec![vec![1u8; 784], vec![2u8; 10], vec![3u8; 784]];
+        assert!(matches!(
+            driver.infer_batch(&model, &inputs),
+            Err(DriverError::Compile(StreamError::InputLength {
+                expected: 784,
+                got: 10,
+            }))
+        ));
+    }
+
+    #[test]
+    fn batch_softmax_probabilities_are_per_frame() {
+        let driver = Driver {
+            hw: netpu_core::HwConfig {
+                softmax_output: true,
+                ..netpu_core::HwConfig::paper_instance()
+            },
+            ..Driver::paper_setup()
+        };
+        let model = ZooModel::TfcW1A1
+            .build_untrained(6, BnMode::Folded)
+            .unwrap();
+        let ds = dataset::generate(3, 17, &dataset::GeneratorConfig::default());
+        let inputs: Vec<Vec<u8>> = ds.examples.iter().map(|e| e.pixels.clone()).collect();
+        let runs = driver.infer_batch(&model, &inputs).unwrap();
+        for (run, pixels) in runs.iter().zip(&inputs) {
+            let probs = run.probabilities.as_ref().expect("probabilities");
+            assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            let single = driver.infer(&model, pixels).unwrap();
+            assert_eq!(run.probabilities, single.probabilities);
+        }
     }
 
     #[test]

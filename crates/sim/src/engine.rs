@@ -25,6 +25,29 @@ pub trait Clocked {
     fn tick(&mut self, cycle: Cycle) -> Tick;
 }
 
+/// A [`Clocked`] component that can also skip ahead through phases whose
+/// cycle count it knows in closed form (pipeline drains, buffer waits,
+/// fixed-rate streaming loops).
+///
+/// Contract: `bulk_tick(cycle, budget)` simulates `advanced` consecutive
+/// clock edges starting at `cycle`, with `1 ≤ advanced ≤ budget`. The
+/// first `advanced − 1` edges must all have been [`Tick::Progress`]; the
+/// returned [`Tick`] is the outcome of the final edge. A component that
+/// cannot look ahead (e.g. it is stalled on external data) must fall
+/// back to a single edge so stall timing — and therefore deadlock
+/// detection — stays cycle-exact.
+pub trait BulkClocked: Clocked {
+    /// Advances up to `budget` cycles at once (see the trait contract).
+    ///
+    /// The default implementation steps one cycle via [`Clocked::tick`],
+    /// so any clocked component runs unchanged under
+    /// [`Simulator::run_fast`].
+    fn bulk_tick(&mut self, cycle: Cycle, budget: Cycle) -> (Cycle, Tick) {
+        let _ = budget;
+        (1, self.tick(cycle))
+    }
+}
+
 /// Errors from [`Simulator::run`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SimError {
@@ -109,6 +132,46 @@ impl Simulator {
                     }
                 }
             }
+        }
+        Err(SimError::CycleLimit {
+            limit: self.cycle_limit,
+        })
+    }
+
+    /// Runs `component` to completion on the phase-skipping fast path.
+    ///
+    /// Produces exactly the result [`Simulator::run`] would — the same
+    /// cycle count, the same [`SimError::Deadlock`] cycle, the same
+    /// [`SimError::CycleLimit`] — but lets the component advance many
+    /// cycles per call. The watchdog treats the `advanced − 1` leading
+    /// edges of each bulk step as progress, matching the trait contract.
+    pub fn run_fast<C: BulkClocked>(&self, component: &mut C) -> Result<Cycle, SimError> {
+        let mut last_progress: Cycle = 0;
+        let mut cycle: Cycle = 0;
+        while cycle < self.cycle_limit {
+            let budget = self.cycle_limit - cycle;
+            let (advanced, tick) = component.bulk_tick(cycle, budget);
+            debug_assert!(advanced >= 1, "bulk_tick must advance at least one cycle");
+            debug_assert!(advanced <= budget, "bulk_tick overran its budget");
+            let advanced = advanced.clamp(1, budget);
+            let last = cycle + advanced - 1;
+            if advanced > 1 {
+                // Leading edges were all Progress per the contract.
+                last_progress = last - 1;
+            }
+            match tick {
+                Tick::Done => return Ok(last + 1),
+                Tick::Progress => last_progress = last,
+                Tick::Stall => {
+                    if last - last_progress >= self.deadlock_window {
+                        return Err(SimError::Deadlock {
+                            at: last,
+                            window: self.deadlock_window,
+                        });
+                    }
+                }
+            }
+            cycle = last + 1;
         }
         Err(SimError::CycleLimit {
             limit: self.cycle_limit,
@@ -207,5 +270,115 @@ mod tests {
         // 100 progress edges on even cycles, 99 interleaved stalls, and
         // the done edge at cycle 199.
         assert_eq!(cycles, 200);
+    }
+
+    // Every Clocked component is bulk-clockable via the default
+    // single-step implementation.
+    impl BulkClocked for Countdown {}
+    impl BulkClocked for Stuck {}
+
+    /// Bulk-advances through its countdown in capped strides.
+    struct BulkCountdown {
+        left: u64,
+        stride: u64,
+    }
+
+    impl Clocked for BulkCountdown {
+        fn tick(&mut self, _cycle: Cycle) -> Tick {
+            if self.left == 0 {
+                Tick::Done
+            } else {
+                self.left -= 1;
+                Tick::Progress
+            }
+        }
+    }
+
+    impl BulkClocked for BulkCountdown {
+        fn bulk_tick(&mut self, _cycle: Cycle, budget: Cycle) -> (Cycle, Tick) {
+            if self.left == 0 {
+                return (1, Tick::Done);
+            }
+            let k = self.left.min(self.stride).min(budget);
+            self.left -= k;
+            (k, Tick::Progress)
+        }
+    }
+
+    #[test]
+    fn run_fast_matches_run_via_default_single_step() {
+        let tick_cycles = Simulator::new().run(&mut Countdown(9)).unwrap();
+        let fast_cycles = Simulator::new().run_fast(&mut Countdown(9)).unwrap();
+        assert_eq!(tick_cycles, fast_cycles);
+        assert_eq!(Simulator::new().run_fast(&mut Countdown(0)).unwrap(), 1);
+    }
+
+    #[test]
+    fn run_fast_counts_bulk_strides_exactly() {
+        for stride in [1, 3, 7, 100] {
+            let mut c = BulkCountdown { left: 9, stride };
+            assert_eq!(Simulator::new().run_fast(&mut c).unwrap(), 10);
+        }
+    }
+
+    #[test]
+    fn run_fast_watchdog_matches_run() {
+        let tick_err = Simulator::new()
+            .with_deadlock_window(50)
+            .run(&mut Stuck)
+            .unwrap_err();
+        let fast_err = Simulator::new()
+            .with_deadlock_window(50)
+            .run_fast(&mut Stuck)
+            .unwrap_err();
+        assert_eq!(tick_err, fast_err);
+    }
+
+    #[test]
+    fn run_fast_cycle_limit_caps_bulk_budget() {
+        let mut c = BulkCountdown {
+            left: u64::MAX,
+            stride: u64::MAX,
+        };
+        let err = Simulator::new()
+            .with_cycle_limit(100)
+            .run_fast(&mut c)
+            .unwrap_err();
+        assert_eq!(err, SimError::CycleLimit { limit: 100 });
+    }
+
+    #[test]
+    fn run_fast_progress_before_stall_resets_watchdog() {
+        /// Bulk-advances `burst` progress cycles ending in a stall, over
+        /// and over: the watchdog must see the embedded progress.
+        struct BurstyStall {
+            burst: u64,
+            rounds: u64,
+        }
+        impl Clocked for BurstyStall {
+            fn tick(&mut self, _c: Cycle) -> Tick {
+                unreachable!("bulk path only")
+            }
+        }
+        impl BulkClocked for BurstyStall {
+            fn bulk_tick(&mut self, _cycle: Cycle, _budget: Cycle) -> (Cycle, Tick) {
+                if self.rounds == 0 {
+                    (1, Tick::Done)
+                } else {
+                    self.rounds -= 1;
+                    (self.burst + 1, Tick::Stall)
+                }
+            }
+        }
+        let mut c = BurstyStall {
+            burst: 4,
+            rounds: 1000,
+        };
+        // Window 2 > the 1-cycle stall gap after each burst's progress.
+        let cycles = Simulator::new()
+            .with_deadlock_window(2)
+            .run_fast(&mut c)
+            .unwrap();
+        assert_eq!(cycles, 1000 * 5 + 1);
     }
 }

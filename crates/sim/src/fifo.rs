@@ -113,6 +113,37 @@ impl<T> Fifo<T> {
         }
     }
 
+    /// Fast-path combined push+pop for the streaming pattern "ingest one
+    /// word, dispatch one word on the same edge". Exactly equivalent to
+    /// `push(item)` followed by `pop()` — statistics included — but skips
+    /// the queue when it is empty, the steady state of a rate-matched
+    /// stream.
+    pub fn push_pop(&mut self, item: T) -> Option<T> {
+        if self.items.is_empty() {
+            self.stats.pushes += 1;
+            self.stats.pops += 1;
+            self.stats.max_occupancy = self.stats.max_occupancy.max(1);
+            return Some(item);
+        }
+        self.push(item);
+        self.pop()
+    }
+
+    /// Statistics settlement for a burst of `count` [`Fifo::push_pop`]
+    /// calls on an **empty** FIFO (the steady state of a rate-matched
+    /// stream): each word passes straight through, so occupancy never
+    /// exceeds one and contents are unchanged. The caller keeps the words
+    /// themselves; this only books the push/pop counters.
+    pub fn settle_push_pops(&mut self, count: u64) {
+        debug_assert!(self.items.is_empty(), "burst settlement on non-empty FIFO");
+        if count == 0 {
+            return;
+        }
+        self.stats.pushes += count;
+        self.stats.pops += count;
+        self.stats.max_occupancy = self.stats.max_occupancy.max(1);
+    }
+
     /// Peeks at the head entry without consuming it.
     pub fn peek(&self) -> Option<&T> {
         self.items.front()

@@ -24,7 +24,7 @@ pub mod fpga;
 pub mod stream;
 pub mod trace;
 
-pub use engine::{Clocked, SimError, Simulator};
+pub use engine::{BulkClocked, Clocked, SimError, Simulator};
 pub use fifo::{Fifo, FifoStats};
 pub use stream::{StreamSink, StreamSource};
 pub use trace::{TraceEvent, Tracer};

@@ -87,6 +87,38 @@ impl StreamSource {
     pub fn idle_cycles(&self) -> u64 {
         self.idle_cycles
     }
+
+    /// Fast-path take: consumes the next word without touching the
+    /// per-cycle bandwidth gate.
+    ///
+    /// Bulk consumers ([`crate::engine::BulkClocked`] implementations)
+    /// model their own word-per-cycle timing in closed form, so the
+    /// `issued_this_cycle` bookkeeping that [`StreamSource::take`] /
+    /// [`StreamSource::next_cycle`] maintain is bypassed; the caller
+    /// accounts idle cycles explicitly via
+    /// [`StreamSource::add_idle_cycles`].
+    pub fn take_unmetered(&mut self) -> Option<u64> {
+        let w = self.words.get(self.pos).copied()?;
+        self.pos += 1;
+        Some(w)
+    }
+
+    /// Fast-path bulk take: consumes the next `count` words (one per
+    /// modelled cycle) and returns them as a slice. `count` must not
+    /// exceed [`StreamSource::remaining`].
+    pub fn take_words(&mut self, count: usize) -> &[u64] {
+        assert!(count <= self.remaining(), "bulk take past end of stream");
+        let lo = self.pos;
+        self.pos += count;
+        &self.words[lo..self.pos]
+    }
+
+    /// Fast-path idle accounting: records `cycles` cycles during which
+    /// the source held data but the consumer took nothing. Mirrors what
+    /// [`StreamSource::next_cycle`] accumulates one cycle at a time.
+    pub fn add_idle_cycles(&mut self, cycles: u64) {
+        self.idle_cycles += cycles;
+    }
 }
 
 /// A word sink with unbounded capacity, recording arrival cycles.
@@ -181,6 +213,25 @@ mod tests {
         assert_eq!(s.peek(), Some(7));
         assert_eq!(s.take(), Some(7));
         assert_eq!(s.peek(), None);
+    }
+
+    #[test]
+    fn unmetered_take_ignores_bandwidth_but_not_data() {
+        let mut s = StreamSource::new(vec![1, 2, 3], 1);
+        assert_eq!(s.take_unmetered(), Some(1));
+        // A metered take in the same cycle would refuse; unmetered does not.
+        assert_eq!(s.take_unmetered(), Some(2));
+        assert_eq!(s.take_words(1), &[3]);
+        assert!(s.exhausted());
+        assert_eq!(s.take_unmetered(), None);
+        s.add_idle_cycles(7);
+        assert_eq!(s.idle_cycles(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "bulk take past end of stream")]
+    fn bulk_take_rejects_overrun() {
+        StreamSource::new(vec![1], 1).take_words(2);
     }
 
     #[test]

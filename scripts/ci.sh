@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, build, and the full workspace test suite.
+# Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== rustfmt =="
+cargo fmt --all --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests (release) =="
+cargo test -q --release --workspace
+
+echo "CI gate passed."

@@ -24,7 +24,7 @@ fn build_model(
     classes: usize,
 ) -> QuantMlp {
     let mut rng = StdRng::seed_from_u64(seed);
-    let act_bits: u8 = [1u8, 2, 2, 4][rng.gen_range(0..4)];
+    let act_bits: u8 = [1u8, 2, 2, 4][rng.gen_range(0..4usize)];
     let out_prec = Precision::new(act_bits).unwrap();
 
     let input_activation = if act_bits == 1 {
@@ -56,7 +56,7 @@ fn build_model(
         let wp = if prev_prec.is_binary() {
             Precision::W1
         } else {
-            Precision::new([1u8, 2, 4][rng.gen_range(0..3)]).unwrap()
+            Precision::new([1u8, 2, 4][rng.gen_range(0..3usize)]).unwrap()
         };
         let weights: Vec<i32> = (0..width * prev_width)
             .map(|_| {

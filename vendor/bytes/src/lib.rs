@@ -1,0 +1,176 @@
+#![allow(clippy::all)]
+//! Offline stand-in for `bytes`.
+//!
+//! The container has no registry access, so this crate supplies the
+//! slice of the bytes API the workspace uses: [`BytesMut`] as a
+//! growable buffer with little-endian put accessors, [`Bytes`] as its
+//! frozen form, and the [`Buf`]/[`BufMut`] traits with the advancing
+//! reads the `.npu` container parser relies on. Both buffer types are
+//! plain `Vec<u8>` wrappers — no reference-counted slicing, which the
+//! workspace never uses.
+
+use std::ops::Deref;
+
+/// An immutable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data }
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a byte slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Append-side buffer operations.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, s: &[u8]);
+
+    /// Appends a little-endian u32.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+/// Consume-side buffer operations; reads advance the cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads exactly `dst.len()` bytes. Panics when too few remain,
+    /// matching upstream bytes.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads a little-endian u32.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian u64.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.len(),
+            "buffer underflow: need {} bytes, have {}",
+            dst.len(),
+            self.len()
+        );
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_le_accessors() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_slice(b"NPU!");
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        let frozen = buf.freeze();
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.remaining(), 16);
+        let mut magic = [0u8; 4];
+        cursor.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"NPU!");
+        assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn short_read_panics() {
+        let mut cursor: &[u8] = &[1, 2];
+        let _ = cursor.get_u32_le();
+    }
+}

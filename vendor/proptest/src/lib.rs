@@ -1,0 +1,458 @@
+#![allow(clippy::all)]
+//! Offline stand-in for `proptest`.
+//!
+//! The container has no registry access, so this crate supplies the
+//! slice of the proptest API the workspace uses: the [`Strategy`]
+//! trait over ranges / tuples / [`any`] / [`collection::vec`] /
+//! `prop_map`, plus the `proptest!` / `prop_assert!` family of macros.
+//! Case generation is deterministic (seeded per test name and case
+//! index) and failures are reported without shrinking.
+
+use std::marker::PhantomData;
+
+/// Per-block configuration, set via `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert!` failed; the test should panic.
+    Fail(String),
+    /// A `prop_assume!` filtered the case out; generate another.
+    Reject,
+}
+
+/// The deterministic entropy source behind every strategy
+/// (xoshiro256** seeded through splitmix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    pub fn from_seed(seed: u64) -> TestRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-processes generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// The range impls are macro-generated over every integer width, so
+// some instantiations contain identity casts.
+#[allow(clippy::unnecessary_cast)]
+mod ranges {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    macro_rules! range_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy over empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "strategy over empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! range_float {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy over empty range");
+                    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    self.start + (self.end - self.start) * unit as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "strategy over empty range");
+                    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    lo + (hi - lo) * unit as $t
+                }
+            }
+        )*};
+    }
+    range_float!(f32, f64);
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary {
+    /// Draws from the full domain of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::unnecessary_cast)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The [`any`] strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+/// A strategy over the full domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length bounds accepted by [`vec`]: an exact length or a range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// The [`vec`] strategy.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy over vectors of `element` values with lengths in
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Fails the current case with an assertion message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&($left), &($right));
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `left == right` ({}:{})\n  left: {:?}\n right: {:?}",
+                file!(),
+                line!(),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&($left), &($right));
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{} — left: {:?}, right: {:?} ({}:{})",
+                format!($($fmt)+),
+                __l,
+                __r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Discards the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { .. }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat_param in $strategy:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let __base = $crate::__seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut __case: u32 = 0;
+            let mut __rejects: u32 = 0;
+            while __case < __cfg.cases {
+                let mut __rng = $crate::TestRng::from_seed(
+                    __base ^ ((__case as u64 + __rejects as u64) << 32),
+                );
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $pat = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __case += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                        __rejects += 1;
+                        assert!(
+                            __rejects < 4096,
+                            "proptest: too many prop_assume rejections in {}",
+                            stringify!($name)
+                        );
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!("proptest case {} failed: {}", __case, __msg);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+}
+
+/// Derives a deterministic base seed from a test's full path.
+#[doc(hidden)]
+pub fn __seed_for(name: &str) -> u64 {
+    // FNV-1a.
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in -50i64..50, b in 1u8..=9) {
+            prop_assert!((-50..50).contains(&a));
+            prop_assert!((1..=9).contains(&b));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in collection::vec(any::<u32>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn map_and_tuples_compose(
+            (flag, x) in (any::<bool>(), (0u32..10).prop_map(|v| v * 2)),
+        ) {
+            let y = if flag { x } else { x + 2 };
+            prop_assert!(y % 2 == 0);
+        }
+
+        #[test]
+        fn assume_filters_cases(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+#![allow(clippy::all)]
+//! Offline stand-in for `rayon`.
+//!
+//! The container has no registry access, so this crate supplies the
+//! slice of the rayon API the workspace uses — `par_iter`,
+//! `par_iter_mut`, `par_chunks`, `par_chunks_mut` and the
+//! `zip`/`enumerate`/`map`/`for_each`/`sum`/`collect` adapters — with
+//! real data parallelism: work fans out over `std::thread::scope`
+//! threads, one contiguous block per hardware thread, preserving item
+//! order. There is no work stealing; the blocks are equal-sized, which
+//! matches the regular per-item cost of the matmul rows and simulation
+//! frames this workspace parallelises.
+
+/// A materialised parallel iterator: the items to process plus the
+/// adapters rayon callers chain onto them.
+pub struct Par<I> {
+    items: Vec<I>,
+}
+
+fn run_parallel<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous equal blocks, assigned in order so results concatenate
+    // back into item order.
+    let mut blocks: Vec<Vec<I>> = Vec::with_capacity(workers);
+    let base = n / workers;
+    let extra = n % workers;
+    let mut it = items.into_iter();
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        blocks.push(it.by_ref().take(len).collect());
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = blocks
+            .into_iter()
+            .map(|block| scope.spawn(move || block.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon stand-in worker panicked"))
+            .collect()
+    })
+}
+
+impl<I: Send> Par<I> {
+    /// Pairs items positionally with `other`'s items.
+    pub fn zip<J: Send>(self, other: Par<J>) -> Par<(I, J)> {
+        Par {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Attaches each item's index.
+    pub fn enumerate(self) -> Par<(usize, I)> {
+        Par {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Transforms every item in parallel.
+    pub fn map<O, F>(self, f: F) -> Par<O>
+    where
+        O: Send,
+        F: Fn(I) -> O + Sync,
+    {
+        Par {
+            items: run_parallel(self.items, f),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        run_parallel(self.items, f);
+    }
+
+    /// Sums the items.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    /// Collects the items in order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I>,
+    {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Shared-reference parallel views over slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> Par<&T>;
+
+    /// Parallel iterator over non-overlapping `size`-element chunks.
+    fn par_chunks(&self, size: usize) -> Par<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Par<&T> {
+        Par {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, size: usize) -> Par<&[T]> {
+        Par {
+            items: self.chunks(size).collect(),
+        }
+    }
+}
+
+/// Mutable parallel views over slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> Par<&mut T>;
+
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> Par<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> Par<&mut T> {
+        Par {
+            items: self.iter_mut().collect(),
+        }
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> Par<&mut [T]> {
+        Par {
+            items: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+/// Owning parallel iteration (ranges, vectors).
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Par<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> Par<T> {
+        Par { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> Par<usize> {
+        Par {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Everything a rayon caller needs in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, Par, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunked_mutation_matches_sequential() {
+        let src: Vec<f32> = (0..1024).map(|i| i as f32).collect();
+        let mut out = vec![0.0f32; 1024];
+        out.par_chunks_mut(64)
+            .zip(src.par_chunks(64))
+            .for_each(|(o, s)| {
+                for (a, b) in o.iter_mut().zip(s) {
+                    *a = b + 1.0;
+                }
+            });
+        assert!(out.iter().zip(&src).all(|(a, b)| *a == b + 1.0));
+    }
+
+    #[test]
+    fn enumerate_and_sum_work() {
+        let v = vec![1usize; 257];
+        let total: usize = v.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 257);
+        let mut out = vec![0usize; 33];
+        out.par_chunks_mut(1).enumerate().for_each(|(i, c)| {
+            c[0] = i;
+        });
+        assert_eq!(out, (0..33).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter_collects() {
+        let squares: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[99], 99 * 99);
+    }
+}

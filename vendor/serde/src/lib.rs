@@ -1,0 +1,16 @@
+#![allow(clippy::all)]
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names in both the trait and
+//! macro namespaces so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. Actual JSON
+//! encoding in this workspace goes through the explicit `ToJson` /
+//! `FromJson` traits in the vendored `serde_json`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no behaviour attached).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no behaviour attached).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,24 @@
+#![allow(clippy::all)]
+//! Offline stand-in for `serde_derive`.
+//!
+//! This container has no crates.io access, so the real serde stack is
+//! unavailable. The reproduction only ever serialises a handful of types
+//! through the hand-written codecs in `netpu-json`-style modules, so the
+//! `#[derive(Serialize, Deserialize)]` annotations scattered through the
+//! workspace don't need to generate any code — they expand to nothing
+//! and exist purely so the source stays drop-in compatible with the real
+//! serde when a registry is available.
+
+use proc_macro::TokenStream;
+
+/// Accepts the same input as serde's `Serialize` derive and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the same input as serde's `Deserialize` derive and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

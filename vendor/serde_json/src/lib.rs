@@ -1,0 +1,192 @@
+#![allow(clippy::all)]
+//! Offline stand-in for `serde_json`.
+//!
+//! The container has no registry access, so this crate supplies the
+//! slice of the serde_json API the workspace actually uses: the
+//! [`Value`] tree, the [`json!`] macro, a strict parser, compact and
+//! pretty printers, and explicit [`ToJson`] / [`FromJson`] traits in
+//! place of serde's derived ones. Types that need persistence (the nn
+//! model files, the experiment records) implement the traits by hand.
+
+mod de;
+mod macros;
+mod ser;
+mod value;
+
+pub use de::{from_slice, from_str};
+pub use ser::{to_string, to_string_pretty, to_vec, to_vec_pretty};
+pub use value::{Map, Number, Value};
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error carrying `msg`.
+    pub fn msg(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Explicit serialization to a [`Value`] — the stand-in for a derived
+/// `serde::Serialize`.
+pub trait ToJson {
+    /// Converts `self` into a JSON value tree.
+    fn to_json(&self) -> Value;
+}
+
+/// Explicit deserialization from a [`Value`] — the stand-in for a
+/// derived `serde::Deserialize`.
+pub trait FromJson: Sized {
+    /// Reconstructs `Self` from a JSON value tree.
+    fn from_json(v: &Value) -> Result<Self, Error>;
+}
+
+/// Converts any encodable value into a [`Value`].
+pub fn to_value<T: ToJson>(v: &T) -> Value {
+    v.to_json()
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Value) -> Result<String, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::msg("expected string"))
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Value) -> Result<bool, Error> {
+        v.as_bool().ok_or_else(|| Error::msg("expected bool"))
+    }
+}
+
+macro_rules! int_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::from(*self)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Result<$t, Error> {
+                v.as_i64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| Error::msg("expected integer"))
+            }
+        }
+    )*};
+}
+int_json!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(v: &Value) -> Result<u64, Error> {
+        v.as_u64().ok_or_else(|| Error::msg("expected u64"))
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Value) -> Result<f64, Error> {
+        v.as_f64().ok_or_else(|| Error::msg("expected number"))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::from(f64::from(*self))
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Value) -> Result<f32, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::msg("expected number"))
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Value) -> Result<Vec<T>, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}

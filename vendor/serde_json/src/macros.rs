@@ -1,0 +1,62 @@
+//! The `json!` literal macro (a compact TT-muncher in the spirit of
+//! serde_json's, covering the literal shapes this workspace writes).
+
+/// Builds a [`crate::Value`] from a JSON-like literal.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::json_array!([] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json_object!(() $($tt)*) };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Internal: accumulates array elements.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    // Finished.
+    ([ $($done:expr),* $(,)? ]) => { $crate::Value::Array(vec![ $($done),* ]) };
+    // Next element is a nested container or literal; munch up to the comma.
+    ([ $($done:expr),* ] $next:tt , $($rest:tt)*) => {
+        $crate::json_array!([ $($done,)* $crate::json!($next) ] $($rest)*)
+    };
+    ([ $($done:expr),* ] $next:tt) => {
+        $crate::json_array!([ $($done,)* $crate::json!($next) ])
+    };
+    // Expression elements that span multiple tokens.
+    ([ $($done:expr),* ] $next:expr , $($rest:tt)*) => {
+        $crate::json_array!([ $($done,)* $crate::Value::from($next) ] $($rest)*)
+    };
+    ([ $($done:expr),* ] $next:expr) => {
+        $crate::json_array!([ $($done,)* $crate::Value::from($next) ])
+    };
+}
+
+/// Internal: accumulates object entries as `key => value` pairs.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    // Finished.
+    (( $($key:expr => $val:expr),* $(,)? )) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert(::std::string::String::from($key), $val); )*
+        $crate::Value::Object(map)
+    }};
+    // Entry whose value is a nested container / keyword / single token.
+    (( $($done:tt)* ) $key:literal : $val:tt , $($rest:tt)*) => {
+        $crate::json_object!(( $($done)* $key => $crate::json!($val), ) $($rest)*)
+    };
+    (( $($done:tt)* ) $key:literal : $val:tt) => {
+        $crate::json_object!(( $($done)* $key => $crate::json!($val) ))
+    };
+    // Entry whose value is a longer expression: munch to the next comma.
+    (( $($done:tt)* ) $key:literal : $val:expr , $($rest:tt)*) => {
+        $crate::json_object!(( $($done)* $key => $crate::Value::from($val), ) $($rest)*)
+    };
+    (( $($done:tt)* ) $key:literal : $val:expr) => {
+        $crate::json_object!(( $($done)* $key => $crate::Value::from($val) ))
+    };
+}

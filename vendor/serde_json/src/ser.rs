@@ -1,0 +1,113 @@
+//! Compact and pretty JSON printers.
+
+use crate::value::Value;
+use crate::{Error, ToJson};
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(a) => {
+            out.push('[');
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(k, out);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(a) if !a.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                escape_into(k, out);
+                out.push_str(": ");
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+/// Serialises compactly.
+pub fn to_string<T: ToJson>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&v.to_json(), &mut out);
+    Ok(out)
+}
+
+/// Serialises with two-space indentation.
+pub fn to_string_pretty<T: ToJson>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&v.to_json(), 0, &mut out);
+    Ok(out)
+}
+
+/// Serialises compactly to bytes.
+pub fn to_vec<T: ToJson>(v: &T) -> Result<Vec<u8>, Error> {
+    to_string(v).map(String::into_bytes)
+}
+
+/// Serialises prettily to bytes.
+pub fn to_vec_pretty<T: ToJson>(v: &T) -> Result<Vec<u8>, Error> {
+    to_string_pretty(v).map(String::into_bytes)
+}
