@@ -72,7 +72,7 @@ fn main() {
 
     // Batched inference: per-frame full simulation (sequential) vs the
     // memoized, rayon-parallel `infer_batch`.
-    let driver = Driver::paper_setup();
+    let driver = Driver::builder().build();
     let frames: Vec<Vec<u8>> = (0..16u8)
         .map(|f| {
             (0..784)

@@ -21,7 +21,7 @@ use std::time::Instant;
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let (train_ds, test_ds) = dataset::standard_splits(3_000, 500, 2026);
-    let driver = Driver::paper_setup();
+    let driver = Driver::builder().build();
     let mut record = ExperimentRecord::new("accuracy", "Six-model accuracy through one instance");
     let mut table = TableWriter::new(&[
         "Model",

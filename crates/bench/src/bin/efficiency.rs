@@ -10,7 +10,7 @@ use netpu_nn::zoo::ZooModel;
 use netpu_runtime::{Cluster, Driver, PowerParams};
 
 fn main() {
-    let driver = Driver::paper_setup();
+    let driver = Driver::builder().build();
     let mut record = ExperimentRecord::new("efficiency", "Energy per inference and scaling");
 
     println!("Energy per inference (NetPU-M measured, FINN from published latency):\n");

@@ -199,7 +199,7 @@ fn cmd_bench(args: &HashMap<String, String>) -> Result<(), String> {
         .get("frames")
         .map_or(Ok(16), |v| v.parse())
         .map_err(|e| format!("--frames: {e}"))?;
-    let driver = netpu_runtime::Driver::paper_setup();
+    let driver = netpu_runtime::Driver::builder().build();
     let inputs: Vec<Vec<u8>> = dataset::generate(frames, 1, &dataset::GeneratorConfig::default())
         .examples
         .iter()

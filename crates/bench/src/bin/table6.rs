@@ -18,7 +18,7 @@ fn measure(driver: &Driver, model: ZooModel, bn: BnMode) -> f64 {
 }
 
 fn main() {
-    let driver = Driver::paper_setup();
+    let driver = Driver::builder().build();
     let mut record = ExperimentRecord::new("table6", "NetPU-M vs FINN comparison");
 
     println!("Table VI — NetPU-M (Ultra96-V2, 100 MHz, measured) vs FINN (Zynq-7000, 200 MHz)\n");

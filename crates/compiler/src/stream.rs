@@ -112,7 +112,15 @@ impl std::fmt::Display for StreamError {
     }
 }
 
-impl std::error::Error for StreamError {}
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::InvalidModel(e) => Some(e),
+            StreamError::BadSetting(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Packs 32-bit parameter words two per stream word (low half first),
 /// padding the final word with zeros.

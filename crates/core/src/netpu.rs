@@ -80,7 +80,15 @@ impl std::fmt::Display for NetPuError {
     }
 }
 
-impl std::error::Error for NetPuError {}
+impl std::error::Error for NetPuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetPuError::Config(e) => Some(e),
+            NetPuError::Stream(e) => Some(e),
+            NetPuError::Sim(e) => Some(e),
+        }
+    }
+}
 
 /// One step of the §III.B.3 section walk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -192,6 +200,12 @@ impl NetPu {
     /// The event trace.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Takes the event trace out of the instance, leaving a disabled
+    /// tracer behind — the hand-off for per-run trace hooks.
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::take(&mut self.tracer)
     }
 
     fn fail(&mut self, e: StreamError) -> Tick {
@@ -612,6 +626,26 @@ pub fn run_inference_fast(cfg: &HwConfig, words: Vec<u64>) -> Result<InferenceRu
     let stream = StreamSource::new(words, 1);
     let mut netpu = NetPu::new(*cfg, stream)?;
     let cycles = run_to_completion_fast(&mut netpu)?;
+    Ok(finish_run(&netpu, cycles, cfg))
+}
+
+/// [`run_inference_fast`] with a caller-supplied per-run [`Tracer`].
+///
+/// The tracer is moved into the instance for the run and handed back
+/// through the `&mut` slot afterwards — *including on errors*, so a
+/// serving layer can attach a bounded trace to a request, stream it,
+/// and inspect the datapath events of a failed attempt. Pass
+/// `Tracer::disabled()` for a zero-cost no-op hook.
+pub fn run_inference_hooked(
+    cfg: &HwConfig,
+    words: Vec<u64>,
+    tracer: &mut Tracer,
+) -> Result<InferenceRun, NetPuError> {
+    let stream = StreamSource::new(words, 1);
+    let mut netpu = NetPu::new(*cfg, stream)?.with_tracer(std::mem::take(tracer));
+    let outcome = run_to_completion_fast(&mut netpu);
+    *tracer = netpu.take_tracer();
+    let cycles = outcome?;
     Ok(finish_run(&netpu, cycles, cfg))
 }
 

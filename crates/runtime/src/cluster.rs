@@ -32,6 +32,44 @@ pub struct ClusterThroughput {
     pub fps: f64,
 }
 
+impl ClusterThroughput {
+    /// Builds the analysis from raw timings.
+    ///
+    /// Rejects non-positive latencies with
+    /// [`DriverError::Degenerate`] instead of reporting an infinite
+    /// compute bound — a zero-latency "run" is a modelling bug
+    /// upstream, not free throughput. A zero transfer time is valid
+    /// (ideal channel): the transfer bound is infinite and the cluster
+    /// is compute-bound at every board count.
+    pub fn from_parts(
+        boards: usize,
+        latency_us: f64,
+        transfer_us: f64,
+    ) -> Result<ClusterThroughput, DriverError> {
+        if !latency_us.is_finite()
+            || latency_us <= 0.0
+            || !transfer_us.is_finite()
+            || transfer_us < 0.0
+        {
+            return Err(DriverError::Degenerate { latency_us });
+        }
+        let compute_bound = boards as f64 * 1e6 / latency_us;
+        let transfer_bound = if transfer_us > 0.0 {
+            1e6 / transfer_us
+        } else {
+            f64::INFINITY
+        };
+        Ok(ClusterThroughput {
+            boards,
+            latency_us,
+            transfer_us,
+            compute_bound_fps: compute_bound,
+            transfer_bound_fps: transfer_bound,
+            fps: compute_bound.min(transfer_bound),
+        })
+    }
+}
+
 /// A cluster of identical NetPU-M boards behind one host DMA engine.
 #[derive(Clone, Debug)]
 pub struct Cluster {
@@ -54,27 +92,11 @@ impl Cluster {
         let loadable = compile(model, &pixels).map_err(DriverError::Compile)?;
         let run = self.driver.run_loadable(&loadable)?;
         // DMA occupancy per inference: setup + the stream itself.
-        let words_per_us = self.driver.dma.words_per_cycle * self.driver.hw.clock_mhz;
-        let transfer_us = self.driver.dma.setup_us
-            + if words_per_us.is_finite() {
-                loadable.len() as f64 / words_per_us
-            } else {
-                0.0
-            };
-        let compute_bound = self.boards as f64 * 1e6 / run.measured_latency_us;
-        let transfer_bound = if transfer_us > 0.0 {
-            1e6 / transfer_us
-        } else {
-            f64::INFINITY
-        };
-        Ok(ClusterThroughput {
-            boards: self.boards,
-            latency_us: run.measured_latency_us,
-            transfer_us,
-            compute_bound_fps: compute_bound,
-            transfer_bound_fps: transfer_bound,
-            fps: compute_bound.min(transfer_bound),
-        })
+        let transfer_us = self
+            .driver
+            .dma
+            .occupancy_us(loadable.len(), self.driver.hw.clock_mhz);
+        ClusterThroughput::from_parts(self.boards, run.measured_latency_us, transfer_us)
     }
 
     /// Design-space sweep: throughput of every board count
@@ -127,7 +149,7 @@ mod tests {
 
     #[test]
     fn one_board_is_latency_bound() {
-        let c = Cluster::new(1, Driver::paper_setup());
+        let c = Cluster::new(1, Driver::builder().build());
         let t = c.throughput(&model()).unwrap();
         assert_eq!(t.boards, 1);
         assert!((t.fps - 1e6 / t.latency_us).abs() < 1e-6);
@@ -136,7 +158,7 @@ mod tests {
 
     #[test]
     fn scaling_saturates_at_the_shared_dma() {
-        let driver = Driver::paper_setup();
+        let driver = Driver::builder().build();
         let mut last_fps = 0.0;
         let mut saturated = false;
         for boards in 1..=8 {
@@ -159,7 +181,7 @@ mod tests {
     fn larger_models_are_more_transfer_bound() {
         // LFC streams ~8x the words of SFC: its DMA occupancy fraction
         // is higher, so fewer boards are useful.
-        let driver = Driver::paper_setup();
+        let driver = Driver::builder().build();
         let sfc = Cluster::new(1, driver.clone())
             .useful_boards(&model())
             .unwrap();
@@ -172,7 +194,7 @@ mod tests {
 
     #[test]
     fn scaling_sweep_matches_individual_throughputs() {
-        let driver = Driver::paper_setup();
+        let driver = Driver::builder().build();
         let sweep = Cluster::scaling_sweep(&driver, &model(), 6).unwrap();
         assert_eq!(sweep.len(), 6);
         for (i, t) in sweep.iter().enumerate() {
@@ -186,9 +208,30 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_latencies_are_rejected() {
+        for latency in [0.0, -1.0, f64::NAN] {
+            match ClusterThroughput::from_parts(4, latency, 10.0) {
+                Err(DriverError::Degenerate { latency_us }) => {
+                    assert!(latency_us.is_nan() || latency_us == latency)
+                }
+                other => panic!("expected Degenerate, got {other:?}"),
+            }
+        }
+        // Infinite / NaN transfer times are modelling bugs too.
+        assert!(ClusterThroughput::from_parts(4, 10.0, f64::INFINITY).is_err());
+        // A zero transfer time (ideal channel) is compute-bound.
+        let t = ClusterThroughput::from_parts(4, 10.0, 0.0).unwrap();
+        assert_eq!(t.fps, t.compute_bound_fps);
+        assert_eq!(t.transfer_bound_fps, f64::INFINITY);
+        // And the normal case agrees with the hand formula.
+        let t = ClusterThroughput::from_parts(2, 50.0, 20.0).unwrap();
+        assert!((t.fps - 40_000.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn power_scales_linearly_with_boards() {
-        let c1 = Cluster::new(1, Driver::paper_setup());
-        let c4 = Cluster::new(4, Driver::paper_setup());
+        let c1 = Cluster::new(1, Driver::builder().build());
+        let c4 = Cluster::new(4, Driver::builder().build());
         assert!((c4.power_w() / c1.power_w() - 4.0).abs() < 1e-9);
     }
 }

@@ -44,6 +44,20 @@ impl DmaModel {
         }
     }
 
+    /// Time the channel itself is occupied by one transfer of
+    /// `stream_words` words: the per-transfer setup plus the
+    /// bandwidth-bound streaming time. This is the *shared-resource*
+    /// cost a multi-board host pays per inference — while one board's
+    /// loadable streams, no other board can be fed.
+    pub fn occupancy_us(&self, stream_words: usize, clock_mhz: f64) -> f64 {
+        let streaming = if self.words_per_cycle.is_finite() {
+            stream_words as f64 / self.words_per_cycle / clock_mhz
+        } else {
+            0.0
+        };
+        self.setup_us + streaming
+    }
+
     /// Wall-clock latency of one inference given the accelerator's
     /// simulated latency and the stream length.
     ///
@@ -92,6 +106,15 @@ mod tests {
         // dominating a 100 µs pipeline.
         let m = dma.measured_latency_us(100.0, 10_000, 100.0);
         assert!((m - 401.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_counts_setup_and_streaming() {
+        let dma = DmaModel::zynq_uls();
+        // 1,000 words at 1 word/cycle and 100 MHz → 10 µs + 5.9 µs setup.
+        assert!((dma.occupancy_us(1_000, 100.0) - 15.9).abs() < 1e-9);
+        // An ideal channel is occupied only conceptually: zero time.
+        assert_eq!(DmaModel::ideal().occupancy_us(1_000_000, 100.0), 0.0);
     }
 
     #[test]

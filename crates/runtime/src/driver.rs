@@ -5,16 +5,26 @@
 //! once, pushes it through DMA, and reads one result word back. This
 //! driver wraps that flow and attaches the DMA and power models so
 //! callers get Table VI-style *measured* numbers.
+//!
+//! All inference flows funnel through one entry point,
+//! [`Driver::run`], which takes an [`InferRequest`] (single frame,
+//! memoized batch, single-transfer burst, or a pre-compiled loadable)
+//! and returns an [`InferResponse`]. The historical `infer` /
+//! `infer_batch` / `infer_burst` / `run_loadable` methods remain as
+//! thin wrappers over it. `InferRequest` is also the unit of work the
+//! `netpu-serve` multi-board scheduler enqueues.
 
 use crate::dma::DmaModel;
 use crate::power::PowerParams;
 use netpu_compiler::{compile, Loadable, StreamError};
-use netpu_core::netpu::{run_inference_fast, InferenceRun, NetPuError};
+use netpu_core::netpu::{run_inference_fast, run_inference_hooked, InferenceRun, NetPuError};
 use netpu_core::resources::netpu_utilization;
 use netpu_core::HwConfig;
 use netpu_nn::{reference, QuantMlp};
+use netpu_sim::{TraceEvent, Tracer};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One measured inference.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -40,12 +50,39 @@ pub struct MeasuredRun {
 }
 
 /// Driver errors.
+///
+/// Marked `#[non_exhaustive]`: the serving layer grows variants
+/// (admission, deadlines) without breaking downstream matches. Every
+/// wrapped error is reachable through [`std::error::Error::source`],
+/// so callers can walk `DriverError` → [`NetPuError`] →
+/// [`StreamError`]/`SimError` without matching on shapes.
 #[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
 pub enum DriverError {
     /// Compilation of the model/input failed.
     Compile(StreamError),
     /// The accelerator rejected or failed on the stream.
     Accelerator(NetPuError),
+    /// A run reported a non-positive latency; throughput analysis over
+    /// it would divide by zero (degenerate zero-cycle or empty-model
+    /// loadables).
+    Degenerate {
+        /// The offending latency, µs.
+        latency_us: f64,
+    },
+    /// The serving layer dropped the request without completing it
+    /// (queue closed, server shut down).
+    Queue {
+        /// What happened to the request.
+        reason: String,
+    },
+    /// The per-request deadline elapsed before the result was ready.
+    Timeout {
+        /// The configured deadline, µs.
+        deadline_us: f64,
+        /// When the result would actually have been ready, µs.
+        elapsed_us: f64,
+    },
 }
 
 impl std::fmt::Display for DriverError {
@@ -53,18 +90,280 @@ impl std::fmt::Display for DriverError {
         match self {
             DriverError::Compile(e) => write!(f, "compile: {e}"),
             DriverError::Accelerator(e) => write!(f, "accelerator: {e}"),
+            DriverError::Degenerate { latency_us } => {
+                write!(f, "degenerate run: latency {latency_us} us")
+            }
+            DriverError::Queue { reason } => write!(f, "queue: {reason}"),
+            DriverError::Timeout {
+                deadline_us,
+                elapsed_us,
+            } => write!(
+                f,
+                "deadline {deadline_us} us exceeded: ready at {elapsed_us:.1} us"
+            ),
         }
     }
 }
 
-impl std::error::Error for DriverError {}
+impl std::error::Error for DriverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DriverError::Compile(e) => Some(e),
+            DriverError::Accelerator(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// How an [`InferRequest`] refers to its model: borrowed for zero-copy
+/// single-threaded use, or shared behind an [`Arc`] so the same model
+/// can back many queued requests across the serving layer's worker
+/// threads without cloning weights.
+#[derive(Clone, Debug)]
+pub enum ModelSource<'m> {
+    /// Borrowed from the caller.
+    Borrowed(&'m QuantMlp),
+    /// Shared across threads.
+    Shared(Arc<QuantMlp>),
+}
+
+impl std::ops::Deref for ModelSource<'_> {
+    type Target = QuantMlp;
+
+    fn deref(&self) -> &QuantMlp {
+        match self {
+            ModelSource::Borrowed(m) => m,
+            ModelSource::Shared(m) => m,
+        }
+    }
+}
+
+impl<'m> From<&'m QuantMlp> for ModelSource<'m> {
+    fn from(m: &'m QuantMlp) -> ModelSource<'m> {
+        ModelSource::Borrowed(m)
+    }
+}
+
+impl From<Arc<QuantMlp>> for ModelSource<'static> {
+    fn from(m: Arc<QuantMlp>) -> ModelSource<'static> {
+        ModelSource::Shared(m)
+    }
+}
+
+impl From<QuantMlp> for ModelSource<'static> {
+    fn from(m: QuantMlp) -> ModelSource<'static> {
+        ModelSource::Shared(Arc::new(m))
+    }
+}
+
+/// Per-request options. All default to "off"; the serving layer fills
+/// unset fields from its own configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RequestOptions {
+    /// Deadline on the request's end-to-end (virtual) latency, µs.
+    pub deadline_us: Option<f64>,
+    /// Retry budget on transient stream faults (serving layer only).
+    pub retries: Option<u32>,
+    /// Attach a bounded event trace of this many events to the run.
+    pub trace_capacity: Option<usize>,
+}
+
+/// What an [`InferRequest`] asks the accelerator to do.
+#[derive(Clone, Debug)]
+pub enum InferPayload<'m> {
+    /// One frame: compile model + input, stream, read one result.
+    Single {
+        /// The model to run.
+        model: ModelSource<'m>,
+        /// One input frame.
+        pixels: Vec<u8>,
+    },
+    /// Many frames of one model, one DMA transfer per frame. The cycle
+    /// model runs once (latency is input-independent for a fixed
+    /// model) and the numeric datapath fans out across worker threads.
+    Batch {
+        /// The model to run.
+        model: ModelSource<'m>,
+        /// The input frames.
+        inputs: Vec<Vec<u8>>,
+    },
+    /// Many frames pre-packaged into one stream behind a single DMA
+    /// setup (§III.B.3 bursting).
+    Burst {
+        /// The model to run.
+        model: ModelSource<'m>,
+        /// The input frames.
+        inputs: Vec<Vec<u8>>,
+    },
+    /// A pre-compiled loadable, streamed as-is.
+    Loadable(Loadable),
+}
+
+/// One unit of inference work: a payload plus options. This is the
+/// request type [`Driver::run`] executes and the `netpu-serve` server
+/// enqueues.
+#[derive(Clone, Debug)]
+pub struct InferRequest<'m> {
+    /// What to run.
+    pub payload: InferPayload<'m>,
+    /// How to run it.
+    pub options: RequestOptions,
+}
+
+impl<'m> InferRequest<'m> {
+    /// A single-frame request.
+    pub fn single(model: impl Into<ModelSource<'m>>, pixels: Vec<u8>) -> InferRequest<'m> {
+        InferRequest {
+            payload: InferPayload::Single {
+                model: model.into(),
+                pixels,
+            },
+            options: RequestOptions::default(),
+        }
+    }
+
+    /// A memoized multi-frame batch request.
+    pub fn batch(model: impl Into<ModelSource<'m>>, inputs: Vec<Vec<u8>>) -> InferRequest<'m> {
+        InferRequest {
+            payload: InferPayload::Batch {
+                model: model.into(),
+                inputs,
+            },
+            options: RequestOptions::default(),
+        }
+    }
+
+    /// A single-transfer burst request.
+    pub fn burst(model: impl Into<ModelSource<'m>>, inputs: Vec<Vec<u8>>) -> InferRequest<'m> {
+        InferRequest {
+            payload: InferPayload::Burst {
+                model: model.into(),
+                inputs,
+            },
+            options: RequestOptions::default(),
+        }
+    }
+
+    /// A request over a pre-compiled loadable.
+    pub fn loadable(loadable: Loadable) -> InferRequest<'static> {
+        InferRequest {
+            payload: InferPayload::Loadable(loadable),
+            options: RequestOptions::default(),
+        }
+    }
+
+    /// Sets a deadline on the request's end-to-end latency.
+    pub fn with_deadline_us(mut self, deadline_us: f64) -> InferRequest<'m> {
+        self.options.deadline_us = Some(deadline_us);
+        self
+    }
+
+    /// Sets the retry budget for transient stream faults.
+    pub fn with_retries(mut self, retries: u32) -> InferRequest<'m> {
+        self.options.retries = Some(retries);
+        self
+    }
+
+    /// Attaches a bounded per-run event trace.
+    pub fn with_trace(mut self, capacity: usize) -> InferRequest<'m> {
+        self.options.trace_capacity = Some(capacity);
+        self
+    }
+}
+
+/// The result of one [`InferRequest`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct InferResponse {
+    /// One measured run per frame, in request order.
+    pub runs: Vec<MeasuredRun>,
+    /// Sustained rate for burst requests (one DMA setup amortized over
+    /// the whole burst); `None` for other payloads.
+    pub burst_fps: Option<f64>,
+    /// Number of separate DMA transfers the payload needed (1 for
+    /// single/loadable/burst, one per frame for batch). Together with
+    /// the per-run `stream_words` this determines how long the request
+    /// occupies a *shared* host DMA engine.
+    pub dma_transfers: usize,
+    /// Datapath events when the request asked for a trace.
+    pub trace: Option<Vec<TraceEvent>>,
+}
+
+impl InferResponse {
+    /// Predicted classes, one per frame.
+    pub fn classes(&self) -> Vec<usize> {
+        self.runs.iter().map(|r| r.class).collect()
+    }
+
+    /// Total measured latency over all frames — the time one board is
+    /// occupied serving the request.
+    pub fn total_latency_us(&self) -> f64 {
+        self.runs.iter().map(|r| r.measured_latency_us).sum()
+    }
+
+    /// Total 64-bit words streamed over all frames.
+    pub fn total_stream_words(&self) -> usize {
+        self.runs.iter().map(|r| r.stream_words).sum()
+    }
+
+    /// The first (or only) run.
+    pub fn first(&self) -> Option<&MeasuredRun> {
+        self.runs.first()
+    }
+}
+
+/// Builds a [`Driver`] from parts; unset parts default to the paper's
+/// measurement setup (Table V instance, Zynq UltraScale+ PS DMA,
+/// Ultra96-V2 power coefficients).
+///
+/// ```
+/// use netpu_runtime::{DmaModel, Driver};
+/// let driver = Driver::builder().dma(DmaModel::ideal()).build();
+/// assert_eq!(driver.dma, DmaModel::ideal());
+/// // Unset parts keep the paper defaults.
+/// assert_eq!(driver.hw.clock_mhz, 100.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DriverBuilder {
+    hw: HwConfig,
+    dma: DmaModel,
+    power: PowerParams,
+}
+
+impl DriverBuilder {
+    /// Sets the accelerator instance configuration.
+    pub fn hw(mut self, hw: HwConfig) -> DriverBuilder {
+        self.hw = hw;
+        self
+    }
+
+    /// Sets the DMA channel model.
+    pub fn dma(mut self, dma: DmaModel) -> DriverBuilder {
+        self.dma = dma;
+        self
+    }
+
+    /// Sets the board power coefficients.
+    pub fn power(mut self, power: PowerParams) -> DriverBuilder {
+        self.power = power;
+        self
+    }
+
+    /// Assembles the driver.
+    pub fn build(self) -> Driver {
+        Driver {
+            hw: self.hw,
+            dma: self.dma,
+            power: self.power,
+        }
+    }
+}
 
 /// Host driver bundling the accelerator, DMA, and power models.
 ///
 /// ```
 /// use netpu_runtime::Driver;
 /// use netpu_nn::{export::BnMode, zoo::ZooModel};
-/// let driver = Driver::paper_setup();
+/// let driver = Driver::builder().build();
 /// let model = ZooModel::TfcW1A1.build_untrained(1, BnMode::Folded).unwrap();
 /// let run = driver.infer(&model, &vec![0u8; 784]).unwrap();
 /// // Measured latency = simulated latency + the ~5.9 µs DMA/PS setup.
@@ -81,43 +380,71 @@ pub struct Driver {
     pub power: PowerParams,
 }
 
+impl Default for Driver {
+    fn default() -> Driver {
+        Driver::builder().build()
+    }
+}
+
 impl Driver {
-    /// The paper's measurement setup: the Table V instance on an
-    /// Ultra96-V2 behind the Zynq UltraScale+ PS DMA.
-    pub fn paper_setup() -> Driver {
-        Driver {
+    /// Starts a [`DriverBuilder`] preset to the paper's measurement
+    /// setup: the Table V instance on an Ultra96-V2 behind the Zynq
+    /// UltraScale+ PS DMA.
+    pub fn builder() -> DriverBuilder {
+        DriverBuilder {
             hw: HwConfig::paper_instance(),
             dma: DmaModel::zynq_uls(),
             power: PowerParams::ultra96(),
         }
     }
 
+    /// The paper's measurement setup.
+    #[deprecated(note = "use `Driver::builder().build()` (optionally overriding hw/dma/power)")]
+    pub fn paper_setup() -> Driver {
+        Driver::builder().build()
+    }
+
+    /// Runs one inference request — the single entry point all the
+    /// convenience wrappers and the `netpu-serve` scheduler funnel
+    /// through.
+    pub fn run(&self, req: InferRequest<'_>) -> Result<InferResponse, DriverError> {
+        let trace = req.options.trace_capacity;
+        match req.payload {
+            InferPayload::Single { model, pixels } => {
+                let loadable = compile(&model, &pixels).map_err(DriverError::Compile)?;
+                let (run, trace) = self.run_core(&loadable, trace)?;
+                Ok(InferResponse {
+                    runs: vec![run],
+                    burst_fps: None,
+                    dma_transfers: 1,
+                    trace,
+                })
+            }
+            InferPayload::Loadable(loadable) => {
+                let (run, trace) = self.run_core(&loadable, trace)?;
+                Ok(InferResponse {
+                    runs: vec![run],
+                    burst_fps: None,
+                    dma_transfers: 1,
+                    trace,
+                })
+            }
+            InferPayload::Batch { model, inputs } => self.run_batch(&model, &inputs, trace),
+            InferPayload::Burst { model, inputs } => self.run_burst(&model, &inputs, trace),
+        }
+    }
+
     /// Compiles and runs one inference.
     pub fn infer(&self, model: &QuantMlp, pixels: &[u8]) -> Result<MeasuredRun, DriverError> {
-        let loadable = compile(model, pixels).map_err(DriverError::Compile)?;
-        self.run_loadable(&loadable)
+        let resp = self.run(InferRequest::single(model, pixels.to_vec()))?;
+        Ok(resp.runs.into_iter().next().expect("single run"))
     }
 
     /// Runs a pre-compiled loadable (on the cycle-exact fast path; the
     /// `fast_path` differential suite pins it to the tick path).
     pub fn run_loadable(&self, loadable: &Loadable) -> Result<MeasuredRun, DriverError> {
-        let run: InferenceRun = run_inference_fast(&self.hw, loadable.words.clone())
-            .map_err(DriverError::Accelerator)?;
-        let measured =
-            self.dma
-                .measured_latency_us(run.latency_us, loadable.len(), self.hw.clock_mhz);
-        let util = netpu_utilization(&self.hw);
-        let power = self.power.wall_power_w(&util, self.hw.clock_mhz);
-        Ok(MeasuredRun {
-            class: run.class,
-            sim_latency_us: run.latency_us,
-            measured_latency_us: measured,
-            power_w: power,
-            energy_uj: power * measured,
-            stream_words: loadable.len(),
-            cycles: run.cycles,
-            probabilities: run.probabilities,
-        })
+        let (run, _) = self.run_core(loadable, None)?;
+        Ok(run)
     }
 
     /// Streams a pre-packaged burst of inferences through one DMA
@@ -128,20 +455,9 @@ impl Driver {
         model: &QuantMlp,
         inputs: &[Vec<u8>],
     ) -> Result<(Vec<usize>, f64), DriverError> {
-        if inputs.is_empty() {
-            return Ok((Vec::new(), 0.0));
-        }
-        let words =
-            netpu_compiler::batch_stream(model, inputs, netpu_compiler::PackingMode::Lanes8)
-                .map_err(DriverError::Compile)?;
-        let stream = netpu_sim::StreamSource::new(words, 1);
-        let mut netpu =
-            netpu_core::NetPu::new(self.hw, stream).map_err(DriverError::Accelerator)?;
-        let cycles = netpu_core::netpu::run_to_completion_fast(&mut netpu)
-            .map_err(DriverError::Accelerator)?;
-        let classes = netpu.results().iter().map(|&(c, _, _)| c).collect();
-        let total_us = self.dma.setup_us + netpu_sim::cycles_to_us(cycles, self.hw.clock_mhz);
-        Ok((classes, inputs.len() as f64 * 1e6 / total_us))
+        let resp = self.run(InferRequest::burst(model, inputs.to_vec()))?;
+        let fps = resp.burst_fps.unwrap_or(0.0);
+        Ok((resp.classes(), fps))
     }
 
     /// Runs a batch of inputs against one model.
@@ -159,12 +475,70 @@ impl Driver {
         model: &QuantMlp,
         inputs: &[Vec<u8>],
     ) -> Result<Vec<MeasuredRun>, DriverError> {
+        let resp = self.run(InferRequest::batch(model, inputs.to_vec()))?;
+        Ok(resp.runs)
+    }
+
+    /// Streams one loadable, optionally with a bounded event trace.
+    fn run_core(
+        &self,
+        loadable: &Loadable,
+        trace_capacity: Option<usize>,
+    ) -> Result<(MeasuredRun, Option<Vec<TraceEvent>>), DriverError> {
+        let (run, trace) = match trace_capacity {
+            None => (
+                run_inference_fast(&self.hw, loadable.words.clone())
+                    .map_err(DriverError::Accelerator)?,
+                None,
+            ),
+            Some(cap) => {
+                let mut tracer = Tracer::bounded(cap);
+                let run = run_inference_hooked(&self.hw, loadable.words.clone(), &mut tracer)
+                    .map_err(DriverError::Accelerator)?;
+                (run, Some(tracer.into_events()))
+            }
+        };
+        Ok((self.measure(&run, loadable.len()), trace))
+    }
+
+    /// Attaches the DMA and power models to one simulated run.
+    fn measure(&self, run: &InferenceRun, stream_words: usize) -> MeasuredRun {
+        let measured =
+            self.dma
+                .measured_latency_us(run.latency_us, stream_words, self.hw.clock_mhz);
+        let util = netpu_utilization(&self.hw);
+        let power = self.power.wall_power_w(&util, self.hw.clock_mhz);
+        MeasuredRun {
+            class: run.class,
+            sim_latency_us: run.latency_us,
+            measured_latency_us: measured,
+            power_w: power,
+            energy_uj: power * measured,
+            stream_words,
+            cycles: run.cycles,
+            probabilities: run.probabilities.clone(),
+        }
+    }
+
+    fn run_batch(
+        &self,
+        model: &QuantMlp,
+        inputs: &[Vec<u8>],
+        trace_capacity: Option<usize>,
+    ) -> Result<InferResponse, DriverError> {
         let first = match inputs.first() {
             Some(f) => f,
-            None => return Ok(Vec::new()),
+            None => {
+                return Ok(InferResponse {
+                    runs: Vec::new(),
+                    burst_fps: None,
+                    dma_transfers: 0,
+                    trace: None,
+                })
+            }
         };
         let loadable = compile(model, first).map_err(DriverError::Compile)?;
-        let template = self.run_loadable(&loadable)?;
+        let (template, trace) = self.run_core(&loadable, trace_capacity)?;
         let expected = model.input.len;
         let softmax = self.hw.softmax_output;
         let packed = reference::PackedMlp::new(model);
@@ -190,7 +564,86 @@ impl Driver {
         let mut runs = Vec::with_capacity(inputs.len());
         runs.push(template);
         runs.extend(rest?);
-        Ok(runs)
+        Ok(InferResponse {
+            runs,
+            burst_fps: None,
+            dma_transfers: inputs.len(),
+            trace,
+        })
+    }
+
+    fn run_burst(
+        &self,
+        model: &QuantMlp,
+        inputs: &[Vec<u8>],
+        trace_capacity: Option<usize>,
+    ) -> Result<InferResponse, DriverError> {
+        if inputs.is_empty() {
+            return Ok(InferResponse {
+                runs: Vec::new(),
+                burst_fps: Some(0.0),
+                dma_transfers: 0,
+                trace: None,
+            });
+        }
+        let words =
+            netpu_compiler::batch_stream(model, inputs, netpu_compiler::PackingMode::Lanes8)
+                .map_err(DriverError::Compile)?;
+        let total_words = words.len();
+        let stream = netpu_sim::StreamSource::new(words, 1);
+        let mut netpu =
+            netpu_core::NetPu::new(self.hw, stream).map_err(DriverError::Accelerator)?;
+        if let Some(cap) = trace_capacity {
+            netpu = netpu.with_tracer(Tracer::bounded(cap));
+        }
+        let cycles = netpu_core::netpu::run_to_completion_fast(&mut netpu)
+            .map_err(DriverError::Accelerator)?;
+        let trace = trace_capacity.map(|_| netpu.take_tracer().into_events());
+        let n = inputs.len();
+        let total_us = self.dma.setup_us + netpu_sim::cycles_to_us(cycles, self.hw.clock_mhz);
+        let fps = n as f64 * 1e6 / total_us;
+        let util = netpu_utilization(&self.hw);
+        let power = self.power.wall_power_w(&util, self.hw.clock_mhz);
+        // Per-frame decomposition: frame i spans the cycles between the
+        // (i−1)-th and i-th result words (the last frame absorbs the
+        // stream tail), and the single DMA setup is amortized evenly,
+        // so the per-frame figures sum back to the burst totals.
+        let setup_share = self.dma.setup_us / n as f64;
+        let base_words = total_words / n;
+        let results = netpu.results().to_vec();
+        let mut runs = Vec::with_capacity(results.len());
+        let mut prev_end = 0u64;
+        for (i, (class, _score, done_at)) in results.iter().enumerate() {
+            let end = if i + 1 == results.len() {
+                cycles
+            } else {
+                done_at + 1
+            };
+            let frame_cycles = end.saturating_sub(prev_end);
+            prev_end = end;
+            let sim_us = netpu_sim::cycles_to_us(frame_cycles, self.hw.clock_mhz);
+            let measured = sim_us + setup_share;
+            runs.push(MeasuredRun {
+                class: *class,
+                sim_latency_us: sim_us,
+                measured_latency_us: measured,
+                power_w: power,
+                energy_uj: power * measured,
+                stream_words: if i == 0 {
+                    total_words - base_words * (n - 1)
+                } else {
+                    base_words
+                },
+                cycles: frame_cycles,
+                probabilities: None,
+            });
+        }
+        Ok(InferResponse {
+            runs,
+            burst_fps: Some(fps),
+            dma_transfers: 1,
+            trace,
+        })
     }
 }
 
@@ -203,7 +656,7 @@ mod tests {
 
     #[test]
     fn measured_run_is_consistent() {
-        let driver = Driver::paper_setup();
+        let driver = Driver::builder().build();
         let model = ZooModel::TfcW1A1
             .build_untrained(1, BnMode::Folded)
             .unwrap();
@@ -217,8 +670,94 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn paper_setup_alias_matches_builder_defaults() {
+        let alias = Driver::paper_setup();
+        let built = Driver::builder().build();
+        assert_eq!(format!("{alias:?}"), format!("{built:?}"));
+        assert_eq!(format!("{alias:?}"), format!("{:?}", Driver::default()));
+    }
+
+    #[test]
+    fn run_single_matches_infer_wrapper() {
+        let driver = Driver::builder().build();
+        let model = ZooModel::TfcW1A1
+            .build_untrained(8, BnMode::Folded)
+            .unwrap();
+        let px = vec![31u8; 784];
+        let resp = driver
+            .run(InferRequest::single(&model, px.clone()))
+            .unwrap();
+        assert_eq!(resp.runs.len(), 1);
+        assert_eq!(resp.dma_transfers, 1);
+        assert_eq!(resp.burst_fps, None);
+        assert_eq!(resp.runs[0], driver.infer(&model, &px).unwrap());
+        assert_eq!(resp.total_stream_words(), resp.runs[0].stream_words);
+        assert!((resp.total_latency_us() - resp.runs[0].measured_latency_us).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_accepts_shared_models() {
+        // The serving layer enqueues Arc-backed requests; results must
+        // be identical to the borrowed path.
+        let driver = Driver::builder().build();
+        let model = std::sync::Arc::new(
+            ZooModel::TfcW1A1
+                .build_untrained(12, BnMode::Folded)
+                .unwrap(),
+        );
+        let px = vec![77u8; 784];
+        let shared = driver
+            .run(InferRequest::single(model.clone(), px.clone()))
+            .unwrap();
+        let borrowed = driver
+            .run(InferRequest::single(model.as_ref(), px))
+            .unwrap();
+        assert_eq!(shared, borrowed);
+    }
+
+    #[test]
+    fn traced_requests_return_events() {
+        let driver = Driver::builder().build();
+        let model = ZooModel::TfcW1A1
+            .build_untrained(4, BnMode::Folded)
+            .unwrap();
+        let resp = driver
+            .run(InferRequest::single(&model, vec![9u8; 784]).with_trace(64))
+            .unwrap();
+        let events = resp.trace.expect("trace requested");
+        assert!(!events.is_empty());
+        assert!(events.len() <= 64);
+        // The untraced run is unaffected.
+        let plain = driver
+            .run(InferRequest::single(&model, vec![9u8; 784]))
+            .unwrap();
+        assert_eq!(plain.trace, None);
+        assert_eq!(plain.runs, resp.runs);
+    }
+
+    #[test]
+    fn error_sources_walk_to_the_stream_error() {
+        use std::error::Error;
+        let driver = Driver::builder().build();
+        let model = ZooModel::TfcW1A1
+            .build_untrained(3, BnMode::Folded)
+            .unwrap();
+        let err = driver.infer(&model, &[0u8; 7]).unwrap_err();
+        let source = err.source().expect("compile errors carry a source");
+        assert!(source.downcast_ref::<StreamError>().is_some());
+        // And serving-layer variants format + chain cleanly.
+        let t = DriverError::Timeout {
+            deadline_us: 10.0,
+            elapsed_us: 25.0,
+        };
+        assert!(t.to_string().contains("deadline"));
+        assert!(t.source().is_none());
+    }
+
+    #[test]
     fn batch_reuses_compiled_model() {
-        let driver = Driver::paper_setup();
+        let driver = Driver::builder().build();
         let model = ZooModel::TfcW1A1
             .build_untrained(2, BnMode::Folded)
             .unwrap();
@@ -238,7 +777,7 @@ mod tests {
     fn batch_matches_per_frame_inference() {
         // The memoized parallel batch must agree with running each
         // frame through the full driver individually.
-        let driver = Driver::paper_setup();
+        let driver = Driver::builder().build();
         let model = ZooModel::TfcW2A2
             .build_untrained(7, BnMode::Hardware)
             .unwrap();
@@ -253,7 +792,7 @@ mod tests {
 
     #[test]
     fn batch_validates_every_frame_length() {
-        let driver = Driver::paper_setup();
+        let driver = Driver::builder().build();
         let model = ZooModel::TfcW1A1
             .build_untrained(5, BnMode::Folded)
             .unwrap();
@@ -269,13 +808,12 @@ mod tests {
 
     #[test]
     fn batch_softmax_probabilities_are_per_frame() {
-        let driver = Driver {
-            hw: netpu_core::HwConfig {
+        let driver = Driver::builder()
+            .hw(netpu_core::HwConfig {
                 softmax_output: true,
                 ..netpu_core::HwConfig::paper_instance()
-            },
-            ..Driver::paper_setup()
-        };
+            })
+            .build();
         let model = ZooModel::TfcW1A1
             .build_untrained(6, BnMode::Folded)
             .unwrap();
@@ -292,7 +830,7 @@ mod tests {
 
     #[test]
     fn burst_amortises_dma_setup() {
-        let driver = Driver::paper_setup();
+        let driver = Driver::builder().build();
         let model = ZooModel::TfcW1A1
             .build_untrained(4, BnMode::Folded)
             .unwrap();
@@ -311,14 +849,40 @@ mod tests {
     }
 
     #[test]
+    fn burst_frame_decomposition_sums_to_the_totals() {
+        let driver = Driver::builder().build();
+        let model = ZooModel::TfcW1A1
+            .build_untrained(4, BnMode::Folded)
+            .unwrap();
+        let ds = dataset::generate(5, 8, &dataset::GeneratorConfig::default());
+        let inputs: Vec<Vec<u8>> = ds.examples.iter().map(|e| e.pixels.clone()).collect();
+        let resp = driver
+            .run(InferRequest::burst(&model, inputs.clone()))
+            .unwrap();
+        assert_eq!(resp.runs.len(), 5);
+        assert_eq!(resp.dma_transfers, 1);
+        let fps = resp.burst_fps.expect("burst rate");
+        // Σ per-frame measured = burst wall time; Σ words = stream len.
+        let total_us = resp.total_latency_us();
+        assert!((fps - 5.0 * 1e6 / total_us).abs() < 1e-6, "fps {fps}");
+        let words =
+            netpu_compiler::batch_stream(&model, &inputs, netpu_compiler::PackingMode::Lanes8)
+                .unwrap()
+                .len();
+        assert_eq!(resp.total_stream_words(), words);
+        let total_cycles: u64 = resp.runs.iter().map(|r| r.cycles).sum();
+        assert!(resp.runs.iter().all(|r| r.cycles > 0));
+        assert!(total_cycles > 0);
+    }
+
+    #[test]
     fn softmax_instances_report_probabilities() {
-        let driver = Driver {
-            hw: netpu_core::HwConfig {
+        let driver = Driver::builder()
+            .hw(netpu_core::HwConfig {
                 softmax_output: true,
                 ..netpu_core::HwConfig::paper_instance()
-            },
-            ..Driver::paper_setup()
-        };
+            })
+            .build();
         let model = ZooModel::TfcW1A1
             .build_untrained(9, BnMode::Folded)
             .unwrap();
@@ -327,7 +891,8 @@ mod tests {
         assert_eq!(probs.len(), 10);
         assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // The paper setup reports none.
-        let plain = Driver::paper_setup()
+        let plain = Driver::builder()
+            .build()
             .infer(&model, &vec![50u8; 784])
             .unwrap();
         assert!(plain.probabilities.is_none());
@@ -335,7 +900,7 @@ mod tests {
 
     #[test]
     fn compile_errors_surface() {
-        let driver = Driver::paper_setup();
+        let driver = Driver::builder().build();
         let model = ZooModel::TfcW1A1
             .build_untrained(3, BnMode::Folded)
             .unwrap();

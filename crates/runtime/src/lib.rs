@@ -7,8 +7,9 @@
 //! * [`dma`] — the DMA / Processing System transfer path (the constant
 //!   ≈6 µs gap between Table V simulation and Table VI measurement).
 //! * [`power`] — the wall-power model behind Table VI's `P_wall`.
-//! * [`driver`] — the host driver: compile → stream → result, with
-//!   batch-inference input-section reuse.
+//! * [`driver`] — the host driver: a unified [`Driver::run`] request
+//!   API (single / batch / burst / pre-compiled loadable payloads),
+//!   with batch-inference input-section reuse.
 //! * [`cluster`] — multi-FPGA deployment throughput (the §I.B
 //!   multi-board application scenario).
 
@@ -19,5 +20,8 @@ pub mod power;
 
 pub use cluster::{Cluster, ClusterThroughput};
 pub use dma::DmaModel;
-pub use driver::{Driver, DriverError, MeasuredRun};
+pub use driver::{
+    Driver, DriverBuilder, DriverError, InferPayload, InferRequest, InferResponse, MeasuredRun,
+    ModelSource, RequestOptions,
+};
 pub use power::PowerParams;

@@ -1,0 +1,126 @@
+//! Stream fault injection for exercising the retry path.
+//!
+//! Reuses the workspace robustness suite's corruption model (XOR a bit
+//! into the stream): flipping the low bit of word 0 breaks the `MAGIC`
+//! signature, so the accelerator's own header validation rejects the
+//! stream deterministically on the first word — a fast, guaranteed
+//! `BadHeader` rather than a corrupted-payload coin flip.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What faults the serving layer injects into outgoing streams.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum FaultPlan {
+    /// No injected faults.
+    #[default]
+    None,
+    /// Every request's first `n` delivery attempts fail (deterministic;
+    /// a request with a retry budget ≥ `n` eventually succeeds).
+    FailFirstAttempts(u32),
+    /// Each delivery attempt is independently corrupted with
+    /// probability `rate`, drawn from a seeded generator.
+    Random {
+        /// Per-attempt corruption probability in `[0, 1]`.
+        rate: f64,
+        /// RNG seed, for reproducible schedules.
+        seed: u64,
+    },
+}
+
+/// Stateful injector built from a [`FaultPlan`]; one per server.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// Builds the injector for one server instance.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        let seed = match &plan {
+            FaultPlan::Random { seed, .. } => *seed,
+            _ => 0,
+        };
+        FaultInjector {
+            plan,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Decides whether delivery attempt `attempt` (0-based) of a
+    /// request should be corrupted and, if so, flips the header magic
+    /// bit in `words`. Returns `true` when the stream was corrupted.
+    pub fn corrupt(&mut self, attempt: u32, words: &mut [u64]) -> bool {
+        let hit = match &self.plan {
+            FaultPlan::None => false,
+            FaultPlan::FailFirstAttempts(n) => attempt < *n,
+            FaultPlan::Random { rate, .. } => self.rng.gen::<f64>() < *rate,
+        };
+        if hit {
+            if let Some(header) = words.first_mut() {
+                *header ^= 1;
+            }
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_corrupts() {
+        let mut inj = FaultInjector::new(FaultPlan::None);
+        let mut words = vec![0x1234u64, 5];
+        for attempt in 0..10 {
+            assert!(!inj.corrupt(attempt, &mut words));
+        }
+        assert_eq!(words, vec![0x1234, 5]);
+    }
+
+    #[test]
+    fn fail_first_attempts_is_deterministic() {
+        let mut inj = FaultInjector::new(FaultPlan::FailFirstAttempts(2));
+        let mut words = vec![0u64];
+        assert!(inj.corrupt(0, &mut words));
+        assert_eq!(words[0], 1);
+        words[0] = 0;
+        assert!(inj.corrupt(1, &mut words));
+        words[0] = 0;
+        assert!(!inj.corrupt(2, &mut words));
+        assert_eq!(words[0], 0);
+    }
+
+    #[test]
+    fn random_plan_is_seed_reproducible() {
+        let draw = |seed| {
+            let mut inj = FaultInjector::new(FaultPlan::Random { rate: 0.5, seed });
+            (0..64)
+                .map(|a| inj.corrupt(a, &mut [0u64]))
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+        let hits = draw(9).iter().filter(|&&h| h).count();
+        assert!((10..=54).contains(&hits), "rate 0.5 drew {hits}/64 hits");
+    }
+
+    #[test]
+    fn corruption_breaks_the_stream_magic() {
+        // The flipped bit lands in the MAGIC field, so the compiler's
+        // own validator — and the accelerator's — must reject it.
+        let model = netpu_nn::zoo::ZooModel::TfcW1A1
+            .build_untrained(1, netpu_nn::export::BnMode::Folded)
+            .unwrap();
+        let loadable = netpu_compiler::compile(&model, &vec![0u8; 784]).unwrap();
+        let mut words = loadable.words.clone();
+        let mut inj = FaultInjector::new(FaultPlan::FailFirstAttempts(1));
+        assert!(inj.corrupt(0, &mut words));
+        assert!(matches!(
+            netpu_compiler::stream::decode(&words),
+            Err(netpu_compiler::StreamError::BadHeader(_))
+        ));
+    }
+}

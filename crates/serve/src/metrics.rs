@@ -1,0 +1,187 @@
+//! Serving counters, latency histogram, and utilization snapshot.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Upper bucket edges of the latency histogram, µs. The last bucket is
+/// unbounded.
+pub const LATENCY_BUCKETS_US: [f64; 8] = [
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1_000.0,
+    2_500.0,
+    10_000.0,
+    f64::INFINITY,
+];
+
+/// Lock-free counters the workers update while serving.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub accepted: AtomicU64,
+    pub rejected: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub retried: AtomicU64,
+    pub timed_out: AtomicU64,
+    pub frames_completed: AtomicU64,
+    pub queue_high_water: AtomicUsize,
+    pub latency_buckets: [AtomicU64; 8],
+}
+
+impl Counters {
+    /// Records one completed request's end-to-end virtual latency.
+    pub fn observe_latency(&self, latency_us: f64) {
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&edge| latency_us <= edge)
+            .unwrap_or(LATENCY_BUCKETS_US.len() - 1);
+        self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the queue high-water mark to at least `depth`.
+    pub fn observe_queue_depth(&self, depth: usize) {
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of everything the server measures.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests refused at admission (queue full).
+    pub rejected: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests that failed terminally (after exhausting retries).
+    pub failed: u64,
+    /// Delivery attempts that were retried after a stream fault.
+    pub retried: u64,
+    /// Requests whose deadline elapsed before completion.
+    pub timed_out: u64,
+    /// Frames across all completed requests (a batch counts each).
+    pub frames_completed: u64,
+    /// Deepest the admission queue ever got.
+    pub queue_high_water: usize,
+    /// `(upper_edge_us, count)` end-to-end latency histogram.
+    pub latency_histogram: Vec<(f64, u64)>,
+    /// Busy time per board on the virtual clock, µs.
+    pub per_board_busy_us: Vec<f64>,
+    /// Time the shared DMA engine spent streaming, µs.
+    pub dma_busy_us: f64,
+    /// Virtual time at which all granted work had finished, µs.
+    pub makespan_us: f64,
+}
+
+impl MetricsSnapshot {
+    pub(crate) fn gather(
+        counters: &Counters,
+        arbiter: &crate::arbiter::DmaArbiter,
+    ) -> MetricsSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            accepted: load(&counters.accepted),
+            rejected: load(&counters.rejected),
+            completed: load(&counters.completed),
+            failed: load(&counters.failed),
+            retried: load(&counters.retried),
+            timed_out: load(&counters.timed_out),
+            frames_completed: load(&counters.frames_completed),
+            queue_high_water: counters.queue_high_water.load(Ordering::Relaxed),
+            latency_histogram: LATENCY_BUCKETS_US
+                .iter()
+                .zip(&counters.latency_buckets)
+                .map(|(&edge, count)| (edge, count.load(Ordering::Relaxed)))
+                .collect(),
+            per_board_busy_us: arbiter.board_busy_us().to_vec(),
+            dma_busy_us: arbiter.dma_busy_us(),
+            makespan_us: arbiter.makespan_us(),
+        }
+    }
+
+    /// Sustained throughput over the virtual schedule: completed frames
+    /// divided by the makespan. `None` before anything finished.
+    pub fn measured_fps(&self) -> Option<f64> {
+        (self.frames_completed > 0 && self.makespan_us > 0.0)
+            .then(|| self.frames_completed as f64 * 1e6 / self.makespan_us)
+    }
+
+    /// Fraction of the makespan each board spent busy, in `[0, 1]`.
+    pub fn board_utilization(&self) -> Vec<f64> {
+        if self.makespan_us <= 0.0 {
+            return vec![0.0; self.per_board_busy_us.len()];
+        }
+        self.per_board_busy_us
+            .iter()
+            .map(|&b| b / self.makespan_us)
+            .collect()
+    }
+
+    /// Fraction of the makespan the shared DMA spent streaming — 1.0
+    /// means the cluster is fully transfer-bound.
+    pub fn dma_utilization(&self) -> f64 {
+        if self.makespan_us <= 0.0 {
+            0.0
+        } else {
+            self.dma_busy_us / self.makespan_us
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::DmaArbiter;
+
+    #[test]
+    fn histogram_buckets_by_upper_edge() {
+        let c = Counters::default();
+        c.observe_latency(10.0);
+        c.observe_latency(50.0); // inclusive upper edge
+        c.observe_latency(51.0);
+        c.observe_latency(1e9); // unbounded tail
+        let snap = MetricsSnapshot::gather(&c, &DmaArbiter::new(1));
+        assert_eq!(snap.latency_histogram[0], (50.0, 2));
+        assert_eq!(snap.latency_histogram[1], (100.0, 1));
+        assert_eq!(snap.latency_histogram.last().unwrap().1, 1);
+        let total: u64 = snap.latency_histogram.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn utilization_and_fps_derive_from_the_schedule() {
+        let c = Counters::default();
+        c.frames_completed.store(8, Ordering::Relaxed);
+        let mut a = DmaArbiter::new(2);
+        for _ in 0..8 {
+            a.grant(0.0, 10.0, 15.0);
+        }
+        let snap = MetricsSnapshot::gather(&c, &a);
+        // Transfer-bound: dma busy 80 µs over a makespan of ~85 µs.
+        assert!((snap.dma_busy_us - 80.0).abs() < 1e-9);
+        assert!(snap.dma_utilization() > 0.9);
+        let fps = snap.measured_fps().unwrap();
+        assert!((fps - 8.0 * 1e6 / snap.makespan_us).abs() < 1e-9);
+        for u in snap.board_utilization() {
+            assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_reports_no_rate() {
+        let snap = MetricsSnapshot::gather(&Counters::default(), &DmaArbiter::new(3));
+        assert_eq!(snap.measured_fps(), None);
+        assert_eq!(snap.board_utilization(), vec![0.0; 3]);
+        assert_eq!(snap.dma_utilization(), 0.0);
+    }
+
+    #[test]
+    fn high_water_is_monotone() {
+        let c = Counters::default();
+        c.observe_queue_depth(3);
+        c.observe_queue_depth(1);
+        assert_eq!(c.queue_high_water.load(Ordering::Relaxed), 3);
+    }
+}

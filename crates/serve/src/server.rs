@@ -1,0 +1,416 @@
+//! The multi-board inference server.
+//!
+//! A [`Server`] owns a bounded admission queue and one worker thread
+//! per board. Submissions beyond the queue bound are **rejected at
+//! admission** ([`Submit::Rejected`]) — backpressure is explicit, never
+//! an unbounded buffer. Workers execute real accelerator simulations
+//! concurrently on host threads, while the [`DmaArbiter`] places every
+//! stream transfer on a shared virtual-time DMA engine, so throughput
+//! saturates at the transfer bound exactly as
+//! [`ClusterThroughput`](netpu_runtime::ClusterThroughput) predicts.
+
+use crate::arbiter::DmaArbiter;
+use crate::faults::{FaultInjector, FaultPlan};
+use crate::metrics::{Counters, MetricsSnapshot};
+use netpu_compiler::compile;
+use netpu_runtime::{Driver, DriverError, InferPayload, InferRequest, InferResponse};
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Number of boards (and worker threads).
+    pub boards: usize,
+    /// Admission queue bound; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that set none, µs of virtual time.
+    pub default_deadline_us: Option<f64>,
+    /// Retry budget for requests that set none.
+    pub max_retries: u32,
+    /// Stream faults to inject (tests the retry path).
+    pub faults: FaultPlan,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            boards: 1,
+            queue_capacity: 64,
+            default_deadline_us: None,
+            max_retries: 0,
+            faults: FaultPlan::None,
+        }
+    }
+}
+
+/// Outcome of a [`Server::submit`] call.
+#[derive(Debug)]
+pub enum Submit {
+    /// The request was queued; await the result via the ticket.
+    Accepted(Ticket),
+    /// The bounded queue was full — explicit backpressure.
+    Rejected {
+        /// Queue depth at the time of rejection (== the bound).
+        queue_len: usize,
+    },
+    /// The server has shut down.
+    Closed,
+}
+
+impl Submit {
+    /// Unwraps the ticket of an accepted submission.
+    pub fn expect_accepted(self) -> Ticket {
+        match self {
+            Submit::Accepted(t) => t,
+            other => panic!("submission was not accepted: {other:?}"),
+        }
+    }
+}
+
+/// A successfully served request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeResponse {
+    /// The inference result, identical to what [`Driver::run`] returns
+    /// for the same request.
+    pub response: InferResponse,
+    /// Board the request ran on.
+    pub board: usize,
+    /// Virtual time the request's stream started, µs.
+    pub start_us: f64,
+    /// Virtual time the request completed, µs.
+    pub complete_us: f64,
+    /// Delivery attempts it took (1 = no retries).
+    pub attempts: u32,
+}
+
+/// Handle to one queued request.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<ServeResponse, DriverError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes, fails, or the server is
+    /// dropped with the request unserved.
+    pub fn wait(self) -> Result<ServeResponse, DriverError> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(DriverError::Queue {
+                reason: "server shut down before the request completed".into(),
+            })
+        })
+    }
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct Job {
+    req: InferRequest<'static>,
+    tx: mpsc::Sender<Result<ServeResponse, DriverError>>,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    driver: Driver,
+    counters: Counters,
+    arbiter: Mutex<DmaArbiter>,
+    injector: Mutex<FaultInjector>,
+    queue: Mutex<QueueState>,
+    available: Condvar,
+}
+
+/// A multi-board inference server over one shared DMA engine.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the server: spawns one worker thread per board.
+    pub fn start(driver: Driver, cfg: ServerConfig) -> Server {
+        assert!(cfg.boards > 0, "at least one board");
+        assert!(cfg.queue_capacity > 0, "queue bound must be positive");
+        let shared = Arc::new(Shared {
+            driver,
+            counters: Counters::default(),
+            arbiter: Mutex::new(DmaArbiter::new(cfg.boards)),
+            injector: Mutex::new(FaultInjector::new(cfg.faults.clone())),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            cfg,
+        });
+        let workers = (0..shared.cfg.boards)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// Submits a request. Admission is non-blocking: a full queue
+    /// answers [`Submit::Rejected`] immediately so the caller can shed
+    /// or defer load instead of piling up unbounded work.
+    pub fn submit(&self, req: InferRequest<'static>) -> Submit {
+        let mut q = self.shared.queue.lock().unwrap();
+        if q.closed {
+            return Submit::Closed;
+        }
+        if q.jobs.len() >= self.shared.cfg.queue_capacity {
+            self.shared
+                .counters
+                .rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Submit::Rejected {
+                queue_len: q.jobs.len(),
+            };
+        }
+        let (tx, rx) = mpsc::channel();
+        q.jobs.push_back(Job { req, tx });
+        self.shared
+            .counters
+            .accepted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.counters.observe_queue_depth(q.jobs.len());
+        drop(q);
+        self.shared.available.notify_one();
+        Submit::Accepted(Ticket { rx })
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let arbiter = self.shared.arbiter.lock().unwrap();
+        MetricsSnapshot::gather(&self.shared.counters, &arbiter)
+    }
+
+    /// Closes admission, drains every queued request, joins the
+    /// workers, and returns the final metrics.
+    pub fn shutdown(self) -> MetricsSnapshot {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.closed = true;
+        }
+        self.shared.available.notify_all();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        let arbiter = self.shared.arbiter.lock().unwrap();
+        MetricsSnapshot::gather(&self.shared.counters, &arbiter)
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.closed {
+                    return;
+                }
+                q = shared.available.wait(q).unwrap();
+            }
+        };
+        serve_one(shared, job);
+    }
+}
+
+/// DMA occupancy of a served request: one setup per transfer plus the
+/// bandwidth-bound streaming time of every word.
+fn response_occupancy_us(driver: &Driver, resp: &InferResponse) -> f64 {
+    if resp.dma_transfers == 0 {
+        return 0.0;
+    }
+    driver
+        .dma
+        .occupancy_us(resp.total_stream_words(), driver.hw.clock_mhz)
+        + (resp.dma_transfers - 1) as f64 * driver.dma.setup_us
+}
+
+fn serve_one(shared: &Shared, job: Job) {
+    let Job { req, tx } = job;
+    let deadline_us = req.options.deadline_us.or(shared.cfg.default_deadline_us);
+    let retries = req.options.retries.unwrap_or(shared.cfg.max_retries);
+    let options = req.options;
+    // Normalize single-frame requests to a pre-compiled loadable so
+    // every delivery attempt goes out as a raw stream (the unit the
+    // fault model corrupts), and compile errors surface before any
+    // DMA time is charged.
+    let payload = match req.payload {
+        InferPayload::Single { model, pixels } => match compile(&model, &pixels) {
+            Ok(loadable) => InferPayload::Loadable(loadable),
+            Err(e) => {
+                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(Err(DriverError::Compile(e)));
+                return;
+            }
+        },
+        p => p,
+    };
+
+    let mut attempt = 0u32;
+    loop {
+        // Build this attempt's payload, injecting stream faults.
+        let (attempt_payload, attempt_words) = match &payload {
+            InferPayload::Loadable(loadable) => {
+                let mut l = loadable.clone();
+                shared
+                    .injector
+                    .lock()
+                    .unwrap()
+                    .corrupt(attempt, &mut l.words);
+                let words = l.len();
+                (InferPayload::Loadable(l), words)
+            }
+            p => (p.clone(), 0),
+        };
+        let result = shared.driver.run(InferRequest {
+            payload: attempt_payload,
+            options,
+        });
+        match result {
+            Ok(resp) => {
+                let transfer_us = response_occupancy_us(&shared.driver, &resp);
+                let latency_us = resp.total_latency_us();
+                let grant = shared
+                    .arbiter
+                    .lock()
+                    .unwrap()
+                    .grant(0.0, transfer_us, latency_us);
+                if let Some(deadline) = deadline_us {
+                    if grant.complete_us > deadline {
+                        shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send(Err(DriverError::Timeout {
+                            deadline_us: deadline,
+                            elapsed_us: grant.complete_us,
+                        }));
+                        return;
+                    }
+                }
+                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .frames_completed
+                    .fetch_add(resp.runs.len() as u64, Ordering::Relaxed);
+                shared.counters.observe_latency(grant.complete_us);
+                let _ = tx.send(Ok(ServeResponse {
+                    response: resp,
+                    board: grant.board,
+                    start_us: grant.start_us,
+                    complete_us: grant.complete_us,
+                    attempts: attempt + 1,
+                }));
+                return;
+            }
+            Err(e) => {
+                // Only accelerator-side stream faults are transient;
+                // compile errors would fail identically on every retry.
+                let retryable = matches!(e, DriverError::Accelerator(_));
+                if retryable && attempt < retries {
+                    // The rejected stream still occupied the shared
+                    // DMA: charge a transfer-only grant before the
+                    // retry goes back to the queue of attempts.
+                    let wasted = shared
+                        .driver
+                        .dma
+                        .occupancy_us(attempt_words, shared.driver.hw.clock_mhz);
+                    shared.arbiter.lock().unwrap().grant(0.0, wasted, wasted);
+                    shared.counters.retried.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                    continue;
+                }
+                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(Err(e));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpu_nn::export::BnMode;
+    use netpu_nn::zoo::ZooModel;
+    use std::sync::Arc;
+
+    fn tfc() -> Arc<netpu_nn::QuantMlp> {
+        Arc::new(
+            ZooModel::TfcW1A1
+                .build_untrained(1, BnMode::Folded)
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn serves_a_single_request() {
+        let server = Server::start(Driver::builder().build(), ServerConfig::default());
+        let ticket = server
+            .submit(InferRequest::single(tfc(), vec![5u8; 784]))
+            .expect_accepted();
+        let served = ticket.wait().unwrap();
+        assert_eq!(served.attempts, 1);
+        assert_eq!(served.board, 0);
+        assert_eq!(served.response.runs.len(), 1);
+        let m = server.shutdown();
+        assert_eq!((m.accepted, m.completed, m.failed), (1, 1, 0));
+        assert_eq!(m.frames_completed, 1);
+        assert!(m.measured_fps().is_some());
+    }
+
+    #[test]
+    fn compile_errors_fail_without_charging_the_dma() {
+        let server = Server::start(Driver::builder().build(), ServerConfig::default());
+        let ticket = server
+            .submit(InferRequest::single(tfc(), vec![5u8; 3]))
+            .expect_accepted();
+        assert!(matches!(ticket.wait(), Err(DriverError::Compile(_))));
+        let m = server.shutdown();
+        assert_eq!((m.completed, m.failed), (0, 1));
+        assert_eq!(m.dma_busy_us, 0.0);
+    }
+
+    #[test]
+    fn closed_server_answers_closed() {
+        let server = Server::start(Driver::builder().build(), ServerConfig::default());
+        {
+            let mut q = server.shared.queue.lock().unwrap();
+            q.closed = true;
+        }
+        assert!(matches!(
+            server.submit(InferRequest::single(tfc(), vec![0u8; 784])),
+            Submit::Closed
+        ));
+    }
+
+    #[test]
+    fn deadline_zero_times_out() {
+        let server = Server::start(Driver::builder().build(), ServerConfig::default());
+        let ticket = server
+            .submit(InferRequest::single(tfc(), vec![5u8; 784]).with_deadline_us(1.0))
+            .expect_accepted();
+        match ticket.wait() {
+            Err(DriverError::Timeout {
+                deadline_us,
+                elapsed_us,
+            }) => {
+                assert_eq!(deadline_us, 1.0);
+                assert!(elapsed_us > 1.0);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        let m = server.shutdown();
+        assert_eq!(m.timed_out, 1);
+        assert_eq!(m.completed, 0);
+    }
+}

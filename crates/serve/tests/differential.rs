@@ -1,0 +1,63 @@
+//! A one-board server must be *exactly* the driver: same classes, same
+//! MeasuredRun numbers, for every model in the zoo. The serving layer
+//! adds scheduling around the simulation — never a different answer.
+
+use netpu_nn::export::BnMode;
+use netpu_nn::zoo::ZooModel;
+use netpu_runtime::{Driver, InferRequest};
+use netpu_serve::{Server, ServerConfig};
+use std::sync::Arc;
+
+#[test]
+fn one_board_server_reproduces_the_driver_across_the_zoo() {
+    let driver = Driver::builder().build();
+    let server = Server::start(driver.clone(), ServerConfig::default());
+    let mut expected = Vec::new();
+    let mut tickets = Vec::new();
+    for (i, zoo) in ZooModel::ALL.iter().enumerate() {
+        let model = Arc::new(zoo.build_untrained(i as u64 + 1, BnMode::Folded).unwrap());
+        let pixels = vec![(i * 37) as u8; model.input.len];
+        let direct = driver
+            .run(InferRequest::single(model.as_ref(), pixels.clone()))
+            .unwrap();
+        expected.push((zoo.name(), direct));
+        tickets.push(
+            server
+                .submit(InferRequest::single(model, pixels))
+                .expect_accepted(),
+        );
+    }
+    for (ticket, (name, direct)) in tickets.into_iter().zip(expected) {
+        let served = ticket.wait().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(served.response, direct, "{name} diverged");
+        assert_eq!(served.attempts, 1, "{name} retried unexpectedly");
+        assert_eq!(served.board, 0);
+    }
+    let m = server.shutdown();
+    assert_eq!(m.accepted, ZooModel::ALL.len() as u64);
+    assert_eq!(m.completed, ZooModel::ALL.len() as u64);
+    assert_eq!((m.rejected, m.failed, m.retried, m.timed_out), (0, 0, 0, 0));
+}
+
+#[test]
+fn served_batches_match_driver_batches() {
+    let driver = Driver::builder().build();
+    let model = Arc::new(
+        ZooModel::TfcW1A1
+            .build_untrained(3, BnMode::Folded)
+            .unwrap(),
+    );
+    let inputs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i * 11; 784]).collect();
+    let direct = driver
+        .run(InferRequest::batch(model.as_ref(), inputs.clone()))
+        .unwrap();
+    let server = Server::start(driver, ServerConfig::default());
+    let served = server
+        .submit(InferRequest::batch(model, inputs))
+        .expect_accepted()
+        .wait()
+        .unwrap();
+    assert_eq!(served.response, direct);
+    let m = server.shutdown();
+    assert_eq!(m.frames_completed, 4);
+}

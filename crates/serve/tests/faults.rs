@@ -1,0 +1,146 @@
+//! Deadline and retry behavior under injected stream faults, reusing
+//! the robustness suite's corruption model (a flipped stream bit the
+//! accelerator's own header validation catches).
+
+use netpu_nn::export::BnMode;
+use netpu_nn::zoo::ZooModel;
+use netpu_runtime::{Driver, DriverError, InferRequest};
+use netpu_serve::{FaultPlan, Server, ServerConfig};
+
+fn loadable() -> netpu_compiler::Loadable {
+    let model = ZooModel::TfcW1A1
+        .build_untrained(1, BnMode::Folded)
+        .unwrap();
+    netpu_compiler::compile(&model, &vec![100u8; 784]).unwrap()
+}
+
+#[test]
+fn retries_recover_from_transient_stream_faults() {
+    let n = 6u64;
+    let server = Server::start(
+        Driver::builder().build(),
+        ServerConfig {
+            boards: 2,
+            max_retries: 2,
+            faults: FaultPlan::FailFirstAttempts(1),
+            ..ServerConfig::default()
+        },
+    );
+    let l = loadable();
+    let tickets: Vec<_> = (0..n)
+        .map(|_| {
+            server
+                .submit(InferRequest::loadable(l.clone()))
+                .expect_accepted()
+        })
+        .collect();
+    for t in tickets {
+        let served = t.wait().expect("retry should recover");
+        assert_eq!(served.attempts, 2, "first attempt must have failed");
+    }
+    let m = server.shutdown();
+    assert_eq!(m.completed, n);
+    assert_eq!(m.retried, n, "one retry per request");
+    assert_eq!(m.failed, 0);
+    // The wasted first transfers charged the shared DMA: busy time
+    // covers 2n transfers, not n.
+    let per_transfer = Driver::builder().build().dma.occupancy_us(l.len(), 100.0);
+    assert!(
+        (m.dma_busy_us - 2.0 * n as f64 * per_transfer).abs() < 1e-6,
+        "dma busy {} vs expected {}",
+        m.dma_busy_us,
+        2.0 * n as f64 * per_transfer
+    );
+}
+
+#[test]
+fn exhausted_retries_fail_with_the_accelerator_error() {
+    let server = Server::start(
+        Driver::builder().build(),
+        ServerConfig {
+            max_retries: 1,
+            faults: FaultPlan::FailFirstAttempts(5),
+            ..ServerConfig::default()
+        },
+    );
+    let ticket = server
+        .submit(InferRequest::loadable(loadable()))
+        .expect_accepted();
+    match ticket.wait() {
+        Err(DriverError::Accelerator(e)) => {
+            // The chain bottoms out at the stream-level header error.
+            use std::error::Error;
+            assert!(e.source().is_some(), "accelerator error lost its source");
+        }
+        other => panic!("expected an accelerator error, got {other:?}"),
+    }
+    let m = server.shutdown();
+    assert_eq!((m.completed, m.failed, m.retried), (0, 1, 1));
+}
+
+#[test]
+fn per_request_retry_budget_overrides_the_server_default() {
+    let server = Server::start(
+        Driver::builder().build(),
+        ServerConfig {
+            max_retries: 0,
+            faults: FaultPlan::FailFirstAttempts(1),
+            ..ServerConfig::default()
+        },
+    );
+    let no_budget = server
+        .submit(InferRequest::loadable(loadable()))
+        .expect_accepted();
+    let with_budget = server
+        .submit(InferRequest::loadable(loadable()).with_retries(3))
+        .expect_accepted();
+    assert!(no_budget.wait().is_err());
+    assert_eq!(with_budget.wait().unwrap().attempts, 2);
+    let m = server.shutdown();
+    assert_eq!((m.completed, m.failed), (1, 1));
+}
+
+#[test]
+fn queued_requests_behind_a_slow_board_miss_their_deadline() {
+    let driver = Driver::builder().build();
+    let l = loadable();
+    let single_us = driver.run_loadable(&l).unwrap().measured_latency_us;
+    // One board serves in queue order at one request per `single_us` of
+    // virtual time: a deadline of ~3.5 L admits exactly 3 completions.
+    let server = Server::start(
+        driver,
+        ServerConfig {
+            boards: 1,
+            queue_capacity: 16,
+            default_deadline_us: Some(3.5 * single_us),
+            ..ServerConfig::default()
+        },
+    );
+    let tickets: Vec<_> = (0..8)
+        .map(|_| {
+            server
+                .submit(InferRequest::loadable(l.clone()))
+                .expect_accepted()
+        })
+        .collect();
+    let mut outcomes = Vec::new();
+    for t in tickets {
+        outcomes.push(t.wait());
+    }
+    let m = server.shutdown();
+    assert_eq!(m.completed, 3, "deadline should admit exactly 3: {m:?}");
+    assert_eq!(m.timed_out, 5);
+    for (k, outcome) in outcomes.iter().enumerate() {
+        if k < 3 {
+            assert!(outcome.is_ok(), "request {k} should make the deadline");
+        } else {
+            assert!(
+                matches!(outcome, Err(DriverError::Timeout { .. })),
+                "request {k} should time out, got {outcome:?}"
+            );
+        }
+    }
+    // Histogram recorded only the completed requests.
+    let counted: u64 = m.latency_histogram.iter().map(|&(_, c)| c).sum();
+    assert_eq!(counted, 3);
+}

@@ -1,0 +1,66 @@
+//! The admission queue is *bounded*: under any schedule of submissions
+//! and drains, its depth never exceeds the configured capacity, every
+//! submission is either accepted or rejected, and every accepted
+//! request is accounted for exactly once at shutdown.
+
+use netpu_nn::export::BnMode;
+use netpu_nn::zoo::ZooModel;
+use netpu_runtime::{Driver, InferRequest};
+use netpu_serve::{Server, ServerConfig, Submit};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn queue_depth_never_exceeds_the_bound(
+        capacity in 1usize..6,
+        n in 1usize..24,
+        drain_mask in 0u32..u32::MAX,
+    ) {
+        let model = ZooModel::SfcW1A1
+            .build_untrained(1, BnMode::Folded)
+            .unwrap();
+        let loadable = netpu_compiler::compile(&model, &vec![60u8; 784]).unwrap();
+        let server = Server::start(
+            Driver::builder().build(),
+            ServerConfig {
+                boards: 1,
+                queue_capacity: capacity,
+                ..ServerConfig::default()
+            },
+        );
+        let mut tickets = Vec::new();
+        let mut rejected = 0u64;
+        for k in 0..n {
+            match server.submit(InferRequest::loadable(loadable.clone())) {
+                Submit::Accepted(t) => tickets.push(t),
+                Submit::Rejected { queue_len } => {
+                    prop_assert_eq!(queue_len, capacity);
+                    rejected += 1;
+                }
+                Submit::Closed => panic!("server closed early"),
+            }
+            // Random drain cadence: sometimes wait a pending ticket
+            // mid-stream, freeing queue space at irregular points.
+            if drain_mask & (1 << (k % 32)) != 0 {
+                if let Some(t) = tickets.pop() {
+                    prop_assert!(t.wait().is_ok());
+                }
+            }
+        }
+        let snap = server.metrics();
+        let m = server.shutdown();
+        for t in tickets {
+            prop_assert!(t.wait().is_ok());
+        }
+        prop_assert!(snap.queue_high_water <= capacity,
+            "high water {} over bound {}", snap.queue_high_water, capacity);
+        prop_assert_eq!(m.queue_high_water, snap.queue_high_water);
+        prop_assert_eq!(m.accepted + m.rejected, n as u64);
+        prop_assert_eq!(m.rejected, rejected);
+        prop_assert_eq!(m.completed + m.failed + m.timed_out, m.accepted);
+        prop_assert_eq!(m.failed, 0);
+        prop_assert_eq!(m.frames_completed, m.completed);
+    }
+}

@@ -1,0 +1,77 @@
+//! The measured saturation throughput of a 4-board server must match
+//! the analytic `ClusterThroughput` bound: TFC-W1A1 re-streams its
+//! weights every inference, so four boards saturate the shared DMA and
+//! throughput pins to the transfer bound (the §V loading bottleneck at
+//! system scale).
+
+use netpu_nn::export::BnMode;
+use netpu_nn::zoo::ZooModel;
+use netpu_runtime::{Cluster, Driver, InferRequest};
+use netpu_serve::{Server, ServerConfig};
+
+#[test]
+fn four_boards_saturate_at_the_analytic_transfer_bound() {
+    let driver = Driver::builder().build();
+    let model = ZooModel::TfcW1A1
+        .build_untrained(1, BnMode::Folded)
+        .unwrap();
+    let analytic = Cluster::new(4, driver.clone()).throughput(&model).unwrap();
+    assert!(
+        (analytic.fps - analytic.transfer_bound_fps).abs() < 1e-9,
+        "TFC-W1A1 on 4 boards should be transfer-bound: {analytic:?}"
+    );
+
+    let loadable = netpu_compiler::compile(&model, &vec![100u8; 784]).unwrap();
+    let n = 128usize;
+    let server = Server::start(
+        driver,
+        ServerConfig {
+            boards: 4,
+            queue_capacity: n,
+            ..ServerConfig::default()
+        },
+    );
+    let tickets: Vec<_> = (0..n)
+        .map(|_| {
+            server
+                .submit(InferRequest::loadable(loadable.clone()))
+                .expect_accepted()
+        })
+        .collect();
+    for t in tickets {
+        let served = t.wait().unwrap();
+        assert!(served.board < 4);
+        assert_eq!(served.attempts, 1);
+    }
+    let m = server.shutdown();
+    assert_eq!(m.completed, n as u64);
+    assert_eq!((m.rejected, m.failed, m.timed_out), (0, 0, 0));
+
+    let measured = m.measured_fps().expect("completed frames");
+    let rel = (measured - analytic.fps).abs() / analytic.fps;
+    assert!(
+        rel < 0.05,
+        "measured {measured:.0} fps vs analytic {:.0} fps ({:.1}% off)",
+        analytic.fps,
+        rel * 100.0
+    );
+    // Saturation shows in the utilization profile: the DMA is (almost)
+    // always streaming while every board has idle gaps.
+    assert!(
+        m.dma_utilization() > 0.9,
+        "dma util {}",
+        m.dma_utilization()
+    );
+    for (b, util) in m.board_utilization().iter().enumerate() {
+        assert!(
+            (0.1..0.999).contains(util),
+            "board {b} utilization {util} out of the transfer-bound range"
+        );
+    }
+    // Per-board busy time splits the work roughly evenly.
+    let busy = &m.per_board_busy_us;
+    let (min, max) = busy.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &b| {
+        (lo.min(b), hi.max(b))
+    });
+    assert!(max < 2.0 * min, "board busy skew: {busy:?}");
+}

@@ -93,6 +93,15 @@ impl Tracer {
         self.events.iter()
     }
 
+    /// Consumes the tracer, returning the retained events oldest first.
+    ///
+    /// This is the hand-off point for per-run hooks: a caller threads a
+    /// bounded tracer through one accelerator run and takes the events
+    /// out afterwards without copying.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events.into()
+    }
+
     /// Number of events evicted by the ring bound.
     pub fn dropped(&self) -> u64 {
         self.dropped
@@ -158,6 +167,17 @@ mod tests {
         assert_eq!(t.len(), 3);
         assert_eq!(t.dropped(), 2);
         let msgs: Vec<_> = t.events().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn into_events_preserves_order() {
+        let mut t = Tracer::bounded(3);
+        for i in 0..5u64 {
+            t.record(i, "s", || format!("e{i}"));
+        }
+        let events = t.into_events();
+        let msgs: Vec<_> = events.iter().map(|e| e.message.as_str()).collect();
         assert_eq!(msgs, vec!["e2", "e3", "e4"]);
     }
 

@@ -21,7 +21,7 @@ use netpu::nn::zoo::ZooModel;
 use netpu::runtime::Driver;
 
 fn main() {
-    let driver = Driver::paper_setup();
+    let driver = Driver::builder().build();
 
     // The edge device's budget.
     let util = netpu_utilization(&driver.hw);

@@ -76,14 +76,14 @@ fn main() {
         .build_untrained(11, BnMode::Folded)
         .unwrap();
     for boards in [1usize, 2, 4, 8] {
-        let cluster = Cluster::new(boards, Driver::paper_setup());
+        let cluster = Cluster::new(boards, Driver::builder().build());
         let t = cluster.throughput(&sfc).unwrap();
         println!(
             "   {boards} board(s): {:>7.0} fps (compute bound {:>7.0}, stream bound {:>7.0}), {:>5.1} W",
             t.fps, t.compute_bound_fps, t.transfer_bound_fps, cluster.power_w()
         );
     }
-    let useful = Cluster::new(1, Driver::paper_setup())
+    let useful = Cluster::new(1, Driver::builder().build())
         .useful_boards(&sfc)
         .unwrap();
     println!(

@@ -12,7 +12,7 @@ use netpu::nn::zoo::ZooModel;
 use netpu::runtime::{Driver, PowerParams};
 
 fn main() {
-    let driver = Driver::paper_setup();
+    let driver = Driver::builder().build();
     println!("NetPU-M (one instance, runtime-reconfigured per model):\n");
     println!(
         "{:<10} {:>10} {:>14} {:>14} {:>9}",

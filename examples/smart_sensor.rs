@@ -71,7 +71,7 @@ fn main() {
     );
 
     // The sensor's duty cycle: one window per millisecond budget.
-    let driver = Driver::paper_setup();
+    let driver = Driver::builder().build();
     let class_names = ["sine", "square", "spike", "noise"];
     let mut correct = 0;
     let mut latency = 0.0;

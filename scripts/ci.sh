@@ -16,4 +16,10 @@ cargo build --release --workspace
 echo "== tests (release) =="
 cargo test -q --release --workspace
 
+echo "== serving layer (release) =="
+cargo test -q --release -p netpu-serve
+
+echo "== API doc-tests (release) =="
+cargo test -q --release -p netpu-runtime --doc
+
 echo "CI gate passed."

@@ -9,6 +9,8 @@
 //! - [`core`] — the NetPU/LPU/TNPU accelerator model + resource model
 //! - [`finn`] — FINN-style HSD baseline
 //! - [`runtime`] — DMA/driver/platform/power models
+//! - [`serve`] — multi-board serving: bounded queue, shared-DMA
+//!   arbitration, deadlines and retries
 
 pub use netpu_arith as arith;
 pub use netpu_compiler as compiler;
@@ -16,4 +18,5 @@ pub use netpu_core as core;
 pub use netpu_finn as finn;
 pub use netpu_nn as nn;
 pub use netpu_runtime as runtime;
+pub use netpu_serve as serve;
 pub use netpu_sim as sim;
