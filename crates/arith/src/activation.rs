@@ -262,7 +262,7 @@ impl MultiThreshold {
     #[inline]
     pub fn apply(&self, x: Fix) -> i32 {
         // Thresholds are sorted: binary search for the partition point.
-        self.thresholds.partition_point(|&t| t <= x) as i32
+        crate::cast::i32_sat_usize(self.thresholds.partition_point(|&t| t <= x))
     }
 }
 

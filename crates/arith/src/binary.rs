@@ -48,8 +48,8 @@ pub fn xnor8(a: u8, b: u8) -> u8 {
 pub fn popcount_sum(x: u8, width: u32) -> i32 {
     debug_assert!(width <= 8);
     let mask = if width == 8 { 0xFF } else { (1u8 << width) - 1 };
-    let ones = (x & mask).count_ones() as i32;
-    2 * ones - width as i32
+    let ones = crate::cast::i32_sat(i64::from((x & mask).count_ones()));
+    2 * ones - crate::cast::i32_sat(i64::from(width))
 }
 
 /// Full binarized dot product of `width` channels packed into two 8-bit
@@ -74,7 +74,7 @@ pub fn pack_bits_u64(bits: &[u8]) -> u64 {
 /// Unpacks `n` little-endian bits from a 64-bit stream word.
 pub fn unpack_bits_u64(word: u64, n: usize) -> Vec<u8> {
     assert!(n <= 64);
-    (0..n).map(|i| ((word >> i) & 1) as u8).collect()
+    (0..n).map(|i| crate::cast::lo8((word >> i) & 1)).collect()
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! value scaled by `2^5`, saturated to the signed 37-bit range on every
 //! operation — exactly what a saturating 37-bit hardware datapath does.
 
+use crate::cast;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
@@ -71,7 +72,7 @@ impl Fix {
     #[inline]
     pub fn from_i32(v: i32) -> Fix {
         Fix {
-            raw: (v as i64) << FRAC_BITS,
+            raw: i64::from(v) << FRAC_BITS,
         }
     }
 
@@ -80,20 +81,14 @@ impl Fix {
         if v.is_nan() {
             return Fix::ZERO;
         }
-        let scaled = (v * SCALE as f64).round();
-        if scaled >= RAW_MAX as f64 {
-            Fix::MAX
-        } else if scaled <= RAW_MIN as f64 {
-            Fix::MIN
-        } else {
-            Fix { raw: scaled as i64 }
-        }
+        let scaled = (v * cast::f64_from_i64(SCALE)).round();
+        Fix::from_raw(cast::f64_to_i64_sat(scaled))
     }
 
     /// Converts to `f64` (always exact: 37 bits fit in an `f64` mantissa).
     #[inline]
     pub fn to_f64(self) -> f64 {
-        self.raw as f64 / SCALE as f64
+        cast::f64_from_i64(self.raw) / cast::f64_from_i64(SCALE)
     }
 
     /// Truncates toward negative infinity to an integer (drops the
@@ -131,17 +126,8 @@ impl Fix {
     /// fraction bits toward negative infinity before saturating.
     #[inline]
     pub fn sat_mul(self, rhs: Fix) -> Fix {
-        let wide = (self.raw as i128) * (rhs.raw as i128);
-        let shifted = wide >> FRAC_BITS;
-        if shifted > RAW_MAX as i128 {
-            Fix::MAX
-        } else if shifted < RAW_MIN as i128 {
-            Fix::MIN
-        } else {
-            Fix {
-                raw: shifted as i64,
-            }
-        }
+        let wide = i128::from(self.raw) * i128::from(rhs.raw);
+        Fix::from_raw(cast::i64_sat(wide >> FRAC_BITS))
     }
 
     /// Arithmetic right shift of the value (used by the piecewise-linear
@@ -155,14 +141,8 @@ impl Fix {
     #[inline]
     #[allow(clippy::should_implement_trait)] // saturating, unlike ops::Shl
     pub fn shl(self, k: u32) -> Fix {
-        let wide = (self.raw as i128) << k;
-        if wide > RAW_MAX as i128 {
-            Fix::MAX
-        } else if wide < RAW_MIN as i128 {
-            Fix::MIN
-        } else {
-            Fix { raw: wide as i64 }
-        }
+        let wide = i128::from(self.raw) << k;
+        Fix::from_raw(cast::i64_sat(wide))
     }
 
     /// Absolute value, saturating (`|MIN|` saturates to `MAX`).
@@ -209,24 +189,14 @@ impl Fix {
     /// `y = (raw · scale) >> 16`, saturating.
     #[inline]
     pub fn mul_q16(self, scale_q16: i32) -> Fix {
-        let wide = (self.raw as i128) * (scale_q16 as i128);
-        let shifted = wide >> 16;
-        if shifted > RAW_MAX as i128 {
-            Fix::MAX
-        } else if shifted < RAW_MIN as i128 {
-            Fix::MIN
-        } else {
-            Fix {
-                raw: shifted as i64,
-            }
-        }
+        let wide = i128::from(self.raw) * i128::from(scale_q16);
+        Fix::from_raw(cast::i64_sat(wide >> 16))
     }
 
     /// Encodes a host-side real scale factor as a Q16.16 parameter word,
     /// rounding to nearest and saturating.
     pub fn q16_scale_from_f64(scale: f64) -> i32 {
-        let scaled = (scale * 65536.0).round();
-        scaled.clamp(i32::MIN as f64, i32::MAX as f64) as i32
+        cast::f64_to_i32_sat((scale * 65536.0).round())
     }
 
     /// Interprets a 32-bit two's-complement word from the parameter stream
@@ -237,7 +207,7 @@ impl Fix {
     #[inline]
     pub fn from_stream_word(word: u32) -> Fix {
         Fix {
-            raw: word as i32 as i64,
+            raw: cast::i64_from_word(word),
         }
     }
 
@@ -245,7 +215,7 @@ impl Fix {
     /// saturating to the 32-bit range.
     #[inline]
     pub fn to_stream_word(self) -> u32 {
-        self.raw.clamp(i32::MIN as i64, i32::MAX as i64) as i32 as u32
+        cast::word_from_i64(i64::from(cast::i32_sat(self.raw)))
     }
 }
 
@@ -282,14 +252,8 @@ impl Div for Fix {
         if rhs.raw == 0 {
             return if self.raw >= 0 { Fix::MAX } else { Fix::MIN };
         }
-        let wide = ((self.raw as i128) << FRAC_BITS) / rhs.raw as i128;
-        if wide > RAW_MAX as i128 {
-            Fix::MAX
-        } else if wide < RAW_MIN as i128 {
-            Fix::MIN
-        } else {
-            Fix { raw: wide as i64 }
-        }
+        let wide = (i128::from(self.raw) << FRAC_BITS) / i128::from(rhs.raw);
+        Fix::from_raw(cast::i64_sat(wide))
     }
 }
 

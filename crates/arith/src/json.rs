@@ -34,7 +34,7 @@ impl FromJson for Precision {
         let bits = v
             .as_u64()
             .ok_or_else(|| Error::msg("Precision: expected bit count"))?;
-        Precision::new(bits as u8).map_err(|e| Error::msg(e.to_string()))
+        Precision::new(crate::cast::u8_sat(bits)).map_err(|e| Error::msg(e.to_string()))
     }
 }
 

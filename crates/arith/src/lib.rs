@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! Fixed-point, quantized, and binarized arithmetic primitives for the
 //! NetPU-M accelerator reproduction.
 //!
@@ -15,6 +15,9 @@
 //!   (Eq. 3), and Multi-Threshold (HWGQ) activations.
 //! * [`quant`] — integer quantization, saturation, and stream-lane packing
 //!   (8-bit lanes with placeholder bits; 8-channel packing for 1-bit data).
+//! * [`cast`] — audited numeric conversions (saturating narrowings,
+//!   bit-pattern reinterpretations, float bridges); the only module where
+//!   a bare `as` numeric cast is permitted by the workspace lint.
 //! * [`softmax`] — fixed-point exp/SoftMax (the paper's stated future
 //!   work for the output layer).
 //!
@@ -24,6 +27,7 @@
 
 pub mod activation;
 pub mod binary;
+pub mod cast;
 pub mod fixed;
 mod json;
 pub mod precision;

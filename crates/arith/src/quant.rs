@@ -10,6 +10,7 @@
 //!   are ignored placeholders, §V), or eight 1-bit channels per lane for
 //!   binary data (§III.B.1).
 
+use crate::cast;
 use crate::fixed::Fix;
 use crate::precision::Precision;
 use serde::{Deserialize, Serialize};
@@ -17,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// Clamps `v` into the unsigned range of `p` (`0 ..= 2^bits − 1`).
 #[inline]
 pub fn clamp_unsigned(v: i64, p: Precision) -> i32 {
-    v.clamp(0, p.unsigned_max() as i64) as i32
+    cast::i32_sat(v.clamp(0, i64::from(p.unsigned_max())))
 }
 
 /// Clamps `v` into the signed range of `p`. For 1-bit this is the bipolar
@@ -32,7 +33,7 @@ pub fn clamp_signed(v: i64, p: Precision) -> i32 {
             -1
         }
     } else {
-        v.clamp(p.signed_min() as i64, p.signed_max() as i64) as i32
+        cast::i32_sat(v.clamp(i64::from(p.signed_min()), i64::from(p.signed_max())))
     }
 }
 
@@ -94,7 +95,7 @@ pub fn pack_signed_lanes(values: &[i32], p: Precision) -> Vec<u64> {
                     v >= p.signed_min() && v <= p.signed_max(),
                     "value {v} out of {p} signed range"
                 );
-                word |= u64::from(v as i8 as u8) << (8 * i);
+                word |= u64::from(cast::lane_of_i32(v)) << (8 * i);
             }
             word
         })
@@ -113,7 +114,7 @@ pub fn pack_unsigned_lanes(values: &[i32], p: Precision) -> Vec<u64> {
                     v >= 0 && v <= p.unsigned_max(),
                     "value {v} out of {p} unsigned range"
                 );
-                word |= u64::from(v as u8) << (8 * i);
+                word |= u64::from(cast::lane_of_i32(v)) << (8 * i);
             }
             word
         })
@@ -142,12 +143,11 @@ pub fn pack_binary_channels(values: &[i32]) -> Vec<u64> {
 #[inline]
 pub fn extract_signed_lane(word: u64, i: usize, p: Precision) -> i32 {
     debug_assert!(i < LANES_PER_WORD && !p.is_binary());
-    let byte = (word >> (8 * i)) as u8;
-    let bits = p.bits() as u32;
-    let masked = (byte as u32) & ((1u32 << bits) - 1);
+    let byte = cast::lo8(word >> (8 * i));
+    let bits = u32::from(p.bits());
+    let masked = u32::from(byte) & ((1u32 << bits) - 1);
     // Sign-extend from the precision's top bit.
-    let shift = 32 - bits;
-    ((masked << shift) as i32) >> shift
+    cast::sign_extend(masked, bits)
 }
 
 /// Extracts lane `i` of a stream word as an unsigned value at precision
@@ -155,15 +155,16 @@ pub fn extract_signed_lane(word: u64, i: usize, p: Precision) -> i32 {
 #[inline]
 pub fn extract_unsigned_lane(word: u64, i: usize, p: Precision) -> i32 {
     debug_assert!(i < LANES_PER_WORD && !p.is_binary());
-    let byte = (word >> (8 * i)) as u8;
-    (byte & ((1u16 << p.bits()) - 1) as u8) as i32
+    let byte = cast::lo8(word >> (8 * i));
+    let mask = cast::u8_sat((1u64 << p.bits()) - 1);
+    i32::from(byte & mask)
 }
 
 /// Extracts binary channel `i` (0..64) of a stream word as a bipolar ±1.
 #[inline]
 pub fn extract_binary_channel(word: u64, i: usize) -> i32 {
     debug_assert!(i < 64);
-    crate::binary::decode_bipolar((word >> i) as u8)
+    crate::binary::decode_bipolar(cast::lo8(word >> i))
 }
 
 /// Number of 64-bit stream words needed to carry `n` operands at

@@ -13,6 +13,7 @@
 //! width: the Q32.5 datapath's 1/32 resolution is too coarse for
 //! probabilities. [`exp_q16`] therefore returns a Q16.16 word.
 
+use crate::cast;
 use crate::fixed::Fix;
 
 /// `log₂(e)` as a Q16.16 multiplier word.
@@ -40,7 +41,7 @@ const C2_Q16: i64 = 22_779;
 pub fn exp_q16(x: Fix) -> i64 {
     debug_assert!(x <= Fix::ZERO, "exp_q16 takes max-shifted (≤0) scores");
     // y = x·log2(e) in Q16.16: raw is Q.5, so shift down by 5.
-    let y_q16 = ((x.raw() as i128 * LOG2E_Q16 as i128) >> 5) as i64;
+    let y_q16 = cast::i64_sat((i128::from(x.raw()) * i128::from(LOG2E_Q16)) >> 5);
     let int_part = y_q16 >> 16; // floor, ≤ 0
     let frac = y_q16 - (int_part << 16); // ∈ [0, 65536)
     let poly = ONE_Q16 + ((C1_Q16 * frac) >> 16) + ((C2_Q16 * ((frac * frac) >> 16)) >> 16);
@@ -63,9 +64,11 @@ pub fn softmax(scores: &[Fix]) -> Vec<f64> {
     let exps: Vec<i64> = scores.iter().map(|&s| exp_q16(s.sat_sub(max))).collect();
     let sum: i64 = exps.iter().sum();
     if sum == 0 {
-        return vec![1.0 / scores.len() as f64; scores.len()];
+        return vec![1.0 / cast::f64_from_usize(scores.len()); scores.len()];
     }
-    exps.into_iter().map(|e| e as f64 / sum as f64).collect()
+    exps.into_iter()
+        .map(|e| cast::f64_from_i64(e) / cast::f64_from_i64(sum))
+        .collect()
 }
 
 #[cfg(test)]

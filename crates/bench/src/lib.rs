@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! Benchmark-harness support: the paper's published values, table
 //! rendering, and machine-readable experiment records.
 //!

@@ -1,0 +1,216 @@
+//! Structured diagnostics: stable rule IDs, severities, byte offsets.
+
+use std::fmt;
+
+/// Stable rule identifiers. The numeric suffix never changes meaning
+/// across releases; retired rules leave a hole rather than being
+/// renumbered. DESIGN.md §4.3 maps each ID to the architectural
+/// invariant it encodes and the paper section that states it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[non_exhaustive]
+pub enum RuleId {
+    /// Header magic and version fields.
+    Npc001,
+    /// Layer count and Input, Hidden*, Output sequence.
+    Npc002,
+    /// Layer-setting word decodes (type / activation / width fields).
+    Npc003,
+    /// Inter-layer shape chain: layer *k* consumes layer *k−1*'s width.
+    Npc004,
+    /// Stream length matches the section layout exactly.
+    Npc005,
+    /// Weight packing flag agrees with the instance's unpack logic.
+    Npc006,
+    /// Multi-Threshold tables are monotonically non-decreasing.
+    Npc007,
+    /// BN multiplier scale is non-degenerate.
+    Npc008,
+    /// Weight-word packing consistency (padding bits, dense payoff).
+    Npc009,
+    /// Per-layer width and buffer-depth bounds.
+    Npc010,
+    /// Hardware configuration validity and resource feasibility.
+    Npc011,
+    /// QUAN scale/offset uniformity within a layer.
+    Npc012,
+    /// Multi-Threshold precision within the instance's synthesis cap.
+    Npc013,
+}
+
+impl RuleId {
+    /// All rules, in catalog order.
+    pub const ALL: [RuleId; 13] = [
+        RuleId::Npc001,
+        RuleId::Npc002,
+        RuleId::Npc003,
+        RuleId::Npc004,
+        RuleId::Npc005,
+        RuleId::Npc006,
+        RuleId::Npc007,
+        RuleId::Npc008,
+        RuleId::Npc009,
+        RuleId::Npc010,
+        RuleId::Npc011,
+        RuleId::Npc012,
+        RuleId::Npc013,
+    ];
+
+    /// The stable textual ID, e.g. `"NPC004"`.
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::Npc001 => "NPC001",
+            RuleId::Npc002 => "NPC002",
+            RuleId::Npc003 => "NPC003",
+            RuleId::Npc004 => "NPC004",
+            RuleId::Npc005 => "NPC005",
+            RuleId::Npc006 => "NPC006",
+            RuleId::Npc007 => "NPC007",
+            RuleId::Npc008 => "NPC008",
+            RuleId::Npc009 => "NPC009",
+            RuleId::Npc010 => "NPC010",
+            RuleId::Npc011 => "NPC011",
+            RuleId::Npc012 => "NPC012",
+            RuleId::Npc013 => "NPC013",
+        }
+    }
+
+    /// One-line statement of the invariant the rule encodes.
+    pub fn invariant(self) -> &'static str {
+        match self {
+            RuleId::Npc001 => "stream header carries the NetPU magic and a supported version",
+            RuleId::Npc002 => "layer sequence is Input, Hidden*, Output with at least two layers",
+            RuleId::Npc003 => "every layer-setting word decodes to a known type and activation",
+            RuleId::Npc004 => "each FC layer's input length equals the previous layer's width",
+            RuleId::Npc005 => "the stream is exactly as long as its section layout requires",
+            RuleId::Npc006 => "the packing flag matches the instance's weight-unpack logic",
+            RuleId::Npc007 => "multi-threshold tables are sorted for the comparator cascade",
+            RuleId::Npc008 => "BN scale multiplicands are non-zero",
+            RuleId::Npc009 => "weight words are packed consistently with the declared mode",
+            RuleId::Npc010 => "layer widths fit the architecture's buffers",
+            RuleId::Npc011 => "the hardware configuration is valid and fits the target fabric",
+            RuleId::Npc012 => "QUAN parameters are uniform across a layer's neurons",
+            RuleId::Npc013 => "multi-threshold precision is within the synthesis-time cap",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// How bad a finding is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Suspicious but the accelerator would still complete the run
+    /// (possibly with garbage numerics).
+    Warning,
+    /// The accelerator would reject, deadlock on, or panic over this
+    /// stream; admission must refuse it.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding: a rule violation at a stream location.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Byte offset into the serialized stream (word offset × 8), when
+    /// the finding points at a specific word.
+    pub byte_offset: Option<usize>,
+    /// Zero-based layer index the finding concerns, when layer-scoped.
+    pub layer: Option<usize>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.severity, self.rule)?;
+        if let Some(off) = self.byte_offset {
+            write!(f, " @0x{off:x}")?;
+        }
+        if let Some(layer) = self.layer {
+            write!(f, " layer {layer}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The checker's verdict: every diagnostic, in stream order.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Report {
+    /// All findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// `true` when nothing fired at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// `true` when at least one error-severity finding fired; admission
+    /// layers reject exactly these reports.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Error-severity findings only.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// `true` when `rule` fired at any severity.
+    pub fn fired(&self, rule: RuleId) -> bool {
+        self.diagnostics.iter().any(|d| d.rule == rule)
+    }
+
+    pub(crate) fn push(
+        &mut self,
+        rule: RuleId,
+        severity: Severity,
+        byte_offset: Option<usize>,
+        layer: Option<usize>,
+        message: String,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            rule,
+            severity,
+            byte_offset,
+            layer,
+            message,
+        });
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return f.write_str("clean");
+        }
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,60 @@
+#![deny(missing_docs)]
+//! Static verifier for NetPU-M loadables and instance configurations.
+//!
+//! The accelerator's stream protocol (§III.B) assumes every loadable is
+//! well-formed; a malformed one is otherwise caught — if at all — by an
+//! error or panic deep inside the cycle-level model. This crate checks
+//! a stream **without simulating it**: section layout and ordering,
+//! layer-setting decodability, the inter-layer shape chain, bit-width
+//! and buffer-depth bounds, threshold-table monotonicity, BN-multiplier
+//! degeneracy, weight-word packing consistency, and resource-model
+//! feasibility of the target [`HwConfig`].
+//!
+//! Findings are structured [`Diagnostic`]s with stable rule IDs
+//! (`NPC001`…), byte offsets into the serialized stream, and
+//! severities. **Errors** mark streams the accelerator would reject,
+//! deadlock on, or panic over; admission layers ([`Driver::run`] and
+//! `netpu-serve`) reject exactly those, so a stream the accelerator
+//! would run to completion is never refused. **Warnings** flag numeric
+//! hazards (unsorted threshold tables, zero BN scales, wasted dense
+//! flags) that complete but misbehave.
+//!
+//! [`Driver::run`]: https://docs.rs/netpu-runtime
+//!
+//! ```
+//! use netpu_check::{check, RuleId};
+//! use netpu_core::HwConfig;
+//! use netpu_nn::export::BnMode;
+//! use netpu_nn::zoo::ZooModel;
+//!
+//! let model = ZooModel::TfcW1A1.build_untrained(1, BnMode::Folded).unwrap();
+//! let loadable = netpu_compiler::compile(&model, &vec![0u8; 784]).unwrap();
+//! let report = check(&loadable, &HwConfig::paper_instance());
+//! assert!(!report.has_errors());
+//!
+//! let mut bad = loadable.clone();
+//! bad.words[0] ^= 1; // flip a magic bit
+//! let report = netpu_check::check_words(&bad.words, &HwConfig::paper_instance());
+//! assert!(report.has_errors() && report.fired(RuleId::Npc001));
+//! ```
+
+mod diag;
+mod rules;
+
+pub use diag::{Diagnostic, Report, RuleId, Severity};
+
+use netpu_compiler::Loadable;
+use netpu_core::HwConfig;
+
+/// Checks a compiled loadable against an instance configuration. The
+/// section layout is recomputed from the stream itself — the loadable's
+/// host-side `layout` metadata is deliberately not trusted.
+pub fn check(loadable: &Loadable, cfg: &HwConfig) -> Report {
+    check_words(&loadable.words, cfg)
+}
+
+/// Checks a raw word stream (e.g. one received over a transport, with
+/// no host-side metadata) against an instance configuration.
+pub fn check_words(words: &[u64], cfg: &HwConfig) -> Report {
+    rules::run_all(words, cfg)
+}

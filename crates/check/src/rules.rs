@@ -1,0 +1,499 @@
+//! The rule implementations behind [`crate::check_words`].
+//!
+//! Each rule encodes one architectural invariant of the NetPU-M stream
+//! protocol or instance configuration; DESIGN.md §4.3 is the catalog.
+//! Rules that, when violated, make the accelerator model reject, stall,
+//! or panic are **errors**; rules that only compromise numerics are
+//! **warnings**. Admission layers reject on errors alone, so the
+//! checker never refuses a stream the accelerator would run to
+//! completion.
+
+use crate::diag::{Report, RuleId, Severity};
+use netpu_arith::{cast, ActivationKind, Fix};
+use netpu_compiler::settings::MAX_FIELD_WIDTH;
+use netpu_compiler::stream::{
+    input_words, neuron_weight_words_mode, unpack_u32_pairs, uses_xnor_path, weight_field_bits,
+    weight_words_mode, MAGIC, VERSION,
+};
+use netpu_compiler::{LayerSetting, LayerType, PackingMode};
+use netpu_core::resources::{netpu_utilization, ULTRA96_V2};
+use netpu_core::HwConfig;
+
+/// Depth of the 64-bit data buffers (Layer Input / Layer Weight / Bias).
+const DATA_BUFFER_DEPTH: usize = 1024;
+/// Depth of the 128-bit parameter buffers (BN / threshold / QUAN).
+const PARAM_BUFFER_DEPTH: usize = 2048;
+
+/// Bytes per stream word, for diagnostic offsets.
+const WORD: usize = 8;
+
+/// 32-bit activation-parameter values per neuron for a layer setting
+/// (mirrors the compiler's section sizing).
+fn act_param_u32s(setting: &LayerSetting) -> usize {
+    match setting.activation {
+        ActivationKind::Sign => 1,
+        ActivationKind::MultiThreshold => setting.out_precision.multi_threshold_count(),
+        ActivationKind::Relu | ActivationKind::Sigmoid | ActivationKind::Tanh => 2,
+    }
+}
+
+/// Parameter-section words of a layer (mirrors the compiler).
+fn param_section_words(setting: &LayerSetting) -> usize {
+    let neurons = cast::usize_from_u32(setting.neurons);
+    let mut words = 0usize;
+    if setting.layer_type != LayerType::Input {
+        words += if setting.bn_folded {
+            neurons.div_ceil(8)
+        } else {
+            neurons
+        };
+    }
+    if setting.layer_type != LayerType::Output {
+        words += (neurons * act_param_u32s(setting)).div_ceil(2);
+    }
+    words
+}
+
+/// Runs every rule over a raw word stream against an instance config.
+pub fn run_all(words: &[u64], cfg: &HwConfig) -> Report {
+    let mut report = Report::default();
+
+    // NPC011 — configuration validity + resource feasibility. Config
+    // problems are reported even when the stream is also bad.
+    if let Err(e) = cfg.validate() {
+        report.push(
+            RuleId::Npc011,
+            Severity::Error,
+            None,
+            None,
+            format!("invalid hardware configuration: {e}"),
+        );
+    } else if !netpu_utilization(cfg).fits(&ULTRA96_V2) {
+        let u = netpu_utilization(cfg);
+        report.push(
+            RuleId::Npc011,
+            Severity::Warning,
+            None,
+            None,
+            format!(
+                "instance needs {} LUTs / {} DSPs / {:.1} BRAM36 — exceeds the {} envelope",
+                u.luts, u.dsps, u.bram36, ULTRA96_V2.name
+            ),
+        );
+    }
+
+    // NPC001 — header word.
+    let Some(&header) = words.first() else {
+        report.push(
+            RuleId::Npc005,
+            Severity::Error,
+            Some(0),
+            None,
+            "empty stream: no header word".to_string(),
+        );
+        return report;
+    };
+    if cast::lo16(header) != MAGIC {
+        report.push(
+            RuleId::Npc001,
+            Severity::Error,
+            Some(0),
+            None,
+            format!(
+                "header magic {:#06x}, expected {MAGIC:#06x}",
+                cast::lo16(header)
+            ),
+        );
+        return report;
+    }
+    if cast::lo8(header >> 16) != VERSION {
+        report.push(
+            RuleId::Npc001,
+            Severity::Error,
+            Some(0),
+            None,
+            format!(
+                "stream version {}, this instance speaks {VERSION}",
+                cast::lo8(header >> 16)
+            ),
+        );
+        return report;
+    }
+    let mode = if header >> 40 & 1 == 1 {
+        PackingMode::Dense
+    } else {
+        PackingMode::Lanes8
+    };
+
+    // NPC002 — layer count.
+    let n = cast::usize_sat(header >> 24 & 0xFFFF);
+    if n < 2 {
+        report.push(
+            RuleId::Npc002,
+            Severity::Error,
+            Some(0),
+            None,
+            format!("{n} layer(s): a network needs at least Input and Output"),
+        );
+        return report;
+    }
+
+    // NPC005 (early) — the settings block itself must be present.
+    if words.len() < 1 + n {
+        report.push(
+            RuleId::Npc005,
+            Severity::Error,
+            Some(words.len() * WORD),
+            None,
+            format!(
+                "stream ends inside the settings block: {} word(s), {} needed",
+                words.len(),
+                1 + n
+            ),
+        );
+        return report;
+    }
+
+    // NPC003 — every setting word must decode.
+    let mut settings = Vec::with_capacity(n);
+    for (k, &w) in words[1..1 + n].iter().enumerate() {
+        match LayerSetting::decode(w) {
+            Ok(s) => settings.push(s),
+            Err(e) => report.push(
+                RuleId::Npc003,
+                Severity::Error,
+                Some((1 + k) * WORD),
+                Some(k),
+                format!("undecodable layer setting: {e}"),
+            ),
+        }
+    }
+    if settings.len() < n {
+        // The section layout is uncomputable without every setting.
+        return report;
+    }
+
+    // NPC002 — layer sequence.
+    let seq_ok = settings[0].layer_type == LayerType::Input
+        && settings[n - 1].layer_type == LayerType::Output
+        && settings[1..n - 1]
+            .iter()
+            .all(|s| s.layer_type == LayerType::Hidden);
+    if !seq_ok {
+        report.push(
+            RuleId::Npc002,
+            Severity::Error,
+            Some(WORD),
+            None,
+            "layer sequence is not Input, Hidden*, Output".to_string(),
+        );
+    }
+
+    // NPC004 — inter-layer shape chain.
+    for k in 1..n {
+        if settings[k].input_len != settings[k - 1].neurons {
+            report.push(
+                RuleId::Npc004,
+                Severity::Error,
+                Some((1 + k) * WORD),
+                Some(k),
+                format!(
+                    "layer consumes {} inputs but the previous layer produces {}",
+                    settings[k].input_len,
+                    settings[k - 1].neurons
+                ),
+            );
+        }
+    }
+
+    // NPC010 — width and buffer bounds.
+    for (k, s) in settings.iter().enumerate() {
+        if s.neurons == 0 {
+            report.push(
+                RuleId::Npc010,
+                Severity::Error,
+                Some((1 + k) * WORD),
+                Some(k),
+                "zero-width layer: the drain/maxout stages would never fire".to_string(),
+            );
+        }
+        debug_assert!(s.neurons <= MAX_FIELD_WIDTH, "decode enforces the ceiling");
+        if k == 0 && input_words(cast::usize_from_u32(s.neurons)) > DATA_BUFFER_DEPTH {
+            report.push(
+                RuleId::Npc010,
+                Severity::Warning,
+                Some((1 + k) * WORD),
+                Some(k),
+                format!(
+                    "input of {} pixels overflows the {DATA_BUFFER_DEPTH}-word Layer Input buffer",
+                    s.neurons
+                ),
+            );
+        }
+        if k > 0 && !s.bn_folded && cast::usize_from_u32(s.neurons) > PARAM_BUFFER_DEPTH {
+            report.push(
+                RuleId::Npc010,
+                Severity::Warning,
+                Some((1 + k) * WORD),
+                Some(k),
+                format!(
+                    "{} unfolded BN entries overflow the {PARAM_BUFFER_DEPTH}-deep BN buffers",
+                    s.neurons
+                ),
+            );
+        }
+    }
+
+    // NPC006 — packing flag vs the instance's unpack logic.
+    if mode == PackingMode::Dense && !cfg.dense_weight_packing {
+        report.push(
+            RuleId::Npc006,
+            Severity::Error,
+            Some(0),
+            None,
+            "stream uses dense weight packing; this instance was generated without it".to_string(),
+        );
+    }
+
+    // NPC013 — multi-threshold precision vs the synthesis-time cap.
+    for (k, s) in settings.iter().enumerate() {
+        if s.layer_type != LayerType::Output
+            && s.activation == ActivationKind::MultiThreshold
+            && s.out_precision.bits() > cfg.max_multithreshold_bits
+        {
+            report.push(
+                RuleId::Npc013,
+                Severity::Warning,
+                Some((1 + k) * WORD),
+                Some(k),
+                format!(
+                    "{}-bit multi-threshold output exceeds the instance's {}-bit comparator bank",
+                    s.out_precision.bits(),
+                    cfg.max_multithreshold_bits
+                ),
+            );
+        }
+    }
+
+    // If the sequence or shape chain is broken the section layout below
+    // would be built on nonsense; stop after the structural errors.
+    if report.has_errors() {
+        return report;
+    }
+
+    // Recompute the section layout (§III.B.3 interleave): input block,
+    // then P0, (P1, W0), (P2, W1), …, W(n−1).
+    let mut pos = 1 + n;
+    let in_words = input_words(cast::usize_from_u32(settings[0].neurons));
+    pos += in_words;
+    let mut sections: Vec<(bool, usize, usize, usize)> = Vec::new(); // (is_params, layer, start, len)
+    sections.push((true, 0, pos, param_section_words(&settings[0])));
+    pos += param_section_words(&settings[0]);
+    for k in 1..n {
+        sections.push((true, k, pos, param_section_words(&settings[k])));
+        pos += param_section_words(&settings[k]);
+        let wlen = weight_words_mode(&settings[k - 1], mode);
+        sections.push((false, k - 1, pos, wlen));
+        pos += wlen;
+    }
+    let wlen = weight_words_mode(&settings[n - 1], mode);
+    sections.push((false, n - 1, pos, wlen));
+    pos += wlen;
+
+    // NPC005 — exact stream length.
+    if words.len() < pos {
+        report.push(
+            RuleId::Npc005,
+            Severity::Error,
+            Some(words.len() * WORD),
+            None,
+            format!(
+                "stream truncated: {} word(s), the section layout needs {pos}",
+                words.len()
+            ),
+        );
+        return report;
+    }
+    if words.len() > pos {
+        report.push(
+            RuleId::Npc005,
+            Severity::Warning,
+            Some(pos * WORD),
+            None,
+            format!(
+                "{} trailing word(s) past the layout end (burst stream or garbage)",
+                words.len() - pos
+            ),
+        );
+    }
+
+    // Per-section parameter rules.
+    for &(is_params, k, start, len) in &sections {
+        let s = &settings[k];
+        let body = &words[start..start + len];
+        if is_params {
+            check_param_section(&mut report, s, k, start, body);
+        } else {
+            check_weight_section(&mut report, s, k, start, body, mode);
+        }
+    }
+
+    // NPC009 — a dense flag that buys nothing is a packing mismatch
+    // smell (the compiler only sets it when some layer packs denser).
+    if mode == PackingMode::Dense
+        && !settings[1..]
+            .iter()
+            .any(|s| uses_xnor_path(s) || weight_field_bits(s, mode) < 8)
+    {
+        report.push(
+            RuleId::Npc009,
+            Severity::Warning,
+            Some(0),
+            None,
+            "dense packing flagged but every layer still packs 8-bit lanes".to_string(),
+        );
+    }
+
+    report
+}
+
+/// NPC007 / NPC008 / NPC012 over one layer's parameter section.
+fn check_param_section(
+    report: &mut Report,
+    s: &LayerSetting,
+    layer: usize,
+    start: usize,
+    body: &[u64],
+) {
+    let neurons = cast::usize_from_u32(s.neurons);
+    let mut cursor = 0usize;
+
+    // Bias / BN block (FC layers).
+    if s.layer_type != LayerType::Input {
+        if s.bn_folded {
+            cursor += neurons.div_ceil(8);
+        } else {
+            for (i, &w) in body[..neurons.min(body.len())].iter().enumerate() {
+                // NPC008 — a zero Q16.16 scale multiplies every
+                // accumulator to zero; the layer cannot discriminate.
+                if cast::i32_from_bits(cast::lo32(w)) == 0 {
+                    report.push(
+                        RuleId::Npc008,
+                        Severity::Warning,
+                        Some((start + i) * WORD),
+                        Some(layer),
+                        format!("neuron {i}: BN scale is zero"),
+                    );
+                }
+            }
+            cursor += neurons;
+        }
+    }
+
+    // Activation block (Input and Hidden layers).
+    if s.layer_type == LayerType::Output || cursor >= body.len() {
+        return;
+    }
+    let act_words = &body[cursor..];
+    match s.activation {
+        ActivationKind::MultiThreshold => {
+            let per = s.out_precision.multi_threshold_count();
+            let vals = unpack_u32_pairs(act_words, neurons * per);
+            for (ni, row) in vals.chunks(per).enumerate() {
+                for i in 1..row.len() {
+                    let prev = Fix::from_stream_word(row[i - 1]).raw();
+                    let cur = Fix::from_stream_word(row[i]).raw();
+                    if cur < prev {
+                        // NPC007 — the comparator cascade binary-
+                        // searches the table; out-of-order entries make
+                        // quantization non-monotone.
+                        let off = (start + cursor + (ni * per + i) / 2) * WORD;
+                        report.push(
+                            RuleId::Npc007,
+                            Severity::Warning,
+                            Some(off),
+                            Some(layer),
+                            format!(
+                                "neuron {ni}: threshold {i} ({cur}) below threshold {} ({prev})",
+                                i - 1
+                            ),
+                        );
+                        break; // one finding per neuron row
+                    }
+                }
+            }
+        }
+        ActivationKind::Relu | ActivationKind::Sigmoid | ActivationKind::Tanh => {
+            let vals = unpack_u32_pairs(act_words, neurons * 2);
+            if let (Some(&s0), Some(&o0)) = (vals.first(), vals.get(1)) {
+                for (ni, pair) in vals.chunks(2).enumerate() {
+                    if pair[0] != s0 || pair[1] != o0 {
+                        // NPC012 — QUAN is one per-layer unit in the
+                        // hardware; divergent per-neuron copies mean
+                        // the stream was assembled inconsistently.
+                        let off = (start + cursor + ni) * WORD;
+                        report.push(
+                            RuleId::Npc012,
+                            Severity::Warning,
+                            Some(off),
+                            Some(layer),
+                            format!("neuron {ni}: QUAN parameters differ from neuron 0"),
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+        ActivationKind::Sign => {}
+    }
+}
+
+/// NPC009 over one layer's weight section: padding bits past the layer
+/// width must be zero, as the compiler emits them.
+fn check_weight_section(
+    report: &mut Report,
+    s: &LayerSetting,
+    layer: usize,
+    start: usize,
+    body: &[u64],
+    mode: PackingMode,
+) {
+    if s.layer_type == LayerType::Input {
+        return;
+    }
+    let in_len = cast::usize_from_u32(s.input_len);
+    let per_neuron = neuron_weight_words_mode(s, mode);
+    if per_neuron == 0 {
+        return;
+    }
+    let fields_per_word = if uses_xnor_path(s) {
+        64
+    } else {
+        64 / cast::usize_from_u32(weight_field_bits(s, mode))
+    };
+    let used_in_last = in_len - (per_neuron - 1) * fields_per_word;
+    let used_bits = if uses_xnor_path(s) {
+        used_in_last
+    } else {
+        used_in_last * cast::usize_from_u32(weight_field_bits(s, mode))
+    };
+    if used_bits >= 64 {
+        return; // final word fully used, nothing to check
+    }
+    let pad_mask = !0u64 << used_bits;
+    for (ni, row) in body.chunks(per_neuron).enumerate() {
+        if let Some(&last) = row.last() {
+            if last & pad_mask != 0 {
+                let off = (start + ni * per_neuron + per_neuron - 1) * WORD;
+                report.push(
+                    RuleId::Npc009,
+                    Severity::Warning,
+                    Some(off),
+                    Some(layer),
+                    format!("neuron {ni}: non-zero padding bits past the layer width"),
+                );
+                return; // one finding per section
+            }
+        }
+    }
+}

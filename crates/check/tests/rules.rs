@@ -1,0 +1,288 @@
+//! One accepting and one rejecting fixture per `NPC` rule ID.
+
+use netpu_arith::{Fix, Precision, QuantParams};
+use netpu_check::{check, check_words, Report, RuleId};
+use netpu_compiler::{compile, compile_packed, Loadable, PackingMode, SectionKind};
+use netpu_core::HwConfig;
+use netpu_nn::export::BnMode;
+use netpu_nn::qmodel::{HiddenLayer, InputLayer, LayerActivation, OutputLayer, QuantMlp};
+use netpu_nn::zoo::ZooModel;
+
+fn cfg() -> HwConfig {
+    HwConfig::paper_instance()
+}
+
+fn tfc(bn: BnMode) -> Loadable {
+    let model = ZooModel::TfcW2A2.build_untrained(7, bn).unwrap();
+    compile(&model, &vec![0u8; 784]).unwrap()
+}
+
+fn rep(words: &[u64]) -> Report {
+    check_words(words, &cfg())
+}
+
+/// Word range of a layer's section in the stream, via the (trusted in
+/// tests only) host-side layout.
+fn section(l: &Loadable, kind: SectionKind, layer: usize) -> std::ops::Range<usize> {
+    l.layout
+        .sections
+        .iter()
+        .find(|(k, lay, _)| *k == kind && *lay == layer)
+        .map(|(_, _, r)| r.clone())
+        .unwrap()
+}
+
+#[test]
+fn npc001_header_magic_and_version() {
+    let l = tfc(BnMode::Folded);
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc001));
+
+    let mut bad = l.words.clone();
+    bad[0] ^= 1; // magic bit
+    let r = rep(&bad);
+    assert!(r.has_errors() && r.fired(RuleId::Npc001));
+
+    let mut bad = l.words.clone();
+    bad[0] ^= 1 << 16; // version bit
+    assert!(rep(&bad).fired(RuleId::Npc001));
+}
+
+#[test]
+fn npc002_layer_count_and_sequence() {
+    let l = tfc(BnMode::Folded);
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc002));
+
+    // Count of 1 layer.
+    let mut bad = l.words.clone();
+    bad[0] = (bad[0] & !(0xFFFFu64 << 24)) | (1u64 << 24);
+    let r = rep(&bad);
+    assert!(r.has_errors() && r.fired(RuleId::Npc002));
+
+    // A hidden layer claiming to be an Output.
+    let mut bad = l.words.clone();
+    bad[2] = (bad[2] & !0b11u64) | 2;
+    let r = rep(&bad);
+    assert!(r.has_errors() && r.fired(RuleId::Npc002));
+}
+
+#[test]
+fn npc003_setting_decode() {
+    let l = tfc(BnMode::Folded);
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc003));
+
+    // Invalid activation selector 0b111 on the first hidden layer.
+    let mut bad = l.words.clone();
+    bad[2] |= 0b111 << 2;
+    let r = rep(&bad);
+    assert!(r.has_errors() && r.fired(RuleId::Npc003));
+}
+
+#[test]
+fn npc004_shape_chain() {
+    let l = tfc(BnMode::Folded);
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc004));
+
+    // Nudge the first hidden layer's input length off by one.
+    let mut bad = l.words.clone();
+    bad[2] ^= 1u64 << 32;
+    let r = rep(&bad);
+    assert!(r.has_errors() && r.fired(RuleId::Npc004));
+}
+
+#[test]
+fn npc005_exact_length() {
+    let l = tfc(BnMode::Folded);
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc005));
+
+    // Truncation is an error: the accelerator deadlocks waiting.
+    let r = rep(&l.words[..l.words.len() - 3]);
+    assert!(r.has_errors() && r.fired(RuleId::Npc005));
+
+    // Trailing words are a warning (legitimate in burst streams).
+    let mut long = l.words.clone();
+    long.push(0xDEAD);
+    let r = rep(&long);
+    assert!(!r.has_errors() && r.fired(RuleId::Npc005));
+}
+
+#[test]
+fn npc006_packing_flag() {
+    let model = ZooModel::TfcW2A2
+        .build_untrained(7, BnMode::Folded)
+        .unwrap();
+    let dense = compile_packed(&model, &vec![0u8; 784], PackingMode::Dense).unwrap();
+
+    // The paper instance has no dense unpack logic: reject.
+    let r = check(&dense, &cfg());
+    assert!(r.has_errors() && r.fired(RuleId::Npc006));
+
+    // A dense-capable instance accepts the same stream.
+    let dense_cfg = HwConfig {
+        dense_weight_packing: true,
+        ..cfg()
+    };
+    assert!(!check(&dense, &dense_cfg).has_errors());
+}
+
+#[test]
+fn npc007_threshold_monotonicity() {
+    let l = tfc(BnMode::Folded);
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc007));
+
+    // W2A2 hidden layers use Multi-Threshold (3 thresholds/neuron).
+    // The params section starts with ceil(64/8) = 8 bias words; the
+    // first activation word carries neuron 0's thresholds t0, t1.
+    let params = section(&l, SectionKind::Params, 1);
+    let mut bad = l.words.clone();
+    bad[params.start + 8] = 100; // t0 = 100, t1 = 0: out of order
+    let r = rep(&bad);
+    assert!(!r.has_errors() && r.fired(RuleId::Npc007));
+}
+
+#[test]
+fn npc008_bn_scale() {
+    let l = tfc(BnMode::Hardware);
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc008));
+
+    // Zero the Q16.16 scale of the first hidden layer's neuron 0.
+    let params = section(&l, SectionKind::Params, 1);
+    let mut bad = l.words.clone();
+    bad[params.start] &= !0xFFFF_FFFFu64;
+    let r = rep(&bad);
+    assert!(!r.has_errors() && r.fired(RuleId::Npc008));
+}
+
+#[test]
+fn npc009_weight_packing() {
+    // TFC-W1A1 hidden rows are 784 XNOR channels: 12×64 + 16, leaving
+    // 48 padding bits in the 13th word of every neuron row.
+    let model = ZooModel::TfcW1A1
+        .build_untrained(7, BnMode::Folded)
+        .unwrap();
+    let l = compile(&model, &vec![0u8; 784]).unwrap();
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc009));
+
+    let weights = section(&l, SectionKind::Weights, 1);
+    let mut bad = l.words.clone();
+    bad[weights.start + 12] |= 1u64 << 63;
+    let r = rep(&bad);
+    assert!(!r.has_errors() && r.fired(RuleId::Npc009));
+}
+
+#[test]
+fn npc010_zero_width_layer() {
+    let l = tfc(BnMode::Folded);
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc010));
+
+    // Zero the output layer's class count.
+    let n = l.layout.settings.len();
+    let mut bad = l.words.clone();
+    bad[n] &= !(0x3FFFu64 << 16);
+    let r = rep(&bad);
+    assert!(r.has_errors() && r.fired(RuleId::Npc010));
+}
+
+#[test]
+fn npc011_config_feasibility() {
+    let l = tfc(BnMode::Folded);
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc011));
+
+    // Structurally invalid: one LPU cannot consume the interleave.
+    let bad_cfg = HwConfig { lpus: 1, ..cfg() };
+    let r = check(&l, &bad_cfg);
+    assert!(r.has_errors() && r.fired(RuleId::Npc011));
+
+    // Structurally valid but far past the Ultra96 envelope: warning.
+    let huge = HwConfig {
+        lpus: 8,
+        tnpus_per_lpu: 64,
+        ..cfg()
+    };
+    let r = check(&l, &huge);
+    assert!(!r.has_errors() && r.fired(RuleId::Npc011));
+}
+
+/// A minimal model exercising the QUAN (ReLU) datapath.
+fn relu_model() -> QuantMlp {
+    let quant = QuantParams {
+        scale: Fix::ONE,
+        offset: Fix::ZERO,
+    };
+    QuantMlp {
+        name: String::new(),
+        input: InputLayer {
+            len: 8,
+            out_precision: Precision::W4,
+            activation: LayerActivation::Relu { quant },
+        },
+        hidden: vec![HiddenLayer {
+            in_len: 8,
+            neurons: 4,
+            weight_precision: Precision::W4,
+            in_precision: Precision::W4,
+            out_precision: Precision::W4,
+            weights: vec![1; 32],
+            bias: Some(vec![0; 4]),
+            bn: None,
+            activation: LayerActivation::Relu { quant },
+        }],
+        output: OutputLayer {
+            in_len: 4,
+            neurons: 2,
+            weight_precision: Precision::W4,
+            in_precision: Precision::W4,
+            weights: vec![1; 8],
+            bias: Some(vec![0; 2]),
+            bn: None,
+        },
+    }
+}
+
+#[test]
+fn npc012_quan_uniformity() {
+    let l = compile(&relu_model(), &[0u8; 8]).unwrap();
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc012));
+
+    // Hidden params: ceil(4/8) = 1 bias word, then per-neuron QUAN
+    // pairs one word each. Skew neuron 1's pair.
+    let params = section(&l, SectionKind::Params, 1);
+    let mut bad = l.words.clone();
+    bad[params.start + 2] ^= 0xFF;
+    let r = rep(&bad);
+    assert!(!r.has_errors() && r.fired(RuleId::Npc012));
+}
+
+#[test]
+fn npc013_multithreshold_cap() {
+    let l = tfc(BnMode::Folded); // 2-bit Multi-Threshold activations
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc013));
+
+    let capped = HwConfig {
+        max_multithreshold_bits: 1,
+        ..cfg()
+    };
+    let r = check(&l, &capped);
+    assert!(!r.has_errors() && r.fired(RuleId::Npc013));
+}
+
+#[test]
+fn diagnostics_carry_locations_and_render() {
+    let l = tfc(BnMode::Folded);
+    let mut bad = l.words.clone();
+    bad[2] |= 0b111 << 2;
+    let r = rep(&bad);
+    let d = r.errors().next().unwrap();
+    assert_eq!(d.byte_offset, Some(16));
+    assert_eq!(d.layer, Some(1));
+    let text = format!("{r}");
+    assert!(text.contains("NPC003") && text.contains("@0x10"));
+    assert_eq!(RuleId::Npc003.id(), "NPC003");
+    assert!(!RuleId::Npc003.invariant().is_empty());
+}
+
+#[test]
+fn clean_report_renders_clean() {
+    let r = check(&tfc(BnMode::Folded), &cfg());
+    assert!(r.is_clean() || !r.has_errors());
+    assert_eq!(format!("{}", Report::default()), "clean");
+}

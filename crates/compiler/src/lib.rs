@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! The NetPU-M model compiler.
 //!
 //! PEM-style accelerators need a model compiler that converts a trained

@@ -87,6 +87,13 @@ pub enum StreamError {
     /// The stream uses a weight packing mode this accelerator instance
     /// was not generated with.
     PackingUnsupported,
+    /// A layer's payload slice was absent when the interleave replay
+    /// went to reconstruct the model (an internal decode inconsistency,
+    /// surfaced as an error instead of a panic).
+    MissingSection {
+        /// Layer whose payload was missing.
+        layer: usize,
+    },
 }
 
 impl std::fmt::Display for StreamError {
@@ -104,6 +111,9 @@ impl std::fmt::Display for StreamError {
             }
             StreamError::InconsistentQuanParams { layer } => {
                 write!(f, "layer {layer}: inconsistent per-neuron QUAN parameters")
+            }
+            StreamError::MissingSection { layer } => {
+                write!(f, "layer {layer}: payload slice missing during decode")
             }
             StreamError::PackingUnsupported => {
                 f.write_str("stream packing mode unsupported by this instance")
@@ -736,6 +746,13 @@ fn decode_weights(setting: &LayerSetting, words: &[u64], mode: PackingMode) -> V
     out
 }
 
+/// Unwraps a layer's payload slice collected by the interleave replay,
+/// reporting [`StreamError::MissingSection`] instead of panicking if the
+/// replay left a hole.
+fn section<'a>(slot: &Option<&'a [u64]>, layer: usize) -> Result<&'a [u64], StreamError> {
+    slot.ok_or(StreamError::MissingSection { layer })
+}
+
 /// Decodes a transmission stream back into a model + input. The inverse
 /// of [`compile`] up to the untransmitted model name.
 pub fn decode(words: &[u64]) -> Result<Decoded, StreamError> {
@@ -787,24 +804,25 @@ pub fn decode(words: &[u64]) -> Result<Decoded, StreamError> {
     let input = InputLayer {
         len: input_len,
         out_precision: settings[0].out_precision,
-        activation: decode_activation(&settings[0], params[0].unwrap(), 0)?,
+        activation: decode_activation(&settings[0], section(&params[0], 0)?, 0)?,
     };
     let mut hidden = Vec::with_capacity(n - 2);
     for k in 1..n - 1 {
         let s = &settings[k];
+        let layer_params = section(&params[k], k)?;
         let mut reader = Reader {
-            words: params[k].unwrap(),
+            words: layer_params,
             pos: 0,
         };
         let (bias, bn) = decode_bias_bn(s, &mut reader)?;
-        let act_words = reader.take(params[k].unwrap().len() - reader.pos)?;
+        let act_words = reader.take(layer_params.len() - reader.pos)?;
         hidden.push(HiddenLayer {
             in_len: s.input_len as usize,
             neurons: s.neurons as usize,
             weight_precision: s.weight_precision,
             in_precision: s.in_precision,
             out_precision: s.out_precision,
-            weights: decode_weights(s, weight_payloads[k].unwrap(), mode),
+            weights: decode_weights(s, section(&weight_payloads[k], k)?, mode),
             bias,
             bn,
             activation: decode_activation(s, act_words, k)?,
@@ -812,7 +830,7 @@ pub fn decode(words: &[u64]) -> Result<Decoded, StreamError> {
     }
     let s = &settings[n - 1];
     let mut reader = Reader {
-        words: params[n - 1].unwrap(),
+        words: section(&params[n - 1], n - 1)?,
         pos: 0,
     };
     let (bias, bn) = decode_bias_bn(s, &mut reader)?;
@@ -821,7 +839,7 @@ pub fn decode(words: &[u64]) -> Result<Decoded, StreamError> {
         neurons: s.neurons as usize,
         weight_precision: s.weight_precision,
         in_precision: s.in_precision,
-        weights: decode_weights(s, weight_payloads[n - 1].unwrap(), mode),
+        weights: decode_weights(s, section(&weight_payloads[n - 1], n - 1)?, mode),
         bias,
         bn,
     };

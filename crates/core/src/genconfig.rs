@@ -10,6 +10,7 @@
 //! exchanged with a hypothetical RTL flow.
 
 use crate::config::{ConfigError, HwConfig, MulImpl};
+use netpu_arith::cast;
 use std::collections::HashMap;
 
 /// Renders the configuration as a Verilog `` `define `` header.
@@ -42,7 +43,7 @@ pub fn to_verilog_macros(cfg: &HwConfig) -> String {
         on_off(cfg.double_buffered_weights),
         on_off(cfg.dense_weight_packing),
         on_off(cfg.softmax_output),
-        (cfg.clock_mhz * 1000.0).round() as u64,
+        cast::f64_to_u64_sat((cfg.clock_mhz * 1000.0).round()),
     )
 }
 
@@ -101,16 +102,16 @@ pub fn from_verilog_macros(text: &str) -> Result<HwConfig, MacroError> {
         }
     };
     let cfg = HwConfig {
-        lpus: get("NETPU_LPU_NUM")? as usize,
-        tnpus_per_lpu: get("NETPU_TNPU_PER_LPU")? as usize,
-        mul_lanes: get("NETPU_MUL_LANES")? as usize,
-        max_multithreshold_bits: get("NETPU_MAX_MT_BITS")? as u8,
+        lpus: cast::usize_sat(get("NETPU_LPU_NUM")?),
+        tnpus_per_lpu: cast::usize_sat(get("NETPU_TNPU_PER_LPU")?),
+        mul_lanes: cast::usize_sat(get("NETPU_MUL_LANES")?),
+        max_multithreshold_bits: cast::u8_sat(get("NETPU_MAX_MT_BITS")?),
         bn_mul: mul("NETPU_BN_MUL_DSP", "NETPU_BN_MUL_LUT", "NETPU_BN_MUL_*")?,
         int_mul: mul("NETPU_INT_MUL_DSP", "NETPU_INT_MUL_LUT", "NETPU_INT_MUL_*")?,
         double_buffered_weights: get("NETPU_WEIGHT_DOUBLE_BUFFER")? != 0,
         dense_weight_packing: get("NETPU_DENSE_WEIGHT_PACKING")? != 0,
         softmax_output: get("NETPU_SOFTMAX_OUTPUT")? != 0,
-        clock_mhz: get("NETPU_CLOCK_KHZ")? as f64 / 1000.0,
+        clock_mhz: cast::f64_from_u64(get("NETPU_CLOCK_KHZ")?) / 1000.0,
     };
     cfg.validate().map_err(MacroError::Invalid)?;
     Ok(cfg)

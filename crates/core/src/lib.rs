@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! The NetPU-M accelerator core: a cycle-level behavioral model of the
 //! paper's three-stage architecture.
 //!

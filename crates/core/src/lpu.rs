@@ -20,7 +20,7 @@
 
 use crate::config::HwConfig;
 use crate::tnpu::{LayerCfg, MaxOut, NeuronActivation, NeuronParams, Tnpu, TnpuOut};
-use netpu_arith::{ActivationKind, Fix, QuantParams};
+use netpu_arith::{cast, ActivationKind, Fix, QuantParams};
 use netpu_compiler::stream::{
     extract_weight, neuron_weight_words_mode, unpack_u32_pairs, uses_xnor_path, weights_per_word,
 };
@@ -129,7 +129,7 @@ fn act_u32s(setting: &LayerSetting) -> usize {
 /// parameters — the hardware's view of the buffer cluster contents.
 /// Inverse of the compiler's parameter encoding.
 pub fn decode_neuron_params(setting: &LayerSetting, words: &[u64]) -> Vec<NeuronParams> {
-    let neurons = setting.neurons as usize;
+    let neurons = cast::usize_from_u32(setting.neurons);
     let mut pos = 0usize;
     let (biases, bns) = if setting.layer_type == LayerType::Input {
         (None, None)
@@ -138,7 +138,7 @@ pub fn decode_neuron_params(setting: &LayerSetting, words: &[u64]) -> Vec<Neuron
         let block = &words[..n_words];
         pos = n_words;
         let biases: Vec<i32> = (0..neurons)
-            .map(|i| (block[i / 8] >> (8 * (i % 8))) as u8 as i8 as i32)
+            .map(|i| cast::sign_extend(u32::from(cast::lo8(block[i / 8] >> (8 * (i % 8)))), 8))
             .collect();
         (Some(biases), None)
     } else {
@@ -147,8 +147,8 @@ pub fn decode_neuron_params(setting: &LayerSetting, words: &[u64]) -> Vec<Neuron
         let bns: Vec<netpu_nn::BnParams> = block
             .iter()
             .map(|&w| netpu_nn::BnParams {
-                scale_q16: w as u32 as i32,
-                offset: Fix::from_stream_word((w >> 32) as u32),
+                scale_q16: cast::i32_from_bits(cast::lo32(w)),
+                offset: Fix::from_stream_word(cast::lo32(w >> 32)),
             })
             .collect();
         (None, Some(bns))
@@ -200,7 +200,7 @@ fn init_cycles_per_neuron(setting: &LayerSetting) -> u64 {
         act_u32s(setting).div_ceil(PARAM_READ_WIDTH)
     };
     let bias_reads = usize::from(setting.layer_type != LayerType::Input);
-    (act_reads + bias_reads) as u64
+    cast::u64_from_usize(act_reads + bias_reads)
 }
 
 #[derive(Clone, Debug, PartialEq)]
@@ -366,7 +366,9 @@ impl Lpu {
         };
         self.param_words.push(word);
         if remaining == 1 {
-            let setting = self.setting.expect("layer begun");
+            let Some(setting) = self.setting else {
+                panic!("LPU {} has no layer begun", self.id)
+            };
             self.params = decode_neuron_params(&setting, &self.param_words);
             self.state = State::Ready;
             true
@@ -381,11 +383,13 @@ impl Lpu {
     /// Loads the previous layer's outputs (MAC-domain values) into the
     /// Layer Input / Input Reload buffers.
     pub fn set_inputs(&mut self, values: Vec<i32>) {
-        let setting = self.setting.expect("layer begun");
+        let Some(setting) = self.setting else {
+            panic!("LPU {} has no layer begun", self.id)
+        };
         let expect = if setting.layer_type == LayerType::Input {
-            setting.neurons as usize
+            cast::usize_from_u32(setting.neurons)
         } else {
-            setting.input_len as usize
+            cast::usize_from_u32(setting.input_len)
         };
         assert_eq!(values.len(), expect, "LPU {} input length", self.id);
         self.inputs = values;
@@ -395,7 +399,9 @@ impl Lpu {
 
     /// Input levels consumed per weight word for the current layer.
     fn levels_per_word(&self) -> usize {
-        let setting = self.setting.expect("layer begun");
+        let Some(setting) = self.setting else {
+            panic!("LPU {} has no layer begun", self.id)
+        };
         if uses_xnor_path(&setting) {
             64
         } else {
@@ -407,7 +413,9 @@ impl Lpu {
     /// multiplier lanes: `lanes` integer products, or `lanes × 8` XNOR
     /// channels.
     fn levels_per_group(&self) -> usize {
-        let setting = self.setting.expect("layer begun");
+        let Some(setting) = self.setting else {
+            panic!("LPU {} has no layer begun", self.id)
+        };
         let lanes = self.tnpus[0].lanes();
         if uses_xnor_path(&setting) {
             lanes * 8
@@ -421,7 +429,7 @@ impl Lpu {
     /// carries more weights than multiplier lanes).
     fn dispatch_groups(&self, chunk: usize) -> u32 {
         let span = self.chunk_span(chunk);
-        span.div_ceil(self.levels_per_group()) as u32
+        cast::u32_sat_usize(span.div_ceil(self.levels_per_group()))
     }
 
     /// Number of input levels covered by chunk `chunk`.
@@ -465,7 +473,8 @@ impl Lpu {
             State::InputLayer { word, subcycle } => {
                 // Each 64-bit input word: one read cycle, threshold-read
                 // cycles for its eight pixels, one write cycle.
-                let per_word_cost = 2 + (8 * act_u32s(&setting)).div_ceil(PARAM_READ_WIDTH) as u64;
+                let per_word_cost =
+                    2 + cast::u64_from_usize((8 * act_u32s(&setting)).div_ceil(PARAM_READ_WIDTH));
                 self.stats.input_cycles += 1;
                 if subcycle + 1 < per_word_cost {
                     self.state = State::InputLayer {
@@ -476,7 +485,7 @@ impl Lpu {
                 }
                 // Word complete: quantize its pixels through the TNPU
                 // yellow path.
-                let n = setting.neurons as usize;
+                let n = cast::usize_from_u32(setting.neurons);
                 let lo = word * 8;
                 let hi = ((word + 1) * 8).min(n);
                 for i in lo..hi {
@@ -507,7 +516,7 @@ impl Lpu {
                     return Tick::Progress;
                 }
                 // Latch the batch's parameters into the TNPUs.
-                let n = setting.neurons as usize;
+                let n = cast::usize_from_u32(setting.neurons);
                 let end = (batch_start + self.tnpus.len()).min(n);
                 for (t, neuron) in (batch_start..end).enumerate() {
                     self.tnpus[t].load_neuron(self.params[neuron].clone());
@@ -535,7 +544,7 @@ impl Lpu {
                         Some(w) => {
                             let pushed = self.weight_fifo.push(w);
                             debug_assert!(pushed, "weight FIFO overflow");
-                            self.pending_word = self.weight_fifo.pop().expect("just pushed");
+                            self.pending_word = self.weight_fifo.pop().unwrap_or(w);
                             self.stats.weight_words += 1;
                             self.stats.weight_cycles += 1;
                             if self.double_buffered {
@@ -571,15 +580,16 @@ impl Lpu {
                         left: left - 1,
                     };
                 } else {
-                    let n = setting.neurons as usize;
+                    let n = cast::usize_from_u32(setting.neurons);
                     let end = (batch_start + self.tnpus.len()).min(n);
                     let write_cost = if setting.layer_type == LayerType::Output {
                         // MaxOut compares scores one per cycle; the
                         // SoftMax unit adds one exp evaluation each.
-                        (end - batch_start) as u64 * (1 + u64::from(self.softmax_output))
+                        cast::u64_from_usize(end - batch_start)
+                            * (1 + u64::from(self.softmax_output))
                     } else {
                         // Levels pack eight per output-buffer word.
-                        ((end - batch_start).div_ceil(8)) as u64
+                        cast::u64_from_usize((end - batch_start).div_ceil(8))
                     };
                     self.state = State::WriteOut {
                         batch_start,
@@ -598,7 +608,7 @@ impl Lpu {
                     return Tick::Progress;
                 }
                 // Finalize the batch through the TNPU post-MAC stages.
-                let n = setting.neurons as usize;
+                let n = cast::usize_from_u32(setting.neurons);
                 let end = (batch_start + self.tnpus.len()).min(n);
                 for (t, neuron) in (batch_start..end).enumerate() {
                     match self.tnpus[t].finalize() {
@@ -716,10 +726,12 @@ impl Lpu {
                     tail += 1;
                 }
                 State::InputLayer { word, subcycle } => {
-                    let per = 2 + (8 * act_u32s(&setting)).div_ceil(PARAM_READ_WIDTH) as u64;
-                    let n = setting.neurons as usize;
-                    let n_words = n.div_ceil(8) as u64;
-                    let pos = word as u64 * per + subcycle;
+                    let per = 2 + cast::u64_from_usize(
+                        (8 * act_u32s(&setting)).div_ceil(PARAM_READ_WIDTH),
+                    );
+                    let n = cast::usize_from_u32(setting.neurons);
+                    let n_words = cast::u64_from_usize(n.div_ceil(8));
+                    let pos = cast::u64_from_usize(word) * per + subcycle;
                     let k = (n_words * per - pos).min(left);
                     self.stats.input_cycles += k;
                     advanced += k;
@@ -727,7 +739,7 @@ impl Lpu {
                     let pos = pos + k;
                     // Quantize the pixels of every word completed in
                     // this span through the TNPU yellow path.
-                    for w in word..(pos / per).min(n_words) as usize {
+                    for w in word..cast::usize_sat((pos / per).min(n_words)) {
                         let lo = w * 8;
                         let hi = ((w + 1) * 8).min(n);
                         for i in lo..hi {
@@ -744,7 +756,7 @@ impl Lpu {
                         return progress(advanced, words, tail);
                     }
                     self.state = State::InputLayer {
-                        word: (pos / per) as usize,
+                        word: cast::usize_sat(pos / per),
                         subcycle: pos % per,
                     };
                 }
@@ -762,7 +774,7 @@ impl Lpu {
                             left: need - k,
                         };
                     } else {
-                        let n = setting.neurons as usize;
+                        let n = cast::usize_from_u32(setting.neurons);
                         let end = (batch_start + self.tnpus.len()).min(n);
                         for (t, neuron) in (batch_start..end).enumerate() {
                             self.tnpus[t].load_neuron(self.params[neuron].clone());
@@ -794,11 +806,15 @@ impl Lpu {
                     if subcycle == 0 && self.levels_per_group() >= self.levels_per_word() {
                         let cost = if self.double_buffered { 1u64 } else { 2u64 };
                         let chunks = neuron_weight_words_mode(&setting, self.packing);
-                        let n = setting.neurons as usize;
+                        let n = cast::usize_from_u32(setting.neurons);
                         let end = (batch_start + self.tnpus.len()).min(n);
                         let batch = end - batch_start;
-                        let in_batch = (batch - t) as u64 * chunks as u64 - chunk as u64;
-                        let m = (left / cost).min(stream.remaining() as u64).min(in_batch);
+                        let in_batch = cast::u64_from_usize(batch - t)
+                            * cast::u64_from_usize(chunks)
+                            - cast::u64_from_usize(chunk);
+                        let m = (left / cost)
+                            .min(cast::u64_from_usize(stream.remaining()))
+                            .min(in_batch);
                         if m >= 1 {
                             let xnor = uses_xnor_path(&setting);
                             if xnor && self.packed_inputs_stale {
@@ -808,7 +824,7 @@ impl Lpu {
                             }
                             let lpw = self.levels_per_word();
                             let (mut ct, mut cc) = (t, chunk);
-                            let taken = stream.take_words(m as usize);
+                            let taken = stream.take_words(cast::usize_sat(m));
                             for &w in taken {
                                 let lo = cc * lpw;
                                 let span = self.inputs.len().saturating_sub(lo).min(lpw);
@@ -816,7 +832,7 @@ impl Lpu {
                                     if xnor {
                                         self.tnpus[ct].mac_word_prepacked(
                                             self.packed_inputs[cc],
-                                            span as u32,
+                                            cast::u32_sat_usize(span),
                                             w,
                                         );
                                     } else {
@@ -838,7 +854,9 @@ impl Lpu {
                                     ct += 1;
                                 }
                             }
-                            self.pending_word = *taken.last().expect("m >= 1");
+                            if let Some(&last) = taken.last() {
+                                self.pending_word = last;
+                            }
                             self.weight_fifo.settle_push_pops(m);
                             self.stats.weight_words += m;
                             self.stats.weight_cycles += m * cost;
@@ -870,7 +888,7 @@ impl Lpu {
                                 STALL
                             };
                         };
-                        self.pending_word = self.weight_fifo.push_pop(w).expect("just pushed");
+                        self.pending_word = self.weight_fifo.push_pop(w).unwrap_or(w);
                         self.stats.weight_words += 1;
                         words += 1;
                         let cost = if self.double_buffered {
@@ -884,7 +902,8 @@ impl Lpu {
                         tail = k - 1;
                         // The ingest edge dispatches group 0 only when
                         // double-buffered; each further edge one group.
-                        let dispatched = (if self.double_buffered { k } else { k - 1 }) as u32;
+                        let dispatched =
+                            cast::u32_sat(if self.double_buffered { k } else { k - 1 });
                         for group in 0..dispatched {
                             self.dispatch_group_fast(t, chunk, group);
                         }
@@ -906,7 +925,7 @@ impl Lpu {
                         self.stats.weight_cycles += k;
                         advanced += k;
                         tail += k;
-                        for group in (subcycle - 1)..(subcycle - 1 + k as u32) {
+                        for group in (subcycle - 1)..(subcycle - 1 + cast::u32_sat(k)) {
                             self.dispatch_group_fast(t, chunk, group);
                         }
                         if k == remaining {
@@ -916,7 +935,7 @@ impl Lpu {
                                 batch_start,
                                 t,
                                 chunk,
-                                subcycle: subcycle + k as u32,
+                                subcycle: subcycle + cast::u32_sat(k),
                             };
                         }
                     }
@@ -935,12 +954,13 @@ impl Lpu {
                             left: need - k,
                         };
                     } else {
-                        let n = setting.neurons as usize;
+                        let n = cast::usize_from_u32(setting.neurons);
                         let end = (batch_start + self.tnpus.len()).min(n);
                         let write_cost = if setting.layer_type == LayerType::Output {
-                            (end - batch_start) as u64 * (1 + u64::from(self.softmax_output))
+                            cast::u64_from_usize(end - batch_start)
+                                * (1 + u64::from(self.softmax_output))
                         } else {
-                            ((end - batch_start).div_ceil(8)) as u64
+                            cast::u64_from_usize((end - batch_start).div_ceil(8))
                         };
                         self.state = State::WriteOut {
                             batch_start,
@@ -963,7 +983,7 @@ impl Lpu {
                         };
                         continue;
                     }
-                    let n = setting.neurons as usize;
+                    let n = cast::usize_from_u32(setting.neurons);
                     let end = (batch_start + self.tnpus.len()).min(n);
                     for (t, neuron) in (batch_start..end).enumerate() {
                         match self.tnpus[t].finalize() {
@@ -995,10 +1015,12 @@ impl Lpu {
 
     /// Neuron Initialization cost for the batch starting at `start`.
     fn batch_init_cost(&self, start: usize) -> u64 {
-        let setting = self.setting.expect("layer begun");
-        let n = setting.neurons as usize;
+        let Some(setting) = self.setting else {
+            panic!("LPU {} has no layer begun", self.id)
+        };
+        let n = cast::usize_from_u32(setting.neurons);
         let batch = (start + self.tnpus.len()).min(n) - start;
-        (init_cycles_per_neuron(&setting) * batch as u64).max(1)
+        (init_cycles_per_neuron(&setting) * cast::u64_from_usize(batch)).max(1)
     }
 
     /// Runs one dispatch group of the pending weight word through the
@@ -1006,11 +1028,13 @@ impl Lpu {
     /// (or `mul_lanes × 8` XNOR channels) against the matching slice of
     /// the Input Reload buffer.
     fn dispatch_group(&mut self, t: usize, chunk: usize, group: u32) {
-        let setting = self.setting.expect("layer begun");
+        let Some(setting) = self.setting else {
+            panic!("LPU {} has no layer begun", self.id)
+        };
         let lpw = self.levels_per_word();
         let lpg = self.levels_per_group();
         let word_lo = chunk * lpw;
-        let lo = word_lo + group as usize * lpg;
+        let lo = word_lo + cast::usize_from_u32(group) * lpg;
         let hi = (lo + lpg).min(word_lo + lpw).min(self.inputs.len());
         if lo >= hi {
             return; // tail padding
@@ -1018,10 +1042,10 @@ impl Lpu {
         let slice: Vec<i32> = self.inputs[lo..hi].to_vec();
         if uses_xnor_path(&setting) {
             // Shift the relevant channel window down to bit 0.
-            let word = self.pending_word >> (group as usize * lpg);
+            let word = self.pending_word >> (cast::usize_from_u32(group) * lpg);
             self.tnpus[t].mac_word(&slice, word);
         } else {
-            let base = group as usize * lpg;
+            let base = cast::usize_from_u32(group) * lpg;
             let weights: Vec<i32> = (0..slice.len())
                 .map(|i| extract_weight(self.pending_word, base + i, &setting, self.packing))
                 .collect();
@@ -1035,11 +1059,13 @@ impl Lpu {
     /// XOR+popcount; integer-path weights land in a reused scratch
     /// buffer. Numerically identical to the tick path.
     fn dispatch_group_fast(&mut self, t: usize, chunk: usize, group: u32) {
-        let setting = self.setting.expect("layer begun");
+        let Some(setting) = self.setting else {
+            panic!("LPU {} has no layer begun", self.id)
+        };
         let lpw = self.levels_per_word();
         let lpg = self.levels_per_group();
         let word_lo = chunk * lpw;
-        let lo = word_lo + group as usize * lpg;
+        let lo = word_lo + cast::usize_from_u32(group) * lpg;
         let hi = (lo + lpg).min(word_lo + lpw).min(self.inputs.len());
         if lo >= hi {
             return; // tail padding
@@ -1049,12 +1075,12 @@ impl Lpu {
                 self.packed_inputs = netpu_arith::quant::pack_binary_channels(&self.inputs);
                 self.packed_inputs_stale = false;
             }
-            let shift = group as usize * lpg;
+            let shift = cast::usize_from_u32(group) * lpg;
             let bits = self.packed_inputs[chunk] >> shift;
             let word = self.pending_word >> shift;
-            self.tnpus[t].mac_word_prepacked(bits, (hi - lo) as u32, word);
+            self.tnpus[t].mac_word_prepacked(bits, cast::u32_sat_usize(hi - lo), word);
         } else {
-            let base = group as usize * lpg;
+            let base = cast::usize_from_u32(group) * lpg;
             let word = self.pending_word;
             self.weight_scratch.clear();
             self.weight_scratch.extend(
@@ -1085,9 +1111,11 @@ impl Lpu {
             };
             return;
         }
-        let setting = self.setting.expect("layer begun");
+        let Some(setting) = self.setting else {
+            panic!("LPU {} has no layer begun", self.id)
+        };
         let chunks = neuron_weight_words_mode(&setting, self.packing);
-        let n = setting.neurons as usize;
+        let n = cast::usize_from_u32(setting.neurons);
         let end = (batch_start + self.tnpus.len()).min(n);
         let batch = end - batch_start;
         let (next_t, next_chunk) = if chunk + 1 < chunks {
@@ -1113,10 +1141,14 @@ impl Lpu {
     /// Collects the finished layer's result.
     pub fn take_output(&mut self) -> LayerOutput {
         assert!(self.is_done(), "LPU {} not done", self.id);
-        let setting = self.setting.expect("layer begun");
+        let Some(setting) = self.setting else {
+            panic!("LPU {} has no layer begun", self.id)
+        };
         if setting.layer_type == LayerType::Output {
-            let class = self.maxout.result().expect("output layer scored");
-            let score = self.maxout.best_score().expect("score present");
+            let (Some(class), Some(score)) = (self.maxout.result(), self.maxout.best_score())
+            else {
+                panic!("LPU {} output layer produced no scores", self.id)
+            };
             LayerOutput::Class {
                 class,
                 score,

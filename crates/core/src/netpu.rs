@@ -18,7 +18,7 @@
 
 use crate::config::{ConfigError, HwConfig};
 use crate::lpu::{LayerOutput, Lpu, LpuStats};
-use netpu_arith::Fix;
+use netpu_arith::{cast, Fix};
 use netpu_compiler::stream::{input_words, param_words, StreamError};
 use netpu_compiler::{LayerSetting, LayerType, PackingMode};
 use netpu_nn::reference::to_mac_domain;
@@ -68,6 +68,8 @@ pub enum NetPuError {
     Stream(StreamError),
     /// The simulation harness gave up.
     Sim(SimError),
+    /// The run finished without producing a classification result.
+    Incomplete,
 }
 
 impl std::fmt::Display for NetPuError {
@@ -76,6 +78,7 @@ impl std::fmt::Display for NetPuError {
             NetPuError::Config(e) => write!(f, "configuration: {e}"),
             NetPuError::Stream(e) => write!(f, "stream: {e}"),
             NetPuError::Sim(e) => write!(f, "simulation: {e}"),
+            NetPuError::Incomplete => f.write_str("run finished without a classification result"),
         }
     }
 }
@@ -86,6 +89,7 @@ impl std::error::Error for NetPuError {
             NetPuError::Config(e) => Some(e),
             NetPuError::Stream(e) => Some(e),
             NetPuError::Sim(e) => Some(e),
+            NetPuError::Incomplete => None,
         }
     }
 }
@@ -249,15 +253,15 @@ impl NetPu {
                 score,
                 scores,
             } => {
-                let word = class as u64 | (u64::from(score.to_stream_word()) << 32);
+                let word = cast::u64_from_usize(class) | (u64::from(score.to_stream_word()) << 32);
                 self.sink.push(cycle, word);
                 if self.cfg.softmax_output {
                     // The SoftMax unit streams one Q16.16 exponential
                     // per class behind the MaxOut word.
                     let max = scores.iter().copied().fold(Fix::MIN, Fix::max);
                     for (i, &s) in scores.iter().enumerate() {
-                        let e = netpu_arith::softmax::exp_q16(s.sat_sub(max)) as u64;
-                        self.sink.push(cycle, i as u64 | (e << 32));
+                        let e = cast::u64_sat_i64(netpu_arith::softmax::exp_q16(s.sat_sub(max)));
+                        self.sink.push(cycle, cast::u64_from_usize(i) | (e << 32));
                     }
                 }
                 self.result = Some((class, score));
@@ -319,7 +323,7 @@ impl NetPu {
                 for &w in self.stream.take_words(k) {
                     complete = self.lpus[id].ingest_param_word(w);
                 }
-                self.stats.param_cycles += k as u64;
+                self.stats.param_cycles += cast::u64_from_usize(k);
                 self.state = if complete {
                     TopState::Sections {
                         idx: idx + 1,
@@ -328,7 +332,7 @@ impl NetPu {
                 } else {
                     TopState::Sections { idx, entered: true }
                 };
-                (k as u64, Tick::Progress)
+                (cast::u64_from_usize(k), Tick::Progress)
             }
             Section::Process(layer) => {
                 let id = self.lpu_of(layer);
@@ -379,12 +383,12 @@ impl Clocked for NetPu {
                 match self.stream.take() {
                     Some(w) => {
                         self.stats.settings_cycles += 1;
-                        if w as u16 != netpu_compiler::stream::MAGIC
-                            || (w >> 16) as u8 != netpu_compiler::stream::VERSION
+                        if cast::lo16(w) != netpu_compiler::stream::MAGIC
+                            || cast::lo8(w >> 16) != netpu_compiler::stream::VERSION
                         {
                             return self.fail(StreamError::BadHeader(w));
                         }
-                        let n = (w >> 24) as usize & 0xFFFF;
+                        let n = cast::usize_sat(w >> 24 & 0xFFFF);
                         if n < 2 {
                             return self.fail(StreamError::BadLayerSequence);
                         }
@@ -442,11 +446,11 @@ impl Clocked for NetPu {
                 match self.stream.take() {
                     Some(w) => {
                         self.stats.input_ingest_cycles += 1;
-                        let len = self.settings[0].neurons as usize;
+                        let len = cast::usize_from_u32(self.settings[0].neurons);
                         for i in 0..8 {
                             let p = 8 * idx + i;
                             if p < len {
-                                self.pixels.push(((w >> (8 * i)) as u8) as i32);
+                                self.pixels.push(i32::from(cast::lo8(w >> (8 * i))));
                             }
                         }
                         if idx + 1 == input_words(len) {
@@ -615,7 +619,7 @@ pub fn run_inference(cfg: &HwConfig, words: Vec<u64>) -> Result<InferenceRun, Ne
     let stream = StreamSource::new(words, 1);
     let mut netpu = NetPu::new(*cfg, stream)?;
     let cycles = run_to_completion(&mut netpu)?;
-    Ok(finish_run(&netpu, cycles, cfg))
+    finish_run(&netpu, cycles, cfg)
 }
 
 /// [`run_inference`] on the phase-skipping fast path: identical results
@@ -626,7 +630,7 @@ pub fn run_inference_fast(cfg: &HwConfig, words: Vec<u64>) -> Result<InferenceRu
     let stream = StreamSource::new(words, 1);
     let mut netpu = NetPu::new(*cfg, stream)?;
     let cycles = run_to_completion_fast(&mut netpu)?;
-    Ok(finish_run(&netpu, cycles, cfg))
+    finish_run(&netpu, cycles, cfg)
 }
 
 /// [`run_inference_fast`] with a caller-supplied per-run [`Tracer`].
@@ -646,19 +650,21 @@ pub fn run_inference_hooked(
     let outcome = run_to_completion_fast(&mut netpu);
     *tracer = netpu.take_tracer();
     let cycles = outcome?;
-    Ok(finish_run(&netpu, cycles, cfg))
+    finish_run(&netpu, cycles, cfg)
 }
 
-fn finish_run(netpu: &NetPu, cycles: Cycle, cfg: &HwConfig) -> InferenceRun {
-    let (class, score) = netpu.result().expect("inference completed");
-    InferenceRun {
+fn finish_run(netpu: &NetPu, cycles: Cycle, cfg: &HwConfig) -> Result<InferenceRun, NetPuError> {
+    let Some((class, score)) = netpu.result() else {
+        return Err(NetPuError::Incomplete);
+    };
+    Ok(InferenceRun {
         class,
         score,
         cycles,
         latency_us: netpu_sim::cycles_to_us(cycles, cfg.clock_mhz),
         probabilities: netpu.probabilities(),
         stats: netpu.stats.clone(),
-    }
+    })
 }
 
 /// Runs a prepared NetPU to completion, surfacing stream errors.

@@ -16,6 +16,7 @@
 
 use crate::config::{HwConfig, MulImpl};
 use crate::lpu::Lpu;
+use netpu_arith::cast;
 
 pub use netpu_sim::fpga::{Platform, Utilization, UtilizationRates, ULTRA96_V2, ZYNQ7000_ZC706};
 
@@ -57,7 +58,7 @@ const BRAM_NETPU_FIFOS: f64 = 17.5;
 
 /// Resource cost of a single TNPU under a configuration.
 pub fn tnpu_utilization(cfg: &HwConfig) -> Utilization {
-    let lanes = cfg.mul_lanes as u64;
+    let lanes = cast::u64_from_usize(cfg.mul_lanes);
     let mt_thresholds = (1u64 << cfg.max_multithreshold_bits) - 1;
     let mut luts = LUT_TNPU_BASE + lanes * LUT_XNOR_LANE + mt_thresholds * LUT_THRESHOLD_CMP;
     let mut dsps = DSP_QUAN_MUL;
@@ -79,9 +80,9 @@ pub fn tnpu_utilization(cfg: &HwConfig) -> Utilization {
 
 /// Resource cost of one LPU (TNPU cluster + buffer cluster + control).
 pub fn lpu_utilization(cfg: &HwConfig) -> Utilization {
-    let tnpus = tnpu_utilization(cfg).times(cfg.tnpus_per_lpu as u64);
+    let tnpus = tnpu_utilization(cfg).times(cast::u64_from_usize(cfg.tnpus_per_lpu));
     let control = Utilization {
-        luts: LUT_LPU_BASE + LUT_LPU_PER_TNPU * cfg.tnpus_per_lpu as u64,
+        luts: LUT_LPU_BASE + LUT_LPU_PER_TNPU * cast::u64_from_usize(cfg.tnpus_per_lpu),
         dsps: 0,
         ffs: FF_LPU,
         bram36: Lpu::buffer_bram36(),
@@ -91,7 +92,7 @@ pub fn lpu_utilization(cfg: &HwConfig) -> Utilization {
 
 /// Resource cost of the full NetPU-M instance.
 pub fn netpu_utilization(cfg: &HwConfig) -> Utilization {
-    let lpus = lpu_utilization(cfg).times(cfg.lpus as u64);
+    let lpus = lpu_utilization(cfg).times(cast::u64_from_usize(cfg.lpus));
     let top = Utilization {
         luts: LUT_NETPU_BASE,
         dsps: 0,

@@ -9,7 +9,7 @@
 //! path) for both BNN and QNN models.
 
 use netpu_arith::activation::{relu, sigmoid, tanh};
-use netpu_arith::{ActivationKind, Fix, Precision, QuantParams};
+use netpu_arith::{cast, ActivationKind, Fix, Precision, QuantParams};
 use netpu_compiler::LayerType;
 use netpu_nn::qmodel::BnParams;
 use serde::{Deserialize, Serialize};
@@ -204,7 +204,9 @@ impl Tnpu {
     /// otherwise). `inputs` holds at most [`Tnpu::levels_per_word`]
     /// entries; shorter chunks model a layer tail.
     pub fn mac_word(&mut self, inputs: &[i32], weight_word: u64) {
-        let layer = self.layer.expect("layer configured");
+        let Some(layer) = self.layer else {
+            panic!("configure_layer before mac_word")
+        };
         debug_assert!(inputs.len() <= self.levels_per_word(&layer));
         let mut sum: i64 = 0;
         if layer.uses_xnor() {
@@ -213,29 +215,27 @@ impl Tnpu {
             for (i, &v) in inputs.iter().enumerate() {
                 bits |= u64::from(netpu_arith::binary::encode_bipolar(v)) << i;
             }
-            let n = inputs.len() as u32;
+            let n = cast::u32_sat_usize(inputs.len());
             let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
-            let ones = (!(bits ^ weight_word) & mask).count_ones() as i64;
-            sum = 2 * ones - i64::from(n);
+            let ones = (!(bits ^ weight_word) & mask).count_ones();
+            sum = 2 * i64::from(ones) - i64::from(n);
         } else {
             for (i, &a) in inputs.iter().enumerate() {
-                let byte = (weight_word >> (8 * i)) as u8;
+                let byte = cast::lo8(weight_word >> (8 * i));
                 let w = if layer.weight_precision.is_binary() {
                     // ±1 weights promoted onto the integer path travel
                     // sign-extended (the placeholder-lane encoding).
-                    byte as i8 as i32
+                    cast::sign_extend(u32::from(byte), 8)
                 } else {
-                    let bits = layer.weight_precision.bits() as u32;
-                    let masked = (byte as u32) & ((1 << bits) - 1);
-                    let shift = 32 - bits;
-                    ((masked << shift) as i32) >> shift
+                    let bits = u32::from(layer.weight_precision.bits());
+                    let masked = u32::from(byte) & ((1 << bits) - 1);
+                    cast::sign_extend(masked, bits)
                 };
                 sum += i64::from(w) * i64::from(a);
             }
         }
-        self.acc =
-            (i64::from(self.acc) + sum).clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32;
-        self.mac_ops += inputs.len() as u64;
+        self.acc = cast::i32_sat(i64::from(self.acc) + sum);
+        self.mac_ops += cast::u64_from_usize(inputs.len());
     }
 
     /// [`Tnpu::mac_word`] for the XNOR path with the input bits already
@@ -245,13 +245,14 @@ impl Tnpu {
     /// arithmetically identical to the per-lane loop above: both reduce
     /// to `2·popcount(XNOR(bits, weights) & mask) − n`.
     pub fn mac_word_prepacked(&mut self, input_bits: u64, n: u32, weight_word: u64) {
-        debug_assert!(self.layer.expect("layer configured").uses_xnor());
-        debug_assert!(n as usize <= self.levels_per_word(&self.layer.unwrap()));
+        debug_assert!(self.layer.is_some_and(|l| l.uses_xnor()));
+        debug_assert!(self
+            .layer
+            .is_some_and(|l| cast::usize_from_u32(n) <= self.levels_per_word(&l)));
         let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
-        let ones = (!(input_bits ^ weight_word) & mask).count_ones() as i64;
-        let sum = 2 * ones - i64::from(n);
-        self.acc =
-            (i64::from(self.acc) + sum).clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32;
+        let ones = (!(input_bits ^ weight_word) & mask).count_ones();
+        let sum = 2 * i64::from(ones) - i64::from(n);
+        self.acc = cast::i32_sat(i64::from(self.acc) + sum);
         self.mac_ops += u64::from(n);
     }
 
@@ -265,9 +266,8 @@ impl Tnpu {
         for (&a, &w) in inputs.iter().zip(weights) {
             sum += i64::from(w) * i64::from(a);
         }
-        self.acc =
-            (i64::from(self.acc) + sum).clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32;
-        self.mac_ops += inputs.len() as u64;
+        self.acc = cast::i32_sat(i64::from(self.acc) + sum);
+        self.mac_ops += cast::u64_from_usize(inputs.len());
     }
 
     /// Current accumulator value (observability for tests).
@@ -277,15 +277,21 @@ impl Tnpu {
 
     /// Routes a value through the post-MAC stages of the crossbar path.
     fn post_stages(&self, route: &[Stage], start: Fix) -> TnpuOut {
-        let params = self.params.as_ref().expect("neuron loaded");
-        let layer = self.layer.expect("layer configured");
+        let Some(params) = self.params.as_ref() else {
+            panic!("load_neuron before post stages")
+        };
+        let Some(layer) = self.layer else {
+            panic!("configure_layer before post stages")
+        };
         let mut x = start;
         let mut level: Option<i32> = None;
         for stage in route {
             match stage {
                 Stage::Mul | Stage::Accu => {}
                 Stage::Bn => {
-                    let bn = params.bn.as_ref().expect("BN stage needs parameters");
+                    let Some(bn) = params.bn.as_ref() else {
+                        panic!("BN stage needs parameters")
+                    };
                     x = bn.apply(x);
                 }
                 Stage::Activ => match &params.activation {
@@ -293,7 +299,7 @@ impl Tnpu {
                         level = Some(i32::from(x >= *t));
                     }
                     NeuronActivation::MultiThreshold(ts) => {
-                        level = Some(ts.partition_point(|&t| t <= x) as i32);
+                        level = Some(cast::i32_sat_usize(ts.partition_point(|&t| t <= x)));
                     }
                     NeuronActivation::Relu(_) => x = relu(x),
                     NeuronActivation::Sigmoid(_) => x = sigmoid(x),
@@ -320,13 +326,16 @@ impl Tnpu {
     /// Finishes a hidden/output neuron: applies bias, then the post-MAC
     /// crossbar path, returning the level or score.
     pub fn finalize(&mut self) -> TnpuOut {
-        let layer = self.layer.expect("layer configured");
-        let params = self.params.as_ref().expect("neuron loaded");
+        let Some(layer) = self.layer else {
+            panic!("configure_layer before finalize")
+        };
+        let Some(params) = self.params.as_ref() else {
+            panic!("load_neuron before finalize")
+        };
         debug_assert_ne!(layer.layer_type, LayerType::Input);
         let mut acc = self.acc;
         if let Some(b) = params.bias {
-            acc = (i64::from(acc) + i64::from(b)).clamp(i64::from(i32::MIN), i64::from(i32::MAX))
-                as i32;
+            acc = cast::i32_sat(i64::from(acc) + i64::from(b));
         }
         let act_kind = params.activation.kind().unwrap_or(ActivationKind::Relu);
         let route = crossbar_route(layer.layer_type, act_kind, params.bias.is_some());
@@ -337,10 +346,16 @@ impl Tnpu {
 
     /// Processes one input-layer value through the yellow path.
     pub fn process_input(&mut self, raw: i32) -> i32 {
-        let layer = self.layer.expect("layer configured");
+        let Some(layer) = self.layer else {
+            panic!("configure_layer before process_input")
+        };
         debug_assert_eq!(layer.layer_type, LayerType::Input);
-        let params = self.params.as_ref().expect("neuron loaded");
-        let kind = params.activation.kind().expect("input layer activates");
+        let Some(params) = self.params.as_ref() else {
+            panic!("load_neuron before process_input")
+        };
+        let Some(kind) = params.activation.kind() else {
+            panic!("input layer has no activation parameters")
+        };
         let route = crossbar_route(LayerType::Input, kind, true);
         match self.post_stages(&route, Fix::from_i32(raw)) {
             TnpuOut::Level(l) => l,

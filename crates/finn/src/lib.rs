@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! FINN-style Heterogeneous Streaming Dataflow (HSD) baseline.
 //!
 //! Table VI compares NetPU-M against four FINN instances (Umuroglu et

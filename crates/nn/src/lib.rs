@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! Quantization-aware MLP toolkit: the Brevitas/FINN-training substitute.
 //!
 //! The NetPU-M paper consumes *pre-trained 1/2-bit quantized MLPs from

@@ -83,6 +83,12 @@ pub enum DriverError {
         /// When the result would actually have been ready, µs.
         elapsed_us: f64,
     },
+    /// A response carried no runs where at least one was expected.
+    EmptyResponse,
+    /// The static pre-flight verifier rejected the loadable before it
+    /// reached the accelerator (cheap admission control: rejected
+    /// streams never cost simulation or DMA time).
+    Check(netpu_check::Report),
 }
 
 impl std::fmt::Display for DriverError {
@@ -94,6 +100,10 @@ impl std::fmt::Display for DriverError {
                 write!(f, "degenerate run: latency {latency_us} us")
             }
             DriverError::Queue { reason } => write!(f, "queue: {reason}"),
+            DriverError::EmptyResponse => f.write_str("response carried no runs"),
+            DriverError::Check(report) => {
+                write!(f, "pre-flight check rejected the stream: {report}")
+            }
             DriverError::Timeout {
                 deadline_us,
                 elapsed_us,
@@ -437,7 +447,10 @@ impl Driver {
     /// Compiles and runs one inference.
     pub fn infer(&self, model: &QuantMlp, pixels: &[u8]) -> Result<MeasuredRun, DriverError> {
         let resp = self.run(InferRequest::single(model, pixels.to_vec()))?;
-        Ok(resp.runs.into_iter().next().expect("single run"))
+        resp.runs
+            .into_iter()
+            .next()
+            .ok_or(DriverError::EmptyResponse)
     }
 
     /// Runs a pre-compiled loadable (on the cycle-exact fast path; the
@@ -485,6 +498,13 @@ impl Driver {
         loadable: &Loadable,
         trace_capacity: Option<usize>,
     ) -> Result<(MeasuredRun, Option<Vec<TraceEvent>>), DriverError> {
+        // Static pre-flight (DESIGN.md §4.3): error-severity findings
+        // mark streams the accelerator would reject, stall on, or panic
+        // over, so they are refused before any simulation is paid for.
+        let report = netpu_check::check(loadable, &self.hw);
+        if report.has_errors() {
+            return Err(DriverError::Check(report));
+        }
         let (run, trace) = match trace_capacity {
             None => (
                 run_inference_fast(&self.hw, loadable.words.clone())

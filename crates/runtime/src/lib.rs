@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! Host runtime for the NetPU-M accelerator.
 //!
 //! Models everything outside the programmable logic that the paper's

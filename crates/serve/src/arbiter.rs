@@ -69,7 +69,7 @@ impl DmaArbiter {
             .enumerate()
             .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
-            .expect("at least one board");
+            .unwrap_or(0); // constructor guarantees at least one board
         let start = arrival_us
             .max(self.dma_free_us)
             .max(self.board_free_us[board]);

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! Multi-board serving layer for NetPU-M.
 //!
 //! The runtime's [`Cluster`](netpu_runtime::Cluster) *predicts* what a
@@ -17,9 +17,11 @@
 pub mod arbiter;
 pub mod faults;
 pub mod metrics;
+pub mod queue;
 pub mod server;
 
 pub use arbiter::{DmaArbiter, Grant};
 pub use faults::{FaultInjector, FaultPlan};
 pub use metrics::MetricsSnapshot;
+pub use queue::{BoundedQueue, Push};
 pub use server::{ServeResponse, Server, ServerConfig, Submit, Ticket};

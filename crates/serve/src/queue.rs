@@ -1,0 +1,160 @@
+//! The bounded admission queue.
+//!
+//! [`BoundedQueue`] is the serving layer's only unbounded-wait point,
+//! so it is written against a sync-primitive shim: normal builds use
+//! `std::sync`, and `--cfg loom` builds swap in the `loom` model
+//! checker's perturbed primitives so `tests/loom.rs` can explore
+//! producer/consumer interleavings for the two invariants the server
+//! depends on — the queue never holds more than its bound, and closing
+//! the queue wakes every blocked worker (no lost wakeups, no stuck
+//! shutdown).
+
+use std::collections::VecDeque;
+use std::sync::PoisonError;
+
+#[cfg(loom)]
+use loom::sync::{Condvar, Mutex};
+#[cfg(not(loom))]
+use std::sync::{Condvar, Mutex};
+
+/// Outcome of a [`BoundedQueue::push`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Push {
+    /// Queued; `depth` is the queue length just after insertion.
+    Accepted {
+        /// Queue depth including the new item.
+        depth: usize,
+    },
+    /// The bound was hit — explicit backpressure, nothing was queued.
+    Full {
+        /// Queue depth at the time of rejection (== the bound).
+        len: usize,
+    },
+    /// The queue was closed; nothing was queued.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer queue with non-blocking,
+/// explicit-backpressure admission and drain-on-close shutdown:
+/// [`close`](BoundedQueue::close) stops admission immediately, but
+/// consumers keep receiving already-queued items until the queue is
+/// empty, then get `None`.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        assert!(capacity > 0, "queue bound must be positive");
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Attempts to queue `item` without blocking.
+    pub fn push(&self, item: T) -> Push {
+        let mut s = lock(&self.state);
+        if s.closed {
+            return Push::Closed;
+        }
+        if s.items.len() >= self.capacity {
+            return Push::Full { len: s.items.len() };
+        }
+        s.items.push_back(item);
+        let depth = s.items.len();
+        drop(s);
+        self.available.notify_one();
+        Push::Accepted { depth }
+    }
+
+    /// Blocks until an item is available (returning it) or the queue is
+    /// closed **and** drained (returning `None`).
+    pub fn pop_wait(&self) -> Option<T> {
+        let mut s = lock(&self.state);
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self
+                .available
+                .wait(s)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes admission and wakes every blocked consumer. Queued items
+    /// remain poppable; only new pushes are refused.
+    pub fn close(&self) {
+        lock(&self.state).closed = true;
+        self.available.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        lock(&self.state).items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_until_full_then_backpressure() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.push(1), Push::Accepted { depth: 1 });
+        assert_eq!(q.push(2), Push::Accepted { depth: 2 });
+        assert_eq!(q.push(3), Push::Full { len: 2 });
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_refuses_pushes_but_drains_pops() {
+        let q = BoundedQueue::new(4);
+        q.push(10);
+        q.push(11);
+        q.close();
+        assert_eq!(q.push(12), Push::Closed);
+        assert_eq!(q.pop_wait(), Some(10));
+        assert_eq!(q.pop_wait(), Some(11));
+        assert_eq!(q.pop_wait(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_wait_blocks_until_a_push_arrives() {
+        let q = std::sync::Arc::new(BoundedQueue::new(1));
+        let consumer = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || q.pop_wait())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.push(7);
+        assert_eq!(consumer.join().ok().flatten(), Some(7));
+    }
+}

@@ -12,11 +12,11 @@
 use crate::arbiter::DmaArbiter;
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::metrics::{Counters, MetricsSnapshot};
+use crate::queue::{BoundedQueue, Push};
 use netpu_compiler::compile;
 use netpu_runtime::{Driver, DriverError, InferPayload, InferRequest, InferResponse};
-use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Server configuration.
@@ -58,6 +58,13 @@ pub enum Submit {
     },
     /// The server has shut down.
     Closed,
+    /// The static pre-flight verifier rejected the stream at admission
+    /// (DESIGN.md §4.3): the request would have failed on the board, so
+    /// it never costs a queue slot or worker time.
+    Invalid {
+        /// The verifier's findings.
+        report: netpu_check::Report,
+    },
 }
 
 impl Submit {
@@ -104,11 +111,6 @@ impl Ticket {
     }
 }
 
-struct QueueState {
-    jobs: VecDeque<Job>,
-    closed: bool,
-}
-
 struct Job {
     req: InferRequest<'static>,
     tx: mpsc::Sender<Result<ServeResponse, DriverError>>,
@@ -120,8 +122,7 @@ struct Shared {
     counters: Counters,
     arbiter: Mutex<DmaArbiter>,
     injector: Mutex<FaultInjector>,
-    queue: Mutex<QueueState>,
-    available: Condvar,
+    queue: BoundedQueue<Job>,
 }
 
 /// A multi-board inference server over one shared DMA engine.
@@ -140,11 +141,7 @@ impl Server {
             counters: Counters::default(),
             arbiter: Mutex::new(DmaArbiter::new(cfg.boards)),
             injector: Mutex::new(FaultInjector::new(cfg.faults.clone())),
-            queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                closed: false,
-            }),
-            available: Condvar::new(),
+            queue: BoundedQueue::new(cfg.queue_capacity),
             cfg,
         });
         let workers = (0..shared.cfg.boards)
@@ -160,67 +157,67 @@ impl Server {
     /// answers [`Submit::Rejected`] immediately so the caller can shed
     /// or defer load instead of piling up unbounded work.
     pub fn submit(&self, req: InferRequest<'static>) -> Submit {
-        let mut q = self.shared.queue.lock().unwrap();
-        if q.closed {
-            return Submit::Closed;
-        }
-        if q.jobs.len() >= self.shared.cfg.queue_capacity {
-            self.shared
-                .counters
-                .rejected
-                .fetch_add(1, Ordering::Relaxed);
-            return Submit::Rejected {
-                queue_len: q.jobs.len(),
-            };
+        // Cheap static pre-flight before a queue slot is taken: a
+        // stream the accelerator would reject never reaches a worker.
+        if let InferPayload::Loadable(loadable) = &req.payload {
+            let report = netpu_check::check(loadable, &self.shared.driver.hw);
+            if report.has_errors() {
+                self.shared
+                    .counters
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Submit::Invalid { report };
+            }
         }
         let (tx, rx) = mpsc::channel();
-        q.jobs.push_back(Job { req, tx });
-        self.shared
-            .counters
-            .accepted
-            .fetch_add(1, Ordering::Relaxed);
-        self.shared.counters.observe_queue_depth(q.jobs.len());
-        drop(q);
-        self.shared.available.notify_one();
-        Submit::Accepted(Ticket { rx })
+        match self.shared.queue.push(Job { req, tx }) {
+            Push::Closed => Submit::Closed,
+            Push::Full { len } => {
+                self.shared
+                    .counters
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                Submit::Rejected { queue_len: len }
+            }
+            Push::Accepted { depth } => {
+                self.shared
+                    .counters
+                    .accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.counters.observe_queue_depth(depth);
+                Submit::Accepted(Ticket { rx })
+            }
+        }
     }
 
     /// A point-in-time metrics snapshot.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let arbiter = self.shared.arbiter.lock().unwrap();
+        let arbiter = lock_recover(&self.shared.arbiter);
         MetricsSnapshot::gather(&self.shared.counters, &arbiter)
     }
 
     /// Closes admission, drains every queued request, joins the
     /// workers, and returns the final metrics.
     pub fn shutdown(self) -> MetricsSnapshot {
-        {
-            let mut q = self.shared.queue.lock().unwrap();
-            q.closed = true;
-        }
-        self.shared.available.notify_all();
+        self.shared.queue.close();
         for w in self.workers {
             let _ = w.join();
         }
-        let arbiter = self.shared.arbiter.lock().unwrap();
+        let arbiter = lock_recover(&self.shared.arbiter);
         MetricsSnapshot::gather(&self.shared.counters, &arbiter)
     }
 }
 
+/// Locks a mutex, recovering the data on poison: a worker that
+/// panicked mid-request leaves queue/arbiter state consistent enough to
+/// keep serving (the panicking request's ticket sender is dropped, so
+/// its client sees a disconnect, not a hang).
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 fn worker_loop(shared: &Shared) {
-    loop {
-        let job = {
-            let mut q = shared.queue.lock().unwrap();
-            loop {
-                if let Some(job) = q.jobs.pop_front() {
-                    break job;
-                }
-                if q.closed {
-                    return;
-                }
-                q = shared.available.wait(q).unwrap();
-            }
-        };
+    while let Some(job) = shared.queue.pop_wait() {
         serve_one(shared, job);
     }
 }
@@ -264,11 +261,7 @@ fn serve_one(shared: &Shared, job: Job) {
         let (attempt_payload, attempt_words) = match &payload {
             InferPayload::Loadable(loadable) => {
                 let mut l = loadable.clone();
-                shared
-                    .injector
-                    .lock()
-                    .unwrap()
-                    .corrupt(attempt, &mut l.words);
+                lock_recover(&shared.injector).corrupt(attempt, &mut l.words);
                 let words = l.len();
                 (InferPayload::Loadable(l), words)
             }
@@ -282,11 +275,7 @@ fn serve_one(shared: &Shared, job: Job) {
             Ok(resp) => {
                 let transfer_us = response_occupancy_us(&shared.driver, &resp);
                 let latency_us = resp.total_latency_us();
-                let grant = shared
-                    .arbiter
-                    .lock()
-                    .unwrap()
-                    .grant(0.0, transfer_us, latency_us);
+                let grant = lock_recover(&shared.arbiter).grant(0.0, transfer_us, latency_us);
                 if let Some(deadline) = deadline_us {
                     if grant.complete_us > deadline {
                         shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
@@ -315,7 +304,7 @@ fn serve_one(shared: &Shared, job: Job) {
             Err(e) => {
                 // Only accelerator-side stream faults are transient;
                 // compile errors would fail identically on every retry.
-                let retryable = matches!(e, DriverError::Accelerator(_));
+                let retryable = matches!(e, DriverError::Accelerator(_) | DriverError::Check(_));
                 if retryable && attempt < retries {
                     // The rejected stream still occupied the shared
                     // DMA: charge a transfer-only grant before the
@@ -324,7 +313,7 @@ fn serve_one(shared: &Shared, job: Job) {
                         .driver
                         .dma
                         .occupancy_us(attempt_words, shared.driver.hw.clock_mhz);
-                    shared.arbiter.lock().unwrap().grant(0.0, wasted, wasted);
+                    lock_recover(&shared.arbiter).grant(0.0, wasted, wasted);
                     shared.counters.retried.fetch_add(1, Ordering::Relaxed);
                     attempt += 1;
                     continue;
@@ -383,10 +372,7 @@ mod tests {
     #[test]
     fn closed_server_answers_closed() {
         let server = Server::start(Driver::builder().build(), ServerConfig::default());
-        {
-            let mut q = server.shared.queue.lock().unwrap();
-            q.closed = true;
-        }
+        server.shared.queue.close();
         assert!(matches!(
             server.submit(InferRequest::single(tfc(), vec![0u8; 784])),
             Submit::Closed

@@ -54,7 +54,7 @@ fn retries_recover_from_transient_stream_faults() {
 }
 
 #[test]
-fn exhausted_retries_fail_with_the_accelerator_error() {
+fn exhausted_retries_fail_with_the_preflight_report() {
     let server = Server::start(
         Driver::builder().build(),
         ServerConfig {
@@ -67,12 +67,13 @@ fn exhausted_retries_fail_with_the_accelerator_error() {
         .submit(InferRequest::loadable(loadable()))
         .expect_accepted();
     match ticket.wait() {
-        Err(DriverError::Accelerator(e)) => {
-            // The chain bottoms out at the stream-level header error.
-            use std::error::Error;
-            assert!(e.source().is_some(), "accelerator error lost its source");
+        // The corrupted header is caught by the static pre-flight in
+        // `Driver::run` before any simulation is paid for; exhausting
+        // the retry budget surfaces that report.
+        Err(DriverError::Check(report)) => {
+            assert!(report.has_errors(), "pre-flight report carried no errors");
         }
-        other => panic!("expected an accelerator error, got {other:?}"),
+        other => panic!("expected a pre-flight check error, got {other:?}"),
     }
     let m = server.shutdown();
     assert_eq!((m.completed, m.failed, m.retried), (0, 1, 1));

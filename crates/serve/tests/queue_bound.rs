@@ -40,6 +40,7 @@ proptest! {
                     rejected += 1;
                 }
                 Submit::Closed => panic!("server closed early"),
+                Submit::Invalid { report } => panic!("pre-flight rejected: {report}"),
             }
             // Random drain cadence: sometimes wait a pending ticket
             // mid-stream, freeing queue space at irregular points.

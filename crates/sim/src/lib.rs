@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! Cycle-level hardware simulation kernel.
 //!
 //! The NetPU-M reproduction models the accelerator as synchronous state

@@ -1,0 +1,424 @@
+//! Workspace automation (`cargo run -p xtask -- lint`).
+//!
+//! `lint` enforces source-level gates that rustc and clippy cannot
+//! express at the granularity the workspace wants:
+//!
+//! * **panic-free hot paths** — no `.unwrap()` / `.expect(` in the
+//!   non-test code of `netpu-core`, `netpu-sim`, `netpu-runtime`, and
+//!   `netpu-serve`. These crates sit under the serving layer, where a
+//!   panic poisons locks and wedges worker threads; fallible paths must
+//!   return structured errors (or use the `let … else { panic!() }`
+//!   form, which forces an explicit message at the site).
+//! * **audited numeric casts** — no bare `as <numeric>` casts in
+//!   `netpu-arith` and `netpu-core`. All width changes go through the
+//!   checked/saturating helpers in `netpu_arith::cast`; that module
+//!   itself is the single exemption, and every `as` inside it carries
+//!   an `// audited:` comment.
+//! * **documented public surfaces** — every library crate's root
+//!   carries `#![deny(missing_docs)]`.
+//!
+//! The scanner strips comments, strings, and `#[cfg(test)]`-gated items
+//! before matching, so test fixtures and doc examples are free to use
+//! whatever they like. Lines are assumed rustfmt-normalized (CI runs
+//! `cargo fmt --check` first), so `as` casts always read ` as `.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose non-test code must not call `.unwrap()` / `.expect(`.
+const PANIC_FREE: &[&str] = &["core", "sim", "runtime", "serve"];
+
+/// Crates whose non-test code must not contain bare numeric `as` casts.
+const CAST_FREE: &[&str] = &["arith", "core"];
+
+/// The one module allowed to contain bare casts (each one audited).
+const CAST_EXEMPT: &str = "crates/arith/src/cast.rs";
+
+/// Library crates that must carry `#![deny(missing_docs)]`.
+const DOCUMENTED: &[&str] = &[
+    "arith", "bench", "check", "compiler", "core", "finn", "nn", "runtime", "serve", "sim",
+];
+
+/// Primitive types whose `as` casts must go through `netpu_arith::cast`.
+const NUMERIC: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        other => {
+            eprintln!(
+                "usage: cargo run -p xtask -- lint   (got {:?})",
+                other.unwrap_or("<nothing>")
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let violations = lint_violations();
+    if violations.is_empty() {
+        println!("xtask lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("lint: {v}");
+        }
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn lint_violations() -> Vec<String> {
+    let root = workspace_root();
+    let mut violations = Vec::new();
+
+    for krate in PANIC_FREE {
+        for file in rust_sources(&root.join("crates").join(krate).join("src")) {
+            check_panic_free(&root, &file, &mut violations);
+        }
+    }
+    for krate in CAST_FREE {
+        for file in rust_sources(&root.join("crates").join(krate).join("src")) {
+            if rel(&root, &file) == CAST_EXEMPT {
+                continue;
+            }
+            check_cast_free(&root, &file, &mut violations);
+        }
+    }
+    for krate in DOCUMENTED {
+        let lib = root.join("crates").join(krate).join("src").join("lib.rs");
+        let text = read(&lib);
+        if !text.contains("#![deny(missing_docs)]") {
+            violations.push(format!(
+                "{}: library root lacks #![deny(missing_docs)]",
+                rel(&root, &lib)
+            ));
+        }
+    }
+
+    violations
+}
+
+fn check_panic_free(root: &Path, file: &Path, out: &mut Vec<String>) {
+    let masked = mask_tests(&strip_code(&read(file)));
+    for (lineno, line) in masked.lines().enumerate() {
+        for needle in [".unwrap()", ".expect("] {
+            if line.contains(needle) {
+                let mut v = String::new();
+                let _ = write!(
+                    v,
+                    "{}:{}: `{}` in non-test code (return an error or use `let … else`)",
+                    rel(root, file),
+                    lineno + 1,
+                    needle.trim_end_matches('(')
+                );
+                out.push(v);
+            }
+        }
+    }
+}
+
+fn check_cast_free(root: &Path, file: &Path, out: &mut Vec<String>) {
+    let masked = mask_tests(&strip_code(&read(file)));
+    for (lineno, line) in masked.lines().enumerate() {
+        let mut rest = line;
+        while let Some(pos) = rest.find(" as ") {
+            let after = &rest[pos + 4..];
+            let target: String = after
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if NUMERIC.contains(&target.as_str()) {
+                let mut v = String::new();
+                let _ = write!(
+                    v,
+                    "{}:{}: bare `as {}` cast (use a netpu_arith::cast helper)",
+                    rel(root, file),
+                    lineno + 1,
+                    target
+                );
+                out.push(v);
+            }
+            rest = after;
+        }
+    }
+}
+
+/// Blanks comments, string literals, and char literals with spaces,
+/// preserving newlines so line numbers survive.
+fn strip_code(src: &str) -> String {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        if c == '/' && next == Some('/') {
+            while i < bytes.len() && bytes[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+        } else if c == '/' && next == Some('*') {
+            let mut depth = 1;
+            out.push_str("  ");
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(if bytes[i] == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+        } else if c == 'r' && matches!(next, Some('"') | Some('#')) && raw_string_at(&bytes, i) {
+            i = blank_raw_string(&bytes, i, &mut out);
+        } else if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if bytes[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(if bytes[i] == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+        } else if c == '\'' && char_literal_at(&bytes, i) {
+            out.push(' ');
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if bytes[i] == '\'' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// `true` when the `r` at `i` starts a raw string (`r"…"`, `r#"…"#`).
+fn raw_string_at(bytes: &[char], i: usize) -> bool {
+    let mut j = i + 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+/// Blanks a raw string starting at `i`; returns the index past it.
+fn blank_raw_string(bytes: &[char], i: usize, out: &mut String) -> usize {
+    let mut j = i + 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    // Opening `r##"`.
+    for _ in i..=j {
+        out.push(' ');
+    }
+    j += 1;
+    while j < bytes.len() {
+        if bytes[j] == '"' && bytes[j + 1..].iter().take(hashes).all(|c| *c == '#') {
+            for _ in 0..=hashes {
+                out.push(' ');
+            }
+            return j + 1 + hashes;
+        }
+        out.push(if bytes[j] == '\n' { '\n' } else { ' ' });
+        j += 1;
+    }
+    j
+}
+
+/// `true` when the `'` at `i` starts a char literal rather than a
+/// lifetime: `'x'` or `'\…'`.
+fn char_literal_at(bytes: &[char], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => bytes.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Blanks every `#[cfg(test)]`-gated item (attribute through matching
+/// closing brace or semicolon) in already-stripped source.
+fn mask_tests(stripped: &str) -> String {
+    let chars: Vec<char> = stripped.chars().collect();
+    let mut blank = vec![false; chars.len()];
+    let text: String = chars.iter().collect();
+    let mut search = 0;
+    while let Some(found) = text[search..].find("#[cfg(test)]") {
+        let attr_start = search + found;
+        let mut j = attr_start;
+        // Blank the attribute, any stacked attributes after it, and the
+        // gated item: through the matching `}` if a `{` comes before a
+        // top-level `;`, else through the `;`.
+        let mut depth = 0usize;
+        let mut saw_brace = false;
+        while j < chars.len() {
+            match chars[j] {
+                '{' => {
+                    depth += 1;
+                    saw_brace = true;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if saw_brace && depth == 0 {
+                        blank[j] = true;
+                        j += 1;
+                        break;
+                    }
+                }
+                ';' if !saw_brace => {
+                    blank[j] = true;
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            blank[j] = true;
+            j += 1;
+        }
+        search = j.max(attr_start + 1);
+    }
+    chars
+        .iter()
+        .zip(&blank)
+        .map(|(c, b)| if *b && *c != '\n' { ' ' } else { *c })
+        .collect()
+}
+
+fn rust_sources(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+fn read(path: &Path) -> String {
+    match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("xtask: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/crates/xtask; CARGO_MANIFEST_DIR is set by
+    // cargo for both `cargo run` and the test harness.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_strings_and_chars() {
+        let s = strip_code("let x = \"a.unwrap()\"; // .expect(\nlet c = 'u'; let l: &'a u8;");
+        assert!(!s.contains(".unwrap()"));
+        assert!(!s.contains(".expect("));
+        assert!(s.contains("let l: &'a u8;"));
+    }
+
+    #[test]
+    fn strips_raw_strings_and_block_comments() {
+        let s = strip_code("r#\"x.unwrap()\"#; /* outer /* a as u32 */ */ y");
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("as u32"));
+        assert!(s.ends_with("y"));
+    }
+
+    #[test]
+    fn masks_cfg_test_modules_and_items() {
+        let s = mask_tests("fn a() {}\n#[cfg(test)]\nmod t {\n  x.unwrap();\n}\nfn b() {}");
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("fn a()") && s.contains("fn b()"));
+        let s = mask_tests("#[cfg(test)]\nuse foo::bar;\nfn keep() {}");
+        assert!(!s.contains("foo::bar") && s.contains("fn keep()"));
+    }
+
+    #[test]
+    fn line_numbers_survive_masking() {
+        let src = "line1\n\"str\nstr\"\nline4";
+        assert_eq!(strip_code(src).lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn cast_scan_flags_only_numeric_targets() {
+        let root = workspace_root();
+        let dir = std::env::temp_dir().join("xtask-cast-scan");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let file = dir.join("probe.rs");
+        fs::write(&file, "let a = x as u32;\nlet b = y as MyType;\n").expect("write probe");
+        let mut v = Vec::new();
+        check_cast_free(&root, &file, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("as u32"));
+    }
+
+    #[test]
+    fn workspace_is_clean() {
+        // The real gate, run in-process so `cargo test` exercises it.
+        let violations = lint_violations();
+        assert!(violations.is_empty(), "{}", violations.join("\n"));
+    }
+}

@@ -63,6 +63,7 @@ fn main() {
                 debug_assert_eq!(queue_len, 32);
             }
             Submit::Closed => unreachable!("server is running"),
+            Submit::Invalid { report } => unreachable!("valid stream rejected: {report}"),
         }
     }
     println!(

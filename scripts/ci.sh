@@ -10,6 +10,16 @@ cargo fmt --all --check
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== xtask lint (panic-free hot paths, audited casts, doc gates) =="
+cargo run -q -p xtask -- lint
+
+echo "== cargo-deny (dependency policy), when installed =="
+if command -v cargo-deny >/dev/null 2>&1; then
+    cargo deny check
+else
+    echo "cargo-deny not installed; skipping"
+fi
+
 echo "== build (release) =="
 cargo build --release --workspace
 
@@ -21,5 +31,8 @@ cargo test -q --release -p netpu-serve
 
 echo "== API doc-tests (release) =="
 cargo test -q --release -p netpu-runtime --doc
+
+echo "== loom model check (admission queue, debug profile) =="
+RUSTFLAGS="--cfg loom" cargo test -q -p netpu-serve --test loom
 
 echo "CI gate passed."

@@ -1,0 +1,168 @@
+//! Offline stand-in for the `loom` permutation-testing model checker.
+//!
+//! The real loom exhaustively enumerates thread interleavings of code
+//! written against its shimmed `sync` primitives. This stand-in keeps
+//! the API shape — [`model`], [`thread::spawn`], [`sync::Mutex`],
+//! [`sync::Condvar`] — but explores interleavings *stochastically*:
+//! every lock / wait / notify / spawn edge is a perturbation point
+//! where a seeded xorshift schedule may inject an OS yield or a
+//! microsecond sleep, and [`model`] replays the closure across many
+//! seeds. A watchdog converts a hung iteration (deadlock, lost wakeup)
+//! into a panic naming the iteration, instead of wedging the test
+//! harness forever.
+//!
+//! The guarantees are correspondingly weaker than real loom's — a pass
+//! is strong evidence, not a proof — but the failure mode is identical:
+//! an invariant violation or a stuck schedule fails the test.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Global schedule-perturbation state. Races between threads are
+/// harmless: they only add more nondeterminism to the schedule.
+static SCHEDULE: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+
+/// One perturbation point: advance the xorshift state and maybe yield
+/// or sleep, so lock/wait/notify edges land in different orders across
+/// iterations.
+pub(crate) fn interleave() {
+    let mut x = SCHEDULE.load(Ordering::Relaxed);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    SCHEDULE.store(x, Ordering::Relaxed);
+    match x % 8 {
+        0 | 1 => std::thread::yield_now(),
+        2 => std::thread::sleep(Duration::from_micros(x % 50)),
+        _ => {}
+    }
+}
+
+/// Runs `f` under many perturbed schedules. Panics if any iteration
+/// violates an assertion, panics, or fails to finish within the
+/// watchdog deadline (the signature of a deadlock or lost wakeup).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    const ITERATIONS: u64 = 96;
+    const WATCHDOG: Duration = Duration::from_secs(10);
+    let f = std::sync::Arc::new(f);
+    for iter in 0..ITERATIONS {
+        SCHEDULE.store(
+            0x9E37_79B9_7F4A_7C15 ^ (iter << 32) ^ iter,
+            Ordering::SeqCst,
+        );
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let g = std::sync::Arc::clone(&f);
+        let handle = std::thread::spawn(move || {
+            g();
+            let _ = done_tx.send(());
+        });
+        match done_rx.recv_timeout(WATCHDOG) {
+            Ok(()) => {
+                let _ = handle.join();
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                // The closure panicked before signalling: surface it.
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => panic!(
+                "loom model iteration {iter} did not finish within {WATCHDOG:?}: \
+                 possible deadlock or lost wakeup"
+            ),
+        }
+    }
+}
+
+/// Schedule-perturbing wrappers over `std::sync`.
+pub mod sync {
+    pub use std::sync::{Arc, LockResult, MutexGuard, PoisonError};
+
+    /// Atomics pass through unchanged.
+    pub mod atomic {
+        pub use std::sync::atomic::*;
+    }
+
+    /// `std::sync::Mutex` with a perturbation point before every
+    /// acquisition.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Creates a mutex.
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        /// Locks, after a schedule perturbation.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            crate::interleave();
+            self.0.lock()
+        }
+    }
+
+    /// `std::sync::Condvar` with perturbation points around wait and
+    /// notify edges (where lost wakeups hide).
+    #[derive(Debug, Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        /// Creates a condition variable.
+        pub fn new() -> Condvar {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        /// Waits on the condition, after a schedule perturbation.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            crate::interleave();
+            self.0.wait(guard)
+        }
+
+        /// Wakes one waiter, after a schedule perturbation.
+        pub fn notify_one(&self) {
+            crate::interleave();
+            self.0.notify_one();
+        }
+
+        /// Wakes every waiter, after a schedule perturbation.
+        pub fn notify_all(&self) {
+            crate::interleave();
+            self.0.notify_all();
+        }
+    }
+}
+
+/// Schedule-perturbing wrappers over `std::thread`.
+pub mod thread {
+    /// Handle to a spawned model thread.
+    #[derive(Debug)]
+    pub struct JoinHandle<T>(std::thread::JoinHandle<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Joins the thread.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    /// Spawns a thread whose start is itself a perturbation point.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        crate::interleave();
+        JoinHandle(std::thread::spawn(move || {
+            crate::interleave();
+            f()
+        }))
+    }
+
+    /// Cooperative yield.
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
