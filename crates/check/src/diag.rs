@@ -35,11 +35,30 @@ pub enum RuleId {
     Npc012,
     /// Multi-Threshold precision within the instance's synthesis cap.
     Npc013,
+    /// Accumulator overflow possible: worst-case pre-activation sums
+    /// exceed the configured accumulator width.
+    Npc014,
+    /// Fixed-point saturation reachable in the post-accumulator stages.
+    Npc015,
+    /// Dead neuron: no threshold of the activation is crossable within
+    /// the pre-activation bounds.
+    Npc016,
+    /// Constant output channel: the neuron's output interval collapses
+    /// to a single value for every admissible input.
+    Npc017,
+    /// BN scale drives values outside the 32-bit comparator range.
+    Npc018,
+    /// Provably-narrowable accumulator: the worst-case sums fit a
+    /// narrower accumulator than the instance was generated with.
+    Npc019,
+    /// Declared input-range metadata is invalid or fails to cover the
+    /// stream's own input words.
+    Npc020,
 }
 
 impl RuleId {
     /// All rules, in catalog order.
-    pub const ALL: [RuleId; 13] = [
+    pub const ALL: [RuleId; 20] = [
         RuleId::Npc001,
         RuleId::Npc002,
         RuleId::Npc003,
@@ -53,6 +72,13 @@ impl RuleId {
         RuleId::Npc011,
         RuleId::Npc012,
         RuleId::Npc013,
+        RuleId::Npc014,
+        RuleId::Npc015,
+        RuleId::Npc016,
+        RuleId::Npc017,
+        RuleId::Npc018,
+        RuleId::Npc019,
+        RuleId::Npc020,
     ];
 
     /// The stable textual ID, e.g. `"NPC004"`.
@@ -71,6 +97,13 @@ impl RuleId {
             RuleId::Npc011 => "NPC011",
             RuleId::Npc012 => "NPC012",
             RuleId::Npc013 => "NPC013",
+            RuleId::Npc014 => "NPC014",
+            RuleId::Npc015 => "NPC015",
+            RuleId::Npc016 => "NPC016",
+            RuleId::Npc017 => "NPC017",
+            RuleId::Npc018 => "NPC018",
+            RuleId::Npc019 => "NPC019",
+            RuleId::Npc020 => "NPC020",
         }
     }
 
@@ -90,7 +123,32 @@ impl RuleId {
             RuleId::Npc011 => "the hardware configuration is valid and fits the target fabric",
             RuleId::Npc012 => "QUAN parameters are uniform across a layer's neurons",
             RuleId::Npc013 => "multi-threshold precision is within the synthesis-time cap",
+            RuleId::Npc014 => "no admissible input can overflow the configured accumulator",
+            RuleId::Npc015 => "fixed-point saturation is unreachable in the post stages",
+            RuleId::Npc016 => "every activation threshold is crossable by some input",
+            RuleId::Npc017 => "no output channel is constant over the input range",
+            RuleId::Npc018 => "post-BN values stay inside the 32-bit comparator range",
+            RuleId::Npc019 => "the accumulator width is the minimal one that is safe",
+            RuleId::Npc020 => "declared input-range metadata is valid and covers the inputs",
         }
+    }
+
+    /// `true` for the range-analysis rule family (NPC014–NPC020) emitted
+    /// by the abstract interpreter, as opposed to the structural rules
+    /// NPC001–NPC013. Admission layers may gate on this distinction
+    /// (strict mode rejects range errors, lenient mode only structural
+    /// ones).
+    pub fn is_range(self) -> bool {
+        matches!(
+            self,
+            RuleId::Npc014
+                | RuleId::Npc015
+                | RuleId::Npc016
+                | RuleId::Npc017
+                | RuleId::Npc018
+                | RuleId::Npc019
+                | RuleId::Npc020
+        )
     }
 }
 
@@ -103,6 +161,9 @@ impl fmt::Display for RuleId {
 /// How bad a finding is.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub enum Severity {
+    /// Advisory only: the stream is sound, but the analysis proved a
+    /// property worth surfacing (e.g. a narrower accumulator suffices).
+    Info,
     /// Suspicious but the accelerator would still complete the run
     /// (possibly with garbage numerics).
     Warning,
@@ -114,6 +175,7 @@ pub enum Severity {
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
+            Severity::Info => "info",
             Severity::Warning => "warning",
             Severity::Error => "error",
         })
@@ -175,6 +237,22 @@ impl Report {
         self.diagnostics
             .iter()
             .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// `true` when a structural rule (NPC001–NPC013) fired at error
+    /// severity. These always reject, regardless of strictness.
+    pub fn has_structural_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error && !d.rule.is_range())
+    }
+
+    /// `true` when a range-analysis rule (NPC014–NPC020) fired at error
+    /// severity. Strict admission rejects these too.
+    pub fn has_range_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.rule.is_range())
     }
 
     /// `true` when `rule` fired at any severity.

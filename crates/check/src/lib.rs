@@ -10,14 +10,24 @@
 //! degeneracy, weight-word packing consistency, and resource-model
 //! feasibility of the target [`HwConfig`].
 //!
+//! Structurally sound streams additionally pass through the [`absint`]
+//! range analyzer: an abstract interpretation of the decoded model that
+//! proves per-neuron accumulator/BN/level bounds from the header's
+//! declared input range and emits the NPC014–NPC020 datapath-soundness
+//! rules.
+//!
 //! Findings are structured [`Diagnostic`]s with stable rule IDs
 //! (`NPC001`…), byte offsets into the serialized stream, and
-//! severities. **Errors** mark streams the accelerator would reject,
-//! deadlock on, or panic over; admission layers ([`Driver::run`] and
-//! `netpu-serve`) reject exactly those, so a stream the accelerator
-//! would run to completion is never refused. **Warnings** flag numeric
-//! hazards (unsorted threshold tables, zero BN scales, wasted dense
-//! flags) that complete but misbehave.
+//! severities. **Errors** come in two families the admission layers
+//! ([`Driver::run`] and `netpu-serve`) gate on separately: *structural*
+//! errors (NPC001–NPC013) mark streams the accelerator would reject,
+//! deadlock on, or panic over and always refuse admission; *range*
+//! errors (NPC014/NPC018/NPC020) mark streams the simulator completes
+//! but whose datapath numerics are provably unsafe on the configured
+//! instance — strict admission rejects these too, lenient admission
+//! lets them through. **Warnings** flag numeric hazards (unsorted
+//! threshold tables, zero BN scales, dead neurons, reachable
+//! saturation) that complete but misbehave.
 //!
 //! [`Driver::run`]: https://docs.rs/netpu-runtime
 //!
@@ -38,9 +48,11 @@
 //! assert!(report.has_errors() && report.fired(RuleId::Npc001));
 //! ```
 
+pub mod absint;
 mod diag;
 mod rules;
 
+pub use absint::{LayerBounds, NeuronBounds, RangeAnalysis};
 pub use diag::{Diagnostic, Report, RuleId, Severity};
 
 use netpu_compiler::Loadable;
@@ -55,6 +67,32 @@ pub fn check(loadable: &Loadable, cfg: &HwConfig) -> Report {
 
 /// Checks a raw word stream (e.g. one received over a transport, with
 /// no host-side metadata) against an instance configuration.
+///
+/// Structurally clean streams are additionally decoded and run through
+/// the [`absint`] range analyzer; streams the decoder cannot reconstruct
+/// (multi-loadable bursts, truncated tails already reported by the
+/// structural rules) skip the second tier silently.
 pub fn check_words(words: &[u64], cfg: &HwConfig) -> Report {
-    rules::run_all(words, cfg)
+    let mut report = rules::run_all(words, cfg);
+    if !report.has_errors() {
+        if let Ok(decoded) = netpu_compiler::decode(words) {
+            absint::analyze(&decoded, cfg, &mut report);
+        }
+    }
+    report
+}
+
+/// [`check_words`] plus the proved per-neuron bounds, for callers that
+/// want the [`RangeAnalysis`] itself (the soundness test suite, width
+/// tooling). The analysis half is `None` exactly when `check_words`
+/// would have skipped it.
+pub fn check_words_analyzed(words: &[u64], cfg: &HwConfig) -> (Report, Option<RangeAnalysis>) {
+    let mut report = rules::run_all(words, cfg);
+    if report.has_errors() {
+        return (report, None);
+    }
+    let analysis = netpu_compiler::decode(words)
+        .ok()
+        .map(|decoded| absint::analyze(&decoded, cfg, &mut report));
+    (report, analysis)
 }

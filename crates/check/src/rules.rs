@@ -4,9 +4,11 @@
 //! protocol or instance configuration; DESIGN.md §4.3 is the catalog.
 //! Rules that, when violated, make the accelerator model reject, stall,
 //! or panic are **errors**; rules that only compromise numerics are
-//! **warnings**. Admission layers reject on errors alone, so the
-//! checker never refuses a stream the accelerator would run to
-//! completion.
+//! **warnings**. This module's *structural* errors (NPC001–NPC013) never
+//! refuse a stream the accelerator would run to completion; the
+//! [`crate::absint`] tier additionally emits *range* errors
+//! (NPC014/NPC018/NPC020) for streams that run but with provably unsafe
+//! numerics — strict admission (the default) refuses those too.
 
 use crate::diag::{Report, RuleId, Severity};
 use netpu_arith::{cast, ActivationKind, Fix};

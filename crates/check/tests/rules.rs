@@ -5,7 +5,7 @@ use netpu_check::{check, check_words, Report, RuleId};
 use netpu_compiler::{compile, compile_packed, Loadable, PackingMode, SectionKind};
 use netpu_core::HwConfig;
 use netpu_nn::export::BnMode;
-use netpu_nn::qmodel::{HiddenLayer, InputLayer, LayerActivation, OutputLayer, QuantMlp};
+use netpu_nn::qmodel::{BnParams, HiddenLayer, InputLayer, LayerActivation, OutputLayer, QuantMlp};
 use netpu_nn::zoo::ZooModel;
 
 fn cfg() -> HwConfig {
@@ -121,6 +121,7 @@ fn npc006_packing_flag() {
         dense_weight_packing: true,
         ..cfg()
     };
+    assert!(!check(&dense, &dense_cfg).fired(RuleId::Npc006));
     assert!(!check(&dense, &dense_cfg).has_errors());
 }
 
@@ -263,6 +264,158 @@ fn npc013_multithreshold_cap() {
     };
     let r = check(&l, &capped);
     assert!(!r.has_errors() && r.fired(RuleId::Npc013));
+}
+
+#[test]
+fn npc014_accumulator_overflow() {
+    let l = tfc(BnMode::Folded);
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc014));
+
+    // The same stream against an instance generated with an accumulator
+    // too narrow for the layer's worst-case prefix sums.
+    let narrow = HwConfig {
+        accumulator_bits: 8,
+        ..cfg()
+    };
+    let r = check(&l, &narrow);
+    assert!(r.has_errors() && r.fired(RuleId::Npc014));
+    assert!(r.has_range_errors() && !r.has_structural_errors());
+}
+
+/// A hardware-BN model with a wide accumulator range (784 × weight 7 ×
+/// level 15) so a large BN scale can push the post stages to their
+/// limits.
+fn bn_model(scale_q16: i32) -> QuantMlp {
+    let quant = QuantParams {
+        scale: Fix::ONE,
+        offset: Fix::ZERO,
+    };
+    let bn = BnParams {
+        scale_q16,
+        offset: Fix::ZERO,
+    };
+    QuantMlp {
+        name: String::new(),
+        input: InputLayer {
+            len: 784,
+            out_precision: Precision::W4,
+            activation: LayerActivation::Relu { quant },
+        },
+        hidden: vec![HiddenLayer {
+            in_len: 784,
+            neurons: 2,
+            weight_precision: Precision::W4,
+            in_precision: Precision::W4,
+            out_precision: Precision::W4,
+            weights: vec![7; 784 * 2],
+            bias: None,
+            bn: Some(vec![bn; 2]),
+            activation: LayerActivation::Relu { quant },
+        }],
+        output: OutputLayer {
+            in_len: 2,
+            neurons: 2,
+            weight_precision: Precision::W4,
+            in_precision: Precision::W4,
+            weights: vec![1; 4],
+            bias: Some(vec![0; 2]),
+            bn: None,
+        },
+    }
+}
+
+#[test]
+fn npc015_bn_saturation_reachable() {
+    // Identity scale: the BN stage stays far from the Q32.5 limits.
+    let l = compile(&bn_model(1 << 16), &vec![0u8; 784]).unwrap();
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc015));
+
+    // A near-maximal Q16.16 scale drives the unsaturated BN image past
+    // the Q32.5 range for the worst-case accumulator.
+    let l = compile(&bn_model(i32::MAX), &vec![0u8; 784]).unwrap();
+    assert!(check(&l, &cfg()).fired(RuleId::Npc015));
+}
+
+#[test]
+fn npc018_bn_exceeds_comparator_range() {
+    let l = compile(&bn_model(1 << 16), &vec![0u8; 784]).unwrap();
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc018));
+
+    let l = compile(&bn_model(i32::MAX), &vec![0u8; 784]).unwrap();
+    let r = check(&l, &cfg());
+    assert!(r.has_errors() && r.fired(RuleId::Npc018));
+    assert!(r.has_range_errors());
+}
+
+#[test]
+fn npc016_dead_threshold_neuron() {
+    let l = tfc(BnMode::Folded);
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc016));
+
+    // Raise neuron 0's three Multi-Threshold levels far above anything
+    // the accumulator can reach: the neuron's output collapses. The
+    // params section starts with ceil(64/8) = 8 bias words; the first
+    // two activation words carry neuron 0's thresholds (t0, t1) and
+    // (t2, neuron 1's t0). Equal thresholds keep NPC007 satisfied.
+    let params = section(&l, SectionKind::Params, 1);
+    let mut bad = l.words.clone();
+    bad[params.start + 8] = 0x7FFF_FFFF_7FFF_FFFF;
+    bad[params.start + 9] = (bad[params.start + 9] & !0xFFFF_FFFF) | 0x7FFF_FFFF;
+    let r = rep(&bad);
+    assert!(r.fired(RuleId::Npc016));
+}
+
+#[test]
+fn npc017_constant_output_channel() {
+    let l = compile(&relu_model(), &[0u8; 8]).unwrap();
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc017));
+
+    // All-zero weights with a zero bias: every QUAN channel is stuck at
+    // one value regardless of the input.
+    let mut dead = relu_model();
+    dead.hidden[0].weights = vec![0; 32];
+    let l = compile(&dead, &[0u8; 8]).unwrap();
+    let r = check(&l, &cfg());
+    assert!(!r.has_structural_errors() && r.fired(RuleId::Npc017));
+}
+
+#[test]
+fn npc019_provably_narrowable_accumulator() {
+    // Both FC layers peak at exactly 120 = 8 signed bits.
+    let mut m = relu_model();
+    m.output.weights = vec![2; 8];
+    let l = compile(&m, &[0u8; 8]).unwrap();
+
+    // The paper instance's 32-bit accumulator is provably oversized:
+    // advisory only, never a rejection.
+    let r = check(&l, &cfg());
+    assert!(!r.has_errors() && r.fired(RuleId::Npc019));
+
+    // An instance generated at the proved width gets no advisory.
+    let tight = HwConfig {
+        accumulator_bits: 8,
+        ..cfg()
+    };
+    let r = check(&l, &tight);
+    assert!(!r.fired(RuleId::Npc019) && !r.fired(RuleId::Npc014));
+}
+
+#[test]
+fn npc020_declared_input_range() {
+    let l = tfc(BnMode::Folded);
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc020));
+
+    // An empty declared interval is rejected outright.
+    let mut bad = l.clone();
+    bad.set_declared_input_range(10, 5);
+    let r = check(&bad, &cfg());
+    assert!(r.has_errors() && r.fired(RuleId::Npc020));
+
+    // A claim that fails to cover the stream's own (all-zero) pixels.
+    let mut bad = l.clone();
+    bad.set_declared_input_range(1, 5);
+    let r = check(&bad, &cfg());
+    assert!(r.has_errors() && r.fired(RuleId::Npc020));
 }
 
 #[test]

@@ -14,6 +14,7 @@ use crate::stream::{
     StreamLayout, MAGIC, VERSION,
 };
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use netpu_arith::cast;
 
 /// File magic: `"NPUL"`.
 pub const FILE_MAGIC: [u8; 4] = *b"NPUL";
@@ -77,7 +78,7 @@ pub fn layout_of(words: &[u64]) -> Result<StreamLayout, StreamError> {
         return Err(StreamError::Truncated { at: 0 });
     }
     let header = words[0];
-    if header as u16 != MAGIC || (header >> 16) as u8 != VERSION {
+    if cast::lo16(header) != MAGIC || cast::lo8(header >> 16) != VERSION {
         return Err(StreamError::BadHeader(header));
     }
     let mode = if header >> 40 & 1 == 1 {
@@ -85,7 +86,7 @@ pub fn layout_of(words: &[u64]) -> Result<StreamLayout, StreamError> {
     } else {
         PackingMode::Lanes8
     };
-    let n = (header >> 24) as usize & 0xFFFF;
+    let n = cast::usize_sat((header >> 24) & 0xFFFF);
     if n < 2 || words.len() < 1 + n {
         return Err(StreamError::Truncated { at: words.len() });
     }
@@ -99,7 +100,7 @@ pub fn layout_of(words: &[u64]) -> Result<StreamLayout, StreamError> {
         ..StreamLayout::default()
     };
     let mut pos = 1 + n;
-    let in_words = input_words(settings[0].neurons as usize);
+    let in_words = input_words(cast::usize_from_u32(settings[0].neurons));
     layout.input = pos..pos + in_words;
     pos += in_words;
     let mut push = |kind: SectionKind, layer: usize, len: usize, pos: &mut usize| {
@@ -139,7 +140,7 @@ impl Loadable {
         let mut out = BytesMut::with_capacity(16 + payload.len());
         out.put_slice(&FILE_MAGIC);
         out.put_u32_le(FILE_VERSION);
-        out.put_u32_le(self.words.len() as u32);
+        out.put_u32_le(cast::u32_sat_usize(self.words.len()));
         out.put_u32_le(crc);
         out.extend_from_slice(&payload);
         out.freeze()
@@ -159,7 +160,7 @@ impl Loadable {
         if data.get_u32_le() != FILE_VERSION {
             return Err(FileError::BadContainer);
         }
-        let count = data.get_u32_le() as usize;
+        let count = cast::usize_from_u32(data.get_u32_le());
         let stored = data.get_u32_le();
         if data.len() < count * 8 {
             return Err(FileError::Truncated);

@@ -7,7 +7,7 @@
 //! the input length — everything Figure 4's Layer Initialization step
 //! consumes.
 
-use netpu_arith::{ActivationKind, Precision};
+use netpu_arith::{cast, ActivationKind, Precision};
 use serde::{Deserialize, Serialize};
 
 /// The three layer kinds the NetPU schedules (§III.B.1 Crossbar paths).
@@ -108,25 +108,31 @@ impl LayerSetting {
 
     /// Decodes a 64-bit layer-setting stream word.
     pub fn decode(word: u64) -> Result<LayerSetting, SettingError> {
-        let lt = (word & 0b11) as u8;
-        let layer_type = LayerType::decode(lt as u64).ok_or(SettingError::BadLayerType(lt))?;
-        let act = ((word >> 2) & 0b111) as u8;
+        let lt = cast::lo8(word & 0b11);
+        let layer_type = LayerType::decode(u64::from(lt)).ok_or(SettingError::BadLayerType(lt))?;
+        let act = cast::lo8((word >> 2) & 0b111);
         let activation = ActivationKind::decode(act).ok_or(SettingError::BadActivation(act))?;
-        let neurons = ((word >> 16) & 0x3FFF) as u32;
-        let input_len = ((word >> 32) & 0x3FFF) as u32;
+        let neurons = cast::lo32((word >> 16) & 0x3FFF);
+        let input_len = cast::lo32((word >> 32) & 0x3FFF);
         if neurons > MAX_FIELD_WIDTH {
             return Err(SettingError::BadWidth(neurons));
         }
         if input_len > MAX_FIELD_WIDTH {
             return Err(SettingError::BadWidth(input_len));
         }
+        let precision = |shift: u32| {
+            let Ok(p) = Precision::decode(cast::lo8((word >> shift) & 0b111)) else {
+                unreachable!("masked 3-bit precision fields always decode");
+            };
+            p
+        };
         Ok(LayerSetting {
             layer_type,
             activation,
             bn_folded: (word >> 5) & 1 == 1,
-            in_precision: Precision::decode(((word >> 6) & 0b111) as u8).expect("3-bit field"),
-            weight_precision: Precision::decode(((word >> 9) & 0b111) as u8).expect("3-bit field"),
-            out_precision: Precision::decode(((word >> 12) & 0b111) as u8).expect("3-bit field"),
+            in_precision: precision(6),
+            weight_precision: precision(9),
+            out_precision: precision(12),
             neurons,
             input_len,
         })

@@ -15,7 +15,7 @@
 
 use crate::settings::{LayerSetting, LayerType, SettingError};
 use netpu_arith::quant::{self, LANES_PER_WORD};
-use netpu_arith::{ActivationKind, Fix, Precision, QuantParams};
+use netpu_arith::{cast, ActivationKind, Fix, Precision, QuantParams};
 use netpu_nn::qmodel::{BnParams, HiddenLayer, InputLayer, LayerActivation, OutputLayer, QuantMlp};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
@@ -24,6 +24,33 @@ use std::ops::Range;
 pub const MAGIC: u16 = 0x4E50;
 /// Loadable format version.
 pub const VERSION: u8 = 1;
+
+/// Header bit 41: set when bits 42..58 carry a declared input range.
+/// Decoders (hardware and checker alike) built before the flag existed
+/// ignore bits 41 and up, so the metadata is backward compatible.
+const RANGE_FLAG: u64 = 1 << 41;
+/// Header bits 42..50: declared minimum input pixel value.
+const RANGE_MIN_SHIFT: u32 = 42;
+/// Header bits 50..58: declared maximum input pixel value.
+const RANGE_MAX_SHIFT: u32 = 50;
+
+/// The declared input range carried in a header word, when the encoder
+/// recorded one (streams from compilers predating the bit 41 flag carry
+/// none; analyses fall back to the full `0..=255` pixel range).
+///
+/// The range is a *host claim* about every input this loadable will ever
+/// be run with; `netpu-check`'s NPC020 verifies the claim against the
+/// stream's own input section before any bound derived from it is
+/// trusted.
+pub fn declared_input_range(header: u64) -> Option<(u8, u8)> {
+    if header & RANGE_FLAG == 0 {
+        return None;
+    }
+    Some((
+        cast::lo8(header >> RANGE_MIN_SHIFT),
+        cast::lo8(header >> RANGE_MAX_SHIFT),
+    ))
+}
 
 /// What a stream section carries.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -146,9 +173,9 @@ pub fn unpack_u32_pairs(words: &[u64], n: usize) -> Vec<u32> {
     for i in 0..n {
         let w = words[i / 2];
         out.push(if i % 2 == 0 {
-            w as u32
+            cast::lo32(w)
         } else {
-            (w >> 32) as u32
+            cast::lo32(w >> 32)
         });
     }
     out
@@ -181,7 +208,7 @@ pub fn uses_xnor_path(setting: &LayerSetting) -> bool {
 /// Weight field width in bits under a packing mode (the XNOR path is
 /// always 1-bit-dense and is handled separately).
 pub fn weight_field_bits(setting: &LayerSetting, mode: PackingMode) -> u32 {
-    let bits = setting.weight_precision.bits() as u32;
+    let bits = u32::from(setting.weight_precision.bits());
     match mode {
         PackingMode::Lanes8 => 8,
         PackingMode::Dense if 8 % bits == 0 => bits,
@@ -191,14 +218,14 @@ pub fn weight_field_bits(setting: &LayerSetting, mode: PackingMode) -> u32 {
 
 /// Weights carried per 64-bit stream word on the integer path.
 pub fn weights_per_word(setting: &LayerSetting, mode: PackingMode) -> usize {
-    64 / weight_field_bits(setting, mode) as usize
+    64 / cast::usize_from_u32(weight_field_bits(setting, mode))
 }
 
 /// Stream words carrying one neuron's weights under a packing mode
 /// (each neuron is padded to a word boundary so the LPU's per-neuron
 /// dispatch stays aligned).
 pub fn neuron_weight_words_mode(setting: &LayerSetting, mode: PackingMode) -> usize {
-    let n = setting.input_len as usize;
+    let n = cast::usize_from_u32(setting.input_len);
     if uses_xnor_path(setting) {
         n.div_ceil(64)
     } else {
@@ -218,7 +245,7 @@ pub fn weight_words_mode(setting: &LayerSetting, mode: PackingMode) -> usize {
     if setting.layer_type == LayerType::Input {
         0
     } else {
-        setting.neurons as usize * neuron_weight_words_mode(setting, mode)
+        cast::usize_from_u32(setting.neurons) * neuron_weight_words_mode(setting, mode)
     }
 }
 
@@ -232,20 +259,17 @@ pub fn weight_words(setting: &LayerSetting) -> usize {
 /// bipolar ±1).
 pub fn extract_weight(word: u64, idx: usize, setting: &LayerSetting, mode: PackingMode) -> i32 {
     let bits = weight_field_bits(setting, mode);
-    debug_assert!(idx < 64 / bits as usize);
-    let field = ((word >> (bits as usize * idx)) & ((1u64 << bits) - 1)) as u32;
+    debug_assert!(idx < 64 / cast::usize_from_u32(bits));
+    let field = cast::lo32((word >> (cast::usize_from_u32(bits) * idx)) & ((1u64 << bits) - 1));
     if setting.weight_precision.is_binary() {
         if bits == 8 {
             // Promoted ±1 weights travel sign-extended in full lanes.
-            (field as u8 as i8) as i32
+            cast::sign_extend(field, 8)
         } else {
-            netpu_arith::binary::decode_bipolar(field as u8)
+            netpu_arith::binary::decode_bipolar(cast::lo8(field))
         }
     } else {
-        let wbits = setting.weight_precision.bits() as u32;
-        let masked = field & ((1 << wbits) - 1);
-        let shift = 32 - wbits;
-        ((masked << shift) as i32) >> shift
+        cast::sign_extend(field, u32::from(setting.weight_precision.bits()))
     }
 }
 
@@ -261,7 +285,7 @@ fn act_param_u32s(setting: &LayerSetting) -> usize {
 
 /// Total parameter-section words of a layer.
 pub fn param_words(setting: &LayerSetting) -> usize {
-    let neurons = setting.neurons as usize;
+    let neurons = cast::usize_from_u32(setting.neurons);
     let mut words = 0usize;
     // Bias / BN block (FC layers only).
     if setting.layer_type != LayerType::Input {
@@ -293,7 +317,7 @@ pub fn model_settings(mlp: &QuantMlp) -> Vec<LayerSetting> {
         in_precision: Precision::W8,
         weight_precision: Precision::W1,
         out_precision: mlp.input.out_precision,
-        neurons: mlp.input.len as u32,
+        neurons: cast::u32_sat_usize(mlp.input.len),
         input_len: 1,
     });
     for h in &mlp.hidden {
@@ -304,8 +328,8 @@ pub fn model_settings(mlp: &QuantMlp) -> Vec<LayerSetting> {
             in_precision: h.in_precision,
             weight_precision: h.weight_precision,
             out_precision: h.out_precision,
-            neurons: h.neurons as u32,
-            input_len: h.in_len as u32,
+            neurons: cast::u32_sat_usize(h.neurons),
+            input_len: cast::u32_sat_usize(h.in_len),
         });
     }
     settings.push(LayerSetting {
@@ -317,8 +341,8 @@ pub fn model_settings(mlp: &QuantMlp) -> Vec<LayerSetting> {
         weight_precision: mlp.output.weight_precision,
         // Output precision is unused; scores leave at full width.
         out_precision: Precision::W8,
-        neurons: mlp.output.neurons as u32,
-        input_len: mlp.output.in_len as u32,
+        neurons: cast::u32_sat_usize(mlp.output.neurons),
+        input_len: cast::u32_sat_usize(mlp.output.in_len),
     });
     settings
 }
@@ -345,7 +369,7 @@ fn bias_words(bias: &[i32]) -> Vec<u64> {
         .map(|chunk| {
             let mut w = 0u64;
             for (i, &b) in chunk.iter().enumerate() {
-                w |= u64::from(b as i8 as u8) << (8 * i);
+                w |= u64::from(cast::lane_of_i32(b)) << (8 * i);
             }
             w
         })
@@ -354,7 +378,9 @@ fn bias_words(bias: &[i32]) -> Vec<u64> {
 
 fn bn_words(bn: &[BnParams]) -> Vec<u64> {
     bn.iter()
-        .map(|p| u64::from(p.scale_q16 as u32) | (u64::from(p.offset.to_stream_word()) << 32))
+        .map(|p| {
+            u64::from(cast::bits_of_i32(p.scale_q16)) | (u64::from(p.offset.to_stream_word()) << 32)
+        })
         .collect()
 }
 
@@ -382,7 +408,7 @@ fn weight_section(
     mode: PackingMode,
 ) -> Vec<u64> {
     let mut words = Vec::with_capacity(weight_words_mode(setting, mode));
-    let bits = weight_field_bits(setting, mode) as usize;
+    let bits = cast::usize_from_u32(weight_field_bits(setting, mode));
     let per_word = 64 / bits;
     for n in 0..neurons {
         let row = &weights[n * in_len..(n + 1) * in_len];
@@ -407,7 +433,7 @@ fn weight_section(
                     let field = if setting.weight_precision.is_binary() && bits < 8 {
                         u64::from(netpu_arith::binary::encode_bipolar(v))
                     } else {
-                        (v as i8 as u8) as u64 & ((1u64 << bits) - 1)
+                        u64::from(cast::lane_of_i32(v)) & ((1u64 << bits) - 1)
                     };
                     w |= field << (bits * i);
                 }
@@ -453,9 +479,20 @@ pub fn compile_packed(
     let mut words = Vec::new();
     let mut layout = StreamLayout::default();
 
-    // (1) Header: magic | version | layer count | packing flag (bit 40).
+    // (1) Header: magic | version | layer count | packing flag (bit 40)
+    // | declared input range (bit 41 flag, bits 42..50 min, 50..58 max).
+    // The compiler cannot prove anything about the host's future inputs,
+    // so it declares the full pixel range; hosts with tighter sensors
+    // narrow it via [`Loadable::set_declared_input_range`].
     let packing_flag = u64::from(mode == PackingMode::Dense) << 40;
-    words.push(u64::from(MAGIC) | (u64::from(VERSION) << 16) | ((n as u64) << 24) | packing_flag);
+    let range_meta = RANGE_FLAG | (u64::from(u8::MAX) << RANGE_MAX_SHIFT);
+    words.push(
+        u64::from(MAGIC)
+            | (u64::from(VERSION) << 16)
+            | (cast::u64_from_usize(n) << 24)
+            | packing_flag
+            | range_meta,
+    );
     layout.header = 0..1;
 
     // (2) All layer settings.
@@ -575,7 +612,7 @@ impl Loadable {
         // from the first layer setting.
         let setting = LayerSetting::decode(self.words[self.layout.settings.start])
             .map_err(StreamError::BadSetting)?;
-        let len = setting.neurons as usize;
+        let len = cast::usize_from_u32(setting.neurons);
         if pixels.len() != len {
             return Err(StreamError::InputLength {
                 expected: len,
@@ -594,6 +631,18 @@ impl Loadable {
             *w = word;
         }
         Ok(())
+    }
+
+    /// Overwrites the header's declared input range: the host's claim
+    /// that every input this loadable will run with lies in `lo..=hi`.
+    /// A tighter claim lets the range analyzer prove tighter accumulator
+    /// bounds; an untrue one is caught by NPC020 against the stream's
+    /// own input section.
+    pub fn set_declared_input_range(&mut self, lo: u8, hi: u8) {
+        let header = &mut self.words[self.layout.header.start];
+        *header &= !(RANGE_FLAG | (0xFF << RANGE_MIN_SHIFT) | (0xFF << RANGE_MAX_SHIFT));
+        *header |=
+            RANGE_FLAG | (u64::from(lo) << RANGE_MIN_SHIFT) | (u64::from(hi) << RANGE_MAX_SHIFT);
     }
 }
 
@@ -632,6 +681,9 @@ pub struct Decoded {
     pub settings: Vec<LayerSetting>,
     /// The weight packing mode the stream was encoded with.
     pub packing: PackingMode,
+    /// The header's declared input range, when present (`None` for
+    /// streams predating the range metadata).
+    pub input_range: Option<(u8, u8)>,
 }
 
 struct Reader<'a> {
@@ -657,7 +709,7 @@ fn decode_activation(
     words: &[u64],
     layer: usize,
 ) -> Result<LayerActivation, StreamError> {
-    let neurons = setting.neurons as usize;
+    let neurons = cast::usize_from_u32(setting.neurons);
     match setting.activation {
         ActivationKind::Sign => {
             let vals = unpack_u32_pairs(words, neurons);
@@ -703,13 +755,13 @@ fn decode_bias_bn(
     setting: &LayerSetting,
     reader: &mut Reader<'_>,
 ) -> Result<BiasOrBn, StreamError> {
-    let neurons = setting.neurons as usize;
+    let neurons = cast::usize_from_u32(setting.neurons);
     if setting.bn_folded {
         let words = reader.take(neurons.div_ceil(LANES_PER_WORD))?;
         let mut bias = Vec::with_capacity(neurons);
         for i in 0..neurons {
-            let b = (words[i / LANES_PER_WORD] >> (8 * (i % LANES_PER_WORD))) as u8 as i8;
-            bias.push(b as i32);
+            let lane = cast::lo8(words[i / LANES_PER_WORD] >> (8 * (i % LANES_PER_WORD)));
+            bias.push(cast::sign_extend(u32::from(lane), 8));
         }
         Ok((Some(bias), None))
     } else {
@@ -717,8 +769,8 @@ fn decode_bias_bn(
         let bn = words
             .iter()
             .map(|&w| BnParams {
-                scale_q16: w as u32 as i32,
-                offset: Fix::from_stream_word((w >> 32) as u32),
+                scale_q16: cast::i32_from_bits(cast::lo32(w)),
+                offset: Fix::from_stream_word(cast::lo32(w >> 32)),
             })
             .collect();
         Ok((None, Some(bn)))
@@ -726,8 +778,8 @@ fn decode_bias_bn(
 }
 
 fn decode_weights(setting: &LayerSetting, words: &[u64], mode: PackingMode) -> Vec<i32> {
-    let neurons = setting.neurons as usize;
-    let in_len = setting.input_len as usize;
+    let neurons = cast::usize_from_u32(setting.neurons);
+    let in_len = cast::usize_from_u32(setting.input_len);
     let per = neuron_weight_words_mode(setting, mode);
     let wpw = weights_per_word(setting, mode);
     let mut out = Vec::with_capacity(neurons * in_len);
@@ -758,7 +810,7 @@ fn section<'a>(slot: &Option<&'a [u64]>, layer: usize) -> Result<&'a [u64], Stre
 pub fn decode(words: &[u64]) -> Result<Decoded, StreamError> {
     let mut r = Reader { words, pos: 0 };
     let header = r.take(1)?[0];
-    if header as u16 != MAGIC || (header >> 16) as u8 != VERSION {
+    if cast::lo16(header) != MAGIC || cast::lo8(header >> 16) != VERSION {
         return Err(StreamError::BadHeader(header));
     }
     let mode = if header >> 40 & 1 == 1 {
@@ -766,7 +818,7 @@ pub fn decode(words: &[u64]) -> Result<Decoded, StreamError> {
     } else {
         PackingMode::Lanes8
     };
-    let n = (header >> 24) as usize & 0xFFFF;
+    let n = cast::usize_sat((header >> 24) & 0xFFFF);
     if n < 2 {
         return Err(StreamError::BadLayerSequence);
     }
@@ -783,11 +835,13 @@ pub fn decode(words: &[u64]) -> Result<Decoded, StreamError> {
         return Err(StreamError::BadLayerSequence);
     }
 
-    let input_len = settings[0].neurons as usize;
+    let input_len = cast::usize_from_u32(settings[0].neurons);
     let in_words = r.take(input_words(input_len))?;
     let mut pixels = Vec::with_capacity(input_len);
     for i in 0..input_len {
-        pixels.push((in_words[i / LANES_PER_WORD] >> (8 * (i % LANES_PER_WORD))) as u8);
+        pixels.push(cast::lo8(
+            in_words[i / LANES_PER_WORD] >> (8 * (i % LANES_PER_WORD)),
+        ));
     }
 
     // Replay the interleave, collecting per-layer payload slices.
@@ -817,8 +871,8 @@ pub fn decode(words: &[u64]) -> Result<Decoded, StreamError> {
         let (bias, bn) = decode_bias_bn(s, &mut reader)?;
         let act_words = reader.take(layer_params.len() - reader.pos)?;
         hidden.push(HiddenLayer {
-            in_len: s.input_len as usize,
-            neurons: s.neurons as usize,
+            in_len: cast::usize_from_u32(s.input_len),
+            neurons: cast::usize_from_u32(s.neurons),
             weight_precision: s.weight_precision,
             in_precision: s.in_precision,
             out_precision: s.out_precision,
@@ -835,8 +889,8 @@ pub fn decode(words: &[u64]) -> Result<Decoded, StreamError> {
     };
     let (bias, bn) = decode_bias_bn(s, &mut reader)?;
     let output = OutputLayer {
-        in_len: s.input_len as usize,
-        neurons: s.neurons as usize,
+        in_len: cast::usize_from_u32(s.input_len),
+        neurons: cast::usize_from_u32(s.neurons),
         weight_precision: s.weight_precision,
         in_precision: s.in_precision,
         weights: decode_weights(s, section(&weight_payloads[n - 1], n - 1)?, mode),
@@ -856,5 +910,6 @@ pub fn decode(words: &[u64]) -> Result<Decoded, StreamError> {
         pixels,
         settings,
         packing: mode,
+        input_range: declared_input_range(header),
     })
 }

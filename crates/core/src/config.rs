@@ -57,6 +57,12 @@ pub struct HwConfig {
     pub softmax_output: bool,
     /// Clock frequency the latency results are reported at (MHz).
     pub clock_mhz: f64,
+    /// Accumulator width in bits (signed two's complement), fixed at
+    /// generation time like the paper's 32-bit comparators. The model's
+    /// MAC datapath saturates at 32 bits; narrower instances trade
+    /// fabric for overflow risk, which `netpu-check`'s range analysis
+    /// (NPC014/NPC019) proves safe or unsafe per loadable.
+    pub accumulator_bits: u8,
 }
 
 impl HwConfig {
@@ -74,6 +80,7 @@ impl HwConfig {
             dense_weight_packing: false,
             softmax_output: false,
             clock_mhz: 100.0,
+            accumulator_bits: 32,
         }
     }
 
@@ -99,6 +106,9 @@ impl HwConfig {
         if self.clock_mhz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(ConfigError::BadClock);
         }
+        if !(8..=32).contains(&self.accumulator_bits) {
+            return Err(ConfigError::BadAccumulatorBits(self.accumulator_bits));
+        }
         Ok(())
     }
 }
@@ -122,6 +132,8 @@ pub enum ConfigError {
     BadMaxMtBits(u8),
     /// Clock must be positive.
     BadClock,
+    /// Accumulator width must be 8–32 bits.
+    BadAccumulatorBits(u8),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -135,6 +147,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::BadLanes(n) => write!(f, "mul_lanes {n} outside 1..=8"),
             ConfigError::BadMaxMtBits(b) => write!(f, "max multi-threshold bits {b} outside 1..=8"),
             ConfigError::BadClock => f.write_str("clock frequency must be positive"),
+            ConfigError::BadAccumulatorBits(b) => {
+                write!(f, "accumulator width {b} outside 8..=32 bits")
+            }
         }
     }
 }
@@ -197,6 +212,18 @@ mod tests {
         .is_err());
         assert!(HwConfig {
             clock_mhz: 0.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(HwConfig {
+            accumulator_bits: 7,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(HwConfig {
+            accumulator_bits: 33,
             ..base
         }
         .validate()

@@ -27,7 +27,8 @@ pub fn to_verilog_macros(cfg: &HwConfig) -> String {
          `define NETPU_WEIGHT_DOUBLE_BUFFER {}\n\
          `define NETPU_DENSE_WEIGHT_PACKING {}\n\
          `define NETPU_SOFTMAX_OUTPUT {}\n\
-         `define NETPU_CLOCK_KHZ {}\n",
+         `define NETPU_CLOCK_KHZ {}\n\
+         `define NETPU_ACC_BITS {}\n",
         cfg.lpus,
         cfg.tnpus_per_lpu,
         cfg.mul_lanes,
@@ -44,6 +45,7 @@ pub fn to_verilog_macros(cfg: &HwConfig) -> String {
         on_off(cfg.dense_weight_packing),
         on_off(cfg.softmax_output),
         cast::f64_to_u64_sat((cfg.clock_mhz * 1000.0).round()),
+        cfg.accumulator_bits,
     )
 }
 
@@ -112,6 +114,9 @@ pub fn from_verilog_macros(text: &str) -> Result<HwConfig, MacroError> {
         dense_weight_packing: get("NETPU_DENSE_WEIGHT_PACKING")? != 0,
         softmax_output: get("NETPU_SOFTMAX_OUTPUT")? != 0,
         clock_mhz: cast::f64_from_u64(get("NETPU_CLOCK_KHZ")?) / 1000.0,
+        // Headers generated before the width became configurable carry
+        // no NETPU_ACC_BITS define; they were all 32-bit instances.
+        accumulator_bits: cast::u8_sat(values.get("NETPU_ACC_BITS").copied().unwrap_or(32)),
     };
     cfg.validate().map_err(MacroError::Invalid)?;
     Ok(cfg)
@@ -146,6 +151,7 @@ mod tests {
                 dense_weight_packing: true,
                 softmax_output: true,
                 clock_mhz: 150.0,
+                accumulator_bits: 24,
             },
         ];
         for cfg in configs {

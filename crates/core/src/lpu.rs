@@ -26,7 +26,7 @@ use netpu_compiler::stream::{
 };
 use netpu_compiler::{LayerSetting, LayerType, PackingMode};
 use netpu_sim::engine::Tick;
-use netpu_sim::{Cycle, Fifo, StreamSource, Tracer};
+use netpu_sim::{Cycle, DatapathProbe, Fifo, ProbeStage, StreamSource, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// The Table III data-buffer cluster geometry: `(name, width, depth)`.
@@ -114,6 +114,25 @@ pub struct LpuBulk {
     pub tail: u64,
     /// Outcome of the final edge.
     pub tick: Tick,
+}
+
+/// Records one finalized neuron's tap values into an enabled probe:
+/// the post-bias accumulator, the post-BN word when the route had a BN
+/// stage, and the level or score that left the TNPU.
+fn record_finalize(
+    probe: &mut DatapathProbe,
+    neuron: usize,
+    tap: crate::tnpu::NeuronTap,
+    out: TnpuOut,
+) {
+    probe.record(neuron, ProbeStage::Accumulator, i64::from(tap.acc));
+    if let Some(bn) = tap.post_bn {
+        probe.record(neuron, ProbeStage::PostBn, bn.raw());
+    }
+    match out {
+        TnpuOut::Level(l) => probe.record(neuron, ProbeStage::Level, i64::from(l)),
+        TnpuOut::Score(s) => probe.record(neuron, ProbeStage::Score, s.raw()),
+    }
 }
 
 /// 32-bit activation-parameter words per neuron for a setting.
@@ -442,8 +461,16 @@ impl Lpu {
 
     /// Advances one clock cycle of steps 2–3. `stream` is the Network
     /// Input FIFO the weight section arrives on; the NetPU only calls
-    /// this for the LPU whose weight section is current.
-    pub fn tick(&mut self, stream: &mut StreamSource, cycle: Cycle, tracer: &mut Tracer) -> Tick {
+    /// this for the LPU whose weight section is current. `probe`
+    /// records intermediate datapath values when enabled (the range
+    /// analysis soundness hook).
+    pub fn tick(
+        &mut self,
+        stream: &mut StreamSource,
+        cycle: Cycle,
+        tracer: &mut Tracer,
+        probe: &mut DatapathProbe,
+    ) -> Tick {
         let setting = match self.setting {
             Some(s) => s,
             None => return Tick::Stall,
@@ -491,6 +518,9 @@ impl Lpu {
                 for i in lo..hi {
                     self.tnpus[0].load_neuron(self.params[i].clone());
                     let level = self.tnpus[0].process_input(self.inputs[i]);
+                    if probe.is_enabled() {
+                        probe.record(i, ProbeStage::Level, i64::from(level));
+                    }
                     self.outputs.push(level);
                 }
                 if hi == n {
@@ -611,7 +641,11 @@ impl Lpu {
                 let n = cast::usize_from_u32(setting.neurons);
                 let end = (batch_start + self.tnpus.len()).min(n);
                 for (t, neuron) in (batch_start..end).enumerate() {
-                    match self.tnpus[t].finalize() {
+                    let out = self.tnpus[t].finalize();
+                    if probe.is_enabled() {
+                        record_finalize(probe, neuron, self.tnpus[t].tap(), out);
+                    }
+                    match out {
                         TnpuOut::Level(l) => self.outputs.push(l),
                         TnpuOut::Score(s) => {
                             self.scores.push(s);
@@ -665,6 +699,7 @@ impl Lpu {
         cycle: Cycle,
         budget: u64,
         tracer: &mut Tracer,
+        probe: &mut DatapathProbe,
     ) -> LpuBulk {
         debug_assert!(budget >= 1, "bulk_tick needs a positive budget");
         let mut advanced: u64 = 0;
@@ -745,6 +780,9 @@ impl Lpu {
                         for i in lo..hi {
                             self.tnpus[0].load_neuron(self.params[i].clone());
                             let level = self.tnpus[0].process_input(self.inputs[i]);
+                            if probe.is_enabled() {
+                                probe.record(i, ProbeStage::Level, i64::from(level));
+                            }
                             self.outputs.push(level);
                         }
                     }
@@ -986,7 +1024,11 @@ impl Lpu {
                     let n = cast::usize_from_u32(setting.neurons);
                     let end = (batch_start + self.tnpus.len()).min(n);
                     for (t, neuron) in (batch_start..end).enumerate() {
-                        match self.tnpus[t].finalize() {
+                        let out = self.tnpus[t].finalize();
+                        if probe.is_enabled() {
+                            record_finalize(probe, neuron, self.tnpus[t].tap(), out);
+                        }
+                        match out {
                             TnpuOut::Level(l) => self.outputs.push(l),
                             TnpuOut::Score(s) => {
                                 self.scores.push(s);

@@ -24,7 +24,8 @@ use netpu_compiler::{LayerSetting, LayerType, PackingMode};
 use netpu_nn::reference::to_mac_domain;
 use netpu_sim::engine::Tick;
 use netpu_sim::{
-    BulkClocked, Clocked, Cycle, SimError, Simulator, StreamSink, StreamSource, Tracer,
+    BulkClocked, Clocked, Cycle, DatapathProbe, SimError, Simulator, StreamSink, StreamSource,
+    Tracer,
 };
 use serde::{Deserialize, Serialize};
 
@@ -122,6 +123,7 @@ pub struct NetPu {
     stream: StreamSource,
     sink: StreamSink,
     tracer: Tracer,
+    probe: DatapathProbe,
     state: TopState,
     settings: Vec<LayerSetting>,
     sections: Vec<Section>,
@@ -146,6 +148,7 @@ impl NetPu {
             stream,
             sink: StreamSink::new(),
             tracer: Tracer::disabled(),
+            probe: DatapathProbe::disabled(),
             state: TopState::Header,
             settings: Vec::new(),
             sections: Vec::new(),
@@ -162,6 +165,14 @@ impl NetPu {
     /// Enables bounded event tracing.
     pub fn with_tracer(mut self, tracer: Tracer) -> NetPu {
         self.tracer = tracer;
+        self
+    }
+
+    /// Attaches a datapath probe recording every intermediate
+    /// accumulator / BN / level / score value (the range-analysis
+    /// soundness hook).
+    pub fn with_probe(mut self, probe: DatapathProbe) -> NetPu {
+        self.probe = probe;
         self
     }
 
@@ -210,6 +221,12 @@ impl NetPu {
     /// tracer behind — the hand-off for per-run trace hooks.
     pub fn take_tracer(&mut self) -> Tracer {
         std::mem::take(&mut self.tracer)
+    }
+
+    /// Takes the datapath probe out of the instance, leaving a disabled
+    /// probe behind — the hand-off for per-run probed inference.
+    pub fn take_probe(&mut self) -> DatapathProbe {
+        std::mem::take(&mut self.probe)
     }
 
     fn fail(&mut self, e: StreamError) -> Tick {
@@ -336,7 +353,14 @@ impl NetPu {
             }
             Section::Process(layer) => {
                 let id = self.lpu_of(layer);
-                let r = self.lpus[id].bulk_tick(&mut self.stream, cycle, budget, &mut self.tracer);
+                self.probe.set_layer(layer);
+                let r = self.lpus[id].bulk_tick(
+                    &mut self.stream,
+                    cycle,
+                    budget,
+                    &mut self.tracer,
+                    &mut self.probe,
+                );
                 self.stats.process_cycles += r.advanced;
                 // Idle settlement: edges strictly between takes always
                 // saw pending data; trailing edges only count when the
@@ -520,7 +544,13 @@ impl Clocked for NetPu {
                     }
                     Section::Process(layer) => {
                         let id = self.lpu_of(layer);
-                        let t = self.lpus[id].tick(&mut self.stream, cycle, &mut self.tracer);
+                        self.probe.set_layer(layer);
+                        let t = self.lpus[id].tick(
+                            &mut self.stream,
+                            cycle,
+                            &mut self.tracer,
+                            &mut self.probe,
+                        );
                         self.stats.process_cycles += 1;
                         if self.lpus[id].is_done() {
                             self.route_layer_output(layer, cycle);
@@ -649,6 +679,27 @@ pub fn run_inference_hooked(
     let mut netpu = NetPu::new(*cfg, stream)?.with_tracer(std::mem::take(tracer));
     let outcome = run_to_completion_fast(&mut netpu);
     *tracer = netpu.take_tracer();
+    let cycles = outcome?;
+    finish_run(&netpu, cycles, cfg)
+}
+
+/// [`run_inference_fast`] with a caller-supplied [`DatapathProbe`]
+/// recording every intermediate accumulator / BN / level / score value.
+///
+/// Same hand-off contract as [`run_inference_hooked`]: the probe is
+/// moved into the instance for the run and handed back through the
+/// `&mut` slot afterwards, including on errors. The `netpu-check`
+/// soundness suite replays probed runs against the abstract
+/// interpreter's predicted intervals.
+pub fn run_inference_probed(
+    cfg: &HwConfig,
+    words: Vec<u64>,
+    probe: &mut DatapathProbe,
+) -> Result<InferenceRun, NetPuError> {
+    let stream = StreamSource::new(words, 1);
+    let mut netpu = NetPu::new(*cfg, stream)?.with_probe(std::mem::take(probe));
+    let outcome = run_to_completion_fast(&mut netpu);
+    *probe = netpu.take_probe();
     let cycles = outcome?;
     finish_run(&netpu, cycles, cfg)
 }

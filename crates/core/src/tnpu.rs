@@ -145,6 +145,16 @@ pub enum TnpuOut {
     Score(Fix),
 }
 
+/// The intermediate values the last [`Tnpu::finalize`] observed, exposed
+/// for the datapath probe (the range-analysis soundness hook).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct NeuronTap {
+    /// Post-bias accumulator value entering the post-MAC stages.
+    pub acc: i32,
+    /// Post-BN value, when the crossbar route includes the BN stage.
+    pub post_bn: Option<Fix>,
+}
+
 /// One Transformable Neuron Processing Unit.
 #[derive(Clone, Debug)]
 pub struct Tnpu {
@@ -152,6 +162,7 @@ pub struct Tnpu {
     layer: Option<LayerCfg>,
     params: Option<NeuronParams>,
     acc: i32,
+    tap: NeuronTap,
     /// MAC operations performed since configuration (statistics).
     pub mac_ops: u64,
 }
@@ -165,6 +176,7 @@ impl Tnpu {
             layer: None,
             params: None,
             acc: 0,
+            tap: NeuronTap::default(),
             mac_ops: 0,
         }
     }
@@ -275,8 +287,15 @@ impl Tnpu {
         self.acc
     }
 
-    /// Routes a value through the post-MAC stages of the crossbar path.
-    fn post_stages(&self, route: &[Stage], start: Fix) -> TnpuOut {
+    /// The intermediate values the last [`Tnpu::finalize`] observed.
+    pub fn tap(&self) -> NeuronTap {
+        self.tap
+    }
+
+    /// Routes a value through the post-MAC stages of the crossbar path,
+    /// also returning the post-BN intermediate when the route has a BN
+    /// stage (for the [`NeuronTap`]).
+    fn post_stages(&self, route: &[Stage], start: Fix) -> (TnpuOut, Option<Fix>) {
         let Some(params) = self.params.as_ref() else {
             panic!("load_neuron before post stages")
         };
@@ -285,6 +304,7 @@ impl Tnpu {
         };
         let mut x = start;
         let mut level: Option<i32> = None;
+        let mut post_bn: Option<Fix> = None;
         for stage in route {
             match stage {
                 Stage::Mul | Stage::Accu => {}
@@ -293,6 +313,7 @@ impl Tnpu {
                         panic!("BN stage needs parameters")
                     };
                     x = bn.apply(x);
+                    post_bn = Some(x);
                 }
                 Stage::Activ => match &params.activation {
                     NeuronActivation::Sign(t) => {
@@ -317,10 +338,11 @@ impl Tnpu {
                 }
             }
         }
-        match level {
+        let out = match level {
             Some(l) => TnpuOut::Level(l),
             None => TnpuOut::Score(x),
-        }
+        };
+        (out, post_bn)
     }
 
     /// Finishes a hidden/output neuron: applies bias, then the post-MAC
@@ -339,7 +361,8 @@ impl Tnpu {
         }
         let act_kind = params.activation.kind().unwrap_or(ActivationKind::Relu);
         let route = crossbar_route(layer.layer_type, act_kind, params.bias.is_some());
-        let out = self.post_stages(&route, Fix::from_i32(acc));
+        let (out, post_bn) = self.post_stages(&route, Fix::from_i32(acc));
+        self.tap = NeuronTap { acc, post_bn };
         self.acc = 0;
         out
     }
@@ -357,7 +380,7 @@ impl Tnpu {
             panic!("input layer has no activation parameters")
         };
         let route = crossbar_route(LayerType::Input, kind, true);
-        match self.post_stages(&route, Fix::from_i32(raw)) {
+        match self.post_stages(&route, Fix::from_i32(raw)).0 {
             TnpuOut::Level(l) => l,
             TnpuOut::Score(_) => unreachable!("yellow path always quantizes"),
         }

@@ -337,6 +337,7 @@ pub struct DriverBuilder {
     hw: HwConfig,
     dma: DmaModel,
     power: PowerParams,
+    strict_range: bool,
 }
 
 impl DriverBuilder {
@@ -358,12 +359,23 @@ impl DriverBuilder {
         self
     }
 
+    /// Sets whether admission also rejects on error-class *range*
+    /// findings (NPC014/NPC018/NPC020) from the pre-flight abstract
+    /// interpreter, on top of the always-enforced structural errors.
+    /// Defaults to `true`; lenient drivers (`false`) run provably
+    /// overflow-prone loadables anyway.
+    pub fn strict_range(mut self, strict: bool) -> DriverBuilder {
+        self.strict_range = strict;
+        self
+    }
+
     /// Assembles the driver.
     pub fn build(self) -> Driver {
         Driver {
             hw: self.hw,
             dma: self.dma,
             power: self.power,
+            strict_range: self.strict_range,
         }
     }
 }
@@ -388,6 +400,9 @@ pub struct Driver {
     pub dma: DmaModel,
     /// Power coefficients of the hosting board.
     pub power: PowerParams,
+    /// Reject on error-class range-analysis findings too (default
+    /// `true`); structural errors always reject.
+    pub strict_range: bool,
 }
 
 impl Default for Driver {
@@ -405,6 +420,7 @@ impl Driver {
             hw: HwConfig::paper_instance(),
             dma: DmaModel::zynq_uls(),
             power: PowerParams::ultra96(),
+            strict_range: true,
         }
     }
 
@@ -498,11 +514,14 @@ impl Driver {
         loadable: &Loadable,
         trace_capacity: Option<usize>,
     ) -> Result<(MeasuredRun, Option<Vec<TraceEvent>>), DriverError> {
-        // Static pre-flight (DESIGN.md §4.3): error-severity findings
+        // Static pre-flight (DESIGN.md §4.3–4.4). Structural errors
         // mark streams the accelerator would reject, stall on, or panic
-        // over, so they are refused before any simulation is paid for.
+        // over and always refuse admission; error-class range findings
+        // (provable accumulator/comparator unsoundness) refuse only
+        // under strict admission. Either way rejected streams never
+        // cost simulation or DMA time.
         let report = netpu_check::check(loadable, &self.hw);
-        if report.has_errors() {
+        if report.has_structural_errors() || (self.strict_range && report.has_range_errors()) {
             return Err(DriverError::Check(report));
         }
         let (run, trace) = match trace_capacity {

@@ -21,6 +21,8 @@ pub const LATENCY_BUCKETS_US: [f64; 8] = [
 pub(crate) struct Counters {
     pub accepted: AtomicU64,
     pub rejected: AtomicU64,
+    pub range_flagged: AtomicU64,
+    pub range_rejected: AtomicU64,
     pub completed: AtomicU64,
     pub failed: AtomicU64,
     pub retried: AtomicU64,
@@ -51,8 +53,16 @@ impl Counters {
 pub struct MetricsSnapshot {
     /// Requests admitted to the queue.
     pub accepted: u64,
-    /// Requests refused at admission (queue full).
+    /// Requests refused at admission (queue full or pre-flight
+    /// verifier findings).
     pub rejected: u64,
+    /// Submitted loadables whose pre-flight range analysis found
+    /// error-class datapath unsoundness (NPC014/NPC018/NPC020),
+    /// whether or not admission refused them.
+    pub range_flagged: u64,
+    /// Range-flagged submissions actually refused at admission
+    /// (strict-range servers only; always ≤ `range_flagged`).
+    pub range_rejected: u64,
     /// Requests that completed successfully.
     pub completed: u64,
     /// Requests that failed terminally (after exhausting retries).
@@ -84,6 +94,8 @@ impl MetricsSnapshot {
         MetricsSnapshot {
             accepted: load(&counters.accepted),
             rejected: load(&counters.rejected),
+            range_flagged: load(&counters.range_flagged),
+            range_rejected: load(&counters.range_rejected),
             completed: load(&counters.completed),
             failed: load(&counters.failed),
             retried: load(&counters.retried),

@@ -32,6 +32,12 @@ pub struct ServerConfig {
     pub max_retries: u32,
     /// Stream faults to inject (tests the retry path).
     pub faults: FaultPlan,
+    /// Reject submissions whose pre-flight range analysis proves the
+    /// datapath can overflow or leave the comparator's domain
+    /// (error-class NPC014/NPC018/NPC020 findings, DESIGN.md §4.4).
+    /// Lenient servers still count such submissions in
+    /// [`MetricsSnapshot::range_flagged`] but admit them.
+    pub strict_range: bool,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +48,7 @@ impl Default for ServerConfig {
             default_deadline_us: None,
             max_retries: 0,
             faults: FaultPlan::None,
+            strict_range: true,
         }
     }
 }
@@ -58,9 +65,12 @@ pub enum Submit {
     },
     /// The server has shut down.
     Closed,
-    /// The static pre-flight verifier rejected the stream at admission
-    /// (DESIGN.md §4.3): the request would have failed on the board, so
-    /// it never costs a queue slot or worker time.
+    /// The static pre-flight verifier rejected the stream at admission:
+    /// either the structural tier found a malformed stream (DESIGN.md
+    /// §4.3) or, on a strict-range server, the abstract interpreter
+    /// proved the datapath unsound for it (§4.4). Either way the
+    /// request would have misbehaved on the board, so it never costs a
+    /// queue slot or worker time.
     Invalid {
         /// The verifier's findings.
         report: netpu_check::Report,
@@ -133,9 +143,13 @@ pub struct Server {
 
 impl Server {
     /// Starts the server: spawns one worker thread per board.
-    pub fn start(driver: Driver, cfg: ServerConfig) -> Server {
+    pub fn start(mut driver: Driver, cfg: ServerConfig) -> Server {
         assert!(cfg.boards > 0, "at least one board");
         assert!(cfg.queue_capacity > 0, "queue bound must be positive");
+        // The server's admission policy is authoritative: a lenient
+        // server must not have its workers re-reject admitted streams
+        // through the driver's own (default-strict) range gate.
+        driver.strict_range = cfg.strict_range;
         let shared = Arc::new(Shared {
             driver,
             counters: Counters::default(),
@@ -161,7 +175,20 @@ impl Server {
         // stream the accelerator would reject never reaches a worker.
         if let InferPayload::Loadable(loadable) = &req.payload {
             let report = netpu_check::check(loadable, &self.shared.driver.hw);
-            if report.has_errors() {
+            let range = report.has_range_errors();
+            if range {
+                self.shared
+                    .counters
+                    .range_flagged
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            if report.has_structural_errors() || (self.shared.cfg.strict_range && range) {
+                if self.shared.cfg.strict_range && range {
+                    self.shared
+                        .counters
+                        .range_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 self.shared
                     .counters
                     .rejected
@@ -367,6 +394,41 @@ mod tests {
         let m = server.shutdown();
         assert_eq!((m.completed, m.failed), (0, 1));
         assert_eq!(m.dma_busy_us, 0.0);
+    }
+
+    #[test]
+    fn strict_server_rejects_range_unsound_loadables_at_admission() {
+        let model = tfc();
+        let mut loadable = compile(&model, &vec![5u8; 784]).unwrap();
+        // An empty declared input interval is an error-class range
+        // finding (NPC020) but leaves the stream structurally intact.
+        loadable.set_declared_input_range(10, 5);
+
+        let server = Server::start(Driver::builder().build(), ServerConfig::default());
+        match server.submit(InferRequest::loadable(loadable.clone())) {
+            Submit::Invalid { report } => {
+                assert!(report.has_range_errors());
+                assert!(!report.has_structural_errors());
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        let m = server.shutdown();
+        assert_eq!((m.rejected, m.range_flagged, m.range_rejected), (1, 1, 1));
+
+        // A lenient server flags the same stream but serves it anyway.
+        let server = Server::start(
+            Driver::builder().build(),
+            ServerConfig {
+                strict_range: false,
+                ..ServerConfig::default()
+            },
+        );
+        let ticket = server
+            .submit(InferRequest::loadable(loadable))
+            .expect_accepted();
+        ticket.wait().unwrap();
+        let m = server.shutdown();
+        assert_eq!((m.completed, m.range_flagged, m.range_rejected), (1, 1, 0));
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! * [`engine`] — the [`Clocked`] component trait and the [`Simulator`]
 //!   run harness with deadlock detection.
 //! * [`trace`] — a bounded event trace for debugging datapath schedules.
+//! * [`probe`] — an unbounded datapath value recorder backing the
+//!   range-analysis soundness suite in `netpu-check`.
 //!
 //! Nothing here is NetPU-specific; `netpu-finn` builds its baseline
 //! pipeline on the same kernel.
@@ -21,11 +23,13 @@
 pub mod engine;
 pub mod fifo;
 pub mod fpga;
+pub mod probe;
 pub mod stream;
 pub mod trace;
 
 pub use engine::{BulkClocked, Clocked, SimError, Simulator};
 pub use fifo::{Fifo, FifoStats};
+pub use probe::{DatapathProbe, ProbeSample, ProbeStage};
 pub use stream::{StreamSink, StreamSource};
 pub use trace::{TraceEvent, Tracer};
 

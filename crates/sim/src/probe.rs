@@ -1,0 +1,174 @@
+//! Datapath value probe for differential range-analysis testing.
+//!
+//! A [`DatapathProbe`] is threaded through the accelerator model next to
+//! the [`Tracer`](crate::Tracer); when enabled it records every
+//! intermediate datapath value — per-neuron accumulators, post-BN words,
+//! activation levels, and output scores — as raw integers. The
+//! `netpu-check` soundness suite replays probed runs against the
+//! abstract interpreter's predicted intervals: every sample must land
+//! inside its statically proved bound.
+//!
+//! Unlike the tracer the probe is unbounded (a soundness run must see
+//! *every* value, not the most recent window), so it is strictly a test
+//! and tooling hook. Disabled probes hold no buffer and cost one branch
+//! per call site.
+
+/// Which datapath stage a sample was taken from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProbeStage {
+    /// Post-bias accumulator value entering the post-MAC stages.
+    Accumulator,
+    /// Post-BatchNorm value as a raw fixed-point word.
+    PostBn,
+    /// Activation output level (input and hidden layers).
+    Level,
+    /// Output-layer score as a raw fixed-point word.
+    Score,
+}
+
+/// One recorded datapath value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProbeSample {
+    /// Hardware layer index (input = 0).
+    pub layer: usize,
+    /// Neuron index within the layer.
+    pub neuron: usize,
+    /// Stage the value was observed at.
+    pub stage: ProbeStage,
+    /// The observed value. Accumulators and levels are plain integers;
+    /// `PostBn` / `Score` are raw fixed-point words (the probe lives
+    /// below the arithmetic crate, so no `Fix` here).
+    pub value: i64,
+}
+
+/// An all-stages datapath value recorder.
+#[derive(Clone, Debug, Default)]
+pub struct DatapathProbe {
+    enabled: bool,
+    layer: usize,
+    samples: Vec<ProbeSample>,
+}
+
+impl DatapathProbe {
+    /// A disabled probe: every `record` call is a no-op and no buffer is
+    /// ever allocated.
+    pub fn disabled() -> DatapathProbe {
+        DatapathProbe::default()
+    }
+
+    /// An enabled probe recording every datapath value.
+    pub fn enabled() -> DatapathProbe {
+        DatapathProbe {
+            enabled: true,
+            layer: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// `true` when samples are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Sets the hardware layer index stamped onto subsequent samples.
+    #[inline]
+    pub fn set_layer(&mut self, layer: usize) {
+        self.layer = layer;
+    }
+
+    /// Records one value. No-op (and no allocation) when disabled.
+    #[inline]
+    pub fn record(&mut self, neuron: usize, stage: ProbeStage, value: i64) {
+        if !self.enabled {
+            return;
+        }
+        self.samples.push(ProbeSample {
+            layer: self.layer,
+            neuron,
+            stage,
+            value,
+        });
+    }
+
+    /// Recorded samples in observation order.
+    pub fn samples(&self) -> &[ProbeSample] {
+        &self.samples
+    }
+
+    /// Allocated sample capacity — zero for a probe that never enabled,
+    /// which is what the zero-overhead test pins.
+    pub fn capacity(&self) -> usize {
+        self.samples.capacity()
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Consumes the probe, returning the samples in observation order.
+    pub fn into_samples(self) -> Vec<ProbeSample> {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_probe_records_nothing_and_never_allocates() {
+        let mut p = DatapathProbe::disabled();
+        for i in 0..1000 {
+            p.record(i, ProbeStage::Accumulator, i as i64);
+        }
+        assert!(p.is_empty());
+        assert_eq!(p.capacity(), 0);
+        assert!(!p.is_enabled());
+    }
+
+    #[test]
+    fn enabled_probe_stamps_current_layer() {
+        let mut p = DatapathProbe::enabled();
+        p.record(3, ProbeStage::Level, 7);
+        p.set_layer(2);
+        p.record(0, ProbeStage::Score, -64);
+        let s = p.samples();
+        assert_eq!(s.len(), 2);
+        assert_eq!(
+            s[0],
+            ProbeSample {
+                layer: 0,
+                neuron: 3,
+                stage: ProbeStage::Level,
+                value: 7
+            }
+        );
+        assert_eq!(
+            s[1],
+            ProbeSample {
+                layer: 2,
+                neuron: 0,
+                stage: ProbeStage::Score,
+                value: -64
+            }
+        );
+    }
+
+    #[test]
+    fn into_samples_preserves_order() {
+        let mut p = DatapathProbe::enabled();
+        for i in 0..5 {
+            p.record(i, ProbeStage::Accumulator, i as i64 * 10);
+        }
+        let s = p.into_samples();
+        assert_eq!(s.len(), 5);
+        assert!(s.windows(2).all(|w| w[0].value < w[1].value));
+    }
+}

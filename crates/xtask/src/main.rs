@@ -4,18 +4,25 @@
 //! express at the granularity the workspace wants:
 //!
 //! * **panic-free hot paths** — no `.unwrap()` / `.expect(` in the
-//!   non-test code of `netpu-core`, `netpu-sim`, `netpu-runtime`, and
-//!   `netpu-serve`. These crates sit under the serving layer, where a
-//!   panic poisons locks and wedges worker threads; fallible paths must
-//!   return structured errors (or use the `let … else { panic!() }`
-//!   form, which forces an explicit message at the site).
+//!   non-test code of `netpu-core`, `netpu-sim`, `netpu-runtime`,
+//!   `netpu-serve`, `netpu-check`, and `netpu-compiler`. These crates
+//!   sit under the serving layer (the checker and compiler both run on
+//!   the admission path), where a panic poisons locks and wedges worker
+//!   threads; fallible paths must return structured errors (or use the
+//!   `let … else { panic!() }` form, which forces an explicit message
+//!   at the site).
 //! * **audited numeric casts** — no bare `as <numeric>` casts in
-//!   `netpu-arith` and `netpu-core`. All width changes go through the
-//!   checked/saturating helpers in `netpu_arith::cast`; that module
-//!   itself is the single exemption, and every `as` inside it carries
-//!   an `// audited:` comment.
+//!   `netpu-arith`, `netpu-core`, `netpu-check`, and `netpu-compiler`.
+//!   All width changes go through the checked/saturating helpers in
+//!   `netpu_arith::cast`; that module itself is the single exemption,
+//!   and every `as` inside it carries an `// audited:` comment.
 //! * **documented public surfaces** — every library crate's root
 //!   carries `#![deny(missing_docs)]`.
+//! * **NPC fixture coverage** — every `NpcNNN` rule ID declared in
+//!   `crates/check/src/diag.rs` must appear in `crates/check/tests/`
+//!   in both an accepting assertion (`!…fired(RuleId::NpcNNN)`) and a
+//!   rejecting one (`…fired(RuleId::NpcNNN)`), so no diagnostic ships
+//!   without a fixture that triggers it and one that stays clean.
 //!
 //! The scanner strips comments, strings, and `#[cfg(test)]`-gated items
 //! before matching, so test fixtures and doc examples are free to use
@@ -28,10 +35,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Crates whose non-test code must not call `.unwrap()` / `.expect(`.
-const PANIC_FREE: &[&str] = &["core", "sim", "runtime", "serve"];
+const PANIC_FREE: &[&str] = &["core", "sim", "runtime", "serve", "check", "compiler"];
 
 /// Crates whose non-test code must not contain bare numeric `as` casts.
-const CAST_FREE: &[&str] = &["arith", "core"];
+const CAST_FREE: &[&str] = &["arith", "core", "check", "compiler"];
 
 /// The one module allowed to contain bare casts (each one audited).
 const CAST_EXEMPT: &str = "crates/arith/src/cast.rs";
@@ -102,8 +109,118 @@ fn lint_violations() -> Vec<String> {
             ));
         }
     }
+    check_rule_fixture_coverage(&root, &mut violations);
 
     violations
+}
+
+/// Tests directory whose fixtures must cover every NPC rule both ways.
+const RULE_FIXTURES: &str = "crates/check/tests";
+
+fn check_rule_fixture_coverage(root: &Path, out: &mut Vec<String>) {
+    let diag = strip_code(&read(&root.join("crates/check/src/diag.rs")));
+    let rules = collect_rule_ids(&diag);
+    if rules.is_empty() {
+        out.push("crates/check/src/diag.rs: no NpcNNN rule IDs found".into());
+        return;
+    }
+    let mut accepting = std::collections::BTreeSet::new();
+    let mut rejecting = std::collections::BTreeSet::new();
+    for file in rust_sources(&root.join(RULE_FIXTURES)) {
+        classify_fired_assertions(&strip_code(&read(&file)), &mut accepting, &mut rejecting);
+    }
+    for rule in &rules {
+        if !accepting.contains(rule) {
+            out.push(format!(
+                "{RULE_FIXTURES}: {rule} has no accepting fixture \
+                 (an `!…fired(RuleId::{rule})` assertion)"
+            ));
+        }
+        if !rejecting.contains(rule) {
+            out.push(format!(
+                "{RULE_FIXTURES}: {rule} has no rejecting fixture \
+                 (a `…fired(RuleId::{rule})` assertion)"
+            ));
+        }
+    }
+}
+
+/// Extracts every `NpcNNN` identifier from stripped source.
+fn collect_rule_ids(stripped: &str) -> std::collections::BTreeSet<String> {
+    let mut rules = std::collections::BTreeSet::new();
+    let bytes = stripped.as_bytes();
+    let mut search = 0;
+    while let Some(found) = stripped[search..].find("Npc") {
+        let start = search + found;
+        let boundary = start == 0
+            || !(bytes[start - 1].is_ascii_alphanumeric()
+                || bytes[start - 1] == b'_'
+                || bytes[start - 1] == b':');
+        let digits: String = stripped[start + 3..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if boundary && !digits.is_empty() {
+            rules.insert(format!("Npc{digits}"));
+        }
+        search = start + 3;
+    }
+    rules
+}
+
+/// Finds every `.fired(RuleId::NpcNNN)` call in stripped test source and
+/// classifies it as accepting (the whole receiver expression is negated
+/// with `!`) or rejecting (it is not).
+fn classify_fired_assertions(
+    stripped: &str,
+    accepting: &mut std::collections::BTreeSet<String>,
+    rejecting: &mut std::collections::BTreeSet<String>,
+) {
+    const NEEDLE: &str = ".fired(RuleId::Npc";
+    let mut search = 0;
+    while let Some(found) = stripped[search..].find(NEEDLE) {
+        let dot = search + found;
+        let digits_start = dot + NEEDLE.len();
+        let digits: String = stripped[digits_start..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if !digits.is_empty() {
+            let rule = format!("Npc{digits}");
+            if negated_receiver(stripped.as_bytes(), dot) {
+                accepting.insert(rule);
+            } else {
+                rejecting.insert(rule);
+            }
+        }
+        search = digits_start;
+    }
+}
+
+/// Walks backward from the `.` of a `.fired(…)` call over the receiver
+/// expression — identifiers, paths, field/method chains, and balanced
+/// `(…)` / `[…]` groups — and reports whether the first character
+/// beyond it is a `!` negation.
+fn negated_receiver(bytes: &[u8], dot: usize) -> bool {
+    let mut depth = 0usize;
+    let mut j = dot;
+    while j > 0 {
+        j -= 1;
+        let c = bytes[j] as char;
+        if c == ')' || c == ']' {
+            depth += 1;
+        } else if c == '(' || c == '[' {
+            if depth == 0 {
+                return false;
+            }
+            depth -= 1;
+        } else if depth > 0 || c.is_ascii_alphanumeric() || "_.:".contains(c) || c.is_whitespace() {
+            // Still inside the receiver (or a nested group).
+        } else {
+            return c == '!';
+        }
+    }
+    false
 }
 
 fn check_panic_free(root: &Path, file: &Path, out: &mut Vec<String>) {
@@ -413,6 +530,28 @@ mod tests {
         check_cast_free(&root, &file, &mut v);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].contains("as u32"));
+    }
+
+    #[test]
+    fn fired_assertions_classify_by_receiver_negation() {
+        let mut acc = std::collections::BTreeSet::new();
+        let mut rej = std::collections::BTreeSet::new();
+        let src = "assert!(!check(&l, &cfg()).fired(RuleId::Npc001));\n\
+                   assert!(r.has_errors() && r.fired(RuleId::Npc002));\n\
+                   assert!(!reports[0].fired(RuleId::Npc003));";
+        classify_fired_assertions(src, &mut acc, &mut rej);
+        assert!(acc.contains("Npc001") && !rej.contains("Npc001"));
+        assert!(rej.contains("Npc002") && !acc.contains("Npc002"));
+        assert!(acc.contains("Npc003"));
+    }
+
+    #[test]
+    fn rule_ids_collect_from_the_enum_declaration() {
+        let rules = collect_rule_ids("enum RuleId { Npc001, Npc002 }\nRuleId::Npc002 => x,");
+        assert_eq!(
+            rules.into_iter().collect::<Vec<_>>(),
+            vec!["Npc001", "Npc002"]
+        );
     }
 
     #[test]
