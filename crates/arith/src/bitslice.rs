@@ -1,0 +1,502 @@
+//! Batch-major bitslicing: 64 images per `u64` lane.
+//!
+//! [`binary`](crate::binary) packs 64 *weights* of one neuron into a
+//! stream word so a single XNOR + popcount multiplies 64 channels of
+//! one image. This module turns the layout 90°: one `u64` **lane**
+//! holds the *same channel bit of 64 different images* (image `i` in
+//! bit `i`), so one XNOR against a broadcast weight bit multiplies one
+//! channel of a whole 64-image slab, and a vertical carry-save counter
+//! accumulates the per-image popcounts across channels.
+//!
+//! The two layouts meet at the slab boundary through the transpose
+//! shims: [`transpose_in`] converts image-major packed channel words
+//! (the [`crate::quant::pack_binary_channels`] layout) into
+//! channel-major lanes via the classic 64×64 bit-matrix transpose
+//! ([`transpose64`]), and [`transpose_out`] converts lanes back.
+//! Slabs shorter than [`LANE_WIDTH`] images simply leave the high
+//! image slots as junk bits: per-image results are independent, so a
+//! consumer that never reads slots `>= batch` needs no masking — and
+//! [`lane_mask`] is there for consumers that do.
+//!
+//! The per-lane accumulator [`LaneCounter`] generalizes
+//! [`crate::binary::popcount_sum`]: after `n` [`LaneCounter::add`]
+//! calls, [`LaneCounter::signed_sum`] recovers `2·popcount − n` for
+//! every image slot independently — the XNOR sum identity of §II.B,
+//! 64 images at a time.
+
+use crate::cast;
+
+/// Images per bitsliced lane (the width of a `u64`).
+pub const LANE_WIDTH: usize = 64;
+
+/// Bit planes in a [`LaneCounter`]: supports up to `2^14 − 1 = 16383`
+/// accumulated terms, comfortably above the 8192-channel layer-width
+/// ceiling of the model format.
+const COUNTER_PLANES: usize = 14;
+
+/// Mask selecting the low `count` image slots of a lane. `count` must
+/// be at most [`LANE_WIDTH`].
+#[inline]
+pub fn lane_mask(count: usize) -> u64 {
+    debug_assert!(count <= LANE_WIDTH);
+    if count >= LANE_WIDTH {
+        u64::MAX
+    } else {
+        (1u64 << count) - 1
+    }
+}
+
+/// Broadcasts the low bit of `bit` across all 64 lanes: `1` becomes
+/// all-ones, `0` becomes all-zeros.
+#[inline]
+pub fn broadcast_bit(bit: u64) -> u64 {
+    0u64.wrapping_sub(bit & 1)
+}
+
+/// The bitsliced binarized multiplier: XNOR of 64 image bits against
+/// one broadcast weight bit. Bit `i` of the result is `1` exactly when
+/// image `i`'s bipolar input and the weight agree (product +1) — the
+/// Table I truth table, one column per image.
+#[inline]
+pub fn xnor_broadcast(lane: u64, weight_bit: u64) -> u64 {
+    !(lane ^ broadcast_bit(weight_bit))
+}
+
+/// In-place 64×64 bit-matrix transpose (the recursive block-swap
+/// scheme of Hacker's Delight §7-3): afterwards bit `c` of word `r`
+/// holds what bit `r` of word `c` held before.
+pub fn transpose64(m: &mut [u64; 64]) {
+    let mut j = 32;
+    let mut mask = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0;
+        while k < 64 {
+            let t = (m[k] ^ (m[k + j] << j)) & !mask;
+            m[k] ^= t;
+            m[k + j] ^= t >> j;
+            // Advance to the next row pair of this block size.
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        mask ^= mask << j;
+    }
+}
+
+/// Transpose-in shim: converts an image-major bit matrix — one row per
+/// image, each row the packed channel words of
+/// [`crate::quant::pack_binary_channels`] — into channel-major lanes.
+/// Lane `c` of the result carries channel `c`'s bit of image `i` in
+/// bit `i`. At most [`LANE_WIDTH`] rows; missing images (short slabs
+/// or short rows) contribute `0` bits, which downstream consumers must
+/// never read (see the module docs on tail handling).
+pub fn transpose_in(rows: &[Vec<u64>], channels: usize) -> Vec<u64> {
+    debug_assert!(rows.len() <= LANE_WIDTH);
+    let words = channels.div_ceil(LANE_WIDTH);
+    let mut lanes = Vec::with_capacity(channels);
+    for w in 0..words {
+        let mut m = [0u64; 64];
+        for (i, row) in rows.iter().enumerate() {
+            m[i] = row.get(w).copied().unwrap_or(0);
+        }
+        transpose64(&mut m);
+        let block = (channels - w * LANE_WIDTH).min(LANE_WIDTH);
+        lanes.extend_from_slice(&m[..block]);
+    }
+    lanes
+}
+
+/// Transpose-out shim: the inverse of [`transpose_in`]. Converts
+/// channel-major lanes back into one packed channel-word row per image
+/// (the [`crate::quant::pack_binary_channels`] layout), for `images`
+/// of the slab. Junk bits in image slots `>= images` are discarded.
+pub fn transpose_out(lanes: &[u64], images: usize) -> Vec<Vec<u64>> {
+    debug_assert!(images <= LANE_WIDTH);
+    let words = lanes.len().div_ceil(LANE_WIDTH);
+    let mut rows = vec![vec![0u64; words]; images];
+    for w in 0..words {
+        let mut m = [0u64; 64];
+        let block = (lanes.len() - w * LANE_WIDTH).min(LANE_WIDTH);
+        m[..block].copy_from_slice(&lanes[w * LANE_WIDTH..w * LANE_WIDTH + block]);
+        transpose64(&mut m);
+        for (i, row) in rows.iter_mut().enumerate() {
+            row[w] = m[i];
+        }
+    }
+    rows
+}
+
+/// A bitsliced full adder: adds `a + b` into the running per-slot sum
+/// `*sum` and returns the carry lane (the majority function), all 64
+/// image slots at once.
+#[inline]
+fn full_add(sum: &mut u64, a: u64, b: u64) -> u64 {
+    let s = *sum;
+    let carry = (s & a) | (b & (s ^ a));
+    *sum = s ^ a ^ b;
+    carry
+}
+
+/// A vertical (carry-save) popcount accumulator over bitsliced lanes.
+///
+/// Each [`add`](LaneCounter::add) ripples one lane of product bits into
+/// [`COUNTER_PLANES`] bit planes, so after `n` adds every image slot
+/// `i` holds an independent popcount of how many of its `n` product
+/// bits were `1` — at a cost of ~2 word ops per add (the expected
+/// carry-chain length is below 2), instead of 64 per-image popcounts.
+/// The bulk entry point [`accumulate_xnor_row`](LaneCounter::accumulate_xnor_row)
+/// fuses the XNOR with a branchless Harley–Seal-style compressor tree
+/// and is what the batch kernel's inner loop should use.
+///
+/// ```
+/// use netpu_arith::bitslice::LaneCounter;
+/// let mut c = LaneCounter::new();
+/// c.add(0b11); // channel 0: images 0 and 1 agree with the weight
+/// c.add(0b01); // channel 1: image 0 agrees, image 1 disagrees
+/// assert_eq!(c.signed_sum(0), 2); // +1 +1
+/// assert_eq!(c.signed_sum(1), 0); // +1 −1
+/// ```
+#[derive(Clone, Debug)]
+pub struct LaneCounter {
+    planes: [u64; COUNTER_PLANES],
+    added: u64,
+}
+
+impl Default for LaneCounter {
+    fn default() -> LaneCounter {
+        LaneCounter::new()
+    }
+}
+
+impl LaneCounter {
+    /// An empty counter (zero terms added).
+    #[inline]
+    pub fn new() -> LaneCounter {
+        LaneCounter {
+            planes: [0u64; COUNTER_PLANES],
+            added: 0,
+        }
+    }
+
+    /// Number of lanes added so far.
+    #[inline]
+    pub fn added(&self) -> u64 {
+        self.added
+    }
+
+    /// Adds one lane of product bits: each set bit increments that
+    /// image slot's count by one. Ripple-carry across the bit planes;
+    /// the counter saturates its capacity at `2^14 − 1` terms per slot
+    /// (unreachable through the 8192-wide model ceiling), which a debug
+    /// assertion pins down.
+    #[inline]
+    pub fn add(&mut self, lane: u64) {
+        self.add_at(0, lane);
+        self.added += 1;
+    }
+
+    /// Ripples `lane` into the planes starting at weight `2^start`.
+    #[inline]
+    fn add_at(&mut self, start: usize, lane: u64) {
+        let mut bits = lane;
+        for plane in &mut self.planes[start..] {
+            if bits == 0 {
+                return;
+            }
+            let carry = *plane & bits;
+            *plane ^= bits;
+            bits = carry;
+        }
+        debug_assert_eq!(bits, 0, "LaneCounter overflow: more than 2^14 - 1 terms");
+    }
+
+    /// Accumulates one whole weight row against the layer's input
+    /// lanes: for every channel `c < in_len`, XNORs `lanes[c]` with
+    /// weight bit `c` of `row` (the [`crate::quant::pack_binary_channels`]
+    /// bit order: channel `c` in bit `c % 64` of word `c / 64`) and
+    /// adds the 64-image product lane into the counter.
+    ///
+    /// Equivalent to `in_len` calls of [`xnor_broadcast`] +
+    /// [`add`](LaneCounter::add), but the hot path runs a branchless
+    /// Harley–Seal-style carry-save compressor: blocks of eight product
+    /// lanes collapse through a full-adder tree into running `ones` /
+    /// `twos` / `fours` / `eights` partial sums, and only weight-16
+    /// carries (one lane per 16 channels at most) touch the ripple
+    /// planes. This is the bitsliced analogue of the hardware popcount
+    /// column of §II.B and what makes the batch kernel competitive with
+    /// a native `popcount` per 64-channel word.
+    pub fn accumulate_xnor_row(&mut self, lanes: &[u64], row: &[u64], in_len: usize) {
+        debug_assert!(in_len <= lanes.len());
+        debug_assert!(row.len() * LANE_WIDTH >= in_len);
+        let mut ones = 0u64;
+        let mut twos = 0u64;
+        let mut fours = 0u64;
+        let mut eights = 0u64;
+        let mut c = 0usize;
+        // Blocks of 8 channels never straddle a weight word (8 | 64).
+        while c + 8 <= in_len {
+            let w = row[c >> 6] >> (c & 63);
+            let x0 = xnor_broadcast(lanes[c], w);
+            let x1 = xnor_broadcast(lanes[c + 1], w >> 1);
+            let x2 = xnor_broadcast(lanes[c + 2], w >> 2);
+            let x3 = xnor_broadcast(lanes[c + 3], w >> 3);
+            let x4 = xnor_broadcast(lanes[c + 4], w >> 4);
+            let x5 = xnor_broadcast(lanes[c + 5], w >> 5);
+            let x6 = xnor_broadcast(lanes[c + 6], w >> 6);
+            let x7 = xnor_broadcast(lanes[c + 7], w >> 7);
+            let t0 = full_add(&mut ones, x0, x1);
+            let t1 = full_add(&mut ones, x2, x3);
+            let t2 = full_add(&mut ones, x4, x5);
+            let t3 = full_add(&mut ones, x6, x7);
+            let f0 = full_add(&mut twos, t0, t1);
+            let f1 = full_add(&mut twos, t2, t3);
+            let e0 = full_add(&mut fours, f0, f1);
+            // Half-add the weight-8 carry; only weight-16 spills reach
+            // the ripple planes.
+            let s16 = eights & e0;
+            eights ^= e0;
+            if s16 != 0 {
+                self.add_at(4, s16);
+            }
+            c += 8;
+        }
+        // Fold the compressor leftovers into their weight planes, then
+        // the sub-block channel tail one lane at a time.
+        self.add_at(0, ones);
+        self.add_at(1, twos);
+        self.add_at(2, fours);
+        self.add_at(3, eights);
+        while c < in_len {
+            self.add_at(0, xnor_broadcast(lanes[c], row[c >> 6] >> (c & 63)));
+            c += 1;
+        }
+        self.added += cast::u64_from_usize(in_len);
+    }
+
+    /// The accumulated popcount of image slot `i`.
+    #[inline]
+    pub fn count(&self, i: usize) -> u64 {
+        debug_assert!(i < LANE_WIDTH);
+        let mut c = 0u64;
+        for (k, plane) in self.planes.iter().enumerate() {
+            c |= ((plane >> i) & 1) << k;
+        }
+        c
+    }
+
+    /// The signed XNOR sum of image slot `i`: `2·popcount − n` over the
+    /// `n` lanes added so far — exactly what
+    /// [`crate::binary::popcount_sum`] computes per word, generalized
+    /// to an arbitrary number of bit-serial terms.
+    #[inline]
+    pub fn signed_sum(&self, i: usize) -> i32 {
+        let ones = cast::i64_sat(i128::from(self.count(i)));
+        let n = cast::i64_sat(i128::from(self.added));
+        cast::i32_sat(2 * ones - n)
+    }
+
+    /// All 64 signed sums at once: slot `i` of the result equals
+    /// [`signed_sum(i)`](LaneCounter::signed_sum). One [`transpose64`]
+    /// flips the bit planes into per-image counts, which is an order of
+    /// magnitude cheaper than 64 per-slot plane walks — use this in
+    /// per-neuron post-processing loops.
+    pub fn signed_sums(&self) -> [i32; 64] {
+        let mut m = [0u64; 64];
+        m[..COUNTER_PLANES].copy_from_slice(&self.planes);
+        transpose64(&mut m);
+        let n = cast::i64_sat(i128::from(self.added));
+        let mut out = [0i32; 64];
+        for (o, &count) in out.iter_mut().zip(m.iter()) {
+            *o = cast::i32_sat(2 * cast::i64_sat(i128::from(count)) - n);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::{decode_bipolar, encode_bipolar, popcount_sum};
+    use crate::quant::pack_binary_channels;
+
+    #[test]
+    fn lane_mask_selects_low_slots() {
+        assert_eq!(lane_mask(0), 0);
+        assert_eq!(lane_mask(1), 1);
+        assert_eq!(lane_mask(63), u64::MAX >> 1);
+        assert_eq!(lane_mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn broadcast_bit_fans_out() {
+        assert_eq!(broadcast_bit(1), u64::MAX);
+        assert_eq!(broadcast_bit(0), 0);
+        // Only the low bit participates.
+        assert_eq!(broadcast_bit(0b10), 0);
+        assert_eq!(broadcast_bit(0b11), u64::MAX);
+    }
+
+    #[test]
+    fn xnor_broadcast_matches_table1_per_image() {
+        // Images 0..4 carry inputs (+1, −1, +1, −1).
+        let lane = 0b0101u64;
+        for (w, bit) in [(1, 1u64), (-1, 0u64)] {
+            let out = xnor_broadcast(lane, bit);
+            for (i, a) in [1, -1, 1, -1].iter().enumerate() {
+                let product = decode_bipolar(crate::cast::lo8((out >> i) & 1));
+                assert_eq!(product, a * w, "image {i} weight {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose64_is_an_involution_and_transposes() {
+        let mut m = [0u64; 64];
+        for (r, w) in m.iter_mut().enumerate() {
+            *w = (r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (1 << (r % 64));
+        }
+        let orig = m;
+        transpose64(&mut m);
+        for (r, &word) in m.iter().enumerate() {
+            for (c, &ow) in orig.iter().enumerate() {
+                assert_eq!((word >> c) & 1, (ow >> r) & 1, "({r},{c})");
+            }
+        }
+        transpose64(&mut m);
+        assert_eq!(m, orig);
+    }
+
+    #[test]
+    fn transpose_in_lays_out_channel_lanes() {
+        // 3 images × 70 channels straddles the word boundary.
+        let channels = 70;
+        let images: Vec<Vec<i32>> = (0..3)
+            .map(|i| {
+                (0..channels)
+                    .map(|c| if (c + i) % 3 == 0 { 1 } else { -1 })
+                    .collect()
+            })
+            .collect();
+        let rows: Vec<Vec<u64>> = images.iter().map(|v| pack_binary_channels(v)).collect();
+        let lanes = transpose_in(&rows, channels);
+        assert_eq!(lanes.len(), channels);
+        for (c, lane) in lanes.iter().enumerate() {
+            for (i, img) in images.iter().enumerate() {
+                let expect = u64::from(encode_bipolar(img[c]));
+                assert_eq!((lane >> i) & 1, expect, "channel {c} image {i}");
+            }
+            // Missing images contribute zero bits.
+            assert_eq!(lane >> images.len(), 0, "channel {c} junk bits");
+        }
+    }
+
+    #[test]
+    fn transpose_out_inverts_transpose_in() {
+        let channels: usize = 130;
+        let rows: Vec<Vec<u64>> = (0..5u64)
+            .map(|i| {
+                (0..channels.div_ceil(64) as u64)
+                    .map(|w| (i + 1).wrapping_mul(0xA5A5_5A5A_DEAD_BEEF ^ w) & lane_mask(64))
+                    .collect()
+            })
+            .collect();
+        // Mask each row's tail word so the roundtrip is exact.
+        let tail = channels % 64;
+        let rows: Vec<Vec<u64>> = rows
+            .into_iter()
+            .map(|mut r| {
+                if tail != 0 {
+                    let last = r.len() - 1;
+                    r[last] &= lane_mask(tail);
+                }
+                r
+            })
+            .collect();
+        let lanes = transpose_in(&rows, channels);
+        assert_eq!(transpose_out(&lanes, rows.len()), rows);
+    }
+
+    #[test]
+    fn lane_counter_matches_popcount_sum_per_image() {
+        // 8 channels × 64 images of pseudo-random product bits: every
+        // image's signed sum must equal the scalar popcount identity.
+        let lanes: Vec<u64> = (0..8u64)
+            .map(|c| c.wrapping_mul(0x0123_4567_89AB_CDEF) ^ (c << 60) ^ 0xF0F0)
+            .collect();
+        let mut counter = LaneCounter::new();
+        for &l in &lanes {
+            counter.add(l);
+        }
+        assert_eq!(counter.added(), 8);
+        for i in 0..64 {
+            let xnor_bits: u8 = (0..8)
+                .map(|c| crate::cast::lo8(((lanes[c] >> i) & 1) << c))
+                .sum();
+            assert_eq!(
+                counter.signed_sum(i),
+                popcount_sum(xnor_bits, 8),
+                "image {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_counter_counts_to_the_layer_width_ceiling() {
+        // 8192 all-ones adds: every slot counts 8192, sum = +8192.
+        let mut c = LaneCounter::new();
+        for _ in 0..8192 {
+            c.add(u64::MAX);
+        }
+        assert_eq!(c.count(0), 8192);
+        assert_eq!(c.count(63), 8192);
+        assert_eq!(c.signed_sum(17), 8192);
+        // And all-disagree sums to −n.
+        let mut d = LaneCounter::new();
+        for _ in 0..300 {
+            d.add(0);
+        }
+        assert_eq!(d.signed_sum(5), -300);
+    }
+
+    #[test]
+    fn accumulate_xnor_row_equals_serial_adds() {
+        // Row lengths poking every path: sub-block tails, word
+        // boundaries, multi-word rows, and the weight-16 spill.
+        for &in_len in &[1usize, 7, 8, 9, 63, 64, 65, 70, 128, 130, 200, 784] {
+            let lanes: Vec<u64> = (0..in_len as u64)
+                .map(|c| c.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (c << 17) ^ 0xDEAD)
+                .collect();
+            let row: Vec<u64> = (0..in_len.div_ceil(64) as u64)
+                .map(|w| w.wrapping_mul(0x0123_4567_89AB_CDEF) ^ !w)
+                .collect();
+            let mut serial = LaneCounter::new();
+            for (c, &lane) in lanes.iter().enumerate() {
+                serial.add(xnor_broadcast(lane, row[c / 64] >> (c % 64)));
+            }
+            let mut bulk = LaneCounter::new();
+            bulk.accumulate_xnor_row(&lanes, &row, in_len);
+            assert_eq!(bulk.added(), serial.added(), "in_len {in_len}");
+            let sums = bulk.signed_sums();
+            for (i, &sum) in sums.iter().enumerate() {
+                assert_eq!(
+                    bulk.signed_sum(i),
+                    serial.signed_sum(i),
+                    "in_len {in_len} image {i}"
+                );
+                assert_eq!(sum, serial.signed_sum(i), "bulk sums image {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_counter_slots_are_independent() {
+        let mut c = LaneCounter::new();
+        c.add(0b01);
+        c.add(0b11);
+        c.add(0b10);
+        assert_eq!(c.count(0), 2);
+        assert_eq!(c.count(1), 2);
+        assert_eq!(c.count(2), 0);
+        assert_eq!(c.signed_sum(0), 1);
+        assert_eq!(c.signed_sum(2), -3);
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`Precision`] — 1–8-bit quantization precisions with their 3-bit
 //!   hardware encodings.
 //! * [`binary`] — the XNOR + popcount binarized multiplier of Table I.
+//! * [`bitslice`] — the batch-major bitsliced variant: 64 images per
+//!   `u64` lane, transpose shims, and the vertical popcount counter.
 //! * [`activation`] — ReLU, piecewise-linear Sigmoid/Tanh (Eq. 4), Sign
 //!   (Eq. 3), and Multi-Threshold (HWGQ) activations.
 //! * [`quant`] — integer quantization, saturation, and stream-lane packing
@@ -27,6 +29,7 @@
 
 pub mod activation;
 pub mod binary;
+pub mod bitslice;
 pub mod cast;
 pub mod fixed;
 mod json;

@@ -1,6 +1,8 @@
 //! Fast-path simulation throughput: tick-level vs phase-skipping
-//! single-inference simulation, and sequential vs memoized+parallel
-//! `Driver::infer_batch`.
+//! single-inference simulation, sequential vs memoized+parallel
+//! `Driver::infer_batch`, and the batch-major bitsliced kernel against
+//! the scalar and per-frame-packed batch strategies across the binary
+//! zoo.
 //!
 //! Besides the criterion console output, the run writes a
 //! `BENCH_sim.json` trajectory record (under `target/experiments/`, or
@@ -14,6 +16,7 @@ use netpu_core::HwConfig;
 use netpu_nn::export::BnMode;
 use netpu_nn::zoo::ZooModel;
 use netpu_runtime::Driver;
+use rayon::prelude::*;
 use std::time::{Duration, Instant};
 
 /// Mean seconds per iteration: one warm-up call, then at least three
@@ -111,6 +114,86 @@ fn main() {
         "frames_per_s_after": n / parallel_s,
         "speedup": sequential_s / parallel_s,
     }));
+
+    // Batch-major bitsliced kernel vs the two older batch strategies,
+    // across the binary zoo at a realistic batch size. Three honest
+    // contenders, all bit-exact against each other (asserted below):
+    //   scalar    — per-frame phase-skipping simulation, sequential
+    //               (the seed's only batch story);
+    //   packed    — one sim run + per-frame `PackedMlp` fan-out with
+    //               rayon (the pre-bitslice `infer_batch`, replicated
+    //               inline);
+    //   bitsliced — today's `infer_batch`: 64-image slabs through the
+    //               batch-major kernel, slabs swept across workers.
+    let batch = 256usize;
+    for (zoo, seed) in [
+        (ZooModel::TfcW1A1, 21u64),
+        (ZooModel::SfcW1A1, 22),
+        (ZooModel::LfcW1A1, 23),
+    ] {
+        let model = zoo.build_untrained(seed, BnMode::Folded).unwrap();
+        let frames: Vec<Vec<u8>> = (0..batch)
+            .map(|f| {
+                (0..model.input.len)
+                    .map(|i| ((i * 29 + f * 13 + 7) % 251) as u8)
+                    .collect()
+            })
+            .collect();
+
+        let scalar_s = measure(|| {
+            let mut loadable = netpu_compiler::compile(&model, &frames[0]).unwrap();
+            let mut classes = vec![driver.run_loadable(&loadable).unwrap().class];
+            for pixels in &frames[1..] {
+                loadable.replace_input(pixels).unwrap();
+                classes.push(driver.run_loadable(&loadable).unwrap().class);
+            }
+            black_box(classes);
+        });
+        let packed = netpu_nn::reference::PackedMlp::new(&model);
+        let packed_s = measure(|| {
+            let loadable = netpu_compiler::compile(&model, &frames[0]).unwrap();
+            black_box(run_inference_fast(&cfg, loadable.words).unwrap());
+            let classes: Vec<usize> = frames
+                .par_iter()
+                .map(|pixels| packed.infer_traced(pixels).class)
+                .collect();
+            black_box(classes);
+        });
+        let bitsliced_s = measure(|| {
+            black_box(driver.infer_batch(&model, black_box(&frames)).unwrap());
+        });
+
+        // All three strategies must agree frame-for-frame.
+        let batch_runs = driver.infer_batch(&model, &frames).unwrap();
+        for (run, pixels) in batch_runs.iter().zip(&frames) {
+            assert_eq!(run.class, packed.infer_traced(pixels).class);
+        }
+
+        let n = batch as f64;
+        println!(
+            "zoo/{} x{} scalar {:.0} fps  packed {:.0} fps  bitsliced {:.0} fps  \
+             ({:.1}x over scalar, {:.1}x over packed)",
+            zoo.name(),
+            batch,
+            n / scalar_s,
+            n / packed_s,
+            n / bitsliced_s,
+            scalar_s / bitsliced_s,
+            packed_s / bitsliced_s,
+        );
+        record.push(serde_json::json!({
+            "name": format!("batch256_{}", zoo.name()),
+            "frames": batch,
+            "scalar_s": scalar_s,
+            "packed_s": packed_s,
+            "bitsliced_s": bitsliced_s,
+            "frames_per_s_scalar": n / scalar_s,
+            "frames_per_s_packed": n / packed_s,
+            "frames_per_s_bitsliced": n / bitsliced_s,
+            "speedup_vs_scalar": scalar_s / bitsliced_s,
+            "speedup_vs_packed": packed_s / bitsliced_s,
+        }));
+    }
 
     let path = record.write().expect("write BENCH_sim.json");
     println!("trajectory record: {}", path.display());

@@ -12,6 +12,8 @@
 //!   (Fig. 4).
 //! * [`netpu`] — the top Network Processing Unit: recycling LPU ring,
 //!   stream-driven control (§III.B.3), MaxOut output.
+//! * [`batch`] — the batch fast path: cycle counts from one
+//!   phase-skipping run, values from the batch-major bitsliced kernel.
 //! * [`resources`] — the compositional FPGA resource model calibrated
 //!   against Tables IV and V.
 //!
@@ -19,6 +21,7 @@
 //! workspace integration suite) and *cycle-accounted* per the latency
 //! model documented in `DESIGN.md` §4.
 
+pub mod batch;
 pub mod config;
 pub mod genconfig;
 pub mod lpu;
@@ -26,5 +29,6 @@ pub mod netpu;
 pub mod resources;
 pub mod tnpu;
 
+pub use batch::{run_batch_fast, BatchEngine, SLAB_WIDTH};
 pub use config::{ConfigError, HwConfig, MulImpl};
 pub use netpu::{run_inference, run_inference_fast, InferenceRun, NetPu, NetPuError};

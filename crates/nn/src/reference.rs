@@ -8,7 +8,7 @@
 //! latency model to a functionally correct datapath.
 
 use crate::qmodel::{HiddenLayer, LayerActivation, OutputLayer, QuantMlp};
-use netpu_arith::Fix;
+use netpu_arith::{bitslice, Fix};
 
 /// Saturating 32-bit accumulation, as the ACCU submodule's 32-bit output
 /// register behaves (§III.B.1: 32-bit output supports ≥ 2^16 inputs).
@@ -336,6 +336,149 @@ impl<'a> PackedMlp<'a> {
     }
 }
 
+/// One image's outputs from a bitsliced slab inference: exactly the
+/// observable results of [`infer_traced`] (per-class scores and the
+/// MaxOut class), without the per-layer intermediates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlabOutput {
+    /// Predicted class.
+    pub class: usize,
+    /// Output-layer scores, in the same fixed-point domain as
+    /// [`InferenceTrace::scores`].
+    pub scores: Vec<Fix>,
+}
+
+/// Accumulates neuron `n`'s bitsliced dot product into `counter`: one
+/// XNOR of the channel's 64-image lane against the broadcast weight
+/// bit per channel, weights drawn bit-serially from the packed rows.
+#[inline]
+fn slab_dot(rows: &PackedRows, n: usize, lanes: &[u64], counter: &mut bitslice::LaneCounter) {
+    let row = &rows.bits[n * rows.words_per_row..(n + 1) * rows.words_per_row];
+    counter.accumulate_xnor_row(lanes, row, rows.in_len);
+}
+
+/// A [`QuantMlp`] prepared for **batch-major bitsliced** inference:
+/// the same input bit of up to 64 images shares one `u64` lane
+/// ([`netpu_arith::bitslice`]), so a whole slab advances through each
+/// layer with one XNOR + vertical popcount per weight bit instead of
+/// 64 separate dot products.
+///
+/// Only *fully binary* models qualify ([`QuantMlp::is_fully_binary`]):
+/// every MAC must be the ±1 XNOR pairing for the lane products to be
+/// single bits. [`BitslicedMlp::new`] returns `None` otherwise and the
+/// caller falls back to [`PackedMlp`].
+///
+/// Layout choices worth noting:
+///
+/// * The transpose-in shim runs **once**, on the input-layer levels.
+///   Between binary layers no transpose is needed at all — neuron
+///   `n`'s 64 per-image output bits *are* lane `n` of the next layer.
+/// * Slabs shorter than 64 images need no masking: image slots
+///   `>= batch` hold junk bits that are simply never read (per-image
+///   results are independent by construction).
+/// * Cycle *counts* are not modelled here — values only. Callers pair
+///   the slab values with one phase-skipping cycle-model run (latency
+///   is input-independent per model), the counts-vs-values split of
+///   `netpu_core::batch`.
+///
+/// Results are **bit-identical** to [`infer_traced`]: the dot product
+/// is the same Table I identity (a ±1 dot product is bounded by the
+/// fan-in, so the saturating accumulator never clamps), and the
+/// post-accumulator stages reuse [`neuron_post`] per image.
+pub struct BitslicedMlp<'a> {
+    mlp: &'a QuantMlp,
+    hidden: Vec<PackedRows>,
+    output: PackedRows,
+}
+
+impl<'a> BitslicedMlp<'a> {
+    /// Packs every layer of a fully binary `mlp` once; `None` when any
+    /// MAC is not the ±1 XNOR pairing.
+    pub fn new(mlp: &'a QuantMlp) -> Option<BitslicedMlp<'a>> {
+        if !mlp.is_fully_binary() {
+            return None;
+        }
+        let hidden = mlp
+            .hidden
+            .iter()
+            .map(|l| PackedRows::pack(&l.weights, l.neurons, l.in_len))
+            .collect::<Option<Vec<_>>>()?;
+        let output = PackedRows::pack(&mlp.output.weights, mlp.output.neurons, mlp.output.in_len)?;
+        Some(BitslicedMlp {
+            mlp,
+            hidden,
+            output,
+        })
+    }
+
+    /// Runs one slab of 1..=64 frames through the whole model,
+    /// returning per-image outputs in frame order.
+    pub fn infer_slab(&self, frames: &[Vec<u8>]) -> Vec<SlabOutput> {
+        let n = frames.len();
+        assert!(
+            (1..=bitslice::LANE_WIDTH).contains(&n),
+            "a slab holds 1..=64 frames"
+        );
+        // Input layer per image (8-bit pixels cannot be bitsliced),
+        // then one transpose-in: channel lanes of the first MAC.
+        let rows: Vec<Vec<u64>> = frames
+            .iter()
+            .map(|px| netpu_arith::quant::pack_binary_channels(&run_input_layer(self.mlp, px)))
+            .collect();
+        let mut lanes = bitslice::transpose_in(&rows, self.mlp.input.len);
+
+        for (layer, rows) in self.mlp.hidden.iter().zip(&self.hidden) {
+            let mut out_lanes = vec![0u64; layer.neurons];
+            for (ni, out) in out_lanes.iter_mut().enumerate() {
+                let mut counter = bitslice::LaneCounter::new();
+                slab_dot(rows, ni, &lanes, &mut counter);
+                let bias = layer.bias.as_ref().map(|b| b[ni]);
+                let bn = layer.bn.as_ref().map(|p| p[ni]);
+                let sums = counter.signed_sums();
+                for (i, &sum) in sums.iter().enumerate().take(n) {
+                    let mut acc = sum;
+                    if let Some(b) = bias {
+                        acc = accumulate(acc, b as i64);
+                    }
+                    let level = neuron_post(&layer.activation, bn, ni, acc, layer.out_precision);
+                    // The per-image Sign bit goes straight into lane
+                    // `ni` of the next layer: no transpose needed.
+                    *out |= u64::from(netpu_arith::binary::encode_bipolar(level)) << i;
+                }
+            }
+            lanes = out_lanes;
+        }
+
+        let o = &self.mlp.output;
+        let mut scores = vec![Vec::with_capacity(o.neurons); n];
+        for ni in 0..o.neurons {
+            let mut counter = bitslice::LaneCounter::new();
+            slab_dot(&self.output, ni, &lanes, &mut counter);
+            let bias = o.bias.as_ref().map(|b| b[ni]);
+            let bn = o.bn.as_ref().map(|p| p[ni]);
+            let sums = counter.signed_sums();
+            for (i, s) in scores.iter_mut().enumerate() {
+                let mut acc = sums[i];
+                if let Some(b) = bias {
+                    acc = accumulate(acc, b as i64);
+                }
+                let mut v = Fix::from_i32(acc);
+                if let Some(p) = bn {
+                    v = p.apply(v);
+                }
+                s.push(v);
+            }
+        }
+        scores
+            .into_iter()
+            .map(|scores| SlabOutput {
+                class: maxout(&scores),
+                scores,
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -499,6 +642,42 @@ mod tests {
                 "in_len={in_len}"
             );
         }
+    }
+
+    #[test]
+    fn bitsliced_mlp_is_bit_exact_across_slab_widths() {
+        // Batch sizes straddling the transpose/tail boundaries: every
+        // image's class and scores must equal the per-frame reference.
+        let m = crate::zoo::ZooModel::TfcW1A1
+            .build_untrained(23, crate::export::BnMode::Folded)
+            .unwrap();
+        let sliced = BitslicedMlp::new(&m).expect("TfcW1A1 is fully binary");
+        for batch in [1usize, 2, 17, 63, 64] {
+            let frames: Vec<Vec<u8>> = (0..batch)
+                .map(|f| {
+                    (0..m.input.len)
+                        .map(|i| ((i * 37 + f * 11 + 5) % 256) as u8)
+                        .collect()
+                })
+                .collect();
+            let outs = sliced.infer_slab(&frames);
+            assert_eq!(outs.len(), batch);
+            for (out, px) in outs.iter().zip(&frames) {
+                let trace = infer_traced(&m, px);
+                assert_eq!(out.class, trace.class, "batch {batch}");
+                assert_eq!(out.scores, trace.scores, "batch {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitsliced_mlp_rejects_multibit_models() {
+        let m = crate::zoo::ZooModel::TfcW2A2
+            .build_untrained(9, crate::export::BnMode::Hardware)
+            .unwrap();
+        assert!(BitslicedMlp::new(&m).is_none());
+        // And the tiny mixed-precision model.
+        assert!(BitslicedMlp::new(&tiny()).is_none());
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub(crate) struct Counters {
     pub retried: AtomicU64,
     pub timed_out: AtomicU64,
     pub frames_completed: AtomicU64,
+    pub slabs_full: AtomicU64,
+    pub slabs_partial: AtomicU64,
     pub queue_high_water: AtomicUsize,
     pub latency_buckets: [AtomicU64; 8],
 }
@@ -45,6 +47,18 @@ impl Counters {
     /// Raises the queue high-water mark to at least `depth`.
     pub fn observe_queue_depth(&self, depth: usize) {
         self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records how a completed batch of `frames` frames decomposed into
+    /// bitsliced slabs: `frames / SLAB_WIDTH` full 64-image slabs plus
+    /// at most one partial tail slab.
+    pub fn observe_batch_slabs(&self, frames: usize) {
+        let width = netpu_core::SLAB_WIDTH as u64;
+        let frames = frames as u64;
+        self.slabs_full.fetch_add(frames / width, Ordering::Relaxed);
+        if !frames.is_multiple_of(width) {
+            self.slabs_partial.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -73,6 +87,12 @@ pub struct MetricsSnapshot {
     pub timed_out: u64,
     /// Frames across all completed requests (a batch counts each).
     pub frames_completed: u64,
+    /// Completed batch slabs that filled all 64 image lanes of the
+    /// bitsliced kernel.
+    pub slabs_full: u64,
+    /// Completed batch slabs that ran with idle image lanes (the
+    /// sub-64-frame tail of a batch, or a whole small batch).
+    pub slabs_partial: u64,
     /// Deepest the admission queue ever got.
     pub queue_high_water: usize,
     /// `(upper_edge_us, count)` end-to-end latency histogram.
@@ -101,6 +121,8 @@ impl MetricsSnapshot {
             retried: load(&counters.retried),
             timed_out: load(&counters.timed_out),
             frames_completed: load(&counters.frames_completed),
+            slabs_full: load(&counters.slabs_full),
+            slabs_partial: load(&counters.slabs_partial),
             queue_high_water: counters.queue_high_water.load(Ordering::Relaxed),
             latency_histogram: LATENCY_BUCKETS_US
                 .iter()
@@ -139,6 +161,15 @@ impl MetricsSnapshot {
         } else {
             self.dma_busy_us / self.makespan_us
         }
+    }
+
+    /// Fraction of completed batch slabs that filled all 64 image
+    /// lanes of the bitsliced kernel, in `[0, 1]`. Low occupancy means
+    /// clients submit batches much smaller than [`netpu_core::SLAB_WIDTH`]
+    /// and leave lanes idle. `None` before any batch completed.
+    pub fn batch_slab_occupancy(&self) -> Option<f64> {
+        let total = self.slabs_full + self.slabs_partial;
+        (total > 0).then(|| self.slabs_full as f64 / total as f64)
     }
 }
 
@@ -187,6 +218,19 @@ mod tests {
         assert_eq!(snap.measured_fps(), None);
         assert_eq!(snap.board_utilization(), vec![0.0; 3]);
         assert_eq!(snap.dma_utilization(), 0.0);
+    }
+
+    #[test]
+    fn slab_occupancy_tracks_full_versus_partial() {
+        let c = Counters::default();
+        let snap = MetricsSnapshot::gather(&c, &DmaArbiter::new(1));
+        assert_eq!(snap.batch_slab_occupancy(), None);
+        c.observe_batch_slabs(130); // 2 full + tail
+        c.observe_batch_slabs(64); // exactly one full slab, no tail
+        c.observe_batch_slabs(3); // one partial slab
+        let snap = MetricsSnapshot::gather(&c, &DmaArbiter::new(1));
+        assert_eq!((snap.slabs_full, snap.slabs_partial), (3, 2));
+        assert!((snap.batch_slab_occupancy().unwrap() - 0.6).abs() < 1e-12);
     }
 
     #[test]

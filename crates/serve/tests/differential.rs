@@ -60,4 +60,30 @@ fn served_batches_match_driver_batches() {
     assert_eq!(served.response, direct);
     let m = server.shutdown();
     assert_eq!(m.frames_completed, 4);
+    // A 4-frame batch is one partial slab of the 64-lane kernel.
+    assert_eq!((m.slabs_full, m.slabs_partial), (0, 1));
+    assert_eq!(m.batch_slab_occupancy(), Some(0.0));
+}
+
+#[test]
+fn slab_occupancy_counts_full_and_tail_slabs() {
+    let driver = Driver::builder().build();
+    let model = Arc::new(
+        ZooModel::TfcW1A1
+            .build_untrained(9, BnMode::Folded)
+            .unwrap(),
+    );
+    // 130 frames = two full slabs + a 2-frame tail.
+    let inputs: Vec<Vec<u8>> = (0..130u32).map(|i| vec![(i % 251) as u8; 784]).collect();
+    let server = Server::start(driver, ServerConfig::default());
+    server
+        .submit(InferRequest::batch(model, inputs))
+        .expect_accepted()
+        .wait()
+        .unwrap();
+    let m = server.shutdown();
+    assert_eq!(m.frames_completed, 130);
+    assert_eq!((m.slabs_full, m.slabs_partial), (2, 1));
+    let occ = m.batch_slab_occupancy().unwrap();
+    assert!((occ - 2.0 / 3.0).abs() < 1e-12);
 }

@@ -4,10 +4,12 @@
 //! express at the granularity the workspace wants:
 //!
 //! * **panic-free hot paths** — no `.unwrap()` / `.expect(` in the
-//!   non-test code of `netpu-core`, `netpu-sim`, `netpu-runtime`,
-//!   `netpu-serve`, `netpu-check`, and `netpu-compiler`. These crates
-//!   sit under the serving layer (the checker and compiler both run on
-//!   the admission path), where a panic poisons locks and wedges worker
+//!   non-test code of `netpu-arith`, `netpu-core`, `netpu-sim`,
+//!   `netpu-runtime`, `netpu-serve`, `netpu-check`, and
+//!   `netpu-compiler`. These crates sit under the serving layer (the
+//!   checker and compiler both run on the admission path, and the
+//!   arith kernels — including the bitsliced batch kernel — run inside
+//!   every worker), where a panic poisons locks and wedges worker
 //!   threads; fallible paths must return structured errors (or use the
 //!   `let … else { panic!() }` form, which forces an explicit message
 //!   at the site).
@@ -35,7 +37,9 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Crates whose non-test code must not call `.unwrap()` / `.expect(`.
-const PANIC_FREE: &[&str] = &["core", "sim", "runtime", "serve", "check", "compiler"];
+const PANIC_FREE: &[&str] = &[
+    "arith", "core", "sim", "runtime", "serve", "check", "compiler",
+];
 
 /// Crates whose non-test code must not contain bare numeric `as` casts.
 const CAST_FREE: &[&str] = &["arith", "core", "check", "compiler"];

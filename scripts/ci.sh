@@ -34,6 +34,9 @@ cargo test -q --release --workspace
 echo "== serving layer (release) =="
 cargo test -q --release -p netpu-serve
 
+echo "== batch throughput smoke (bitsliced kernel, release) =="
+cargo run -q --release --example batch_throughput
+
 echo "== API doc-tests (release) =="
 cargo test -q --release -p netpu-runtime --doc
 
