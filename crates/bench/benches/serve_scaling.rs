@@ -79,6 +79,7 @@ fn main() {
         }));
     }
 
-    let path = record.write().expect("write BENCH_serve.json");
+    // Merged write: `fleet_replay` owns the fleet rows of the same file.
+    let path = record.write_merged().expect("write BENCH_serve.json");
     println!("trajectory record: {}", path.display());
 }

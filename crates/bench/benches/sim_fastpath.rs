@@ -195,6 +195,57 @@ fn main() {
         }));
     }
 
+    // Multi-core slab sweep: `infer_batch` splits a batch into 64-image
+    // slabs and sweeps them across worker threads, so cross-slab scaling
+    // only exists on multi-core hosts. Gated so a single-core runner
+    // records no misleading 1.0x row; the core count travels with the
+    // row so trajectories from different hosts stay comparable.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores > 1 {
+        let sweep_batch = 512usize;
+        let model = ZooModel::LfcW1A1
+            .build_untrained(23, BnMode::Folded)
+            .unwrap();
+        let frames: Vec<Vec<u8>> = (0..sweep_batch)
+            .map(|f| {
+                (0..model.input.len)
+                    .map(|i| ((i * 31 + f * 17 + 5) % 251) as u8)
+                    .collect()
+            })
+            .collect();
+        // Baseline: one slab per call — no cross-slab parallelism.
+        let slab_serial_s = measure(|| {
+            let mut runs = Vec::with_capacity(sweep_batch);
+            for slab in frames.chunks(64) {
+                runs.extend(driver.infer_batch(&model, black_box(slab)).unwrap());
+            }
+            black_box(runs);
+        });
+        // Sweep: the full batch in one call, slabs fanned across cores.
+        let sweep_s = measure(|| {
+            black_box(driver.infer_batch(&model, black_box(&frames)).unwrap());
+        });
+        let n = sweep_batch as f64;
+        println!(
+            "sweep/lfc_w1a1 x{sweep_batch} serial-slab {:.0} fps  {cores}-core sweep {:.0} fps  scaling {:.2}x",
+            n / slab_serial_s,
+            n / sweep_s,
+            slab_serial_s / sweep_s,
+        );
+        record.push(serde_json::json!({
+            "name": "batch512_multicore_slab_sweep",
+            "frames": sweep_batch,
+            "cores": cores,
+            "slab_serial_s": slab_serial_s,
+            "sweep_s": sweep_s,
+            "frames_per_s_serial": n / slab_serial_s,
+            "frames_per_s_sweep": n / sweep_s,
+            "core_scaling": slab_serial_s / sweep_s,
+        }));
+    } else {
+        println!("sweep/lfc_w1a1 skipped: single-core host, no cross-slab parallelism to measure");
+    }
+
     let path = record.write().expect("write BENCH_sim.json");
     println!("trajectory record: {}", path.display());
 

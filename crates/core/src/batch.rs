@@ -27,6 +27,32 @@ use netpu_nn::QuantMlp;
 /// Frames per bitsliced slab (one `u64` lane of images).
 pub const SLAB_WIDTH: usize = netpu_arith::bitslice::LANE_WIDTH;
 
+/// How a batch decomposed across the two value kernels: full
+/// [`SLAB_WIDTH`]-image slabs swept through the bitsliced kernel, and
+/// frames that took the per-frame packed walk instead (the sub-slab
+/// tail of a bitsliced batch, or *every* frame of a model the bitsliced
+/// kernel does not admit). Serving-layer occupancy metrics consume this
+/// so the fallback path is counted the same way wherever it runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SlabBreakdown {
+    /// Full 64-image slabs that actually ran on the bitsliced kernel.
+    pub slabs_full: usize,
+    /// Frames that ran on the per-frame packed fallback walk.
+    pub fallback_frames: usize,
+}
+
+impl SlabBreakdown {
+    /// The fallback frames expressed in slab-equivalents
+    /// (`ceil(fallback_frames / SLAB_WIDTH)`): how many under-occupied
+    /// slab sweeps the same frames *would* have cost the bitsliced
+    /// kernel. This is the unit the serving layer's
+    /// `slabs_partial` counter accumulates, so a 3-frame bitsliced
+    /// tail and a 3-frame fallback-only batch count identically.
+    pub fn partial_slab_equivalents(&self) -> usize {
+        self.fallback_frames.div_ceil(SLAB_WIDTH)
+    }
+}
+
 /// A model prepared for repeated batch-value computation: the
 /// bitsliced kernel when the model is fully binary, the packed
 /// per-frame walk otherwise. This is the *values* half of the
@@ -61,6 +87,24 @@ impl<'m> BatchEngine<'m> {
             SLAB_WIDTH
         } else {
             1
+        }
+    }
+
+    /// How a batch of `frames` frames decomposes across the kernels
+    /// this engine selected: on the bitsliced kernel, full slabs plus a
+    /// sub-slab fallback tail; on a fallback-only model, zero slabs and
+    /// every frame on the per-frame walk.
+    pub fn slab_breakdown(&self, frames: usize) -> SlabBreakdown {
+        if self.sliced.is_some() {
+            SlabBreakdown {
+                slabs_full: frames / SLAB_WIDTH,
+                fallback_frames: frames % SLAB_WIDTH,
+            }
+        } else {
+            SlabBreakdown {
+                slabs_full: 0,
+                fallback_frames: frames,
+            }
         }
     }
 
@@ -170,6 +214,39 @@ mod tests {
             let single = run_inference_fast(&cfg, words).unwrap();
             assert_eq!(run, &single);
         }
+    }
+
+    #[test]
+    fn slab_breakdown_counts_the_kernel_that_actually_ran() {
+        let binary = ZooModel::TfcW1A1
+            .build_untrained(2, BnMode::Folded)
+            .unwrap();
+        let engine = BatchEngine::new(&binary);
+        assert_eq!(
+            engine.slab_breakdown(130),
+            SlabBreakdown {
+                slabs_full: 2,
+                fallback_frames: 2,
+            }
+        );
+        assert_eq!(engine.slab_breakdown(130).partial_slab_equivalents(), 1);
+        assert_eq!(engine.slab_breakdown(128).partial_slab_equivalents(), 0);
+
+        // A fallback-only model runs zero slabs no matter the batch
+        // size; its frames count as partial slab-equivalents.
+        let multibit = ZooModel::TfcW2A2
+            .build_untrained(2, BnMode::Hardware)
+            .unwrap();
+        let engine = BatchEngine::new(&multibit);
+        assert_eq!(
+            engine.slab_breakdown(130),
+            SlabBreakdown {
+                slabs_full: 0,
+                fallback_frames: 130,
+            }
+        );
+        assert_eq!(engine.slab_breakdown(130).partial_slab_equivalents(), 3);
+        assert_eq!(engine.slab_breakdown(0).partial_slab_equivalents(), 0);
     }
 
     #[test]

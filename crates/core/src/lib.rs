@@ -29,6 +29,6 @@ pub mod netpu;
 pub mod resources;
 pub mod tnpu;
 
-pub use batch::{run_batch_fast, BatchEngine, SLAB_WIDTH};
+pub use batch::{run_batch_fast, BatchEngine, SlabBreakdown, SLAB_WIDTH};
 pub use config::{ConfigError, HwConfig, MulImpl};
 pub use netpu::{run_inference, run_inference_fast, InferenceRun, NetPu, NetPuError};

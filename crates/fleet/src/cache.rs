@@ -1,0 +1,486 @@
+//! The compiled-loadable cache: full admission exactly once per model.
+//!
+//! Every request entering the fleet references a model by id. The first
+//! request for a model pays the whole compile + two-tier admission
+//! pipeline (`netpu-check` NPC001–NPC020 structural and abstract-
+//! interpretation range checks) and one cycle-accurate simulation;
+//! every later request reuses the [`AdmittedModel`] from the cache and
+//! splices its own input words into a clone of the compiled stream
+//! (`Loadable::replace_input`), never re-running admission. The cache
+//! is byte-budgeted LRU: admitting a model past the budget evicts the
+//! least-recently-used residents first.
+//!
+//! [`LruCore`] — the budget/recency bookkeeping — is public on its own
+//! so the property suite can drive arbitrary admit/evict/lookup
+//! sequences against a reference model without paying for real
+//! compilation (see `tests/cache_proptest.rs`).
+
+use netpu_arith::cast;
+use netpu_compiler::{compile, Loadable};
+use netpu_nn::QuantMlp;
+use netpu_runtime::{Driver, DriverError, MeasuredRun};
+use serde::Serialize;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// One cached slot.
+struct Slot<V> {
+    value: V,
+    bytes: u64,
+    last_used: u64,
+}
+
+/// Outcome of an [`LruCore::insert`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Admit {
+    /// Inserted; `evicted` lists the ids displaced to make room, in
+    /// eviction order.
+    Inserted {
+        /// Ids evicted to fit the new entry.
+        evicted: Vec<u64>,
+    },
+    /// The entry alone exceeds the whole budget; nothing was cached and
+    /// nothing was evicted.
+    TooLarge {
+        /// Size of the rejected entry, bytes.
+        bytes: u64,
+        /// The configured budget, bytes.
+        capacity: u64,
+    },
+}
+
+/// Byte-budgeted LRU bookkeeping over opaque values.
+///
+/// Invariants (property-tested in `tests/cache_proptest.rs`):
+/// resident bytes never exceed the budget, and a lookup only ever
+/// returns a value that was inserted and has not been evicted since.
+pub struct LruCore<V> {
+    capacity_bytes: u64,
+    resident_bytes: u64,
+    tick: u64,
+    entries: HashMap<u64, Slot<V>>,
+}
+
+impl<V> LruCore<V> {
+    /// An empty cache with the given byte budget.
+    pub fn new(capacity_bytes: u64) -> LruCore<V> {
+        LruCore {
+            capacity_bytes,
+            resident_bytes: 0,
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The configured budget, bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently resident (always ≤ the budget).
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up `id`, refreshing its recency on a hit.
+    pub fn lookup(&mut self, id: u64) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&id).map(|slot| {
+            slot.last_used = tick;
+            &slot.value
+        })
+    }
+
+    /// Inserts `value` under `id`, evicting least-recently-used entries
+    /// until it fits. Re-inserting an existing id replaces the old
+    /// value (its bytes are released first). Entries larger than the
+    /// whole budget are refused.
+    pub fn insert(&mut self, id: u64, value: V, bytes: u64) -> Admit {
+        if bytes > self.capacity_bytes {
+            return Admit::TooLarge {
+                bytes,
+                capacity: self.capacity_bytes,
+            };
+        }
+        if let Some(old) = self.entries.remove(&id) {
+            self.resident_bytes -= old.bytes;
+        }
+        let mut evicted = Vec::new();
+        while self.resident_bytes + bytes > self.capacity_bytes {
+            // Victim: oldest recency, ties broken by smaller id so the
+            // walk over the unordered map stays deterministic.
+            let victim = self
+                .entries
+                .iter()
+                .map(|(&vid, slot)| (slot.last_used, vid))
+                .min();
+            let Some((_, vid)) = victim else { break };
+            if let Some(slot) = self.entries.remove(&vid) {
+                self.resident_bytes -= slot.bytes;
+                evicted.push(vid);
+            }
+        }
+        self.tick += 1;
+        self.entries.insert(
+            id,
+            Slot {
+                value,
+                bytes,
+                last_used: self.tick,
+            },
+        );
+        self.resident_bytes += bytes;
+        Admit::Inserted { evicted }
+    }
+
+    /// Removes `id`, returning its value if it was resident.
+    pub fn remove(&mut self, id: u64) -> Option<V> {
+        self.entries.remove(&id).map(|slot| {
+            self.resident_bytes -= slot.bytes;
+            slot.value
+        })
+    }
+
+    /// Resident ids, ascending.
+    pub fn ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.entries.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// A model that has passed full admission, with the swap-cost figures
+/// the scheduler needs.
+///
+/// The split between `transfer_us` and `resident_transfer_us` is the
+/// paper's §V reconfiguration economics: a board that already holds the
+/// model's weight sections only needs the header + layer settings +
+/// input words re-streamed, so a residency hit skips
+/// `weight_stream_us` of DMA occupancy — the quantity swap-aware
+/// scheduling exists to amortize.
+#[derive(Clone, Debug)]
+pub struct AdmittedModel {
+    /// Fleet-wide model id (the cache key).
+    pub id: u64,
+    /// The admitted stream (input section spliced per request).
+    pub loadable: Loadable,
+    /// The admission run's measurements (input-independent timing).
+    pub run: MeasuredRun,
+    /// DMA occupancy streaming the whole loadable, µs.
+    pub transfer_us: f64,
+    /// DMA occupancy streaming only header + settings + input, µs.
+    pub resident_transfer_us: f64,
+    /// DMA time a residency hit saves: `transfer_us -
+    /// resident_transfer_us`, µs.
+    pub weight_stream_us: f64,
+    /// End-to-end latency when the board already holds the weights, µs.
+    pub resident_latency_us: f64,
+    /// Cache footprint: the stream words, bytes.
+    pub bytes: u64,
+}
+
+impl AdmittedModel {
+    /// `(dma_transfer_us, total_latency_us)` for a placement, given
+    /// whether the chosen board already holds this model's weights.
+    pub fn service_cost(&self, resident_hit: bool) -> (f64, f64) {
+        if resident_hit {
+            (self.resident_transfer_us, self.resident_latency_us)
+        } else {
+            (self.transfer_us, self.run.measured_latency_us)
+        }
+    }
+}
+
+/// Point-in-time cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to run admission.
+    pub misses: u64,
+    /// Models evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Admissions refused (check failure or entry above the budget).
+    pub rejected: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: u64,
+    /// The configured budget, bytes.
+    pub capacity_bytes: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache, `None` before any.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| cast::f64_from_u64(self.hits) / cast::f64_from_u64(total))
+    }
+}
+
+struct CacheInner {
+    lru: LruCore<Arc<AdmittedModel>>,
+    in_flight: HashSet<u64>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    rejected: u64,
+}
+
+/// The shared compiled-model cache.
+///
+/// Thread-safe and admission-coalescing: when several workers miss on
+/// the same model id concurrently, exactly one runs the admission
+/// pipeline while the rest block on a condvar and reuse its result —
+/// admission happens once per model, not once per racing worker.
+pub struct CompiledModelCache {
+    driver: Driver,
+    inner: Mutex<CacheInner>,
+    admitted: Condvar,
+}
+
+impl CompiledModelCache {
+    /// An empty cache admitting through `driver` (whose `strict_range`
+    /// and hardware instance govern what passes), budgeted to
+    /// `capacity_bytes` of stream words.
+    pub fn new(driver: Driver, capacity_bytes: u64) -> CompiledModelCache {
+        CompiledModelCache {
+            driver,
+            inner: Mutex::new(CacheInner {
+                lru: LruCore::new(capacity_bytes),
+                in_flight: HashSet::new(),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                rejected: 0,
+            }),
+            admitted: Condvar::new(),
+        }
+    }
+
+    /// The driver admissions run against.
+    pub fn driver(&self) -> &Driver {
+        &self.driver
+    }
+
+    /// Returns the admitted form of `model`, running the full admission
+    /// pipeline at most once per id. Concurrent misses on one id
+    /// coalesce into a single admission. A model larger than the whole
+    /// budget is still admitted and returned — it just isn't cached.
+    pub fn get_or_admit(
+        &self,
+        id: u64,
+        model: &QuantMlp,
+    ) -> Result<Arc<AdmittedModel>, DriverError> {
+        {
+            let mut inner = lock(&self.inner);
+            loop {
+                if let Some(hit) = inner.lru.lookup(id).map(Arc::clone) {
+                    inner.hits += 1;
+                    return Ok(hit);
+                }
+                if !inner.in_flight.contains(&id) {
+                    inner.in_flight.insert(id);
+                    inner.misses += 1;
+                    break;
+                }
+                inner = self
+                    .admitted
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        // Admission runs outside the lock: other models stay servable
+        // while this one compiles, checks, and simulates.
+        let outcome = self.admit(id, model);
+        let mut inner = lock(&self.inner);
+        inner.in_flight.remove(&id);
+        match &outcome {
+            Ok(admitted) => match inner.lru.insert(id, Arc::clone(admitted), admitted.bytes) {
+                Admit::Inserted { evicted } => {
+                    inner.evictions += cast::u64_from_usize(evicted.len());
+                }
+                Admit::TooLarge { .. } => inner.rejected += 1,
+            },
+            Err(_) => inner.rejected += 1,
+        }
+        drop(inner);
+        self.admitted.notify_all();
+        outcome
+    }
+
+    /// Looks `id` up without admitting on a miss. Counts toward the
+    /// hit/miss statistics.
+    pub fn lookup(&self, id: u64) -> Option<Arc<AdmittedModel>> {
+        let mut inner = lock(&self.inner);
+        match inner.lru.lookup(id) {
+            Some(hit) => {
+                let hit = Arc::clone(hit);
+                inner.hits += 1;
+                Some(hit)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// `true` when `id` is resident, without touching recency or the
+    /// hit/miss statistics.
+    pub fn contains(&self, id: u64) -> bool {
+        lock(&self.inner).lru.ids().binary_search(&id).is_ok()
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        let inner = lock(&self.inner);
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            rejected: inner.rejected,
+            resident_bytes: inner.lru.resident_bytes(),
+            capacity_bytes: inner.lru.capacity_bytes(),
+        }
+    }
+
+    /// Compile + full two-tier admission + one simulation.
+    fn admit(&self, id: u64, model: &QuantMlp) -> Result<Arc<AdmittedModel>, DriverError> {
+        let zeros = vec![0u8; model.input.len];
+        let loadable = compile(model, &zeros).map_err(DriverError::Compile)?;
+        let run = self.driver.run_loadable(&loadable)?;
+        let clock = self.driver.hw.clock_mhz;
+        let transfer_us = self.driver.dma.occupancy_us(loadable.words.len(), clock);
+        let resident_words = loadable.layout.header.len()
+            + loadable.layout.settings.len()
+            + loadable.layout.input.len();
+        let resident_transfer_us = self.driver.dma.occupancy_us(resident_words, clock);
+        let weight_stream_us = (transfer_us - resident_transfer_us).max(0.0);
+        let resident_latency_us =
+            (run.measured_latency_us - weight_stream_us).max(resident_transfer_us);
+        let bytes = cast::u64_from_usize(loadable.words.len()) * 8;
+        Ok(Arc::new(AdmittedModel {
+            id,
+            loadable,
+            run,
+            transfer_us,
+            resident_transfer_us,
+            weight_stream_us,
+            resident_latency_us,
+            bytes,
+        }))
+    }
+}
+
+fn lock(m: &Mutex<CacheInner>) -> std::sync::MutexGuard<'_, CacheInner> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpu_nn::export::BnMode;
+    use netpu_nn::zoo::ZooModel;
+
+    #[test]
+    fn lru_evicts_oldest_first_and_respects_the_budget() {
+        let mut lru = LruCore::new(100);
+        assert_eq!(lru.insert(1, "a", 40), Admit::Inserted { evicted: vec![] });
+        assert_eq!(lru.insert(2, "b", 40), Admit::Inserted { evicted: vec![] });
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(lru.lookup(1), Some(&"a"));
+        assert_eq!(lru.insert(3, "c", 40), Admit::Inserted { evicted: vec![2] });
+        assert!(lru.resident_bytes() <= lru.capacity_bytes());
+        assert_eq!(lru.ids(), vec![1, 3]);
+        assert_eq!(lru.lookup(2), None);
+    }
+
+    #[test]
+    fn lru_refuses_entries_above_the_whole_budget() {
+        let mut lru = LruCore::new(10);
+        lru.insert(1, "a", 8);
+        assert_eq!(
+            lru.insert(2, "big", 11),
+            Admit::TooLarge {
+                bytes: 11,
+                capacity: 10
+            }
+        );
+        // The refusal evicted nothing.
+        assert_eq!(lru.ids(), vec![1]);
+    }
+
+    #[test]
+    fn reinserting_an_id_releases_its_old_bytes() {
+        let mut lru = LruCore::new(100);
+        lru.insert(1, "a", 60);
+        lru.insert(1, "a2", 30);
+        assert_eq!(lru.resident_bytes(), 30);
+        // Room for another 70 without evicting 1.
+        assert_eq!(lru.insert(2, "b", 70), Admit::Inserted { evicted: vec![] });
+    }
+
+    #[test]
+    fn admission_runs_once_and_hits_after() {
+        let model = ZooModel::SfcW1A1
+            .build_untrained(5, BnMode::Folded)
+            .unwrap();
+        let cache = CompiledModelCache::new(Driver::builder().build(), 64 << 20);
+        let first = cache.get_or_admit(42, &model).unwrap();
+        let second = cache.get_or_admit(42, &model).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "second lookup re-admitted");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.resident_bytes, first.bytes);
+        assert!(first.weight_stream_us > 0.0);
+        assert!(first.resident_latency_us < first.run.measured_latency_us);
+        assert!(first.resident_transfer_us < first.transfer_us);
+    }
+
+    #[test]
+    fn service_cost_rewards_residency() {
+        let model = ZooModel::SfcW1A1
+            .build_untrained(6, BnMode::Folded)
+            .unwrap();
+        let cache = CompiledModelCache::new(Driver::builder().build(), 64 << 20);
+        let admitted = cache.get_or_admit(1, &model).unwrap();
+        let (cold_t, cold_l) = admitted.service_cost(false);
+        let (hot_t, hot_l) = admitted.service_cost(true);
+        assert!(hot_t < cold_t);
+        assert!(hot_l < cold_l);
+        assert!((cold_t - hot_t - admitted.weight_stream_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_misses_coalesce_into_one_admission() {
+        let model = Arc::new(
+            ZooModel::SfcW1A1
+                .build_untrained(7, BnMode::Folded)
+                .unwrap(),
+        );
+        let cache = Arc::new(CompiledModelCache::new(Driver::builder().build(), 64 << 20));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let model = Arc::clone(&model);
+                std::thread::spawn(move || cache.get_or_admit(9, &model).unwrap().bytes)
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "racing workers each ran admission");
+        assert_eq!(stats.hits, 3);
+    }
+}

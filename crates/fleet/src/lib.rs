@@ -1,0 +1,35 @@
+#![deny(missing_docs)]
+//! Sharded multi-tenant serving core for NetPU-M.
+//!
+//! `netpu-serve` runs one queue over one board pool; this crate scales
+//! it into a *fleet*: many tenants sharing many models over many
+//! boards, where the scarce resource is the §V weight-stream loading
+//! path. Four pieces (DESIGN.md §4.6):
+//!
+//! * [`cache`] — the Arc-shared [`CompiledModelCache`]: compile + full
+//!   two-tier admission (NPC001–NPC020) exactly once per model id,
+//!   byte-budgeted LRU eviction, per-request input splicing.
+//! * [`shard`] — the live dispatch core: FNV-routed bounded shard
+//!   queues over per-shard board pools, token-bucket tenant fairness,
+//!   explicit backpressure.
+//! * [`sched`] — swap-aware placement and bounded EDF window
+//!   reordering over per-board weight residency, amortizing the weight
+//!   stream the way the paper's runtime-reconfiguration design intends.
+//! * [`replay`] — the deterministic virtual-time traffic harness
+//!   behind `BENCH_serve.json`'s fleet rows.
+
+pub mod cache;
+pub mod metrics;
+pub mod replay;
+pub mod sched;
+pub mod shard;
+pub mod tenant;
+
+pub use cache::{Admit, AdmittedModel, CacheStats, CompiledModelCache, LruCore};
+pub use metrics::{FleetMetrics, ShardStats};
+pub use replay::{run_replay, ReplayConfig, ReplayReport, TenantRow};
+pub use sched::{BoardPool, Candidate, DispatchPolicy, Placement};
+pub use shard::{
+    route, FleetConfig, FleetRequest, FleetResponse, FleetServer, FleetSubmit, FleetTicket,
+};
+pub use tenant::{TenantLimiter, TenantPolicy, TokenBucket};

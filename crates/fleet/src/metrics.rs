@@ -1,0 +1,132 @@
+//! Fleet-wide counters and the shutdown snapshot.
+
+use crate::cache::CacheStats;
+use netpu_arith::cast;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters the fleet front door and workers update.
+#[derive(Debug, Default)]
+pub(crate) struct FleetCounters {
+    pub submitted: AtomicU64,
+    pub accepted: AtomicU64,
+    pub throttled: AtomicU64,
+    pub rejected_busy: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub timed_out: AtomicU64,
+}
+
+impl FleetCounters {
+    pub fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One shard's scheduling statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct ShardStats {
+    /// Requests placed on this shard's boards.
+    pub placements: u64,
+    /// Placements that displaced another model's weight residency.
+    pub swaps: u64,
+    /// Placements that reused resident weights.
+    pub resident_hits: u64,
+    /// Time this shard's DMA spent streaming, virtual µs.
+    pub dma_busy_us: f64,
+    /// Virtual time at which all the shard's granted work finished, µs.
+    pub makespan_us: f64,
+}
+
+/// A point-in-time copy of everything the fleet measures.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct FleetMetrics {
+    /// Requests presented at the front door.
+    pub submitted: u64,
+    /// Requests admitted to a shard queue.
+    pub accepted: u64,
+    /// Requests refused by the tenant token bucket.
+    pub throttled: u64,
+    /// Requests refused because the target shard's queue was full.
+    pub rejected_busy: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests that failed (admission, compile, or accelerator).
+    pub failed: u64,
+    /// Requests whose deadline elapsed before completion.
+    pub timed_out: u64,
+    /// Compiled-model cache statistics.
+    pub cache: CacheStats,
+    /// Per-shard scheduling statistics.
+    pub shards: Vec<ShardStats>,
+}
+
+impl FleetMetrics {
+    /// Board swaps per placement across all shards, `None` before any
+    /// placement.
+    pub fn swaps_per_placement(&self) -> Option<f64> {
+        let placements: u64 = self.shards.iter().map(|s| s.placements).sum();
+        let swaps: u64 = self.shards.iter().map(|s| s.swaps).sum();
+        (placements > 0).then(|| cast::f64_from_u64(swaps) / cast::f64_from_u64(placements))
+    }
+
+    /// Fraction of placements that reused resident weights, `None`
+    /// before any placement.
+    pub fn resident_hit_rate(&self) -> Option<f64> {
+        let placements: u64 = self.shards.iter().map(|s| s.placements).sum();
+        let hits: u64 = self.shards.iter().map(|s| s.resident_hits).sum();
+        (placements > 0).then(|| cast::f64_from_u64(hits) / cast::f64_from_u64(placements))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_derive_from_shard_sums() {
+        let m = FleetMetrics {
+            submitted: 10,
+            accepted: 10,
+            throttled: 0,
+            rejected_busy: 0,
+            completed: 10,
+            failed: 0,
+            timed_out: 0,
+            cache: CacheStats::default(),
+            shards: vec![
+                ShardStats {
+                    placements: 6,
+                    swaps: 1,
+                    resident_hits: 4,
+                    ..ShardStats::default()
+                },
+                ShardStats {
+                    placements: 4,
+                    swaps: 1,
+                    resident_hits: 2,
+                    ..ShardStats::default()
+                },
+            ],
+        };
+        assert!((m.swaps_per_placement().unwrap() - 0.2).abs() < 1e-12);
+        assert!((m.resident_hit_rate().unwrap() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fleet_reports_no_rates() {
+        let m = FleetMetrics {
+            submitted: 0,
+            accepted: 0,
+            throttled: 0,
+            rejected_busy: 0,
+            completed: 0,
+            failed: 0,
+            timed_out: 0,
+            cache: CacheStats::default(),
+            shards: vec![ShardStats::default()],
+        };
+        assert_eq!(m.swaps_per_placement(), None);
+        assert_eq!(m.resident_hit_rate(), None);
+    }
+}

@@ -1,0 +1,496 @@
+//! The live sharded dispatch core.
+//!
+//! A [`FleetServer`] partitions its boards into shards, each with its
+//! own bounded queue (the loom-checked
+//! [`BoundedQueue`](netpu_serve::BoundedQueue) from `netpu-serve`) and
+//! its own [`BoardPool`]. Requests route to shards by an FNV-1a hash of
+//! their model id, so all traffic for one model lands on one shard —
+//! the residency tracker there sees the whole stream of that model's
+//! requests and can amortize weight loading across them. Admission is
+//! two-gated: the tenant token bucket first (fairness), then the shard
+//! queue bound (backpressure); both refusals are explicit, nothing
+//! blocks.
+//!
+//! Workers pull from their shard's queue, resolve the model through
+//! the shared [`CompiledModelCache`] (full admission exactly once per
+//! model fleet-wide), splice the request's input into a clone of the
+//! admitted stream, run the bit-exact fast path for the class, and
+//! charge the placement to the shard's virtual-time board pool.
+
+use crate::cache::CompiledModelCache;
+use crate::metrics::{FleetCounters, FleetMetrics, ShardStats};
+use crate::sched::{BoardPool, DispatchPolicy};
+use crate::tenant::{TenantLimiter, TenantPolicy};
+use netpu_arith::cast;
+use netpu_core::netpu::run_inference_fast;
+use netpu_nn::QuantMlp;
+use netpu_runtime::{Driver, DriverError};
+use netpu_serve::{BoundedQueue, Push};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Fleet deployment shape.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of dispatch shards (each owns boards and a queue).
+    pub shards: usize,
+    /// Boards per shard.
+    pub boards_per_shard: usize,
+    /// Bound of each shard's admission queue.
+    pub queue_depth: usize,
+    /// Board placement / dispatch ordering policy.
+    pub policy: DispatchPolicy,
+    /// Per-tenant admission rate policy.
+    pub tenant_policy: TenantPolicy,
+    /// Compiled-model cache budget, bytes.
+    pub cache_capacity_bytes: u64,
+}
+
+impl Default for FleetConfig {
+    /// Two shards of four boards, swap-aware, 64-deep queues, 64 MiB
+    /// of compiled-model cache.
+    fn default() -> FleetConfig {
+        FleetConfig {
+            shards: 2,
+            boards_per_shard: 4,
+            queue_depth: 64,
+            policy: DispatchPolicy::SwapAware,
+            tenant_policy: TenantPolicy::default(),
+            cache_capacity_bytes: 64 << 20,
+        }
+    }
+}
+
+/// One inference request entering the fleet.
+#[derive(Clone, Debug)]
+pub struct FleetRequest {
+    /// Tenant the request belongs to (token-bucket key).
+    pub tenant: u64,
+    /// Fleet-wide model id (cache key and shard-routing key).
+    pub model_id: u64,
+    /// The model itself, shared across requests.
+    pub model: Arc<QuantMlp>,
+    /// Input pixels.
+    pub pixels: Vec<u8>,
+    /// Optional completion deadline relative to submission, µs.
+    pub deadline_us: Option<f64>,
+}
+
+/// A successfully served fleet request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetResponse {
+    /// Predicted class.
+    pub class: usize,
+    /// Shard the request ran on.
+    pub shard: usize,
+    /// Board within the shard.
+    pub board: usize,
+    /// End-to-end virtual latency (queue + swap + compute), µs.
+    pub latency_us: f64,
+    /// The model came out of the compiled cache (no admission run).
+    pub cache_hit: bool,
+    /// The chosen board already held the model's weights.
+    pub resident_hit: bool,
+    /// The placement displaced another model's residency.
+    pub swapped: bool,
+}
+
+/// Handle to one queued fleet request.
+#[derive(Debug)]
+pub struct FleetTicket {
+    rx: mpsc::Receiver<Result<FleetResponse, DriverError>>,
+}
+
+impl FleetTicket {
+    /// Blocks until the request completes, fails, or the fleet shuts
+    /// down with the request unserved.
+    pub fn wait(self) -> Result<FleetResponse, DriverError> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(DriverError::Queue {
+                reason: "fleet shut down before the request completed".into(),
+            })
+        })
+    }
+}
+
+/// Outcome of a [`FleetServer::submit`] call.
+#[derive(Debug)]
+pub enum FleetSubmit {
+    /// Queued; await the result via the ticket.
+    Accepted(FleetTicket),
+    /// The tenant's token bucket refused the request (fairness).
+    Throttled,
+    /// The target shard's queue is full (backpressure).
+    Busy {
+        /// Shard that refused.
+        shard: usize,
+        /// Queue depth at refusal (== the bound).
+        queue_len: usize,
+    },
+    /// The fleet has shut down.
+    Closed,
+}
+
+impl FleetSubmit {
+    /// Unwraps the ticket of an accepted submission.
+    pub fn expect_accepted(self) -> FleetTicket {
+        match self {
+            FleetSubmit::Accepted(t) => t,
+            other => panic!("submission was not accepted: {other:?}"),
+        }
+    }
+}
+
+struct Job {
+    req: FleetRequest,
+    arrival_us: f64,
+    tx: mpsc::Sender<Result<FleetResponse, DriverError>>,
+}
+
+struct Shard {
+    queue: BoundedQueue<Job>,
+    pool: Mutex<BoardPool>,
+}
+
+struct Shared {
+    cfg: FleetConfig,
+    cache: CompiledModelCache,
+    shards: Vec<Shard>,
+    limiter: Mutex<TenantLimiter>,
+    counters: FleetCounters,
+    started: Instant,
+}
+
+/// The sharded multi-tenant fleet server.
+pub struct FleetServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// FNV-1a over the model id: the shard-routing hash. `std`'s default
+/// hasher is seeded per-process, which would make routing — and with it
+/// residency behaviour — non-reproducible across runs.
+pub fn route(model_id: u64, shards: usize) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in model_id.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    cast::usize_sat(hash % cast::u64_from_usize(shards.max(1)))
+}
+
+impl FleetServer {
+    /// Starts the fleet: `boards_per_shard` workers per shard.
+    pub fn start(driver: Driver, cfg: FleetConfig) -> FleetServer {
+        assert!(cfg.shards > 0, "at least one shard");
+        assert!(cfg.boards_per_shard > 0, "at least one board per shard");
+        assert!(cfg.queue_depth > 0, "queue bound must be positive");
+        let shards = (0..cfg.shards)
+            .map(|_| Shard {
+                queue: BoundedQueue::new(cfg.queue_depth),
+                pool: Mutex::new(BoardPool::new(cfg.boards_per_shard)),
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            cache: CompiledModelCache::new(driver, cfg.cache_capacity_bytes),
+            shards,
+            limiter: Mutex::new(TenantLimiter::new(cfg.tenant_policy)),
+            counters: FleetCounters::default(),
+            started: Instant::now(),
+            cfg,
+        });
+        let mut workers = Vec::new();
+        for shard in 0..shared.cfg.shards {
+            for _ in 0..shared.cfg.boards_per_shard {
+                let shared = Arc::clone(&shared);
+                workers.push(std::thread::spawn(move || worker_loop(&shared, shard)));
+            }
+        }
+        FleetServer { shared, workers }
+    }
+
+    /// Submits a request. Admission is non-blocking: token-bucket and
+    /// queue-bound refusals return immediately so the caller can shed
+    /// or defer load.
+    pub fn submit(&self, req: FleetRequest) -> FleetSubmit {
+        let c = &self.shared.counters;
+        c.bump(&c.submitted);
+        let now_us = self.now_us();
+        if !lock_recover(&self.shared.limiter).try_admit(req.tenant, now_us) {
+            c.bump(&c.throttled);
+            return FleetSubmit::Throttled;
+        }
+        let shard = route(req.model_id, self.shared.cfg.shards);
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            req,
+            arrival_us: now_us,
+            tx,
+        };
+        match self.shared.shards[shard].queue.push(job) {
+            Push::Accepted { .. } => {
+                c.bump(&c.accepted);
+                FleetSubmit::Accepted(FleetTicket { rx })
+            }
+            Push::Full { len } => {
+                c.bump(&c.rejected_busy);
+                FleetSubmit::Busy {
+                    shard,
+                    queue_len: len,
+                }
+            }
+            Push::Closed => FleetSubmit::Closed,
+        }
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> FleetMetrics {
+        gather(&self.shared)
+    }
+
+    /// Closes every shard queue, drains in-flight work, joins the
+    /// workers, and returns the final metrics.
+    pub fn shutdown(self) -> FleetMetrics {
+        for shard in &self.shared.shards {
+            shard.queue.close();
+        }
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        gather(&self.shared)
+    }
+
+    fn now_us(&self) -> f64 {
+        self.shared.started.elapsed().as_secs_f64() * 1e6
+    }
+}
+
+fn gather(shared: &Shared) -> FleetMetrics {
+    use std::sync::atomic::Ordering;
+    let load = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+    let c = &shared.counters;
+    FleetMetrics {
+        submitted: load(&c.submitted),
+        accepted: load(&c.accepted),
+        throttled: load(&c.throttled),
+        rejected_busy: load(&c.rejected_busy),
+        completed: load(&c.completed),
+        failed: load(&c.failed),
+        timed_out: load(&c.timed_out),
+        cache: shared.cache.stats(),
+        shards: shared
+            .shards
+            .iter()
+            .map(|s| {
+                let pool = lock_recover(&s.pool);
+                ShardStats {
+                    placements: pool.placements(),
+                    swaps: pool.swaps(),
+                    resident_hits: pool.resident_hits(),
+                    dma_busy_us: pool.arbiter().dma_busy_us(),
+                    makespan_us: pool.arbiter().makespan_us(),
+                }
+            })
+            .collect(),
+    }
+}
+
+fn worker_loop(shared: &Shared, shard: usize) {
+    while let Some(job) = shared.shards[shard].queue.pop_wait() {
+        let outcome = serve_one(shared, shard, &job);
+        let c = &shared.counters;
+        match &outcome {
+            Ok(_) => c.bump(&c.completed),
+            Err(DriverError::Timeout { .. }) => c.bump(&c.timed_out),
+            Err(_) => c.bump(&c.failed),
+        }
+        let _ = job.tx.send(outcome);
+    }
+}
+
+fn serve_one(shared: &Shared, shard: usize, job: &Job) -> Result<FleetResponse, DriverError> {
+    let cache_hit = shared.cache.contains(job.req.model_id);
+    let admitted = shared
+        .cache
+        .get_or_admit(job.req.model_id, &job.req.model)?;
+    // Splice this request's input into the admitted stream; the model
+    // sections are reused verbatim, so no re-check is needed — exactly
+    // the §V "reconfigure by stream" economy the cache exists for.
+    let mut loadable = admitted.loadable.clone();
+    loadable
+        .replace_input(&job.req.pixels)
+        .map_err(DriverError::Compile)?;
+    let run = run_inference_fast(&shared.cache.driver().hw, loadable.words)
+        .map_err(DriverError::Accelerator)?;
+    let placement = lock_recover(&shared.shards[shard].pool).place(
+        shared.cfg.policy,
+        &admitted,
+        job.arrival_us,
+    );
+    let latency_us = placement.grant.complete_us - job.arrival_us;
+    if let Some(deadline_us) = job.req.deadline_us {
+        if latency_us > deadline_us {
+            return Err(DriverError::Timeout {
+                deadline_us,
+                elapsed_us: latency_us,
+            });
+        }
+    }
+    Ok(FleetResponse {
+        class: run.class,
+        shard,
+        board: placement.grant.board,
+        latency_us,
+        cache_hit,
+        resident_hit: placement.resident_hit,
+        swapped: placement.swapped,
+    })
+}
+
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(not(loom))]
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpu_nn::export::BnMode;
+    use netpu_nn::zoo::ZooModel;
+
+    fn request(tenant: u64, model_id: u64, model: &Arc<QuantMlp>, seed: u8) -> FleetRequest {
+        FleetRequest {
+            tenant,
+            model_id,
+            model: Arc::clone(model),
+            pixels: vec![seed; model.input.len],
+            deadline_us: None,
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        for id in 0..100 {
+            let s = route(id, 8);
+            assert!(s < 8);
+            assert_eq!(s, route(id, 8), "routing must be a pure function");
+        }
+        // Several models actually spread over shards.
+        let distinct: std::collections::HashSet<usize> = (0..100).map(|id| route(id, 8)).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn fleet_serves_across_shards_and_reuses_admission() {
+        let model = Arc::new(
+            ZooModel::SfcW1A1
+                .build_untrained(11, BnMode::Folded)
+                .unwrap(),
+        );
+        let model2 = Arc::new(
+            ZooModel::SfcW2A2
+                .build_untrained(12, BnMode::Folded)
+                .unwrap(),
+        );
+        let fleet = FleetServer::start(
+            Driver::builder().build(),
+            FleetConfig {
+                shards: 2,
+                boards_per_shard: 2,
+                ..FleetConfig::default()
+            },
+        );
+        let mut tickets = Vec::new();
+        for i in 0..8u8 {
+            let (id, m) = if i % 2 == 0 {
+                (1, &model)
+            } else {
+                (2, &model2)
+            };
+            tickets.push(
+                fleet
+                    .submit(request(u64::from(i % 3), id, m, i))
+                    .expect_accepted(),
+            );
+        }
+        for t in tickets {
+            let resp = t.wait().unwrap();
+            assert!(resp.latency_us > 0.0);
+        }
+        let m = fleet.shutdown();
+        assert_eq!(m.completed, 8);
+        assert_eq!((m.failed, m.timed_out, m.rejected_busy), (0, 0, 0));
+        // Two models, eight requests: admission ran exactly twice.
+        assert_eq!(m.cache.misses, 2);
+        assert_eq!(m.cache.hits, 6);
+        let placements: u64 = m.shards.iter().map(|s| s.placements).sum();
+        assert_eq!(placements, 8);
+    }
+
+    #[test]
+    fn served_class_matches_the_driver() {
+        let model = Arc::new(
+            ZooModel::TfcW1A1
+                .build_untrained(13, BnMode::Folded)
+                .unwrap(),
+        );
+        let driver = Driver::builder().build();
+        let pixels = vec![77u8; model.input.len];
+        let direct = driver.infer(&model, &pixels).unwrap();
+        let fleet = FleetServer::start(driver, FleetConfig::default());
+        let resp = fleet
+            .submit(FleetRequest {
+                tenant: 0,
+                model_id: 9,
+                model: Arc::clone(&model),
+                pixels,
+                deadline_us: None,
+            })
+            .expect_accepted()
+            .wait()
+            .unwrap();
+        assert_eq!(resp.class, direct.class);
+        fleet.shutdown();
+    }
+
+    #[test]
+    fn token_bucket_throttles_a_flooding_tenant() {
+        let model = Arc::new(
+            ZooModel::SfcW1A1
+                .build_untrained(14, BnMode::Folded)
+                .unwrap(),
+        );
+        let fleet = FleetServer::start(
+            Driver::builder().build(),
+            FleetConfig {
+                tenant_policy: TenantPolicy {
+                    rate_rps: 1.0,
+                    burst: 2.0,
+                },
+                ..FleetConfig::default()
+            },
+        );
+        let mut accepted = 0;
+        let mut throttled = 0;
+        let mut tickets = Vec::new();
+        for i in 0..6u8 {
+            match fleet.submit(request(7, 1, &model, i)) {
+                FleetSubmit::Accepted(t) => {
+                    accepted += 1;
+                    tickets.push(t);
+                }
+                FleetSubmit::Throttled => throttled += 1,
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+        assert_eq!(accepted, 2, "burst allowance is two");
+        assert_eq!(throttled, 4);
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let m = fleet.shutdown();
+        assert_eq!(m.throttled, 4);
+        assert_eq!(m.completed, 2);
+    }
+}

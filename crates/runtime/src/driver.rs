@@ -19,7 +19,7 @@ use crate::power::PowerParams;
 use netpu_compiler::{compile, Loadable, StreamError};
 use netpu_core::netpu::{run_inference_fast, run_inference_hooked, InferenceRun, NetPuError};
 use netpu_core::resources::netpu_utilization;
-use netpu_core::{BatchEngine, HwConfig};
+use netpu_core::{BatchEngine, HwConfig, SlabBreakdown};
 use netpu_nn::QuantMlp;
 use netpu_sim::{TraceEvent, Tracer};
 use rayon::prelude::*;
@@ -294,6 +294,13 @@ pub struct InferResponse {
     /// the per-run `stream_words` this determines how long the request
     /// occupies a *shared* host DMA engine.
     pub dma_transfers: usize,
+    /// How a batch payload decomposed across the bitsliced and
+    /// per-frame value kernels ([`SlabBreakdown`]); `None` for
+    /// non-batch payloads. The serving layer's slab-occupancy metrics
+    /// consume this instead of re-deriving it from the frame count, so
+    /// the per-frame fallback path (tail frames *and* fallback-only
+    /// models) is accounted consistently.
+    pub batch_slabs: Option<SlabBreakdown>,
     /// Datapath events when the request asked for a trace.
     pub trace: Option<Vec<TraceEvent>>,
 }
@@ -443,6 +450,7 @@ impl Driver {
                     runs: vec![run],
                     burst_fps: None,
                     dma_transfers: 1,
+                    batch_slabs: None,
                     trace,
                 })
             }
@@ -452,6 +460,7 @@ impl Driver {
                     runs: vec![run],
                     burst_fps: None,
                     dma_transfers: 1,
+                    batch_slabs: None,
                     trace,
                 })
             }
@@ -574,6 +583,7 @@ impl Driver {
                     runs: Vec::new(),
                     burst_fps: None,
                     dma_transfers: 0,
+                    batch_slabs: Some(SlabBreakdown::default()),
                     trace: None,
                 })
             }
@@ -621,6 +631,7 @@ impl Driver {
             runs,
             burst_fps: None,
             dma_transfers: inputs.len(),
+            batch_slabs: Some(engine.slab_breakdown(inputs.len())),
             trace,
         })
     }
@@ -636,6 +647,7 @@ impl Driver {
                 runs: Vec::new(),
                 burst_fps: Some(0.0),
                 dma_transfers: 0,
+                batch_slabs: None,
                 trace: None,
             });
         }
@@ -695,6 +707,7 @@ impl Driver {
             runs,
             burst_fps: Some(fps),
             dma_transfers: 1,
+            batch_slabs: None,
             trace,
         })
     }

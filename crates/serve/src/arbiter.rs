@@ -70,6 +70,23 @@ impl DmaArbiter {
             .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0); // constructor guarantees at least one board
+        self.grant_on(board, arrival_us, transfer_us, latency_us)
+    }
+
+    /// Schedules one request on a *caller-chosen* board — the placement
+    /// hook swap-aware schedulers (`netpu-fleet`) use when the board
+    /// choice carries state the arbiter cannot see (which model's
+    /// weights are resident). Timing semantics are identical to
+    /// [`grant`](DmaArbiter::grant); only the board selection differs.
+    /// Out-of-range boards clamp to the last board.
+    pub fn grant_on(
+        &mut self,
+        board: usize,
+        arrival_us: f64,
+        transfer_us: f64,
+        latency_us: f64,
+    ) -> Grant {
+        let board = board.min(self.board_free_us.len() - 1);
         let start = arrival_us
             .max(self.dma_free_us)
             .max(self.board_free_us[board]);
@@ -85,6 +102,17 @@ impl DmaArbiter {
             transfer_end_us: transfer_end,
             complete_us: complete,
         }
+    }
+
+    /// Virtual time at which the DMA engine frees up.
+    pub fn dma_free_us(&self) -> f64 {
+        self.dma_free_us
+    }
+
+    /// Virtual time at which `board` frees up (out-of-range boards
+    /// clamp to the last board).
+    pub fn board_free_us(&self, board: usize) -> f64 {
+        self.board_free_us[board.min(self.board_free_us.len() - 1)]
     }
 
     /// Virtual time at which everything granted so far has finished.

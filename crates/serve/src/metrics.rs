@@ -1,5 +1,6 @@
 //! Serving counters, latency histogram, and utilization snapshot.
 
+use netpu_core::SlabBreakdown;
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -49,16 +50,21 @@ impl Counters {
         self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
     }
 
-    /// Records how a completed batch of `frames` frames decomposed into
-    /// bitsliced slabs: `frames / SLAB_WIDTH` full 64-image slabs plus
-    /// at most one partial tail slab.
-    pub fn observe_batch_slabs(&self, frames: usize) {
-        let width = netpu_core::SLAB_WIDTH as u64;
-        let frames = frames as u64;
-        self.slabs_full.fetch_add(frames / width, Ordering::Relaxed);
-        if !frames.is_multiple_of(width) {
-            self.slabs_partial.fetch_add(1, Ordering::Relaxed);
-        }
+    /// Records how a completed batch decomposed across the value
+    /// kernels, as reported by the driver's [`SlabBreakdown`]: full
+    /// 64-image slabs that ran on the bitsliced kernel, and per-frame
+    /// fallback work (a bitsliced batch's sub-slab tail *or* a whole
+    /// batch on a model the bitsliced kernel does not admit) in
+    /// under-occupied slab-equivalents. Counting the fallback path from
+    /// the breakdown instead of the raw frame count keeps the metric
+    /// honest for fallback-only models, which run zero slabs.
+    pub fn observe_batch_slabs(&self, breakdown: SlabBreakdown) {
+        self.slabs_full
+            .fetch_add(breakdown.slabs_full as u64, Ordering::Relaxed);
+        self.slabs_partial.fetch_add(
+            breakdown.partial_slab_equivalents() as u64,
+            Ordering::Relaxed,
+        );
     }
 }
 
@@ -88,10 +94,14 @@ pub struct MetricsSnapshot {
     /// Frames across all completed requests (a batch counts each).
     pub frames_completed: u64,
     /// Completed batch slabs that filled all 64 image lanes of the
-    /// bitsliced kernel.
+    /// bitsliced kernel. Only slabs the bitsliced kernel actually swept
+    /// count; fallback-only models contribute zero.
     pub slabs_full: u64,
-    /// Completed batch slabs that ran with idle image lanes (the
-    /// sub-64-frame tail of a batch, or a whole small batch).
+    /// Per-frame fallback work across completed batches, in
+    /// under-occupied slab-equivalents (`ceil(fallback_frames / 64)`
+    /// per batch): the sub-64-frame tail of a bitsliced batch, a whole
+    /// small batch, or every frame of a batch whose model the
+    /// bitsliced kernel does not admit.
     pub slabs_partial: u64,
     /// Deepest the admission queue ever got.
     pub queue_high_water: usize,
@@ -163,10 +173,12 @@ impl MetricsSnapshot {
         }
     }
 
-    /// Fraction of completed batch slabs that filled all 64 image
-    /// lanes of the bitsliced kernel, in `[0, 1]`. Low occupancy means
-    /// clients submit batches much smaller than [`netpu_core::SLAB_WIDTH`]
-    /// and leave lanes idle. `None` before any batch completed.
+    /// Fraction of completed batch slab-equivalents that filled all 64
+    /// image lanes of the bitsliced kernel, in `[0, 1]`. Low occupancy
+    /// means clients submit batches much smaller than
+    /// [`netpu_core::SLAB_WIDTH`] (leaving lanes idle) or serve models
+    /// that only admit the per-frame fallback walk. `None` before any
+    /// batch completed.
     pub fn batch_slab_occupancy(&self) -> Option<f64> {
         let total = self.slabs_full + self.slabs_partial;
         (total > 0).then(|| self.slabs_full as f64 / total as f64)
@@ -222,15 +234,34 @@ mod tests {
 
     #[test]
     fn slab_occupancy_tracks_full_versus_partial() {
+        let bitsliced = |frames: usize| SlabBreakdown {
+            slabs_full: frames / netpu_core::SLAB_WIDTH,
+            fallback_frames: frames % netpu_core::SLAB_WIDTH,
+        };
         let c = Counters::default();
         let snap = MetricsSnapshot::gather(&c, &DmaArbiter::new(1));
         assert_eq!(snap.batch_slab_occupancy(), None);
-        c.observe_batch_slabs(130); // 2 full + tail
-        c.observe_batch_slabs(64); // exactly one full slab, no tail
-        c.observe_batch_slabs(3); // one partial slab
+        c.observe_batch_slabs(bitsliced(130)); // 2 full + tail
+        c.observe_batch_slabs(bitsliced(64)); // exactly one full slab, no tail
+        c.observe_batch_slabs(bitsliced(3)); // one partial slab
         let snap = MetricsSnapshot::gather(&c, &DmaArbiter::new(1));
         assert_eq!((snap.slabs_full, snap.slabs_partial), (3, 2));
         assert!((snap.batch_slab_occupancy().unwrap() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fallback_only_batches_count_no_full_slabs() {
+        // A 130-frame batch on a model the bitsliced kernel does not
+        // admit runs zero slabs: all 130 frames are fallback work,
+        // i.e. ceil(130/64) = 3 under-occupied slab-equivalents.
+        let c = Counters::default();
+        c.observe_batch_slabs(SlabBreakdown {
+            slabs_full: 0,
+            fallback_frames: 130,
+        });
+        let snap = MetricsSnapshot::gather(&c, &DmaArbiter::new(1));
+        assert_eq!((snap.slabs_full, snap.slabs_partial), (0, 3));
+        assert_eq!(snap.batch_slab_occupancy(), Some(0.0));
     }
 
     #[test]

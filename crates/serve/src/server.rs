@@ -281,10 +281,6 @@ fn serve_one(shared: &Shared, job: Job) {
         },
         p => p,
     };
-    let batch_frames = match &payload {
-        InferPayload::Batch { inputs, .. } => Some(inputs.len()),
-        _ => None,
-    };
 
     let mut attempt = 0u32;
     loop {
@@ -322,8 +318,8 @@ fn serve_one(shared: &Shared, job: Job) {
                     .counters
                     .frames_completed
                     .fetch_add(resp.runs.len() as u64, Ordering::Relaxed);
-                if let Some(frames) = batch_frames {
-                    shared.counters.observe_batch_slabs(frames);
+                if let Some(breakdown) = resp.batch_slabs {
+                    shared.counters.observe_batch_slabs(breakdown);
                 }
                 shared.counters.observe_latency(grant.complete_us);
                 let _ = tx.send(Ok(ServeResponse {

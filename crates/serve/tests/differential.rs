@@ -87,3 +87,28 @@ fn slab_occupancy_counts_full_and_tail_slabs() {
     let occ = m.batch_slab_occupancy().unwrap();
     assert!((occ - 2.0 / 3.0).abs() < 1e-12);
 }
+
+#[test]
+fn fallback_batches_report_no_bitsliced_slabs() {
+    // W2A2 models only admit the per-frame packed walk: a 130-frame
+    // batch runs zero bitsliced slabs, so the occupancy metric must
+    // report 130 frames of fallback work (3 slab-equivalents), not the
+    // 2-full-slabs fiction the pre-fix frame-count accounting implied.
+    let driver = Driver::builder().build();
+    let model = Arc::new(
+        ZooModel::TfcW2A2
+            .build_untrained(9, BnMode::Hardware)
+            .unwrap(),
+    );
+    let inputs: Vec<Vec<u8>> = (0..130u32).map(|i| vec![(i % 251) as u8; 784]).collect();
+    let server = Server::start(driver, ServerConfig::default());
+    server
+        .submit(InferRequest::batch(model, inputs))
+        .expect_accepted()
+        .wait()
+        .unwrap();
+    let m = server.shutdown();
+    assert_eq!(m.frames_completed, 130);
+    assert_eq!((m.slabs_full, m.slabs_partial), (0, 3));
+    assert_eq!(m.batch_slab_occupancy(), Some(0.0));
+}

@@ -5,7 +5,7 @@
 //!
 //! * **panic-free hot paths** — no `.unwrap()` / `.expect(` in the
 //!   non-test code of `netpu-arith`, `netpu-core`, `netpu-sim`,
-//!   `netpu-runtime`, `netpu-serve`, `netpu-check`, and
+//!   `netpu-runtime`, `netpu-serve`, `netpu-fleet`, `netpu-check`, and
 //!   `netpu-compiler`. These crates sit under the serving layer (the
 //!   checker and compiler both run on the admission path, and the
 //!   arith kernels — including the bitsliced batch kernel — run inside
@@ -14,7 +14,8 @@
 //!   `let … else { panic!() }` form, which forces an explicit message
 //!   at the site).
 //! * **audited numeric casts** — no bare `as <numeric>` casts in
-//!   `netpu-arith`, `netpu-core`, `netpu-check`, and `netpu-compiler`.
+//!   `netpu-arith`, `netpu-core`, `netpu-fleet`, `netpu-check`, and
+//!   `netpu-compiler`.
 //!   All width changes go through the checked/saturating helpers in
 //!   `netpu_arith::cast`; that module itself is the single exemption,
 //!   and every `as` inside it carries an `// audited:` comment.
@@ -38,18 +39,18 @@ use std::process::ExitCode;
 
 /// Crates whose non-test code must not call `.unwrap()` / `.expect(`.
 const PANIC_FREE: &[&str] = &[
-    "arith", "core", "sim", "runtime", "serve", "check", "compiler",
+    "arith", "core", "sim", "runtime", "serve", "fleet", "check", "compiler",
 ];
 
 /// Crates whose non-test code must not contain bare numeric `as` casts.
-const CAST_FREE: &[&str] = &["arith", "core", "check", "compiler"];
+const CAST_FREE: &[&str] = &["arith", "core", "fleet", "check", "compiler"];
 
 /// The one module allowed to contain bare casts (each one audited).
 const CAST_EXEMPT: &str = "crates/arith/src/cast.rs";
 
 /// Library crates that must carry `#![deny(missing_docs)]`.
 const DOCUMENTED: &[&str] = &[
-    "arith", "bench", "check", "compiler", "core", "finn", "nn", "runtime", "serve", "sim",
+    "arith", "bench", "check", "compiler", "core", "finn", "fleet", "nn", "runtime", "serve", "sim",
 ];
 
 /// Primitive types whose `as` casts must go through `netpu_arith::cast`.

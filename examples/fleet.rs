@@ -1,0 +1,138 @@
+//! Sharded multi-tenant fleet serving: many tenants × many models over
+//! a compiled-model cache and swap-aware board scheduling.
+//!
+//! Two acts. First a live `FleetServer` run: three tenants share four
+//! models across 2 shards × 2 boards; every model is compiled and
+//! admitted (NPC001–NPC020) exactly once, then every later request
+//! splices its input into the cached loadable. Second, the
+//! deterministic virtual-time traffic replay that backs the
+//! `BENCH_serve.json` fleet rows — swap-aware placement vs naive FIFO
+//! on the same seeded bursty workload. The replay is a pure function of
+//! its config, so this example doubles as the CI smoke check: it
+//! asserts determinism, the cache hit rate, and the swap reduction.
+//!
+//! ```sh
+//! cargo run --release --example fleet
+//! ```
+
+use std::sync::Arc;
+
+use netpu::fleet::{
+    run_replay, DispatchPolicy, FleetConfig, FleetRequest, FleetServer, ReplayConfig,
+};
+use netpu::nn::export::BnMode;
+use netpu::nn::zoo::ZooModel;
+use netpu::runtime::Driver;
+
+fn main() {
+    // --- Act 1: the live sharded server. ---
+    let driver = Driver::builder().build();
+    let server = FleetServer::start(
+        driver.clone(),
+        FleetConfig {
+            shards: 2,
+            boards_per_shard: 2,
+            ..FleetConfig::default()
+        },
+    );
+
+    let models: Vec<Arc<_>> = [
+        (ZooModel::TfcW1A1, 101u64),
+        (ZooModel::SfcW1A1, 102),
+        (ZooModel::TfcW2A2, 103),
+        (ZooModel::SfcW2A2, 104),
+    ]
+    .iter()
+    .map(|(zoo, seed)| Arc::new(zoo.build_untrained(*seed, BnMode::Folded).unwrap()))
+    .collect();
+
+    let mut tickets = Vec::new();
+    for i in 0..24usize {
+        let model_idx = i % models.len();
+        let model = Arc::clone(&models[model_idx]);
+        let pixels = vec![(i as u8).wrapping_mul(37); model.input.len];
+        tickets.push(
+            server
+                .submit(FleetRequest {
+                    tenant: (i % 3) as u64,
+                    model_id: model_idx as u64,
+                    model,
+                    pixels,
+                    deadline_us: None,
+                })
+                .expect_accepted(),
+        );
+    }
+    let mut served = 0usize;
+    let mut resident_hits = 0usize;
+    for t in tickets {
+        let resp = t.wait().expect("fleet request failed");
+        served += 1;
+        resident_hits += usize::from(resp.resident_hit);
+    }
+    let m = server.shutdown();
+    println!(
+        "live fleet: served {served}/{} ({} resident-weight hits), cache {} misses / {} hits, \
+         swaps/placement {:.2}",
+        m.submitted,
+        resident_hits,
+        m.cache.misses,
+        m.cache.hits,
+        m.swaps_per_placement().unwrap_or(0.0),
+    );
+    assert_eq!(
+        m.cache.misses as usize,
+        models.len(),
+        "each model admits exactly once"
+    );
+
+    // --- Act 2: the deterministic replay (the CI smoke gate). ---
+    let cfg = ReplayConfig::smoke();
+    let aware = run_replay(&driver, &cfg).expect("swap-aware replay");
+    let naive = run_replay(&driver, &cfg.clone().with_policy(DispatchPolicy::NaiveFifo))
+        .expect("naive replay");
+    let again = run_replay(&driver, &cfg).expect("replay rerun");
+
+    println!(
+        "replay ({} boards, {} models, {} requests, seed {}):",
+        aware.boards, aware.models, aware.offered, aware.seed
+    );
+    for r in [&naive, &aware] {
+        println!(
+            "  {:<10} p50 {:>7.1} us  p99 {:>8.1} us  swaps/req {:.3}  resident-hit {:.3}  \
+             cache-hit {:.4}  fps {:.0}",
+            r.policy,
+            r.p50_us,
+            r.p99_us,
+            r.swaps_per_request,
+            r.resident_hit_rate,
+            r.cache_hit_rate,
+            r.measured_fps,
+        );
+    }
+
+    // The smoke assertions CI leans on.
+    assert_eq!(aware, again, "replay must be deterministic");
+    assert_eq!(aware.completed + aware.throttled, aware.offered);
+    assert!(
+        aware.cache_hit_rate > 0.9,
+        "cache hit rate {}",
+        aware.cache_hit_rate
+    );
+    assert!(
+        aware.swaps_per_request < naive.swaps_per_request,
+        "swap-aware must beat naive FIFO on swaps/request"
+    );
+    assert!(
+        aware.bound_ratio <= 1.0 + 1e-6,
+        "schedule beat the analytic bound"
+    );
+    println!(
+        "replay smoke passed: deterministic, cache hit {:.1}%, swaps/request {:.3} -> {:.3} \
+         ({:.0}% fewer)",
+        aware.cache_hit_rate * 100.0,
+        naive.swaps_per_request,
+        aware.swaps_per_request,
+        (1.0 - aware.swaps_per_request / naive.swaps_per_request) * 100.0
+    );
+}

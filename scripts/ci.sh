@@ -37,11 +37,20 @@ cargo test -q --release -p netpu-serve
 echo "== batch throughput smoke (bitsliced kernel, release) =="
 cargo run -q --release --example batch_throughput
 
+echo "== fleet traffic-replay smoke (seeded, deterministic, release) =="
+# The example runs the live sharded server, then replays the seeded
+# smoke workload under both dispatch policies and asserts determinism,
+# the compiled-cache hit rate, and the swap-aware reduction.
+cargo run -q --release --example fleet
+
 echo "== API doc-tests (release) =="
 cargo test -q --release -p netpu-runtime --doc
 
 echo "== loom model check (admission queue, debug profile) =="
 RUSTFLAGS="--cfg loom" cargo test -q -p netpu-serve --test loom
+
+echo "== loom model check (fleet shutdown vs dispatch, debug profile) =="
+RUSTFLAGS="--cfg loom" cargo test -q -p netpu-fleet --test loom
 
 echo "== miri (netpu-arith cast/fixed modules), when available =="
 # Optional UB hunt over the arithmetic kernels every other crate leans

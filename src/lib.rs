@@ -11,11 +11,14 @@
 //! - [`runtime`] — DMA/driver/platform/power models
 //! - [`serve`] — multi-board serving: bounded queue, shared-DMA
 //!   arbitration, deadlines and retries
+//! - [`fleet`] — sharded multi-tenant serving: compiled-model cache,
+//!   swap-aware board scheduling, deterministic traffic replay
 
 pub use netpu_arith as arith;
 pub use netpu_compiler as compiler;
 pub use netpu_core as core;
 pub use netpu_finn as finn;
+pub use netpu_fleet as fleet;
 pub use netpu_nn as nn;
 pub use netpu_runtime as runtime;
 pub use netpu_serve as serve;
