@@ -260,7 +260,11 @@ impl Report {
         self.diagnostics.iter().any(|d| d.rule == rule)
     }
 
-    pub(crate) fn push(
+    /// Appends a finding. Public so downstream layers (the trace
+    /// recorder's tests, the fuzzer's synthetic corpora) can construct
+    /// reports without round-tripping a real stream; the verifier's own
+    /// rules remain the only production writers.
+    pub fn push(
         &mut self,
         rule: RuleId,
         severity: Severity,

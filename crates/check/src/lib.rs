@@ -51,9 +51,11 @@
 pub mod absint;
 mod diag;
 mod rules;
+mod verdict;
 
 pub use absint::{LayerBounds, NeuronBounds, RangeAnalysis};
 pub use diag::{Diagnostic, Report, RuleId, Severity};
+pub use verdict::{AdmissionVerdict, RejectReason};
 
 use netpu_compiler::Loadable;
 use netpu_core::HwConfig;
@@ -80,6 +82,14 @@ pub fn check_words(words: &[u64], cfg: &HwConfig) -> Report {
         }
     }
     report
+}
+
+/// Runs the full two-tier admission decision on a raw word stream:
+/// [`check_words`] followed by [`AdmissionVerdict::from_report`]. This
+/// is the one gate the driver, the serving layers, and the fuzzer all
+/// call, so a stream receives the identical verdict at every layer.
+pub fn admit_words(words: &[u64], cfg: &HwConfig, strict_range: bool) -> AdmissionVerdict {
+    AdmissionVerdict::from_report(check_words(words, cfg), strict_range)
 }
 
 /// [`check_words`] plus the proved per-neuron bounds, for callers that

@@ -57,11 +57,21 @@ fn param_section_words(setting: &LayerSetting) -> usize {
 }
 
 /// Runs every rule over a raw word stream against an instance config.
+///
+/// The stream is treated exactly the way the accelerator model consumes
+/// it: as a *burst* of one or more back-to-back loadables (§III.B.3,
+/// `batch_stream`). After each segment's section layout is consumed the
+/// accelerator resets to its header state and parses the next word as
+/// the next loadable's header, so every segment — not just the first —
+/// must satisfy the structural rules. (The stream fuzzer found the
+/// lenient version of this: one garbage word past the layout end drew
+/// only a warning here while the accelerator rejected the run.)
 pub fn run_all(words: &[u64], cfg: &HwConfig) -> Report {
     let mut report = Report::default();
 
     // NPC011 — configuration validity + resource feasibility. Config
-    // problems are reported even when the stream is also bad.
+    // problems are reported even when the stream is also bad, and once
+    // per check rather than once per burst segment.
     if let Err(e) = cfg.validate() {
         report.push(
             RuleId::Npc011,
@@ -84,6 +94,39 @@ pub fn run_all(words: &[u64], cfg: &HwConfig) -> Report {
         );
     }
 
+    let mut start = 0usize;
+    loop {
+        let (segment, consumed) = run_segment(&words[start..], cfg);
+        for d in segment.diagnostics {
+            report.push(
+                d.rule,
+                d.severity,
+                d.byte_offset.map(|o| o + start * WORD),
+                d.layer,
+                d.message,
+            );
+        }
+        // A segment whose layout could not be computed (or that carries
+        // structural errors) already fails the run on the accelerator;
+        // validating bytes past it would only produce noise.
+        let Some(pos) = consumed else { return report };
+        if report.has_errors() {
+            return report;
+        }
+        start += pos;
+        if start >= words.len() {
+            return report;
+        }
+    }
+}
+
+/// Runs the structural rules over one burst segment (byte offsets are
+/// segment-relative; [`run_all`] shifts them). Returns the report plus
+/// the segment's layout length in words when it was computable — the
+/// offset at which the accelerator would parse the next header.
+fn run_segment(words: &[u64], cfg: &HwConfig) -> (Report, Option<usize>) {
+    let mut report = Report::default();
+
     // NPC001 — header word.
     let Some(&header) = words.first() else {
         report.push(
@@ -93,7 +136,7 @@ pub fn run_all(words: &[u64], cfg: &HwConfig) -> Report {
             None,
             "empty stream: no header word".to_string(),
         );
-        return report;
+        return (report, None);
     };
     if cast::lo16(header) != MAGIC {
         report.push(
@@ -106,7 +149,7 @@ pub fn run_all(words: &[u64], cfg: &HwConfig) -> Report {
                 cast::lo16(header)
             ),
         );
-        return report;
+        return (report, None);
     }
     if cast::lo8(header >> 16) != VERSION {
         report.push(
@@ -119,7 +162,7 @@ pub fn run_all(words: &[u64], cfg: &HwConfig) -> Report {
                 cast::lo8(header >> 16)
             ),
         );
-        return report;
+        return (report, None);
     }
     let mode = if header >> 40 & 1 == 1 {
         PackingMode::Dense
@@ -137,7 +180,7 @@ pub fn run_all(words: &[u64], cfg: &HwConfig) -> Report {
             None,
             format!("{n} layer(s): a network needs at least Input and Output"),
         );
-        return report;
+        return (report, None);
     }
 
     // NPC005 (early) — the settings block itself must be present.
@@ -153,7 +196,7 @@ pub fn run_all(words: &[u64], cfg: &HwConfig) -> Report {
                 1 + n
             ),
         );
-        return report;
+        return (report, None);
     }
 
     // NPC003 — every setting word must decode.
@@ -172,7 +215,7 @@ pub fn run_all(words: &[u64], cfg: &HwConfig) -> Report {
     }
     if settings.len() < n {
         // The section layout is uncomputable without every setting.
-        return report;
+        return (report, None);
     }
 
     // NPC002 — layer sequence.
@@ -280,7 +323,7 @@ pub fn run_all(words: &[u64], cfg: &HwConfig) -> Report {
     // If the sequence or shape chain is broken the section layout below
     // would be built on nonsense; stop after the structural errors.
     if report.has_errors() {
-        return report;
+        return (report, None);
     }
 
     // Recompute the section layout (§III.B.3 interleave): input block,
@@ -314,20 +357,10 @@ pub fn run_all(words: &[u64], cfg: &HwConfig) -> Report {
                 words.len()
             ),
         );
-        return report;
+        return (report, None);
     }
-    if words.len() > pos {
-        report.push(
-            RuleId::Npc005,
-            Severity::Warning,
-            Some(pos * WORD),
-            None,
-            format!(
-                "{} trailing word(s) past the layout end (burst stream or garbage)",
-                words.len() - pos
-            ),
-        );
-    }
+    // Words past `pos` belong to the next burst segment; `run_all`
+    // validates them as a loadable in their own right.
 
     // Per-section parameter rules.
     for &(is_params, k, start, len) in &sections {
@@ -356,7 +389,7 @@ pub fn run_all(words: &[u64], cfg: &HwConfig) -> Report {
         );
     }
 
-    report
+    (report, Some(pos))
 }
 
 /// NPC007 / NPC008 / NPC012 over one layer's parameter section.

@@ -1,0 +1,308 @@
+//! The unified admission verdict: one structured rejection surface.
+//!
+//! Before this module, the stack had three parallel ways of saying
+//! "no": `DriverError::Check(Report)` from the driver's pre-flight,
+//! `Submit::Invalid { report }` from the serving layer, and the fleet's
+//! ad-hoc `Throttled` / `Busy` variants. A client (or the stream
+//! fuzzer) comparing rejections across layers had to pattern-match
+//! three shapes carrying three different payloads.
+//!
+//! [`AdmissionVerdict`] and [`RejectReason`] collapse those surfaces:
+//! every admission gate in the workspace — [`Driver::run`],
+//! `netpu-serve` submit, `netpu-fleet` submit, the compiled-model
+//! cache, and `netpu-fuzz` — now answers with the same machine-readable
+//! type, carrying the NPC rule IDs and byte offsets of verifier
+//! findings where they exist. The trace layer (`netpu-trace`) encodes
+//! the same [`RejectReason::code`] strings, so a recorded trace and a
+//! live client observe identical reasons.
+//!
+//! [`Driver::run`]: https://docs.rs/netpu-runtime
+
+use crate::diag::{Report, RuleId};
+use std::fmt;
+
+/// Why an admission gate refused a request.
+///
+/// Marked `#[non_exhaustive]`: serving layers grow refusal classes
+/// (new fairness policies, new recovery outcomes) without breaking
+/// downstream matches.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// The static verifier rejected the stream: the [`Report`] carries
+    /// every finding with its stable NPC rule ID and byte offset.
+    Invalid {
+        /// The verifier's findings.
+        report: Report,
+    },
+    /// A bounded admission queue was full — explicit backpressure.
+    QueueFull {
+        /// Queue depth at the time of refusal (== the bound).
+        queue_len: usize,
+    },
+    /// The tenant's token bucket refused the request (fairness).
+    Throttled {
+        /// The refused tenant.
+        tenant: u64,
+    },
+    /// The serving layer has shut down; no new work is admitted.
+    Closed,
+    /// Crash-only recovery gave up on the request: a worker died while
+    /// serving it and the requeue budget was exhausted (or the queue
+    /// refused the requeue). The request was never completed and never
+    /// delivered twice.
+    WorkerCrash {
+        /// Worker deaths the request survived before being rejected.
+        crashes: u32,
+    },
+}
+
+impl RejectReason {
+    /// Stable machine-readable code naming the refusal class. The NPC
+    /// rule IDs of an `Invalid` rejection are reachable through
+    /// [`rules`](RejectReason::rules); this code names only the class.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RejectReason::Invalid { .. } => "INVALID_STREAM",
+            RejectReason::QueueFull { .. } => "QUEUE_FULL",
+            RejectReason::Throttled { .. } => "THROTTLED",
+            RejectReason::Closed => "CLOSED",
+            RejectReason::WorkerCrash { .. } => "WORKER_CRASH",
+        }
+    }
+
+    /// The error-severity findings behind an `Invalid` rejection, as
+    /// `(rule, byte_offset)` pairs in stream order; empty for every
+    /// other reason. This is the machine-readable payload the fuzzer
+    /// keys its coverage map on and the trace format serializes.
+    pub fn rules(&self) -> Vec<(RuleId, Option<usize>)> {
+        match self {
+            RejectReason::Invalid { report } => {
+                report.errors().map(|d| (d.rule, d.byte_offset)).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// The verifier report of an `Invalid` rejection.
+    pub fn report(&self) -> Option<&Report> {
+        match self {
+            RejectReason::Invalid { report } => Some(report),
+            _ => None,
+        }
+    }
+
+    /// `true` when retrying the identical request could succeed
+    /// (transient refusals: backpressure, throttling, worker crashes).
+    /// `Invalid` streams fail identically forever; `Closed` servers
+    /// stay closed.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            RejectReason::QueueFull { .. }
+                | RejectReason::Throttled { .. }
+                | RejectReason::WorkerCrash { .. }
+        )
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::Invalid { report } => {
+                write!(f, "invalid stream: {report}")
+            }
+            RejectReason::QueueFull { queue_len } => {
+                write!(f, "queue full at depth {queue_len}")
+            }
+            RejectReason::Throttled { tenant } => {
+                write!(f, "tenant {tenant} throttled")
+            }
+            RejectReason::Closed => f.write_str("admission closed"),
+            RejectReason::WorkerCrash { crashes } => {
+                write!(f, "rejected after {crashes} worker crash(es)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RejectReason {}
+
+/// The outcome of one admission decision: admit (possibly with
+/// advisory range findings) or reject with a structured reason.
+#[derive(Clone, PartialEq, Debug)]
+pub enum AdmissionVerdict {
+    /// The stream may proceed to the accelerator.
+    Admitted {
+        /// `true` when error-class range findings fired but the gate
+        /// was lenient (`strict_range == false`) and let them through.
+        range_flagged: bool,
+    },
+    /// The stream (or request) was refused.
+    Rejected(RejectReason),
+}
+
+impl AdmissionVerdict {
+    /// Applies the workspace's two-tier admission policy to a verifier
+    /// [`Report`]: structural errors (NPC001–NPC013) always reject;
+    /// error-class range findings (NPC014–NPC020) reject only under
+    /// `strict_range`. This is the single decision point the driver,
+    /// the serving layers, and the fuzzer all share.
+    pub fn from_report(report: Report, strict_range: bool) -> AdmissionVerdict {
+        let range = report.has_range_errors();
+        if report.has_structural_errors() || (strict_range && range) {
+            AdmissionVerdict::Rejected(RejectReason::Invalid { report })
+        } else {
+            AdmissionVerdict::Admitted {
+                range_flagged: range,
+            }
+        }
+    }
+
+    /// `true` for [`AdmissionVerdict::Admitted`].
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, AdmissionVerdict::Admitted { .. })
+    }
+
+    /// The rejection reason, when refused.
+    pub fn reason(&self) -> Option<&RejectReason> {
+        match self {
+            AdmissionVerdict::Rejected(reason) => Some(reason),
+            AdmissionVerdict::Admitted { .. } => None,
+        }
+    }
+
+    /// Converts into a `Result`, for gates that propagate rejections
+    /// as errors.
+    pub fn into_result(self) -> Result<(), RejectReason> {
+        match self {
+            AdmissionVerdict::Admitted { .. } => Ok(()),
+            AdmissionVerdict::Rejected(reason) => Err(reason),
+        }
+    }
+}
+
+impl fmt::Display for AdmissionVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionVerdict::Admitted {
+                range_flagged: true,
+            } => f.write_str("admitted (range findings flagged)"),
+            AdmissionVerdict::Admitted { .. } => f.write_str("admitted"),
+            AdmissionVerdict::Rejected(reason) => write!(f, "rejected: {reason}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn report_with(rule: RuleId, severity: Severity, offset: Option<usize>) -> Report {
+        let mut r = Report::default();
+        r.push(rule, severity, offset, None, "test finding".into());
+        r
+    }
+
+    #[test]
+    fn structural_errors_always_reject() {
+        for strict in [true, false] {
+            let verdict = AdmissionVerdict::from_report(
+                report_with(RuleId::Npc001, Severity::Error, Some(0)),
+                strict,
+            );
+            let reason = verdict.reason().expect("rejected");
+            assert_eq!(reason.code(), "INVALID_STREAM");
+            assert_eq!(reason.rules(), vec![(RuleId::Npc001, Some(0))]);
+            assert!(!reason.is_transient());
+        }
+    }
+
+    #[test]
+    fn range_errors_reject_only_under_strict() {
+        let report = report_with(RuleId::Npc014, Severity::Error, None);
+        assert!(matches!(
+            AdmissionVerdict::from_report(report.clone(), true),
+            AdmissionVerdict::Rejected(RejectReason::Invalid { .. })
+        ));
+        assert_eq!(
+            AdmissionVerdict::from_report(report, false),
+            AdmissionVerdict::Admitted {
+                range_flagged: true
+            }
+        );
+    }
+
+    #[test]
+    fn warnings_admit_cleanly() {
+        let verdict = AdmissionVerdict::from_report(
+            report_with(RuleId::Npc007, Severity::Warning, Some(16)),
+            true,
+        );
+        assert_eq!(
+            verdict,
+            AdmissionVerdict::Admitted {
+                range_flagged: false
+            }
+        );
+        assert!(verdict.is_admitted());
+        assert_eq!(verdict.reason(), None);
+        assert!(verdict.into_result().is_ok());
+    }
+
+    #[test]
+    fn codes_and_transience_cover_every_class() {
+        let reasons = [
+            RejectReason::Invalid {
+                report: Report::default(),
+            },
+            RejectReason::QueueFull { queue_len: 4 },
+            RejectReason::Throttled { tenant: 7 },
+            RejectReason::Closed,
+            RejectReason::WorkerCrash { crashes: 2 },
+        ];
+        let codes: Vec<&str> = reasons.iter().map(RejectReason::code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                "INVALID_STREAM",
+                "QUEUE_FULL",
+                "THROTTLED",
+                "CLOSED",
+                "WORKER_CRASH"
+            ]
+        );
+        assert!(reasons[1].is_transient() && reasons[2].is_transient());
+        assert!(reasons[4].is_transient());
+        assert!(!reasons[0].is_transient() && !reasons[3].is_transient());
+        for r in &reasons {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn rules_surface_only_error_findings_with_offsets() {
+        let mut report = Report::default();
+        report.push(
+            RuleId::Npc007,
+            Severity::Warning,
+            Some(8),
+            None,
+            "warn".into(),
+        );
+        report.push(
+            RuleId::Npc005,
+            Severity::Error,
+            Some(24),
+            None,
+            "short".into(),
+        );
+        let reason = AdmissionVerdict::from_report(report, true)
+            .reason()
+            .cloned()
+            .expect("rejected");
+        assert_eq!(reason.rules(), vec![(RuleId::Npc005, Some(24))]);
+        assert!(reason.report().is_some());
+    }
+}

@@ -98,11 +98,27 @@ fn npc005_exact_length() {
     let r = rep(&l.words[..l.words.len() - 3]);
     assert!(r.has_errors() && r.fired(RuleId::Npc005));
 
-    // Trailing words are a warning (legitimate in burst streams).
+    // Trailing garbage is an error: the accelerator parses the word
+    // past the layout end as the next burst segment's header and
+    // rejects it (`BadHeader`), so admission must too. The stream
+    // fuzzer found the older, warning-only behavior as a false accept.
     let mut long = l.words.clone();
     long.push(0xDEAD);
     let r = rep(&long);
-    assert!(!r.has_errors() && r.fired(RuleId::Npc005));
+    assert!(r.has_errors() && r.fired(RuleId::Npc001));
+    let bad_magic_at = l.words.len() * 8;
+    assert!(
+        r.errors().any(|d| d.byte_offset == Some(bad_magic_at)),
+        "the rejection should point at the bogus second header"
+    );
+
+    // A legitimate burst — two well-formed loadables back to back — is
+    // exactly what the accelerator consumes in batch mode: clean.
+    let mut burst = l.words.clone();
+    burst.extend_from_slice(&l.words);
+    let r = rep(&burst);
+    assert!(!r.has_errors(), "{r}");
+    assert!(!r.fired(RuleId::Npc005));
 }
 
 #[test]

@@ -31,4 +31,6 @@ pub mod tnpu;
 
 pub use batch::{run_batch_fast, BatchEngine, SlabBreakdown, SLAB_WIDTH};
 pub use config::{ConfigError, HwConfig, MulImpl};
-pub use netpu::{run_inference, run_inference_fast, InferenceRun, NetPu, NetPuError};
+pub use netpu::{
+    run_inference, run_inference_fast, run_inference_observed, InferenceRun, NetPu, NetPuError,
+};

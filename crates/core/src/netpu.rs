@@ -704,6 +704,32 @@ pub fn run_inference_probed(
     finish_run(&netpu, cycles, cfg)
 }
 
+/// [`run_inference_fast`] with *both* observation hooks attached in a
+/// single simulation: a [`Tracer`] for component events and a
+/// [`DatapathProbe`] for intermediate values. This is the path the
+/// runtime's `TraceSink` forwarding uses — one run feeds both event
+/// families into a recorded trace without a second simulation.
+///
+/// Same hand-off contract as [`run_inference_hooked`]: both hooks are
+/// moved in for the run and handed back through their `&mut` slots
+/// afterwards, including on errors.
+pub fn run_inference_observed(
+    cfg: &HwConfig,
+    words: Vec<u64>,
+    tracer: &mut Tracer,
+    probe: &mut DatapathProbe,
+) -> Result<InferenceRun, NetPuError> {
+    let stream = StreamSource::new(words, 1);
+    let mut netpu = NetPu::new(*cfg, stream)?
+        .with_tracer(std::mem::take(tracer))
+        .with_probe(std::mem::take(probe));
+    let outcome = run_to_completion_fast(&mut netpu);
+    *tracer = netpu.take_tracer();
+    *probe = netpu.take_probe();
+    let cycles = outcome?;
+    finish_run(&netpu, cycles, cfg)
+}
+
 fn finish_run(netpu: &NetPu, cycles: Cycle, cfg: &HwConfig) -> Result<InferenceRun, NetPuError> {
     let Some((class, score)) = netpu.result() else {
         return Err(NetPuError::Incomplete);

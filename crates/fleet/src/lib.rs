@@ -27,6 +27,7 @@ pub mod tenant;
 
 pub use cache::{Admit, AdmittedModel, CacheStats, CompiledModelCache, LruCore};
 pub use metrics::{FleetMetrics, ShardStats};
+pub use netpu_serve::{AdmissionVerdict, RejectReason, TraceSink};
 pub use replay::{run_replay, ReplayConfig, ReplayReport, TenantRow};
 pub use sched::{BoardPool, Candidate, DispatchPolicy, Placement};
 pub use shard::{

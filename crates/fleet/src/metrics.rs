@@ -15,6 +15,8 @@ pub(crate) struct FleetCounters {
     pub completed: AtomicU64,
     pub failed: AtomicU64,
     pub timed_out: AtomicU64,
+    pub worker_panics: AtomicU64,
+    pub crash_requeued: AtomicU64,
 }
 
 impl FleetCounters {
@@ -55,6 +57,12 @@ pub struct FleetMetrics {
     pub failed: u64,
     /// Requests whose deadline elapsed before completion.
     pub timed_out: u64,
+    /// Worker panics absorbed by the crash-only recovery path; the
+    /// worker thread survives every one.
+    pub worker_panics: u64,
+    /// Crashed requests put back on their shard queue for another
+    /// attempt (the rest were rejected with `WORKER_CRASH`).
+    pub crash_requeued: u64,
     /// Compiled-model cache statistics.
     pub cache: CacheStats,
     /// Per-shard scheduling statistics.
@@ -93,6 +101,8 @@ mod tests {
             completed: 10,
             failed: 0,
             timed_out: 0,
+            worker_panics: 0,
+            crash_requeued: 0,
             cache: CacheStats::default(),
             shards: vec![
                 ShardStats {
@@ -123,6 +133,8 @@ mod tests {
             completed: 0,
             failed: 0,
             timed_out: 0,
+            worker_panics: 0,
+            crash_requeued: 0,
             cache: CacheStats::default(),
             shards: vec![ShardStats::default()],
         };

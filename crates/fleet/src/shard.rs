@@ -25,7 +25,9 @@ use netpu_arith::cast;
 use netpu_core::netpu::run_inference_fast;
 use netpu_nn::QuantMlp;
 use netpu_runtime::{Driver, DriverError};
-use netpu_serve::{BoundedQueue, Push};
+use netpu_serve::{BoundedQueue, FaultInjector, FaultPlan, Push, RejectReason};
+use netpu_trace::{TraceEvent, TraceSink};
+use std::sync::atomic::AtomicU64;
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -45,6 +47,18 @@ pub struct FleetConfig {
     pub tenant_policy: TenantPolicy,
     /// Compiled-model cache budget, bytes.
     pub cache_capacity_bytes: u64,
+    /// How many times a request whose worker died mid-serve is put
+    /// back on its shard queue before crash recovery gives up and
+    /// rejects it with [`RejectReason::WorkerCrash`].
+    pub crash_requeues: u32,
+    /// Worker faults to inject (tests the crash-only recovery path).
+    pub faults: FaultPlan,
+    /// Structured event sink recording the request lifecycle; `None`
+    /// (the default) records nothing. Fleet traces carry lifecycle
+    /// events only — per-shard DMA schedules are not replayed against
+    /// the single-engine grant recurrence, which is a `netpu-serve`
+    /// level check.
+    pub trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl Default for FleetConfig {
@@ -58,6 +72,9 @@ impl Default for FleetConfig {
             policy: DispatchPolicy::SwapAware,
             tenant_policy: TenantPolicy::default(),
             cache_capacity_bytes: 64 << 20,
+            crash_requeues: 1,
+            faults: FaultPlan::None,
+            trace: None,
         }
     }
 }
@@ -119,17 +136,12 @@ impl FleetTicket {
 pub enum FleetSubmit {
     /// Queued; await the result via the ticket.
     Accepted(FleetTicket),
-    /// The tenant's token bucket refused the request (fairness).
-    Throttled,
-    /// The target shard's queue is full (backpressure).
-    Busy {
-        /// Shard that refused.
-        shard: usize,
-        /// Queue depth at refusal (== the bound).
-        queue_len: usize,
-    },
-    /// The fleet has shut down.
-    Closed,
+    /// Admission refused the request. The unified [`RejectReason`]
+    /// says why: [`RejectReason::Throttled`] is the tenant token
+    /// bucket (fairness), [`RejectReason::QueueFull`] the target
+    /// shard's queue bound (backpressure), [`RejectReason::Closed`]
+    /// a shut-down fleet.
+    Denied(RejectReason),
 }
 
 impl FleetSubmit {
@@ -137,15 +149,38 @@ impl FleetSubmit {
     pub fn expect_accepted(self) -> FleetTicket {
         match self {
             FleetSubmit::Accepted(t) => t,
-            other => panic!("submission was not accepted: {other:?}"),
+            FleetSubmit::Denied(reason) => panic!("submission was denied: {reason}"),
+        }
+    }
+
+    /// The rejection reason of a denied submission.
+    pub fn denial(&self) -> Option<&RejectReason> {
+        match self {
+            FleetSubmit::Denied(reason) => Some(reason),
+            FleetSubmit::Accepted(_) => None,
         }
     }
 }
 
 struct Job {
+    id: u64,
+    shard: usize,
     req: FleetRequest,
     arrival_us: f64,
-    tx: mpsc::Sender<Result<FleetResponse, DriverError>>,
+    /// The client's one-shot response channel, consumed at the send
+    /// site so delivery is exactly-once even across worker crashes.
+    tx: Option<mpsc::Sender<Result<FleetResponse, DriverError>>>,
+    /// Worker deaths this request has survived so far.
+    crashes: u32,
+}
+
+impl Job {
+    /// Delivers the request's terminal outcome, at most once.
+    fn deliver(&mut self, outcome: Result<FleetResponse, DriverError>) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(outcome);
+        }
+    }
 }
 
 struct Shard {
@@ -158,8 +193,18 @@ struct Shared {
     cache: CompiledModelCache,
     shards: Vec<Shard>,
     limiter: Mutex<TenantLimiter>,
+    injector: Mutex<FaultInjector>,
     counters: FleetCounters,
+    next_request: AtomicU64,
     started: Instant,
+}
+
+impl Shared {
+    fn trace(&self, t_us: f64, event: TraceEvent) {
+        if let Some(sink) = &self.cfg.trace {
+            sink.record(t_us, event);
+        }
+    }
 }
 
 /// The sharded multi-tenant fleet server.
@@ -196,15 +241,22 @@ impl FleetServer {
             cache: CompiledModelCache::new(driver, cfg.cache_capacity_bytes),
             shards,
             limiter: Mutex::new(TenantLimiter::new(cfg.tenant_policy)),
+            injector: Mutex::new(FaultInjector::new(cfg.faults.clone())),
             counters: FleetCounters::default(),
+            next_request: AtomicU64::new(0),
             started: Instant::now(),
             cfg,
         });
         let mut workers = Vec::new();
+        let mut worker_idx = 0usize;
         for shard in 0..shared.cfg.shards {
             for _ in 0..shared.cfg.boards_per_shard {
                 let shared = Arc::clone(&shared);
-                workers.push(std::thread::spawn(move || worker_loop(&shared, shard)));
+                let worker = worker_idx;
+                worker_idx += 1;
+                workers.push(std::thread::spawn(move || {
+                    worker_loop(&shared, shard, worker)
+                }));
             }
         }
         FleetServer { shared, workers }
@@ -214,20 +266,43 @@ impl FleetServer {
     /// queue-bound refusals return immediately so the caller can shed
     /// or defer load.
     pub fn submit(&self, req: FleetRequest) -> FleetSubmit {
+        use std::sync::atomic::Ordering;
         let c = &self.shared.counters;
         c.bump(&c.submitted);
+        let id = self.shared.next_request.fetch_add(1, Ordering::Relaxed);
         let now_us = self.now_us();
+        self.shared.trace(
+            now_us,
+            TraceEvent::Submitted {
+                request: id,
+                tenant: req.tenant,
+                model: req.model_id,
+            },
+        );
         if !lock_recover(&self.shared.limiter).try_admit(req.tenant, now_us) {
             c.bump(&c.throttled);
-            return FleetSubmit::Throttled;
+            return self.deny(id, now_us, RejectReason::Throttled { tenant: req.tenant });
         }
         let shard = route(req.model_id, self.shared.cfg.shards);
         let (tx, rx) = mpsc::channel();
         let job = Job {
+            id,
+            shard,
             req,
             arrival_us: now_us,
-            tx,
+            tx: Some(tx),
+            crashes: 0,
         };
+        // Recorded before the push: once the job is visible a worker
+        // may complete it immediately, and the terminal event must not
+        // precede the admission event in the trace.
+        self.shared.trace(
+            now_us,
+            TraceEvent::Admitted {
+                request: id,
+                range_flagged: false,
+            },
+        );
         match self.shared.shards[shard].queue.push(job) {
             Push::Accepted { .. } => {
                 c.bump(&c.accepted);
@@ -235,13 +310,15 @@ impl FleetServer {
             }
             Push::Full { len } => {
                 c.bump(&c.rejected_busy);
-                FleetSubmit::Busy {
-                    shard,
-                    queue_len: len,
-                }
+                self.deny(id, now_us, RejectReason::QueueFull { queue_len: len })
             }
-            Push::Closed => FleetSubmit::Closed,
+            Push::Closed => self.deny(id, now_us, RejectReason::Closed),
         }
+    }
+
+    fn deny(&self, id: u64, now_us: f64, reason: RejectReason) -> FleetSubmit {
+        self.shared.trace(now_us, TraceEvent::rejected(id, &reason));
+        FleetSubmit::Denied(reason)
     }
 
     /// A point-in-time metrics snapshot.
@@ -278,6 +355,8 @@ fn gather(shared: &Shared) -> FleetMetrics {
         completed: load(&c.completed),
         failed: load(&c.failed),
         timed_out: load(&c.timed_out),
+        worker_panics: load(&c.worker_panics),
+        crash_requeued: load(&c.crash_requeued),
         cache: shared.cache.stats(),
         shards: shared
             .shards
@@ -296,20 +375,104 @@ fn gather(shared: &Shared) -> FleetMetrics {
     }
 }
 
-fn worker_loop(shared: &Shared, shard: usize) {
-    while let Some(job) = shared.shards[shard].queue.pop_wait() {
-        let outcome = serve_one(shared, shard, &job);
-        let c = &shared.counters;
-        match &outcome {
-            Ok(_) => c.bump(&c.completed),
-            Err(DriverError::Timeout { .. }) => c.bump(&c.timed_out),
-            Err(_) => c.bump(&c.failed),
+fn worker_loop(shared: &Shared, shard: usize, worker: usize) {
+    while let Some(mut job) = shared.shards[shard].queue.pop_wait() {
+        // Crash-only containment, mirroring `netpu-serve`: a panic in
+        // the serving path kills the request, never the worker. Every
+        // shared lock is re-entered through `lock_recover`, so poison
+        // cannot cascade.
+        let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve_one(shared, shard, &job)
+        }));
+        match served {
+            Ok(outcome) => {
+                let c = &shared.counters;
+                match &outcome {
+                    Ok(resp) => {
+                        c.bump(&c.completed);
+                        shared.trace(
+                            job.arrival_us + resp.latency_us,
+                            TraceEvent::Completed {
+                                request: job.id,
+                                latency_us: resp.latency_us,
+                            },
+                        );
+                    }
+                    Err(e) => {
+                        c.bump(match e {
+                            DriverError::Timeout { .. } => &c.timed_out,
+                            _ => &c.failed,
+                        });
+                        shared.trace(
+                            job.arrival_us,
+                            TraceEvent::Failed {
+                                request: job.id,
+                                error: e.to_string(),
+                            },
+                        );
+                    }
+                }
+                job.deliver(outcome);
+            }
+            Err(_) => recover_crash(shared, worker, job),
         }
-        let _ = job.tx.send(outcome);
     }
 }
 
+/// Crash-only recovery, the fleet edition: requeue to the request's
+/// own shard (routing is a pure function of the model id, so the
+/// requeued job lands where its residency state lives) or reject with
+/// [`RejectReason::WorkerCrash`] once the budget is spent. Delivery
+/// stays exactly-once: [`Job::tx`] is consumed at the send site.
+fn recover_crash(shared: &Shared, worker: usize, mut job: Job) {
+    let c = &shared.counters;
+    c.bump(&c.worker_panics);
+    if job.tx.is_none() {
+        // The outcome already went out; the request's lifecycle is
+        // complete and there is nothing to recover.
+        return;
+    }
+    shared.trace(
+        job.arrival_us,
+        TraceEvent::WorkerCrash {
+            worker: cast::u64_from_usize(worker),
+            request: job.id,
+        },
+    );
+    job.crashes += 1;
+    let (id, crashes, arrival_us) = (job.id, job.crashes, job.arrival_us);
+    if crashes <= shared.cfg.crash_requeues {
+        match shared.shards[job.shard].queue.push_reclaim(job) {
+            Ok(_) => {
+                c.bump(&c.crash_requeued);
+                shared.trace(
+                    arrival_us,
+                    TraceEvent::Requeued {
+                        request: id,
+                        crashes: u64::from(crashes),
+                    },
+                );
+                return;
+            }
+            // The shard queue refused the requeue (full or closed):
+            // fall through to an explicit rejection.
+            Err((reclaimed, _refusal)) => job = reclaimed,
+        }
+    }
+    let reason = RejectReason::WorkerCrash { crashes };
+    c.bump(&c.failed);
+    shared.trace(arrival_us, TraceEvent::rejected(id, &reason));
+    job.deliver(Err(DriverError::Rejected(reason)));
+}
+
 fn serve_one(shared: &Shared, shard: usize, job: &Job) -> Result<FleetResponse, DriverError> {
+    if lock_recover(&shared.injector).should_crash() {
+        // The injected death happens while holding the shard's pool
+        // lock, poisoning it — the worst state a real crash leaves
+        // behind and exactly what `lock_recover` must absorb.
+        let _pool = lock_recover(&shared.shards[shard].pool);
+        panic!("injected worker crash serving request {}", job.id);
+    }
     let cache_hit = shared.cache.contains(job.req.model_id);
     let admitted = shared
         .cache
@@ -480,7 +643,10 @@ mod tests {
                     accepted += 1;
                     tickets.push(t);
                 }
-                FleetSubmit::Throttled => throttled += 1,
+                FleetSubmit::Denied(RejectReason::Throttled { tenant }) => {
+                    assert_eq!(tenant, 7);
+                    throttled += 1;
+                }
                 other => panic!("unexpected outcome: {other:?}"),
             }
         }
@@ -492,5 +658,71 @@ mod tests {
         let m = fleet.shutdown();
         assert_eq!(m.throttled, 4);
         assert_eq!(m.completed, 2);
+    }
+
+    #[test]
+    fn crashed_worker_requeues_to_its_own_shard_and_completes() {
+        let model = Arc::new(
+            ZooModel::SfcW1A1
+                .build_untrained(15, BnMode::Folded)
+                .unwrap(),
+        );
+        let sink = Arc::new(netpu_trace::MemorySink::new());
+        let fleet = FleetServer::start(
+            Driver::builder().build(),
+            FleetConfig {
+                shards: 1,
+                boards_per_shard: 1,
+                faults: FaultPlan::CrashFirstAttempts(1),
+                trace: Some(Arc::clone(&sink) as Arc<dyn TraceSink>),
+                ..FleetConfig::default()
+            },
+        );
+        let resp = fleet
+            .submit(request(0, 1, &model, 42))
+            .expect_accepted()
+            .wait()
+            .unwrap();
+        assert_eq!(resp.shard, 0);
+        let m = fleet.shutdown();
+        assert_eq!((m.worker_panics, m.crash_requeued), (1, 1));
+        assert_eq!((m.completed, m.failed), (1, 0));
+        // The lifecycle trace verifies: crash resolved by a requeue,
+        // exactly one terminal outcome.
+        let summary = netpu_trace::verify(&sink.take()).expect("trace verifies");
+        assert_eq!((summary.requests, summary.completed), (1, 1));
+        assert_eq!((summary.crashes, summary.requeues), (1, 1));
+    }
+
+    #[test]
+    fn exhausted_crash_budget_rejects_with_worker_crash() {
+        let model = Arc::new(
+            ZooModel::SfcW1A1
+                .build_untrained(16, BnMode::Folded)
+                .unwrap(),
+        );
+        let fleet = FleetServer::start(
+            Driver::builder().build(),
+            FleetConfig {
+                shards: 1,
+                boards_per_shard: 1,
+                faults: FaultPlan::CrashFirstAttempts(5),
+                crash_requeues: 1,
+                ..FleetConfig::default()
+            },
+        );
+        let outcome = fleet
+            .submit(request(0, 1, &model, 7))
+            .expect_accepted()
+            .wait();
+        match outcome {
+            Err(DriverError::Rejected(RejectReason::WorkerCrash { crashes })) => {
+                assert_eq!(crashes, 2, "one requeue, then the budget is spent");
+            }
+            other => panic!("expected worker-crash rejection, got {other:?}"),
+        }
+        let m = fleet.shutdown();
+        assert_eq!((m.worker_panics, m.crash_requeued), (2, 1));
+        assert_eq!((m.completed, m.failed), (0, 1));
     }
 }

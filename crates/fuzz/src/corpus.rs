@@ -1,0 +1,187 @@
+//! The coverage corpus and the on-disk fixture format.
+//!
+//! Coverage is *semantic*, not branch-based: the map is keyed on the
+//! oracle's [`signature`](crate::oracle::Verdict::signature) — the
+//! sorted set of NPC rule IDs a rejection fired (or `CLEAN`, or a
+//! crasher class). A mutant that makes the verifier say something it
+//! has not said before joins the corpus and becomes a base for further
+//! mutation; mutants that re-cover known signatures are discarded. This
+//! drives the fuzzer toward the rule combinations and decode paths it
+//! has not yet exercised, which is what "coverage-guided" can soundly
+//! mean for a pure decision procedure with stable output.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Upper bound on retained corpus entries; signatures past the cap
+/// still count as coverage but their witness streams are not kept.
+const MAX_ENTRIES: usize = 256;
+
+/// The live corpus: witness streams plus the set of signatures seen.
+#[derive(Debug, Default)]
+pub struct Corpus {
+    entries: Vec<Vec<u64>>,
+    seen: BTreeSet<String>,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Corpus {
+        Corpus::default()
+    }
+
+    /// Adds a seed stream unconditionally (seeds are corpus members
+    /// even though they all share the `CLEAN` signature).
+    pub fn seed(&mut self, words: Vec<u64>, signature: String) {
+        self.entries.push(words);
+        self.seen.insert(signature);
+    }
+
+    /// Records an observed `(signature, stream)` pair. Returns `true`
+    /// when the signature is new coverage, in which case the stream is
+    /// retained as a mutation base (up to [`MAX_ENTRIES`]).
+    pub fn note(&mut self, signature: &str, words: &[u64]) -> bool {
+        if !self.seen.insert(signature.to_string()) {
+            return false;
+        }
+        if self.entries.len() < MAX_ENTRIES {
+            self.entries.push(words.to_vec());
+        }
+        true
+    }
+
+    /// The `index`-th retained stream, modulo the corpus size.
+    pub fn pick(&self, index: usize) -> &[u64] {
+        // Seeds are inserted before any fuzz loop runs, so the corpus
+        // is never empty when `pick` is called; guard anyway.
+        static EMPTY: &[u64] = &[];
+        if self.entries.is_empty() {
+            return EMPTY;
+        }
+        &self.entries[index % self.entries.len()]
+    }
+
+    /// Number of retained witness streams.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no streams are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Every signature observed, in sorted order.
+    pub fn signatures(&self) -> Vec<String> {
+        self.seen.iter().cloned().collect()
+    }
+
+    /// Number of distinct signatures observed.
+    pub fn coverage(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+/// A fixture file failed to parse.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FixtureError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// The offending text.
+    pub text: String,
+}
+
+impl fmt::Display for FixtureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fixture line {}: bad word {:?}", self.line, self.text)
+    }
+}
+
+impl std::error::Error for FixtureError {}
+
+/// Serializes a stream as the fixture text format: one `0x`-prefixed
+/// 16-digit hex word per line. Lines starting with `#` and blank lines
+/// are comments; [`words_from_text`] skips them.
+pub fn words_to_text(words: &[u64]) -> String {
+    let mut out = String::with_capacity(words.len() * 19);
+    for w in words {
+        out.push_str(&format!("{w:#018x}\n"));
+    }
+    out
+}
+
+/// Parses the fixture text format back into a stream.
+pub fn words_from_text(text: &str) -> Result<Vec<u64>, FixtureError> {
+    let mut words = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let digits = line.strip_prefix("0x").unwrap_or(line);
+        match u64::from_str_radix(digits, 16) {
+            Ok(w) => words.push(w),
+            Err(_) => {
+                return Err(FixtureError {
+                    line: i + 1,
+                    text: line.to_string(),
+                })
+            }
+        }
+    }
+    Ok(words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_counts_only_new_signatures() {
+        let mut c = Corpus::new();
+        c.seed(vec![1, 2, 3], "CLEAN".into());
+        assert!(c.note("NPC001", &[9]));
+        assert!(!c.note("NPC001", &[10]), "repeat signature is not new");
+        assert!(!c.note("CLEAN", &[11]), "seed signature already covered");
+        assert_eq!(c.coverage(), 2);
+        assert_eq!(c.len(), 2, "only new-coverage witnesses retained");
+        assert_eq!(c.signatures(), vec!["CLEAN", "NPC001"]);
+    }
+
+    #[test]
+    fn pick_wraps_and_tolerates_empty() {
+        let mut c = Corpus::new();
+        assert_eq!(c.pick(7), &[] as &[u64]);
+        c.seed(vec![5], "CLEAN".into());
+        c.seed(vec![6], "CLEAN2".into());
+        assert_eq!(c.pick(0), &[5]);
+        assert_eq!(c.pick(3), &[6]);
+    }
+
+    #[test]
+    fn fixture_text_round_trips() {
+        let words = vec![0u64, u64::MAX, 0x4E50_1234_5678_9ABC];
+        let text = words_to_text(&words);
+        assert_eq!(words_from_text(&text), Ok(words));
+    }
+
+    #[test]
+    fn fixture_parser_skips_comments_and_reports_bad_lines() {
+        let ok = "# crasher: sim-panic, seed 7\n\n0x0000000000000001\n1f\n";
+        assert_eq!(words_from_text(ok), Ok(vec![1, 0x1f]));
+        let bad = "0x01\nnot-hex\n";
+        let err = words_from_text(bad).expect_err("must reject");
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("not-hex"));
+    }
+
+    #[test]
+    fn retention_caps_but_coverage_does_not() {
+        let mut c = Corpus::new();
+        for i in 0..400u64 {
+            c.note(&format!("SIG{i}"), &[i]);
+        }
+        assert_eq!(c.coverage(), 400);
+        assert_eq!(c.len(), super::MAX_ENTRIES);
+    }
+}

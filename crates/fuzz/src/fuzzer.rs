@@ -1,0 +1,333 @@
+//! The coverage-guided fuzz loop and crasher minimizer.
+//!
+//! One iteration: pick a corpus stream, apply 1–3 structured
+//! [`Mutation`]s, classify the mutant through the differential
+//! [`oracle`](crate::oracle). New signatures join the corpus; invariant
+//! violations are minimized (bounded ddmin over words) and reported as
+//! [`Crasher`]s. Everything is a pure function of `(HwConfig, seed,
+//! iterations)` — no time, no global state — so a CI smoke run and a
+//! long soak with the same parameters see the identical stream of
+//! mutants, and any crasher it reports reproduces from its fixture.
+
+use crate::corpus::Corpus;
+use crate::mutate::{self, Mutation};
+use crate::oracle::{classify, quiet_panics, CrasherClass, Verdict};
+use netpu_arith::cast;
+use netpu_compiler::{PackingMode, StreamLayout};
+use netpu_core::HwConfig;
+use netpu_nn::export::BnMode;
+use netpu_nn::zoo::ZooModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Classification probes the minimizer may spend per crasher.
+const MINIMIZE_BUDGET: usize = 240;
+/// Retained crashers per class; later duplicates only bump the count.
+const MAX_CRASHERS_PER_CLASS: usize = 4;
+
+/// Fuzz campaign parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzConfig {
+    /// RNG seed: equal seeds replay equal campaigns.
+    pub seed: u64,
+    /// Mutants to generate and classify.
+    pub iterations: u64,
+    /// Mutations stacked per mutant (drawn uniformly from `1..=max`).
+    pub max_mutations: u32,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            seed: 0x4E50,
+            iterations: 256,
+            max_mutations: 3,
+        }
+    }
+}
+
+/// One minimized invariant violation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Crasher {
+    /// Which invariant broke.
+    pub class: CrasherClass,
+    /// The minimized witness stream.
+    pub words: Vec<u64>,
+    /// Iteration (0-based) at which the un-minimized mutant appeared.
+    pub found_at: u64,
+}
+
+/// Campaign summary.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FuzzReport {
+    /// Mutants classified.
+    pub iterations: u64,
+    /// Distinct oracle signatures observed (the coverage metric).
+    pub coverage: usize,
+    /// Every signature, sorted: NPC rule-set strings, `CLEAN`, and any
+    /// `CRASH:*` classes.
+    pub signatures: Vec<String>,
+    /// Mutants the verifier rejected with a stable diagnostic.
+    pub rejected: u64,
+    /// Mutants that were admitted and simulated cleanly.
+    pub clean: u64,
+    /// Invariant violations found (total, before per-class retention).
+    pub crasher_count: u64,
+    /// Minimized, deduplicated witnesses (≤ 4 per class).
+    pub crashers: Vec<Crasher>,
+    /// Witness streams retained in the corpus at exit.
+    pub corpus_len: usize,
+}
+
+/// Seed-corpus construction failed; the zoo model or its compilation is
+/// broken, which the fuzzer cannot work around.
+#[derive(Clone, Debug)]
+pub enum FuzzError {
+    /// A zoo model failed to export.
+    Export(netpu_nn::export::ExportError),
+    /// A seed model failed to compile into a loadable.
+    Stream(netpu_compiler::StreamError),
+}
+
+impl fmt::Display for FuzzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzError::Export(e) => write!(f, "seed model export failed: {e}"),
+            FuzzError::Stream(e) => write!(f, "seed stream compile failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FuzzError {}
+
+/// Compiles the seed corpus: structurally distinct zoo models so the
+/// mutation bases cover both weight widths the paper instance serves,
+/// plus a narrowed declared-input-range variant to put the NPC020 /
+/// range-analysis path under fire from the start.
+fn seeds() -> Result<Vec<(Vec<u64>, StreamLayout)>, FuzzError> {
+    let pixels: Vec<u8> = (0..784usize)
+        .map(|i| cast::lo8(cast::u64_from_usize(i)))
+        .collect();
+    let mut out = Vec::new();
+    for zoo in [ZooModel::TfcW1A1, ZooModel::TfcW2A2] {
+        let model = zoo
+            .build_untrained(3, BnMode::Folded)
+            .map_err(FuzzError::Export)?;
+        let loadable = netpu_compiler::compile_packed(&model, &pixels, PackingMode::Lanes8)
+            .map_err(FuzzError::Stream)?;
+        out.push((loadable.words.clone(), loadable.layout.clone()));
+        let mut narrowed = loadable;
+        narrowed.set_declared_input_range(0, 255);
+        out.push((narrowed.words, narrowed.layout));
+    }
+    Ok(out)
+}
+
+/// Runs a fuzz campaign. Deterministic in `(cfg, opts)`; the panic hook
+/// is silenced for the duration (mutants are *expected* to panic the
+/// simulator inside `catch_unwind` thousands of times).
+pub fn run(cfg: &HwConfig, opts: &FuzzConfig) -> Result<FuzzReport, FuzzError> {
+    quiet_panics(|| run_inner(cfg, opts))
+}
+
+fn run_inner(cfg: &HwConfig, opts: &FuzzConfig) -> Result<FuzzReport, FuzzError> {
+    let seeds = seeds()?;
+    let layout = seeds.first().map(|(_, l)| l.clone()).unwrap_or_default();
+    let mut corpus = Corpus::new();
+    for (words, _) in seeds {
+        let sig = classify(cfg, &words).signature();
+        corpus.seed(words, sig);
+    }
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut rejected = 0u64;
+    let mut clean = 0u64;
+    let mut crasher_count = 0u64;
+    let mut crashers: Vec<Crasher> = Vec::new();
+
+    for iteration in 0..opts.iterations {
+        let base_index = rng.gen_range(0usize..corpus.len().max(1));
+        let mut words = corpus.pick(base_index).to_vec();
+        let stacked = rng.gen_range(1u32..=opts.max_mutations.max(1));
+        for _ in 0..stacked {
+            let m: Mutation = mutate::arbitrary(&mut rng, &layout, words.len());
+            mutate::apply(&mut words, &m);
+        }
+        let verdict = classify(cfg, &words);
+        match &verdict {
+            Verdict::Crasher(class) => {
+                crasher_count += 1;
+                corpus.note(&verdict.signature(), &words);
+                let minimized = minimize(cfg, words, *class);
+                let kept_of_class = crashers.iter().filter(|c| c.class == *class).count();
+                let duplicate = crashers
+                    .iter()
+                    .any(|c| c.class == *class && c.words == minimized);
+                if !duplicate && kept_of_class < MAX_CRASHERS_PER_CLASS {
+                    crashers.push(Crasher {
+                        class: *class,
+                        words: minimized,
+                        found_at: iteration,
+                    });
+                }
+            }
+            Verdict::Rejected { .. } => {
+                rejected += 1;
+                corpus.note(&verdict.signature(), &words);
+            }
+            Verdict::Clean => {
+                clean += 1;
+                corpus.note(&verdict.signature(), &words);
+            }
+        }
+    }
+
+    Ok(FuzzReport {
+        iterations: opts.iterations,
+        coverage: corpus.coverage(),
+        signatures: corpus.signatures(),
+        rejected,
+        clean,
+        crasher_count,
+        crashers,
+        corpus_len: corpus.len(),
+    })
+}
+
+/// Shrinks a crasher while it keeps violating the same invariant:
+/// binary tail truncation, then chunked word removal with halving chunk
+/// sizes (ddmin-lite), then single-word zeroing — all within a fixed
+/// probe budget so a pathological witness cannot stall the campaign.
+pub fn minimize(cfg: &HwConfig, words: Vec<u64>, class: CrasherClass) -> Vec<u64> {
+    let target = Verdict::Crasher(class);
+    let mut probes = 0usize;
+    let mut still = |w: &[u64]| -> Option<bool> {
+        if probes >= MINIMIZE_BUDGET {
+            return None;
+        }
+        probes += 1;
+        Some(classify(cfg, w) == target)
+    };
+
+    let mut best = words;
+    // Phase 1: halve the tail while the crash survives.
+    while best.len() > 1 {
+        let cand = &best[..best.len() / 2];
+        match still(cand) {
+            Some(true) => best = cand.to_vec(),
+            Some(false) => break,
+            None => return best,
+        }
+    }
+    // Phase 2: remove chunks, halving the chunk size each sweep.
+    let mut chunk = (best.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i + chunk <= best.len() && best.len() > 1 {
+            let mut cand = best.clone();
+            cand.drain(i..i + chunk);
+            match still(&cand) {
+                Some(true) => best = cand,
+                Some(false) => i += chunk,
+                None => return best,
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    // Phase 3: zero residual words to strip irrelevant payload bits.
+    let mut i = 0;
+    while i < best.len() {
+        if best[i] != 0 {
+            let mut cand = best.clone();
+            cand[i] = 0;
+            match still(&cand) {
+                Some(true) => best = cand,
+                Some(false) => {}
+                None => return best,
+            }
+        }
+        i += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaigns_are_deterministic_per_seed() {
+        let cfg = HwConfig::paper_instance();
+        let opts = FuzzConfig {
+            seed: 11,
+            iterations: 24,
+            max_mutations: 3,
+        };
+        let a = run(&cfg, &opts).expect("seed corpus builds");
+        let b = run(&cfg, &opts).expect("seed corpus builds");
+        assert_eq!(a, b, "same seed must replay the same campaign");
+        assert_eq!(a.iterations, 24);
+        assert_eq!(a.rejected + a.clean + a.crasher_count, 24);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let cfg = HwConfig::paper_instance();
+        let mk = |seed| FuzzConfig {
+            seed,
+            iterations: 24,
+            max_mutations: 3,
+        };
+        let a = run(&cfg, &mk(1)).expect("seed corpus builds");
+        let b = run(&cfg, &mk(2)).expect("seed corpus builds");
+        assert_ne!(
+            (a.rejected, a.clean, &a.signatures),
+            (b.rejected, b.clean, &b.signatures),
+            "campaigns with different seeds explored identically"
+        );
+    }
+
+    #[test]
+    fn coverage_grows_past_the_seed_signatures() {
+        let cfg = HwConfig::paper_instance();
+        let r = run(
+            &cfg,
+            &FuzzConfig {
+                seed: 3,
+                iterations: 48,
+                max_mutations: 3,
+            },
+        )
+        .expect("seed corpus builds");
+        assert!(
+            r.coverage > 2,
+            "48 mutants should fire more than the seed signatures: {:?}",
+            r.signatures
+        );
+        assert!(
+            r.signatures.iter().any(|s| s.contains("NPC")),
+            "no NPC rejection signature in {:?}",
+            r.signatures
+        );
+    }
+
+    #[test]
+    fn minimize_preserves_the_crash_class() {
+        // A synthetic "crasher": minimizing an actually-rejected stream
+        // against the Rejected verdict is not expressible, so drive the
+        // minimizer with a real classification target instead — an
+        // empty-ish garbage stream stays NPC-rejected at every size,
+        // which exercises every phase's bookkeeping without a genuine
+        // soundness hole.
+        let cfg = HwConfig::paper_instance();
+        let garbage = vec![0xDEAD_BEEFu64; 64];
+        // No crash class holds for garbage (it is simply rejected), so
+        // minimize must return the input unchanged after probing.
+        let out = quiet_panics(|| minimize(&cfg, garbage.clone(), CrasherClass::SimPanic));
+        assert_eq!(out, garbage, "non-crashers must not shrink");
+    }
+}

@@ -1,0 +1,38 @@
+#![deny(missing_docs)]
+//! Coverage-guided structured fuzzing for NetPU-M loadable streams.
+//!
+//! The serving stack's trust story (DESIGN.md §4.7) rests on one
+//! invariant: **any sequence of 64-bit words handed to admission either
+//! fails with a stable NPC diagnostic or runs on the accelerator model
+//! without panicking.** The `check_differential` proptest suite spot-
+//! checks that invariant with ~100 single mutations per CI run; this
+//! crate is the same oracle industrialized:
+//!
+//! * [`mutate`] — a structured mutation vocabulary seeded from the
+//!   proptest generators (bit flips, truncation, word smashes) and
+//!   extended with layout-aware operators: section shears, packing-flag
+//!   and layer-count attacks, declared-input-range rewrites.
+//! * [`oracle`] — the differential judge. Classifies every mutant as
+//!   `Rejected` (with its sorted NPC rule set), `Clean`, or one of four
+//!   [`CrasherClass`]es: checker panic, unstable diagnostic, simulator
+//!   panic behind a clean report, or false accept.
+//! * [`corpus`] — semantic coverage: the map is keyed on oracle
+//!   signatures (distinct NPC rule combinations), and every mutant that
+//!   says something new becomes a mutation base. Also the committed
+//!   fixture format (`fixtures/*.words`).
+//! * [`fuzzer`] — the deterministic campaign loop plus the bounded
+//!   ddmin minimizer that shrinks crashers to committable fixtures.
+//!
+//! The `netpu-fuzz` binary runs a campaign from the command line; CI
+//! runs it as the `fuzz-smoke` stage with a pinned seed, and the
+//! `regressions` test replays every committed fixture on every build.
+
+pub mod corpus;
+pub mod fuzzer;
+pub mod mutate;
+pub mod oracle;
+
+pub use corpus::{words_from_text, words_to_text, Corpus, FixtureError};
+pub use fuzzer::{minimize, run, Crasher, FuzzConfig, FuzzError, FuzzReport};
+pub use mutate::{apply, arbitrary, Mutation};
+pub use oracle::{classify, quiet_panics, CrasherClass, Verdict};

@@ -1,0 +1,124 @@
+//! `netpu-fuzz`: run a fuzz campaign from the command line.
+//!
+//! ```text
+//! cargo run --release -p netpu-fuzz -- [--iters N] [--seed S] [--write-fixtures DIR]
+//! ```
+//!
+//! Exits 0 when the campaign finds no invariant violations, 1 when it
+//! does (after printing and, with `--write-fixtures`, persisting each
+//! minimized crasher), 2 on usage or setup errors. Deterministic: the
+//! same `--seed`/`--iters` pair replays the same campaign, which is how
+//! the CI `fuzz-smoke` stage pins its behavior.
+
+use netpu_core::HwConfig;
+use netpu_fuzz::{run, words_to_text, FuzzConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    fuzz: FuzzConfig,
+    write_fixtures: Option<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: netpu-fuzz [--iters N] [--seed S] [--write-fixtures DIR]");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut fuzz = FuzzConfig::default();
+    let mut write_fixtures = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |what: &str| -> Result<String, ExitCode> {
+            match argv.next() {
+                Some(v) => Ok(v),
+                None => {
+                    eprintln!("netpu-fuzz: {flag} needs {what}");
+                    Err(usage())
+                }
+            }
+        };
+        match flag.as_str() {
+            "--iters" => match value("a count")?.parse() {
+                Ok(n) => fuzz.iterations = n,
+                Err(e) => {
+                    eprintln!("netpu-fuzz: bad --iters: {e}");
+                    return Err(usage());
+                }
+            },
+            "--seed" => match value("a seed")?.parse() {
+                Ok(s) => fuzz.seed = s,
+                Err(e) => {
+                    eprintln!("netpu-fuzz: bad --seed: {e}");
+                    return Err(usage());
+                }
+            },
+            "--write-fixtures" => write_fixtures = Some(PathBuf::from(value("a directory")?)),
+            _ => {
+                eprintln!("netpu-fuzz: unknown flag {flag}");
+                return Err(usage());
+            }
+        }
+    }
+    Ok(Args {
+        fuzz,
+        write_fixtures,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let cfg = HwConfig::paper_instance();
+    let report = match run(&cfg, &args.fuzz) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("netpu-fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "netpu-fuzz: seed {} | {} iterations | {} rejected, {} clean, {} crashers",
+        args.fuzz.seed, report.iterations, report.rejected, report.clean, report.crasher_count
+    );
+    println!(
+        "coverage: {} signatures over {} corpus entries",
+        report.coverage, report.corpus_len
+    );
+    for sig in &report.signatures {
+        println!("  {sig}");
+    }
+
+    if report.crashers.is_empty() {
+        println!("invariant held: every mutant was rejected with a stable NPC diagnostic or simulated cleanly");
+        return ExitCode::SUCCESS;
+    }
+
+    for (k, c) in report.crashers.iter().enumerate() {
+        println!(
+            "crasher {k}: class {} found at iteration {} ({} words minimized)",
+            c.class,
+            c.found_at,
+            c.words.len()
+        );
+        if let Some(dir) = &args.write_fixtures {
+            let path = dir.join(format!("{}-{k}.words", c.class));
+            let body = format!(
+                "# netpu-fuzz crasher: class {}, seed {}, iteration {}\n{}",
+                c.class,
+                args.fuzz.seed,
+                c.found_at,
+                words_to_text(&c.words)
+            );
+            match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, body)) {
+                Ok(()) => println!("  wrote {}", path.display()),
+                Err(e) => eprintln!("  cannot write {}: {e}", path.display()),
+            }
+        }
+    }
+    ExitCode::FAILURE
+}

@@ -1,0 +1,238 @@
+//! The differential oracle: admission verdict versus simulator fate.
+//!
+//! The fuzzer's single invariant is the one the `check_differential`
+//! proptest suite enforces at small scale: **every word stream either
+//! fails admission with a stable NPC diagnostic, or runs in the tick
+//! simulator without panicking or erroring.** A stream that the
+//! verifier passes clean but that the simulator then rejects (or dies
+//! on) is a verifier soundness hole; a verifier that panics or answers
+//! differently on consecutive runs is broken outright. Each failure
+//! mode is a distinct [`CrasherClass`] so minimization can preserve it.
+
+use netpu_check::{check_words, RuleId};
+use netpu_core::{run_inference_fast, HwConfig};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Ways a stream can violate the fuzzer's invariant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CrasherClass {
+    /// The verifier itself panicked on the stream.
+    CheckerPanic,
+    /// Two consecutive verifier runs produced different reports — the
+    /// diagnostic is not stable, so clients cannot key on it.
+    UnstableDiagnostic,
+    /// The verifier passed the stream clean but the simulator panicked.
+    SimPanic,
+    /// The verifier passed the stream clean but the simulator returned
+    /// an error: a false accept.
+    FalseAccept,
+}
+
+impl CrasherClass {
+    /// Stable textual name, used in fixture filenames and signatures.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrasherClass::CheckerPanic => "checker-panic",
+            CrasherClass::UnstableDiagnostic => "unstable-diagnostic",
+            CrasherClass::SimPanic => "sim-panic",
+            CrasherClass::FalseAccept => "false-accept",
+        }
+    }
+}
+
+impl fmt::Display for CrasherClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The oracle's classification of one stream.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// The verifier rejected the stream; `rules` holds the sorted,
+    /// deduplicated stable IDs of every error finding.
+    Rejected {
+        /// e.g. `["NPC001", "NPC005"]`.
+        rules: Vec<&'static str>,
+    },
+    /// The verifier passed the stream and the simulator completed it.
+    Clean,
+    /// The invariant is violated.
+    Crasher(CrasherClass),
+}
+
+impl Verdict {
+    /// The verdict's coverage-map signature: rejections key on their
+    /// NPC rule set so each distinct rule combination counts as new
+    /// coverage, clean runs share one bucket, crashers key per class.
+    pub fn signature(&self) -> String {
+        match self {
+            Verdict::Rejected { rules } => rules.join("+"),
+            Verdict::Clean => "CLEAN".into(),
+            Verdict::Crasher(class) => format!("CRASH:{class}"),
+        }
+    }
+
+    /// `true` for [`Verdict::Crasher`].
+    pub fn is_crasher(&self) -> bool {
+        matches!(self, Verdict::Crasher(_))
+    }
+}
+
+/// Classifies one stream against the invariant. Pure in `(cfg, words)`:
+/// the verifier and simulator are deterministic, so equal inputs yield
+/// equal verdicts — the property the corpus, the minimizer, and the
+/// committed regression fixtures all rely on.
+///
+/// Run inside [`quiet_panics`] to keep expected simulator/checker
+/// panics from spamming stderr through the default hook.
+pub fn classify(cfg: &HwConfig, words: &[u64]) -> Verdict {
+    let check_cfg = *cfg;
+    let check_input = words.to_vec();
+    let Ok(report) = catch_unwind(AssertUnwindSafe(|| check_words(&check_input, &check_cfg)))
+    else {
+        return Verdict::Crasher(CrasherClass::CheckerPanic);
+    };
+    // Diagnostics must be a pure function of the stream: clients retry
+    // rejected submissions and compare NPC codes across layers.
+    match catch_unwind(AssertUnwindSafe(|| check_words(words, cfg))) {
+        Ok(second) if second == report => {}
+        _ => return Verdict::Crasher(CrasherClass::UnstableDiagnostic),
+    }
+    if report.has_errors() {
+        let ids: BTreeSet<&'static str> = report.errors().map(|d| d.rule.id()).collect();
+        return Verdict::Rejected {
+            rules: ids.into_iter().collect(),
+        };
+    }
+    let sim_cfg = *cfg;
+    let sim_input = words.to_vec();
+    match catch_unwind(AssertUnwindSafe(move || {
+        run_inference_fast(&sim_cfg, sim_input)
+    })) {
+        Err(_) => Verdict::Crasher(CrasherClass::SimPanic),
+        Ok(Err(_)) => Verdict::Crasher(CrasherClass::FalseAccept),
+        Ok(Ok(_)) => Verdict::Clean,
+    }
+}
+
+/// The sorted error-rule IDs of a rejection, if `v` is one.
+pub fn rejection_rules(v: &Verdict) -> Option<&[&'static str]> {
+    match v {
+        Verdict::Rejected { rules } => Some(rules),
+        _ => None,
+    }
+}
+
+/// Runs `f` with the panic hook silenced, restoring the previous hook
+/// afterwards (even if `f` itself unwinds). The fuzzer expects to
+/// trigger thousands of *caught* panics; the default hook would print a
+/// backtrace banner for every one.
+pub fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    type Hook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+    struct Restore(Option<Hook>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            if let Some(prev) = self.0.take() {
+                std::panic::set_hook(prev);
+            }
+        }
+    }
+    let guard = Restore(Some(std::panic::take_hook()));
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    drop(guard);
+    out
+}
+
+/// `RuleId` re-surfaced so fixture tests can assert on specific rules
+/// without importing `netpu-check` directly.
+pub type Rule = RuleId;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpu_nn::export::BnMode;
+    use netpu_nn::zoo::ZooModel;
+    use std::sync::Mutex;
+
+    /// The panic hook is process-global; tests that swap it (or expect
+    /// panics) serialize here so the multi-threaded harness cannot
+    /// interleave their install/restore pairs.
+    static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+    fn seed_words() -> Vec<u64> {
+        let model = ZooModel::TfcW1A1
+            .build_untrained(1, BnMode::Folded)
+            .expect("zoo model builds");
+        netpu_compiler::compile(&model, &vec![0u8; 784])
+            .expect("seed compiles")
+            .words
+    }
+
+    #[test]
+    fn a_compiled_seed_classifies_clean() {
+        let cfg = HwConfig::paper_instance();
+        assert_eq!(classify(&cfg, &seed_words()), Verdict::Clean);
+    }
+
+    #[test]
+    fn a_flipped_magic_bit_rejects_with_npc001() {
+        let cfg = HwConfig::paper_instance();
+        let mut words = seed_words();
+        words[0] ^= 1;
+        let v = classify(&cfg, &words);
+        let rules = rejection_rules(&v).expect("flipped magic must reject");
+        assert!(rules.contains(&"NPC001"), "{rules:?}");
+        assert_eq!(v.signature(), rules.join("+"));
+    }
+
+    #[test]
+    fn an_empty_stream_rejects_not_crashes() {
+        let _serial = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let cfg = HwConfig::paper_instance();
+        let v = quiet_panics(|| classify(&cfg, &[]));
+        assert!(!v.is_crasher(), "empty stream produced {v:?}");
+        assert!(rejection_rules(&v).is_some(), "empty stream was {v:?}");
+    }
+
+    #[test]
+    fn signatures_distinguish_outcome_classes() {
+        assert_eq!(Verdict::Clean.signature(), "CLEAN");
+        assert_eq!(
+            Verdict::Crasher(CrasherClass::SimPanic).signature(),
+            "CRASH:sim-panic"
+        );
+        let r = Verdict::Rejected {
+            rules: vec!["NPC002", "NPC005"],
+        };
+        assert_eq!(r.signature(), "NPC002+NPC005");
+    }
+
+    #[test]
+    fn quiet_panics_restores_the_previous_hook() {
+        // Install a recognizable hook, silence inside, then confirm the
+        // recognizable hook survived the round-trip by replacing it.
+        let _serial = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let f2 = flag.clone();
+        std::panic::set_hook(Box::new(move |_| {
+            f2.store(true, std::sync::atomic::Ordering::SeqCst);
+        }));
+        quiet_panics(|| {
+            let _ = catch_unwind(|| panic!("silenced"));
+        });
+        assert!(
+            !flag.load(std::sync::atomic::Ordering::SeqCst),
+            "hook ran while silenced"
+        );
+        let _ = catch_unwind(|| panic!("audible"));
+        assert!(
+            flag.load(std::sync::atomic::Ordering::SeqCst),
+            "previous hook was not restored"
+        );
+        let _ = std::panic::take_hook();
+    }
+}

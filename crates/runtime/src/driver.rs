@@ -16,15 +16,25 @@
 
 use crate::dma::DmaModel;
 use crate::power::PowerParams;
+use netpu_check::{AdmissionVerdict, RejectReason};
 use netpu_compiler::{compile, Loadable, StreamError};
-use netpu_core::netpu::{run_inference_fast, run_inference_hooked, InferenceRun, NetPuError};
+use netpu_core::netpu::{
+    run_inference_fast, run_inference_hooked, run_inference_observed, InferenceRun, NetPuError,
+};
 use netpu_core::resources::netpu_utilization;
 use netpu_core::{BatchEngine, HwConfig, SlabBreakdown};
 use netpu_nn::QuantMlp;
-use netpu_sim::{TraceEvent, Tracer};
+use netpu_sim::{DatapathProbe, TraceEvent, Tracer};
+use netpu_trace::TraceSink;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Sim-tracer window forwarded per run when a [`TraceSink`] is
+/// attached but the request did not name its own capacity: enough to
+/// hold a full small-model run without letting one traced request
+/// balloon a long recording session.
+const SINK_TRACE_EVENTS: usize = 1024;
 
 /// One measured inference.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -85,10 +95,14 @@ pub enum DriverError {
     },
     /// A response carried no runs where at least one was expected.
     EmptyResponse,
-    /// The static pre-flight verifier rejected the loadable before it
-    /// reached the accelerator (cheap admission control: rejected
-    /// streams never cost simulation or DMA time).
-    Check(netpu_check::Report),
+    /// An admission gate refused the request. The unified
+    /// [`RejectReason`] covers the driver's own static pre-flight
+    /// (`RejectReason::Invalid`, carrying the verifier report with NPC
+    /// rule IDs and byte offsets — rejected streams never cost
+    /// simulation or DMA time) as well as serving-layer refusals
+    /// (backpressure, throttling, shutdown, crash recovery), so every
+    /// layer reports rejections in one machine-readable shape.
+    Rejected(RejectReason),
 }
 
 impl std::fmt::Display for DriverError {
@@ -101,8 +115,8 @@ impl std::fmt::Display for DriverError {
             }
             DriverError::Queue { reason } => write!(f, "queue: {reason}"),
             DriverError::EmptyResponse => f.write_str("response carried no runs"),
-            DriverError::Check(report) => {
-                write!(f, "pre-flight check rejected the stream: {report}")
+            DriverError::Rejected(reason) => {
+                write!(f, "admission rejected the request: {reason}")
             }
             DriverError::Timeout {
                 deadline_us,
@@ -120,6 +134,7 @@ impl std::error::Error for DriverError {
         match self {
             DriverError::Compile(e) => Some(e),
             DriverError::Accelerator(e) => Some(e),
+            DriverError::Rejected(e) => Some(e),
             _ => None,
         }
     }
@@ -175,6 +190,9 @@ pub struct RequestOptions {
     /// Retry budget on transient stream faults (serving layer only).
     pub retries: Option<u32>,
     /// Attach a bounded event trace of this many events to the run.
+    /// Superseded by [`DriverBuilder::trace_sink`] (see
+    /// [`InferRequest::with_trace`] for the migration note); still
+    /// honored for per-request in-response traces.
     pub trace_capacity: Option<usize>,
 }
 
@@ -274,7 +292,18 @@ impl<'m> InferRequest<'m> {
         self
     }
 
-    /// Attaches a bounded per-run event trace.
+    /// Attaches a bounded per-run event trace to the response.
+    ///
+    /// **Migration:** attach a [`TraceSink`] at driver construction
+    /// instead — `Driver::builder().trace_sink(sink)` — which observes
+    /// *every* run (simulator events, and datapath values under
+    /// [`DriverBuilder::probe_datapath`]) through the same surface the
+    /// serving layers record scheduling events to, and whose
+    /// recordings serialize to the replayable binary trace format.
+    /// The per-request hook survives for callers that want one run's
+    /// events inline in its [`InferResponse`], but new observability
+    /// code should not grow around it.
+    #[deprecated(note = "attach a TraceSink via Driver::builder().trace_sink(..) instead")]
     pub fn with_trace(mut self, capacity: usize) -> InferRequest<'m> {
         self.options.trace_capacity = Some(capacity);
         self
@@ -345,6 +374,8 @@ pub struct DriverBuilder {
     dma: DmaModel,
     power: PowerParams,
     strict_range: bool,
+    trace_sink: Option<Arc<dyn TraceSink>>,
+    probe_datapath: bool,
 }
 
 impl DriverBuilder {
@@ -376,6 +407,29 @@ impl DriverBuilder {
         self
     }
 
+    /// Attaches a [`TraceSink`]: every run forwards its simulator
+    /// tracer events (and, with [`probe_datapath`] set, its datapath
+    /// probe samples) to the sink as `Sim` / `Probe` trace events.
+    /// This supersedes the per-request bounded-trace hook
+    /// ([`InferRequest::with_trace`]): a sink observes every run
+    /// through one uniform surface shared with the serving layers,
+    /// and its recordings serialize to the replayable binary format.
+    ///
+    /// [`probe_datapath`]: DriverBuilder::probe_datapath
+    pub fn trace_sink(mut self, sink: Arc<dyn TraceSink>) -> DriverBuilder {
+        self.trace_sink = Some(sink);
+        self
+    }
+
+    /// Also forwards every intermediate datapath value (accumulators,
+    /// post-BN words, levels, scores) to the attached [`TraceSink`].
+    /// Off by default — probing is unbounded per run. No effect
+    /// without a sink.
+    pub fn probe_datapath(mut self, probe: bool) -> DriverBuilder {
+        self.probe_datapath = probe;
+        self
+    }
+
     /// Assembles the driver.
     pub fn build(self) -> Driver {
         Driver {
@@ -383,6 +437,8 @@ impl DriverBuilder {
             dma: self.dma,
             power: self.power,
             strict_range: self.strict_range,
+            trace_sink: self.trace_sink,
+            probe_datapath: self.probe_datapath,
         }
     }
 }
@@ -410,6 +466,11 @@ pub struct Driver {
     /// Reject on error-class range-analysis findings too (default
     /// `true`); structural errors always reject.
     pub strict_range: bool,
+    /// Trace sink every run reports its simulator events to; `None`
+    /// (the default) records nothing.
+    pub trace_sink: Option<Arc<dyn TraceSink>>,
+    /// Forward datapath probe samples to the sink as well.
+    pub probe_datapath: bool,
 }
 
 impl Default for Driver {
@@ -428,6 +489,8 @@ impl Driver {
             dma: DmaModel::zynq_uls(),
             power: PowerParams::ultra96(),
             strict_range: true,
+            trace_sink: None,
+            probe_datapath: false,
         }
     }
 
@@ -530,22 +593,63 @@ impl Driver {
         // over and always refuse admission; error-class range findings
         // (provable accumulator/comparator unsoundness) refuse only
         // under strict admission. Either way rejected streams never
-        // cost simulation or DMA time.
+        // cost simulation or DMA time. The gate itself is the shared
+        // `AdmissionVerdict` policy, so this decision is identical to
+        // the serving layers' and the fuzzer's.
         let report = netpu_check::check(loadable, &self.hw);
-        if report.has_structural_errors() || (self.strict_range && report.has_range_errors()) {
-            return Err(DriverError::Check(report));
+        if let AdmissionVerdict::Rejected(reason) =
+            AdmissionVerdict::from_report(report, self.strict_range)
+        {
+            return Err(DriverError::Rejected(reason));
         }
-        let (run, trace) = match trace_capacity {
-            None => (
+        let sink = self.trace_sink.as_deref();
+        let (run, trace) = match (trace_capacity, sink) {
+            (None, None) => (
                 run_inference_fast(&self.hw, loadable.words.clone())
                     .map_err(DriverError::Accelerator)?,
                 None,
             ),
-            Some(cap) => {
+            (Some(cap), None) => {
                 let mut tracer = Tracer::bounded(cap);
                 let run = run_inference_hooked(&self.hw, loadable.words.clone(), &mut tracer)
                     .map_err(DriverError::Accelerator)?;
                 (run, Some(tracer.into_events()))
+            }
+            (cap, Some(sink)) => {
+                let mut tracer = Tracer::bounded(cap.unwrap_or(SINK_TRACE_EVENTS));
+                let mut probe = if self.probe_datapath {
+                    DatapathProbe::enabled()
+                } else {
+                    DatapathProbe::disabled()
+                };
+                let outcome = run_inference_observed(
+                    &self.hw,
+                    loadable.words.clone(),
+                    &mut tracer,
+                    &mut probe,
+                );
+                // Forward to the sink even when the run failed — a
+                // failing stream's events are exactly what an anomaly
+                // trace exists to capture.
+                let events = tracer.into_events();
+                let mut t_end = 0.0f64;
+                for ev in &events {
+                    let t_us = netpu_sim::cycles_to_us(ev.cycle, self.hw.clock_mhz);
+                    t_end = t_end.max(t_us);
+                    sink.record(
+                        t_us,
+                        netpu_trace::TraceEvent::Sim {
+                            cycle: ev.cycle,
+                            scope: ev.scope.to_string(),
+                            message: ev.message.clone(),
+                        },
+                    );
+                }
+                for sample in probe.samples() {
+                    sink.record(t_end, netpu_trace::TraceEvent::probe(sample));
+                }
+                let run = outcome.map_err(DriverError::Accelerator)?;
+                (run, cap.map(|_| events))
             }
         };
         Ok((self.measure(&run, loadable.len()), trace))
@@ -783,6 +887,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn traced_requests_return_events() {
         let driver = Driver::builder().build();
         let model = ZooModel::TfcW1A1
@@ -962,6 +1067,55 @@ mod tests {
             .infer(&model, &vec![50u8; 784])
             .unwrap();
         assert!(plain.probabilities.is_none());
+    }
+
+    #[test]
+    fn trace_sink_observes_sim_and_probe_events() {
+        use netpu_trace::{MemorySink, TraceEvent as Tev};
+        let sink = Arc::new(MemorySink::new());
+        let driver = Driver::builder()
+            .trace_sink(sink.clone())
+            .probe_datapath(true)
+            .build();
+        let model = ZooModel::TfcW1A1
+            .build_untrained(4, BnMode::Folded)
+            .unwrap();
+        let resp = driver
+            .run(InferRequest::single(&model, vec![9u8; 784]))
+            .unwrap();
+        // Sink runs do not attach an inline trace to the response.
+        assert_eq!(resp.trace, None);
+        let records = sink.records();
+        assert!(records.iter().any(|r| matches!(r.event, Tev::Sim { .. })));
+        assert!(records.iter().any(|r| matches!(r.event, Tev::Probe { .. })));
+        // Sim events carry virtual timestamps derived from their cycle.
+        let max_t = records.iter().map(|r| r.t_us).fold(0.0f64, f64::max);
+        assert!(max_t > 0.0);
+        // The run itself is unaffected by observation.
+        let plain = Driver::builder()
+            .build()
+            .run(InferRequest::single(&model, vec![9u8; 784]))
+            .unwrap();
+        assert_eq!(plain.runs, resp.runs);
+    }
+
+    #[test]
+    fn rejected_streams_carry_the_unified_reason() {
+        let driver = Driver::builder().build();
+        let model = ZooModel::TfcW1A1
+            .build_untrained(2, BnMode::Folded)
+            .unwrap();
+        let mut loadable = netpu_compiler::compile(&model, &vec![0u8; 784]).unwrap();
+        loadable.words[0] ^= 1; // break the magic word
+        let err = driver.run(InferRequest::loadable(loadable)).unwrap_err();
+        let DriverError::Rejected(reason) = err else {
+            panic!("expected Rejected, got {err:?}");
+        };
+        assert_eq!(reason.code(), "INVALID_STREAM");
+        assert!(!reason.is_transient());
+        assert!(reason.rules().iter().any(|(rule, _)| rule.id() == "NPC001"));
+        // The full verifier report stays reachable for diagnostics.
+        assert!(reason.report().expect("report").has_structural_errors());
     }
 
     #[test]

@@ -24,4 +24,6 @@ pub use driver::{
     Driver, DriverBuilder, DriverError, InferPayload, InferRequest, InferResponse, MeasuredRun,
     ModelSource, RequestOptions,
 };
+pub use netpu_check::{AdmissionVerdict, RejectReason};
+pub use netpu_trace::TraceSink;
 pub use power::PowerParams;

@@ -26,6 +26,14 @@ pub enum FaultPlan {
         /// RNG seed, for reproducible schedules.
         seed: u64,
     },
+    /// Kill the worker outright on the server's first `n` serving
+    /// attempts: instead of corrupting the stream, the injector tells
+    /// the worker to panic mid-DMA (while holding the arbiter lock),
+    /// exercising the crash-only recovery path. Stateful and
+    /// deterministic: exactly `n` workers die across the server's
+    /// lifetime, so a crash-requeued request finds the plan spent on
+    /// its next attempt.
+    CrashFirstAttempts(u32),
 }
 
 /// Stateful injector built from a [`FaultPlan`]; one per server.
@@ -33,6 +41,7 @@ pub enum FaultPlan {
 pub struct FaultInjector {
     plan: FaultPlan,
     rng: StdRng,
+    crashes_injected: u32,
 }
 
 impl FaultInjector {
@@ -45,6 +54,7 @@ impl FaultInjector {
         FaultInjector {
             plan,
             rng: StdRng::seed_from_u64(seed),
+            crashes_injected: 0,
         }
     }
 
@@ -53,7 +63,7 @@ impl FaultInjector {
     /// bit in `words`. Returns `true` when the stream was corrupted.
     pub fn corrupt(&mut self, attempt: u32, words: &mut [u64]) -> bool {
         let hit = match &self.plan {
-            FaultPlan::None => false,
+            FaultPlan::None | FaultPlan::CrashFirstAttempts(_) => false,
             FaultPlan::FailFirstAttempts(n) => attempt < *n,
             FaultPlan::Random { rate, .. } => self.rng.gen::<f64>() < *rate,
         };
@@ -63,6 +73,20 @@ impl FaultInjector {
             }
         }
         hit
+    }
+
+    /// Decides whether the current serving attempt should kill its
+    /// worker. Stateful across the whole server: under
+    /// [`FaultPlan::CrashFirstAttempts`]`(n)` exactly the first `n`
+    /// calls answer `true`, then the plan is spent.
+    pub fn should_crash(&mut self) -> bool {
+        match &self.plan {
+            FaultPlan::CrashFirstAttempts(n) if self.crashes_injected < *n => {
+                self.crashes_injected += 1;
+                true
+            }
+            _ => false,
+        }
     }
 }
 
@@ -105,6 +129,19 @@ mod tests {
         assert_ne!(draw(9), draw(10));
         let hits = draw(9).iter().filter(|&&h| h).count();
         assert!((10..=54).contains(&hits), "rate 0.5 drew {hits}/64 hits");
+    }
+
+    #[test]
+    fn crash_plan_spends_exactly_n_kills_and_never_corrupts() {
+        let mut inj = FaultInjector::new(FaultPlan::CrashFirstAttempts(2));
+        let mut words = vec![0x1234u64];
+        assert!(!inj.corrupt(0, &mut words));
+        assert_eq!(words[0], 0x1234);
+        assert!(inj.should_crash());
+        assert!(inj.should_crash());
+        assert!(!inj.should_crash(), "plan is spent after n kills");
+        let mut benign = FaultInjector::new(FaultPlan::None);
+        assert!(!benign.should_crash());
     }
 
     #[test]

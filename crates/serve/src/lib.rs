@@ -12,6 +12,12 @@
 //! `min(boards/latency, 1/transfer)` bound — the §V loading bottleneck
 //! at system scale (see DESIGN.md §4.2).
 //!
+//! Every refusal is a unified [`RejectReason`]; workers are crash-only
+//! (a panicking worker requeues-or-rejects its request and keeps
+//! serving, DESIGN.md §4.7); and an optional [`TraceSink`] records the
+//! request lifecycle and DMA schedule in `netpu-trace`'s replayable
+//! format.
+//!
 //! Built on `std::thread` + channels only; no async runtime.
 
 pub mod arbiter;
@@ -23,5 +29,7 @@ pub mod server;
 pub use arbiter::{DmaArbiter, Grant};
 pub use faults::{FaultInjector, FaultPlan};
 pub use metrics::MetricsSnapshot;
+pub use netpu_check::{AdmissionVerdict, RejectReason};
+pub use netpu_trace::TraceSink;
 pub use queue::{BoundedQueue, Push};
 pub use server::{ServeResponse, Server, ServerConfig, Submit, Ticket};

@@ -28,6 +28,8 @@ pub(crate) struct Counters {
     pub failed: AtomicU64,
     pub retried: AtomicU64,
     pub timed_out: AtomicU64,
+    pub worker_panics: AtomicU64,
+    pub crash_requeued: AtomicU64,
     pub frames_completed: AtomicU64,
     pub slabs_full: AtomicU64,
     pub slabs_partial: AtomicU64,
@@ -91,6 +93,13 @@ pub struct MetricsSnapshot {
     pub retried: u64,
     /// Requests whose deadline elapsed before completion.
     pub timed_out: u64,
+    /// Worker panics absorbed by the crash-only recovery path
+    /// (DESIGN.md §4.7). The worker thread survives every one.
+    pub worker_panics: u64,
+    /// Crashed requests put back on the admission queue for another
+    /// attempt. The remaining `worker_panics` either had already
+    /// delivered their outcome or were rejected with `WORKER_CRASH`.
+    pub crash_requeued: u64,
     /// Frames across all completed requests (a batch counts each).
     pub frames_completed: u64,
     /// Completed batch slabs that filled all 64 image lanes of the
@@ -130,6 +139,8 @@ impl MetricsSnapshot {
             failed: load(&counters.failed),
             retried: load(&counters.retried),
             timed_out: load(&counters.timed_out),
+            worker_panics: load(&counters.worker_panics),
+            crash_requeued: load(&counters.crash_requeued),
             frames_completed: load(&counters.frames_completed),
             slabs_full: load(&counters.slabs_full),
             slabs_partial: load(&counters.slabs_partial),

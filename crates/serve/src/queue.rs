@@ -64,20 +64,38 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Attempts to queue `item` without blocking.
+    /// Attempts to queue `item` without blocking. A refused item is
+    /// dropped — fine for fresh submissions, whose caller still holds
+    /// everything needed to answer the client; use
+    /// [`push_reclaim`](BoundedQueue::push_reclaim) when the item must
+    /// survive refusal.
     pub fn push(&self, item: T) -> Push {
+        match self.push_reclaim(item) {
+            Ok(depth) => Push::Accepted { depth },
+            Err((_, refusal)) => refusal,
+        }
+    }
+
+    /// Attempts to queue `item` without blocking, handing the item back
+    /// on refusal together with the [`Push`] outcome that refused it.
+    /// Crash-only recovery requeues a popped job that carries the
+    /// client's one-shot response channel: if the queue refuses the
+    /// requeue, the job must come back so recovery can deliver an
+    /// explicit rejection instead of a silent disconnect.
+    pub fn push_reclaim(&self, item: T) -> Result<usize, (T, Push)> {
         let mut s = lock(&self.state);
         if s.closed {
-            return Push::Closed;
+            return Err((item, Push::Closed));
         }
         if s.items.len() >= self.capacity {
-            return Push::Full { len: s.items.len() };
+            let len = s.items.len();
+            return Err((item, Push::Full { len }));
         }
         s.items.push_back(item);
         let depth = s.items.len();
         drop(s);
         self.available.notify_one();
-        Push::Accepted { depth }
+        Ok(depth)
     }
 
     /// Blocks until an item is available (returning it) or the queue is
@@ -144,6 +162,16 @@ mod tests {
         assert_eq!(q.pop_wait(), Some(11));
         assert_eq!(q.pop_wait(), None);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_reclaim_hands_back_refused_items() {
+        let q = BoundedQueue::new(1);
+        assert_eq!(q.push_reclaim(1), Ok(1));
+        assert_eq!(q.push_reclaim(2), Err((2, Push::Full { len: 1 })));
+        q.close();
+        assert_eq!(q.push_reclaim(3), Err((3, Push::Closed)));
+        assert_eq!(q.pop_wait(), Some(1));
     }
 
     #[test]

@@ -1,21 +1,46 @@
 //! The multi-board inference server.
 //!
 //! A [`Server`] owns a bounded admission queue and one worker thread
-//! per board. Submissions beyond the queue bound are **rejected at
-//! admission** ([`Submit::Rejected`]) — backpressure is explicit, never
-//! an unbounded buffer. Workers execute real accelerator simulations
-//! concurrently on host threads, while the [`DmaArbiter`] places every
-//! stream transfer on a shared virtual-time DMA engine, so throughput
-//! saturates at the transfer bound exactly as
+//! per board. Every refusal — full queue, closed server, verifier
+//! findings, exhausted crash-recovery budget — is answered with the
+//! workspace's unified [`Submit::Denied`]`(`[`RejectReason`]`)`, so
+//! clients pattern-match one structured surface across the whole
+//! stack. Workers execute real accelerator simulations concurrently on
+//! host threads, while the [`DmaArbiter`] places every stream transfer
+//! on a shared virtual-time DMA engine, so throughput saturates at the
+//! transfer bound exactly as
 //! [`ClusterThroughput`](netpu_runtime::ClusterThroughput) predicts.
+//!
+//! # Crash-only recovery
+//!
+//! Workers are *crash-only* (DESIGN.md §4.7): a panic anywhere in the
+//! serving path is caught at the worker loop, the dead request is
+//! requeued (up to [`ServerConfig::crash_requeues`] times) or rejected
+//! with [`RejectReason::WorkerCrash`], and the worker keeps serving.
+//! Every lock acquisition goes through [`lock_recover`], so a panic
+//! that poisons the arbiter or injector mutex cannot cascade. Outcome
+//! delivery is exactly-once by construction: the client's one-shot
+//! sender lives in an `Option` consumed at the send site, so a
+//! post-delivery panic finds nothing left to deliver.
+//!
+//! # Tracing
+//!
+//! With a [`TraceSink`] configured, the server records the full
+//! request lifecycle (submit, admit, deny, grant, retry, crash,
+//! requeue, complete) with virtual timestamps. Grant events are
+//! recorded inside the arbiter's critical section, so the sink's order
+//! matches the arbiter's schedule order and `netpu_trace::verify` can
+//! re-derive the schedule recurrence bit-for-bit.
 
 use crate::arbiter::DmaArbiter;
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::metrics::{Counters, MetricsSnapshot};
 use crate::queue::{BoundedQueue, Push};
+use netpu_check::{AdmissionVerdict, RejectReason};
 use netpu_compiler::compile;
 use netpu_runtime::{Driver, DriverError, InferPayload, InferRequest, InferResponse};
-use std::sync::atomic::Ordering;
+use netpu_trace::{TraceEvent, TraceSink};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
@@ -24,13 +49,13 @@ use std::thread::JoinHandle;
 pub struct ServerConfig {
     /// Number of boards (and worker threads).
     pub boards: usize,
-    /// Admission queue bound; submissions beyond it are rejected.
+    /// Admission queue bound; submissions beyond it are denied.
     pub queue_capacity: usize,
     /// Deadline applied to requests that set none, µs of virtual time.
     pub default_deadline_us: Option<f64>,
     /// Retry budget for requests that set none.
     pub max_retries: u32,
-    /// Stream faults to inject (tests the retry path).
+    /// Stream faults to inject (tests the retry and crash paths).
     pub faults: FaultPlan,
     /// Reject submissions whose pre-flight range analysis proves the
     /// datapath can overflow or leave the comparator's domain
@@ -38,6 +63,13 @@ pub struct ServerConfig {
     /// Lenient servers still count such submissions in
     /// [`MetricsSnapshot::range_flagged`] but admit them.
     pub strict_range: bool,
+    /// How many times a request whose worker died mid-serve is put
+    /// back on the queue before crash recovery gives up and rejects it
+    /// with [`RejectReason::WorkerCrash`].
+    pub crash_requeues: u32,
+    /// Structured event sink recording the request lifecycle and the
+    /// DMA schedule; `None` (the default) records nothing.
+    pub trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +81,8 @@ impl Default for ServerConfig {
             max_retries: 0,
             faults: FaultPlan::None,
             strict_range: true,
+            crash_requeues: 1,
+            trace: None,
         }
     }
 }
@@ -58,23 +92,12 @@ impl Default for ServerConfig {
 pub enum Submit {
     /// The request was queued; await the result via the ticket.
     Accepted(Ticket),
-    /// The bounded queue was full — explicit backpressure.
-    Rejected {
-        /// Queue depth at the time of rejection (== the bound).
-        queue_len: usize,
-    },
-    /// The server has shut down.
-    Closed,
-    /// The static pre-flight verifier rejected the stream at admission:
-    /// either the structural tier found a malformed stream (DESIGN.md
-    /// §4.3) or, on a strict-range server, the abstract interpreter
-    /// proved the datapath unsound for it (§4.4). Either way the
-    /// request would have misbehaved on the board, so it never costs a
-    /// queue slot or worker time.
-    Invalid {
-        /// The verifier's findings.
-        report: netpu_check::Report,
-    },
+    /// Admission refused the request. The unified [`RejectReason`]
+    /// says why: [`RejectReason::Invalid`] carries the pre-flight
+    /// verifier's NPC findings, [`RejectReason::QueueFull`] is
+    /// explicit backpressure, [`RejectReason::Closed`] means the
+    /// server has shut down.
+    Denied(RejectReason),
 }
 
 impl Submit {
@@ -82,7 +105,15 @@ impl Submit {
     pub fn expect_accepted(self) -> Ticket {
         match self {
             Submit::Accepted(t) => t,
-            other => panic!("submission was not accepted: {other:?}"),
+            Submit::Denied(reason) => panic!("submission was denied: {reason}"),
+        }
+    }
+
+    /// The rejection reason of a denied submission.
+    pub fn denial(&self) -> Option<&RejectReason> {
+        match self {
+            Submit::Denied(reason) => Some(reason),
+            Submit::Accepted(_) => None,
         }
     }
 }
@@ -122,8 +153,23 @@ impl Ticket {
 }
 
 struct Job {
+    id: u64,
     req: InferRequest<'static>,
-    tx: mpsc::Sender<Result<ServeResponse, DriverError>>,
+    /// The client's one-shot response channel. Consumed at the send
+    /// site, so delivery is exactly-once even across worker crashes: a
+    /// panic after the send finds `None` and recovery does nothing.
+    tx: Option<mpsc::Sender<Result<ServeResponse, DriverError>>>,
+    /// Worker deaths this request has survived so far.
+    crashes: u32,
+}
+
+impl Job {
+    /// Delivers the request's terminal outcome, at most once.
+    fn deliver(&mut self, outcome: Result<ServeResponse, DriverError>) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(outcome);
+        }
+    }
 }
 
 struct Shared {
@@ -133,6 +179,15 @@ struct Shared {
     arbiter: Mutex<DmaArbiter>,
     injector: Mutex<FaultInjector>,
     queue: BoundedQueue<Job>,
+    next_request: AtomicU64,
+}
+
+impl Shared {
+    fn trace(&self, t_us: f64, event: TraceEvent) {
+        if let Some(sink) = &self.cfg.trace {
+            sink.record(t_us, event);
+        }
+    }
 }
 
 /// A multi-board inference server over one shared DMA engine.
@@ -156,55 +211,92 @@ impl Server {
             arbiter: Mutex::new(DmaArbiter::new(cfg.boards)),
             injector: Mutex::new(FaultInjector::new(cfg.faults.clone())),
             queue: BoundedQueue::new(cfg.queue_capacity),
+            next_request: AtomicU64::new(0),
             cfg,
         });
         let workers = (0..shared.cfg.boards)
-            .map(|_| {
+            .map(|worker| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, worker))
             })
             .collect();
         Server { shared, workers }
     }
 
     /// Submits a request. Admission is non-blocking: a full queue
-    /// answers [`Submit::Rejected`] immediately so the caller can shed
-    /// or defer load instead of piling up unbounded work.
+    /// answers [`RejectReason::QueueFull`] immediately so the caller
+    /// can shed or defer load instead of piling up unbounded work.
     pub fn submit(&self, req: InferRequest<'static>) -> Submit {
+        let id = self.shared.next_request.fetch_add(1, Ordering::Relaxed);
+        self.shared.trace(
+            0.0,
+            TraceEvent::Submitted {
+                request: id,
+                tenant: 0,
+                model: 0,
+            },
+        );
         // Cheap static pre-flight before a queue slot is taken: a
         // stream the accelerator would reject never reaches a worker.
+        let mut range_flagged = false;
         if let InferPayload::Loadable(loadable) = &req.payload {
             let report = netpu_check::check(loadable, &self.shared.driver.hw);
-            let range = report.has_range_errors();
-            if range {
+            if report.has_range_errors() {
                 self.shared
                     .counters
                     .range_flagged
                     .fetch_add(1, Ordering::Relaxed);
             }
-            if report.has_structural_errors() || (self.shared.cfg.strict_range && range) {
-                if self.shared.cfg.strict_range && range {
+            match AdmissionVerdict::from_report(report, self.shared.cfg.strict_range) {
+                AdmissionVerdict::Admitted {
+                    range_flagged: flagged,
+                } => range_flagged = flagged,
+                AdmissionVerdict::Rejected(reason) => {
+                    if reason
+                        .report()
+                        .is_some_and(netpu_check::Report::has_range_errors)
+                        && self.shared.cfg.strict_range
+                    {
+                        self.shared
+                            .counters
+                            .range_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
                     self.shared
                         .counters
-                        .range_rejected
+                        .rejected
                         .fetch_add(1, Ordering::Relaxed);
+                    return self.deny(id, reason);
                 }
-                self.shared
-                    .counters
-                    .rejected
-                    .fetch_add(1, Ordering::Relaxed);
-                return Submit::Invalid { report };
             }
         }
         let (tx, rx) = mpsc::channel();
-        match self.shared.queue.push(Job { req, tx }) {
-            Push::Closed => Submit::Closed,
+        // The Admitted event is recorded *before* the push: once the
+        // job is visible in the queue a worker may serve it to
+        // completion immediately, and the request's terminal event
+        // must not precede its admission in the trace. A push refusal
+        // then legitimately follows Admitted with a Rejected event
+        // (Admitted is not terminal).
+        self.shared.trace(
+            0.0,
+            TraceEvent::Admitted {
+                request: id,
+                range_flagged,
+            },
+        );
+        match self.shared.queue.push(Job {
+            id,
+            req,
+            tx: Some(tx),
+            crashes: 0,
+        }) {
+            Push::Closed => self.deny(id, RejectReason::Closed),
             Push::Full { len } => {
                 self.shared
                     .counters
                     .rejected
                     .fetch_add(1, Ordering::Relaxed);
-                Submit::Rejected { queue_len: len }
+                self.deny(id, RejectReason::QueueFull { queue_len: len })
             }
             Push::Accepted { depth } => {
                 self.shared
@@ -215,6 +307,11 @@ impl Server {
                 Submit::Accepted(Ticket { rx })
             }
         }
+    }
+
+    fn deny(&self, id: u64, reason: RejectReason) -> Submit {
+        self.shared.trace(0.0, TraceEvent::rejected(id, &reason));
+        Submit::Denied(reason)
     }
 
     /// A point-in-time metrics snapshot.
@@ -235,18 +332,87 @@ impl Server {
     }
 }
 
-/// Locks a mutex, recovering the data on poison: a worker that
-/// panicked mid-request leaves queue/arbiter state consistent enough to
-/// keep serving (the panicking request's ticket sender is dropped, so
-/// its client sees a disconnect, not a hang).
+/// Locks a mutex, recovering the data on poison. Crash-only recovery
+/// depends on this seam: a worker that panics mid-request (possibly
+/// while holding the arbiter or injector lock) poisons the mutex, and
+/// every later acquisition — other workers granting transfers, metrics
+/// snapshots, the recovery path itself — must keep going with the data
+/// as the panicking thread left it. Both guarded structures stay
+/// internally consistent across any panic point: the arbiter only
+/// mutates plain `f64` bookkeeping and the injector a counter, neither
+/// of which can be observed mid-update through the lock.
 fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-fn worker_loop(shared: &Shared) {
-    while let Some(job) = shared.queue.pop_wait() {
-        serve_one(shared, job);
+fn worker_loop(shared: &Shared, worker: usize) {
+    while let Some(mut job) = shared.queue.pop_wait() {
+        // Crash-only containment: a panic anywhere in the serving path
+        // kills the *request*, never the worker. AssertUnwindSafe is
+        // sound here because everything the closure shares is behind
+        // locks re-entered via `lock_recover`, which absorbs the
+        // poison instead of cascading it.
+        let served =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| serve_one(shared, &mut job)));
+        if served.is_err() {
+            recover_crash(shared, worker, job);
+        }
     }
+}
+
+/// Crash-only recovery (DESIGN.md §4.7): a worker panic mid-serve ends
+/// in exactly one client-visible outcome — the request is requeued for
+/// another attempt, or it is rejected with
+/// [`RejectReason::WorkerCrash`]. Never both, never neither, and never
+/// a second delivery for a request whose outcome already went out
+/// ([`Job::tx`] is consumed at the send site, so a post-delivery panic
+/// leaves nothing to recover).
+fn recover_crash(shared: &Shared, worker: usize, mut job: Job) {
+    shared
+        .counters
+        .worker_panics
+        .fetch_add(1, Ordering::Relaxed);
+    if job.tx.is_none() {
+        // The outcome was already delivered; the panic happened on the
+        // way out of the serving path. The request's lifecycle is
+        // complete, so nothing is requeued, rejected, or traced.
+        return;
+    }
+    shared.trace(
+        0.0,
+        TraceEvent::WorkerCrash {
+            worker: worker as u64,
+            request: job.id,
+        },
+    );
+    job.crashes += 1;
+    let (id, crashes) = (job.id, job.crashes);
+    if crashes <= shared.cfg.crash_requeues {
+        match shared.queue.push_reclaim(job) {
+            Ok(depth) => {
+                shared
+                    .counters
+                    .crash_requeued
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.counters.observe_queue_depth(depth);
+                shared.trace(
+                    0.0,
+                    TraceEvent::Requeued {
+                        request: id,
+                        crashes: u64::from(crashes),
+                    },
+                );
+                return;
+            }
+            // The queue refused the requeue (full or closed): fall
+            // through to an explicit rejection with the job reclaimed.
+            Err((reclaimed, _refusal)) => job = reclaimed,
+        }
+    }
+    let reason = RejectReason::WorkerCrash { crashes };
+    shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+    shared.trace(0.0, TraceEvent::rejected(id, &reason));
+    job.deliver(Err(DriverError::Rejected(reason)));
 }
 
 /// DMA occupancy of a served request: one setup per transfer plus the
@@ -261,34 +427,57 @@ fn response_occupancy_us(driver: &Driver, resp: &InferResponse) -> f64 {
         + (resp.dma_transfers - 1) as f64 * driver.dma.setup_us
 }
 
-fn serve_one(shared: &Shared, job: Job) {
-    let Job { req, tx } = job;
-    let deadline_us = req.options.deadline_us.or(shared.cfg.default_deadline_us);
-    let retries = req.options.retries.unwrap_or(shared.cfg.max_retries);
-    let options = req.options;
-    // Normalize single-frame requests to a pre-compiled loadable so
-    // every delivery attempt goes out as a raw stream (the unit the
-    // fault model corrupts), and compile errors surface before any
-    // DMA time is charged.
-    let payload = match req.payload {
-        InferPayload::Single { model, pixels } => match compile(&model, &pixels) {
-            Ok(loadable) => InferPayload::Loadable(loadable),
+fn serve_one(shared: &Shared, job: &mut Job) {
+    let deadline_us = job
+        .req
+        .options
+        .deadline_us
+        .or(shared.cfg.default_deadline_us);
+    let retries = job.req.options.retries.unwrap_or(shared.cfg.max_retries);
+    let options = job.req.options;
+    // Normalize single-frame requests to a pre-compiled loadable, in
+    // place on the job: every delivery attempt goes out as a raw
+    // stream (the unit the fault model corrupts), compile errors
+    // surface before any DMA time is charged, and a crash-requeued job
+    // re-enters the queue already compiled.
+    if let InferPayload::Single { model, pixels } = &job.req.payload {
+        match compile(model, pixels) {
+            Ok(loadable) => job.req.payload = InferPayload::Loadable(loadable),
             Err(e) => {
                 shared.counters.failed.fetch_add(1, Ordering::Relaxed);
-                let _ = tx.send(Err(DriverError::Compile(e)));
+                let err = DriverError::Compile(e);
+                shared.trace(
+                    0.0,
+                    TraceEvent::Failed {
+                        request: job.id,
+                        error: err.to_string(),
+                    },
+                );
+                job.deliver(Err(err));
                 return;
             }
-        },
-        p => p,
-    };
+        }
+    }
 
     let mut attempt = 0u32;
     loop {
         // Build this attempt's payload, injecting stream faults.
-        let (attempt_payload, attempt_words) = match &payload {
+        let (attempt_payload, attempt_words) = match &job.req.payload {
             InferPayload::Loadable(loadable) => {
                 let mut l = loadable.clone();
-                lock_recover(&shared.injector).corrupt(attempt, &mut l.words);
+                let crash = {
+                    let mut injector = lock_recover(&shared.injector);
+                    injector.corrupt(attempt, &mut l.words);
+                    injector.should_crash()
+                };
+                if crash {
+                    // The injected death happens "mid-DMA": the panic
+                    // unwinds while holding the arbiter lock, poisoning
+                    // it — the worst state a real crash leaves behind
+                    // and exactly what `lock_recover` must absorb.
+                    let _arbiter = lock_recover(&shared.arbiter);
+                    panic!("injected worker crash serving request {}", job.id);
+                }
                 let words = l.len();
                 (InferPayload::Loadable(l), words)
             }
@@ -302,14 +491,43 @@ fn serve_one(shared: &Shared, job: Job) {
             Ok(resp) => {
                 let transfer_us = response_occupancy_us(&shared.driver, &resp);
                 let latency_us = resp.total_latency_us();
-                let grant = lock_recover(&shared.arbiter).grant(0.0, transfer_us, latency_us);
+                let grant = {
+                    // The grant event is recorded inside the arbiter's
+                    // critical section: replay re-derives the schedule
+                    // from grant order, so sink order must match
+                    // arbiter order exactly.
+                    let mut arbiter = lock_recover(&shared.arbiter);
+                    let g = arbiter.grant(0.0, transfer_us, latency_us);
+                    shared.trace(
+                        g.start_us,
+                        TraceEvent::Granted {
+                            request: job.id,
+                            board: g.board as u64,
+                            arrival_us: 0.0,
+                            transfer_us,
+                            latency_us,
+                            start_us: g.start_us,
+                            transfer_end_us: g.transfer_end_us,
+                            complete_us: g.complete_us,
+                        },
+                    );
+                    g
+                };
                 if let Some(deadline) = deadline_us {
                     if grant.complete_us > deadline {
                         shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
-                        let _ = tx.send(Err(DriverError::Timeout {
+                        let err = DriverError::Timeout {
                             deadline_us: deadline,
                             elapsed_us: grant.complete_us,
-                        }));
+                        };
+                        shared.trace(
+                            grant.complete_us,
+                            TraceEvent::Failed {
+                                request: job.id,
+                                error: err.to_string(),
+                            },
+                        );
+                        job.deliver(Err(err));
                         return;
                     }
                 }
@@ -322,7 +540,14 @@ fn serve_one(shared: &Shared, job: Job) {
                     shared.counters.observe_batch_slabs(breakdown);
                 }
                 shared.counters.observe_latency(grant.complete_us);
-                let _ = tx.send(Ok(ServeResponse {
+                shared.trace(
+                    grant.complete_us,
+                    TraceEvent::Completed {
+                        request: job.id,
+                        latency_us: grant.complete_us,
+                    },
+                );
+                job.deliver(Ok(ServeResponse {
                     response: resp,
                     board: grant.board,
                     start_us: grant.start_us,
@@ -334,7 +559,11 @@ fn serve_one(shared: &Shared, job: Job) {
             Err(e) => {
                 // Only accelerator-side stream faults are transient;
                 // compile errors would fail identically on every retry.
-                let retryable = matches!(e, DriverError::Accelerator(_) | DriverError::Check(_));
+                let retryable = matches!(
+                    e,
+                    DriverError::Accelerator(_)
+                        | DriverError::Rejected(RejectReason::Invalid { .. })
+                );
                 if retryable && attempt < retries {
                     // The rejected stream still occupied the shared
                     // DMA: charge a transfer-only grant before the
@@ -343,13 +572,43 @@ fn serve_one(shared: &Shared, job: Job) {
                         .driver
                         .dma
                         .occupancy_us(attempt_words, shared.driver.hw.clock_mhz);
-                    lock_recover(&shared.arbiter).grant(0.0, wasted, wasted);
+                    {
+                        let mut arbiter = lock_recover(&shared.arbiter);
+                        let g = arbiter.grant(0.0, wasted, wasted);
+                        shared.trace(
+                            g.start_us,
+                            TraceEvent::Granted {
+                                request: job.id,
+                                board: g.board as u64,
+                                arrival_us: 0.0,
+                                transfer_us: wasted,
+                                latency_us: wasted,
+                                start_us: g.start_us,
+                                transfer_end_us: g.transfer_end_us,
+                                complete_us: g.complete_us,
+                            },
+                        );
+                    }
                     shared.counters.retried.fetch_add(1, Ordering::Relaxed);
                     attempt += 1;
+                    shared.trace(
+                        0.0,
+                        TraceEvent::Retried {
+                            request: job.id,
+                            attempt: u64::from(attempt),
+                        },
+                    );
                     continue;
                 }
                 shared.counters.failed.fetch_add(1, Ordering::Relaxed);
-                let _ = tx.send(Err(e));
+                shared.trace(
+                    0.0,
+                    TraceEvent::Failed {
+                        request: job.id,
+                        error: e.to_string(),
+                    },
+                );
+                job.deliver(Err(e));
                 return;
             }
         }
@@ -361,6 +620,7 @@ mod tests {
     use super::*;
     use netpu_nn::export::BnMode;
     use netpu_nn::zoo::ZooModel;
+    use netpu_trace::MemorySink;
     use std::sync::Arc;
 
     fn tfc() -> Arc<netpu_nn::QuantMlp> {
@@ -384,6 +644,7 @@ mod tests {
         let m = server.shutdown();
         assert_eq!((m.accepted, m.completed, m.failed), (1, 1, 0));
         assert_eq!(m.frames_completed, 1);
+        assert_eq!((m.worker_panics, m.crash_requeued), (0, 0));
         assert!(m.measured_fps().is_some());
     }
 
@@ -400,7 +661,7 @@ mod tests {
     }
 
     #[test]
-    fn strict_server_rejects_range_unsound_loadables_at_admission() {
+    fn strict_server_denies_range_unsound_loadables_at_admission() {
         let model = tfc();
         let mut loadable = compile(&model, &vec![5u8; 784]).unwrap();
         // An empty declared input interval is an error-class range
@@ -409,11 +670,14 @@ mod tests {
 
         let server = Server::start(Driver::builder().build(), ServerConfig::default());
         match server.submit(InferRequest::loadable(loadable.clone())) {
-            Submit::Invalid { report } => {
+            Submit::Denied(reason) => {
+                assert_eq!(reason.code(), "INVALID_STREAM");
+                let report = reason.report().expect("invalid carries the report");
                 assert!(report.has_range_errors());
                 assert!(!report.has_structural_errors());
+                assert!(!reason.is_transient());
             }
-            other => panic!("expected Invalid, got {other:?}"),
+            Submit::Accepted(_) => panic!("expected Denied"),
         }
         let m = server.shutdown();
         assert_eq!((m.rejected, m.range_flagged, m.range_rejected), (1, 1, 1));
@@ -438,10 +702,10 @@ mod tests {
     fn closed_server_answers_closed() {
         let server = Server::start(Driver::builder().build(), ServerConfig::default());
         server.shared.queue.close();
-        assert!(matches!(
-            server.submit(InferRequest::single(tfc(), vec![0u8; 784])),
-            Submit::Closed
-        ));
+        match server.submit(InferRequest::single(tfc(), vec![0u8; 784])) {
+            Submit::Denied(RejectReason::Closed) => {}
+            other => panic!("expected Denied(Closed), got {other:?}"),
+        }
     }
 
     #[test]
@@ -463,5 +727,129 @@ mod tests {
         let m = server.shutdown();
         assert_eq!(m.timed_out, 1);
         assert_eq!(m.completed, 0);
+    }
+
+    #[test]
+    fn crashed_worker_requeues_and_completes() {
+        let server = Server::start(
+            Driver::builder().build(),
+            ServerConfig {
+                faults: FaultPlan::CrashFirstAttempts(1),
+                ..ServerConfig::default()
+            },
+        );
+        let ticket = server
+            .submit(InferRequest::single(tfc(), vec![5u8; 784]))
+            .expect_accepted();
+        // The lone worker dies mid-DMA (poisoning the arbiter lock),
+        // recovers its own request off the queue, and completes it.
+        let served = ticket.wait().unwrap();
+        assert_eq!(served.response.runs.len(), 1);
+        let m = server.shutdown();
+        assert_eq!((m.worker_panics, m.crash_requeued), (1, 1));
+        assert_eq!((m.completed, m.failed), (1, 0));
+    }
+
+    #[test]
+    fn exhausted_crash_budget_rejects_with_worker_crash() {
+        let server = Server::start(
+            Driver::builder().build(),
+            ServerConfig {
+                faults: FaultPlan::CrashFirstAttempts(5),
+                crash_requeues: 1,
+                ..ServerConfig::default()
+            },
+        );
+        let ticket = server
+            .submit(InferRequest::single(tfc(), vec![5u8; 784]))
+            .expect_accepted();
+        match ticket.wait() {
+            Err(DriverError::Rejected(RejectReason::WorkerCrash { crashes })) => {
+                assert_eq!(crashes, 2, "one requeue, then the budget is spent");
+            }
+            other => panic!("expected worker-crash rejection, got {other:?}"),
+        }
+        let m = server.shutdown();
+        assert_eq!((m.worker_panics, m.crash_requeued), (2, 1));
+        assert_eq!((m.completed, m.failed), (0, 1));
+        // The poisoned arbiter still answers metrics queries.
+        assert_eq!(m.makespan_us, 0.0);
+    }
+
+    #[test]
+    fn crash_recovery_leaves_the_server_serving() {
+        // After a crash-rejection, later requests complete normally:
+        // the worker survived and the poisoned locks were absorbed.
+        let server = Server::start(
+            Driver::builder().build(),
+            ServerConfig {
+                faults: FaultPlan::CrashFirstAttempts(2),
+                crash_requeues: 0,
+                ..ServerConfig::default()
+            },
+        );
+        for expect_crash in [true, true, false] {
+            let outcome = server
+                .submit(InferRequest::single(tfc(), vec![5u8; 784]))
+                .expect_accepted()
+                .wait();
+            match (expect_crash, outcome) {
+                (true, Err(DriverError::Rejected(RejectReason::WorkerCrash { .. }))) => {}
+                (false, Ok(served)) => assert_eq!(served.response.runs.len(), 1),
+                (expect_crash, outcome) => {
+                    panic!("expect_crash={expect_crash}, got {outcome:?}")
+                }
+            }
+        }
+        let m = server.shutdown();
+        assert_eq!((m.worker_panics, m.completed, m.failed), (2, 1, 2));
+    }
+
+    #[test]
+    fn traced_lifecycle_verifies_through_replay() {
+        let sink = Arc::new(MemorySink::new());
+        let server = Server::start(
+            Driver::builder().build(),
+            ServerConfig {
+                faults: FaultPlan::CrashFirstAttempts(1),
+                trace: Some(Arc::clone(&sink) as Arc<dyn TraceSink>),
+                ..ServerConfig::default()
+            },
+        );
+        let ticket = server
+            .submit(InferRequest::single(tfc(), vec![5u8; 784]))
+            .expect_accepted();
+        ticket.wait().unwrap();
+        server.shutdown();
+        let records = sink.take();
+        let summary = netpu_trace::verify(&records).expect("trace verifies");
+        assert_eq!((summary.requests, summary.completed), (1, 1));
+        assert_eq!((summary.crashes, summary.requeues), (1, 1));
+        assert_eq!(summary.grants, 1);
+        assert!(summary.makespan_us > 0.0);
+    }
+
+    #[test]
+    fn lock_recover_returns_data_from_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(7u32));
+        let poisoner = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        // Recovery hands out the data as the dying thread left it, and
+        // the lock keeps working for every later acquisition.
+        *lock_recover(&m) += 1;
+        assert_eq!(*lock_recover(&m), 8);
+        assert!(m.is_poisoned(), "recovery reads through, not clears");
+    }
+
+    #[test]
+    fn lock_recover_is_a_plain_lock_when_unpoisoned() {
+        let m = Mutex::new(vec![1, 2]);
+        lock_recover(&m).push(3);
+        assert_eq!(*lock_recover(&m), vec![1, 2, 3]);
     }
 }

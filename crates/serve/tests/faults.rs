@@ -5,7 +5,7 @@
 use netpu_nn::export::BnMode;
 use netpu_nn::zoo::ZooModel;
 use netpu_runtime::{Driver, DriverError, InferRequest};
-use netpu_serve::{FaultPlan, Server, ServerConfig};
+use netpu_serve::{FaultPlan, RejectReason, Server, ServerConfig};
 
 fn loadable() -> netpu_compiler::Loadable {
     let model = ZooModel::TfcW1A1
@@ -69,8 +69,8 @@ fn exhausted_retries_fail_with_the_preflight_report() {
     match ticket.wait() {
         // The corrupted header is caught by the static pre-flight in
         // `Driver::run` before any simulation is paid for; exhausting
-        // the retry budget surfaces that report.
-        Err(DriverError::Check(report)) => {
+        // the retry budget surfaces that unified rejection.
+        Err(DriverError::Rejected(RejectReason::Invalid { report })) => {
             assert!(report.has_errors(), "pre-flight report carried no errors");
         }
         other => panic!("expected a pre-flight check error, got {other:?}"),

@@ -1,0 +1,326 @@
+#![cfg(loom)]
+//! Model-checked crash-only recovery (DESIGN.md §4.7):
+//! (`RUSTFLAGS="--cfg loom" cargo test -p netpu-serve --test loom_crash`).
+//!
+//! The server promises that a worker panic mid-serve ends in **exactly
+//! one** client-visible outcome: the request is requeued for another
+//! attempt, or rejected with `WorkerCrash` — never both, never
+//! neither, and never a second delivery once an outcome went out. This
+//! suite replays the real recovery protocol — `catch_unwind`
+//! containment, poison-absorbing `lock_recover`, `push_reclaim`
+//! requeue-or-reject, the one-shot response channel consumed at the
+//! send site — over the loom-shimmed [`BoundedQueue`] and the shared
+//! [`DmaArbiter`], with injected panics that unwind **while holding
+//! the arbiter lock** (the worst state a real crash leaves behind).
+//!
+//! Three models:
+//!
+//! * **exactly-once under crash storms** — pre- and post-delivery
+//!   crashes across concurrent workers: every request resolves to
+//!   exactly one outcome, panics/requeues/rejections balance, and the
+//!   poisoned arbiter keeps granting consistently.
+//! * **closed-queue requeue refusal** — a crash whose requeue races a
+//!   shutdown must degrade to an explicit rejection, not a silent
+//!   disconnect.
+//! * **post-delivery crash** — a panic after the outcome was sent
+//!   recovers to *nothing*: no requeue, no second delivery.
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use loom::thread;
+use netpu_serve::queue::{BoundedQueue, Push};
+use netpu_serve::DmaArbiter;
+
+const TRANSFER_US: f64 = 10.0;
+
+/// Where an injected panic unwinds, relative to outcome delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Fault {
+    /// No fault: the attempt grants a transfer and delivers success.
+    None,
+    /// Panic before delivery, while holding the arbiter lock —
+    /// recovery must requeue or reject.
+    PreDelivery,
+    /// Panic after delivery — recovery must do nothing.
+    PostDelivery,
+}
+
+/// Deterministic fault script: attempt `k` (in global pop order) gets
+/// `script[k]`; attempts past the script run fault-free.
+struct Injector {
+    attempt: usize,
+    script: Vec<Fault>,
+}
+
+impl Injector {
+    fn next_fault(&mut self) -> Fault {
+        let f = self
+            .script
+            .get(self.attempt)
+            .copied()
+            .unwrap_or(Fault::None);
+        self.attempt += 1;
+        f
+    }
+}
+
+/// A queued request carrying its one-shot response channel. `tx` is
+/// consumed at the delivery site — the same seam the real `Job` uses
+/// to make delivery exactly-once across crashes.
+struct ModelJob {
+    id: usize,
+    tx: Option<()>,
+    crashes: u32,
+}
+
+struct Shared {
+    queue: BoundedQueue<ModelJob>,
+    arbiter: Mutex<DmaArbiter>,
+    injector: Mutex<Injector>,
+    crash_requeues: u32,
+    jobs: usize,
+    /// Per-request delivery count: the exactly-once ledger.
+    deliveries: Vec<AtomicUsize>,
+    delivered_total: AtomicUsize,
+    successes: AtomicUsize,
+    rejections: AtomicUsize,
+    worker_panics: AtomicUsize,
+    crash_requeued: AtomicUsize,
+}
+
+/// The real server's poison absorber: a panicking worker poisons any
+/// lock it holds, and every later acquisition keeps going with the
+/// data as the crash left it.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Delivers an outcome through the one-shot channel; a job whose
+/// channel was already consumed delivers nothing. The worker that
+/// delivers the final outcome closes the queue (drain-then-shutdown),
+/// so workers exit without any out-of-band signal.
+fn deliver(shared: &Shared, job: &mut ModelJob, ok: bool) {
+    if job.tx.take().is_none() {
+        return;
+    }
+    shared.deliveries[job.id].fetch_add(1, Ordering::SeqCst);
+    if ok {
+        shared.successes.fetch_add(1, Ordering::SeqCst);
+    } else {
+        shared.rejections.fetch_add(1, Ordering::SeqCst);
+    }
+    if shared.delivered_total.fetch_add(1, Ordering::SeqCst) + 1 == shared.jobs {
+        shared.queue.close();
+    }
+}
+
+/// One serve attempt, mirroring `serve_one`: draw the injected fault,
+/// maybe die holding the arbiter, otherwise grant a transfer on the
+/// shared DMA and deliver success (maybe dying on the way out).
+fn serve_one(shared: &Shared, job: &mut ModelJob) {
+    let fault = lock_recover(&shared.injector).next_fault();
+    if fault == Fault::PreDelivery {
+        let _arbiter = lock_recover(&shared.arbiter);
+        panic!("injected worker crash serving request {}", job.id);
+    }
+    {
+        let mut arbiter = lock_recover(&shared.arbiter);
+        let g = arbiter.grant(0.0, TRANSFER_US, TRANSFER_US);
+        assert!(g.transfer_end_us >= g.start_us);
+    }
+    deliver(shared, job, true);
+    if fault == Fault::PostDelivery {
+        panic!("injected worker crash after delivering request {}", job.id);
+    }
+}
+
+/// The real `recover_crash` protocol, verbatim in miniature: count the
+/// panic; a consumed channel means the outcome already went out — do
+/// nothing; otherwise requeue within budget via `push_reclaim`, and on
+/// refusal (full or closed) reclaim the job and reject explicitly.
+fn recover_crash(shared: &Shared, job: ModelJob) {
+    shared.worker_panics.fetch_add(1, Ordering::SeqCst);
+    let mut job = job;
+    if job.tx.is_none() {
+        return;
+    }
+    job.crashes += 1;
+    if job.crashes <= shared.crash_requeues {
+        match shared.queue.push_reclaim(job) {
+            Ok(_) => {
+                shared.crash_requeued.fetch_add(1, Ordering::SeqCst);
+                return;
+            }
+            Err((reclaimed, _refusal)) => job = reclaimed,
+        }
+    }
+    deliver(shared, &mut job, false);
+}
+
+/// The real `worker_loop`: crash-only containment around each serve,
+/// recovery on unwind, exit when the queue closes and drains.
+fn worker_loop(shared: &Shared) {
+    while let Some(mut job) = shared.queue.pop_wait() {
+        let served =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| serve_one(shared, &mut job)));
+        if served.is_err() {
+            recover_crash(shared, job);
+        }
+    }
+}
+
+fn shared(jobs: usize, capacity: usize, crash_requeues: u32, script: Vec<Fault>) -> Arc<Shared> {
+    Arc::new(Shared {
+        queue: BoundedQueue::new(capacity),
+        arbiter: Mutex::new(DmaArbiter::new(2)),
+        injector: Mutex::new(Injector { attempt: 0, script }),
+        crash_requeues,
+        jobs,
+        deliveries: (0..jobs).map(|_| AtomicUsize::new(0)).collect(),
+        delivered_total: AtomicUsize::new(0),
+        successes: AtomicUsize::new(0),
+        rejections: AtomicUsize::new(0),
+        worker_panics: AtomicUsize::new(0),
+        crash_requeued: AtomicUsize::new(0),
+    })
+}
+
+fn submit_all(shared: &Shared) {
+    for id in 0..shared.jobs {
+        let pushed = shared.queue.push(ModelJob {
+            id,
+            tx: Some(()),
+            crashes: 0,
+        });
+        assert!(matches!(pushed, Push::Accepted { .. }), "admission refused");
+    }
+}
+
+fn spawn_workers(shared: &Arc<Shared>, n: usize) -> Vec<thread::JoinHandle<()>> {
+    (0..n)
+        .map(|_| {
+            let shared = Arc::clone(shared);
+            thread::spawn(move || worker_loop(&shared))
+        })
+        .collect()
+}
+
+/// Silences the injected panics (each model iteration unwinds several
+/// times by design) while forwarding any *unexpected* panic to the
+/// previous hook. Installed once for the whole test binary.
+fn quiet_injected_panics() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("injected worker crash"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[test]
+fn crash_storm_delivers_each_outcome_exactly_once() {
+    quiet_injected_panics();
+    loom::model(|| {
+        const JOBS: usize = 4;
+        // Three pre-delivery crashes and one post-delivery crash land
+        // on the first four pops, however the workers interleave.
+        let shared = shared(
+            JOBS,
+            JOBS,
+            1,
+            vec![
+                Fault::PreDelivery,
+                Fault::PreDelivery,
+                Fault::PreDelivery,
+                Fault::PostDelivery,
+            ],
+        );
+        submit_all(&shared);
+        let workers = spawn_workers(&shared, 2);
+        for w in workers {
+            // A lost outcome would leave the queue open and hang this
+            // join until the model watchdog fires.
+            w.join().unwrap();
+        }
+
+        // Exactly once, for every request, under every interleaving.
+        for (id, d) in shared.deliveries.iter().enumerate() {
+            assert_eq!(d.load(Ordering::SeqCst), 1, "request {id} outcome count");
+        }
+        let successes = shared.successes.load(Ordering::SeqCst);
+        let rejections = shared.rejections.load(Ordering::SeqCst);
+        let panics = shared.worker_panics.load(Ordering::SeqCst);
+        let requeued = shared.crash_requeued.load(Ordering::SeqCst);
+        assert_eq!(successes + rejections, JOBS);
+        assert_eq!(panics, 4, "every scripted fault fired");
+        // Each pre-delivery crash resolved as a requeue or a rejection
+        // — never both, never neither. With a budget of one requeue, a
+        // rejection needs the same job crashed twice, so at most one
+        // of the three pre-delivery crashes can end in rejection.
+        assert_eq!(requeued + rejections, 3);
+        assert!(rejections <= 1, "rejections = {rejections}");
+        // The arbiter was poisoned by every pre-delivery crash, yet
+        // its bookkeeping stayed exact: one transfer per success (the
+        // post-delivery crash granted and delivered before dying).
+        let busy = lock_recover(&shared.arbiter).dma_busy_us();
+        assert!((busy - successes as f64 * TRANSFER_US).abs() < 1e-9);
+        assert!(shared.queue.is_empty());
+    });
+}
+
+#[test]
+fn requeue_refused_by_shutdown_degrades_to_explicit_rejection() {
+    quiet_injected_panics();
+    loom::model(|| {
+        const JOBS: usize = 2;
+        let shared = shared(JOBS, JOBS, 1, vec![Fault::PreDelivery]);
+        submit_all(&shared);
+        // Shutdown races the workers: admission closes while both
+        // queued jobs are still in flight, so the crashed job's
+        // requeue is refused (`Push::Closed`) even though its crash
+        // budget is unspent — recovery must reclaim it and answer the
+        // client with an explicit rejection.
+        shared.queue.close();
+        let workers = spawn_workers(&shared, 2);
+        for w in workers {
+            w.join().unwrap();
+        }
+
+        for (id, d) in shared.deliveries.iter().enumerate() {
+            assert_eq!(d.load(Ordering::SeqCst), 1, "request {id} outcome count");
+        }
+        assert_eq!(shared.worker_panics.load(Ordering::SeqCst), 1);
+        assert_eq!(shared.crash_requeued.load(Ordering::SeqCst), 0);
+        assert_eq!(shared.rejections.load(Ordering::SeqCst), 1);
+        assert_eq!(shared.successes.load(Ordering::SeqCst), 1);
+    });
+}
+
+#[test]
+fn post_delivery_crash_recovers_to_nothing() {
+    quiet_injected_panics();
+    loom::model(|| {
+        let shared = shared(1, 1, 1, vec![Fault::PostDelivery]);
+        submit_all(&shared);
+        let workers = spawn_workers(&shared, 1);
+        for w in workers {
+            w.join().unwrap();
+        }
+
+        // The outcome went out before the crash: recovery counts the
+        // panic and touches nothing else — no requeue, no rejection,
+        // no second delivery.
+        assert_eq!(shared.deliveries[0].load(Ordering::SeqCst), 1);
+        assert_eq!(shared.worker_panics.load(Ordering::SeqCst), 1);
+        assert_eq!(shared.crash_requeued.load(Ordering::SeqCst), 0);
+        assert_eq!(shared.rejections.load(Ordering::SeqCst), 0);
+        assert_eq!(shared.successes.load(Ordering::SeqCst), 1);
+    });
+}

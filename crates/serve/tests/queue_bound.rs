@@ -6,7 +6,7 @@
 use netpu_nn::export::BnMode;
 use netpu_nn::zoo::ZooModel;
 use netpu_runtime::{Driver, InferRequest};
-use netpu_serve::{Server, ServerConfig, Submit};
+use netpu_serve::{RejectReason, Server, ServerConfig, Submit};
 use proptest::prelude::*;
 
 proptest! {
@@ -35,12 +35,11 @@ proptest! {
         for k in 0..n {
             match server.submit(InferRequest::loadable(loadable.clone())) {
                 Submit::Accepted(t) => tickets.push(t),
-                Submit::Rejected { queue_len } => {
+                Submit::Denied(RejectReason::QueueFull { queue_len }) => {
                     prop_assert_eq!(queue_len, capacity);
                     rejected += 1;
                 }
-                Submit::Closed => panic!("server closed early"),
-                Submit::Invalid { report } => panic!("pre-flight rejected: {report}"),
+                Submit::Denied(reason) => panic!("unexpected denial: {reason}"),
             }
             // Random drain cadence: sometimes wait a pending ticket
             // mid-stream, freeing queue space at irregular points.

@@ -1,0 +1,802 @@
+//! The canonical binary wire format.
+//!
+//! Design constraints, in order: **(1) canonical** — for any byte
+//! string the decoder accepts, re-encoding the decoded records
+//! reproduces the input byte-for-byte, so "this anomaly trace replays
+//! byte-identically" is a meaningful equality, not a fuzzy diff;
+//! **(2) compact** — varints for counters and IDs, single tag bytes
+//! per event; **(3) self-checking** — a magic header, explicit
+//! version, and structured [`CodecError`]s with byte offsets.
+//!
+//! Layout:
+//!
+//! ```text
+//! file    := magic version record*
+//! magic   := "NPTB" (4 bytes)          version := 0x01
+//! record  := tag:u8 seq:uv t_us:f64 payload(tag)
+//! uv      := canonical LEB128 (minimal length enforced on decode)
+//! iv      := zigzag(i64) as uv
+//! f64     := IEEE-754 bits, 8 bytes little-endian (bit-exact)
+//! str     := len:uv utf8-bytes
+//! opt_uv  := 0x00 | 0x01 uv
+//! bool    := 0x00 | 0x01
+//! ```
+//!
+//! Canonicality notes: LEB128 decoding rejects non-minimal encodings
+//! (a continuation chain ending in a zero byte) and overlong chains;
+//! floats travel as raw bit patterns so `NaN` payloads and `-0.0`
+//! survive; booleans and option flags reject bytes other than 0/1.
+
+use crate::record::{RuleHit, StageCode, TraceEvent, TraceRecord};
+use netpu_arith::cast;
+use std::fmt;
+
+/// File magic: "NPTB" (NetPU Trace Binary).
+pub const MAGIC: [u8; 4] = *b"NPTB";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+const TAG_META: u8 = 0;
+const TAG_SUBMITTED: u8 = 1;
+const TAG_ADMITTED: u8 = 2;
+const TAG_REJECTED: u8 = 3;
+const TAG_GRANTED: u8 = 4;
+const TAG_RETRIED: u8 = 5;
+const TAG_COMPLETED: u8 = 6;
+const TAG_FAILED: u8 = 7;
+const TAG_WORKER_CRASH: u8 = 8;
+const TAG_REQUEUED: u8 = 9;
+const TAG_SIM: u8 = 10;
+const TAG_PROBE: u8 = 11;
+
+/// A structured decode failure, carrying the byte offset it fired at.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The file does not start with [`MAGIC`] + [`VERSION`].
+    BadHeader,
+    /// The input ended mid-record.
+    Truncated {
+        /// Offset at which more bytes were needed.
+        offset: usize,
+    },
+    /// An unknown event tag byte.
+    BadTag {
+        /// The offending tag.
+        tag: u8,
+        /// Offset of the tag byte.
+        offset: usize,
+    },
+    /// A varint was overlong or non-minimal (non-canonical input).
+    BadVarint {
+        /// Offset of the varint's first byte.
+        offset: usize,
+    },
+    /// A string payload was not valid UTF-8.
+    BadUtf8 {
+        /// Offset of the string's first byte.
+        offset: usize,
+    },
+    /// A boolean or option flag byte was neither 0 nor 1.
+    BadFlag {
+        /// Offset of the flag byte.
+        offset: usize,
+    },
+    /// A probe stage byte was out of range.
+    BadStage {
+        /// Offset of the stage byte.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadHeader => f.write_str("bad trace magic/version header"),
+            CodecError::Truncated { offset } => {
+                write!(f, "trace truncated at byte {offset}")
+            }
+            CodecError::BadTag { tag, offset } => {
+                write!(f, "unknown event tag {tag} at byte {offset}")
+            }
+            CodecError::BadVarint { offset } => {
+                write!(f, "non-canonical varint at byte {offset}")
+            }
+            CodecError::BadUtf8 { offset } => {
+                write!(f, "invalid UTF-8 string at byte {offset}")
+            }
+            CodecError::BadFlag { offset } => {
+                write!(f, "invalid flag byte at byte {offset}")
+            }
+            CodecError::BadStage { offset } => {
+                write!(f, "invalid probe stage byte at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_uv(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = cast::lo8(v & 0x7F);
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_iv(out: &mut Vec<u8>, v: i64) {
+    // Zigzag: interleave sign so small magnitudes stay short.
+    let bits = u64::from_ne_bytes(v.to_ne_bytes());
+    let sign = u64::from_ne_bytes((v >> 63).to_ne_bytes());
+    put_uv(out, (bits << 1) ^ sign);
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_uv(out, cast::u64_from_usize(s.len()));
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, b: bool) {
+    out.push(u8::from(b));
+}
+
+fn put_opt_uv(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            put_uv(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+/// Serializes records into the canonical wire format.
+pub fn encode_records(records: &[TraceRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(6 + records.len() * 16);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    for rec in records {
+        encode_record(&mut out, rec);
+    }
+    out
+}
+
+fn encode_record(out: &mut Vec<u8>, rec: &TraceRecord) {
+    let tag = match &rec.event {
+        TraceEvent::Meta { .. } => TAG_META,
+        TraceEvent::Submitted { .. } => TAG_SUBMITTED,
+        TraceEvent::Admitted { .. } => TAG_ADMITTED,
+        TraceEvent::Rejected { .. } => TAG_REJECTED,
+        TraceEvent::Granted { .. } => TAG_GRANTED,
+        TraceEvent::Retried { .. } => TAG_RETRIED,
+        TraceEvent::Completed { .. } => TAG_COMPLETED,
+        TraceEvent::Failed { .. } => TAG_FAILED,
+        TraceEvent::WorkerCrash { .. } => TAG_WORKER_CRASH,
+        TraceEvent::Requeued { .. } => TAG_REQUEUED,
+        TraceEvent::Sim { .. } => TAG_SIM,
+        TraceEvent::Probe { .. } => TAG_PROBE,
+    };
+    out.push(tag);
+    put_uv(out, rec.seq);
+    put_f64(out, rec.t_us);
+    match &rec.event {
+        TraceEvent::Meta { key, value } => {
+            put_str(out, key);
+            put_str(out, value);
+        }
+        TraceEvent::Submitted {
+            request,
+            tenant,
+            model,
+        } => {
+            put_uv(out, *request);
+            put_uv(out, *tenant);
+            put_uv(out, *model);
+        }
+        TraceEvent::Admitted {
+            request,
+            range_flagged,
+        } => {
+            put_uv(out, *request);
+            put_bool(out, *range_flagged);
+        }
+        TraceEvent::Rejected {
+            request,
+            code,
+            rules,
+        } => {
+            put_uv(out, *request);
+            put_str(out, code);
+            put_uv(out, cast::u64_from_usize(rules.len()));
+            for hit in rules {
+                put_str(out, &hit.rule);
+                put_opt_uv(out, hit.byte_offset);
+            }
+        }
+        TraceEvent::Granted {
+            request,
+            board,
+            arrival_us,
+            transfer_us,
+            latency_us,
+            start_us,
+            transfer_end_us,
+            complete_us,
+        } => {
+            put_uv(out, *request);
+            put_uv(out, *board);
+            put_f64(out, *arrival_us);
+            put_f64(out, *transfer_us);
+            put_f64(out, *latency_us);
+            put_f64(out, *start_us);
+            put_f64(out, *transfer_end_us);
+            put_f64(out, *complete_us);
+        }
+        TraceEvent::Retried { request, attempt } => {
+            put_uv(out, *request);
+            put_uv(out, *attempt);
+        }
+        TraceEvent::Completed {
+            request,
+            latency_us,
+        } => {
+            put_uv(out, *request);
+            put_f64(out, *latency_us);
+        }
+        TraceEvent::Failed { request, error } => {
+            put_uv(out, *request);
+            put_str(out, error);
+        }
+        TraceEvent::WorkerCrash { worker, request } => {
+            put_uv(out, *worker);
+            put_uv(out, *request);
+        }
+        TraceEvent::Requeued { request, crashes } => {
+            put_uv(out, *request);
+            put_uv(out, *crashes);
+        }
+        TraceEvent::Sim {
+            cycle,
+            scope,
+            message,
+        } => {
+            put_uv(out, *cycle);
+            put_str(out, scope);
+            put_str(out, message);
+        }
+        TraceEvent::Probe {
+            layer,
+            neuron,
+            stage,
+            value,
+        } => {
+            put_uv(out, *layer);
+            put_uv(out, *neuron);
+            out.push(stage.to_byte());
+            put_iv(out, *value);
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        let Some(&b) = self.bytes.get(self.pos) else {
+            return Err(CodecError::Truncated { offset: self.pos });
+        };
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn uv(&mut self) -> Result<u64, CodecError> {
+        let start = self.pos;
+        let mut value: u64 = 0;
+        let mut shift: u32 = 0;
+        loop {
+            let byte = self
+                .u8()
+                .map_err(|_| CodecError::Truncated { offset: start })?;
+            let payload = u64::from(byte & 0x7F);
+            // Canonical LEB128: reject chains longer than 10 bytes,
+            // high bits that overflow u64, and non-minimal encodings
+            // (a multi-byte chain whose final byte is zero).
+            if shift == 63 && payload > 1 {
+                return Err(CodecError::BadVarint { offset: start });
+            }
+            if shift > 63 {
+                return Err(CodecError::BadVarint { offset: start });
+            }
+            value |= payload << shift;
+            if byte & 0x80 == 0 {
+                if byte == 0 && shift > 0 {
+                    return Err(CodecError::BadVarint { offset: start });
+                }
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    fn iv(&mut self) -> Result<i64, CodecError> {
+        let z = self.uv()?;
+        // Un-zigzag: (z >> 1) ^ -(z & 1), computed in unsigned bits.
+        let neg = 0u64.wrapping_sub(z & 1);
+        Ok(i64::from_ne_bytes(((z >> 1) ^ neg).to_ne_bytes()))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        let start = self.pos;
+        let Some(chunk) = self.bytes.get(self.pos..self.pos + 8) else {
+            return Err(CodecError::Truncated { offset: start });
+        };
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(chunk);
+        self.pos += 8;
+        Ok(f64::from_bits(u64::from_le_bytes(raw)))
+    }
+
+    fn str(&mut self) -> Result<String, CodecError> {
+        let start = self.pos;
+        let len = self.uv()?;
+        let len = usize::try_from(len).map_err(|_| CodecError::BadVarint { offset: start })?;
+        let Some(raw) = self.bytes.get(self.pos..self.pos.saturating_add(len)) else {
+            return Err(CodecError::Truncated { offset: self.pos });
+        };
+        let s = std::str::from_utf8(raw)
+            .map_err(|_| CodecError::BadUtf8 { offset: self.pos })?
+            .to_string();
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn bool(&mut self) -> Result<bool, CodecError> {
+        let offset = self.pos;
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::BadFlag { offset }),
+        }
+    }
+
+    fn opt_uv(&mut self) -> Result<Option<u64>, CodecError> {
+        let offset = self.pos;
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.uv()?)),
+            _ => Err(CodecError::BadFlag { offset }),
+        }
+    }
+}
+
+/// Decodes a canonical trace file into records.
+pub fn decode_records(bytes: &[u8]) -> Result<Vec<TraceRecord>, CodecError> {
+    let Some(header) = bytes.get(..5) else {
+        return Err(CodecError::BadHeader);
+    };
+    if header[..4] != MAGIC || header[4] != VERSION {
+        return Err(CodecError::BadHeader);
+    }
+    let mut cur = Cursor { bytes, pos: 5 };
+    let mut records = Vec::new();
+    while cur.pos < bytes.len() {
+        records.push(decode_record(&mut cur)?);
+    }
+    Ok(records)
+}
+
+fn decode_record(cur: &mut Cursor<'_>) -> Result<TraceRecord, CodecError> {
+    let tag_offset = cur.pos;
+    let tag = cur.u8()?;
+    if tag > TAG_PROBE {
+        return Err(CodecError::BadTag {
+            tag,
+            offset: tag_offset,
+        });
+    }
+    let seq = cur.uv()?;
+    let t_us = cur.f64()?;
+    let event = match tag {
+        TAG_META => TraceEvent::Meta {
+            key: cur.str()?,
+            value: cur.str()?,
+        },
+        TAG_SUBMITTED => TraceEvent::Submitted {
+            request: cur.uv()?,
+            tenant: cur.uv()?,
+            model: cur.uv()?,
+        },
+        TAG_ADMITTED => TraceEvent::Admitted {
+            request: cur.uv()?,
+            range_flagged: cur.bool()?,
+        },
+        TAG_REJECTED => {
+            let request = cur.uv()?;
+            let code = cur.str()?;
+            let count = cur.uv()?;
+            let count =
+                usize::try_from(count).map_err(|_| CodecError::BadVarint { offset: tag_offset })?;
+            let mut rules = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                rules.push(RuleHit {
+                    rule: cur.str()?,
+                    byte_offset: cur.opt_uv()?,
+                });
+            }
+            TraceEvent::Rejected {
+                request,
+                code,
+                rules,
+            }
+        }
+        TAG_GRANTED => TraceEvent::Granted {
+            request: cur.uv()?,
+            board: cur.uv()?,
+            arrival_us: cur.f64()?,
+            transfer_us: cur.f64()?,
+            latency_us: cur.f64()?,
+            start_us: cur.f64()?,
+            transfer_end_us: cur.f64()?,
+            complete_us: cur.f64()?,
+        },
+        TAG_RETRIED => TraceEvent::Retried {
+            request: cur.uv()?,
+            attempt: cur.uv()?,
+        },
+        TAG_COMPLETED => TraceEvent::Completed {
+            request: cur.uv()?,
+            latency_us: cur.f64()?,
+        },
+        TAG_FAILED => TraceEvent::Failed {
+            request: cur.uv()?,
+            error: cur.str()?,
+        },
+        TAG_WORKER_CRASH => TraceEvent::WorkerCrash {
+            worker: cur.uv()?,
+            request: cur.uv()?,
+        },
+        TAG_REQUEUED => TraceEvent::Requeued {
+            request: cur.uv()?,
+            crashes: cur.uv()?,
+        },
+        TAG_SIM => TraceEvent::Sim {
+            cycle: cur.uv()?,
+            scope: cur.str()?,
+            message: cur.str()?,
+        },
+        TAG_PROBE => {
+            let layer = cur.uv()?;
+            let neuron = cur.uv()?;
+            let stage_offset = cur.pos;
+            let stage = StageCode::from_byte(cur.u8()?).ok_or(CodecError::BadStage {
+                offset: stage_offset,
+            })?;
+            TraceEvent::Probe {
+                layer,
+                neuron,
+                stage,
+                value: cur.iv()?,
+            }
+        }
+        other => {
+            return Err(CodecError::BadTag {
+                tag: other,
+                offset: tag_offset,
+            })
+        }
+    };
+    Ok(TraceRecord { seq, t_us, event })
+}
+
+/// A decoded trace, retaining the records for inspection and replay.
+///
+/// `TraceReader` is the read half of the format: [`decode`] parses and
+/// validates the canonical encoding, [`to_bytes`] re-serializes — and
+/// the two compose to the identity on any accepted input, which is the
+/// property the replay pipeline and its tests pin.
+///
+/// [`decode`]: TraceReader::decode
+/// [`to_bytes`]: TraceReader::to_bytes
+#[derive(Clone, PartialEq, Debug)]
+pub struct TraceReader {
+    records: Vec<TraceRecord>,
+}
+
+impl TraceReader {
+    /// Parses a canonical trace file.
+    pub fn decode(bytes: &[u8]) -> Result<TraceReader, CodecError> {
+        Ok(TraceReader {
+            records: decode_records(bytes)?,
+        })
+    }
+
+    /// Wraps already-decoded records (e.g. straight from a sink).
+    pub fn from_records(records: Vec<TraceRecord>) -> TraceReader {
+        TraceReader { records }
+    }
+
+    /// The decoded records in sequence order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Consumes the reader, returning the records.
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Re-encodes to the canonical wire format. For any input
+    /// [`decode`](TraceReader::decode) accepted, this reproduces it
+    /// byte-for-byte.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        encode_records(&self.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        let events = vec![
+            TraceEvent::Meta {
+                key: "run".into(),
+                value: "unit".into(),
+            },
+            TraceEvent::Submitted {
+                request: 1,
+                tenant: 300,
+                model: u64::MAX,
+            },
+            TraceEvent::Admitted {
+                request: 1,
+                range_flagged: true,
+            },
+            TraceEvent::Rejected {
+                request: 2,
+                code: "INVALID_STREAM".into(),
+                rules: vec![
+                    RuleHit {
+                        rule: "NPC001".into(),
+                        byte_offset: Some(0),
+                    },
+                    RuleHit {
+                        rule: "NPC014".into(),
+                        byte_offset: None,
+                    },
+                ],
+            },
+            TraceEvent::Granted {
+                request: 1,
+                board: 3,
+                arrival_us: 0.0,
+                transfer_us: 12.5,
+                latency_us: 40.0,
+                start_us: 0.0,
+                transfer_end_us: 12.5,
+                complete_us: 40.0,
+            },
+            TraceEvent::Retried {
+                request: 1,
+                attempt: 2,
+            },
+            TraceEvent::Completed {
+                request: 1,
+                latency_us: 40.0,
+            },
+            TraceEvent::Failed {
+                request: 3,
+                error: "timeout".into(),
+            },
+            TraceEvent::WorkerCrash {
+                worker: 0,
+                request: 4,
+            },
+            TraceEvent::Requeued {
+                request: 4,
+                crashes: 1,
+            },
+            TraceEvent::Sim {
+                cycle: 128,
+                scope: "dma".into(),
+                message: "burst start".into(),
+            },
+            TraceEvent::Probe {
+                layer: 1,
+                neuron: 9,
+                stage: StageCode::PostBn,
+                value: i64::MIN,
+            },
+        ];
+        events
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| TraceRecord {
+                seq: netpu_arith::cast::u64_from_usize(i),
+                t_us: netpu_arith::cast::f64_from_usize(i) * 1.5,
+                event,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let records = sample_records();
+        let bytes = encode_records(&records);
+        let decoded = decode_records(&bytes).expect("decode");
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn decode_then_encode_is_byte_identity() {
+        let bytes = encode_records(&sample_records());
+        let reader = TraceReader::decode(&bytes).expect("decode");
+        assert_eq!(reader.to_bytes(), bytes);
+        assert_eq!(reader.len(), 12);
+        assert!(!reader.is_empty());
+    }
+
+    #[test]
+    fn extreme_scalars_roundtrip() {
+        let records = vec![TraceRecord {
+            seq: u64::MAX,
+            t_us: f64::NEG_INFINITY,
+            event: TraceEvent::Probe {
+                layer: u64::MAX,
+                neuron: 0,
+                stage: StageCode::Score,
+                value: i64::MAX,
+            },
+        }];
+        let bytes = encode_records(&records);
+        assert_eq!(decode_records(&bytes).expect("decode"), records);
+    }
+
+    #[test]
+    fn negative_zero_and_nan_bits_survive() {
+        let records = vec![TraceRecord {
+            seq: 0,
+            t_us: -0.0,
+            event: TraceEvent::Completed {
+                request: 0,
+                latency_us: f64::from_bits(0x7FF8_0000_0000_1234),
+            },
+        }];
+        let bytes = encode_records(&records);
+        let reader = TraceReader::decode(&bytes).expect("decode");
+        assert_eq!(reader.to_bytes(), bytes);
+        let TraceEvent::Completed { latency_us, .. } = reader.records()[0].event else {
+            panic!("wrong variant");
+        };
+        assert_eq!(latency_us.to_bits(), 0x7FF8_0000_0000_1234);
+        assert_eq!(reader.records()[0].t_us.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn bad_header_and_bad_tag_are_rejected() {
+        assert_eq!(decode_records(b"NOPE"), Err(CodecError::BadHeader));
+        assert_eq!(decode_records(b"NPTB\x02"), Err(CodecError::BadHeader));
+        let mut bytes = encode_records(&[]);
+        bytes.push(0xFE);
+        assert_eq!(
+            decode_records(&bytes),
+            Err(CodecError::BadTag {
+                tag: 0xFE,
+                offset: 5
+            })
+        );
+    }
+
+    #[test]
+    fn truncation_reports_offset() {
+        let bytes = encode_records(&sample_records());
+        for cut in [6, bytes.len() - 1] {
+            let err = decode_records(&bytes[..cut]).expect_err("truncated");
+            assert!(matches!(err, CodecError::Truncated { .. }), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn non_minimal_varints_are_rejected() {
+        // seq encoded as 0x80 0x00: a two-byte encoding of zero.
+        let mut bytes = encode_records(&[]);
+        bytes.push(TAG_SUBMITTED);
+        bytes.extend_from_slice(&[0x80, 0x00]);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&[0, 0, 0]);
+        assert_eq!(
+            decode_records(&bytes),
+            Err(CodecError::BadVarint { offset: 6 })
+        );
+    }
+
+    #[test]
+    fn overlong_varints_are_rejected() {
+        let mut bytes = encode_records(&[]);
+        bytes.push(TAG_SUBMITTED);
+        // 11 continuation bytes cannot fit a u64.
+        bytes.extend_from_slice(&[0xFF; 10]);
+        bytes.push(0x7F);
+        assert!(matches!(
+            decode_records(&bytes),
+            Err(CodecError::BadVarint { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_flag_and_bad_stage_are_rejected() {
+        let ok = encode_records(&[TraceRecord {
+            seq: 0,
+            t_us: 0.0,
+            event: TraceEvent::Admitted {
+                request: 1,
+                range_flagged: false,
+            },
+        }]);
+        let mut bad = ok.clone();
+        let last = bad.len() - 1;
+        bad[last] = 7;
+        assert!(matches!(
+            decode_records(&bad),
+            Err(CodecError::BadFlag { .. })
+        ));
+
+        let ok = encode_records(&[TraceRecord {
+            seq: 0,
+            t_us: 0.0,
+            event: TraceEvent::Probe {
+                layer: 0,
+                neuron: 0,
+                stage: StageCode::Level,
+                value: 0,
+            },
+        }]);
+        let mut bad = ok.clone();
+        let stage_at = bad.len() - 2;
+        bad[stage_at] = 9;
+        assert!(matches!(
+            decode_records(&bad),
+            Err(CodecError::BadStage { .. })
+        ));
+    }
+
+    #[test]
+    fn zigzag_covers_sign_range() {
+        for v in [i64::MIN, -2, -1, 0, 1, 2, i64::MAX] {
+            let records = vec![TraceRecord {
+                seq: 0,
+                t_us: 0.0,
+                event: TraceEvent::Probe {
+                    layer: 0,
+                    neuron: 0,
+                    stage: StageCode::Accumulator,
+                    value: v,
+                },
+            }];
+            let bytes = encode_records(&records);
+            assert_eq!(decode_records(&bytes).expect("decode"), records);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+#![deny(missing_docs)]
+//! Compact binary trace/replay format for the NetPU-M stack.
+//!
+//! ROADMAP item 5's replayability half: any anomaly observed in a
+//! serving run — a crash, a misscheduled DMA window, a rejected
+//! stream — should replay as a deterministic test case from a small
+//! binary artifact. Three pieces (DESIGN.md §4.7):
+//!
+//! * [`record`] — the event vocabulary: request lifecycle events from
+//!   the serving layers (`Submitted` → `Admitted`/`Rejected` →
+//!   `Granted`/`Retried`/`WorkerCrash`/`Requeued` →
+//!   `Completed`/`Failed`), simulator tracer lines and datapath-probe
+//!   samples forwarded by the driver, all stamped with **virtual**
+//!   `DmaArbiter` timestamps.
+//! * [`codec`] — the canonical wire format (`"NPTB"` magic, tag bytes,
+//!   minimal LEB128, bit-exact floats): decode∘encode is the identity
+//!   on every accepted input, so "replays byte-identically" is a real
+//!   equality.
+//! * [`sink`] / [`replay`] — the [`TraceSink`] trait every layer
+//!   records through (the driver, `netpu-serve`, `netpu-fleet`), and
+//!   [`replay::verify`], which re-derives the arbiter schedule and the
+//!   exactly-once request lifecycle from the records alone.
+//!
+//! `cargo run -p xtask -- replay <file>` runs the same verification
+//! over a trace file from the command line.
+//!
+//! ```
+//! use netpu_trace::{MemorySink, TraceEvent, TraceReader, TraceSink};
+//!
+//! let sink = MemorySink::new();
+//! sink.record(0.0, TraceEvent::Submitted { request: 1, tenant: 0, model: 0 });
+//! sink.record(0.0, TraceEvent::Admitted { request: 1, range_flagged: false });
+//! sink.record(25.0, TraceEvent::Completed { request: 1, latency_us: 25.0 });
+//!
+//! let bytes = sink.to_bytes();
+//! let reader = TraceReader::decode(&bytes).unwrap();
+//! assert_eq!(reader.to_bytes(), bytes); // canonical round trip
+//! let summary = netpu_trace::replay::verify(reader.records()).unwrap();
+//! assert_eq!(summary.completed, 1);
+//! ```
+
+pub mod codec;
+pub mod record;
+pub mod replay;
+pub mod sink;
+
+pub use codec::{decode_records, encode_records, CodecError, TraceReader, MAGIC, VERSION};
+pub use record::{RuleHit, StageCode, TraceEvent, TraceRecord};
+pub use replay::{verify, ReplayError, ReplaySummary};
+pub use sink::{MemorySink, NullSink, TraceSink};

@@ -1,0 +1,337 @@
+//! Trace records and the event vocabulary.
+//!
+//! One [`TraceRecord`] is one observation: a monotone sequence number
+//! assigned by the sink, a **virtual** timestamp in microseconds (the
+//! serving layers' `DmaArbiter` clock, never the wall clock — this is
+//! what makes recorded runs replayable), and a [`TraceEvent`].
+//!
+//! The vocabulary deliberately spans every layer of the stack: request
+//! lifecycle events from `netpu-serve`/`netpu-fleet` (submit, admit,
+//! reject, grant, retry, crash, requeue, complete), simulator tracer
+//! lines and datapath-probe samples forwarded by the driver, and
+//! free-form `Meta` annotations. A single flat stream means replay
+//! verification can cross-check layers against each other — e.g. that
+//! every `Granted` window respects the arbiter schedule implied by the
+//! grants before it.
+
+use netpu_check::RejectReason;
+use netpu_sim::{ProbeSample, ProbeStage};
+
+/// One error-severity verifier finding attached to a
+/// [`TraceEvent::Rejected`] event: the stable NPC rule ID and the byte
+/// offset into the serialized stream, when the rule reports one.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RuleHit {
+    /// Stable rule ID string, e.g. `"NPC005"`.
+    pub rule: String,
+    /// Byte offset of the finding in the serialized stream.
+    pub byte_offset: Option<u64>,
+}
+
+/// Datapath stage of a [`TraceEvent::Probe`] sample, as a stable wire
+/// code decoupled from `netpu_sim::ProbeStage`'s in-memory layout.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StageCode {
+    /// Post-bias accumulator entering the post-MAC stages.
+    Accumulator,
+    /// Post-BatchNorm raw fixed-point word.
+    PostBn,
+    /// Activation output level.
+    Level,
+    /// Output-layer score word.
+    Score,
+}
+
+impl StageCode {
+    /// Wire byte for the codec.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            StageCode::Accumulator => 0,
+            StageCode::PostBn => 1,
+            StageCode::Level => 2,
+            StageCode::Score => 3,
+        }
+    }
+
+    /// Inverse of [`to_byte`](StageCode::to_byte).
+    pub fn from_byte(b: u8) -> Option<StageCode> {
+        match b {
+            0 => Some(StageCode::Accumulator),
+            1 => Some(StageCode::PostBn),
+            2 => Some(StageCode::Level),
+            3 => Some(StageCode::Score),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProbeStage> for StageCode {
+    fn from(stage: ProbeStage) -> StageCode {
+        match stage {
+            ProbeStage::Accumulator => StageCode::Accumulator,
+            ProbeStage::PostBn => StageCode::PostBn,
+            ProbeStage::Level => StageCode::Level,
+            ProbeStage::Score => StageCode::Score,
+        }
+    }
+}
+
+/// One traced observation. See the module docs for the vocabulary's
+/// layering; the codec in [`codec`](crate::codec) assigns each variant
+/// a stable tag byte.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// Free-form annotation (config digests, corpus IDs, run labels).
+    Meta {
+        /// Annotation key.
+        key: String,
+        /// Annotation value.
+        value: String,
+    },
+    /// A request entered an admission gate.
+    Submitted {
+        /// Request ID, unique within the trace.
+        request: u64,
+        /// Submitting tenant (0 for single-tenant serving).
+        tenant: u64,
+        /// Model identity (0 when anonymous).
+        model: u64,
+    },
+    /// The admission gate let the request through.
+    Admitted {
+        /// Request ID.
+        request: u64,
+        /// Lenient-mode range findings were present but waved through.
+        range_flagged: bool,
+    },
+    /// The admission gate (or crash recovery) refused the request. The
+    /// `code` string is [`RejectReason::code`]; `rules` carries the NPC
+    /// findings of an `INVALID_STREAM` refusal.
+    Rejected {
+        /// Request ID.
+        request: u64,
+        /// Stable refusal-class code.
+        code: String,
+        /// NPC findings with byte offsets, for `INVALID_STREAM`.
+        rules: Vec<RuleHit>,
+    },
+    /// The `DmaArbiter` granted the request a DMA window and a board.
+    /// The inputs (`arrival_us`, `transfer_us`, `latency_us`) and the
+    /// schedule outputs are both recorded so replay can re-derive the
+    /// outputs from the inputs and fail on any divergence.
+    Granted {
+        /// Request ID.
+        request: u64,
+        /// Board the grant landed on.
+        board: u64,
+        /// Arrival time presented to the arbiter.
+        arrival_us: f64,
+        /// Requested DMA transfer duration.
+        transfer_us: f64,
+        /// Requested end-to-end service latency.
+        latency_us: f64,
+        /// Scheduled DMA start.
+        start_us: f64,
+        /// Scheduled DMA bus release.
+        transfer_end_us: f64,
+        /// Scheduled board completion.
+        complete_us: f64,
+    },
+    /// A failed attempt is being retried.
+    Retried {
+        /// Request ID.
+        request: u64,
+        /// 1-based attempt number that failed.
+        attempt: u64,
+    },
+    /// The request completed and its response was delivered.
+    Completed {
+        /// Request ID.
+        request: u64,
+        /// End-to-end virtual latency.
+        latency_us: f64,
+    },
+    /// The request failed terminally (post-admission error or timeout).
+    Failed {
+        /// Request ID.
+        request: u64,
+        /// Display form of the terminal error.
+        error: String,
+    },
+    /// A worker panicked while serving the request. Not terminal: a
+    /// `Requeued` or `Rejected` event for the same request follows.
+    WorkerCrash {
+        /// Worker index that died.
+        worker: u64,
+        /// Request it was serving.
+        request: u64,
+    },
+    /// Crash recovery put the request back on the admission queue.
+    Requeued {
+        /// Request ID.
+        request: u64,
+        /// Worker deaths this request has survived so far.
+        crashes: u64,
+    },
+    /// One simulator tracer line forwarded by the driver.
+    Sim {
+        /// Simulator cycle.
+        cycle: u64,
+        /// Component scope.
+        scope: String,
+        /// Event message.
+        message: String,
+    },
+    /// One datapath probe sample forwarded by the driver.
+    Probe {
+        /// Hardware layer index.
+        layer: u64,
+        /// Neuron index within the layer.
+        neuron: u64,
+        /// Datapath stage.
+        stage: StageCode,
+        /// Observed raw value.
+        value: i64,
+    },
+}
+
+impl TraceEvent {
+    /// Builds a [`TraceEvent::Rejected`] from the unified
+    /// [`RejectReason`], carrying its class code and NPC findings.
+    pub fn rejected(request: u64, reason: &RejectReason) -> TraceEvent {
+        let rules = reason
+            .rules()
+            .into_iter()
+            .map(|(rule, offset)| RuleHit {
+                rule: rule.id().to_string(),
+                byte_offset: offset.map(netpu_arith::cast::u64_from_usize),
+            })
+            .collect();
+        TraceEvent::Rejected {
+            request,
+            code: reason.code().to_string(),
+            rules,
+        }
+    }
+
+    /// Builds a [`TraceEvent::Probe`] from a simulator probe sample.
+    pub fn probe(sample: &ProbeSample) -> TraceEvent {
+        TraceEvent::Probe {
+            layer: netpu_arith::cast::u64_from_usize(sample.layer),
+            neuron: netpu_arith::cast::u64_from_usize(sample.neuron),
+            stage: StageCode::from(sample.stage),
+            value: sample.value,
+        }
+    }
+
+    /// The request ID the event concerns, when it concerns one.
+    pub fn request(&self) -> Option<u64> {
+        match self {
+            TraceEvent::Submitted { request, .. }
+            | TraceEvent::Admitted { request, .. }
+            | TraceEvent::Rejected { request, .. }
+            | TraceEvent::Granted { request, .. }
+            | TraceEvent::Retried { request, .. }
+            | TraceEvent::Completed { request, .. }
+            | TraceEvent::Failed { request, .. }
+            | TraceEvent::WorkerCrash { request, .. }
+            | TraceEvent::Requeued { request, .. } => Some(*request),
+            TraceEvent::Meta { .. } | TraceEvent::Sim { .. } | TraceEvent::Probe { .. } => None,
+        }
+    }
+}
+
+/// One sequenced, timestamped observation in a trace.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TraceRecord {
+    /// Monotone sequence number assigned by the sink, starting at 0.
+    pub seq: u64,
+    /// Virtual timestamp in microseconds.
+    pub t_us: f64,
+    /// The observation.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpu_check::{Report, RuleId, Severity};
+
+    #[test]
+    fn stage_codes_roundtrip() {
+        for stage in [
+            StageCode::Accumulator,
+            StageCode::PostBn,
+            StageCode::Level,
+            StageCode::Score,
+        ] {
+            assert_eq!(StageCode::from_byte(stage.to_byte()), Some(stage));
+        }
+        assert_eq!(StageCode::from_byte(9), None);
+    }
+
+    #[test]
+    fn rejected_event_carries_rule_ids_and_offsets() {
+        let mut report = Report::default();
+        report.push(
+            RuleId::Npc005,
+            Severity::Error,
+            Some(24),
+            None,
+            "short".into(),
+        );
+        let reason = RejectReason::Invalid { report };
+        let ev = TraceEvent::rejected(7, &reason);
+        let TraceEvent::Rejected {
+            request,
+            code,
+            rules,
+        } = ev
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(request, 7);
+        assert_eq!(code, "INVALID_STREAM");
+        assert_eq!(
+            rules,
+            vec![RuleHit {
+                rule: "NPC005".into(),
+                byte_offset: Some(24)
+            }]
+        );
+    }
+
+    #[test]
+    fn probe_event_preserves_sample_fields() {
+        let sample = ProbeSample {
+            layer: 2,
+            neuron: 5,
+            stage: ProbeStage::Score,
+            value: -64,
+        };
+        assert_eq!(
+            TraceEvent::probe(&sample),
+            TraceEvent::Probe {
+                layer: 2,
+                neuron: 5,
+                stage: StageCode::Score,
+                value: -64
+            }
+        );
+    }
+
+    #[test]
+    fn request_accessor_distinguishes_scoped_events() {
+        let scoped = TraceEvent::Completed {
+            request: 3,
+            latency_us: 1.0,
+        };
+        let global = TraceEvent::Meta {
+            key: "k".into(),
+            value: "v".into(),
+        };
+        assert_eq!(scoped.request(), Some(3));
+        assert_eq!(global.request(), None);
+    }
+}

@@ -1,0 +1,528 @@
+//! Deterministic replay verification.
+//!
+//! A recorded trace is only trustworthy if it is *internally
+//! consistent*: every request reaches exactly one terminal outcome,
+//! every crash resolves to a requeue or a rejection, and every DMA
+//! grant's schedule is exactly what the `DmaArbiter` arithmetic
+//! implies from the grants before it. [`verify`] re-derives all of
+//! that from the records alone — it deliberately does **not** import
+//! the serving layers (which depend on this crate), so the arbiter
+//! recurrence is restated here from DESIGN.md §4.5:
+//!
+//! ```text
+//! start        = max(arrival, dma_free, board_free[board])
+//! transfer_end = start + transfer          (bus released)
+//! complete     = start + max(latency, transfer)
+//! dma_free'          = transfer_end
+//! board_free[board]' = complete
+//! ```
+//!
+//! Grants are replayed in sequence order with exact (bitwise) `f64`
+//! comparison: recorder and verifier perform the identical operations
+//! in the identical order, so any divergence — a lost grant, a
+//! reordered window, a poisoned arbiter re-admitting overlapping
+//! windows — trips [`ReplayError::ScheduleMismatch`].
+
+use crate::record::{TraceEvent, TraceRecord};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A consistency violation found while replaying a trace.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum ReplayError {
+    /// Sequence numbers are not contiguous from zero.
+    NonContiguousSeq {
+        /// Observed sequence number.
+        seq: u64,
+        /// Expected sequence number.
+        expected: u64,
+    },
+    /// A request-scoped event referenced a request never submitted.
+    OrphanEvent {
+        /// Record sequence number.
+        seq: u64,
+        /// The unknown request ID.
+        request: u64,
+    },
+    /// A request ID was submitted twice.
+    DuplicateSubmit {
+        /// Record sequence number of the second submission.
+        seq: u64,
+        /// The duplicated request ID.
+        request: u64,
+    },
+    /// A request received a second terminal outcome — the exactly-once
+    /// delivery guarantee is broken.
+    DuplicateTerminal {
+        /// Record sequence number of the second terminal event.
+        seq: u64,
+        /// The offending request ID.
+        request: u64,
+    },
+    /// A request-scoped event arrived after the request's terminal
+    /// outcome.
+    EventAfterTerminal {
+        /// Record sequence number.
+        seq: u64,
+        /// The offending request ID.
+        request: u64,
+    },
+    /// A submitted request never reached a terminal outcome.
+    MissingTerminal {
+        /// The unresolved request ID.
+        request: u64,
+    },
+    /// A worker crash was never resolved by a requeue or rejection.
+    UnresolvedCrash {
+        /// The request whose crash dangles.
+        request: u64,
+    },
+    /// A recorded grant field disagrees with the re-derived arbiter
+    /// schedule.
+    ScheduleMismatch {
+        /// Record sequence number of the grant.
+        seq: u64,
+        /// The granted request.
+        request: u64,
+        /// Which schedule field diverged.
+        field: &'static str,
+        /// Value the arbiter recurrence implies.
+        expected: f64,
+        /// Value the trace recorded.
+        actual: f64,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::NonContiguousSeq { seq, expected } => {
+                write!(f, "sequence gap: saw {seq}, expected {expected}")
+            }
+            ReplayError::OrphanEvent { seq, request } => {
+                write!(f, "record {seq} references unsubmitted request {request}")
+            }
+            ReplayError::DuplicateSubmit { seq, request } => {
+                write!(f, "record {seq} resubmits request {request}")
+            }
+            ReplayError::DuplicateTerminal { seq, request } => {
+                write!(
+                    f,
+                    "record {seq} delivers a second terminal outcome for request {request}"
+                )
+            }
+            ReplayError::EventAfterTerminal { seq, request } => {
+                write!(
+                    f,
+                    "record {seq} touches request {request} after its terminal outcome"
+                )
+            }
+            ReplayError::MissingTerminal { request } => {
+                write!(f, "request {request} never reached a terminal outcome")
+            }
+            ReplayError::UnresolvedCrash { request } => {
+                write!(
+                    f,
+                    "worker crash on request {request} never resolved to requeue-or-reject"
+                )
+            }
+            ReplayError::ScheduleMismatch {
+                seq,
+                request,
+                field,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "record {seq}: grant for request {request} has {field} = {actual}, \
+                     arbiter recurrence implies {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Aggregate statistics of a verified trace.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct ReplaySummary {
+    /// Total records replayed.
+    pub records: usize,
+    /// Distinct submitted requests.
+    pub requests: usize,
+    /// Requests that completed.
+    pub completed: usize,
+    /// Requests that failed terminally.
+    pub failed: usize,
+    /// Requests that were rejected.
+    pub rejected: usize,
+    /// Worker-crash events observed.
+    pub crashes: usize,
+    /// Crash requeues observed.
+    pub requeues: usize,
+    /// DMA grants replayed against the arbiter recurrence.
+    pub grants: usize,
+    /// Simulator tracer lines carried in the trace.
+    pub sim_events: usize,
+    /// Datapath probe samples carried in the trace.
+    pub probe_samples: usize,
+    /// Latest board-completion time across all grants.
+    pub makespan_us: f64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ReqState {
+    Open,
+    Crashed,
+    Terminal,
+}
+
+/// Replays a record stream, verifying internal consistency; returns
+/// aggregate statistics on success. See the module docs for the
+/// invariants checked.
+pub fn verify(records: &[TraceRecord]) -> Result<ReplaySummary, ReplayError> {
+    let mut summary = ReplaySummary {
+        records: records.len(),
+        ..ReplaySummary::default()
+    };
+    let mut states: HashMap<u64, ReqState> = HashMap::new();
+    let mut dma_free = 0.0f64;
+    let mut board_free: HashMap<u64, f64> = HashMap::new();
+
+    for (position, rec) in records.iter().enumerate() {
+        let expected_seq = netpu_arith::cast::u64_from_usize(position);
+        if rec.seq != expected_seq {
+            return Err(ReplayError::NonContiguousSeq {
+                seq: rec.seq,
+                expected: expected_seq,
+            });
+        }
+
+        if let TraceEvent::Submitted { request, .. } = rec.event {
+            if states.insert(request, ReqState::Open).is_some() {
+                return Err(ReplayError::DuplicateSubmit {
+                    seq: rec.seq,
+                    request,
+                });
+            }
+            summary.requests += 1;
+            continue;
+        }
+
+        if let Some(request) = rec.event.request() {
+            let Some(state) = states.get_mut(&request) else {
+                return Err(ReplayError::OrphanEvent {
+                    seq: rec.seq,
+                    request,
+                });
+            };
+            let terminal = matches!(
+                rec.event,
+                TraceEvent::Completed { .. }
+                    | TraceEvent::Failed { .. }
+                    | TraceEvent::Rejected { .. }
+            );
+            if *state == ReqState::Terminal {
+                if terminal {
+                    return Err(ReplayError::DuplicateTerminal {
+                        seq: rec.seq,
+                        request,
+                    });
+                }
+                return Err(ReplayError::EventAfterTerminal {
+                    seq: rec.seq,
+                    request,
+                });
+            }
+            if terminal {
+                *state = ReqState::Terminal;
+            } else if matches!(rec.event, TraceEvent::WorkerCrash { .. }) {
+                *state = ReqState::Crashed;
+            } else if matches!(rec.event, TraceEvent::Requeued { .. }) {
+                *state = ReqState::Open;
+            }
+        }
+
+        match &rec.event {
+            TraceEvent::Completed { .. } => summary.completed += 1,
+            TraceEvent::Failed { .. } => summary.failed += 1,
+            TraceEvent::Rejected { .. } => summary.rejected += 1,
+            TraceEvent::WorkerCrash { .. } => summary.crashes += 1,
+            TraceEvent::Requeued { .. } => summary.requeues += 1,
+            TraceEvent::Sim { .. } => summary.sim_events += 1,
+            TraceEvent::Probe { .. } => summary.probe_samples += 1,
+            TraceEvent::Granted {
+                request,
+                board,
+                arrival_us,
+                transfer_us,
+                latency_us,
+                start_us,
+                transfer_end_us,
+                complete_us,
+            } => {
+                summary.grants += 1;
+                let free = board_free.get(board).copied().unwrap_or(0.0);
+                let expected_start = arrival_us.max(dma_free).max(free);
+                let expected_transfer_end = expected_start + transfer_us;
+                let expected_complete = expected_start + latency_us.max(*transfer_us);
+                let checks = [
+                    ("start_us", expected_start, *start_us),
+                    ("transfer_end_us", expected_transfer_end, *transfer_end_us),
+                    ("complete_us", expected_complete, *complete_us),
+                ];
+                for (field, expected, actual) in checks {
+                    if expected.to_bits() != actual.to_bits() {
+                        return Err(ReplayError::ScheduleMismatch {
+                            seq: rec.seq,
+                            request: *request,
+                            field,
+                            expected,
+                            actual,
+                        });
+                    }
+                }
+                dma_free = expected_transfer_end;
+                board_free.insert(*board, expected_complete);
+                summary.makespan_us = summary.makespan_us.max(expected_complete);
+            }
+            _ => {}
+        }
+    }
+
+    for (request, state) in &states {
+        match state {
+            ReqState::Terminal => {}
+            ReqState::Crashed => return Err(ReplayError::UnresolvedCrash { request: *request }),
+            ReqState::Open => return Err(ReplayError::MissingTerminal { request: *request }),
+        }
+    }
+
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceEvent;
+
+    fn seq(events: Vec<TraceEvent>) -> Vec<TraceRecord> {
+        events
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| TraceRecord {
+                seq: netpu_arith::cast::u64_from_usize(i),
+                t_us: 0.0,
+                event,
+            })
+            .collect()
+    }
+
+    fn submitted(request: u64) -> TraceEvent {
+        TraceEvent::Submitted {
+            request,
+            tenant: 0,
+            model: 0,
+        }
+    }
+
+    fn completed(request: u64) -> TraceEvent {
+        TraceEvent::Completed {
+            request,
+            latency_us: 1.0,
+        }
+    }
+
+    #[test]
+    fn clean_lifecycle_with_grants_verifies() {
+        let records = seq(vec![
+            submitted(1),
+            TraceEvent::Admitted {
+                request: 1,
+                range_flagged: false,
+            },
+            TraceEvent::Granted {
+                request: 1,
+                board: 0,
+                arrival_us: 0.0,
+                transfer_us: 10.0,
+                latency_us: 25.0,
+                start_us: 0.0,
+                transfer_end_us: 10.0,
+                complete_us: 25.0,
+            },
+            submitted(2),
+            TraceEvent::Granted {
+                request: 2,
+                board: 0,
+                arrival_us: 5.0,
+                transfer_us: 10.0,
+                latency_us: 25.0,
+                // dma_free = 10, board 0 free at 25 → start 25.
+                start_us: 25.0,
+                transfer_end_us: 35.0,
+                complete_us: 50.0,
+            },
+            completed(1),
+            completed(2),
+        ]);
+        let summary = verify(&records).expect("verify");
+        assert_eq!(summary.requests, 2);
+        assert_eq!(summary.completed, 2);
+        assert_eq!(summary.grants, 2);
+        assert_eq!(summary.makespan_us, 50.0);
+    }
+
+    #[test]
+    fn schedule_mismatch_is_caught() {
+        let records = seq(vec![
+            submitted(1),
+            TraceEvent::Granted {
+                request: 1,
+                board: 0,
+                arrival_us: 0.0,
+                transfer_us: 10.0,
+                latency_us: 25.0,
+                start_us: 3.0, // wrong: recurrence implies 0.0
+                transfer_end_us: 13.0,
+                complete_us: 28.0,
+            },
+            completed(1),
+        ]);
+        let err = verify(&records).expect_err("mismatch");
+        assert!(
+            matches!(
+                err,
+                ReplayError::ScheduleMismatch {
+                    field: "start_us",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn double_terminal_is_caught() {
+        let records = seq(vec![submitted(1), completed(1), completed(1)]);
+        assert_eq!(
+            verify(&records),
+            Err(ReplayError::DuplicateTerminal { seq: 2, request: 1 })
+        );
+    }
+
+    #[test]
+    fn event_after_terminal_is_caught() {
+        let records = seq(vec![
+            submitted(1),
+            completed(1),
+            TraceEvent::Retried {
+                request: 1,
+                attempt: 1,
+            },
+        ]);
+        assert_eq!(
+            verify(&records),
+            Err(ReplayError::EventAfterTerminal { seq: 2, request: 1 })
+        );
+    }
+
+    #[test]
+    fn orphan_and_duplicate_submit_are_caught() {
+        assert_eq!(
+            verify(&seq(vec![completed(9)])),
+            Err(ReplayError::OrphanEvent { seq: 0, request: 9 })
+        );
+        assert_eq!(
+            verify(&seq(vec![submitted(1), submitted(1)])),
+            Err(ReplayError::DuplicateSubmit { seq: 1, request: 1 })
+        );
+    }
+
+    #[test]
+    fn crash_must_resolve() {
+        let crash = TraceEvent::WorkerCrash {
+            worker: 0,
+            request: 1,
+        };
+        // Unresolved crash at end of trace.
+        assert_eq!(
+            verify(&seq(vec![submitted(1), crash.clone()])),
+            Err(ReplayError::UnresolvedCrash { request: 1 })
+        );
+        // Crash → requeue → complete verifies, counted in the summary.
+        let ok = seq(vec![
+            submitted(1),
+            crash.clone(),
+            TraceEvent::Requeued {
+                request: 1,
+                crashes: 1,
+            },
+            completed(1),
+        ]);
+        let summary = verify(&ok).expect("verify");
+        assert_eq!(summary.crashes, 1);
+        assert_eq!(summary.requeues, 1);
+        assert_eq!(summary.completed, 1);
+        // Crash → reject (requeue budget exhausted) also verifies.
+        let rejected = seq(vec![
+            submitted(1),
+            crash,
+            TraceEvent::Rejected {
+                request: 1,
+                code: "WORKER_CRASH".into(),
+                rules: Vec::new(),
+            },
+        ]);
+        assert_eq!(verify(&rejected).expect("verify").rejected, 1);
+    }
+
+    #[test]
+    fn open_request_at_end_is_caught() {
+        assert_eq!(
+            verify(&seq(vec![submitted(1)])),
+            Err(ReplayError::MissingTerminal { request: 1 })
+        );
+    }
+
+    #[test]
+    fn seq_gap_is_caught() {
+        let mut records = seq(vec![submitted(1), completed(1)]);
+        records[1].seq = 5;
+        assert_eq!(
+            verify(&records),
+            Err(ReplayError::NonContiguousSeq {
+                seq: 5,
+                expected: 1
+            })
+        );
+    }
+
+    #[test]
+    fn global_events_need_no_request_context() {
+        let records = seq(vec![
+            TraceEvent::Meta {
+                key: "run".into(),
+                value: "x".into(),
+            },
+            TraceEvent::Sim {
+                cycle: 1,
+                scope: "dma".into(),
+                message: "m".into(),
+            },
+            TraceEvent::Probe {
+                layer: 0,
+                neuron: 0,
+                stage: crate::record::StageCode::Level,
+                value: 1,
+            },
+        ]);
+        let summary = verify(&records).expect("verify");
+        assert_eq!(summary.sim_events, 1);
+        assert_eq!(summary.probe_samples, 1);
+        assert_eq!(summary.requests, 0);
+    }
+}

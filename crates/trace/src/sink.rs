@@ -1,0 +1,202 @@
+//! The [`TraceSink`] trait — the one tracing surface of the stack.
+//!
+//! Everything that observes the system (the driver's simulator
+//! tracer and datapath probe, the serving layers' scheduling events,
+//! the fleet's dispatch decisions) reports through this trait. A sink
+//! receives `(t_us, event)` pairs and assigns the monotone sequence
+//! numbers itself, so ordering is decided at the recording point even
+//! when multiple worker threads share one sink.
+//!
+//! Two implementations ship here: [`MemorySink`] (a thread-safe
+//! in-memory recorder whose contents serialize to the canonical wire
+//! format) and [`NullSink`] (discards everything — the default a
+//! driver runs with when nobody is watching).
+
+use crate::codec::encode_records;
+use crate::record::{TraceEvent, TraceRecord};
+use std::fmt;
+use std::sync::{Mutex, PoisonError};
+
+/// A destination for trace events.
+///
+/// Implementations must be `Send + Sync`: the serving layers call
+/// `record` from worker threads concurrently, including from unwinding
+/// workers during crash recovery — so implementations must also be
+/// poison-tolerant (never propagate a `Mutex` poison into a panic).
+pub trait TraceSink: Send + Sync + fmt::Debug {
+    /// Records one event at a virtual timestamp (microseconds).
+    fn record(&self, t_us: f64, event: TraceEvent);
+}
+
+/// A sink that discards every event.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _t_us: f64, _event: TraceEvent) {}
+}
+
+/// A thread-safe in-memory recorder.
+#[derive(Default, Debug)]
+pub struct MemorySink {
+    records: Mutex<Vec<TraceRecord>>,
+}
+
+impl MemorySink {
+    /// An empty recorder.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Snapshot of the records so far, in sequence order.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.lock().clone()
+    }
+
+    /// Number of records so far.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Serializes the records so far to the canonical wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        encode_records(&self.lock())
+    }
+
+    /// Drains the recorder, returning the records in sequence order.
+    pub fn take(&self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.lock())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<TraceRecord>> {
+        // A worker that panicked mid-record poisons the mutex; the
+        // vector itself is always valid (push is not interruptible at
+        // a point that breaks its invariants for readers).
+        self.records.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, t_us: f64, event: TraceEvent) {
+        let mut records = self.lock();
+        let seq = netpu_arith::cast::u64_from_usize(records.len());
+        records.push(TraceRecord { seq, t_us, event });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::decode_records;
+    use std::sync::Arc;
+
+    #[test]
+    fn memory_sink_assigns_contiguous_seq() {
+        let sink = MemorySink::new();
+        sink.record(
+            1.0,
+            TraceEvent::Meta {
+                key: "a".into(),
+                value: "1".into(),
+            },
+        );
+        sink.record(
+            2.0,
+            TraceEvent::Meta {
+                key: "b".into(),
+                value: "2".into(),
+            },
+        );
+        let records = sink.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].seq, 0);
+        assert_eq!(records[1].seq, 1);
+        assert_eq!(sink.len(), 2);
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn memory_sink_bytes_decode_back() {
+        let sink = MemorySink::new();
+        sink.record(
+            0.5,
+            TraceEvent::Submitted {
+                request: 1,
+                tenant: 0,
+                model: 0,
+            },
+        );
+        let bytes = sink.to_bytes();
+        let decoded = decode_records(&bytes).expect("decode");
+        assert_eq!(decoded, sink.records());
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let sink = Arc::new(MemorySink::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let sink = Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        sink.record(
+                            0.0,
+                            TraceEvent::Submitted {
+                                request: t * 1000 + i,
+                                tenant: t,
+                                model: 0,
+                            },
+                        );
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("join");
+        }
+        let records = sink.records();
+        assert_eq!(records.len(), 400);
+        for (i, rec) in records.iter().enumerate() {
+            assert_eq!(rec.seq, netpu_arith::cast::u64_from_usize(i));
+        }
+    }
+
+    #[test]
+    fn take_drains_and_resets_sequencing() {
+        let sink = MemorySink::new();
+        sink.record(
+            0.0,
+            TraceEvent::Meta {
+                key: "k".into(),
+                value: "v".into(),
+            },
+        );
+        assert_eq!(sink.take().len(), 1);
+        assert!(sink.is_empty());
+        sink.record(
+            0.0,
+            TraceEvent::Meta {
+                key: "k2".into(),
+                value: "v2".into(),
+            },
+        );
+        assert_eq!(sink.records()[0].seq, 0);
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let sink = NullSink;
+        sink.record(
+            0.0,
+            TraceEvent::Meta {
+                key: "k".into(),
+                value: "v".into(),
+            },
+        );
+    }
+}

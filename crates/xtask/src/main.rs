@@ -1,21 +1,30 @@
-//! Workspace automation (`cargo run -p xtask -- lint`).
+//! Workspace automation (`cargo run -p xtask -- lint` and
+//! `cargo run -p xtask -- replay <trace.bin>`).
+//!
+//! `replay` decodes a recorded binary trace, verifies its internal
+//! consistency against the arbiter recurrence (`netpu_trace::verify`),
+//! proves the decode → re-encode round trip is byte-identical, and
+//! prints the replay summary.
 //!
 //! `lint` enforces source-level gates that rustc and clippy cannot
 //! express at the granularity the workspace wants:
 //!
 //! * **panic-free hot paths** — no `.unwrap()` / `.expect(` in the
 //!   non-test code of `netpu-arith`, `netpu-core`, `netpu-sim`,
-//!   `netpu-runtime`, `netpu-serve`, `netpu-fleet`, `netpu-check`, and
-//!   `netpu-compiler`. These crates sit under the serving layer (the
-//!   checker and compiler both run on the admission path, and the
-//!   arith kernels — including the bitsliced batch kernel — run inside
-//!   every worker), where a panic poisons locks and wedges worker
-//!   threads; fallible paths must return structured errors (or use the
-//!   `let … else { panic!() }` form, which forces an explicit message
-//!   at the site).
+//!   `netpu-runtime`, `netpu-serve`, `netpu-fleet`, `netpu-check`,
+//!   `netpu-compiler`, `netpu-trace`, and `netpu-fuzz`. These crates
+//!   sit under the serving layer (the checker and compiler both run on
+//!   the admission path, the trace sink runs inside the arbiter's
+//!   critical section, and the arith kernels — including the bitsliced
+//!   batch kernel — run inside every worker), where a panic poisons
+//!   locks and wedges worker threads; fallible paths must return
+//!   structured errors (or use the `let … else { panic!() }` form,
+//!   which forces an explicit message at the site). The fuzzer is held
+//!   to the same bar so a crash it reports is always the target's,
+//!   never its own.
 //! * **audited numeric casts** — no bare `as <numeric>` casts in
-//!   `netpu-arith`, `netpu-core`, `netpu-fleet`, `netpu-check`, and
-//!   `netpu-compiler`.
+//!   `netpu-arith`, `netpu-core`, `netpu-fleet`, `netpu-check`,
+//!   `netpu-compiler`, `netpu-trace`, and `netpu-fuzz`.
 //!   All width changes go through the checked/saturating helpers in
 //!   `netpu_arith::cast`; that module itself is the single exemption,
 //!   and every `as` inside it carries an `// audited:` comment.
@@ -39,18 +48,21 @@ use std::process::ExitCode;
 
 /// Crates whose non-test code must not call `.unwrap()` / `.expect(`.
 const PANIC_FREE: &[&str] = &[
-    "arith", "core", "sim", "runtime", "serve", "fleet", "check", "compiler",
+    "arith", "core", "sim", "runtime", "serve", "fleet", "check", "compiler", "trace", "fuzz",
 ];
 
 /// Crates whose non-test code must not contain bare numeric `as` casts.
-const CAST_FREE: &[&str] = &["arith", "core", "fleet", "check", "compiler"];
+const CAST_FREE: &[&str] = &[
+    "arith", "core", "fleet", "check", "compiler", "trace", "fuzz",
+];
 
 /// The one module allowed to contain bare casts (each one audited).
 const CAST_EXEMPT: &str = "crates/arith/src/cast.rs";
 
 /// Library crates that must carry `#![deny(missing_docs)]`.
 const DOCUMENTED: &[&str] = &[
-    "arith", "bench", "check", "compiler", "core", "finn", "fleet", "nn", "runtime", "serve", "sim",
+    "arith", "bench", "check", "compiler", "core", "finn", "fleet", "fuzz", "nn", "runtime",
+    "serve", "sim", "trace",
 ];
 
 /// Primitive types whose `as` casts must go through `netpu_arith::cast`.
@@ -63,14 +75,69 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(),
+        Some("replay") => match args.next() {
+            Some(path) => replay(Path::new(&path)),
+            None => {
+                eprintln!("usage: cargo run -p xtask -- replay <trace.bin>");
+                ExitCode::FAILURE
+            }
+        },
         other => {
             eprintln!(
-                "usage: cargo run -p xtask -- lint   (got {:?})",
+                "usage: cargo run -p xtask -- lint | replay <trace.bin>   (got {:?})",
                 other.unwrap_or("<nothing>")
             );
             ExitCode::FAILURE
         }
     }
+}
+
+fn replay(path: &Path) -> ExitCode {
+    match replay_file(path) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask replay: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Decodes, round-trips, and verifies one binary trace file, returning
+/// the printable summary line.
+fn replay_file(path: &Path) -> Result<String, String> {
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let reader =
+        netpu_trace::TraceReader::decode(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+    // The codec promises decode∘encode is the identity on accepted
+    // input; hold it to that before trusting anything it decoded.
+    if reader.to_bytes() != bytes {
+        return Err(format!(
+            "{}: decode → re-encode is not byte-identical",
+            path.display()
+        ));
+    }
+    let s = netpu_trace::verify(reader.records())
+        .map_err(|e| format!("{}: inconsistent trace: {e}", path.display()))?;
+    Ok(format!(
+        "xtask replay: {} verified — {} records / {} requests \
+         ({} completed, {} failed, {} rejected), {} crashes ({} requeued), \
+         {} grants over {:.1} us makespan, {} sim events, {} probe samples",
+        path.display(),
+        s.records,
+        s.requests,
+        s.completed,
+        s.failed,
+        s.rejected,
+        s.crashes,
+        s.requeues,
+        s.grants,
+        s.makespan_us,
+        s.sim_events,
+        s.probe_samples
+    ))
 }
 
 fn lint() -> ExitCode {
@@ -564,5 +631,54 @@ mod tests {
         // The real gate, run in-process so `cargo test` exercises it.
         let violations = lint_violations();
         assert!(violations.is_empty(), "{}", violations.join("\n"));
+    }
+
+    #[test]
+    fn replay_verifies_a_recorded_trace_and_rejects_corruption() {
+        use netpu_trace::{MemorySink, TraceEvent, TraceSink};
+
+        let sink = MemorySink::new();
+        sink.record(
+            0.0,
+            TraceEvent::Submitted {
+                request: 1,
+                tenant: 0,
+                model: 0,
+            },
+        );
+        sink.record(
+            0.0,
+            TraceEvent::Granted {
+                request: 1,
+                board: 0,
+                arrival_us: 0.0,
+                transfer_us: 10.0,
+                latency_us: 25.0,
+                start_us: 0.0,
+                transfer_end_us: 10.0,
+                complete_us: 25.0,
+            },
+        );
+        sink.record(
+            25.0,
+            TraceEvent::Completed {
+                request: 1,
+                latency_us: 25.0,
+            },
+        );
+        let dir = std::env::temp_dir().join("xtask-replay");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let good = dir.join("good.bin");
+        fs::write(&good, sink.to_bytes()).expect("write trace");
+        let summary = replay_file(&good).expect("good trace verifies");
+        assert!(summary.contains("1 requests"), "{summary}");
+        assert!(summary.contains("1 grants"), "{summary}");
+
+        // Truncated bytes must fail the decode, not verify anyway.
+        let bad = dir.join("bad.bin");
+        let mut bytes = sink.to_bytes();
+        bytes.truncate(bytes.len() - 3);
+        fs::write(&bad, bytes).expect("write trace");
+        assert!(replay_file(&bad).is_err());
     }
 }

@@ -16,7 +16,7 @@
 use netpu::nn::export::BnMode;
 use netpu::nn::zoo::ZooModel;
 use netpu::runtime::{Cluster, Driver, DriverError, InferRequest};
-use netpu::serve::{FaultPlan, Server, ServerConfig, Submit};
+use netpu::serve::{FaultPlan, RejectReason, Server, ServerConfig, Submit};
 
 fn main() {
     let driver = Driver::builder().build();
@@ -50,6 +50,7 @@ fn main() {
             max_retries: 2,
             faults: FaultPlan::FailFirstAttempts(1),
             strict_range: true,
+            ..ServerConfig::default()
         },
     );
 
@@ -59,12 +60,11 @@ fn main() {
     for _ in 0..192 {
         match server.submit(InferRequest::loadable(loadable.clone())) {
             Submit::Accepted(t) => tickets.push(t),
-            Submit::Rejected { queue_len } => {
+            Submit::Denied(RejectReason::QueueFull { queue_len }) => {
                 shed += 1;
                 debug_assert_eq!(queue_len, 32);
             }
-            Submit::Closed => unreachable!("server is running"),
-            Submit::Invalid { report } => unreachable!("valid stream rejected: {report}"),
+            Submit::Denied(reason) => unreachable!("unexpected denial: {reason}"),
         }
     }
     println!(

@@ -46,8 +46,17 @@ cargo run -q --release --example fleet
 echo "== API doc-tests (release) =="
 cargo test -q --release -p netpu-runtime --doc
 
+echo "== stream fuzzer smoke (coverage-guided, seeded, release) =="
+# A short deterministic campaign over the admission/simulator
+# differential oracle; any crasher class fails the gate. The committed
+# regression fixtures replay separately in the workspace test suite.
+cargo run -q --release -p netpu-fuzz -- --iters 512 --seed 7
+
 echo "== loom model check (admission queue, debug profile) =="
 RUSTFLAGS="--cfg loom" cargo test -q -p netpu-serve --test loom
+
+echo "== loom model check (crash-only recovery, debug profile) =="
+RUSTFLAGS="--cfg loom" cargo test -q -p netpu-serve --test loom_crash
 
 echo "== loom model check (fleet shutdown vs dispatch, debug profile) =="
 RUSTFLAGS="--cfg loom" cargo test -q -p netpu-fleet --test loom

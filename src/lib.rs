@@ -10,16 +10,25 @@
 //! - [`finn`] — FINN-style HSD baseline
 //! - [`runtime`] — DMA/driver/platform/power models
 //! - [`serve`] — multi-board serving: bounded queue, shared-DMA
-//!   arbitration, deadlines and retries
+//!   arbitration, deadlines, retries, crash-only worker recovery
 //! - [`fleet`] — sharded multi-tenant serving: compiled-model cache,
 //!   swap-aware board scheduling, deterministic traffic replay
+//! - [`check`] — stream verifier: NPC diagnostics, abstract-
+//!   interpretation range analysis, the unified admission verdict
+//! - [`trace`] — compact binary trace/replay format with
+//!   byte-identical round trips and arbiter-schedule verification
+//! - [`fuzz`] — coverage-guided structured fuzzer over loadable
+//!   streams, with committed crasher regression fixtures
 
 pub use netpu_arith as arith;
+pub use netpu_check as check;
 pub use netpu_compiler as compiler;
 pub use netpu_core as core;
 pub use netpu_finn as finn;
 pub use netpu_fleet as fleet;
+pub use netpu_fuzz as fuzz;
 pub use netpu_nn as nn;
 pub use netpu_runtime as runtime;
 pub use netpu_serve as serve;
 pub use netpu_sim as sim;
+pub use netpu_trace as trace;

@@ -296,9 +296,14 @@ fn narrow_accumulator_streams_are_refused_at_admission() {
     let err = strict
         .run(InferRequest::loadable(loadable.clone()))
         .unwrap_err();
-    let DriverError::Check(report) = err else {
-        panic!("expected a pre-flight Check rejection, got {err}");
+    let DriverError::Rejected(reason) = err else {
+        panic!("expected a pre-flight rejection, got {err}");
     };
+    assert_eq!(reason.code(), "INVALID_STREAM");
+    let report = reason
+        .report()
+        .expect("INVALID_STREAM carries the report")
+        .clone();
     assert!(report.fired(RuleId::Npc014));
     assert!(report.has_range_errors() && !report.has_structural_errors());
 
@@ -312,10 +317,16 @@ fn narrow_accumulator_streams_are_refused_at_admission() {
     // Serve admission mirrors the driver's strict default.
     let server = Server::start(Driver::builder().hw(hw).build(), ServerConfig::default());
     match server.submit(InferRequest::loadable(loadable)) {
-        Submit::Invalid { report } => {
+        Submit::Denied(reason) => {
+            let report = reason.report().expect("denial carries the verifier report");
             assert!(report.fired(RuleId::Npc014) && report.has_range_errors());
+            assert!(
+                reason.rules().iter().any(|(r, _)| *r == RuleId::Npc014),
+                "the unified reason should surface NPC014: {:?}",
+                reason.rules()
+            );
         }
-        other => panic!("expected Submit::Invalid, got {other:?}"),
+        other => panic!("expected Submit::Denied, got {other:?}"),
     }
     let metrics = server.shutdown();
     assert_eq!(metrics.range_flagged, 1);
