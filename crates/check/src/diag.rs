@@ -54,11 +54,30 @@ pub enum RuleId {
     /// Declared input-range metadata is invalid or fails to cover the
     /// stream's own input words.
     Npc020,
+    /// Layer shape or semantics mismatch between the stream and its
+    /// claimed source model (count, width, precision, activation kind).
+    Npc021,
+    /// Output-neuron inequivalence: the compiled datapath computes a
+    /// different function than the source model, with a concrete
+    /// distinguishing input as the counterexample witness.
+    Npc022,
+    /// Threshold/BN fold drift: parameter encodings differ from the
+    /// source fold but no behavioral divergence is reachable.
+    Npc023,
+    /// Weight-packing permutation error: a layer's weight rows are a
+    /// permutation of the source rows rather than the source rows.
+    Npc024,
+    /// Provably-dead output slice: an output class the datapath can
+    /// never select under maxout, for any admissible input.
+    Npc025,
+    /// Exact minimal accumulator width from the symbolic value sets,
+    /// tightening the interval-based NPC019 advisory.
+    Npc026,
 }
 
 impl RuleId {
     /// All rules, in catalog order.
-    pub const ALL: [RuleId; 20] = [
+    pub const ALL: [RuleId; 26] = [
         RuleId::Npc001,
         RuleId::Npc002,
         RuleId::Npc003,
@@ -79,6 +98,12 @@ impl RuleId {
         RuleId::Npc018,
         RuleId::Npc019,
         RuleId::Npc020,
+        RuleId::Npc021,
+        RuleId::Npc022,
+        RuleId::Npc023,
+        RuleId::Npc024,
+        RuleId::Npc025,
+        RuleId::Npc026,
     ];
 
     /// The stable textual ID, e.g. `"NPC004"`.
@@ -104,6 +129,12 @@ impl RuleId {
             RuleId::Npc018 => "NPC018",
             RuleId::Npc019 => "NPC019",
             RuleId::Npc020 => "NPC020",
+            RuleId::Npc021 => "NPC021",
+            RuleId::Npc022 => "NPC022",
+            RuleId::Npc023 => "NPC023",
+            RuleId::Npc024 => "NPC024",
+            RuleId::Npc025 => "NPC025",
+            RuleId::Npc026 => "NPC026",
         }
     }
 
@@ -130,6 +161,12 @@ impl RuleId {
             RuleId::Npc018 => "post-BN values stay inside the 32-bit comparator range",
             RuleId::Npc019 => "the accumulator width is the minimal one that is safe",
             RuleId::Npc020 => "declared input-range metadata is valid and covers the inputs",
+            RuleId::Npc021 => "stream layer shapes and semantics match the claimed source model",
+            RuleId::Npc022 => "every output neuron computes exactly the source model's function",
+            RuleId::Npc023 => "threshold/BN parameter encodings match the source fold",
+            RuleId::Npc024 => "weight rows are packed in source order, not a permutation of it",
+            RuleId::Npc025 => "every output class is selectable by some admissible input",
+            RuleId::Npc026 => "the accumulator width equals the exact symbolic minimum",
         }
     }
 
@@ -148,6 +185,23 @@ impl RuleId {
                 | RuleId::Npc018
                 | RuleId::Npc019
                 | RuleId::Npc020
+        )
+    }
+
+    /// `true` for the symbolic-equivalence rule family (NPC021–NPC026)
+    /// emitted by the [`symex`](crate::symex) translation validator.
+    /// These only exist when a source model is supplied alongside the
+    /// stream; admission gates on them exclusively under the opt-in
+    /// `strict_equiv` third tier.
+    pub fn is_equiv(self) -> bool {
+        matches!(
+            self,
+            RuleId::Npc021
+                | RuleId::Npc022
+                | RuleId::Npc023
+                | RuleId::Npc024
+                | RuleId::Npc025
+                | RuleId::Npc026
         )
     }
 }
@@ -244,7 +298,7 @@ impl Report {
     pub fn has_structural_errors(&self) -> bool {
         self.diagnostics
             .iter()
-            .any(|d| d.severity == Severity::Error && !d.rule.is_range())
+            .any(|d| d.severity == Severity::Error && !d.rule.is_range() && !d.rule.is_equiv())
     }
 
     /// `true` when a range-analysis rule (NPC014–NPC020) fired at error
@@ -253,6 +307,15 @@ impl Report {
         self.diagnostics
             .iter()
             .any(|d| d.severity == Severity::Error && d.rule.is_range())
+    }
+
+    /// `true` when a symbolic-equivalence rule (NPC021–NPC026) fired at
+    /// error severity. Only the opt-in `strict_equiv` admission tier
+    /// rejects these.
+    pub fn has_equiv_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.rule.is_equiv())
     }
 
     /// `true` when `rule` fired at any severity.
@@ -279,6 +342,13 @@ impl Report {
             layer,
             message,
         });
+    }
+
+    /// Appends every finding of `other`, preserving order — used by the
+    /// three-tier entry points to fold the translation validator's
+    /// NPC021–NPC026 findings into a structural/range report.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
     }
 }
 

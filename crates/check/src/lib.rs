@@ -16,18 +16,26 @@
 //! declared input range and emits the NPC014–NPC020 datapath-soundness
 //! rules.
 //!
+//! When a caller can supply the *source model* a stream claims to
+//! implement, the [`symex`] translation validator adds a third tier:
+//! bit-precise symbolic equivalence of the decoded datapath against the
+//! reference forward function, emitting NPC021–NPC026 and a re-checkable
+//! [`Certificate`].
+//!
 //! Findings are structured [`Diagnostic`]s with stable rule IDs
 //! (`NPC001`…), byte offsets into the serialized stream, and
-//! severities. **Errors** come in two families the admission layers
+//! severities. **Errors** come in three families the admission layers
 //! ([`Driver::run`] and `netpu-serve`) gate on separately: *structural*
 //! errors (NPC001–NPC013) mark streams the accelerator would reject,
 //! deadlock on, or panic over and always refuse admission; *range*
 //! errors (NPC014/NPC018/NPC020) mark streams the simulator completes
 //! but whose datapath numerics are provably unsafe on the configured
 //! instance — strict admission rejects these too, lenient admission
-//! lets them through. **Warnings** flag numeric hazards (unsorted
-//! threshold tables, zero BN scales, dead neurons, reachable
-//! saturation) that complete but misbehave.
+//! lets them through; *equivalence* errors (NPC021/NPC022/NPC024) mark
+//! streams that compute a different function than their claimed source
+//! and only gate the opt-in `strict_equiv` tier. **Warnings** flag
+//! numeric hazards (unsorted threshold tables, zero BN scales, dead
+//! neurons, reachable saturation) that complete but misbehave.
 //!
 //! [`Driver::run`]: https://docs.rs/netpu-runtime
 //!
@@ -51,14 +59,17 @@
 pub mod absint;
 mod diag;
 mod rules;
+pub mod symex;
 mod verdict;
 
 pub use absint::{LayerBounds, NeuronBounds, RangeAnalysis};
 pub use diag::{Diagnostic, Report, RuleId, Severity};
+pub use symex::{certify, compile_certified, Certificate, CertifyError, CertifyOutcome, Witness};
 pub use verdict::{AdmissionVerdict, RejectReason};
 
 use netpu_compiler::Loadable;
 use netpu_core::HwConfig;
+use netpu_nn::qmodel::QuantMlp;
 
 /// Checks a compiled loadable against an instance configuration. The
 /// section layout is recomputed from the stream itself — the loadable's
@@ -90,6 +101,33 @@ pub fn check_words(words: &[u64], cfg: &HwConfig) -> Report {
 /// call, so a stream receives the identical verdict at every layer.
 pub fn admit_words(words: &[u64], cfg: &HwConfig, strict_range: bool) -> AdmissionVerdict {
     AdmissionVerdict::from_report(check_words(words, cfg), strict_range)
+}
+
+/// The full **three-tier** check: [`check_words`] plus, when the first
+/// two tiers pass, the [`symex`] translation validation of the stream
+/// against its claimed source model. The returned report carries every
+/// finding from all tiers; NPC021–NPC026 appear only when the stream
+/// was sound enough to certify.
+pub fn check_words_against(words: &[u64], source: &QuantMlp, cfg: &HwConfig) -> Report {
+    let mut report = check_words(words, cfg);
+    if !report.has_errors() {
+        let outcome = symex::certify(source, words, cfg);
+        report.merge(outcome.report);
+    }
+    report
+}
+
+/// The three-tier admission decision for callers holding the claimed
+/// source model: [`check_words_against`] followed by
+/// [`AdmissionVerdict::from_report_tiers`] with `strict_equiv` enabled.
+/// `strict_range` keeps its usual meaning for the second tier.
+pub fn admit_words_against(
+    words: &[u64],
+    source: &QuantMlp,
+    cfg: &HwConfig,
+    strict_range: bool,
+) -> AdmissionVerdict {
+    AdmissionVerdict::from_report_tiers(check_words_against(words, source, cfg), strict_range, true)
 }
 
 /// [`check_words`] plus the proved per-neuron bounds, for callers that

@@ -149,8 +149,24 @@ impl AdmissionVerdict {
     /// `strict_range`. This is the single decision point the driver,
     /// the serving layers, and the fuzzer all share.
     pub fn from_report(report: Report, strict_range: bool) -> AdmissionVerdict {
+        AdmissionVerdict::from_report_tiers(report, strict_range, false)
+    }
+
+    /// The full three-tier policy: structural errors always reject,
+    /// error-class range findings reject under `strict_range`, and
+    /// error-class equivalence findings (NPC021/NPC022/NPC024, from the
+    /// [`symex`](crate::symex) translation validator) reject under
+    /// `strict_equiv`. Gates without a claimed source model never see
+    /// equivalence findings, so they pass `strict_equiv = false` via
+    /// [`from_report`](AdmissionVerdict::from_report).
+    pub fn from_report_tiers(
+        report: Report,
+        strict_range: bool,
+        strict_equiv: bool,
+    ) -> AdmissionVerdict {
         let range = report.has_range_errors();
-        if report.has_structural_errors() || (strict_range && range) {
+        let equiv = report.has_equiv_errors();
+        if report.has_structural_errors() || (strict_range && range) || (strict_equiv && equiv) {
             AdmissionVerdict::Rejected(RejectReason::Invalid { report })
         } else {
             AdmissionVerdict::Admitted {

@@ -1,7 +1,7 @@
 //! One accepting and one rejecting fixture per `NPC` rule ID.
 
 use netpu_arith::{Fix, Precision, QuantParams};
-use netpu_check::{check, check_words, Report, RuleId};
+use netpu_check::{certify, check, check_words, Report, RuleId};
 use netpu_compiler::{compile, compile_packed, Loadable, PackingMode, SectionKind};
 use netpu_core::HwConfig;
 use netpu_nn::export::BnMode;
@@ -432,6 +432,176 @@ fn npc020_declared_input_range() {
     bad.set_declared_input_range(1, 5);
     let r = check(&bad, &cfg());
     assert!(r.has_errors() && r.fired(RuleId::Npc020));
+}
+
+#[test]
+fn npc021_shape_and_semantics_against_claimed_source() {
+    let model = ZooModel::TfcW2A2
+        .build_untrained(7, BnMode::Folded)
+        .unwrap();
+    let l = compile(&model, &vec![0u8; 784]).unwrap();
+    assert!(!certify(&model, &l.words, &cfg())
+        .report
+        .fired(RuleId::Npc021));
+
+    // A stream compiled from a differently-shaped model.
+    let other = ZooModel::SfcW1A1
+        .build_untrained(7, BnMode::Folded)
+        .unwrap();
+    let forged = compile(&other, &vec![0u8; 784]).unwrap();
+    let outcome = certify(&model, &forged.words, &cfg());
+    assert!(outcome.report.has_errors() && outcome.report.fired(RuleId::Npc021));
+    assert!(outcome.certificate.is_none());
+}
+
+#[test]
+fn npc022_output_inequivalence_with_witness() {
+    let model = ZooModel::TfcW1A1
+        .build_untrained(11, BnMode::Folded)
+        .unwrap();
+    let l = compile(&model, &vec![0u8; 784]).unwrap();
+    assert!(!certify(&model, &l.words, &cfg())
+        .report
+        .fired(RuleId::Npc022));
+
+    // Swap the first adjacent differing weight pair in hidden layer 0:
+    // same multiset of weights, a different function.
+    let mut mutated = model.clone();
+    let w = &mut mutated.hidden[0].weights;
+    let i = (0..w.len() - 1).find(|&i| w[i] != w[i + 1]).unwrap();
+    w.swap(i, i + 1);
+    let forged = compile(&mutated, &vec![0u8; 784]).unwrap();
+    let outcome = certify(&model, &forged.words, &cfg());
+    assert!(outcome.report.has_errors() && outcome.report.fired(RuleId::Npc022));
+    assert!(!outcome.is_equivalent());
+}
+
+/// A fully-binary model with every hidden Sign threshold at `thresh`.
+/// With bipolar ±1 inputs the reachable accumulators are integers, so
+/// any two thresholds in the same open unit interval encode the same
+/// step function.
+fn sign_model(thresh: Fix) -> QuantMlp {
+    let weights: Vec<i32> = (0..32).map(|i| if i % 3 == 0 { 1 } else { -1 }).collect();
+    QuantMlp {
+        name: String::new(),
+        input: InputLayer {
+            len: 8,
+            out_precision: Precision::W1,
+            activation: LayerActivation::Sign {
+                thresholds: vec![Fix::from_i32(128); 8],
+            },
+        },
+        hidden: vec![HiddenLayer {
+            in_len: 8,
+            neurons: 4,
+            weight_precision: Precision::W1,
+            in_precision: Precision::W1,
+            out_precision: Precision::W1,
+            weights,
+            bias: Some(vec![0; 4]),
+            bn: None,
+            activation: LayerActivation::Sign {
+                thresholds: vec![thresh; 4],
+            },
+        }],
+        output: OutputLayer {
+            in_len: 4,
+            neurons: 2,
+            weight_precision: Precision::W1,
+            in_precision: Precision::W1,
+            weights: vec![1, 1, 1, -1, -1, 1, 1, 1],
+            bias: Some(vec![0; 2]),
+            bn: None,
+        },
+    }
+}
+
+#[test]
+fn npc023_fold_drift_without_reachable_divergence() {
+    let half = Fix::from_f64(0.5);
+    let source = sign_model(half);
+    let l = compile(&source, &[0u8; 8]).unwrap();
+    assert!(!certify(&source, &l.words, &cfg())
+        .report
+        .fired(RuleId::Npc023));
+
+    // Nudge every hidden threshold by one raw ULP: still strictly
+    // inside (0, 1), so no integer accumulator distinguishes the
+    // encodings — drift, not inequivalence.
+    let drifted = sign_model(half.sat_add(Fix::EPSILON));
+    let forged = compile(&drifted, &[0u8; 8]).unwrap();
+    let outcome = certify(&source, &forged.words, &cfg());
+    assert!(outcome.report.fired(RuleId::Npc023), "{}", outcome.report);
+    assert!(!outcome.report.fired(RuleId::Npc022));
+    assert!(outcome.is_equivalent() && !outcome.report.has_errors());
+}
+
+#[test]
+fn npc024_weight_row_permutation() {
+    let model = ZooModel::TfcW1A1
+        .build_untrained(13, BnMode::Folded)
+        .unwrap();
+    let l = compile(&model, &vec![0u8; 784]).unwrap();
+    assert!(!certify(&model, &l.words, &cfg())
+        .report
+        .fired(RuleId::Npc024));
+
+    // Swap hidden neurons 0 and 1 wholesale — rows, biases, thresholds:
+    // a packing-order bug, not a weight corruption.
+    let mut mutated = model.clone();
+    let h = &mut mutated.hidden[0];
+    for i in 0..h.in_len {
+        h.weights.swap(i, h.in_len + i);
+    }
+    if let Some(b) = h.bias.as_mut() {
+        b.swap(0, 1);
+    }
+    if let LayerActivation::Sign { thresholds } = &mut h.activation {
+        thresholds.swap(0, 1);
+    }
+    let forged = compile(&mutated, &vec![0u8; 784]).unwrap();
+    let outcome = certify(&model, &forged.words, &cfg());
+    assert!(outcome.report.has_errors() && outcome.report.fired(RuleId::Npc024));
+}
+
+#[test]
+fn npc025_provably_dead_output_slice() {
+    let l = compile(&relu_model(), &[0u8; 8]).unwrap();
+    assert!(!certify(&relu_model(), &l.words, &cfg())
+        .report
+        .fired(RuleId::Npc025));
+
+    // Class 0's bias pushes its minimum score above class 1's maximum
+    // (output accumulators span [0, 60]): MaxOut can never pick 1.
+    let mut dead = relu_model();
+    dead.output.bias = Some(vec![100, 0]);
+    let l = compile(&dead, &[0u8; 8]).unwrap();
+    let outcome = certify(&dead, &l.words, &cfg());
+    assert!(outcome.report.fired(RuleId::Npc025), "{}", outcome.report);
+    assert!(
+        outcome.is_equivalent(),
+        "a dead class is a warning, not a rejection"
+    );
+}
+
+#[test]
+fn npc026_exact_minimal_accumulator_width() {
+    // relu_model peaks at 120 = exactly 8 signed bits; the paper
+    // instance's 32-bit accumulator earns the informational finding.
+    let l = compile(&relu_model(), &[0u8; 8]).unwrap();
+    let outcome = certify(&relu_model(), &l.words, &cfg());
+    assert!(outcome.report.fired(RuleId::Npc026), "{}", outcome.report);
+    assert!(!outcome.report.has_errors());
+    assert_eq!(outcome.certificate.unwrap().min_accumulator_bits, 8);
+
+    // An instance generated at the proved width gets nothing to note.
+    let tight = HwConfig {
+        accumulator_bits: 8,
+        ..cfg()
+    };
+    assert!(!certify(&relu_model(), &l.words, &tight)
+        .report
+        .fired(RuleId::Npc026));
 }
 
 #[test]

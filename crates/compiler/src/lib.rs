@@ -17,7 +17,14 @@
 //! with the accelerator model in `netpu-core`, which consumes the stream
 //! word-by-word exactly as the hardware would.
 
+//! With the test-only `inject` cargo feature, [`inject`] adds a seeded
+//! miscompile harness: semantic mutations compiled into structurally
+//! clean streams, used to demonstrate that the `netpu-check::symex`
+//! translation validator catches what NPC001–NPC020 cannot.
+
 pub mod file;
+#[cfg(feature = "inject")]
+pub mod inject;
 pub mod settings;
 pub mod stream;
 

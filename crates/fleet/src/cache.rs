@@ -1,9 +1,11 @@
 //! The compiled-loadable cache: full admission exactly once per model.
 //!
 //! Every request entering the fleet references a model by id. The first
-//! request for a model pays the whole compile + two-tier admission
-//! pipeline (`netpu-check` NPC001–NPC020 structural and abstract-
-//! interpretation range checks) and one cycle-accurate simulation;
+//! request for a model pays the whole compile + admission pipeline
+//! (`netpu-check` NPC001–NPC020 structural and abstract-interpretation
+//! range checks, plus — on a strict-equiv driver — NPC021–NPC026
+//! translation validation against the source model) and one
+//! cycle-accurate simulation;
 //! every later request reuses the [`AdmittedModel`] from the cache and
 //! splices its own input words into a clone of the compiled stream
 //! (`Loadable::replace_input`), never re-running admission. The cache
@@ -249,9 +251,9 @@ pub struct CompiledModelCache {
 }
 
 impl CompiledModelCache {
-    /// An empty cache admitting through `driver` (whose `strict_range`
-    /// and hardware instance govern what passes), budgeted to
-    /// `capacity_bytes` of stream words.
+    /// An empty cache admitting through `driver` (whose `strict_range`,
+    /// `strict_equiv`, and hardware instance govern what passes),
+    /// budgeted to `capacity_bytes` of stream words.
     pub fn new(driver: Driver, capacity_bytes: u64) -> CompiledModelCache {
         CompiledModelCache {
             driver,
@@ -354,11 +356,16 @@ impl CompiledModelCache {
         }
     }
 
-    /// Compile + full two-tier admission + one simulation.
+    /// Compile + full admission + one simulation. The source model is
+    /// in hand here, so the pre-flight runs through
+    /// [`Driver::run_loadable_against`]: a strict-equiv driver extends
+    /// the two structural/range tiers with translation validation of
+    /// the compiled stream against `model` (NPC021–NPC026), paid — like
+    /// the rest of admission — exactly once per model id.
     fn admit(&self, id: u64, model: &QuantMlp) -> Result<Arc<AdmittedModel>, DriverError> {
         let zeros = vec![0u8; model.input.len];
         let loadable = compile(model, &zeros).map_err(DriverError::Compile)?;
-        let run = self.driver.run_loadable(&loadable)?;
+        let run = self.driver.run_loadable_against(&loadable, model)?;
         let clock = self.driver.hw.clock_mhz;
         let transfer_us = self.driver.dma.occupancy_us(loadable.words.len(), clock);
         let resident_words = loadable.layout.header.len()
@@ -445,6 +452,20 @@ mod tests {
         assert!(first.weight_stream_us > 0.0);
         assert!(first.resident_latency_us < first.run.measured_latency_us);
         assert!(first.resident_transfer_us < first.transfer_us);
+    }
+
+    #[test]
+    fn strict_equiv_admission_certifies_the_compiled_stream() {
+        // A strict-equiv fleet runs translation validation at cache
+        // admission; its own honestly-compiled streams must certify
+        // equivalent (no false inequivalences) and admit normally.
+        let model = ZooModel::SfcW2A2
+            .build_untrained(8, BnMode::Folded)
+            .unwrap();
+        let cache = CompiledModelCache::new(Driver::builder().strict_equiv(true).build(), 64 << 20);
+        cache.get_or_admit(3, &model).unwrap();
+        assert!(cache.contains(3));
+        assert_eq!(cache.stats().rejected, 0);
     }
 
     #[test]

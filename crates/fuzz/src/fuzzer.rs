@@ -19,6 +19,7 @@ use netpu_nn::export::BnMode;
 use netpu_nn::zoo::ZooModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Classification probes the minimizer may spend per crasher.
@@ -121,6 +122,16 @@ fn seeds() -> Result<Vec<(Vec<u64>, StreamLayout)>, FuzzError> {
         narrowed.set_declared_input_range(0, 255);
         out.push((narrowed.words, narrowed.layout));
     }
+    // A dense-packed seed: rejected outright on instances without the
+    // §V dense unpack logic, clean on those with it — so the same
+    // corpus exercises both sides of a config-dependent rule from the
+    // start of every sweep.
+    let model = ZooModel::TfcW2A2
+        .build_untrained(3, BnMode::Folded)
+        .map_err(FuzzError::Export)?;
+    let dense = netpu_compiler::compile_packed(&model, &pixels, PackingMode::Dense)
+        .map_err(FuzzError::Stream)?;
+    out.push((dense.words, dense.layout));
     Ok(out)
 }
 
@@ -176,7 +187,9 @@ fn run_inner(cfg: &HwConfig, opts: &FuzzConfig) -> Result<FuzzReport, FuzzError>
                 rejected += 1;
                 corpus.note(&verdict.signature(), &words);
             }
-            Verdict::Clean => {
+            // `classify` never certifies (no source model in hand), but
+            // the arm keeps the match honest for oracle extensions.
+            Verdict::Clean | Verdict::Miscompile { .. } => {
                 clean += 1;
                 corpus.note(&verdict.signature(), &words);
             }
@@ -192,6 +205,97 @@ fn run_inner(cfg: &HwConfig, opts: &FuzzConfig) -> Result<FuzzReport, FuzzError>
         crasher_count,
         crashers,
         corpus_len: corpus.len(),
+    })
+}
+
+/// Four non-default hardware instances the sweep campaigns run against
+/// alongside the paper instance. Each flips a knob the NPC rule set is
+/// sensitive to — accumulator width (NPC014/NPC019/NPC026 thresholds),
+/// dense weight unpacking (accepts streams the paper instance
+/// rejects), the Multi-Threshold precision ceiling, and ring/buffer
+/// geometry — so one stream can legitimately earn different verdicts
+/// on different instances.
+pub fn non_default_configs() -> [HwConfig; 4] {
+    let base = HwConfig::paper_instance();
+    [
+        HwConfig {
+            accumulator_bits: 16,
+            ..base
+        },
+        HwConfig {
+            dense_weight_packing: true,
+            ..base
+        },
+        HwConfig {
+            max_multithreshold_bits: 2,
+            ..base
+        },
+        HwConfig {
+            lpus: 4,
+            tnpus_per_lpu: 4,
+            double_buffered_weights: true,
+            ..base
+        },
+    ]
+}
+
+/// Short stable tag naming an instance in config-aware sweep
+/// signatures.
+pub fn config_tag(cfg: &HwConfig) -> String {
+    format!(
+        "l{}x{}-acc{}-mt{}{}{}",
+        cfg.lpus,
+        cfg.tnpus_per_lpu,
+        cfg.accumulator_bits,
+        cfg.max_multithreshold_bits,
+        if cfg.dense_weight_packing {
+            "-dense"
+        } else {
+            ""
+        },
+        if cfg.double_buffered_weights {
+            "-dbuf"
+        } else {
+            ""
+        },
+    )
+}
+
+/// Cross-instance campaign summary.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepReport {
+    /// `(config tag, campaign report)` per instance, paper first.
+    pub per_config: Vec<(String, FuzzReport)>,
+    /// The config-aware signature union, sorted: each entry is
+    /// `"<tag>|<signature>"`, so the same NPC rule set observed on two
+    /// instances counts as two coverage points.
+    pub signatures: Vec<String>,
+}
+
+impl SweepReport {
+    /// Distinct `(instance, signature)` pairs observed.
+    pub fn coverage(&self) -> usize {
+        self.signatures.len()
+    }
+}
+
+/// Runs the identical campaign against the paper instance and every
+/// [`non_default_configs`] instance, growing one config-aware coverage
+/// map across them. Deterministic in `opts` like [`run`].
+pub fn run_sweep(opts: &FuzzConfig) -> Result<SweepReport, FuzzError> {
+    let mut per_config = Vec::new();
+    let mut signatures = BTreeSet::new();
+    for cfg in std::iter::once(HwConfig::paper_instance()).chain(non_default_configs()) {
+        let report = run(&cfg, opts)?;
+        let tag = config_tag(&cfg);
+        for s in &report.signatures {
+            signatures.insert(format!("{tag}|{s}"));
+        }
+        per_config.push((tag, report));
+    }
+    Ok(SweepReport {
+        per_config,
+        signatures: signatures.into_iter().collect(),
     })
 }
 
@@ -313,6 +417,40 @@ mod tests {
             "no NPC rejection signature in {:?}",
             r.signatures
         );
+    }
+
+    #[test]
+    fn the_config_sweep_keys_coverage_per_instance() {
+        let opts = FuzzConfig {
+            seed: 5,
+            iterations: 12,
+            max_mutations: 3,
+        };
+        let sweep = run_sweep(&opts).expect("seed corpus builds");
+        assert_eq!(sweep.per_config.len(), 5, "paper + 4 non-default");
+        let tags: BTreeSet<&str> = sweep
+            .signatures
+            .iter()
+            .filter_map(|s| s.split('|').next())
+            .collect();
+        assert!(
+            tags.len() >= 2,
+            "sweep signatures collapsed to one instance: {:?}",
+            sweep.signatures
+        );
+        // Config-aware coverage strictly exceeds any single campaign's.
+        let best_single = sweep
+            .per_config
+            .iter()
+            .map(|(_, r)| r.coverage)
+            .max()
+            .unwrap();
+        assert!(sweep.coverage() > best_single);
+        // The dense seed earns opposite verdicts across instances: the
+        // paper instance rejects dense streams, the dense instance
+        // accepts them — visible as distinct signatures for the same
+        // corpus.
+        assert!(sweep.per_config.iter().any(|(t, _)| t.contains("dense")));
     }
 
     #[test]

@@ -33,6 +33,9 @@ pub mod mutate;
 pub mod oracle;
 
 pub use corpus::{words_from_text, words_to_text, Corpus, FixtureError};
-pub use fuzzer::{minimize, run, Crasher, FuzzConfig, FuzzError, FuzzReport};
+pub use fuzzer::{
+    config_tag, minimize, non_default_configs, run, run_sweep, Crasher, FuzzConfig, FuzzError,
+    FuzzReport, SweepReport,
+};
 pub use mutate::{apply, arbitrary, Mutation};
-pub use oracle::{classify, quiet_panics, CrasherClass, Verdict};
+pub use oracle::{classify, classify_with_source, quiet_panics, CrasherClass, Verdict};

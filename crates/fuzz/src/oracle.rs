@@ -11,6 +11,7 @@
 
 use netpu_check::{check_words, RuleId};
 use netpu_core::{run_inference_fast, HwConfig};
+use netpu_nn::qmodel::QuantMlp;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -59,6 +60,15 @@ pub enum Verdict {
     },
     /// The verifier passed the stream and the simulator completed it.
     Clean,
+    /// The stream passed the structural and range tiers and the
+    /// simulator, but the translation validator proved it computes a
+    /// different function than the source model it claims to implement
+    /// (only [`classify_with_source`] can produce this). `rules` holds
+    /// the sorted stable IDs of the equivalence-error findings.
+    Miscompile {
+        /// e.g. `["NPC022", "NPC024"]`.
+        rules: Vec<&'static str>,
+    },
     /// The invariant is violated.
     Crasher(CrasherClass),
 }
@@ -71,6 +81,7 @@ impl Verdict {
         match self {
             Verdict::Rejected { rules } => rules.join("+"),
             Verdict::Clean => "CLEAN".into(),
+            Verdict::Miscompile { rules } => format!("MISCOMPILE:{}", rules.join("+")),
             Verdict::Crasher(class) => format!("CRASH:{class}"),
         }
     }
@@ -116,6 +127,45 @@ pub fn classify(cfg: &HwConfig, words: &[u64]) -> Verdict {
         Ok(Err(_)) => Verdict::Crasher(CrasherClass::FalseAccept),
         Ok(Ok(_)) => Verdict::Clean,
     }
+}
+
+/// [`classify`], for mutants whose claimed source model is in hand:
+/// streams that survive the two structural/range tiers and the
+/// simulator are additionally put through the `netpu-check::symex`
+/// translation validator against `source`. A proven inequivalence
+/// downgrades `Clean` to [`Verdict::Miscompile`]; the validator
+/// panicking, or disagreeing with itself across two runs, violates the
+/// fuzzer's invariant exactly like the earlier tiers doing so.
+pub fn classify_with_source(cfg: &HwConfig, words: &[u64], source: &QuantMlp) -> Verdict {
+    let verdict = classify(cfg, words);
+    if verdict != Verdict::Clean {
+        return verdict;
+    }
+    let Ok(outcome) = catch_unwind(AssertUnwindSafe(|| {
+        netpu_check::certify(source, words, cfg)
+    })) else {
+        return Verdict::Crasher(CrasherClass::CheckerPanic);
+    };
+    // Certification must be a pure function of (model, stream, cfg):
+    // the certificate digest is what admission layers cache on.
+    match catch_unwind(AssertUnwindSafe(|| {
+        netpu_check::certify(source, words, cfg)
+    })) {
+        Ok(second) if second.report == outcome.report => {}
+        _ => return Verdict::Crasher(CrasherClass::UnstableDiagnostic),
+    }
+    if outcome.report.has_equiv_errors() {
+        let ids: BTreeSet<&'static str> = outcome
+            .report
+            .errors()
+            .filter(|d| d.rule.is_equiv())
+            .map(|d| d.rule.id())
+            .collect();
+        return Verdict::Miscompile {
+            rules: ids.into_iter().collect(),
+        };
+    }
+    Verdict::Clean
 }
 
 /// The sorted error-rule IDs of a rejection, if `v` is one.
@@ -196,6 +246,39 @@ mod tests {
         let v = quiet_panics(|| classify(&cfg, &[]));
         assert!(!v.is_crasher(), "empty stream produced {v:?}");
         assert!(rejection_rules(&v).is_some(), "empty stream was {v:?}");
+    }
+
+    #[test]
+    fn a_forged_stream_classifies_as_miscompile() {
+        let _serial = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let cfg = HwConfig::paper_instance();
+        let model = ZooModel::TfcW1A1
+            .build_untrained(1, BnMode::Folded)
+            .expect("zoo model builds");
+        let mut forged = model.clone();
+        let w = &mut forged.hidden[0].weights;
+        let i = (0..w.len() - 1)
+            .find(|&i| w[i] != w[i + 1])
+            .expect("untrained weights vary");
+        w.swap(i, i + 1);
+        let bad = netpu_compiler::compile(&forged, &vec![0u8; 784])
+            .expect("forged model compiles")
+            .words;
+
+        // Plain classification cannot see the forgery…
+        assert_eq!(quiet_panics(|| classify(&cfg, &bad)), Verdict::Clean);
+        // …the source-aware oracle can.
+        let v = quiet_panics(|| classify_with_source(&cfg, &bad, &model));
+        match &v {
+            Verdict::Miscompile { rules } => assert!(rules.contains(&"NPC022"), "{rules:?}"),
+            other => panic!("expected Miscompile, got {other:?}"),
+        }
+        assert!(v.signature().starts_with("MISCOMPILE:"));
+        // The honest stream passes all three tiers.
+        assert_eq!(
+            quiet_panics(|| classify_with_source(&cfg, &seed_words(), &model)),
+            Verdict::Clean
+        );
     }
 
     #[test]

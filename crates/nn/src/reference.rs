@@ -12,8 +12,10 @@ use netpu_arith::{bitslice, Fix};
 
 /// Saturating 32-bit accumulation, as the ACCU submodule's 32-bit output
 /// register behaves (§III.B.1: 32-bit output supports ≥ 2^16 inputs).
+/// Public so the translation validator (`netpu-check::symex`) can reuse
+/// the exact ACCU semantics when probing output-score affines.
 #[inline]
-fn accumulate(acc: i32, term: i64) -> i32 {
+pub fn accumulate(acc: i32, term: i64) -> i32 {
     (acc as i64 + term).clamp(i32::MIN as i64, i32::MAX as i64) as i32
 }
 

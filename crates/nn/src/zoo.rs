@@ -8,7 +8,10 @@
 
 use crate::export::{export, BnMode, ExportConfig, ExportError};
 use crate::float::{ActSpec, FloatMlp, LayerSpec, MlpSpec};
-use crate::qmodel::QuantMlp;
+use crate::qmodel::{BnParams, HiddenLayer, InputLayer, LayerActivation, OutputLayer, QuantMlp};
+use netpu_arith::{Fix, Precision, QuantParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -169,6 +172,178 @@ impl fmt::Display for ZooModel {
     }
 }
 
+/// Deterministically builds a small random-but-valid [`QuantMlp`] from a
+/// seed: rng-drawn shape (4–23 inputs, 1–2 hidden layers 2–11 wide, 2–5
+/// classes), precision mix (W1/W2/W4 weights, 1/2/4-bit activations),
+/// and Sign / Multi-Threshold / QUAN activation paths with either folded
+/// biases or hardware BN. Every model validates; the translation
+/// validator and `xtask certify` sweep these against their own honest
+/// compiles.
+pub fn random_model(seed: u64) -> QuantMlp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let input_len = rng.gen_range(4..24);
+    let hidden_layers = rng.gen_range(1..3);
+    let width = rng.gen_range(2..12);
+    let classes = rng.gen_range(2..6);
+
+    let act_bits: u8 = [1u8, 2, 2, 4][rng.gen_range(0..4usize)];
+    let out_prec = Precision::new(act_bits).expect("1/2/4 are valid activation widths");
+    let input_activation = if act_bits == 1 {
+        LayerActivation::Sign {
+            thresholds: (0..input_len)
+                .map(|_| Fix::from_i32(rng.gen_range(0..255)))
+                .collect(),
+        }
+    } else {
+        LayerActivation::MultiThreshold {
+            thresholds: (0..input_len)
+                .map(|_| {
+                    let mut t: Vec<i32> = (0..out_prec.multi_threshold_count())
+                        .map(|_| rng.gen_range(0..255))
+                        .collect();
+                    t.sort_unstable();
+                    t.into_iter().map(Fix::from_i32).collect()
+                })
+                .collect(),
+        }
+    };
+
+    let mut hidden = Vec::new();
+    let mut prev_width = input_len;
+    let prev_prec = out_prec;
+    for _ in 0..hidden_layers {
+        // Weight precision: binary only when inputs are binary (the
+        // XNOR pairing rule) or on the promoted integer path.
+        let wp = if prev_prec.is_binary() {
+            Precision::W1
+        } else {
+            Precision::new([1u8, 2, 4][rng.gen_range(0..3usize)]).expect("valid widths")
+        };
+        let weights: Vec<i32> = (0..width * prev_width)
+            .map(|_| {
+                if wp.is_binary() {
+                    if rng.gen() {
+                        1
+                    } else {
+                        -1
+                    }
+                } else {
+                    rng.gen_range(wp.signed_min()..=wp.signed_max())
+                }
+            })
+            .collect();
+        let out = prev_prec; // keep one precision through the stack
+        let activation = if out.is_binary() {
+            LayerActivation::Sign {
+                thresholds: (0..width)
+                    .map(|_| Fix::from_i32(rng.gen_range(-20..20)))
+                    .collect(),
+            }
+        } else if rng.gen_bool(0.3) {
+            // The full-precision ACTIV + QUAN path; these require
+            // hardware BN to keep the values in a sane range, so force
+            // the BN branch below.
+            let quant = QuantParams::from_f64(rng.gen_range(0.25..4.0), rng.gen_range(0.0..1.0));
+            match rng.gen_range(0..3) {
+                0 => LayerActivation::Relu { quant },
+                1 => LayerActivation::Sigmoid { quant },
+                _ => LayerActivation::Tanh { quant },
+            }
+        } else {
+            LayerActivation::MultiThreshold {
+                thresholds: (0..width)
+                    .map(|_| {
+                        let mut t: Vec<i32> = (0..out.multi_threshold_count())
+                            .map(|_| rng.gen_range(-50..50))
+                            .collect();
+                        t.sort_unstable();
+                        t.into_iter().map(Fix::from_i32).collect()
+                    })
+                    .collect(),
+            }
+        };
+        let use_bn = rng.gen_bool(0.5)
+            || matches!(
+                activation,
+                LayerActivation::Relu { .. }
+                    | LayerActivation::Sigmoid { .. }
+                    | LayerActivation::Tanh { .. }
+            );
+        hidden.push(HiddenLayer {
+            in_len: prev_width,
+            neurons: width,
+            weight_precision: wp,
+            in_precision: prev_prec,
+            out_precision: out,
+            weights,
+            bias: if use_bn {
+                None
+            } else {
+                Some((0..width).map(|_| rng.gen_range(-10..10)).collect())
+            },
+            bn: if use_bn {
+                Some(
+                    (0..width)
+                        .map(|_| BnParams {
+                            scale_q16: Fix::q16_scale_from_f64(rng.gen_range(0.01..2.0)),
+                            offset: Fix::from_f64(rng.gen_range(-4.0..4.0)),
+                        })
+                        .collect(),
+                )
+            } else {
+                None
+            },
+            activation,
+        });
+        prev_width = width;
+    }
+
+    let wp = if prev_prec.is_binary() {
+        Precision::W1
+    } else {
+        Precision::W2
+    };
+    let output = OutputLayer {
+        in_len: prev_width,
+        neurons: classes,
+        weight_precision: wp,
+        in_precision: prev_prec,
+        weights: (0..classes * prev_width)
+            .map(|_| {
+                if wp.is_binary() {
+                    if rng.gen() {
+                        1
+                    } else {
+                        -1
+                    }
+                } else {
+                    rng.gen_range(wp.signed_min()..=wp.signed_max())
+                }
+            })
+            .collect(),
+        bias: None,
+        bn: Some(
+            (0..classes)
+                .map(|_| BnParams {
+                    scale_q16: Fix::q16_scale_from_f64(rng.gen_range(0.1..2.0)),
+                    offset: Fix::from_f64(rng.gen_range(-2.0..2.0)),
+                })
+                .collect(),
+        ),
+    };
+
+    QuantMlp {
+        name: format!("random-{seed}"),
+        input: InputLayer {
+            len: input_len,
+            out_precision: out_prec,
+            activation: input_activation,
+        },
+        hidden,
+        output,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +402,17 @@ mod tests {
             .build_untrained(2, BnMode::Folded)
             .unwrap();
         assert!(!qm2.is_fully_binary());
+    }
+
+    #[test]
+    fn random_models_validate_and_are_deterministic() {
+        for seed in 0..40u64 {
+            let m = random_model(seed);
+            assert!(m.validate().is_ok(), "seed {seed}: {:?}", m.validate());
+            assert_eq!(m, random_model(seed));
+        }
+        // The generator actually varies shape and activation paths.
+        assert_ne!(random_model(0), random_model(1));
     }
 
     #[test]

@@ -374,8 +374,9 @@ pub struct DriverBuilder {
     dma: DmaModel,
     power: PowerParams,
     strict_range: bool,
+    strict_equiv: bool,
     trace_sink: Option<Arc<dyn TraceSink>>,
-    probe_datapath: bool,
+    probe_datapath: Option<bool>,
 }
 
 impl DriverBuilder {
@@ -407,6 +408,22 @@ impl DriverBuilder {
         self
     }
 
+    /// Enables the opt-in **third admission tier**: requests that carry
+    /// their source model (`Single`/`Batch` payloads) are additionally
+    /// run through the `netpu-check::symex` translation validator, and
+    /// error-class equivalence findings (NPC021/NPC022/NPC024) reject
+    /// admission. Pre-compiled `Loadable` payloads carry no source
+    /// claim, and `Burst` streams are compiled from the source in the
+    /// same call, so both keep the two-tier decision. Defaults to
+    /// `false`: certification re-validates the compile the driver
+    /// itself just performed, which honest compiles always pass, so it
+    /// is a (costly) defense against compiler bugs and tampered
+    /// streams rather than everyday hygiene.
+    pub fn strict_equiv(mut self, strict: bool) -> DriverBuilder {
+        self.strict_equiv = strict;
+        self
+    }
+
     /// Attaches a [`TraceSink`]: every run forwards its simulator
     /// tracer events (and, with [`probe_datapath`] set, its datapath
     /// probe samples) to the sink as `Sim` / `Probe` trace events.
@@ -421,12 +438,15 @@ impl DriverBuilder {
         self
     }
 
-    /// Also forwards every intermediate datapath value (accumulators,
-    /// post-BN words, levels, scores) to the attached [`TraceSink`].
-    /// Off by default — probing is unbounded per run. No effect
+    /// Controls forwarding of intermediate datapath values
+    /// (accumulators, post-BN words, levels, scores) to the attached
+    /// [`TraceSink`]. **Defaults to on whenever a sink is attached**,
+    /// so recorded runs carry the probe samples that cross-check
+    /// absint intervals and symex witnesses on replay; pass `false` to
+    /// keep a sink recording scheduling/sim events only. No effect
     /// without a sink.
     pub fn probe_datapath(mut self, probe: bool) -> DriverBuilder {
-        self.probe_datapath = probe;
+        self.probe_datapath = Some(probe);
         self
     }
 
@@ -437,8 +457,9 @@ impl DriverBuilder {
             dma: self.dma,
             power: self.power,
             strict_range: self.strict_range,
+            strict_equiv: self.strict_equiv,
+            probe_datapath: self.probe_datapath.unwrap_or(self.trace_sink.is_some()),
             trace_sink: self.trace_sink,
-            probe_datapath: self.probe_datapath,
         }
     }
 }
@@ -466,10 +487,15 @@ pub struct Driver {
     /// Reject on error-class range-analysis findings too (default
     /// `true`); structural errors always reject.
     pub strict_range: bool,
+    /// Reject on error-class symbolic-equivalence findings
+    /// (NPC021/NPC022/NPC024) for payloads that carry a source model
+    /// (default `false`; the opt-in third admission tier).
+    pub strict_equiv: bool,
     /// Trace sink every run reports its simulator events to; `None`
     /// (the default) records nothing.
     pub trace_sink: Option<Arc<dyn TraceSink>>,
-    /// Forward datapath probe samples to the sink as well.
+    /// Forward datapath probe samples to the sink as well (defaults to
+    /// `true` exactly when a sink is attached).
     pub probe_datapath: bool,
 }
 
@@ -489,8 +515,9 @@ impl Driver {
             dma: DmaModel::zynq_uls(),
             power: PowerParams::ultra96(),
             strict_range: true,
+            strict_equiv: false,
             trace_sink: None,
-            probe_datapath: false,
+            probe_datapath: None,
         }
     }
 
@@ -508,7 +535,7 @@ impl Driver {
         match req.payload {
             InferPayload::Single { model, pixels } => {
                 let loadable = compile(&model, &pixels).map_err(DriverError::Compile)?;
-                let (run, trace) = self.run_core(&loadable, trace)?;
+                let (run, trace) = self.run_core_against(&loadable, trace, Some(&model))?;
                 Ok(InferResponse {
                     runs: vec![run],
                     burst_fps: None,
@@ -545,6 +572,23 @@ impl Driver {
     /// `fast_path` differential suite pins it to the tick path).
     pub fn run_loadable(&self, loadable: &Loadable) -> Result<MeasuredRun, DriverError> {
         let (run, _) = self.run_core(loadable, None)?;
+        Ok(run)
+    }
+
+    /// [`run_loadable`](Driver::run_loadable), with the source model
+    /// the loadable claims to implement. Under
+    /// [`strict_equiv`](DriverBuilder::strict_equiv) the pre-flight
+    /// adds the translation-validation third tier (NPC021–NPC026)
+    /// against `source`; otherwise the claim is ignored and the call is
+    /// identical to `run_loadable`. The `netpu-fleet` compiled-model
+    /// cache admits through this, so a strict-equiv fleet certifies
+    /// every model exactly once, at cache-admission time.
+    pub fn run_loadable_against(
+        &self,
+        loadable: &Loadable,
+        source: &QuantMlp,
+    ) -> Result<MeasuredRun, DriverError> {
+        let (run, _) = self.run_core_against(loadable, None, Some(source))?;
         Ok(run)
     }
 
@@ -588,17 +632,38 @@ impl Driver {
         loadable: &Loadable,
         trace_capacity: Option<usize>,
     ) -> Result<(MeasuredRun, Option<Vec<TraceEvent>>), DriverError> {
-        // Static pre-flight (DESIGN.md §4.3–4.4). Structural errors
-        // mark streams the accelerator would reject, stall on, or panic
-        // over and always refuse admission; error-class range findings
-        // (provable accumulator/comparator unsoundness) refuse only
-        // under strict admission. Either way rejected streams never
-        // cost simulation or DMA time. The gate itself is the shared
-        // `AdmissionVerdict` policy, so this decision is identical to
-        // the serving layers' and the fuzzer's.
-        let report = netpu_check::check(loadable, &self.hw);
+        self.run_core_against(loadable, trace_capacity, None)
+    }
+
+    /// [`run_core`](Driver::run_core), with the request's claimed
+    /// source model when the payload carried one — the hook the
+    /// `strict_equiv` third admission tier hangs off.
+    fn run_core_against(
+        &self,
+        loadable: &Loadable,
+        trace_capacity: Option<usize>,
+        source: Option<&QuantMlp>,
+    ) -> Result<(MeasuredRun, Option<Vec<TraceEvent>>), DriverError> {
+        // Static pre-flight (DESIGN.md §4.3–4.4, §4.8). Structural
+        // errors mark streams the accelerator would reject, stall on,
+        // or panic over and always refuse admission; error-class range
+        // findings (provable accumulator/comparator unsoundness)
+        // refuse only under strict admission; and when the request
+        // carries its source model and `strict_equiv` is on, symbolic
+        // inequivalence against that source refuses too. Either way
+        // rejected streams never cost simulation or DMA time. The gate
+        // itself is the shared `AdmissionVerdict` policy, so this
+        // decision is identical to the serving layers' and the
+        // fuzzer's.
+        let (report, strict_equiv) = match source {
+            Some(model) if self.strict_equiv => (
+                netpu_check::check_words_against(&loadable.words, model, &self.hw),
+                true,
+            ),
+            _ => (netpu_check::check(loadable, &self.hw), false),
+        };
         if let AdmissionVerdict::Rejected(reason) =
-            AdmissionVerdict::from_report(report, self.strict_range)
+            AdmissionVerdict::from_report_tiers(report, self.strict_range, strict_equiv)
         {
             return Err(DriverError::Rejected(reason));
         }
@@ -704,7 +769,7 @@ impl Driver {
             }
         }
         let loadable = compile(model, first).map_err(DriverError::Compile)?;
-        let (template, trace) = self.run_core(&loadable, trace_capacity)?;
+        let (template, trace) = self.run_core_against(&loadable, trace_capacity, Some(model))?;
         let softmax = self.hw.softmax_output;
         let engine = BatchEngine::new(model);
         // Slab sweep: fully binary models advance 64 images per u64
@@ -1116,6 +1181,54 @@ mod tests {
         assert!(reason.rules().iter().any(|(rule, _)| rule.id() == "NPC001"));
         // The full verifier report stays reachable for diagnostics.
         assert!(reason.report().expect("report").has_structural_errors());
+    }
+
+    #[test]
+    fn strict_equiv_admits_honest_requests() {
+        let driver = Driver::builder().strict_equiv(true).build();
+        let model = ZooModel::TfcW1A1
+            .build_untrained(21, BnMode::Folded)
+            .unwrap();
+        let px = vec![100u8; 784];
+        let run = driver.infer(&model, &px).unwrap();
+        assert_eq!(run.class, reference::infer(&model, &px));
+        // And the decision matches the two-tier driver exactly.
+        let plain = Driver::builder().build().infer(&model, &px).unwrap();
+        assert_eq!(run, plain);
+    }
+
+    #[test]
+    fn probe_default_follows_the_trace_sink() {
+        use netpu_trace::MemorySink;
+        let sink = Arc::new(MemorySink::new());
+        // A sink with no explicit probe choice probes by default...
+        let probed = Driver::builder().trace_sink(sink.clone()).build();
+        assert!(probed.probe_datapath);
+        // ...an explicit opt-out wins...
+        let quiet = Driver::builder()
+            .trace_sink(sink)
+            .probe_datapath(false)
+            .build();
+        assert!(!quiet.probe_datapath);
+        // ...and sinkless drivers never probe.
+        assert!(!Driver::builder().build().probe_datapath);
+    }
+
+    #[test]
+    fn sink_runs_record_probe_samples_by_default() {
+        use netpu_trace::{MemorySink, TraceEvent as Tev};
+        let sink = Arc::new(MemorySink::new());
+        let driver = Driver::builder().trace_sink(sink.clone()).build();
+        let model = ZooModel::TfcW1A1
+            .build_untrained(15, BnMode::Folded)
+            .unwrap();
+        driver
+            .run(InferRequest::single(&model, vec![42u8; 784]))
+            .unwrap();
+        assert!(sink
+            .records()
+            .iter()
+            .any(|r| matches!(r.event, Tev::Probe { .. })));
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub(crate) struct Counters {
     pub rejected: AtomicU64,
     pub range_flagged: AtomicU64,
     pub range_rejected: AtomicU64,
+    pub equiv_flagged: AtomicU64,
+    pub equiv_rejected: AtomicU64,
     pub completed: AtomicU64,
     pub failed: AtomicU64,
     pub retried: AtomicU64,
@@ -85,6 +87,15 @@ pub struct MetricsSnapshot {
     /// Range-flagged submissions actually refused at admission
     /// (strict-range servers only; always ≤ `range_flagged`).
     pub range_rejected: u64,
+    /// Certified submissions whose translation validation found
+    /// error-class inequivalence against the claimed source model
+    /// (NPC021/NPC022/NPC024), whether or not admission refused them.
+    /// Only [`Server::submit_certified`](crate::Server::submit_certified)
+    /// submissions can contribute.
+    pub equiv_flagged: u64,
+    /// Equivalence-flagged submissions actually refused at admission
+    /// (strict-equiv servers only; always ≤ `equiv_flagged`).
+    pub equiv_rejected: u64,
     /// Requests that completed successfully.
     pub completed: u64,
     /// Requests that failed terminally (after exhausting retries).
@@ -135,6 +146,8 @@ impl MetricsSnapshot {
             rejected: load(&counters.rejected),
             range_flagged: load(&counters.range_flagged),
             range_rejected: load(&counters.range_rejected),
+            equiv_flagged: load(&counters.equiv_flagged),
+            equiv_rejected: load(&counters.equiv_rejected),
             completed: load(&counters.completed),
             failed: load(&counters.failed),
             retried: load(&counters.retried),

@@ -38,6 +38,7 @@ use crate::metrics::{Counters, MetricsSnapshot};
 use crate::queue::{BoundedQueue, Push};
 use netpu_check::{AdmissionVerdict, RejectReason};
 use netpu_compiler::compile;
+use netpu_nn::QuantMlp;
 use netpu_runtime::{Driver, DriverError, InferPayload, InferRequest, InferResponse};
 use netpu_trace::{TraceEvent, TraceSink};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -63,6 +64,18 @@ pub struct ServerConfig {
     /// Lenient servers still count such submissions in
     /// [`MetricsSnapshot::range_flagged`] but admit them.
     pub strict_range: bool,
+    /// Reject [`Server::submit_certified`] submissions whose stream the
+    /// translation validator proves computes a *different function*
+    /// than the claimed source model (error-class NPC021/NPC022/NPC024
+    /// findings, DESIGN.md §4.8). Also propagated to the workers'
+    /// driver, so `Single`/`Batch` payloads — which carry their source
+    /// model by construction — get the same third tier on their
+    /// compiled streams. Lenient servers still count certified
+    /// submissions with equivalence findings in
+    /// [`MetricsSnapshot::equiv_flagged`] but admit them. Off by
+    /// default: the third tier costs a symbolic execution per
+    /// admission.
+    pub strict_equiv: bool,
     /// How many times a request whose worker died mid-serve is put
     /// back on the queue before crash recovery gives up and rejects it
     /// with [`RejectReason::WorkerCrash`].
@@ -81,6 +94,7 @@ impl Default for ServerConfig {
             max_retries: 0,
             faults: FaultPlan::None,
             strict_range: true,
+            strict_equiv: false,
             crash_requeues: 1,
             trace: None,
         }
@@ -205,6 +219,7 @@ impl Server {
         // server must not have its workers re-reject admitted streams
         // through the driver's own (default-strict) range gate.
         driver.strict_range = cfg.strict_range;
+        driver.strict_equiv = cfg.strict_equiv;
         let shared = Arc::new(Shared {
             driver,
             counters: Counters::default(),
@@ -270,6 +285,89 @@ impl Server {
                 }
             }
         }
+        self.enqueue(id, req, range_flagged)
+    }
+
+    /// Submits a request *together with the source model its loadable
+    /// payload claims to implement*, enabling the third admission tier
+    /// (DESIGN.md §4.8): on top of the structural and range pre-flight,
+    /// the [`symex`](netpu_check::symex) translation validator
+    /// certifies the stream bit-precisely equivalent to `source`.
+    /// Equivalence findings are always counted in
+    /// [`MetricsSnapshot::equiv_flagged`]; they deny admission only
+    /// under [`ServerConfig::strict_equiv`]. Payloads other than
+    /// [`InferPayload::Loadable`] carry no separate stream to validate
+    /// (the worker compiles them from their own source, where the
+    /// driver applies the same tier) and are admitted exactly like
+    /// [`Server::submit`].
+    pub fn submit_certified(&self, source: &QuantMlp, req: InferRequest<'static>) -> Submit {
+        let id = self.shared.next_request.fetch_add(1, Ordering::Relaxed);
+        self.shared.trace(
+            0.0,
+            TraceEvent::Submitted {
+                request: id,
+                tenant: 0,
+                model: 0,
+            },
+        );
+        let mut range_flagged = false;
+        if let InferPayload::Loadable(loadable) = &req.payload {
+            let report =
+                netpu_check::check_words_against(&loadable.words, source, &self.shared.driver.hw);
+            if report.has_range_errors() {
+                self.shared
+                    .counters
+                    .range_flagged
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            if report.has_equiv_errors() {
+                self.shared
+                    .counters
+                    .equiv_flagged
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            let strict_equiv = self.shared.cfg.strict_equiv;
+            match AdmissionVerdict::from_report_tiers(
+                report,
+                self.shared.cfg.strict_range,
+                strict_equiv,
+            ) {
+                AdmissionVerdict::Admitted {
+                    range_flagged: flagged,
+                } => range_flagged = flagged,
+                AdmissionVerdict::Rejected(reason) => {
+                    if reason
+                        .report()
+                        .is_some_and(netpu_check::Report::has_range_errors)
+                        && self.shared.cfg.strict_range
+                    {
+                        self.shared
+                            .counters
+                            .range_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    if reason
+                        .report()
+                        .is_some_and(netpu_check::Report::has_equiv_errors)
+                        && strict_equiv
+                    {
+                        self.shared
+                            .counters
+                            .equiv_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.shared
+                        .counters
+                        .rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    return self.deny(id, reason);
+                }
+            }
+        }
+        self.enqueue(id, req, range_flagged)
+    }
+
+    fn enqueue(&self, id: u64, req: InferRequest<'static>, range_flagged: bool) -> Submit {
         let (tx, rx) = mpsc::channel();
         // The Admitted event is recorded *before* the push: once the
         // job is visible in the queue a worker may serve it to
@@ -696,6 +794,59 @@ mod tests {
         ticket.wait().unwrap();
         let m = server.shutdown();
         assert_eq!((m.completed, m.range_flagged, m.range_rejected), (1, 1, 0));
+    }
+
+    #[test]
+    fn certified_submission_gates_on_translation_validation() {
+        let model = tfc();
+        // Forge a loadable that passes the structural and range tiers
+        // but computes a different function than the claimed source:
+        // compile the model with one adjacent weight pair swapped.
+        let mut forged = (*model).clone();
+        let w = &mut forged.hidden[0].weights;
+        let i = (0..w.len() - 1)
+            .find(|&i| w[i] != w[i + 1])
+            .expect("untrained weights are not constant");
+        w.swap(i, i + 1);
+        let forged = compile(&forged, &vec![5u8; 784]).unwrap();
+
+        let strict = Server::start(
+            Driver::builder().build(),
+            ServerConfig {
+                strict_equiv: true,
+                ..ServerConfig::default()
+            },
+        );
+        match strict.submit_certified(&model, InferRequest::loadable(forged.clone())) {
+            Submit::Denied(reason) => {
+                assert_eq!(reason.code(), "INVALID_STREAM");
+                let report = reason.report().expect("invalid carries the report");
+                assert!(report.fired(netpu_check::RuleId::Npc022));
+                assert!(!report.has_structural_errors());
+                assert!(!report.has_range_errors());
+            }
+            Submit::Accepted(_) => panic!("expected Denied"),
+        }
+        // The honest pair certifies equivalent and serves normally.
+        let honest = compile(&model, &vec![5u8; 784]).unwrap();
+        let ticket = strict
+            .submit_certified(&model, InferRequest::loadable(honest))
+            .expect_accepted();
+        ticket.wait().unwrap();
+        let m = strict.shutdown();
+        assert_eq!((m.equiv_flagged, m.equiv_rejected), (1, 1));
+        assert_eq!((m.accepted, m.rejected, m.completed), (1, 1, 1));
+
+        // A lenient server counts the finding but serves the stream —
+        // the third tier is opt-in, mirroring strict_range.
+        let lenient = Server::start(Driver::builder().build(), ServerConfig::default());
+        let ticket = lenient
+            .submit_certified(&model, InferRequest::loadable(forged))
+            .expect_accepted();
+        ticket.wait().unwrap();
+        let m = lenient.shutdown();
+        assert_eq!((m.equiv_flagged, m.equiv_rejected), (1, 0));
+        assert_eq!(m.completed, 1);
     }
 
     #[test]

@@ -1,10 +1,20 @@
-//! Workspace automation (`cargo run -p xtask -- lint` and
-//! `cargo run -p xtask -- replay <trace.bin>`).
+//! Workspace automation (`cargo run -p xtask -- lint`,
+//! `cargo run -p xtask -- replay <trace.bin>`, and
+//! `cargo run -p xtask -- certify [models]`).
 //!
 //! `replay` decodes a recorded binary trace, verifies its internal
 //! consistency against the arbiter recurrence (`netpu_trace::verify`),
 //! proves the decode → re-encode round trip is byte-identical, and
-//! prints the replay summary.
+//! prints the replay summary — including a per-`RejectReason`-code
+//! breakdown of every denied request the trace recorded.
+//!
+//! `certify` is the translation-validation release gate (DESIGN.md
+//! §4.8): it compiles the whole model zoo (both BN modes) plus a
+//! deterministic sweep of random valid models (1000 by default),
+//! certifies every emitted stream against its own source via
+//! `netpu_check::compile_certified`, and re-validates each
+//! [`netpu_check::Certificate`] from scratch. Any false inequivalence
+//! or stale certificate fails the gate.
 //!
 //! `lint` enforces source-level gates that rustc and clippy cannot
 //! express at the granularity the workspace wants:
@@ -82,9 +92,18 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("certify") => match args.next().map(|n| n.parse::<usize>()) {
+            None => certify(DEFAULT_CERTIFY_MODELS),
+            Some(Ok(models)) => certify(models),
+            Some(Err(_)) => {
+                eprintln!("usage: cargo run -p xtask -- certify [models]");
+                ExitCode::FAILURE
+            }
+        },
         other => {
             eprintln!(
-                "usage: cargo run -p xtask -- lint | replay <trace.bin>   (got {:?})",
+                "usage: cargo run -p xtask -- lint | replay <trace.bin> | certify [models]   \
+                 (got {:?})",
                 other.unwrap_or("<nothing>")
             );
             ExitCode::FAILURE
@@ -121,7 +140,7 @@ fn replay_file(path: &Path) -> Result<String, String> {
     }
     let s = netpu_trace::verify(reader.records())
         .map_err(|e| format!("{}: inconsistent trace: {e}", path.display()))?;
-    Ok(format!(
+    let mut summary = format!(
         "xtask replay: {} verified — {} records / {} requests \
          ({} completed, {} failed, {} rejected), {} crashes ({} requeued), \
          {} grants over {:.1} us makespan, {} sim events, {} probe samples",
@@ -137,7 +156,109 @@ fn replay_file(path: &Path) -> Result<String, String> {
         s.makespan_us,
         s.sim_events,
         s.probe_samples
-    ))
+    );
+    // Denied requests by stable RejectReason code, so a glance at the
+    // replay line says *why* a trace's admissions failed (structural
+    // stream rejects vs strict-range vs strict-equiv vs crash policy).
+    let mut reject_codes: std::collections::BTreeMap<&str, usize> =
+        std::collections::BTreeMap::new();
+    for rec in reader.records() {
+        if let netpu_trace::TraceEvent::Rejected { code, .. } = &rec.event {
+            *reject_codes.entry(code.as_str()).or_insert(0) += 1;
+        }
+    }
+    if !reject_codes.is_empty() {
+        let breakdown: Vec<String> = reject_codes
+            .iter()
+            .map(|(code, n)| format!("{code}×{n}"))
+            .collect();
+        let _ = write!(summary, "; rejections by reason: {}", breakdown.join(", "));
+    }
+    Ok(summary)
+}
+
+/// Random-model sweep size of a bare `xtask certify`.
+const DEFAULT_CERTIFY_MODELS: usize = 1000;
+
+fn certify(models: usize) -> ExitCode {
+    match certify_sweep(true, models) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask certify: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Compiles and certifies the zoo (when `zoo` is set) plus `models`
+/// deterministic random models, failing on the first false
+/// inequivalence or certificate that does not re-validate. Returns the
+/// printable summary line.
+fn certify_sweep(zoo: bool, models: usize) -> Result<String, String> {
+    use netpu_nn::export::BnMode;
+    use netpu_nn::zoo::{random_model, ZooModel};
+
+    let cfg = netpu_core::HwConfig::paper_instance();
+    let mut widths = (u8::MAX, 0u8);
+    let mut zoo_count = 0usize;
+    if zoo {
+        for (i, variant) in ZooModel::ALL.into_iter().enumerate() {
+            for mode in [BnMode::Folded, BnMode::Hardware] {
+                let Ok(model) = variant.build_untrained(10 + u64::try_from(i).unwrap_or(0), mode)
+                else {
+                    continue;
+                };
+                certify_stream(&model, 99, &cfg, &mut widths)?;
+                zoo_count += 1;
+            }
+        }
+        if zoo_count < ZooModel::ALL.len() {
+            return Err(format!("zoo sweep degenerated to {zoo_count} models"));
+        }
+    }
+    for seed in 0..models {
+        let seed = u64::try_from(seed).unwrap_or(0);
+        let model = random_model(seed);
+        certify_stream(&model, seed ^ 0xA5A5, &cfg, &mut widths)?;
+    }
+    let mut summary = format!(
+        "xtask certify: {zoo_count} zoo + {models} random streams certified \
+         equivalent, zero false inequivalences; every certificate re-validates"
+    );
+    if widths.0 <= widths.1 {
+        let _ = write!(
+            summary,
+            " (exact min accumulator widths {}–{} bits)",
+            widths.0, widths.1
+        );
+    }
+    Ok(summary)
+}
+
+/// Compiles `model` on a seeded input and certifies the emitted stream
+/// against it; extends `widths` with the certificate's exact minimal
+/// accumulator width.
+fn certify_stream(
+    model: &netpu_nn::qmodel::QuantMlp,
+    px_seed: u64,
+    cfg: &netpu_core::HwConfig,
+    widths: &mut (u8, u8),
+) -> Result<(), String> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(px_seed);
+    let pixels: Vec<u8> = (0..model.input.len).map(|_| rng.gen()).collect();
+    let (loadable, cert) = netpu_check::compile_certified(model, &pixels, cfg)
+        .map_err(|e| format!("{}: {e}", model.name))?;
+    if !cert.validate(model, &loadable.words, cfg) {
+        return Err(format!("{}: certificate failed re-validation", model.name));
+    }
+    widths.0 = widths.0.min(cert.min_accumulator_bits);
+    widths.1 = widths.1.max(cert.min_accumulator_bits);
+    Ok(())
 }
 
 fn lint() -> ExitCode {
@@ -680,5 +801,51 @@ mod tests {
         bytes.truncate(bytes.len() - 3);
         fs::write(&bad, bytes).expect("write trace");
         assert!(replay_file(&bad).is_err());
+    }
+
+    #[test]
+    fn replay_summary_breaks_rejections_down_by_reason_code() {
+        use netpu_trace::{MemorySink, TraceEvent, TraceSink};
+
+        let sink = MemorySink::new();
+        for (id, code) in [
+            (1, "INVALID_STREAM"),
+            (2, "INVALID_STREAM"),
+            (3, "CRASH_POLICY"),
+        ] {
+            sink.record(
+                0.0,
+                TraceEvent::Submitted {
+                    request: id,
+                    tenant: 0,
+                    model: 0,
+                },
+            );
+            sink.record(
+                0.0,
+                TraceEvent::Rejected {
+                    request: id,
+                    code: code.into(),
+                    rules: Vec::new(),
+                },
+            );
+        }
+        let dir = std::env::temp_dir().join("xtask-replay-rejects");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("rejects.bin");
+        fs::write(&path, sink.to_bytes()).expect("write trace");
+        let summary = replay_file(&path).expect("trace verifies");
+        assert!(summary.contains("3 rejected"), "{summary}");
+        assert!(
+            summary.contains("rejections by reason: CRASH_POLICY×1, INVALID_STREAM×2"),
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn certify_sweep_passes_on_random_models_and_reports_widths() {
+        let summary = certify_sweep(false, 6).expect("random models certify");
+        assert!(summary.contains("6 random streams"), "{summary}");
+        assert!(summary.contains("min accumulator widths"), "{summary}");
     }
 }

@@ -31,6 +31,13 @@ cargo build --release --workspace
 echo "== tests (release) =="
 cargo test -q --release --workspace
 
+echo "== translation validation: certify zoo + 1000 random streams (release) =="
+# The symbolic-equivalence soundness gate (DESIGN.md §4.8): every
+# honest compile of the model zoo and a deterministic 1000-model random
+# sweep must certify equivalent with zero false inequivalences, and
+# every emitted certificate must re-validate from scratch.
+cargo run -q --release -p xtask -- certify 1000
+
 echo "== serving layer (release) =="
 cargo test -q --release -p netpu-serve
 
