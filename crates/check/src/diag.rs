@@ -73,11 +73,26 @@ pub enum RuleId {
     /// Exact minimal accumulator width from the symbolic value sets,
     /// tightening the interval-based NPC019 advisory.
     Npc026,
+    /// Exact cycle certificate: the closed-form per-inference cycle
+    /// count, steady-state throughput, and §V cold/resident latencies.
+    Npc027,
+    /// Per-layer pipeline-bottleneck attribution: the phase holding the
+    /// largest share of a layer's cycles.
+    Npc028,
+    /// Folding slack: a strictly cheaper folding of the instance
+    /// provably meets the same per-inference latency.
+    Npc029,
+    /// Deadline infeasibility: the statically certified end-to-end
+    /// latency exceeds the caller's declared request deadline.
+    Npc030,
+    /// DMA-bound vs compute-bound classification of the inference under
+    /// the declared DMA channel model.
+    Npc031,
 }
 
 impl RuleId {
     /// All rules, in catalog order.
-    pub const ALL: [RuleId; 26] = [
+    pub const ALL: [RuleId; 31] = [
         RuleId::Npc001,
         RuleId::Npc002,
         RuleId::Npc003,
@@ -104,6 +119,11 @@ impl RuleId {
         RuleId::Npc024,
         RuleId::Npc025,
         RuleId::Npc026,
+        RuleId::Npc027,
+        RuleId::Npc028,
+        RuleId::Npc029,
+        RuleId::Npc030,
+        RuleId::Npc031,
     ];
 
     /// The stable textual ID, e.g. `"NPC004"`.
@@ -135,6 +155,11 @@ impl RuleId {
             RuleId::Npc024 => "NPC024",
             RuleId::Npc025 => "NPC025",
             RuleId::Npc026 => "NPC026",
+            RuleId::Npc027 => "NPC027",
+            RuleId::Npc028 => "NPC028",
+            RuleId::Npc029 => "NPC029",
+            RuleId::Npc030 => "NPC030",
+            RuleId::Npc031 => "NPC031",
         }
     }
 
@@ -167,6 +192,11 @@ impl RuleId {
             RuleId::Npc024 => "weight rows are packed in source order, not a permutation of it",
             RuleId::Npc025 => "every output class is selectable by some admissible input",
             RuleId::Npc026 => "the accumulator width equals the exact symbolic minimum",
+            RuleId::Npc027 => "the per-inference cycle count is exactly the certified closed form",
+            RuleId::Npc028 => "each layer's dominant pipeline phase is statically attributable",
+            RuleId::Npc029 => "no strictly cheaper folding meets the same certified latency",
+            RuleId::Npc030 => "the certified end-to-end latency meets the declared deadline",
+            RuleId::Npc031 => "the inference's binding resource (DMA or compute) is classified",
         }
     }
 
@@ -202,6 +232,17 @@ impl RuleId {
                 | RuleId::Npc024
                 | RuleId::Npc025
                 | RuleId::Npc026
+        )
+    }
+
+    /// `true` for the timing-certification rule family (NPC027–NPC031)
+    /// emitted by the [`timing`](crate::timing) analysis. Informational
+    /// except NPC030, which errors only under a caller-declared
+    /// deadline; structural admission never gates on this family.
+    pub fn is_timing(self) -> bool {
+        matches!(
+            self,
+            RuleId::Npc027 | RuleId::Npc028 | RuleId::Npc029 | RuleId::Npc030 | RuleId::Npc031
         )
     }
 }
@@ -296,9 +337,12 @@ impl Report {
     /// `true` when a structural rule (NPC001–NPC013) fired at error
     /// severity. These always reject, regardless of strictness.
     pub fn has_structural_errors(&self) -> bool {
-        self.diagnostics
-            .iter()
-            .any(|d| d.severity == Severity::Error && !d.rule.is_range() && !d.rule.is_equiv())
+        self.diagnostics.iter().any(|d| {
+            d.severity == Severity::Error
+                && !d.rule.is_range()
+                && !d.rule.is_equiv()
+                && !d.rule.is_timing()
+        })
     }
 
     /// `true` when a range-analysis rule (NPC014–NPC020) fired at error
@@ -316,6 +360,15 @@ impl Report {
         self.diagnostics
             .iter()
             .any(|d| d.severity == Severity::Error && d.rule.is_equiv())
+    }
+
+    /// `true` when a timing-certification rule (NPC027–NPC031) fired at
+    /// error severity — in practice NPC030, the deadline-infeasibility
+    /// rule, the family's only error-capable member.
+    pub fn has_timing_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.rule.is_timing())
     }
 
     /// `true` when `rule` fired at any severity.

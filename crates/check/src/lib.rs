@@ -22,6 +22,15 @@
 //! reference forward function, emitting NPC021–NPC026 and a re-checkable
 //! [`Certificate`].
 //!
+//! The fourth tier is the [`timing`] certifier: a closed-form,
+//! cycle-exact cost model of the accelerator derived from the decoded
+//! stream and the [`HwConfig`] alone, emitting the NPC027–NPC031
+//! timing-certification rules (exact cycle certificate, per-layer
+//! bottleneck attribution, folding slack, deadline infeasibility, and
+//! DMA-bound vs compute-bound classification). Its exactness against
+//! the tick simulator is pinned by the `xtask certify-timing`
+//! differential gate.
+//!
 //! Findings are structured [`Diagnostic`]s with stable rule IDs
 //! (`NPC001`…), byte offsets into the serialized stream, and
 //! severities. **Errors** come in three families the admission layers
@@ -60,11 +69,13 @@ pub mod absint;
 mod diag;
 mod rules;
 pub mod symex;
+pub mod timing;
 mod verdict;
 
 pub use absint::{LayerBounds, NeuronBounds, RangeAnalysis};
 pub use diag::{Diagnostic, Report, RuleId, Severity};
 pub use symex::{certify, compile_certified, Certificate, CertifyError, CertifyOutcome, Witness};
+pub use timing::{DmaParams, LayerTiming, StreamTiming, TimingPhase, TimingSpec};
 pub use verdict::{AdmissionVerdict, RejectReason};
 
 use netpu_compiler::Loadable;
@@ -143,4 +154,40 @@ pub fn check_words_analyzed(words: &[u64], cfg: &HwConfig) -> (Report, Option<Ra
         .ok()
         .map(|decoded| absint::analyze(&decoded, cfg, &mut report));
     (report, analysis)
+}
+
+/// The four-tier check: [`check_words`] plus, whenever the stream
+/// decodes at all, the [`timing`] certification under `spec` — the
+/// cycle count only depends on the decoded settings, so timing findings
+/// (NPC027–NPC031) are derived even when the range tier reported
+/// numeric hazards. The certificate is `None` exactly when the stream
+/// is structurally unsound (the decoder cannot reconstruct it, so no
+/// cycle count exists to certify).
+pub fn check_words_timed(
+    words: &[u64],
+    cfg: &HwConfig,
+    spec: &timing::TimingSpec,
+) -> (Report, Option<timing::StreamTiming>) {
+    let mut report = check_words(words, cfg);
+    let timed = if report.has_structural_errors() {
+        None
+    } else {
+        netpu_compiler::decode(words).ok().map(|decoded| {
+            let t = timing::analyze(&decoded, cfg);
+            timing::report_timing(&t, cfg, spec, &mut report);
+            t
+        })
+    };
+    (report, timed)
+}
+
+/// The statically certified per-inference cycle count of a raw stream
+/// on `cfg`, or `None` when the stream does not decode. This is the
+/// value `xtask certify-timing` proves byte-for-byte equal to the tick
+/// simulator's cycle counter; the runtime records it alongside traced
+/// runs so replay can cross-check the model against real executions.
+pub fn predict_cycles(words: &[u64], cfg: &HwConfig) -> Option<u64> {
+    netpu_compiler::decode(words)
+        .ok()
+        .map(|decoded| timing::analyze(&decoded, cfg).total_cycles())
 }

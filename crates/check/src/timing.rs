@@ -1,0 +1,711 @@
+//! Static timing certification (tier four): a closed-form, cycle-exact
+//! cost model of the accelerator derived from a decoded stream and the
+//! instance configuration alone — no simulation.
+//!
+//! At bandwidth 1 (the canonical `run_inference_fast` setup) the stream
+//! source holds every word from cycle 0 and the §III.B interleave
+//! guarantees the top-level FSM never stalls, so the per-inference
+//! cycle count is a *deterministic function* of the decoded layer
+//! settings, the packing mode, and the instance geometry. This module
+//! reconstructs that function phase by phase — header/settings ingest,
+//! input ingest, parameter sections, neuron initialization, weight
+//! ingest and lane dispatch, pipeline drain, write-out, and
+//! inter-section resets — the same decomposition the fast path's
+//! `BulkClocked` implementation skips through dynamically. The
+//! `certify-timing` differential gate (DESIGN.md §4.9) pins the model
+//! to the tick simulator with zero tolerance: predicted cycles equal
+//! simulated cycles, exactly, on every admissible stream.
+//!
+//! On top of the cycle certificate the analysis derives steady-state
+//! batch throughput (pre-packaged bursts pay one inter-loadable reset),
+//! the §V cold/resident reconfiguration latencies under a DMA channel
+//! model, and the NPC027–NPC031 diagnostics: the exact cycle
+//! certificate (Info), per-layer pipeline-bottleneck attribution
+//! (Info), folding slack (Info: a cheaper folding provably meets the
+//! same latency), deadline infeasibility (Error, when the caller
+//! declares a request deadline), and a DMA-bound vs compute-bound
+//! classification (Info).
+
+use crate::diag::{Report, RuleId, Severity};
+use netpu_arith::{cast, ActivationKind};
+use netpu_compiler::stream::{
+    input_words, neuron_weight_words_mode, param_words, uses_xnor_path, weight_words_mode,
+    weights_per_word,
+};
+use netpu_compiler::{Decoded, LayerSetting, LayerType, PackingMode};
+use netpu_core::lpu::{PARAM_READ_WIDTH, PIPELINE_DEPTH};
+use netpu_core::netpu::RESET_CYCLES;
+use netpu_core::resources::netpu_utilization;
+use netpu_core::HwConfig;
+
+/// Off-chip DMA channel parameters for the §V transfer-latency half of
+/// the analysis. Mirrors the runtime's `DmaModel` formulas exactly (the
+/// checker cannot depend on the runtime crate, which sits above it), so
+/// statically derived cold/resident figures agree bit-for-bit with the
+/// driver's measured ones whenever the cycle prediction is exact.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DmaParams {
+    /// Per-transfer setup + PS control overhead in microseconds.
+    pub setup_us: f64,
+    /// Sustained bandwidth in 64-bit words per accelerator clock cycle.
+    pub words_per_cycle: f64,
+}
+
+impl Default for DmaParams {
+    fn default() -> DmaParams {
+        DmaParams::zynq_uls()
+    }
+}
+
+impl DmaParams {
+    /// The Zynq UltraScale+ PS/DMA path of the Ultra96-V2 (the Table VI
+    /// − Table V gap, ≈5.9 µs per inference).
+    pub fn zynq_uls() -> DmaParams {
+        DmaParams {
+            setup_us: 5.9,
+            words_per_cycle: 1.0,
+        }
+    }
+
+    /// An ideal channel: no setup, unlimited bandwidth.
+    pub fn ideal() -> DmaParams {
+        DmaParams {
+            setup_us: 0.0,
+            words_per_cycle: f64::INFINITY,
+        }
+    }
+
+    /// Channel occupancy of one transfer: setup plus bandwidth-bound
+    /// streaming time.
+    pub fn occupancy_us(&self, stream_words: usize, clock_mhz: f64) -> f64 {
+        self.setup_us + self.streaming_us(stream_words, clock_mhz)
+    }
+
+    /// Wall-clock latency of one inference: setup plus the larger of
+    /// the pipeline time and the transfer time.
+    pub fn measured_latency_us(
+        &self,
+        sim_latency_us: f64,
+        stream_words: usize,
+        clock_mhz: f64,
+    ) -> f64 {
+        self.setup_us + sim_latency_us.max(self.streaming_us(stream_words, clock_mhz))
+    }
+
+    fn streaming_us(&self, stream_words: usize, clock_mhz: f64) -> f64 {
+        if self.words_per_cycle.is_finite() {
+            cast::f64_from_usize(stream_words) / self.words_per_cycle / clock_mhz
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Caller-declared context for the diagnostic half of the analysis: the
+/// DMA channel the stream would arrive over and an optional end-to-end
+/// latency deadline (NPC030 fires when the deadline is statically
+/// infeasible).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TimingSpec {
+    /// DMA channel model for the cold/resident transfer figures.
+    /// Defaults to [`DmaParams::zynq_uls`].
+    pub dma: DmaParams,
+    /// Declared request deadline on the cold end-to-end latency, µs.
+    pub deadline_us: Option<f64>,
+}
+
+/// The pipeline phase a cycle is attributed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimingPhase {
+    /// Parameter-section ingest (biases/BN pairs, activation tables).
+    Params,
+    /// Input-layer quantization of the ingested pixels.
+    Input,
+    /// Neuron Initialization: latching a batch's parameters.
+    Init,
+    /// Weight-word ingest from the Network Input FIFO (1 word/cycle).
+    WeightIngest,
+    /// Extra multiplier-lane dispatch subcycles beyond the ingest edge.
+    WeightDispatch,
+    /// Pipeline drain between a batch's last weight word and write-out.
+    Drain,
+    /// Write-out / MaxOut (plus SoftMax when enabled).
+    WriteOut,
+}
+
+impl TimingPhase {
+    /// Stable lowercase phase name for messages and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TimingPhase::Params => "params",
+            TimingPhase::Input => "input",
+            TimingPhase::Init => "init",
+            TimingPhase::WeightIngest => "weight-ingest",
+            TimingPhase::WeightDispatch => "weight-dispatch",
+            TimingPhase::Drain => "drain",
+            TimingPhase::WriteOut => "write-out",
+        }
+    }
+}
+
+/// Closed-form per-layer cycle breakdown, phase by phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LayerTiming {
+    /// Zero-based layer index.
+    pub layer: usize,
+    /// Parameter-section cycles (1 even when the section is empty — the
+    /// section-entry edge still costs a cycle).
+    pub param_cycles: u64,
+    /// The Ready edge starting the layer's processing section.
+    pub ready_cycles: u64,
+    /// Input-layer pixel quantization cycles (input layer only).
+    pub input_cycles: u64,
+    /// Neuron Initialization cycles across all TNPU batches.
+    pub init_cycles: u64,
+    /// Weight-word ingest cycles (= weight words; 1 word per cycle).
+    pub weight_ingest_cycles: u64,
+    /// Extra lane-dispatch subcycles (0 under double buffering when one
+    /// group covers the word).
+    pub weight_dispatch_cycles: u64,
+    /// Pipeline drain cycles across all batches.
+    pub drain_cycles: u64,
+    /// Write-out / MaxOut / SoftMax cycles across all batches.
+    pub output_cycles: u64,
+}
+
+impl LayerTiming {
+    /// Processing-section cycles (everything after the parameter
+    /// section, including the Ready edge).
+    pub fn process_cycles(&self) -> u64 {
+        self.ready_cycles
+            + self.input_cycles
+            + self.init_cycles
+            + self.weight_ingest_cycles
+            + self.weight_dispatch_cycles
+            + self.drain_cycles
+            + self.output_cycles
+    }
+
+    /// All cycles attributed to this layer.
+    pub fn total_cycles(&self) -> u64 {
+        self.param_cycles + self.process_cycles()
+    }
+
+    /// The phase holding the largest share of this layer's cycles — the
+    /// NPC028 bottleneck attribution. Ties break toward the earlier
+    /// pipeline stage, deterministically.
+    pub fn bottleneck(&self) -> (TimingPhase, u64) {
+        let phases = [
+            (TimingPhase::Params, self.param_cycles),
+            (TimingPhase::Input, self.input_cycles),
+            (TimingPhase::Init, self.init_cycles),
+            (TimingPhase::WeightIngest, self.weight_ingest_cycles),
+            (TimingPhase::WeightDispatch, self.weight_dispatch_cycles),
+            (TimingPhase::Drain, self.drain_cycles),
+            (TimingPhase::WriteOut, self.output_cycles),
+        ];
+        let mut best = phases[0];
+        for p in phases {
+            if p.1 > best.1 {
+                best = p;
+            }
+        }
+        best
+    }
+}
+
+/// The full static timing certificate of one loadable on one instance:
+/// an exact per-inference cycle count with its phase decomposition,
+/// plus the derived throughput and §V transfer-latency figures. Keeps
+/// the layer settings it was derived from so the NPC029 folding-slack
+/// search (and the DSE pricer) can re-time alternative foldings without
+/// the original stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamTiming {
+    /// Header-word ingest (always 1).
+    pub header_cycles: u64,
+    /// Layer-setting ingest cycles (one per layer).
+    pub settings_cycles: u64,
+    /// Dataset-input ingest cycles (8 pixel lanes per word).
+    pub input_ingest_cycles: u64,
+    /// Inter-section reset cycles within one inference.
+    pub reset_cycles: u64,
+    /// Per-layer breakdown, in layer order.
+    pub layers: Vec<LayerTiming>,
+    /// Total stream words of the loadable.
+    pub stream_words: usize,
+    /// §V resident prefix: header + settings + input-section words (the
+    /// part re-streamed when the weights stay resident on the board).
+    pub resident_words: usize,
+    /// The decoded layer settings the certificate was derived from.
+    pub settings: Vec<LayerSetting>,
+    /// The weight packing mode the certificate was derived under.
+    pub packing: PackingMode,
+}
+
+impl StreamTiming {
+    /// The exact per-inference cycle count — equal, by the
+    /// `certify-timing` gate, to what `run_inference_fast` (and the
+    /// tick path it mirrors) reports for this stream.
+    pub fn total_cycles(&self) -> u64 {
+        self.header_cycles
+            + self.settings_cycles
+            + self.input_ingest_cycles
+            + self.reset_cycles
+            + self
+                .layers
+                .iter()
+                .map(LayerTiming::total_cycles)
+                .sum::<u64>()
+    }
+
+    /// Steady-state cycles per inference inside a pre-packaged burst:
+    /// one full inference plus the inter-loadable reset.
+    pub fn steady_state_cycles(&self) -> u64 {
+        self.total_cycles() + RESET_CYCLES
+    }
+
+    /// Exact cycle count of a pre-packaged burst of `inferences`
+    /// back-to-back loadables of this shape (each pays the full
+    /// per-inference cost; consecutive pairs pay one reset).
+    pub fn burst_cycles(&self, inferences: u64) -> u64 {
+        if inferences == 0 {
+            return 0;
+        }
+        inferences * self.total_cycles() + (inferences - 1) * RESET_CYCLES
+    }
+
+    /// On-chip pipeline latency in microseconds at `clock_mhz`.
+    pub fn latency_us(&self, clock_mhz: f64) -> f64 {
+        cast::f64_from_u64(self.total_cycles()) / clock_mhz
+    }
+
+    /// Sustained steady-state throughput of an on-chip burst, frames
+    /// per second at `clock_mhz` (DMA setup amortizes away over a long
+    /// burst; bandwidth 1 word/cycle is already the simulated rate).
+    pub fn steady_state_fps(&self, clock_mhz: f64) -> f64 {
+        clock_mhz * 1e6 / cast::f64_from_u64(self.steady_state_cycles())
+    }
+
+    /// §V cold reconfiguration latency: DMA setup plus the larger of
+    /// the pipeline time and the full-stream transfer time.
+    pub fn cold_latency_us(&self, dma: &DmaParams, clock_mhz: f64) -> f64 {
+        dma.measured_latency_us(self.latency_us(clock_mhz), self.stream_words, clock_mhz)
+    }
+
+    /// §V resident streaming latency: the weights stay on the board, so
+    /// only the resident prefix (header + settings + input) re-streams.
+    /// Mirrors the fleet cache's admission economics exactly.
+    pub fn resident_latency_us(&self, dma: &DmaParams, clock_mhz: f64) -> f64 {
+        let transfer = dma.occupancy_us(self.stream_words, clock_mhz);
+        let resident_transfer = dma.occupancy_us(self.resident_words, clock_mhz);
+        let weight_stream = (transfer - resident_transfer).max(0.0);
+        (self.cold_latency_us(dma, clock_mhz) - weight_stream).max(resident_transfer)
+    }
+
+    /// `true` when the off-chip streaming time exceeds the on-chip
+    /// pipeline time — the NPC031 DMA-bound classification.
+    pub fn dma_bound(&self, dma: &DmaParams, clock_mhz: f64) -> bool {
+        dma.occupancy_us(self.stream_words, clock_mhz) - dma.setup_us > self.latency_us(clock_mhz)
+    }
+}
+
+/// Derives the timing certificate of a decoded loadable on `cfg`. The
+/// result is exact for any stream the structural rules admit (the
+/// decoder's reconstruction is section-faithful, and admissible streams
+/// run stall-free at bandwidth 1).
+pub fn analyze(decoded: &Decoded, cfg: &HwConfig) -> StreamTiming {
+    analyze_settings(&decoded.settings, decoded.packing, cfg)
+}
+
+/// [`analyze`] from the layer settings and packing mode alone — the
+/// per-inference cycle count depends on nothing else in the stream, so
+/// design-space search can price a candidate folding without
+/// recompiling the model.
+pub fn analyze_settings(
+    settings: &[LayerSetting],
+    packing: PackingMode,
+    cfg: &HwConfig,
+) -> StreamTiming {
+    let n_layers = settings.len();
+    let input_len = settings
+        .first()
+        .map_or(0, |s| cast::usize_from_u32(s.neurons));
+    let layers: Vec<LayerTiming> = settings
+        .iter()
+        .enumerate()
+        .map(|(k, s)| layer_timing(k, s, packing, cfg))
+        .collect();
+    let stream_words = 1
+        + n_layers
+        + input_words(input_len)
+        + settings
+            .iter()
+            .map(|s| param_words(s) + weight_words_mode(s, packing))
+            .sum::<usize>();
+    StreamTiming {
+        header_cycles: 1,
+        settings_cycles: cast::u64_from_usize(n_layers),
+        input_ingest_cycles: cast::u64_from_usize(input_words(input_len)),
+        reset_cycles: cast::u64_from_usize(n_layers.saturating_sub(1)) * RESET_CYCLES,
+        layers,
+        stream_words,
+        resident_words: 1 + n_layers + input_words(input_len),
+        settings: settings.to_vec(),
+        packing,
+    }
+}
+
+/// 32-bit activation-parameter words per neuron (mirrors the LPU's
+/// Neuron Initialization read schedule).
+fn act_u32s(setting: &LayerSetting) -> usize {
+    match setting.activation {
+        ActivationKind::Sign => 1,
+        ActivationKind::MultiThreshold => setting.out_precision.multi_threshold_count(),
+        _ => 2,
+    }
+}
+
+/// Neuron Initialization cycles per neuron: one bias/BN read (FC
+/// layers) plus the activation-table reads through the 128-bit
+/// parameter port.
+fn init_cycles_per_neuron(setting: &LayerSetting) -> u64 {
+    let act_reads = if setting.layer_type == LayerType::Output {
+        0
+    } else {
+        act_u32s(setting).div_ceil(PARAM_READ_WIDTH)
+    };
+    let bias_reads = usize::from(setting.layer_type != LayerType::Input);
+    cast::u64_from_usize(act_reads + bias_reads)
+}
+
+/// Closed-form cycle cost of one layer on `cfg` (parameter section plus
+/// processing section), phase by phase.
+fn layer_timing(
+    layer: usize,
+    s: &LayerSetting,
+    packing: PackingMode,
+    cfg: &HwConfig,
+) -> LayerTiming {
+    let param_cycles = cast::u64_from_usize(param_words(s).max(1));
+    let mut t = LayerTiming {
+        layer,
+        param_cycles,
+        ready_cycles: 1,
+        input_cycles: 0,
+        init_cycles: 0,
+        weight_ingest_cycles: 0,
+        weight_dispatch_cycles: 0,
+        drain_cycles: 0,
+        output_cycles: 0,
+    };
+    let neurons = cast::usize_from_u32(s.neurons);
+    if s.layer_type == LayerType::Input {
+        // One read cycle, threshold-read cycles for the word's eight
+        // pixels, one write cycle — per 64-bit input word.
+        let per_word = 2 + cast::u64_from_usize((8 * act_u32s(s)).div_ceil(PARAM_READ_WIDTH));
+        t.input_cycles = cast::u64_from_usize(neurons.div_ceil(8)) * per_word;
+        return t;
+    }
+    let input_len = cast::usize_from_u32(s.input_len);
+    let chunks = neuron_weight_words_mode(s, packing);
+    let levels_per_word = if uses_xnor_path(s) {
+        64
+    } else {
+        weights_per_word(s, packing)
+    };
+    let levels_per_group = if uses_xnor_path(s) {
+        cfg.mul_lanes * 8
+    } else {
+        cfg.mul_lanes
+    };
+    // Per-neuron dispatch subcycles beyond the ingest edge: each chunk
+    // needs ceil(span / lane-group) dispatch groups; double buffering
+    // hides the first group behind the ingest cycle.
+    let mut dispatch_per_neuron = 0u64;
+    for chunk in 0..chunks {
+        let span = ((chunk + 1) * levels_per_word).min(input_len) - chunk * levels_per_word;
+        let groups = cast::u64_from_usize(span.div_ceil(levels_per_group));
+        dispatch_per_neuron += if cfg.double_buffered_weights {
+            groups - 1
+        } else {
+            groups
+        };
+    }
+    t.weight_ingest_cycles = cast::u64_from_usize(neurons * chunks);
+    t.weight_dispatch_cycles = cast::u64_from_usize(neurons) * dispatch_per_neuron;
+    // Batch phases: neurons advance through the TNPUs `tnpus_per_lpu`
+    // at a time; each batch pays initialization, drain, and write-out.
+    let icpn = init_cycles_per_neuron(s);
+    let softmax = u64::from(cfg.softmax_output);
+    let mut start = 0usize;
+    while start < neurons {
+        let batch = (start + cfg.tnpus_per_lpu).min(neurons) - start;
+        let b = cast::u64_from_usize(batch);
+        t.init_cycles += (icpn * b).max(1);
+        t.drain_cycles += PIPELINE_DEPTH;
+        t.output_cycles += if s.layer_type == LayerType::Output {
+            b * (1 + softmax)
+        } else {
+            cast::u64_from_usize(batch.div_ceil(8))
+        }
+        .max(1);
+        start += batch;
+    }
+    t
+}
+
+/// Emits the NPC027–NPC031 diagnostics for a derived timing
+/// certificate. Timing-family findings never gate structural admission
+/// ([`Report::has_structural_errors`] excludes them); NPC030 is the one
+/// error-severity member and fires only under a declared deadline.
+pub fn report_timing(t: &StreamTiming, cfg: &HwConfig, spec: &TimingSpec, report: &mut Report) {
+    let clock = cfg.clock_mhz;
+    let total = t.total_cycles();
+    let cold = t.cold_latency_us(&spec.dma, clock);
+    let resident = t.resident_latency_us(&spec.dma, clock);
+    // NPC027 — the exact cycle certificate.
+    report.push(
+        RuleId::Npc027,
+        Severity::Info,
+        None,
+        None,
+        format!(
+            "exact cycle certificate: {total} cycles/inference ({:.2} us at {clock} MHz), \
+             steady-state {} cycles ({:.0} fps); cold {cold:.2} us / resident {resident:.2} us",
+            t.latency_us(clock),
+            t.steady_state_cycles(),
+            t.steady_state_fps(clock),
+        ),
+    );
+    // NPC028 — per-layer bottleneck attribution.
+    for layer in &t.layers {
+        let (phase, cycles) = layer.bottleneck();
+        report.push(
+            RuleId::Npc028,
+            Severity::Info,
+            None,
+            Some(layer.layer),
+            format!(
+                "pipeline bottleneck: {} ({cycles} of {} layer cycles)",
+                phase.name(),
+                layer.total_cycles(),
+            ),
+        );
+    }
+    // NPC029 — folding slack: a strictly cheaper folding of the same
+    // instance family that provably meets the identical cycle count.
+    if let Some((folded, saved_luts, saved_dsps)) = folding_slack(t, cfg) {
+        report.push(
+            RuleId::Npc029,
+            Severity::Info,
+            None,
+            None,
+            format!(
+                "folding slack: a {}x{}-TNPU / {}-lane folding meets the same {total}-cycle \
+                 latency (saves {saved_luts} LUTs, {saved_dsps} DSPs)",
+                folded.lpus, folded.tnpus_per_lpu, folded.mul_lanes,
+            ),
+        );
+    }
+    // NPC030 — deadline infeasibility (the only error in the family).
+    if let Some(deadline) = spec.deadline_us {
+        if cold > deadline {
+            report.push(
+                RuleId::Npc030,
+                Severity::Error,
+                None,
+                None,
+                format!(
+                    "deadline infeasible: predicted end-to-end latency {cold:.2} us exceeds \
+                     the declared {deadline:.2} us deadline on every admissible schedule"
+                ),
+            );
+        }
+    }
+    // NPC031 — DMA-bound vs compute-bound classification.
+    let streaming = spec.dma.occupancy_us(t.stream_words, clock) - spec.dma.setup_us;
+    let pipeline = t.latency_us(clock);
+    let class = if t.dma_bound(&spec.dma, clock) {
+        "DMA-bound"
+    } else {
+        "compute-bound"
+    };
+    report.push(
+        RuleId::Npc031,
+        Severity::Info,
+        None,
+        None,
+        format!(
+            "{class}: stream transfer {streaming:.2} us vs pipeline {pipeline:.2} us \
+             ({} of {total} cycles consume a stream word)",
+            t.stream_words,
+        ),
+    );
+}
+
+/// Searches the `(tnpus_per_lpu, mul_lanes)` sub-foldings of `cfg` for
+/// the cheapest one whose predicted cycle count equals the baseline's.
+/// Returns the folded config and its LUT/DSP savings, or `None` when
+/// the current folding is already tight for this stream. "Provably
+/// meets the same latency" is literal: both sides are the certified
+/// closed form, re-priced from the certificate's settings snapshot.
+pub fn folding_slack(t: &StreamTiming, cfg: &HwConfig) -> Option<(HwConfig, u64, u64)> {
+    let base_total = t.total_cycles();
+    let base_util = netpu_utilization(cfg);
+    let mut best: Option<(HwConfig, u64, u64)> = None;
+    for tnpus in 1..=cfg.tnpus_per_lpu {
+        for lanes in 1..=cfg.mul_lanes {
+            if tnpus == cfg.tnpus_per_lpu && lanes == cfg.mul_lanes {
+                continue;
+            }
+            let cand = HwConfig {
+                tnpus_per_lpu: tnpus,
+                mul_lanes: lanes,
+                ..*cfg
+            };
+            if cand.validate().is_err() {
+                continue;
+            }
+            if analyze_settings(&t.settings, t.packing, &cand).total_cycles() != base_total {
+                continue;
+            }
+            let util = netpu_utilization(&cand);
+            if util.luts > base_util.luts || util.dsps > base_util.dsps {
+                continue;
+            }
+            let saved_luts = base_util.luts - util.luts;
+            let saved_dsps = base_util.dsps - util.dsps;
+            if saved_luts == 0 && saved_dsps == 0 {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((_, l, d)) => saved_luts > *l || (saved_luts == *l && saved_dsps > *d),
+            };
+            if better {
+                best = Some((cand, saved_luts, saved_dsps));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpu_compiler::{batch_stream, compile, compile_packed, decode};
+    use netpu_core::run_inference_fast;
+    use netpu_nn::export::BnMode;
+    use netpu_nn::zoo::{random_model, ZooModel};
+
+    fn configs() -> Vec<HwConfig> {
+        let paper = HwConfig::paper_instance();
+        vec![
+            paper,
+            HwConfig {
+                tnpus_per_lpu: 3,
+                mul_lanes: 2,
+                ..paper
+            },
+            HwConfig {
+                double_buffered_weights: true,
+                softmax_output: true,
+                ..paper
+            },
+        ]
+    }
+
+    #[test]
+    fn predicted_cycles_match_simulator_on_zoo() {
+        for cfg in configs() {
+            for zoo in ZooModel::ALL {
+                for mode in [BnMode::Folded, BnMode::Hardware] {
+                    let model = zoo.build_untrained(7, mode).unwrap();
+                    let pixels = vec![0u8; model.input.len];
+                    let loadable = compile(&model, &pixels).unwrap();
+                    let t = analyze(&decode(&loadable.words).unwrap(), &cfg);
+                    let run = run_inference_fast(&cfg, loadable.words.clone()).unwrap();
+                    assert_eq!(t.total_cycles(), run.cycles, "{zoo:?}/{mode:?} on {cfg:?}");
+                    assert_eq!(t.stream_words, loadable.words.len());
+                    let resident = loadable.layout.header.len()
+                        + loadable.layout.settings.len()
+                        + loadable.layout.input.len();
+                    assert_eq!(t.resident_words, resident);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_cycles_match_simulator_on_random_models() {
+        for seed in 0..40u64 {
+            let model = random_model(seed);
+            let pixels = vec![0u8; model.input.len];
+            let loadable = compile(&model, &pixels).unwrap();
+            let cfg = HwConfig::paper_instance();
+            let predicted = crate::predict_cycles(&loadable.words, &cfg).unwrap();
+            let run = run_inference_fast(&cfg, loadable.words).unwrap();
+            assert_eq!(predicted, run.cycles, "random model seed {seed}");
+        }
+    }
+
+    #[test]
+    fn predicted_cycles_match_simulator_under_dense_packing() {
+        let cfg = HwConfig {
+            dense_weight_packing: true,
+            ..HwConfig::paper_instance()
+        };
+        for seed in 0..10u64 {
+            let model = random_model(seed);
+            let pixels = vec![0u8; model.input.len];
+            let loadable = compile_packed(&model, &pixels, PackingMode::Dense).unwrap();
+            let predicted = crate::predict_cycles(&loadable.words, &cfg).unwrap();
+            let run = run_inference_fast(&cfg, loadable.words).unwrap();
+            assert_eq!(predicted, run.cycles, "dense random model seed {seed}");
+        }
+    }
+
+    #[test]
+    fn burst_cycles_match_simulator_on_batch_stream() {
+        let cfg = HwConfig::paper_instance();
+        let model = ZooModel::TfcW1A1
+            .build_untrained(3, BnMode::Folded)
+            .unwrap();
+        let inputs: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i; model.input.len]).collect();
+        let words = batch_stream(&model, &inputs, PackingMode::Lanes8).unwrap();
+        let single = compile(&model, &inputs[0]).unwrap();
+        let t = analyze(&decode(&single.words).unwrap(), &cfg);
+        let run = run_inference_fast(&cfg, words).unwrap();
+        assert_eq!(t.burst_cycles(3), run.cycles);
+    }
+
+    #[test]
+    fn folding_slack_candidates_are_simulation_exact() {
+        // When the search reports slack, the claim must hold in the
+        // simulator too, not just in the model's own arithmetic.
+        let model = ZooModel::TfcW1A1
+            .build_untrained(5, BnMode::Folded)
+            .unwrap();
+        let pixels = vec![0u8; model.input.len];
+        let loadable = compile(&model, &pixels).unwrap();
+        let cfg = HwConfig::paper_instance();
+        let t = analyze(&decode(&loadable.words).unwrap(), &cfg);
+        if let Some((cand, _, _)) = folding_slack(&t, &cfg) {
+            let base = run_inference_fast(&cfg, loadable.words.clone()).unwrap();
+            let folded = run_inference_fast(&cand, loadable.words).unwrap();
+            assert_eq!(base.cycles, folded.cycles);
+        }
+    }
+
+    #[test]
+    fn dma_params_mirror_runtime_model() {
+        let dma = DmaParams::zynq_uls();
+        // 1000 words at 100 MHz and 1 word/cycle stream in 10 us.
+        let occ = dma.occupancy_us(1000, 100.0);
+        assert!((occ - 15.9).abs() < 1e-9);
+        let ideal = DmaParams::ideal();
+        assert_eq!(ideal.occupancy_us(1000, 100.0), 0.0);
+        assert_eq!(ideal.measured_latency_us(42.0, 1000, 100.0), 42.0);
+    }
+}

@@ -1,7 +1,7 @@
 //! One accepting and one rejecting fixture per `NPC` rule ID.
 
 use netpu_arith::{Fix, Precision, QuantParams};
-use netpu_check::{certify, check, check_words, Report, RuleId};
+use netpu_check::{certify, check, check_words, check_words_timed, Report, RuleId, TimingSpec};
 use netpu_compiler::{compile, compile_packed, Loadable, PackingMode, SectionKind};
 use netpu_core::HwConfig;
 use netpu_nn::export::BnMode;
@@ -602,6 +602,106 @@ fn npc026_exact_minimal_accumulator_width() {
     assert!(!certify(&relu_model(), &l.words, &tight)
         .report
         .fired(RuleId::Npc026));
+}
+
+#[test]
+fn npc027_exact_cycle_certificate() {
+    let l = tfc(BnMode::Folded);
+    // The timing tier is opt-in: the two-tier check never emits it.
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc027));
+
+    let (r, t) = check_words_timed(&l.words, &cfg(), &TimingSpec::default());
+    assert!(r.fired(RuleId::Npc027), "{r}");
+    assert!(!r.has_errors());
+    let t = t.expect("structurally sound stream gets a certificate");
+    assert_eq!(
+        Some(t.total_cycles()),
+        netpu_check::predict_cycles(&l.words, &cfg())
+    );
+}
+
+#[test]
+fn npc028_per_layer_bottleneck_attribution() {
+    let l = tfc(BnMode::Folded);
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc028));
+
+    let (r, t) = check_words_timed(&l.words, &cfg(), &TimingSpec::default());
+    assert!(r.fired(RuleId::Npc028), "{r}");
+    assert!(!r.has_errors());
+    // Every decoded layer has a dominant phase to attribute.
+    assert!(!t.expect("certificate").layers.is_empty());
+}
+
+#[test]
+fn npc029_folding_slack() {
+    // A 9-TNPU folding against 8-neuron layers: the ninth TNPU can
+    // never receive work, so the 8-TNPU sub-folding provably meets the
+    // identical cycle count with less fabric.
+    let l = compile(&relu_model(), &[0u8; 8]).unwrap();
+    let oversized = HwConfig {
+        tnpus_per_lpu: 9,
+        ..cfg()
+    };
+    let (r, _) = check_words_timed(&l.words, &oversized, &TimingSpec::default());
+    assert!(r.fired(RuleId::Npc029), "{r}");
+    assert!(!r.has_errors());
+
+    // The fully serialized folding has no sub-folding to fall back to,
+    // so there is never slack to report.
+    let tight = HwConfig {
+        tnpus_per_lpu: 1,
+        mul_lanes: 1,
+        ..cfg()
+    };
+    let (r, _) = check_words_timed(&l.words, &tight, &TimingSpec::default());
+    assert!(!r.fired(RuleId::Npc029), "{r}");
+}
+
+#[test]
+fn npc030_deadline_infeasibility() {
+    let l = tfc(BnMode::Folded);
+    let generous = TimingSpec {
+        deadline_us: Some(1e9),
+        ..TimingSpec::default()
+    };
+    let (r, _) = check_words_timed(&l.words, &cfg(), &generous);
+    assert!(!r.fired(RuleId::Npc030));
+    assert!(!r.has_errors());
+
+    // A 1 us deadline is below even the bare stream-transfer time.
+    let harsh = TimingSpec {
+        deadline_us: Some(1.0),
+        ..TimingSpec::default()
+    };
+    let (r, t) = check_words_timed(&l.words, &cfg(), &harsh);
+    assert!(r.fired(RuleId::Npc030), "{r}");
+    assert!(r.has_errors() && r.has_timing_errors());
+    assert!(
+        !r.has_structural_errors(),
+        "timing errors are their own admission family"
+    );
+    assert!(t.is_some(), "the certificate is still derived");
+}
+
+#[test]
+fn npc031_dma_vs_compute_classification() {
+    let l = tfc(BnMode::Folded);
+    assert!(!check(&l, &cfg()).fired(RuleId::Npc031));
+
+    let (r, t) = check_words_timed(&l.words, &cfg(), &TimingSpec::default());
+    assert!(r.fired(RuleId::Npc031), "{r}");
+    assert!(!r.has_errors());
+    // The fired classification matches the certificate's predicate.
+    let spec = TimingSpec::default();
+    let class = if t
+        .expect("certificate")
+        .dma_bound(&spec.dma, cfg().clock_mhz)
+    {
+        "DMA-bound"
+    } else {
+        "compute-bound"
+    };
+    assert!(format!("{r}").contains(class), "{r}");
 }
 
 #[test]

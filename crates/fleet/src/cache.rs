@@ -367,10 +367,27 @@ impl CompiledModelCache {
         let loadable = compile(model, &zeros).map_err(DriverError::Compile)?;
         let run = self.driver.run_loadable_against(&loadable, model)?;
         let clock = self.driver.hw.clock_mhz;
-        let transfer_us = self.driver.dma.occupancy_us(loadable.words.len(), clock);
-        let resident_words = loadable.layout.header.len()
-            + loadable.layout.settings.len()
-            + loadable.layout.input.len();
+        // §V swap economics, sourced from the static timing certificate
+        // (`netpu-check::timing`, DESIGN.md §4.9) rather than the
+        // host-side layout metadata: the certified closed form derives
+        // the full-stream/resident word split from the decoded stream +
+        // `HwConfig` alone, and `xtask certify-timing` pins it to the
+        // simulator — so these figures are provably the ones replay
+        // measures. An admitted stream always decodes; the layout
+        // fallback merely keeps admission total.
+        let (stream_words, resident_words) = match netpu_compiler::decode(&loadable.words) {
+            Ok(decoded) => {
+                let t = netpu_check::timing::analyze(&decoded, &self.driver.hw);
+                (t.stream_words, t.resident_words)
+            }
+            Err(_) => (
+                loadable.words.len(),
+                loadable.layout.header.len()
+                    + loadable.layout.settings.len()
+                    + loadable.layout.input.len(),
+            ),
+        };
+        let transfer_us = self.driver.dma.occupancy_us(stream_words, clock);
         let resident_transfer_us = self.driver.dma.occupancy_us(resident_words, clock);
         let weight_stream_us = (transfer_us - resident_transfer_us).max(0.0);
         let resident_latency_us =
@@ -452,6 +469,46 @@ mod tests {
         assert!(first.weight_stream_us > 0.0);
         assert!(first.resident_latency_us < first.run.measured_latency_us);
         assert!(first.resident_transfer_us < first.transfer_us);
+    }
+
+    #[test]
+    fn timing_sourced_economics_are_bit_identical_to_the_layout_figures() {
+        // Regression for the switch to timing-certificate-sourced swap
+        // economics: the certificate's word split and cycle count are
+        // bit-identical to the layout/run-derived figures they
+        // replaced, so replay results (swaps/request, fps) cannot
+        // drift.
+        let model = ZooModel::TfcW1A1
+            .build_untrained(9, BnMode::Folded)
+            .unwrap();
+        let cache = CompiledModelCache::new(Driver::builder().build(), 64 << 20);
+        let m = cache.get_or_admit(1, &model).unwrap();
+        let reference = Driver::builder().build();
+        let decoded = netpu_compiler::decode(&m.loadable.words).unwrap();
+        let t = netpu_check::timing::analyze(&decoded, &reference.hw);
+        // The certificate reproduces the stream geometry exactly …
+        assert_eq!(t.stream_words, m.loadable.words.len());
+        assert_eq!(
+            t.resident_words,
+            m.loadable.layout.header.len()
+                + m.loadable.layout.settings.len()
+                + m.loadable.layout.input.len()
+        );
+        // … and the admission run's cycle count to the cycle.
+        assert_eq!(t.total_cycles(), m.run.cycles);
+        // The stored economics are bit-for-bit the pre-switch formulas.
+        let clock = reference.hw.clock_mhz;
+        let transfer = reference.dma.occupancy_us(m.loadable.words.len(), clock);
+        let resident_transfer = reference.dma.occupancy_us(t.resident_words, clock);
+        let weight_stream = (transfer - resident_transfer).max(0.0);
+        let resident_latency = (m.run.measured_latency_us - weight_stream).max(resident_transfer);
+        assert_eq!(m.transfer_us.to_bits(), transfer.to_bits());
+        assert_eq!(
+            m.resident_transfer_us.to_bits(),
+            resident_transfer.to_bits()
+        );
+        assert_eq!(m.weight_stream_us.to_bits(), weight_stream.to_bits());
+        assert_eq!(m.resident_latency_us.to_bits(), resident_latency.to_bits());
     }
 
     #[test]

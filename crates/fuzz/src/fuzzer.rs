@@ -239,15 +239,56 @@ pub fn non_default_configs() -> [HwConfig; 4] {
     ]
 }
 
+/// Two DSE-discovered instances from the `xtask dse` Pareto frontier
+/// (TFC-W1A1 under the paper's Ultra96-V2 budget, see
+/// `artifacts/dse/tfc-w1a1.tsv`), folded into the sweep corpus so fuzz
+/// coverage tracks the configurations the search actually recommends:
+/// the frontier's fastest point (double-buffered weight loading at the
+/// absint-proved 11-bit accumulator width), and its cheapest point
+/// still matching the paper instance's latency (a single TNPU per
+/// LPU). `crates/fuzz/fixtures/sweep-configs.txt` pins the full
+/// config-tagged sweep list.
+pub fn dse_configs() -> [HwConfig; 2] {
+    let base = HwConfig::paper_instance();
+    [
+        HwConfig {
+            double_buffered_weights: true,
+            accumulator_bits: 11,
+            ..base
+        },
+        HwConfig {
+            tnpus_per_lpu: 1,
+            double_buffered_weights: true,
+            accumulator_bits: 11,
+            ..base
+        },
+    ]
+}
+
+/// Every instance [`run_sweep`] campaigns against, paper first.
+pub fn sweep_configs() -> Vec<HwConfig> {
+    std::iter::once(HwConfig::paper_instance())
+        .chain(non_default_configs())
+        .chain(dse_configs())
+        .collect()
+}
+
 /// Short stable tag naming an instance in config-aware sweep
-/// signatures.
+/// signatures. Lane count is tagged only when it deviates from the
+/// paper's 8, so pre-DSE tags (and their recorded signatures) are
+/// unchanged.
 pub fn config_tag(cfg: &HwConfig) -> String {
     format!(
-        "l{}x{}-acc{}-mt{}{}{}",
+        "l{}x{}-acc{}-mt{}{}{}{}",
         cfg.lpus,
         cfg.tnpus_per_lpu,
         cfg.accumulator_bits,
         cfg.max_multithreshold_bits,
+        if cfg.mul_lanes == 8 {
+            String::new()
+        } else {
+            format!("-lanes{}", cfg.mul_lanes)
+        },
         if cfg.dense_weight_packing {
             "-dense"
         } else {
@@ -279,13 +320,14 @@ impl SweepReport {
     }
 }
 
-/// Runs the identical campaign against the paper instance and every
-/// [`non_default_configs`] instance, growing one config-aware coverage
-/// map across them. Deterministic in `opts` like [`run`].
+/// Runs the identical campaign against the paper instance, every
+/// [`non_default_configs`] instance, and every [`dse_configs`]
+/// instance, growing one config-aware coverage map across them.
+/// Deterministic in `opts` like [`run`].
 pub fn run_sweep(opts: &FuzzConfig) -> Result<SweepReport, FuzzError> {
     let mut per_config = Vec::new();
     let mut signatures = BTreeSet::new();
-    for cfg in std::iter::once(HwConfig::paper_instance()).chain(non_default_configs()) {
+    for cfg in sweep_configs() {
         let report = run(&cfg, opts)?;
         let tag = config_tag(&cfg);
         for s in &report.signatures {
@@ -427,7 +469,11 @@ mod tests {
             max_mutations: 3,
         };
         let sweep = run_sweep(&opts).expect("seed corpus builds");
-        assert_eq!(sweep.per_config.len(), 5, "paper + 4 non-default");
+        assert_eq!(
+            sweep.per_config.len(),
+            sweep_configs().len(),
+            "paper + 4 non-default + 2 DSE-discovered"
+        );
         let tags: BTreeSet<&str> = sweep
             .signatures
             .iter()
@@ -451,6 +497,31 @@ mod tests {
         // accepts them — visible as distinct signatures for the same
         // corpus.
         assert!(sweep.per_config.iter().any(|(t, _)| t.contains("dense")));
+    }
+
+    #[test]
+    fn sweep_corpus_matches_the_committed_seed_list() {
+        let committed = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/fixtures/sweep-configs.txt"
+        ))
+        .expect("committed sweep seed list exists");
+        let pinned: Vec<&str> = committed
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        let live: Vec<String> = sweep_configs().iter().map(config_tag).collect();
+        assert_eq!(
+            pinned, live,
+            "fixtures/sweep-configs.txt is out of date; regenerate from sweep_configs()"
+        );
+        for cfg in sweep_configs() {
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("sweep config {} invalid: {e}", config_tag(&cfg)));
+        }
+        let unique: BTreeSet<&String> = live.iter().collect();
+        assert_eq!(unique.len(), live.len(), "duplicate sweep config tags");
     }
 
     #[test]

@@ -34,8 +34,8 @@ pub mod oracle;
 
 pub use corpus::{words_from_text, words_to_text, Corpus, FixtureError};
 pub use fuzzer::{
-    config_tag, minimize, non_default_configs, run, run_sweep, Crasher, FuzzConfig, FuzzError,
-    FuzzReport, SweepReport,
+    config_tag, dse_configs, minimize, non_default_configs, run, run_sweep, sweep_configs, Crasher,
+    FuzzConfig, FuzzError, FuzzReport, SweepReport,
 };
 pub use mutate::{apply, arbitrary, Mutation};
 pub use oracle::{classify, classify_with_source, quiet_panics, CrasherClass, Verdict};

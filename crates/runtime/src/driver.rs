@@ -714,6 +714,26 @@ impl Driver {
                     sink.record(t_end, netpu_trace::TraceEvent::probe(sample));
                 }
                 let run = outcome.map_err(DriverError::Accelerator)?;
+                // Annotate the trace with the static timing certificate
+                // next to the simulator's own count, so `xtask replay`
+                // can cross-check the closed-form model (DESIGN.md
+                // §4.9) against every recorded run.
+                if let Some(predicted) = netpu_check::predict_cycles(&loadable.words, &self.hw) {
+                    sink.record(
+                        t_end,
+                        netpu_trace::TraceEvent::Meta {
+                            key: "timing.predicted_cycles".to_string(),
+                            value: predicted.to_string(),
+                        },
+                    );
+                    sink.record(
+                        t_end,
+                        netpu_trace::TraceEvent::Meta {
+                            key: "timing.recorded_cycles".to_string(),
+                            value: run.cycles.to_string(),
+                        },
+                    );
+                }
                 (run, cap.map(|_| events))
             }
         };
@@ -1156,6 +1176,17 @@ mod tests {
         // Sim events carry virtual timestamps derived from their cycle.
         let max_t = records.iter().map(|r| r.t_us).fold(0.0f64, f64::max);
         assert!(max_t > 0.0);
+        // Every sink-traced run is annotated with the static timing
+        // certificate next to the simulator's count — and they agree.
+        let meta = |key: &str| {
+            records.iter().find_map(|r| match &r.event {
+                Tev::Meta { key: k, value } if k == key => Some(value.clone()),
+                _ => None,
+            })
+        };
+        let predicted = meta("timing.predicted_cycles").expect("predicted-cycles annotation");
+        let recorded = meta("timing.recorded_cycles").expect("recorded-cycles annotation");
+        assert_eq!(predicted, recorded, "timing certificate diverged");
         // The run itself is unaffected by observation.
         let plain = Driver::builder()
             .build()

@@ -1,12 +1,16 @@
 //! Workspace automation (`cargo run -p xtask -- lint`,
-//! `cargo run -p xtask -- replay <trace.bin>`, and
-//! `cargo run -p xtask -- certify [models]`).
+//! `cargo run -p xtask -- replay <trace.bin>`,
+//! `cargo run -p xtask -- certify [models]`,
+//! `cargo run -p xtask -- certify-timing [models]`, and
+//! `cargo run -p xtask -- dse [--smoke] [--write]`).
 //!
 //! `replay` decodes a recorded binary trace, verifies its internal
 //! consistency against the arbiter recurrence (`netpu_trace::verify`),
 //! proves the decode → re-encode round trip is byte-identical, and
 //! prints the replay summary — including a per-`RejectReason`-code
-//! breakdown of every denied request the trace recorded.
+//! breakdown of every denied request the trace recorded and, where the
+//! trace carries the driver's timing annotations, a cross-check that
+//! the static cycle model predicted every recorded run exactly.
 //!
 //! `certify` is the translation-validation release gate (DESIGN.md
 //! §4.8): it compiles the whole model zoo (both BN modes) plus a
@@ -16,13 +20,28 @@
 //! [`netpu_check::Certificate`] from scratch. Any false inequivalence
 //! or stale certificate fails the gate.
 //!
+//! `certify-timing` is the timing-soundness release gate (DESIGN.md
+//! §4.9): it prices the same zoo + random-model corpus with the
+//! closed-form cycle model (`netpu_check::timing`) against every
+//! fuzzer sweep instance, and fails on any disagreement with the tick
+//! simulator's cycle counter — zero tolerance, no `±` band.
+//!
+//! `dse` is the offline design-space exploration: it enumerates
+//! `HwConfig` × folding × packing × accumulator-width candidates,
+//! prices each statically (timing + resources + minimal certified
+//! widths), rejects unsound or over-budget points without ever
+//! simulating them, and emits the Pareto frontier as a committed
+//! reproducible artifact under `artifacts/dse/` (`--write` refreshes,
+//! the default mode fails if the committed artifact is stale).
+//!
 //! `lint` enforces source-level gates that rustc and clippy cannot
 //! express at the granularity the workspace wants:
 //!
 //! * **panic-free hot paths** — no `.unwrap()` / `.expect(` in the
 //!   non-test code of `netpu-arith`, `netpu-core`, `netpu-sim`,
 //!   `netpu-runtime`, `netpu-serve`, `netpu-fleet`, `netpu-check`,
-//!   `netpu-compiler`, `netpu-trace`, and `netpu-fuzz`. These crates
+//!   `netpu-compiler`, `netpu-trace`, `netpu-fuzz`, and `xtask`
+//!   itself. These crates
 //!   sit under the serving layer (the checker and compiler both run on
 //!   the admission path, the trace sink runs inside the arbiter's
 //!   critical section, and the arith kernels — including the bitsliced
@@ -31,10 +50,11 @@
 //!   structured errors (or use the `let … else { panic!() }` form,
 //!   which forces an explicit message at the site). The fuzzer is held
 //!   to the same bar so a crash it reports is always the target's,
-//!   never its own.
+//!   never its own; `xtask` is held to it so a release gate that fails
+//!   always fails with a diagnosis, not a backtrace.
 //! * **audited numeric casts** — no bare `as <numeric>` casts in
 //!   `netpu-arith`, `netpu-core`, `netpu-fleet`, `netpu-check`,
-//!   `netpu-compiler`, `netpu-trace`, and `netpu-fuzz`.
+//!   `netpu-compiler`, `netpu-trace`, `netpu-fuzz`, and `xtask`.
 //!   All width changes go through the checked/saturating helpers in
 //!   `netpu_arith::cast`; that module itself is the single exemption,
 //!   and every `as` inside it carries an `// audited:` comment.
@@ -57,13 +77,17 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Crates whose non-test code must not call `.unwrap()` / `.expect(`.
+/// `xtask` holds itself to the same bar: the DSE search and the
+/// certification gates are release tooling whose failures must be
+/// structured errors, not panics.
 const PANIC_FREE: &[&str] = &[
     "arith", "core", "sim", "runtime", "serve", "fleet", "check", "compiler", "trace", "fuzz",
+    "xtask",
 ];
 
 /// Crates whose non-test code must not contain bare numeric `as` casts.
 const CAST_FREE: &[&str] = &[
-    "arith", "core", "fleet", "check", "compiler", "trace", "fuzz",
+    "arith", "core", "fleet", "check", "compiler", "trace", "fuzz", "xtask",
 ];
 
 /// The one module allowed to contain bare casts (each one audited).
@@ -100,10 +124,39 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("certify-timing") => match args.next().map(|n| n.parse::<usize>()) {
+            None => certify_timing(DEFAULT_CERTIFY_MODELS),
+            Some(Ok(models)) => certify_timing(models),
+            Some(Err(_)) => {
+                eprintln!("usage: cargo run -p xtask -- certify-timing [models]");
+                ExitCode::FAILURE
+            }
+        },
+        Some("dse") => {
+            let mut smoke = false;
+            let mut write = false;
+            let mut bad = None;
+            for flag in args {
+                match flag.as_str() {
+                    "--smoke" => smoke = true,
+                    "--write" => write = true,
+                    other => bad = Some(other.to_string()),
+                }
+            }
+            match bad {
+                None => dse(smoke, write),
+                Some(flag) => {
+                    eprintln!(
+                        "usage: cargo run -p xtask -- dse [--smoke] [--write]   (got {flag:?})"
+                    );
+                    ExitCode::FAILURE
+                }
+            }
+        }
         other => {
             eprintln!(
-                "usage: cargo run -p xtask -- lint | replay <trace.bin> | certify [models]   \
-                 (got {:?})",
+                "usage: cargo run -p xtask -- lint | replay <trace.bin> | certify [models] | \
+                 certify-timing [models] | dse [--smoke] [--write]   (got {:?})",
                 other.unwrap_or("<nothing>")
             );
             ExitCode::FAILURE
@@ -173,6 +226,47 @@ fn replay_file(path: &Path) -> Result<String, String> {
             .map(|(code, n)| format!("{code}×{n}"))
             .collect();
         let _ = write!(summary, "; rejections by reason: {}", breakdown.join(", "));
+    }
+    // Predicted-vs-recorded cycle cross-check: the driver annotates
+    // every sink-traced run with the static timing certificate next to
+    // the simulator's own count (`timing.predicted_cycles` /
+    // `timing.recorded_cycles` Meta pairs, in order). Replay re-pairs
+    // them and holds the model to exactness on the recorded runs too.
+    let mut predicted = Vec::new();
+    let mut recorded = Vec::new();
+    for rec in reader.records() {
+        if let netpu_trace::TraceEvent::Meta { key, value } = &rec.event {
+            match key.as_str() {
+                "timing.predicted_cycles" => predicted.push(value.clone()),
+                "timing.recorded_cycles" => recorded.push(value.clone()),
+                _ => {}
+            }
+        }
+    }
+    if predicted.len() != recorded.len() {
+        return Err(format!(
+            "{}: {} predicted-cycle annotations but {} recorded-cycle annotations",
+            path.display(),
+            predicted.len(),
+            recorded.len()
+        ));
+    }
+    if !predicted.is_empty() {
+        let mut exact = 0usize;
+        for (i, (p, r)) in predicted.iter().zip(&recorded).enumerate() {
+            if p != r {
+                return Err(format!(
+                    "{}: timing model diverges on recorded run {i}: \
+                     predicted {p} cycles, recorded {r}",
+                    path.display()
+                ));
+            }
+            exact += 1;
+        }
+        let _ = write!(
+            summary,
+            "; timing model: {exact}/{exact} runs predicted == recorded cycles"
+        );
     }
     Ok(summary)
 }
@@ -259,6 +353,565 @@ fn certify_stream(
     widths.0 = widths.0.min(cert.min_accumulator_bits);
     widths.1 = widths.1.max(cert.min_accumulator_bits);
     Ok(())
+}
+
+fn certify_timing(models: usize) -> ExitCode {
+    match certify_timing_sweep(true, models) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask certify-timing: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The timing-certification differential gate: proves the closed-form
+/// cycle model (`netpu_check::timing`, DESIGN.md §4.9) **exact** —
+/// zero tolerance, not a bound — against the tick simulator's cycle
+/// counter across the full zoo (both BN modes, both weight packings),
+/// `models` deterministic random models, and every fuzzer sweep
+/// instance, plus a pre-packaged burst. A `(stream, instance)` pair
+/// the instance statically rejects is skipped (there is no simulated
+/// cycle count to compare against); every admitted pair must match to
+/// the cycle.
+fn certify_timing_sweep(zoo: bool, models: usize) -> Result<String, String> {
+    use netpu_compiler::PackingMode;
+    use netpu_nn::export::BnMode;
+    use netpu_nn::zoo::{random_model, ZooModel};
+
+    let configs = netpu_fuzz::sweep_configs();
+    let mut compared = 0usize;
+    let mut skipped = 0usize;
+    let mut zoo_streams = 0usize;
+    if zoo {
+        for (i, variant) in ZooModel::ALL.into_iter().enumerate() {
+            for mode in [BnMode::Folded, BnMode::Hardware] {
+                let Ok(model) = variant.build_untrained(10 + u64::try_from(i).unwrap_or(0), mode)
+                else {
+                    continue;
+                };
+                for packing in [PackingMode::Lanes8, PackingMode::Dense] {
+                    let words = compile_timing_stream(&model, 99, packing)?;
+                    for cfg in &configs {
+                        if certify_timing_stream(&words, cfg)? {
+                            compared += 1;
+                        } else {
+                            skipped += 1;
+                        }
+                    }
+                    zoo_streams += 1;
+                }
+            }
+        }
+        if zoo_streams < 2 * ZooModel::ALL.len() {
+            return Err(format!("zoo sweep degenerated to {zoo_streams} streams"));
+        }
+        certify_burst_timing()?;
+    }
+    for seed in 0..models {
+        let seed = u64::try_from(seed).unwrap_or(0);
+        let model = random_model(seed);
+        let words = compile_timing_stream(&model, seed ^ 0xA5A5, PackingMode::Lanes8)?;
+        for cfg in &configs {
+            if certify_timing_stream(&words, cfg)? {
+                compared += 1;
+            } else {
+                skipped += 1;
+            }
+        }
+    }
+    if compared == 0 {
+        return Err("no (stream, instance) pair was actually compared".into());
+    }
+    Ok(format!(
+        "xtask certify-timing: {compared} (stream, instance) pairs cycle-exact against the \
+         tick simulator ({zoo_streams} zoo streams + {models} random models x {} sweep \
+         instances; {skipped} pairs skipped where the instance rejects the stream), \
+         zero tolerance; burst model exact",
+        configs.len()
+    ))
+}
+
+/// Compiles `model` on a seeded input under `packing`, returning the
+/// raw stream words.
+fn compile_timing_stream(
+    model: &netpu_nn::qmodel::QuantMlp,
+    px_seed: u64,
+    packing: netpu_compiler::PackingMode,
+) -> Result<Vec<u64>, String> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(px_seed);
+    let pixels: Vec<u8> = (0..model.input.len).map(|_| rng.gen()).collect();
+    let loadable = netpu_compiler::compile_packed(model, &pixels, packing)
+        .map_err(|e| format!("{}: {e}", model.name))?;
+    Ok(loadable.words)
+}
+
+/// Proves one stream's statically predicted cycle count equals the tick
+/// simulator's on `cfg`. `Ok(false)` means the instance rejects the
+/// stream (nothing to compare); `Ok(true)` is an exact match; any
+/// mismatch is an error.
+fn certify_timing_stream(words: &[u64], cfg: &netpu_core::HwConfig) -> Result<bool, String> {
+    let Some(predicted) = netpu_check::predict_cycles(words, cfg) else {
+        return Err("compiled stream failed to decode for timing analysis".into());
+    };
+    let Ok(run) = netpu_core::run_inference_fast(cfg, words.to_vec()) else {
+        return Ok(false);
+    };
+    if run.cycles != predicted {
+        return Err(format!(
+            "timing certificate broken on {}: predicted {predicted} cycles, \
+             simulator counted {}",
+            netpu_fuzz::config_tag(cfg),
+            run.cycles
+        ));
+    }
+    Ok(true)
+}
+
+/// Proves the burst extrapolation (`StreamTiming::burst_cycles`) exact
+/// on a pre-packaged 3-inference burst of the TFC-W1A1 stream.
+fn certify_burst_timing() -> Result<(), String> {
+    use netpu_compiler::PackingMode;
+    use netpu_nn::export::BnMode;
+    use netpu_nn::zoo::ZooModel;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let cfg = netpu_core::HwConfig::paper_instance();
+    let model = ZooModel::TfcW1A1
+        .build_untrained(7, BnMode::Folded)
+        .map_err(|e| format!("burst model: {e}"))?;
+    let mut rng = StdRng::seed_from_u64(123);
+    let inputs: Vec<Vec<u8>> = (0..3)
+        .map(|_| (0..model.input.len).map(|_| rng.gen()).collect())
+        .collect();
+    let burst = netpu_compiler::batch_stream(&model, &inputs, PackingMode::Lanes8)
+        .map_err(|e| format!("burst stream: {e}"))?;
+    let single = netpu_compiler::compile_packed(&model, &inputs[0], PackingMode::Lanes8)
+        .map_err(|e| format!("burst head: {e}"))?;
+    let decoded =
+        netpu_compiler::decode(&single.words).map_err(|e| format!("burst head decode: {e}"))?;
+    let predicted = netpu_check::timing::analyze(&decoded, &cfg).burst_cycles(3);
+    let run = netpu_core::run_inference_fast(&cfg, burst)
+        .map_err(|e| format!("burst simulation: {e}"))?;
+    if run.cycles != predicted {
+        return Err(format!(
+            "burst timing broken: predicted {predicted} cycles, simulator counted {}",
+            run.cycles
+        ));
+    }
+    Ok(())
+}
+
+fn dse(smoke: bool, write: bool) -> ExitCode {
+    match dse_run(smoke, write) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask dse: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Relative directory the committed DSE frontier artifacts live in.
+const DSE_ARTIFACT_DIR: &str = "artifacts/dse";
+
+/// One statically admissible design point, priced entirely offline by
+/// the timing certificate and the resource model.
+struct DsePoint {
+    cfg: netpu_core::HwConfig,
+    packing: netpu_compiler::PackingMode,
+    cycles: u64,
+    latency_us: f64,
+    fps: f64,
+    cold_us: f64,
+    resident_us: f64,
+    util: netpu_core::resources::Utilization,
+}
+
+impl DsePoint {
+    /// Stable tag naming the point: the fuzzer's config tag plus the
+    /// multiplier mappings (which only move resources, not cycles).
+    fn tag(&self) -> String {
+        format!(
+            "{}{}{}",
+            netpu_fuzz::config_tag(&self.cfg),
+            if matches!(self.cfg.bn_mul, netpu_core::MulImpl::Lut) {
+                "-bnlut"
+            } else {
+                ""
+            },
+            if matches!(self.cfg.int_mul, netpu_core::MulImpl::Lut) {
+                "-intlut"
+            } else {
+                ""
+            },
+        )
+    }
+
+    /// Weak Pareto dominance on the four frontier objectives
+    /// (per-inference cycles, LUTs, DSPs, BRAM36).
+    fn dominates(&self, other: &DsePoint) -> bool {
+        self.cycles <= other.cycles
+            && self.util.luts <= other.util.luts
+            && self.util.dsps <= other.util.dsps
+            && self.util.bram36 <= other.util.bram36
+    }
+}
+
+/// Everything one DSE search produced for one model.
+struct DseOutcome {
+    frontier: Vec<DsePoint>,
+    seed: DsePoint,
+    candidates: usize,
+    infeasible: usize,
+    unsound: usize,
+    min_acc: u8,
+}
+
+/// Runs the offline design-space search for the given zoo targets
+/// (TFC-W1A1 only under `--smoke`), checks each frontier against the
+/// committed artifact (or regenerates it under `--write`), asserts the
+/// hand-picked paper instance is reproduced or statically dominated,
+/// and prints the Table VI-style comparison.
+fn dse_run(smoke: bool, write: bool) -> Result<String, String> {
+    use netpu_nn::zoo::ZooModel;
+    let targets: &[ZooModel] = if smoke {
+        &[ZooModel::TfcW1A1]
+    } else {
+        &[ZooModel::TfcW1A1, ZooModel::SfcW1A1, ZooModel::LfcW1A1]
+    };
+    let root = workspace_root();
+    let mut lines = Vec::new();
+    for &variant in targets {
+        let outcome = dse_model(variant)?;
+        if !outcome.frontier.iter().any(|p| p.dominates(&outcome.seed)) {
+            return Err(format!(
+                "{}: no frontier point reproduces or dominates the paper instance",
+                variant.name()
+            ));
+        }
+        let artifact = dse_artifact(variant, &outcome);
+        let path = root
+            .join(DSE_ARTIFACT_DIR)
+            .join(format!("{}.tsv", variant.name().to_lowercase()));
+        if write {
+            if let Some(dir) = path.parent() {
+                fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            }
+            fs::write(&path, &artifact).map_err(|e| format!("{}: {e}", path.display()))?;
+        } else {
+            let committed = fs::read_to_string(&path).map_err(|e| {
+                format!(
+                    "{}: {e} (generate the frontier artifact with `xtask dse --write`)",
+                    path.display()
+                )
+            })?;
+            if committed != artifact {
+                return Err(format!(
+                    "{}: committed frontier is stale; regenerate with `xtask dse --write`",
+                    path.display()
+                ));
+            }
+        }
+        lines.push(dse_comparison(variant, &outcome, &path, &root));
+    }
+    Ok(format!("xtask dse:\n{}", lines.join("\n")))
+}
+
+/// Enumerates and statically prices the full candidate grid for one
+/// zoo model: ring/folding geometry x multiplier mappings x weight
+/// packing x accumulator width (the absint-proved minimum and the
+/// paper's 32). Candidates are rejected *statically* — an invalid
+/// geometry or one over the Ultra96-V2 envelope is infeasible, and one
+/// the four-tier checker finds errors on is unsound. Nothing here
+/// simulates; `xtask certify-timing` is what makes the prices
+/// trustworthy.
+fn dse_model(variant: netpu_nn::zoo::ZooModel) -> Result<DseOutcome, String> {
+    use netpu_compiler::PackingMode;
+    use netpu_core::resources::{netpu_utilization, ULTRA96_V2};
+    use netpu_core::{HwConfig, MulImpl};
+    use netpu_nn::export::BnMode;
+
+    let model = variant
+        .build_untrained(42, BnMode::Folded)
+        .map_err(|e| format!("{}: {e}", variant.name()))?;
+    let pixels = vec![0u8; model.input.len];
+    let mut streams = Vec::new();
+    for packing in [PackingMode::Lanes8, PackingMode::Dense] {
+        let loadable = netpu_compiler::compile_packed(&model, &pixels, packing)
+            .map_err(|e| format!("{}: {e}", variant.name()))?;
+        let decoded = netpu_compiler::decode(&loadable.words)
+            .map_err(|e| format!("{}: decode: {e}", variant.name()))?;
+        streams.push((packing, loadable.words, decoded.settings));
+    }
+    let reference = HwConfig::paper_instance();
+    let (_, analysis) = netpu_check::check_words_analyzed(&streams[0].1, &reference);
+    let min_acc = analysis
+        .as_ref()
+        .map_or(32, minimal_accumulator_bits)
+        .clamp(8, 32);
+    let mut accs = vec![min_acc, 32];
+    accs.dedup();
+    let mut points = Vec::new();
+    let mut candidates = 0usize;
+    let mut infeasible = 0usize;
+    let mut unsound = 0usize;
+    for lpus in [2usize, 4] {
+        for tnpus_per_lpu in [1usize, 2, 4, 8, 16] {
+            for mul_lanes in [1usize, 2, 4, 8] {
+                for double_buffered_weights in [false, true] {
+                    for (packing, words, settings) in &streams {
+                        for &accumulator_bits in &accs {
+                            for bn_mul in [MulImpl::Dsp, MulImpl::Lut] {
+                                for int_mul in [MulImpl::Dsp, MulImpl::Lut] {
+                                    candidates += 1;
+                                    let cfg = HwConfig {
+                                        lpus,
+                                        tnpus_per_lpu,
+                                        mul_lanes,
+                                        bn_mul,
+                                        int_mul,
+                                        double_buffered_weights,
+                                        dense_weight_packing: matches!(packing, PackingMode::Dense),
+                                        accumulator_bits,
+                                        ..reference
+                                    };
+                                    if cfg.validate().is_err() {
+                                        infeasible += 1;
+                                        continue;
+                                    }
+                                    let util = netpu_utilization(&cfg);
+                                    if !util.fits(&ULTRA96_V2) {
+                                        infeasible += 1;
+                                        continue;
+                                    }
+                                    if netpu_check::check_words(words, &cfg).has_errors() {
+                                        unsound += 1;
+                                        continue;
+                                    }
+                                    points.push(dse_price(cfg, *packing, settings, util));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let seed = dse_price(
+        reference,
+        PackingMode::Lanes8,
+        &streams[0].2,
+        netpu_utilization(&reference),
+    );
+    Ok(DseOutcome {
+        frontier: dse_pareto(points),
+        seed,
+        candidates,
+        infeasible,
+        unsound,
+        min_acc,
+    })
+}
+
+/// Prices one admissible candidate with the timing certificate, the
+/// §V DMA model, and the resource model.
+fn dse_price(
+    cfg: netpu_core::HwConfig,
+    packing: netpu_compiler::PackingMode,
+    settings: &[netpu_compiler::LayerSetting],
+    util: netpu_core::resources::Utilization,
+) -> DsePoint {
+    let t = netpu_check::timing::analyze_settings(settings, packing, &cfg);
+    let dma = netpu_check::DmaParams::zynq_uls();
+    DsePoint {
+        cycles: t.total_cycles(),
+        latency_us: t.latency_us(cfg.clock_mhz),
+        fps: t.steady_state_fps(cfg.clock_mhz),
+        cold_us: t.cold_latency_us(&dma, cfg.clock_mhz),
+        resident_us: t.resident_latency_us(&dma, cfg.clock_mhz),
+        cfg,
+        packing,
+        util,
+    }
+}
+
+/// The minimal signed accumulator width proved sufficient by the
+/// absint bounds — the NPC019 answer, recomputed from the public
+/// per-neuron intervals (the reference instance is 32-bit, so the
+/// clamped intervals equal the true envelopes for any sound model).
+fn minimal_accumulator_bits(analysis: &netpu_check::RangeAnalysis) -> u8 {
+    let mut width = 0u8;
+    for layer in &analysis.layers {
+        for neuron in &layer.neurons {
+            if let Some((lo, hi)) = neuron.acc {
+                width = width.max(interval_width(i64::from(lo), i64::from(hi)));
+            }
+        }
+    }
+    if width == 0 {
+        32
+    } else {
+        width
+    }
+}
+
+/// Bits of a signed two's-complement field covering `[lo, hi]`
+/// (mirrors the absint analyzer's own width rule).
+fn interval_width(lo: i64, hi: i64) -> u8 {
+    for bits in 1u8..=63 {
+        let min = -(1i64 << (bits - 1));
+        let max = (1i64 << (bits - 1)) - 1;
+        if lo >= min && hi <= max {
+            return bits;
+        }
+    }
+    64
+}
+
+/// Reduces priced points to the Pareto frontier over (cycles, LUTs,
+/// DSPs, BRAM36), deterministically ordered by cycles then resources
+/// then tag; exact objective ties keep only the first point in that
+/// order.
+fn dse_pareto(mut points: Vec<DsePoint>) -> Vec<DsePoint> {
+    points.sort_by(|a, b| {
+        a.cycles
+            .cmp(&b.cycles)
+            .then(a.util.luts.cmp(&b.util.luts))
+            .then(a.util.dsps.cmp(&b.util.dsps))
+            .then(
+                a.util
+                    .bram36
+                    .partial_cmp(&b.util.bram36)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(a.tag().cmp(&b.tag()))
+    });
+    let mut frontier: Vec<DsePoint> = Vec::new();
+    for p in points {
+        if !frontier.iter().any(|q| q.dominates(&p)) {
+            frontier.push(p);
+        }
+    }
+    frontier
+}
+
+/// Renders one search's committed artifact: provenance header plus the
+/// frontier as TSV, fully deterministic (fixed model seed, fixed input,
+/// closed-form prices, stable ordering and float formatting).
+fn dse_artifact(variant: netpu_nn::zoo::ZooModel, outcome: &DseOutcome) -> String {
+    use netpu_core::resources::ULTRA96_V2;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# xtask dse frontier: {} (build_untrained seed 42, BN folded)",
+        variant.name()
+    );
+    let _ = writeln!(
+        out,
+        "# budget: {} ({} LUT, {} DSP, {} FF, {} BRAM36)",
+        ULTRA96_V2.name, ULTRA96_V2.luts, ULTRA96_V2.dsps, ULTRA96_V2.ffs, ULTRA96_V2.bram36
+    );
+    let _ = writeln!(
+        out,
+        "# search: {} candidates, {} infeasible, {} unsound, {} frontier points; \
+         minimal certified accumulator width {} bits",
+        outcome.candidates,
+        outcome.infeasible,
+        outcome.unsound,
+        outcome.frontier.len(),
+        outcome.min_acc
+    );
+    let _ = writeln!(
+        out,
+        "# seed instance: {}",
+        dse_row(&outcome.seed).replace('\t', " ")
+    );
+    let _ = writeln!(
+        out,
+        "config\tpacking\tcycles\tlatency_us\tfps\tcold_us\tresident_us\tluts\tdsps\tffs\tbram36"
+    );
+    for p in &outcome.frontier {
+        let _ = writeln!(out, "{}", dse_row(p));
+    }
+    out
+}
+
+/// One TSV row of a priced design point.
+fn dse_row(p: &DsePoint) -> String {
+    format!(
+        "{}\t{:?}\t{}\t{:.3}\t{:.1}\t{:.3}\t{:.3}\t{}\t{}\t{}\t{:.1}",
+        p.tag(),
+        p.packing,
+        p.cycles,
+        p.latency_us,
+        p.fps,
+        p.cold_us,
+        p.resident_us,
+        p.util.luts,
+        p.util.dsps,
+        p.util.ffs,
+        p.util.bram36
+    )
+}
+
+/// The printable Table VI-style comparison for one model: the
+/// hand-picked seed instance against the frontier's best-latency point
+/// and its cheapest point matching the seed's latency.
+fn dse_comparison(
+    variant: netpu_nn::zoo::ZooModel,
+    outcome: &DseOutcome,
+    path: &Path,
+    root: &Path,
+) -> String {
+    let describe = |p: &DsePoint| {
+        format!(
+            "{} = {} cycles ({:.1} us, {:.0} fps, {} LUT, {} DSP, {:.1} BRAM36)",
+            p.tag(),
+            p.cycles,
+            p.latency_us,
+            p.fps,
+            p.util.luts,
+            p.util.dsps,
+            p.util.bram36
+        )
+    };
+    let mut out = format!(
+        "{}:\n  seed     {}",
+        variant.name(),
+        describe(&outcome.seed)
+    );
+    if let Some(best) = outcome.frontier.first() {
+        let _ = write!(out, "\n  fastest  {}", describe(best));
+    }
+    if let Some(cheapest) = outcome
+        .frontier
+        .iter()
+        .filter(|p| p.cycles <= outcome.seed.cycles)
+        .min_by_key(|p| (p.util.luts, p.util.dsps))
+    {
+        let _ = write!(out, "\n  cheapest@seed-latency  {}", describe(cheapest));
+    }
+    let _ = write!(
+        out,
+        "\n  frontier: {} points of {} candidates ({} infeasible, {} unsound statically \
+         rejected), artifact {}",
+        outcome.frontier.len(),
+        outcome.candidates,
+        outcome.infeasible,
+        outcome.unsound,
+        rel(root, path)
+    );
+    out
 }
 
 fn lint() -> ExitCode {
@@ -843,9 +1496,124 @@ mod tests {
     }
 
     #[test]
+    fn replay_summary_cross_checks_predicted_against_recorded_cycles() {
+        use netpu_trace::{MemorySink, TraceEvent, TraceSink};
+
+        let annotated = |pairs: &[(u64, u64)]| {
+            let sink = MemorySink::new();
+            for (p, r) in pairs {
+                sink.record(
+                    0.0,
+                    TraceEvent::Meta {
+                        key: "timing.predicted_cycles".into(),
+                        value: p.to_string(),
+                    },
+                );
+                sink.record(
+                    0.0,
+                    TraceEvent::Meta {
+                        key: "timing.recorded_cycles".into(),
+                        value: r.to_string(),
+                    },
+                );
+            }
+            sink.to_bytes()
+        };
+        let dir = std::env::temp_dir().join("xtask-replay-timing");
+        fs::create_dir_all(&dir).expect("temp dir");
+
+        let exact = dir.join("exact.bin");
+        fs::write(&exact, annotated(&[(3503, 3503), (2533, 2533)])).expect("write trace");
+        let summary = replay_file(&exact).expect("exact trace verifies");
+        assert!(
+            summary.contains("timing model: 2/2 runs predicted == recorded cycles"),
+            "{summary}"
+        );
+
+        // A single diverging run fails replay outright: the model is
+        // certified exact, so drift means a broken recording or model.
+        let drift = dir.join("drift.bin");
+        fs::write(&drift, annotated(&[(3503, 3504)])).expect("write trace");
+        let err = replay_file(&drift).expect_err("diverging trace must fail");
+        assert!(err.contains("predicted 3503"), "{err}");
+
+        // An unannotated trace gets no timing column and no error.
+        let plain = dir.join("plain.bin");
+        fs::write(&plain, MemorySink::new().to_bytes()).expect("write trace");
+        let summary = replay_file(&plain).expect("plain trace verifies");
+        assert!(!summary.contains("timing model"), "{summary}");
+    }
+
+    #[test]
     fn certify_sweep_passes_on_random_models_and_reports_widths() {
         let summary = certify_sweep(false, 6).expect("random models certify");
         assert!(summary.contains("6 random streams"), "{summary}");
         assert!(summary.contains("min accumulator widths"), "{summary}");
+    }
+
+    #[test]
+    fn certify_timing_sweep_is_cycle_exact_on_random_models() {
+        let summary = certify_timing_sweep(false, 4).expect("timing certifies");
+        assert!(summary.contains("cycle-exact"), "{summary}");
+        assert!(summary.contains("zero tolerance"), "{summary}");
+    }
+
+    #[test]
+    fn burst_timing_is_cycle_exact() {
+        certify_burst_timing().expect("burst extrapolation exact");
+    }
+
+    #[test]
+    fn dse_reproduces_or_dominates_the_paper_instance_on_tfc() {
+        let outcome = dse_model(netpu_nn::zoo::ZooModel::TfcW1A1).expect("search runs");
+        assert!(!outcome.frontier.is_empty());
+        assert!(
+            outcome.frontier.iter().any(|p| p.dominates(&outcome.seed)),
+            "no frontier point reproduces or dominates the hand-picked seed instance"
+        );
+        // The frontier is a frontier: no point dominates another.
+        for (i, p) in outcome.frontier.iter().enumerate() {
+            for (j, q) in outcome.frontier.iter().enumerate() {
+                assert!(i == j || !p.dominates(q) || !q.dominates(p));
+            }
+        }
+        assert!(outcome.min_acc < 32, "absint found no width slack on TFC");
+    }
+
+    #[test]
+    fn dse_frontier_prices_are_simulation_exact() {
+        // The search never simulates; spot-check its prices against the
+        // tick simulator on the cheapest and fastest frontier points.
+        let variant = netpu_nn::zoo::ZooModel::TfcW1A1;
+        let outcome = dse_model(variant).expect("search runs");
+        let model = variant
+            .build_untrained(42, netpu_nn::export::BnMode::Folded)
+            .expect("zoo model builds");
+        let pixels = vec![0u8; model.input.len];
+        for p in [
+            outcome.frontier.first().expect("frontier non-empty"),
+            outcome.frontier.last().expect("frontier non-empty"),
+        ] {
+            let loadable = netpu_compiler::compile_packed(&model, &pixels, p.packing)
+                .expect("frontier packing compiles");
+            let run = netpu_core::run_inference_fast(&p.cfg, loadable.words)
+                .expect("frontier instance admits the stream");
+            assert_eq!(run.cycles, p.cycles, "stale price for {}", p.tag());
+        }
+    }
+
+    #[test]
+    fn dse_committed_artifacts_are_current() {
+        // The committed TFC frontier must regenerate byte-identically
+        // (the CI `dse --smoke` stage re-checks this from the binary).
+        let root = workspace_root();
+        let outcome = dse_model(netpu_nn::zoo::ZooModel::TfcW1A1).expect("search runs");
+        let committed = fs::read_to_string(root.join(DSE_ARTIFACT_DIR).join("tfc-w1a1.tsv"))
+            .expect("committed TFC frontier artifact exists");
+        assert_eq!(
+            committed,
+            dse_artifact(netpu_nn::zoo::ZooModel::TfcW1A1, &outcome),
+            "artifacts/dse/tfc-w1a1.tsv is stale; regenerate with `xtask dse --write`"
+        );
     }
 }

@@ -38,6 +38,20 @@ echo "== translation validation: certify zoo + 1000 random streams (release) =="
 # every emitted certificate must re-validate from scratch.
 cargo run -q --release -p xtask -- certify 1000
 
+echo "== timing certification: cycle-exact model over zoo + 1000 random streams x all sweep instances (release) =="
+# The timing-soundness gate (DESIGN.md §4.9): the closed-form cycle
+# model must equal the tick simulator's counter — zero tolerance — on
+# the full zoo (both BN modes, both packings), 1000 deterministic
+# random models, and every fuzzer sweep instance, plus the burst
+# extrapolation.
+cargo run -q --release -p xtask -- certify-timing 1000
+
+echo "== design-space exploration smoke (frontier artifact reproducibility, release) =="
+# Re-runs the TFC-W1A1 search and fails if the committed Pareto
+# frontier artifact is stale or the paper's hand-picked instance is no
+# longer reproduced/dominated.
+cargo run -q --release -p xtask -- dse --smoke
+
 echo "== serving layer (release) =="
 cargo test -q --release -p netpu-serve
 
